@@ -1,0 +1,179 @@
+//! The grouping operator `Γ^θ_{G; F}` (§2.2).
+
+use crate::agg::AggCall;
+use crate::expr::CmpOp;
+use crate::relation::Relation;
+use crate::schema::{AttrId, Schema, Tuple};
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// Equality grouping `Γ_{G; F}(e)`: the common case, hash based.
+///
+/// Grouping keys use null-tolerant equality (two NULLs are the same group),
+/// matching SQL `GROUP BY`.
+pub fn group_by(input: &Relation, group_attrs: &[AttrId], aggs: &[AggCall]) -> Relation {
+    let key_pos: Vec<usize> = group_attrs.iter().map(|&a| input.schema().pos_of(a)).collect();
+    let mut groups: HashMap<Vec<Value>, Vec<&Tuple>> = HashMap::new();
+    let mut order: Vec<Vec<Value>> = Vec::new();
+    for t in input.tuples() {
+        let key: Vec<Value> = key_pos.iter().map(|&p| t[p].clone()).collect();
+        match groups.entry(key.clone()) {
+            std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().push(t),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(vec![t]);
+                order.push(key);
+            }
+        }
+    }
+    let out_attrs: Vec<AttrId> = group_attrs
+        .iter()
+        .copied()
+        .chain(aggs.iter().map(|a| a.out))
+        .collect();
+    let mut out = Relation::new(Schema::new(out_attrs));
+    for key in order {
+        let members = &groups[&key];
+        let mut vals = key;
+        for agg in aggs {
+            vals.push(agg.eval_group(input.schema(), members));
+        }
+        out.push(vals.into_boxed_slice());
+    }
+    out
+}
+
+/// Theta grouping `Γ^θ_{G; F}(e)` for an arbitrary comparison operator:
+/// one output tuple per distinct `G`-value `y`, aggregating
+/// `{z ∈ e | z.G θ y.G}` (§2.2). `θ = Eq` degenerates to [`group_by`]
+/// except that here the group membership uses SQL comparison semantics.
+pub fn group_by_theta(
+    input: &Relation,
+    group_attrs: &[AttrId],
+    theta: CmpOp,
+    aggs: &[AggCall],
+) -> Relation {
+    if theta == CmpOp::Eq {
+        return group_by(input, group_attrs, aggs);
+    }
+    let key_pos: Vec<usize> = group_attrs.iter().map(|&a| input.schema().pos_of(a)).collect();
+    // Distinct prototypes y ∈ Π^D_G(e), null-tolerant.
+    let mut seen: HashMap<Vec<Value>, ()> = HashMap::new();
+    let mut prototypes: Vec<Vec<Value>> = Vec::new();
+    for t in input.tuples() {
+        let key: Vec<Value> = key_pos.iter().map(|&p| t[p].clone()).collect();
+        if !seen.contains_key(&key) {
+            seen.insert(key.clone(), ());
+            prototypes.push(key);
+        }
+    }
+    let out_attrs: Vec<AttrId> = group_attrs
+        .iter()
+        .copied()
+        .chain(aggs.iter().map(|a| a.out))
+        .collect();
+    let mut out = Relation::new(Schema::new(out_attrs));
+    for proto in prototypes {
+        let members: Vec<&Tuple> = input
+            .tuples()
+            .iter()
+            .filter(|t| {
+                key_pos
+                    .iter()
+                    .zip(proto.iter())
+                    .all(|(&p, y)| theta.test(&t[p], y))
+            })
+            .collect();
+        let mut vals = proto;
+        for agg in aggs {
+            vals.push(agg.eval_group(input.schema(), &members));
+        }
+        out.push(vals.into_boxed_slice());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::AggKind;
+    use crate::expr::Expr;
+
+    fn a(i: u32) -> AttrId {
+        AttrId(i)
+    }
+
+    #[test]
+    fn simple_group_by() {
+        let r = Relation::from_ints(
+            vec![a(0), a(1)],
+            &[&[Some(1), Some(10)], &[Some(1), Some(20)], &[Some(2), Some(5)]],
+        );
+        let res = group_by(
+            &r,
+            &[a(0)],
+            &[
+                AggCall::new(a(9), AggKind::Sum, Expr::attr(a(1))),
+                AggCall::count_star(a(8)),
+            ],
+        );
+        let expect = Relation::from_ints(
+            vec![a(0), a(9), a(8)],
+            &[&[Some(1), Some(30), Some(2)], &[Some(2), Some(5), Some(1)]],
+        );
+        assert!(res.bag_eq(&expect));
+    }
+
+    #[test]
+    fn nulls_form_one_group() {
+        let r = Relation::from_ints(vec![a(0)], &[&[None], &[None], &[Some(1)]]);
+        let res = group_by(&r, &[a(0)], &[AggCall::count_star(a(9))]);
+        assert_eq!(2, res.len());
+        let null_group = res.tuples().iter().find(|t| t[0].is_null()).unwrap();
+        assert_eq!(Value::Int(2), null_group[1]);
+    }
+
+    #[test]
+    fn empty_input_no_groups() {
+        let r = Relation::from_ints(vec![a(0)], &[]);
+        let res = group_by(&r, &[a(0)], &[AggCall::count_star(a(9))]);
+        assert!(res.is_empty());
+    }
+
+    #[test]
+    fn grouping_on_no_attrs_single_group() {
+        // Γ_{∅;F} over a non-empty input yields one global group.
+        let r = Relation::from_ints(vec![a(0)], &[&[Some(1)], &[Some(2)]]);
+        let res = group_by(&r, &[], &[AggCall::new(a(9), AggKind::Sum, Expr::attr(a(0)))]);
+        assert_eq!(1, res.len());
+        assert_eq!(Value::Int(3), res.tuples()[0][0]);
+    }
+
+    #[test]
+    fn theta_grouping_le() {
+        // For each distinct value y, aggregate all tuples with value <= y.
+        let r = Relation::from_ints(vec![a(0)], &[&[Some(1)], &[Some(2)], &[Some(3)]]);
+        let res = group_by_theta(&r, &[a(0)], CmpOp::Le, &[AggCall::count_star(a(9))]);
+        let expect = Relation::from_ints(
+            vec![a(0), a(9)],
+            &[&[Some(1), Some(3)], &[Some(2), Some(2)], &[Some(3), Some(1)]],
+        );
+        // θ is z.G θ y.G with z ranging over tuples: z <= y counts tuples <= y.
+        let fixed = Relation::from_ints(
+            vec![a(0), a(9)],
+            &[&[Some(1), Some(1)], &[Some(2), Some(2)], &[Some(3), Some(3)]],
+        );
+        // count of {z | z.a <= y.a}: y=1 → 1, y=2 → 2, y=3 → 3.
+        assert!(res.bag_eq(&fixed), "got {res} expected one of {expect}/{fixed}");
+    }
+
+    #[test]
+    fn group_result_is_duplicate_free_on_keys() {
+        let r = Relation::from_ints(
+            vec![a(0), a(1)],
+            &[&[Some(1), Some(1)], &[Some(1), Some(2)], &[Some(2), Some(1)]],
+        );
+        let res = group_by(&r, &[a(0)], &[AggCall::count_star(a(9))]);
+        let proj = crate::ops::project(&res, &[a(0)], false);
+        assert!(proj.is_duplicate_free());
+    }
+}

@@ -1,0 +1,513 @@
+//! The algebraic operators of §2.2 (Fig. 1): cross product, inner join,
+//! left semi/antijoin, left/full outerjoin **with default vectors**,
+//! groupjoin, selection, projection, map and union.
+//!
+//! Equi-join predicates take a hash-based fast path; arbitrary theta
+//! predicates fall back to nested loops. All operators implement bag
+//! semantics.
+
+use crate::expr::{Expr, JoinPred};
+use crate::relation::Relation;
+use crate::schema::{concat_tuples, null_tuple, AttrId, Schema, Tuple};
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// Cross product `e1 × e2`.
+pub fn cross(l: &Relation, r: &Relation) -> Relation {
+    let schema = l.schema().concat(r.schema());
+    let mut out = Relation::new(schema);
+    for lt in l.tuples() {
+        for rt in r.tuples() {
+            out.push(concat_tuples(lt, rt));
+        }
+    }
+    out
+}
+
+/// Key of an equi-join hash table; NULL keys are excluded by callers
+/// (join predicates are null rejecting).
+type HashKey = Vec<Value>;
+
+fn equi_key(schema: &Schema, tuple: &Tuple, attrs: &[AttrId]) -> Option<HashKey> {
+    let mut key = Vec::with_capacity(attrs.len());
+    for &a in attrs {
+        let v = &tuple[schema.pos_of(a)];
+        if v.is_null() {
+            return None;
+        }
+        key.push(v.clone());
+    }
+    Some(key)
+}
+
+fn build_hash<'a>(rel: &'a Relation, attrs: &[AttrId]) -> HashMap<HashKey, Vec<&'a Tuple>> {
+    let mut table: HashMap<HashKey, Vec<&Tuple>> = HashMap::with_capacity(rel.len());
+    for t in rel.tuples() {
+        if let Some(k) = equi_key(rel.schema(), t, attrs) {
+            table.entry(k).or_default().push(t);
+        }
+    }
+    table
+}
+
+/// Inner join `e1 ⋈_p e2`.
+pub fn inner_join(l: &Relation, r: &Relation, pred: &JoinPred) -> Relation {
+    let schema = l.schema().concat(r.schema());
+    let mut out = Relation::new(schema);
+    if pred.is_equi() && !pred.terms.is_empty() {
+        let rattrs = pred.right_attrs();
+        let lattrs = pred.left_attrs();
+        let table = build_hash(r, &rattrs);
+        for lt in l.tuples() {
+            if let Some(k) = equi_key(l.schema(), lt, &lattrs) {
+                if let Some(matches) = table.get(&k) {
+                    for rt in matches {
+                        out.push(concat_tuples(lt, rt));
+                    }
+                }
+            }
+        }
+    } else {
+        for lt in l.tuples() {
+            for rt in r.tuples() {
+                if pred.matches(l.schema(), lt, r.schema(), rt) {
+                    out.push(concat_tuples(lt, rt));
+                }
+            }
+        }
+    }
+    out
+}
+
+fn has_partner(l: &Relation, lt: &Tuple, r: &Relation, pred: &JoinPred) -> bool {
+    r.tuples().iter().any(|rt| pred.matches(l.schema(), lt, r.schema(), rt))
+}
+
+/// Left semijoin `e1 ⋉_p e2`.
+pub fn semi_join(l: &Relation, r: &Relation, pred: &JoinPred) -> Relation {
+    filter_by_partner(l, r, pred, true)
+}
+
+/// Left antijoin `e1 ▷_p e2`.
+pub fn anti_join(l: &Relation, r: &Relation, pred: &JoinPred) -> Relation {
+    filter_by_partner(l, r, pred, false)
+}
+
+fn filter_by_partner(l: &Relation, r: &Relation, pred: &JoinPred, keep_matched: bool) -> Relation {
+    let mut out = Relation::new(l.schema().clone());
+    if pred.is_equi() && !pred.terms.is_empty() {
+        let table = build_hash(r, &pred.right_attrs());
+        let lattrs = pred.left_attrs();
+        for lt in l.tuples() {
+            let matched = equi_key(l.schema(), lt, &lattrs)
+                .is_some_and(|k| table.contains_key(&k));
+            if matched == keep_matched {
+                out.push(lt.clone());
+            }
+        }
+    } else {
+        for lt in l.tuples() {
+            if has_partner(l, lt, r, pred) == keep_matched {
+                out.push(lt.clone());
+            }
+        }
+    }
+    out
+}
+
+/// A default vector `D = (d1 : c1, …, dk : ck)` for generalized outerjoins
+/// (Eqvs. 7/8): instead of padding with NULL, the listed attributes receive
+/// the given constants.
+pub type Defaults = Vec<(AttrId, Value)>;
+
+fn padded_tuple(schema: &Schema, defaults: &Defaults) -> Tuple {
+    let mut t = null_tuple(schema.len());
+    for (attr, val) in defaults {
+        t[schema.pos_of(*attr)] = val.clone();
+    }
+    t
+}
+
+/// Left outerjoin with defaults `e1 ⟕_p^{D2} e2` (Eqv. 7).
+///
+/// Unmatched `e1` tuples are padded with NULLs on `A(e2)` except for the
+/// attributes in `d2`, which receive their default values. Pass an empty
+/// vector for the plain left outerjoin (Eqv. 5).
+pub fn left_outer_join(l: &Relation, r: &Relation, pred: &JoinPred, d2: &Defaults) -> Relation {
+    let schema = l.schema().concat(r.schema());
+    let pad = padded_tuple(r.schema(), d2);
+    let mut out = Relation::new(schema);
+    if pred.is_equi() && !pred.terms.is_empty() {
+        let table = build_hash(r, &pred.right_attrs());
+        let lattrs = pred.left_attrs();
+        for lt in l.tuples() {
+            let matches = equi_key(l.schema(), lt, &lattrs).and_then(|k| table.get(&k));
+            match matches {
+                Some(ms) => {
+                    for rt in ms {
+                        out.push(concat_tuples(lt, rt));
+                    }
+                }
+                None => out.push(concat_tuples(lt, &pad)),
+            }
+        }
+    } else {
+        for lt in l.tuples() {
+            let mut matched = false;
+            for rt in r.tuples() {
+                if pred.matches(l.schema(), lt, r.schema(), rt) {
+                    out.push(concat_tuples(lt, rt));
+                    matched = true;
+                }
+            }
+            if !matched {
+                out.push(concat_tuples(lt, &pad));
+            }
+        }
+    }
+    out
+}
+
+/// Full outerjoin with defaults `e1 ⟗_p^{D1;D2} e2` (Eqv. 8).
+///
+/// `d2` pads unmatched `e1` tuples (on `A(e2)`), `d1` pads unmatched `e2`
+/// tuples (on `A(e1)`). Empty vectors yield the plain full outerjoin.
+pub fn full_outer_join(
+    l: &Relation,
+    r: &Relation,
+    pred: &JoinPred,
+    d1: &Defaults,
+    d2: &Defaults,
+) -> Relation {
+    let schema = l.schema().concat(r.schema());
+    let pad_r = padded_tuple(r.schema(), d2);
+    let pad_l = padded_tuple(l.schema(), d1);
+    let mut out = Relation::new(schema);
+    let mut r_matched = vec![false; r.len()];
+    for lt in l.tuples() {
+        let mut matched = false;
+        for (ri, rt) in r.tuples().iter().enumerate() {
+            if pred.matches(l.schema(), lt, r.schema(), rt) {
+                out.push(concat_tuples(lt, rt));
+                matched = true;
+                r_matched[ri] = true;
+            }
+        }
+        if !matched {
+            out.push(concat_tuples(lt, &pad_r));
+        }
+    }
+    for (ri, rt) in r.tuples().iter().enumerate() {
+        if !r_matched[ri] {
+            out.push(concat_tuples(&pad_l, rt));
+        }
+    }
+    out
+}
+
+/// Left groupjoin `e1 ⋲_{p; F} e2` (Eqv. 9, von Bültzingsloewen).
+///
+/// Every `e1` tuple is extended by the aggregates of its join partners in
+/// `e2`; tuples without partners aggregate the empty bag (SQL semantics:
+/// `count` yields 0, `sum`/`min`/`max` yield NULL).
+pub fn groupjoin(l: &Relation, r: &Relation, pred: &JoinPred, aggs: &[crate::agg::AggCall]) -> Relation {
+    groupjoin_with_defaults(l, r, pred, aggs, &Vec::new())
+}
+
+/// Generalized groupjoin: aggregate columns of partner-less tuples take
+/// the values from `empty_defaults` instead of `F(∅)`.
+///
+/// This is the `count(*)(∅) := 1` convention of §A.5.1 (Eqvs. 98–100),
+/// needed so that a `⟕` with default vectors can be fused into a
+/// groupjoin without changing semantics.
+pub fn groupjoin_with_defaults(
+    l: &Relation,
+    r: &Relation,
+    pred: &JoinPred,
+    aggs: &[crate::agg::AggCall],
+    empty_defaults: &Defaults,
+) -> Relation {
+    let out_attrs: Vec<AttrId> = aggs.iter().map(|a| a.out).collect();
+    let schema = l.schema().extend(&out_attrs);
+    let mut out = Relation::new(schema);
+    let use_hash = pred.is_equi() && !pred.terms.is_empty();
+    let table = if use_hash { Some(build_hash(r, &pred.right_attrs())) } else { None };
+    let lattrs = pred.left_attrs();
+    let empty: Vec<&Tuple> = Vec::new();
+    for lt in l.tuples() {
+        let partners: Vec<&Tuple> = if let Some(table) = &table {
+            equi_key(l.schema(), lt, &lattrs)
+                .and_then(|k| table.get(&k))
+                .map_or_else(|| empty.clone(), |v| v.clone())
+        } else {
+            r.tuples()
+                .iter()
+                .filter(|rt| pred.matches(l.schema(), lt, r.schema(), rt))
+                .collect()
+        };
+        let mut vals: Vec<Value> = lt.to_vec();
+        for agg in aggs {
+            if partners.is_empty() {
+                if let Some((_, v)) = empty_defaults.iter().find(|(a, _)| *a == agg.out) {
+                    vals.push(v.clone());
+                    continue;
+                }
+            }
+            vals.push(agg.eval_group(r.schema(), &partners));
+        }
+        out.push(vals.into_boxed_slice());
+    }
+    out
+}
+
+/// Selection `σ_p(e)` with an arbitrary boolean given as a comparison of an
+/// expression against a constant.
+pub fn select(input: &Relation, pred: impl Fn(&Schema, &Tuple) -> bool) -> Relation {
+    let mut out = Relation::new(input.schema().clone());
+    for t in input.tuples() {
+        if pred(input.schema(), t) {
+            out.push(t.clone());
+        }
+    }
+    out
+}
+
+/// Projection `Π_A(e)` (duplicate preserving) or `Π^D_A(e)` (duplicate
+/// removing, null-tolerant equality).
+pub fn project(input: &Relation, attrs: &[AttrId], dedup: bool) -> Relation {
+    let positions: Vec<usize> = attrs.iter().map(|&a| input.schema().pos_of(a)).collect();
+    let schema = Schema::new(attrs.to_vec());
+    let mut out = Relation::new(schema);
+    let mut seen: HashMap<Vec<Value>, ()> = HashMap::new();
+    for t in input.tuples() {
+        let vals: Vec<Value> = positions.iter().map(|&p| t[p].clone()).collect();
+        if dedup {
+            if seen.contains_key(&vals) {
+                continue;
+            }
+            seen.insert(vals.clone(), ());
+        }
+        out.push(vals.into_boxed_slice());
+    }
+    out
+}
+
+/// Map `χ_{a1:e1,…}(e)`: extends every tuple by computed attributes.
+pub fn map(input: &Relation, exts: &[(AttrId, Expr)]) -> Relation {
+    let new_attrs: Vec<AttrId> = exts.iter().map(|(a, _)| *a).collect();
+    let schema = input.schema().extend(&new_attrs);
+    let mut out = Relation::new(schema);
+    for t in input.tuples() {
+        let mut vals: Vec<Value> = t.to_vec();
+        for (_, e) in exts {
+            vals.push(e.eval(input.schema(), t));
+        }
+        out.push(vals.into_boxed_slice());
+    }
+    out
+}
+
+/// Bag union `e1 ∪ e2` (schemas must cover the same attributes; columns of
+/// `r` are permuted to `l`'s order).
+pub fn union_all(l: &Relation, r: &Relation) -> Relation {
+    let positions: Vec<usize> = l.schema().attrs().iter().map(|&a| r.schema().pos_of(a)).collect();
+    let mut out = Relation::with_tuples(l.schema().clone(), l.tuples().to_vec());
+    for t in r.tuples() {
+        let vals: Vec<Value> = positions.iter().map(|&p| t[p].clone()).collect();
+        out.push(vals.into_boxed_slice());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::{AggCall, AggKind};
+
+    fn a(i: u32) -> AttrId {
+        AttrId(i)
+    }
+
+    /// The example relations of Fig. 2 in the paper.
+    fn fig2_e1() -> Relation {
+        Relation::from_ints(
+            vec![a(0), a(1), a(2)], // a, b, c
+            &[
+                &[Some(0), Some(0), Some(1)],
+                &[Some(1), Some(0), Some(1)],
+                &[Some(2), Some(1), Some(3)],
+                &[Some(3), Some(2), Some(3)],
+            ],
+        )
+    }
+
+    fn fig2_e2() -> Relation {
+        Relation::from_ints(
+            vec![a(3), a(4), a(5)], // d, e, f
+            &[
+                &[Some(0), Some(0), Some(1)],
+                &[Some(1), Some(1), Some(1)],
+                &[Some(2), Some(2), Some(1)],
+                &[Some(3), Some(4), Some(2)],
+            ],
+        )
+    }
+
+    #[test]
+    fn fig2_inner_join() {
+        // e1 ⋈_{e1.b = e2.d} e2 — 4 result tuples.
+        let res = inner_join(&fig2_e1(), &fig2_e2(), &JoinPred::eq(a(1), a(3)));
+        let expect = Relation::from_ints(
+            vec![a(0), a(1), a(2), a(3), a(4), a(5)],
+            &[
+                &[Some(0), Some(0), Some(1), Some(0), Some(0), Some(1)],
+                &[Some(1), Some(0), Some(1), Some(0), Some(0), Some(1)],
+                &[Some(2), Some(1), Some(3), Some(1), Some(1), Some(1)],
+                &[Some(3), Some(2), Some(3), Some(2), Some(2), Some(1)],
+            ],
+        );
+        assert!(res.bag_eq(&expect));
+    }
+
+    #[test]
+    fn fig2_semi_and_anti() {
+        // e1 ⋉_{e1.b = e2.d} e2 keeps all four tuples.
+        let semi = semi_join(&fig2_e1(), &fig2_e2(), &JoinPred::eq(a(1), a(3)));
+        assert!(semi.bag_eq(&fig2_e1()));
+        // e1 ▷_{e1.a = e2.e} e2 keeps only (3,2,3).
+        let anti = anti_join(&fig2_e1(), &fig2_e2(), &JoinPred::eq(a(0), a(4)));
+        let expect = Relation::from_ints(vec![a(0), a(1), a(2)], &[&[Some(3), Some(2), Some(3)]]);
+        assert!(anti.bag_eq(&expect));
+    }
+
+    #[test]
+    fn fig2_left_outer() {
+        let res = left_outer_join(&fig2_e1(), &fig2_e2(), &JoinPred::eq(a(0), a(4)), &vec![]);
+        let expect = Relation::from_ints(
+            vec![a(0), a(1), a(2), a(3), a(4), a(5)],
+            &[
+                &[Some(0), Some(0), Some(1), Some(0), Some(0), Some(1)],
+                &[Some(1), Some(0), Some(1), Some(1), Some(1), Some(1)],
+                &[Some(2), Some(1), Some(3), Some(2), Some(2), Some(1)],
+                &[Some(3), Some(2), Some(3), None, None, None],
+            ],
+        );
+        assert!(res.bag_eq(&expect));
+    }
+
+    #[test]
+    fn fig2_full_outer() {
+        let res = full_outer_join(&fig2_e1(), &fig2_e2(), &JoinPred::eq(a(0), a(4)), &vec![], &vec![]);
+        let expect = Relation::from_ints(
+            vec![a(0), a(1), a(2), a(3), a(4), a(5)],
+            &[
+                &[Some(0), Some(0), Some(1), Some(0), Some(0), Some(1)],
+                &[Some(1), Some(0), Some(1), Some(1), Some(1), Some(1)],
+                &[Some(2), Some(1), Some(3), Some(2), Some(2), Some(1)],
+                &[Some(3), Some(2), Some(3), None, None, None],
+                &[None, None, None, Some(3), Some(4), Some(2)],
+            ],
+        );
+        assert!(res.bag_eq(&expect));
+    }
+
+    #[test]
+    fn outer_join_defaults() {
+        let d2: Defaults = vec![(a(5), Value::Int(1))];
+        let res = left_outer_join(&fig2_e1(), &fig2_e2(), &JoinPred::eq(a(0), a(4)), &d2);
+        // The unmatched tuple (3,2,3) gets f = 1 instead of NULL.
+        let row = res
+            .tuples()
+            .iter()
+            .find(|t| t[0] == Value::Int(3))
+            .unwrap();
+        assert_eq!(Value::Int(1), row[5]);
+        assert!(row[3].is_null() && row[4].is_null());
+    }
+
+    #[test]
+    fn full_outer_defaults_on_both_sides() {
+        let d1: Defaults = vec![(a(2), Value::Int(7))];
+        let d2: Defaults = vec![(a(5), Value::Int(9))];
+        let res = full_outer_join(&fig2_e1(), &fig2_e2(), &JoinPred::eq(a(0), a(4)), &d1, &d2);
+        let left_orphan = res.tuples().iter().find(|t| t[0] == Value::Int(3)).unwrap();
+        assert_eq!(Value::Int(9), left_orphan[5]);
+        let right_orphan = res.tuples().iter().find(|t| t[3] == Value::Int(3)).unwrap();
+        assert_eq!(Value::Int(7), right_orphan[2]);
+        assert!(right_orphan[0].is_null());
+    }
+
+    #[test]
+    fn groupjoin_definition() {
+        // e1 ⋲_{e1.a = e2.f; g : sum(e2.f)} e2 — per Definition 9 every e1
+        // tuple survives; unmatched tuples aggregate the empty bag.
+        let aggs = vec![AggCall::new(a(9), AggKind::Sum, Expr::attr(a(5)))];
+        let res = groupjoin(&fig2_e1(), &fig2_e2(), &JoinPred::eq(a(0), a(5)), &aggs);
+        assert_eq!(4, res.len());
+        let row1 = res.tuples().iter().find(|t| t[0] == Value::Int(1)).unwrap();
+        assert_eq!(Value::Int(3), row1[3]); // three partners with f = 1
+        let row2 = res.tuples().iter().find(|t| t[0] == Value::Int(2)).unwrap();
+        assert_eq!(Value::Int(2), row2[3]); // one partner with f = 2
+        let row0 = res.tuples().iter().find(|t| t[0] == Value::Int(0)).unwrap();
+        assert!(row0[3].is_null()); // sum over the empty bag
+    }
+
+    #[test]
+    fn groupjoin_count_star_empty_group_is_zero() {
+        let aggs = vec![AggCall::count_star(a(9))];
+        let res = groupjoin(&fig2_e1(), &fig2_e2(), &JoinPred::eq(a(0), a(5)), &aggs);
+        let row0 = res.tuples().iter().find(|t| t[0] == Value::Int(0)).unwrap();
+        assert_eq!(Value::Int(0), row0[3]);
+    }
+
+    #[test]
+    fn null_never_joins() {
+        let l = Relation::from_ints(vec![a(0)], &[&[None], &[Some(1)]]);
+        let r = Relation::from_ints(vec![a(1)], &[&[None], &[Some(1)]]);
+        let res = inner_join(&l, &r, &JoinPred::eq(a(0), a(1)));
+        assert_eq!(1, res.len());
+        // Left outer join keeps the NULL tuple, padded.
+        let lo = left_outer_join(&l, &r, &JoinPred::eq(a(0), a(1)), &vec![]);
+        assert_eq!(2, lo.len());
+    }
+
+    #[test]
+    fn hash_and_nested_loop_agree() {
+        use crate::expr::CmpOp;
+        let l = fig2_e1();
+        let r = fig2_e2();
+        let equi = JoinPred::eq(a(1), a(3));
+        // Force the nested-loop path with a redundant non-equi term.
+        let theta = JoinPred::eq(a(1), a(3)).and(a(1), CmpOp::Le, a(3));
+        let fast = inner_join(&l, &r, &equi);
+        let slow = inner_join(&l, &r, &theta);
+        assert!(fast.bag_eq(&slow));
+    }
+
+    #[test]
+    fn project_and_map() {
+        let r = fig2_e1();
+        let p = project(&r, &[a(1)], true);
+        assert_eq!(3, p.len()); // b ∈ {0, 1, 2}
+        let m = map(&r, &[(a(9), Expr::attr(a(0)).add(Expr::attr(a(2))))]);
+        assert_eq!(4, m.schema().len());
+        assert_eq!(Value::Int(1), m.tuples()[0][3]);
+    }
+
+    #[test]
+    fn union_permutes_columns() {
+        let l = Relation::from_ints(vec![a(0), a(1)], &[&[Some(1), Some(2)]]);
+        let r = Relation::from_ints(vec![a(1), a(0)], &[&[Some(4), Some(3)]]);
+        let u = union_all(&l, &r);
+        assert_eq!(2, u.len());
+        assert_eq!(Value::Int(3), u.tuples()[1][0]);
+        assert_eq!(Value::Int(4), u.tuples()[1][1]);
+    }
+
+    #[test]
+    fn cross_product() {
+        let l = Relation::from_ints(vec![a(0)], &[&[Some(1)], &[Some(2)]]);
+        let r = Relation::from_ints(vec![a(1)], &[&[Some(3)]]);
+        assert_eq!(2, cross(&l, &r).len());
+    }
+}

@@ -1,0 +1,197 @@
+//! Bag-semantics relations.
+
+use crate::schema::{AttrId, Schema, Tuple};
+use crate::value::Value;
+use std::fmt;
+
+/// A relation: a schema plus a bag (multiset) of tuples.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Relation {
+    schema: Schema,
+    tuples: Vec<Tuple>,
+}
+
+impl Relation {
+    pub fn new(schema: Schema) -> Self {
+        Relation { schema, tuples: Vec::new() }
+    }
+
+    pub fn with_tuples(schema: Schema, tuples: Vec<Tuple>) -> Self {
+        debug_assert!(tuples.iter().all(|t| t.len() == schema.len()));
+        Relation { schema, tuples }
+    }
+
+    /// Convenience constructor from rows of values.
+    pub fn from_rows(attrs: Vec<AttrId>, rows: Vec<Vec<Value>>) -> Self {
+        let schema = Schema::new(attrs);
+        let tuples = rows
+            .into_iter()
+            .map(|r| {
+                assert_eq!(r.len(), schema.len(), "row arity mismatch");
+                r.into_boxed_slice()
+            })
+            .collect();
+        Relation { schema, tuples }
+    }
+
+    /// Convenience constructor from integer rows (NULL encoded as `None`).
+    pub fn from_ints(attrs: Vec<AttrId>, rows: &[&[Option<i64>]]) -> Self {
+        let schema = Schema::new(attrs);
+        let tuples = rows
+            .iter()
+            .map(|r| {
+                assert_eq!(r.len(), schema.len(), "row arity mismatch");
+                r.iter()
+                    .map(|v| v.map_or(Value::Null, Value::Int))
+                    .collect::<Vec<_>>()
+                    .into_boxed_slice()
+            })
+            .collect();
+        Relation { schema, tuples }
+    }
+
+    #[inline]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    #[inline]
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    pub fn push(&mut self, t: Tuple) {
+        debug_assert_eq!(t.len(), self.schema.len());
+        self.tuples.push(t);
+    }
+
+    /// Value of `attr` in row `row`.
+    pub fn value(&self, row: usize, attr: AttrId) -> &Value {
+        &self.tuples[row][self.schema.pos_of(attr)]
+    }
+
+    /// Bag equality up to tuple order and column order.
+    ///
+    /// Columns are aligned by attribute id (both relations must have the same
+    /// attribute set), then tuples are compared as sorted multisets.
+    pub fn bag_eq(&self, other: &Relation) -> bool {
+        if self.schema.len() != other.schema.len() || self.len() != other.len() {
+            return false;
+        }
+        let mut my_attrs: Vec<AttrId> = self.schema.attrs().to_vec();
+        let mut their_attrs: Vec<AttrId> = other.schema.attrs().to_vec();
+        my_attrs.sort_unstable();
+        their_attrs.sort_unstable();
+        if my_attrs != their_attrs {
+            return false;
+        }
+        let mut a = self.canonical_rows(&my_attrs);
+        let mut b = other.canonical_rows(&my_attrs);
+        sort_rows(&mut a);
+        sort_rows(&mut b);
+        a == b
+    }
+
+    fn canonical_rows(&self, order: &[AttrId]) -> Vec<Vec<Value>> {
+        let positions: Vec<usize> = order.iter().map(|&a| self.schema.pos_of(a)).collect();
+        self.tuples
+            .iter()
+            .map(|t| positions.iter().map(|&p| t[p].clone()).collect())
+            .collect()
+    }
+
+    /// True when no two tuples agree on all attributes (null-tolerant
+    /// comparison, as used for duplicate elimination).
+    pub fn is_duplicate_free(&self) -> bool {
+        let mut rows = self.canonical_rows(self.schema.attrs());
+        sort_rows(&mut rows);
+        rows.windows(2).all(|w| w[0] != w[1])
+    }
+}
+
+fn sort_rows(rows: &mut [Vec<Value>]) {
+    rows.sort_unstable_by(|a, b| {
+        for (x, y) in a.iter().zip(b.iter()) {
+            let ord = x.total_cmp(y);
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for a in self.schema.attrs() {
+            write!(f, "{a}\t")?;
+        }
+        writeln!(f)?;
+        for t in &self.tuples {
+            for v in t.iter() {
+                write!(f, "{v}\t")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(i: u32) -> AttrId {
+        AttrId(i)
+    }
+
+    #[test]
+    fn bag_eq_ignores_order() {
+        let r1 = Relation::from_ints(vec![a(0), a(1)], &[&[Some(1), Some(2)], &[Some(3), None]]);
+        let r2 = Relation::from_ints(vec![a(1), a(0)], &[&[None, Some(3)], &[Some(2), Some(1)]]);
+        assert!(r1.bag_eq(&r2));
+    }
+
+    #[test]
+    fn bag_eq_respects_multiplicity() {
+        let r1 = Relation::from_ints(vec![a(0)], &[&[Some(1)], &[Some(1)]]);
+        let r2 = Relation::from_ints(vec![a(0)], &[&[Some(1)], &[Some(2)]]);
+        assert!(!r1.bag_eq(&r2));
+        let r3 = Relation::from_ints(vec![a(0)], &[&[Some(1)], &[Some(1)]]);
+        assert!(r1.bag_eq(&r3));
+    }
+
+    #[test]
+    fn bag_eq_different_attr_sets() {
+        let r1 = Relation::from_ints(vec![a(0)], &[&[Some(1)]]);
+        let r2 = Relation::from_ints(vec![a(1)], &[&[Some(1)]]);
+        assert!(!r1.bag_eq(&r2));
+    }
+
+    #[test]
+    fn duplicate_free() {
+        let dup = Relation::from_ints(vec![a(0)], &[&[Some(1)], &[Some(1)]]);
+        assert!(!dup.is_duplicate_free());
+        let nodup = Relation::from_ints(vec![a(0)], &[&[Some(1)], &[Some(2)]]);
+        assert!(nodup.is_duplicate_free());
+        // NULLs compare equal for duplicate detection.
+        let nulls = Relation::from_ints(vec![a(0)], &[&[None], &[None]]);
+        assert!(!nulls.is_duplicate_free());
+    }
+
+    #[test]
+    fn value_access() {
+        let r = Relation::from_ints(vec![a(5), a(6)], &[&[Some(10), Some(20)]]);
+        assert_eq!(&Value::Int(20), r.value(0, a(6)));
+    }
+}

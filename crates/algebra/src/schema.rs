@@ -1,0 +1,175 @@
+//! Attribute identities, schemas and tuples.
+
+use crate::value::Value;
+use std::fmt;
+
+/// Globally unique attribute identifier.
+///
+/// Attribute names live in the catalog; the algebra layer only needs
+/// identity. New attributes introduced by rewrites (partial-aggregate and
+/// count columns) are allocated from an [`AttrGen`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AttrId(pub u32);
+
+impl fmt::Display for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// Monotonic allocator for fresh [`AttrId`]s.
+#[derive(Debug, Clone)]
+pub struct AttrGen {
+    next: u32,
+}
+
+impl AttrGen {
+    /// Start allocating at `first` (must be above all catalog attributes).
+    pub fn new(first: u32) -> Self {
+        AttrGen { next: first }
+    }
+
+    pub fn fresh(&mut self) -> AttrId {
+        let id = AttrId(self.next);
+        self.next += 1;
+        id
+    }
+}
+
+/// An ordered list of attributes describing the columns of a relation.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    attrs: Vec<AttrId>,
+}
+
+impl Schema {
+    pub fn new(attrs: Vec<AttrId>) -> Self {
+        debug_assert!(
+            {
+                let mut s = attrs.clone();
+                s.sort_unstable();
+                s.windows(2).all(|w| w[0] != w[1])
+            },
+            "duplicate attribute in schema: {attrs:?}"
+        );
+        Schema { attrs }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    #[inline]
+    pub fn attrs(&self) -> &[AttrId] {
+        &self.attrs
+    }
+
+    /// Column position of `attr`, if present.
+    #[inline]
+    pub fn pos(&self, attr: AttrId) -> Option<usize> {
+        self.attrs.iter().position(|&a| a == attr)
+    }
+
+    /// Column position of `attr`; panics if absent (programming error).
+    #[inline]
+    #[track_caller]
+    pub fn pos_of(&self, attr: AttrId) -> usize {
+        match self.pos(attr) {
+            Some(p) => p,
+            None => panic!("attribute {attr} not in schema {:?}", self.attrs),
+        }
+    }
+
+    pub fn contains(&self, attr: AttrId) -> bool {
+        self.pos(attr).is_some()
+    }
+
+    /// Schema of the concatenation `self ◦ other`.
+    pub fn concat(&self, other: &Schema) -> Schema {
+        let mut attrs = Vec::with_capacity(self.len() + other.len());
+        attrs.extend_from_slice(&self.attrs);
+        attrs.extend_from_slice(&other.attrs);
+        Schema::new(attrs)
+    }
+
+    /// Schema extended by new attributes.
+    pub fn extend(&self, extra: &[AttrId]) -> Schema {
+        let mut attrs = Vec::with_capacity(self.len() + extra.len());
+        attrs.extend_from_slice(&self.attrs);
+        attrs.extend_from_slice(extra);
+        Schema::new(attrs)
+    }
+}
+
+impl FromIterator<AttrId> for Schema {
+    fn from_iter<T: IntoIterator<Item = AttrId>>(iter: T) -> Self {
+        Schema::new(iter.into_iter().collect())
+    }
+}
+
+/// A tuple: values positionally aligned with a [`Schema`].
+pub type Tuple = Box<[Value]>;
+
+/// Concatenate two tuples (`r ◦ s` in the paper's notation).
+pub fn concat_tuples(left: &[Value], right: &[Value]) -> Tuple {
+    let mut out = Vec::with_capacity(left.len() + right.len());
+    out.extend_from_slice(left);
+    out.extend_from_slice(right);
+    out.into_boxed_slice()
+}
+
+/// The all-NULL tuple `⊥_A` for a schema of `n` attributes.
+pub fn null_tuple(n: usize) -> Tuple {
+    vec![Value::Null; n].into_boxed_slice()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_positions() {
+        let s = Schema::new(vec![AttrId(3), AttrId(7), AttrId(1)]);
+        assert_eq!(Some(1), s.pos(AttrId(7)));
+        assert_eq!(None, s.pos(AttrId(2)));
+        assert_eq!(2, s.pos_of(AttrId(1)));
+        assert!(s.contains(AttrId(3)));
+        assert_eq!(3, s.len());
+    }
+
+    #[test]
+    fn schema_concat() {
+        let a = Schema::new(vec![AttrId(0), AttrId(1)]);
+        let b = Schema::new(vec![AttrId(2)]);
+        assert_eq!(Schema::new(vec![AttrId(0), AttrId(1), AttrId(2)]), a.concat(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "not in schema")]
+    fn pos_of_panics_on_missing() {
+        Schema::new(vec![AttrId(0)]).pos_of(AttrId(9));
+    }
+
+    #[test]
+    fn fresh_attrs_are_distinct() {
+        let mut g = AttrGen::new(100);
+        let a = g.fresh();
+        let b = g.fresh();
+        assert_ne!(a, b);
+        assert_eq!(AttrId(100), a);
+    }
+
+    #[test]
+    fn tuple_helpers() {
+        let t = concat_tuples(&[Value::Int(1)], &[Value::Int(2), Value::Null]);
+        assert_eq!(3, t.len());
+        let n = null_tuple(2);
+        assert!(n.iter().all(Value::is_null));
+    }
+}

@@ -1,0 +1,204 @@
+//! SQL-style values with three-valued NULL semantics.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A single attribute value.
+///
+/// `Null` models the SQL NULL. Comparison semantics are context dependent:
+/// join predicates use [`Value::sql_eq`] (NULL never matches), while grouping
+/// and duplicate elimination use the null-tolerant [`Eq`] implementation
+/// ("two attributes are equal if they agree in value or they are both null",
+/// §2.3 of the paper, following Paulley).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Value {
+    Null,
+    Int(i64),
+    /// Fixed-point decimal with 4 fractional digits, stored scaled by 10^4.
+    /// Used for `avg` results and TPC-H money columns; avoids `f64` hashing
+    /// pitfalls while still supporting division.
+    Dec(i64),
+    Str(Box<str>),
+}
+
+impl Value {
+    /// SQL equality: `NULL = x` is unknown (treated as false in predicates).
+    #[inline]
+    pub fn sql_eq(&self, other: &Value) -> bool {
+        if self.is_null() || other.is_null() {
+            return false;
+        }
+        self == other
+    }
+
+    /// SQL comparison for theta predicates; `None` when either side is NULL.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        if self.is_null() || other.is_null() {
+            return None;
+        }
+        Some(self.total_cmp(other))
+    }
+
+    /// Total order used for canonicalization (sorting relations in tests).
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Less,
+            (_, Null) => Ordering::Greater,
+            (Int(a), Int(b)) => a.cmp(b),
+            (Dec(a), Dec(b)) => a.cmp(b),
+            (Int(a), Dec(b)) => (a.saturating_mul(DEC_SCALE)).cmp(b),
+            (Dec(a), Int(b)) => a.cmp(&b.saturating_mul(DEC_SCALE)),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Str(_), _) => Ordering::Greater,
+            (_, Str(_)) => Ordering::Less,
+        }
+    }
+
+    #[inline]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric value as a scaled decimal, if numeric.
+    pub fn as_dec(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(v.saturating_mul(DEC_SCALE)),
+            Value::Dec(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Integer value, if an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// NULL-propagating multiplication (used by `F ⊗ c` rewrites).
+    pub fn mul(&self, other: &Value) -> Value {
+        match (self.as_dec_kind(), other.as_dec_kind()) {
+            (Some((a, ad)), Some((b, bd))) => match (ad, bd) {
+                (false, false) => Value::Int(a.saturating_mul(b)),
+                (true, false) | (false, true) => Value::Dec(scaled(a, ad).saturating_mul(scaled(b, bd)) / DEC_SCALE),
+                (true, true) => Value::Dec(a.saturating_mul(b) / DEC_SCALE),
+            },
+            _ => Value::Null,
+        }
+    }
+
+    /// NULL-propagating addition.
+    pub fn add(&self, other: &Value) -> Value {
+        match (self.as_dec_kind(), other.as_dec_kind()) {
+            (Some((a, false)), Some((b, false))) => Value::Int(a.saturating_add(b)),
+            (Some((a, ad)), Some((b, bd))) => Value::Dec(scaled(a, ad).saturating_add(scaled(b, bd))),
+            _ => Value::Null,
+        }
+    }
+
+    /// NULL-propagating division producing a decimal; division by zero is NULL.
+    pub fn div(&self, other: &Value) -> Value {
+        match (self.as_dec(), other.as_dec()) {
+            (Some(_), Some(0)) => Value::Null,
+            (Some(a), Some(b)) => Value::Dec((a.saturating_mul(DEC_SCALE)) / b),
+            _ => Value::Null,
+        }
+    }
+
+    fn as_dec_kind(&self) -> Option<(i64, bool)> {
+        match self {
+            Value::Int(v) => Some((*v, false)),
+            Value::Dec(v) => Some((*v, true)),
+            _ => None,
+        }
+    }
+
+    pub fn str(s: impl Into<Box<str>>) -> Value {
+        Value::Str(s.into())
+    }
+}
+
+/// Scaling factor for [`Value::Dec`].
+pub const DEC_SCALE: i64 = 10_000;
+
+#[inline]
+fn scaled(v: i64, already: bool) -> i64 {
+    if already {
+        v
+    } else {
+        v.saturating_mul(DEC_SCALE)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "-"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Dec(v) => write!(f, "{}.{:04}", v / DEC_SCALE, (v % DEC_SCALE).abs()),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sql_eq_rejects_null() {
+        assert!(!Value::Null.sql_eq(&Value::Null));
+        assert!(!Value::Null.sql_eq(&Value::Int(1)));
+        assert!(Value::Int(3).sql_eq(&Value::Int(3)));
+        assert!(!Value::Int(3).sql_eq(&Value::Int(4)));
+    }
+
+    #[test]
+    fn grouping_eq_accepts_null() {
+        assert_eq!(Value::Null, Value::Null);
+        assert_ne!(Value::Null, Value::Int(0));
+    }
+
+    #[test]
+    fn arithmetic_propagates_null() {
+        assert!(Value::Null.mul(&Value::Int(2)).is_null());
+        assert!(Value::Int(2).add(&Value::Null).is_null());
+        assert_eq!(Value::Int(6), Value::Int(2).mul(&Value::Int(3)));
+        assert_eq!(Value::Int(5), Value::Int(2).add(&Value::Int(3)));
+    }
+
+    #[test]
+    fn decimal_division() {
+        let v = Value::Int(7).div(&Value::Int(2));
+        assert_eq!(Value::Dec(35_000), v);
+        assert!(Value::Int(1).div(&Value::Int(0)).is_null());
+    }
+
+    #[test]
+    fn mixed_numeric_compare() {
+        assert_eq!(Ordering::Equal, Value::Int(2).total_cmp(&Value::Dec(20_000)));
+        assert_eq!(Ordering::Less, Value::Int(1).total_cmp(&Value::Dec(20_000)));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!("-", Value::Null.to_string());
+        assert_eq!("3.5000", Value::Dec(35_000).to_string());
+        assert_eq!("abc", Value::str("abc").to_string());
+    }
+}

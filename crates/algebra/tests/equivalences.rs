@@ -1,0 +1,450 @@
+//! Property-based verification of the paper's equivalences (Fig. 3):
+//! for random relations, the left- and right-hand sides are constructed
+//! operator-by-operator and must be bag-equal.
+//!
+//! Naming follows the paper: `e1(g1, j1, a1)`, `e2(g2, j2, a2)`,
+//! `F = (c : count(*), b1 : sum(a1), n1 : count(a1), m1 : min(a1),
+//! b2 : sum(a2), x2 : max(a2))`, grouping on `G = {g1, g2}`,
+//! join predicate `j1 = j2`, `G⁺₁ = {g1, j1}`, `G⁺₂ = {g2, j2}`.
+
+use dpnext_algebra::ops::{
+    anti_join, full_outer_join, groupjoin, inner_join, left_outer_join, project, semi_join,
+    union_all, Defaults,
+};
+use dpnext_algebra::{group_by, AggCall, AggKind, AttrId, Expr, JoinPred, Relation, Value};
+use proptest::prelude::*;
+
+// Attribute layout (fixed ids keep the test readable).
+const G1: AttrId = AttrId(0);
+const J1: AttrId = AttrId(1);
+const A1: AttrId = AttrId(2);
+const G2: AttrId = AttrId(10);
+const J2: AttrId = AttrId(11);
+const A2: AttrId = AttrId(12);
+// Aggregate outputs.
+const C: AttrId = AttrId(20);
+const B1: AttrId = AttrId(21);
+const N1: AttrId = AttrId(22);
+const M1: AttrId = AttrId(23);
+const B2: AttrId = AttrId(24);
+const X2: AttrId = AttrId(25);
+// Partials and counts.
+const C1: AttrId = AttrId(30);
+const B1P: AttrId = AttrId(31);
+const N1P: AttrId = AttrId(32);
+const M1P: AttrId = AttrId(33);
+const C2: AttrId = AttrId(40);
+const B2P: AttrId = AttrId(41);
+const X2P: AttrId = AttrId(42);
+
+fn small_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        3 => (0i64..4).prop_map(Value::Int),
+        1 => Just(Value::Null),
+    ]
+}
+
+fn rel(attrs: [AttrId; 3], max_rows: usize) -> impl Strategy<Value = Relation> {
+    proptest::collection::vec([small_value(), small_value(), small_value()], 0..=max_rows)
+        .prop_map(move |rows| {
+            Relation::from_rows(
+                attrs.to_vec(),
+                rows.into_iter().map(|r| r.to_vec()).collect(),
+            )
+        })
+}
+
+fn e1() -> impl Strategy<Value = Relation> {
+    rel([G1, J1, A1], 6)
+}
+
+fn e2() -> impl Strategy<Value = Relation> {
+    rel([G2, J2, A2], 6)
+}
+
+fn pred() -> JoinPred {
+    JoinPred::eq(J1, J2)
+}
+
+/// The full aggregation vector `F` of the running example.
+fn f_vec() -> Vec<AggCall> {
+    vec![
+        AggCall::count_star(C),
+        AggCall::new(B1, AggKind::Sum, Expr::attr(A1)),
+        AggCall::new(N1, AggKind::Count, Expr::attr(A1)),
+        AggCall::new(M1, AggKind::Min, Expr::attr(A1)),
+        AggCall::new(B2, AggKind::Sum, Expr::attr(A2)),
+        AggCall::new(X2, AggKind::Max, Expr::attr(A2)),
+    ]
+}
+
+/// Inner grouping vector `F¹₁ ∘ (c1 : count(*))` for pushing into `e1`.
+fn f1_inner() -> Vec<AggCall> {
+    vec![
+        AggCall::count_star(C1),
+        AggCall::new(B1P, AggKind::Sum, Expr::attr(A1)),
+        AggCall::new(N1P, AggKind::Count, Expr::attr(A1)),
+        AggCall::new(M1P, AggKind::Min, Expr::attr(A1)),
+    ]
+}
+
+/// Outer vector `(F₂ ⊗ c1) ∘ F²₁` after pushing into `e1` (Eqv. 10 ff.).
+fn f1_outer() -> Vec<AggCall> {
+    vec![
+        AggCall::new(C, AggKind::Sum, Expr::attr(C1)),
+        AggCall::new(B1, AggKind::Sum, Expr::attr(B1P)),
+        AggCall::new(N1, AggKind::Sum, Expr::attr(N1P)),
+        AggCall::new(M1, AggKind::Min, Expr::attr(M1P)),
+        // F₂ ⊗ c1: sum(a2) → sum(a2 * c1); max is duplicate agnostic.
+        AggCall::new(B2, AggKind::Sum, Expr::attr(A2).mul(Expr::attr(C1))),
+        AggCall::new(X2, AggKind::Max, Expr::attr(A2)),
+    ]
+}
+
+/// Inner grouping vector `F¹₂ ∘ (c2 : count(*))` for pushing into `e2`.
+fn f2_inner() -> Vec<AggCall> {
+    vec![
+        AggCall::count_star(C2),
+        AggCall::new(B2P, AggKind::Sum, Expr::attr(A2)),
+        AggCall::new(X2P, AggKind::Max, Expr::attr(A2)),
+    ]
+}
+
+/// Outer vector `(F₁ ⊗ c2) ∘ F²₂` after pushing into `e2`.
+fn f2_outer() -> Vec<AggCall> {
+    vec![
+        AggCall::new(C, AggKind::Sum, Expr::attr(C2)),
+        AggCall::new(B1, AggKind::Sum, Expr::attr(A1).mul(Expr::attr(C2))),
+        AggCall::new(
+            N1,
+            AggKind::Sum,
+            Expr::IfNull(A1, Box::new(Expr::int(0)), Box::new(Expr::attr(C2))),
+        ),
+        AggCall::new(M1, AggKind::Min, Expr::attr(A1)),
+        AggCall::new(B2, AggKind::Sum, Expr::attr(B2P)),
+        AggCall::new(X2, AggKind::Max, Expr::attr(X2P)),
+    ]
+}
+
+/// `F¹₁({⊥}), c1 : 1` — the default vector when the pre-aggregated `e1`
+/// side is padded by a full outerjoin (Eqv. 12).
+fn d1_defaults() -> Defaults {
+    vec![
+        (C1, Value::Int(1)),
+        (B1P, Value::Null),
+        (N1P, Value::Int(0)),
+        (M1P, Value::Null),
+    ]
+}
+
+/// `F¹₂({⊥}), c2 : 1` (Eqvs. 14/15).
+fn d2_defaults() -> Defaults {
+    vec![(C2, Value::Int(1)), (B2P, Value::Null), (X2P, Value::Null)]
+}
+
+fn lhs(join: impl Fn(&Relation, &Relation) -> Relation, r1: &Relation, r2: &Relation) -> Relation {
+    group_by(&join(r1, r2), &[G1, G2], &f_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Eqv. 10 — Eager/Lazy Groupby-Count, inner join, push left.
+    #[test]
+    fn eqv10_join_push_left(r1 in e1(), r2 in e2()) {
+        let left = lhs(|a, b| inner_join(a, b, &pred()), &r1, &r2);
+        let inner = group_by(&r1, &[G1, J1], &f1_inner());
+        let right = group_by(&inner_join(&inner, &r2, &pred()), &[G1, G2], &f1_outer());
+        prop_assert!(left.bag_eq(&right), "lhs:\n{left}\nrhs:\n{right}");
+    }
+
+    /// Eqv. 13 — inner join, push right.
+    #[test]
+    fn eqv13_join_push_right(r1 in e1(), r2 in e2()) {
+        let left = lhs(|a, b| inner_join(a, b, &pred()), &r1, &r2);
+        let inner = group_by(&r2, &[G2, J2], &f2_inner());
+        let right = group_by(&inner_join(&r1, &inner, &pred()), &[G1, G2], &f2_outer());
+        prop_assert!(left.bag_eq(&right));
+    }
+
+    /// Eqv. 11 — left outerjoin, push left (no defaults needed).
+    #[test]
+    fn eqv11_left_outer_push_left(r1 in e1(), r2 in e2()) {
+        let left = lhs(|a, b| left_outer_join(a, b, &pred(), &vec![]), &r1, &r2);
+        let inner = group_by(&r1, &[G1, J1], &f1_inner());
+        let right = group_by(
+            &left_outer_join(&inner, &r2, &pred(), &vec![]),
+            &[G1, G2],
+            &f1_outer(),
+        );
+        prop_assert!(left.bag_eq(&right));
+    }
+
+    /// Eqv. 14 — left outerjoin, push right, with `F¹₂({⊥}), c2 : 1`
+    /// defaults on the padded side.
+    #[test]
+    fn eqv14_left_outer_push_right(r1 in e1(), r2 in e2()) {
+        let left = lhs(|a, b| left_outer_join(a, b, &pred(), &vec![]), &r1, &r2);
+        let inner = group_by(&r2, &[G2, J2], &f2_inner());
+        let right = group_by(
+            &left_outer_join(&r1, &inner, &pred(), &d2_defaults()),
+            &[G1, G2],
+            &f2_outer(),
+        );
+        prop_assert!(left.bag_eq(&right), "lhs:\n{left}\nrhs:\n{right}");
+    }
+
+    /// Eqv. 12 — full outerjoin, push left, defaults on the left columns.
+    #[test]
+    fn eqv12_full_outer_push_left(r1 in e1(), r2 in e2()) {
+        let left = lhs(|a, b| full_outer_join(a, b, &pred(), &vec![], &vec![]), &r1, &r2);
+        let inner = group_by(&r1, &[G1, J1], &f1_inner());
+        let right = group_by(
+            &full_outer_join(&inner, &r2, &pred(), &d1_defaults(), &vec![]),
+            &[G1, G2],
+            &f1_outer(),
+        );
+        prop_assert!(left.bag_eq(&right), "lhs:\n{left}\nrhs:\n{right}");
+    }
+
+    /// Eqv. 15 — full outerjoin, push right.
+    #[test]
+    fn eqv15_full_outer_push_right(r1 in e1(), r2 in e2()) {
+        let left = lhs(|a, b| full_outer_join(a, b, &pred(), &vec![], &vec![]), &r1, &r2);
+        let inner = group_by(&r2, &[G2, J2], &f2_inner());
+        let right = group_by(
+            &full_outer_join(&r1, &inner, &pred(), &vec![], &d2_defaults()),
+            &[G1, G2],
+            &f2_outer(),
+        );
+        prop_assert!(left.bag_eq(&right));
+    }
+
+    /// Eqv. 36 — Eager/Lazy Split on the full outerjoin: push into both
+    /// sides, adjust each side's partials by the other side's count.
+    #[test]
+    fn eqv36_full_outer_split(r1 in e1(), r2 in e2()) {
+        let left = lhs(|a, b| full_outer_join(a, b, &pred(), &vec![], &vec![]), &r1, &r2);
+        let i1 = group_by(&r1, &[G1, J1], &f1_inner());
+        let i2 = group_by(&r2, &[G2, J2], &f2_inner());
+        let joined = full_outer_join(&i1, &i2, &pred(), &d1_defaults(), &d2_defaults());
+        let outer = vec![
+            AggCall::new(C, AggKind::Sum, Expr::attr(C1).mul(Expr::attr(C2))),
+            AggCall::new(B1, AggKind::Sum, Expr::attr(B1P).mul(Expr::attr(C2))),
+            AggCall::new(N1, AggKind::Sum, Expr::attr(N1P).mul(Expr::attr(C2))),
+            AggCall::new(M1, AggKind::Min, Expr::attr(M1P)),
+            AggCall::new(B2, AggKind::Sum, Expr::attr(B2P).mul(Expr::attr(C1))),
+            AggCall::new(X2, AggKind::Max, Expr::attr(X2P)),
+        ];
+        let right = group_by(&joined, &[G1, G2], &outer);
+        prop_assert!(left.bag_eq(&right), "lhs:\n{left}\nrhs:\n{right}");
+    }
+
+    /// Eqv. 34 — Eager/Lazy Split on the inner join.
+    #[test]
+    fn eqv34_join_split(r1 in e1(), r2 in e2()) {
+        let left = lhs(|a, b| inner_join(a, b, &pred()), &r1, &r2);
+        let i1 = group_by(&r1, &[G1, J1], &f1_inner());
+        let i2 = group_by(&r2, &[G2, J2], &f2_inner());
+        let joined = inner_join(&i1, &i2, &pred());
+        let outer = vec![
+            AggCall::new(C, AggKind::Sum, Expr::attr(C1).mul(Expr::attr(C2))),
+            AggCall::new(B1, AggKind::Sum, Expr::attr(B1P).mul(Expr::attr(C2))),
+            AggCall::new(N1, AggKind::Sum, Expr::attr(N1P).mul(Expr::attr(C2))),
+            AggCall::new(M1, AggKind::Min, Expr::attr(M1P)),
+            AggCall::new(B2, AggKind::Sum, Expr::attr(B2P).mul(Expr::attr(C1))),
+            AggCall::new(X2, AggKind::Max, Expr::attr(X2P)),
+        ];
+        let right = group_by(&joined, &[G1, G2], &outer);
+        prop_assert!(left.bag_eq(&right));
+    }
+
+    /// Eqv. 37 — semijoin: grouping commutes when the left join attributes
+    /// are grouping attributes (`F(q) ∩ A(e1) ⊆ G`).
+    #[test]
+    fn eqv37_semijoin(r1 in e1(), r2 in e2()) {
+        let f1_only = vec![
+            AggCall::count_star(C),
+            AggCall::new(B1, AggKind::Sum, Expr::attr(A1)),
+            AggCall::new(M1, AggKind::Min, Expr::attr(A1)),
+        ];
+        let g = [G1, J1];
+        let left = group_by(&semi_join(&r1, &r2, &pred()), &g, &f1_only);
+        let right = semi_join(&group_by(&r1, &g, &f1_only), &r2, &pred());
+        prop_assert!(left.bag_eq(&right));
+    }
+
+    /// Eqv. 38 — antijoin, same side condition.
+    #[test]
+    fn eqv38_antijoin(r1 in e1(), r2 in e2()) {
+        let f1_only = vec![
+            AggCall::count_star(C),
+            AggCall::new(B1, AggKind::Sum, Expr::attr(A1)),
+        ];
+        let g = [G1, J1];
+        let left = group_by(&anti_join(&r1, &r2, &pred()), &g, &f1_only);
+        let right = anti_join(&group_by(&r1, &g, &f1_only), &r2, &pred());
+        prop_assert!(left.bag_eq(&right));
+    }
+
+    /// Eqv. 39 — groupjoin: push the grouping into the left argument
+    /// (with the groupby-count adjustment).
+    #[test]
+    fn eqv39_groupjoin_push_left(r1 in e1(), r2 in e2()) {
+        let gj_aggs = vec![AggCall::new(AttrId(50), AggKind::Sum, Expr::attr(A2))];
+        // F references a1 and the groupjoin output.
+        let f = vec![
+            AggCall::count_star(C),
+            AggCall::new(B1, AggKind::Sum, Expr::attr(A1)),
+            AggCall::new(B2, AggKind::Sum, Expr::attr(AttrId(50))),
+        ];
+        let left = group_by(&groupjoin(&r1, &r2, &pred(), &gj_aggs), &[G1], &f);
+        // Push: Γ_{G⁺₁; F¹₁ ∘ c1}(e1), then the groupjoin, then the
+        // adjusted outer vector (the groupjoin output is "from e2": ⊗ c1).
+        let i1 = group_by(&r1, &[G1, J1], &f1_inner());
+        let outer = vec![
+            AggCall::new(C, AggKind::Sum, Expr::attr(C1)),
+            AggCall::new(B1, AggKind::Sum, Expr::attr(B1P)),
+            AggCall::new(B2, AggKind::Sum, Expr::attr(AttrId(50)).mul(Expr::attr(C1))),
+        ];
+        let right = group_by(&groupjoin(&i1, &r2, &pred(), &gj_aggs), &[G1], &outer);
+        prop_assert!(left.bag_eq(&right), "lhs:\n{left}\nrhs:\n{right}");
+    }
+
+    /// Eqv. 98/100 — the groupjoin expressed via outerjoin + grouping,
+    /// with `count(*)(∅) := 1` fixed up through the default vector.
+    #[test]
+    fn eqv100_groupjoin_via_outerjoin(r1 in e1(), r2 in e2()) {
+        let gj_aggs = vec![
+            AggCall::new(AttrId(50), AggKind::Sum, Expr::attr(A2)),
+            AggCall::count_star(AttrId(51)),
+        ];
+        let left = groupjoin(&r1, &r2, &pred(), &gj_aggs);
+        // Π_C(e1 ⟕^{F({⊥})}_{j1=j2} Γ_{j2;F}(e2)), count default 0 → the
+        // groupjoin counts the empty bag as 0 (Definition 9 semantics).
+        let grouped = group_by(&r2, &[J2], &gj_aggs);
+        let defaults: Defaults = vec![(AttrId(50), Value::Null), (AttrId(51), Value::Int(0))];
+        let joined = left_outer_join(&r1, &grouped, &pred(), &defaults);
+        let right = project(&joined, &[G1, J1, A1, AttrId(50), AttrId(51)], false);
+        prop_assert!(left.bag_eq(&right), "lhs:\n{left}\nrhs:\n{right}");
+    }
+
+    /// Eqv. 45/46 — grouping distributes over union (with decomposable
+    /// aggregates re-combined).
+    #[test]
+    fn eqv46_group_over_union(r1 in e1(), r2 in rel([G1, J1, A1], 6)) {
+        let f1 = vec![
+            AggCall::count_star(C1),
+            AggCall::new(B1P, AggKind::Sum, Expr::attr(A1)),
+        ];
+        let f2 = vec![
+            AggCall::new(C, AggKind::Sum, Expr::attr(C1)),
+            AggCall::new(B1, AggKind::Sum, Expr::attr(B1P)),
+        ];
+        let direct = group_by(
+            &union_all(&r1, &r2),
+            &[G1],
+            &[AggCall::count_star(C), AggCall::new(B1, AggKind::Sum, Expr::attr(A1))],
+        );
+        let pieces = union_all(&group_by(&r1, &[G1], &f1), &group_by(&r2, &[G1], &f1));
+        let recombined = group_by(&pieces, &[G1], &f2);
+        prop_assert!(direct.bag_eq(&recombined));
+    }
+}
+
+/// The concrete worked example of Fig. 4 (Eqvs. 10 and 12).
+#[cfg(test)]
+mod fig4 {
+    use super::*;
+
+    fn fig4_e1() -> Relation {
+        Relation::from_ints(
+            vec![G1, J1, A1],
+            &[&[Some(1), Some(1), Some(2)], &[Some(1), Some(2), Some(4)], &[Some(1), Some(2), Some(8)]],
+        )
+    }
+
+    fn fig4_e2() -> Relation {
+        Relation::from_ints(
+            vec![G2, J2, A2],
+            &[&[Some(1), Some(1), Some(2)], &[Some(1), Some(1), Some(4)], &[Some(1), Some(2), Some(8)]],
+        )
+    }
+
+    fn fig4_f() -> Vec<AggCall> {
+        vec![
+            AggCall::count_star(C),
+            AggCall::new(B1, AggKind::Sum, Expr::attr(A1)),
+            AggCall::new(B2, AggKind::Sum, Expr::attr(A2)),
+        ]
+    }
+
+    /// `e4 = Γ_{g1,g2;F}(e3)`: a single tuple (1, 4, 16, 22).
+    #[test]
+    fn fig4_lazy_side() {
+        let e3 = inner_join(&fig4_e1(), &fig4_e2(), &pred());
+        assert_eq!(4, e3.len());
+        let e4 = group_by(&e3, &[G1, G2], &fig4_f());
+        let expect = Relation::from_ints(
+            vec![G1, G2, C, B1, B2],
+            &[&[Some(1), Some(1), Some(4), Some(16), Some(22)]],
+        );
+        assert!(e4.bag_eq(&expect), "got {e4}");
+    }
+
+    /// The eager side of Eqv. 10 reproduces the same single tuple, and the
+    /// inner grouping `e5 = Γ_{g1,j1;F¹}(e1)` has the paper's two tuples.
+    #[test]
+    fn fig4_eager_side() {
+        let inner_aggs = vec![
+            AggCall::count_star(C1),
+            AggCall::new(B1P, AggKind::Sum, Expr::attr(A1)),
+        ];
+        let e5 = group_by(&fig4_e1(), &[G1, J1], &inner_aggs);
+        let e5_expect = Relation::from_ints(
+            vec![G1, J1, C1, B1P],
+            &[&[Some(1), Some(1), Some(1), Some(2)], &[Some(1), Some(2), Some(2), Some(12)]],
+        );
+        assert!(e5.bag_eq(&e5_expect), "e5 = {e5}");
+
+        let e6 = inner_join(&e5, &fig4_e2(), &pred());
+        assert_eq!(3, e6.len()); // the paper's e6 has 3 tuples
+        let outer = vec![
+            AggCall::new(C, AggKind::Sum, Expr::attr(C1)),
+            AggCall::new(B1, AggKind::Sum, Expr::attr(B1P)),
+            AggCall::new(B2, AggKind::Sum, Expr::attr(A2).mul(Expr::attr(C1))),
+        ];
+        let e7 = group_by(&e6, &[G1, G2], &outer);
+        let expect = Relation::from_ints(
+            vec![G1, G2, C, B1, B2],
+            &[&[Some(1), Some(1), Some(4), Some(16), Some(22)]],
+        );
+        assert!(e7.bag_eq(&expect), "e7 = {e7}");
+    }
+
+    /// Eqv. 12 on the full Fig. 4 relations (including the tuples below
+    /// the separating line — here: all of them) with the outerjoin
+    /// defaults `F¹₁({⊥}), c1 : 1`.
+    #[test]
+    fn fig4_full_outer_with_defaults() {
+        let lhs = group_by(
+            &full_outer_join(&fig4_e1(), &fig4_e2(), &pred(), &vec![], &vec![]),
+            &[G1, G2],
+            &fig4_f(),
+        );
+        let inner_aggs = vec![
+            AggCall::count_star(C1),
+            AggCall::new(B1P, AggKind::Sum, Expr::attr(A1)),
+        ];
+        let e5 = group_by(&fig4_e1(), &[G1, J1], &inner_aggs);
+        let d1: Defaults = vec![(C1, Value::Int(1)), (B1P, Value::Null)];
+        let joined = full_outer_join(&e5, &fig4_e2(), &pred(), &d1, &vec![]);
+        let outer = vec![
+            AggCall::new(C, AggKind::Sum, Expr::attr(C1)),
+            AggCall::new(B1, AggKind::Sum, Expr::attr(B1P)),
+            AggCall::new(B2, AggKind::Sum, Expr::attr(A2).mul(Expr::attr(C1))),
+        ];
+        let rhs = group_by(&joined, &[G1, G2], &outer);
+        assert!(lhs.bag_eq(&rhs), "lhs:\n{lhs}\nrhs:\n{rhs}");
+    }
+}

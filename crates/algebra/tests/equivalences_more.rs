@@ -1,0 +1,259 @@
+//! Property-based verification of the *specialized* equivalence families
+//! of Fig. 3 — Eager/Lazy Group-by (16–21), Eager/Lazy Count (22–27),
+//! Double Eager/Lazy (28–33), the groupjoin simplifications (40–41) and
+//! the top-grouping elimination (42) — complementing the main families in
+//! `equivalences.rs`.
+
+use dpnext_algebra::ops::{full_outer_join, groupjoin, inner_join, left_outer_join, project, Defaults};
+use dpnext_algebra::{group_by, AggCall, AggKind, AttrId, Expr, JoinPred, Relation, Value};
+use proptest::prelude::*;
+
+const G1: AttrId = AttrId(0);
+const J1: AttrId = AttrId(1);
+const A1: AttrId = AttrId(2);
+const G2: AttrId = AttrId(10);
+const J2: AttrId = AttrId(11);
+const A2: AttrId = AttrId(12);
+const B1: AttrId = AttrId(21);
+const B2: AttrId = AttrId(24);
+const C1: AttrId = AttrId(30);
+const B1P: AttrId = AttrId(31);
+const C2: AttrId = AttrId(40);
+const B2P: AttrId = AttrId(41);
+
+fn small_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        3 => (0i64..4).prop_map(Value::Int),
+        1 => Just(Value::Null),
+    ]
+}
+
+fn rel(attrs: [AttrId; 3], max_rows: usize) -> impl Strategy<Value = Relation> {
+    proptest::collection::vec([small_value(), small_value(), small_value()], 0..=max_rows)
+        .prop_map(move |rows| {
+            Relation::from_rows(attrs.to_vec(), rows.into_iter().map(|r| r.to_vec()).collect())
+        })
+}
+
+fn e1() -> impl Strategy<Value = Relation> {
+    rel([G1, J1, A1], 6)
+}
+
+fn e2() -> impl Strategy<Value = Relation> {
+    rel([G2, J2, A2], 6)
+}
+
+fn pred() -> JoinPred {
+    JoinPred::eq(J1, J2)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Eqv. 16 — Eager/Lazy Group-by: `F₂` empty, no counts needed.
+    /// `Γ_{G;F}(e1 ⋈ e2) ≡ Γ_{G;F²₁}(Γ_{G⁺₁;F¹₁}(e1) ⋈ e2)`.
+    #[test]
+    fn eqv16_eager_groupby_left(r1 in e1(), r2 in e2()) {
+        let f = vec![
+            AggCall::new(B1, AggKind::Sum, Expr::attr(A1)),
+            AggCall::new(AttrId(22), AggKind::Min, Expr::attr(A1)),
+        ];
+        let lhs = group_by(&inner_join(&r1, &r2, &pred()), &[G1, G2], &f);
+        let inner = vec![
+            AggCall::new(B1P, AggKind::Sum, Expr::attr(A1)),
+            AggCall::new(AttrId(32), AggKind::Min, Expr::attr(A1)),
+        ];
+        let outer = vec![
+            AggCall::new(B1, AggKind::Sum, Expr::attr(B1P)),
+            AggCall::new(AttrId(22), AggKind::Min, Expr::attr(AttrId(32))),
+        ];
+        let rhs = group_by(
+            &inner_join(&group_by(&r1, &[G1, J1], &inner), &r2, &pred()),
+            &[G1, G2],
+            &outer,
+        );
+        prop_assert!(lhs.bag_eq(&rhs));
+    }
+
+    /// Eqv. 18 — full outerjoin with `F¹₁({⊥})` defaults only (no count).
+    #[test]
+    fn eqv18_eager_groupby_full_outer(r1 in e1(), r2 in e2()) {
+        let f = vec![AggCall::new(B1, AggKind::Sum, Expr::attr(A1))];
+        let lhs = group_by(
+            &full_outer_join(&r1, &r2, &pred(), &vec![], &vec![]),
+            &[G1, G2],
+            &f,
+        );
+        let inner = vec![AggCall::new(B1P, AggKind::Sum, Expr::attr(A1))];
+        let d1: Defaults = vec![(B1P, Value::Null)]; // F¹₁({⊥}) for sum
+        let rhs = group_by(
+            &full_outer_join(&group_by(&r1, &[G1, J1], &inner), &r2, &pred(), &d1, &vec![]),
+            &[G1, G2],
+            &[AggCall::new(B1, AggKind::Sum, Expr::attr(B1P))],
+        );
+        prop_assert!(lhs.bag_eq(&rhs));
+    }
+
+    /// Eqv. 22 — Eager/Lazy Count: `F₁` empty; only a count is pushed and
+    /// the other side's aggregates are `⊗`-adjusted.
+    #[test]
+    fn eqv22_eager_count_left(r1 in e1(), r2 in e2()) {
+        let f = vec![AggCall::new(B2, AggKind::Sum, Expr::attr(A2))];
+        let lhs = group_by(&inner_join(&r1, &r2, &pred()), &[G1, G2], &f);
+        let counted = group_by(&r1, &[G1, J1], &[AggCall::count_star(C1)]);
+        let rhs = group_by(
+            &inner_join(&counted, &r2, &pred()),
+            &[G1, G2],
+            &[AggCall::new(B2, AggKind::Sum, Expr::attr(A2).mul(Expr::attr(C1)))],
+        );
+        prop_assert!(lhs.bag_eq(&rhs));
+    }
+
+    /// Eqv. 26 — Eager/Lazy Count on the left outerjoin: defaults `c2 : 1`.
+    #[test]
+    fn eqv26_eager_count_outer_right(r1 in e1(), r2 in e2()) {
+        let f = vec![AggCall::new(B1, AggKind::Sum, Expr::attr(A1))];
+        let lhs = group_by(&left_outer_join(&r1, &r2, &pred(), &vec![]), &[G1, G2], &f);
+        let counted = group_by(&r2, &[G2, J2], &[AggCall::count_star(C2)]);
+        let d2: Defaults = vec![(C2, Value::Int(1))];
+        let rhs = group_by(
+            &left_outer_join(&r1, &counted, &pred(), &d2),
+            &[G1, G2],
+            &[AggCall::new(B1, AggKind::Sum, Expr::attr(A1).mul(Expr::attr(C2)))],
+        );
+        prop_assert!(lhs.bag_eq(&rhs));
+    }
+
+    /// Eqv. 28 — Double Eager/Lazy: group left for `F₁`, count right.
+    #[test]
+    fn eqv28_double_eager(r1 in e1(), r2 in e2()) {
+        let f = vec![AggCall::new(B1, AggKind::Sum, Expr::attr(A1))];
+        let lhs = group_by(&inner_join(&r1, &r2, &pred()), &[G1, G2], &f);
+        let left = group_by(&r1, &[G1, J1], &[AggCall::new(B1P, AggKind::Sum, Expr::attr(A1))]);
+        let right = group_by(&r2, &[G2, J2], &[AggCall::count_star(C2)]);
+        let rhs = group_by(
+            &inner_join(&left, &right, &pred()),
+            &[G1, G2],
+            &[AggCall::new(B1, AggKind::Sum, Expr::attr(B1P).mul(Expr::attr(C2)))],
+        );
+        prop_assert!(lhs.bag_eq(&rhs));
+    }
+
+    /// Eqv. 29 — Double Eager/Lazy on the left outerjoin.
+    #[test]
+    fn eqv29_double_eager_left_outer(r1 in e1(), r2 in e2()) {
+        let f = vec![AggCall::new(B1, AggKind::Sum, Expr::attr(A1))];
+        let lhs = group_by(&left_outer_join(&r1, &r2, &pred(), &vec![]), &[G1, G2], &f);
+        let left = group_by(&r1, &[G1, J1], &[AggCall::new(B1P, AggKind::Sum, Expr::attr(A1))]);
+        let right = group_by(&r2, &[G2, J2], &[AggCall::count_star(C2)]);
+        let d2: Defaults = vec![(C2, Value::Int(1))];
+        let rhs = group_by(
+            &left_outer_join(&left, &right, &pred(), &d2),
+            &[G1, G2],
+            &[AggCall::new(B1, AggKind::Sum, Expr::attr(B1P).mul(Expr::attr(C2)))],
+        );
+        prop_assert!(lhs.bag_eq(&rhs));
+    }
+
+    /// Eqv. 31 — Double Eager/Lazy, aggregates from the right side.
+    #[test]
+    fn eqv31_double_eager_right_aggs(r1 in e1(), r2 in e2()) {
+        let f = vec![AggCall::new(B2, AggKind::Sum, Expr::attr(A2))];
+        let lhs = group_by(&inner_join(&r1, &r2, &pred()), &[G1, G2], &f);
+        let left = group_by(&r1, &[G1, J1], &[AggCall::count_star(C1)]);
+        let right = group_by(&r2, &[G2, J2], &[AggCall::new(B2P, AggKind::Sum, Expr::attr(A2))]);
+        let rhs = group_by(
+            &inner_join(&left, &right, &pred()),
+            &[G1, G2],
+            &[AggCall::new(B2, AggKind::Sum, Expr::attr(B2P).mul(Expr::attr(C1)))],
+        );
+        prop_assert!(lhs.bag_eq(&rhs));
+    }
+
+    /// Eqv. 40 — groupjoin, `F₂` empty: plain partial aggregation of the
+    /// left input (no `⊗` needed).
+    #[test]
+    fn eqv40_groupjoin_groupby(r1 in e1(), r2 in e2()) {
+        let gj = vec![AggCall::new(AttrId(50), AggKind::Max, Expr::attr(A2))];
+        let f = vec![AggCall::new(B1, AggKind::Sum, Expr::attr(A1))];
+        let lhs = group_by(&groupjoin(&r1, &r2, &pred(), &gj), &[G1], &f);
+        let inner = group_by(&r1, &[G1, J1], &[AggCall::new(B1P, AggKind::Sum, Expr::attr(A1))]);
+        let rhs = group_by(
+            &groupjoin(&inner, &r2, &pred(), &gj),
+            &[G1],
+            &[AggCall::new(B1, AggKind::Sum, Expr::attr(B1P))],
+        );
+        prop_assert!(lhs.bag_eq(&rhs));
+    }
+
+    /// Eqv. 41 — groupjoin, `F₁` empty: push only a count, `⊗`-adjust the
+    /// aggregates over the groupjoin's output.
+    #[test]
+    fn eqv41_groupjoin_count(r1 in e1(), r2 in e2()) {
+        let gj = vec![AggCall::new(AttrId(50), AggKind::Sum, Expr::attr(A2))];
+        let f = vec![AggCall::new(B2, AggKind::Sum, Expr::attr(AttrId(50)))];
+        let lhs = group_by(&groupjoin(&r1, &r2, &pred(), &gj), &[G1], &f);
+        let counted = group_by(&r1, &[G1, J1], &[AggCall::count_star(C1)]);
+        let rhs = group_by(
+            &groupjoin(&counted, &r2, &pred(), &gj),
+            &[G1],
+            &[AggCall::new(B2, AggKind::Sum, Expr::attr(AttrId(50)).mul(Expr::attr(C1)))],
+        );
+        prop_assert!(lhs.bag_eq(&rhs));
+    }
+
+    /// Eqv. 42 — eliminating the top grouping: when `G` is a key of a
+    /// duplicate-free input, `Γ_{G;F}(e) ≡ Π_C(χ_F̂(e))`.
+    #[test]
+    fn eqv42_top_elimination(rows in proptest::collection::btree_set(0i64..50, 0..8)) {
+        // Build a duplicate-free relation keyed on G1.
+        let tuples: Vec<Vec<Value>> = rows
+            .into_iter()
+            .map(|k| vec![Value::Int(k), Value::Int(k % 5), Value::Int(k % 3)])
+            .collect();
+        let r = Relation::from_rows(vec![G1, J1, A1], tuples);
+        let f = vec![
+            AggCall::count_star(AttrId(60)),
+            AggCall::new(AttrId(61), AggKind::Sum, Expr::attr(A1)),
+            AggCall::new(AttrId(62), AggKind::Min, Expr::attr(A1)),
+        ];
+        let lhs = group_by(&r, &[G1], &f);
+        // χ_F̂: per-row single-value aggregates.
+        let mapped = dpnext_algebra::ops::map(
+            &r,
+            &[
+                (AttrId(60), Expr::int(1)),
+                (AttrId(61), Expr::attr(A1)),
+                (AttrId(62), Expr::attr(A1)),
+            ],
+        );
+        let rhs = project(&mapped, &[G1, AttrId(60), AttrId(61), AttrId(62)], false);
+        prop_assert!(lhs.bag_eq(&rhs));
+    }
+
+    /// Grouping by a *superset* of the grouping attributes then
+    /// re-grouping is the identity used throughout §4: partial groupings
+    /// compose.
+    #[test]
+    fn grouping_composition(r1 in e1()) {
+        let f = vec![
+            AggCall::count_star(AttrId(60)),
+            AggCall::new(B1, AggKind::Sum, Expr::attr(A1)),
+        ];
+        let direct = group_by(&r1, &[G1], &f);
+        let fine = group_by(
+            &r1,
+            &[G1, J1],
+            &[AggCall::count_star(C1), AggCall::new(B1P, AggKind::Sum, Expr::attr(A1))],
+        );
+        let recombined = group_by(
+            &fine,
+            &[G1],
+            &[
+                AggCall::new(AttrId(60), AggKind::Sum, Expr::attr(C1)),
+                AggCall::new(B1, AggKind::Sum, Expr::attr(B1P)),
+            ],
+        );
+        prop_assert!(direct.bag_eq(&recombined));
+    }
+}

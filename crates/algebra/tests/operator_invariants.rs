@@ -1,0 +1,153 @@
+//! Algebraic invariants of the operator implementations, checked on
+//! random relations: commutativity of `⋈`/`⟗`, the semijoin/antijoin
+//! partition, outerjoin containment, groupjoin arity, and idempotence of
+//! duplicate elimination.
+
+use dpnext_algebra::ops::{
+    anti_join, cross, full_outer_join, groupjoin, inner_join, left_outer_join, project,
+    semi_join, union_all,
+};
+use dpnext_algebra::{group_by, AggCall, AggKind, AttrId, Expr, JoinPred, Relation, Value};
+use proptest::prelude::*;
+
+const A1: AttrId = AttrId(0);
+const J1: AttrId = AttrId(1);
+const A2: AttrId = AttrId(10);
+const J2: AttrId = AttrId(11);
+
+fn small_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        3 => (0i64..4).prop_map(Value::Int),
+        1 => Just(Value::Null),
+    ]
+}
+
+fn rel(attrs: [AttrId; 2]) -> impl Strategy<Value = Relation> {
+    proptest::collection::vec([small_value(), small_value()], 0..=7).prop_map(move |rows| {
+        Relation::from_rows(attrs.to_vec(), rows.into_iter().map(|r| r.to_vec()).collect())
+    })
+}
+
+fn pred() -> JoinPred {
+    JoinPred::eq(J1, J2)
+}
+
+fn flipped() -> JoinPred {
+    JoinPred::eq(J2, J1)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `e1 ⋈ e2 ≡ e2 ⋈ e1` (up to column order).
+    #[test]
+    fn inner_join_commutes(r1 in rel([A1, J1]), r2 in rel([A2, J2])) {
+        let ab = inner_join(&r1, &r2, &pred());
+        let ba = inner_join(&r2, &r1, &flipped());
+        prop_assert!(ab.bag_eq(&ba));
+    }
+
+    /// `e1 ⟗ e2 ≡ e2 ⟗ e1`.
+    #[test]
+    fn full_outer_commutes(r1 in rel([A1, J1]), r2 in rel([A2, J2])) {
+        let ab = full_outer_join(&r1, &r2, &pred(), &vec![], &vec![]);
+        let ba = full_outer_join(&r2, &r1, &flipped(), &vec![], &vec![]);
+        prop_assert!(ab.bag_eq(&ba));
+    }
+
+    /// `(e1 ⋉ e2) ∪ (e1 ▷ e2) ≡ e1` — the semijoin/antijoin partition.
+    #[test]
+    fn semi_anti_partition(r1 in rel([A1, J1]), r2 in rel([A2, J2])) {
+        let semi = semi_join(&r1, &r2, &pred());
+        let anti = anti_join(&r1, &r2, &pred());
+        prop_assert!(union_all(&semi, &anti).bag_eq(&r1));
+    }
+
+    /// `e1 ⟕ e2 = (e1 ⋈ e2) ∪ ((e1 ▷ e2) × {⊥})` — Eqv. 5 verbatim.
+    #[test]
+    fn left_outer_definition(r1 in rel([A1, J1]), r2 in rel([A2, J2])) {
+        let lo = left_outer_join(&r1, &r2, &pred(), &vec![]);
+        let join = inner_join(&r1, &r2, &pred());
+        let nulls = Relation::from_ints(vec![A2, J2], &[&[None, None]]);
+        let padded = cross(&anti_join(&r1, &r2, &pred()), &nulls);
+        prop_assert!(lo.bag_eq(&union_all(&join, &padded)));
+    }
+
+    /// `e1 ⟗ e2 = (e1 ⟕ e2) ∪ ({⊥} × (e2 ▷ e1))` — Eqv. 6.
+    #[test]
+    fn full_outer_definition(r1 in rel([A1, J1]), r2 in rel([A2, J2])) {
+        let fo = full_outer_join(&r1, &r2, &pred(), &vec![], &vec![]);
+        let lo = left_outer_join(&r1, &r2, &pred(), &vec![]);
+        let nulls = Relation::from_ints(vec![A1, J1], &[&[None, None]]);
+        let right_orphans = cross(&nulls, &anti_join(&r2, &r1, &flipped()));
+        prop_assert!(fo.bag_eq(&union_all(&lo, &right_orphans)));
+    }
+
+    /// The groupjoin yields exactly one tuple per left tuple (Def. 9).
+    #[test]
+    fn groupjoin_arity(r1 in rel([A1, J1]), r2 in rel([A2, J2])) {
+        let gj = groupjoin(&r1, &r2, &pred(), &[AggCall::count_star(AttrId(30))]);
+        prop_assert_eq!(r1.len(), gj.len());
+        // Its count column sums to the inner-join cardinality.
+        let total: i64 = gj
+            .tuples()
+            .iter()
+            .map(|t| t[gj.schema().pos_of(AttrId(30))].as_int().unwrap())
+            .sum();
+        prop_assert_eq!(inner_join(&r1, &r2, &pred()).len() as i64, total);
+    }
+
+    /// Duplicate-removing projection is idempotent and its result is
+    /// duplicate-free.
+    #[test]
+    fn dedup_projection_idempotent(r1 in rel([A1, J1])) {
+        let once = project(&r1, &[A1], true);
+        prop_assert!(once.is_duplicate_free());
+        let twice = project(&once, &[A1], true);
+        prop_assert!(once.bag_eq(&twice));
+    }
+
+    /// Grouping then summing the per-group counts reproduces the input
+    /// cardinality.
+    #[test]
+    fn group_counts_partition_input(r1 in rel([A1, J1])) {
+        let g = group_by(&r1, &[A1], &[AggCall::count_star(AttrId(30))]);
+        let total: i64 = g
+            .tuples()
+            .iter()
+            .map(|t| t[g.schema().pos_of(AttrId(30))].as_int().unwrap())
+            .sum();
+        prop_assert_eq!(r1.len() as i64, total);
+        // Group keys are unique.
+        prop_assert!(project(&g, &[A1], false).is_duplicate_free());
+    }
+
+    /// Hash and nested-loop join paths agree on arbitrary inputs (the
+    /// nested-loop path is forced via a redundant theta term).
+    #[test]
+    fn join_paths_agree(r1 in rel([A1, J1]), r2 in rel([A2, J2])) {
+        use dpnext_algebra::CmpOp;
+        let fast = inner_join(&r1, &r2, &pred());
+        let theta = JoinPred::eq(J1, J2).and(J1, CmpOp::Le, J2);
+        let slow = inner_join(&r1, &r2, &theta);
+        prop_assert!(fast.bag_eq(&slow));
+    }
+
+    /// `sum`/`min`/`max` over a group never depend on tuple order.
+    #[test]
+    fn aggregation_is_order_insensitive(r1 in rel([A1, J1])) {
+        let aggs = vec![
+            AggCall::new(AttrId(30), AggKind::Sum, Expr::attr(J1)),
+            AggCall::new(AttrId(31), AggKind::Min, Expr::attr(J1)),
+            AggCall::new(AttrId(32), AggKind::Max, Expr::attr(J1)),
+            AggCall::new(AttrId(33), AggKind::Count, Expr::attr(J1)),
+        ];
+        let forward = group_by(&r1, &[A1], &aggs);
+        let reversed_rel = Relation::from_rows(
+            r1.schema().attrs().to_vec(),
+            r1.tuples().iter().rev().map(|t| t.to_vec()).collect(),
+        );
+        let backward = group_by(&reversed_rel, &[A1], &aggs);
+        prop_assert!(forward.bag_eq(&backward));
+    }
+}

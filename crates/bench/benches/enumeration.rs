@@ -1,0 +1,59 @@
+//! Microbenchmarks for the csg-cmp-pair enumerator (DPhyp substrate).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dpnext_hypergraph::{count_ccps, Hypergraph};
+
+fn chain(n: usize) -> Hypergraph {
+    let mut g = Hypergraph::new(n);
+    for i in 0..n - 1 {
+        g.add_simple(i, i + 1, i);
+    }
+    g
+}
+
+fn star(n: usize) -> Hypergraph {
+    let mut g = Hypergraph::new(n);
+    for i in 1..n {
+        g.add_simple(0, i, i - 1);
+    }
+    g
+}
+
+fn clique(n: usize) -> Hypergraph {
+    let mut g = Hypergraph::new(n);
+    let mut label = 0;
+    for i in 0..n {
+        for j in i + 1..n {
+            g.add_simple(i, j, label);
+            label += 1;
+        }
+    }
+    g
+}
+
+fn bench_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ccp_enumeration");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for n in [10usize, 16, 20] {
+        group.bench_function(format!("chain_{n}"), |b| {
+            let g = chain(n);
+            b.iter(|| black_box(count_ccps(&g)))
+        });
+        group.bench_function(format!("star_{n}"), |b| {
+            let g = star(n);
+            b.iter(|| black_box(count_ccps(&g)))
+        });
+    }
+    for n in [8usize, 10, 12] {
+        group.bench_function(format!("clique_{n}"), |b| {
+            let g = clique(n);
+            b.iter(|| black_box(count_ccps(&g)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_enumeration);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Microbenchmarks for the algebra interpreter (joins, grouping).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dpnext_algebra::ops::{full_outer_join, inner_join};
+use dpnext_algebra::{group_by, AggCall, AggKind, AttrId, Expr, JoinPred, Relation, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn table(attrs: [u32; 2], rows: usize, domain: i64, seed: u64) -> Relation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rows = (0..rows)
+        .map(|_| vec![Value::Int(rng.gen_range(0..domain)), Value::Int(rng.gen_range(0..domain))])
+        .collect();
+    Relation::from_rows(vec![AttrId(attrs[0]), AttrId(attrs[1])], rows)
+}
+
+fn bench_executor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("executor");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let l = table([0, 1], 5_000, 500, 1);
+    let r = table([2, 3], 5_000, 500, 2);
+    let pred = JoinPred::eq(AttrId(0), AttrId(2));
+    group.bench_function("hash_join_5k_x_5k", |b| {
+        b.iter(|| black_box(inner_join(&l, &r, &pred).len()))
+    });
+    // The full outerjoin is nested-loop (it must track matches on both
+    // sides); bench a smaller instance.
+    let ls = table([0, 1], 1_000, 200, 3);
+    let rs = table([2, 3], 1_000, 200, 4);
+    group.bench_function("full_outer_1k_x_1k", |b| {
+        b.iter(|| black_box(full_outer_join(&ls, &rs, &pred, &vec![], &vec![]).len()))
+    });
+    let aggs = vec![
+        AggCall::count_star(AttrId(9)),
+        AggCall::new(AttrId(8), AggKind::Sum, Expr::attr(AttrId(1))),
+    ];
+    group.bench_function("group_by_5k", |b| {
+        b.iter(|| black_box(group_by(&l, &[AttrId(0)], &aggs).len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_executor);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Microbenchmarks for the five plan generators on fixed random queries.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dpnext_core::{optimize, Algorithm};
+use dpnext_workload::{generate_query, GenConfig};
+
+fn bench_optimizers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimize");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for n in [5usize, 8, 10] {
+        let query = generate_query(&GenConfig::paper(n), 4242);
+        group.bench_function(format!("dphyp_n{n}"), |b| {
+            b.iter(|| black_box(optimize(&query, Algorithm::DPhyp).plan.cost))
+        });
+        group.bench_function(format!("h1_n{n}"), |b| {
+            b.iter(|| black_box(optimize(&query, Algorithm::H1).plan.cost))
+        });
+        group.bench_function(format!("h2_n{n}"), |b| {
+            b.iter(|| black_box(optimize(&query, Algorithm::H2(1.03)).plan.cost))
+        });
+        if n <= 8 {
+            group.bench_function(format!("ea_prune_n{n}"), |b| {
+                b.iter(|| black_box(optimize(&query, Algorithm::EaPrune).plan.cost))
+            });
+        }
+        if n <= 6 {
+            group.bench_function(format!("ea_all_n{n}"), |b| {
+                b.iter(|| black_box(optimize(&query, Algorithm::EaAll).plan.cost))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimizers);
+criterion_main!(benches);

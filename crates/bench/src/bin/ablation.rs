@@ -1,0 +1,84 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! 1. **Dominance criteria** (§4.6): full (cost + card + keys) vs
+//!    cost+card vs cost-only pruning — how much optimality each weaker
+//!    criterion sacrifices, and how much table size it saves.
+//! 2. **Groupjoin fusion** (§A.5.1): how often the post-pass fires on
+//!    optimized plans and what it does to plan size.
+//!
+//! Usage: `ablation [--queries N] [--min N] [--max N] [--seed S]`.
+
+use dpnext_bench::Args;
+use dpnext_core::{
+    fuse_groupjoins, optimize, optimize_with_pruning, Algorithm, DominanceKind,
+};
+use dpnext_workload::{generate_query, GenConfig};
+
+fn main() {
+    let args = Args::parse(40, 3, 7);
+
+    println!("# Ablation 1 — dominance criteria vs optimality (reference: EA-All)");
+    println!(
+        "{:>4} {:>22} {:>22} {:>22}",
+        "n", "full (paper)", "cost+card", "cost-only"
+    );
+    println!(
+        "{:>4} {:>11}{:>11} {:>11}{:>11} {:>11}{:>11}",
+        "", "subopt%", "plans", "subopt%", "plans", "subopt%", "plans"
+    );
+    for n in args.min_n..=args.max_n {
+        let cfg = GenConfig::paper(n);
+        let mut subopt = [0usize; 3];
+        let mut plans = [0u64; 3];
+        for q in 0..args.queries {
+            let seed = args.seed + (n * 1000 + q) as u64;
+            let query = generate_query(&cfg, seed);
+            let best = optimize(&query, Algorithm::EaAll).plan.cost;
+            for (i, kind) in
+                [DominanceKind::Full, DominanceKind::CostCard, DominanceKind::CostOnly]
+                    .into_iter()
+                    .enumerate()
+            {
+                let r = optimize_with_pruning(&query, kind);
+                if r.plan.cost > best * (1.0 + 1e-9) {
+                    subopt[i] += 1;
+                }
+                plans[i] += r.retained_plans;
+            }
+        }
+        print!("{n:>4}");
+        for i in 0..3 {
+            print!(
+                " {:>10.1}%{:>11}",
+                100.0 * subopt[i] as f64 / args.queries as f64,
+                plans[i] / args.queries as u64
+            );
+        }
+        println!();
+    }
+
+    println!("\n# Ablation 2 — groupjoin fusion on optimized plans (EA-Prune)");
+    println!(
+        "{:>4} {:>10} {:>14} {:>16}",
+        "n", "fusions", "plans w/ Z", "Γ removed [%]"
+    );
+    for n in args.min_n..=args.max_n + 3 {
+        let cfg = GenConfig::paper(n);
+        let (mut fusions, mut with_z, mut groupings, mut removed) = (0usize, 0usize, 0usize, 0usize);
+        for q in 0..args.queries {
+            let seed = args.seed + (n * 2000 + q) as u64;
+            let query = generate_query(&cfg, seed);
+            let opt = optimize(&query, Algorithm::H1); // heuristics scale to all n
+            let (_, k) = fuse_groupjoins(&opt.plan.root);
+            fusions += k;
+            with_z += usize::from(k > 0);
+            groupings += opt.plan.root.grouping_count();
+            removed += k;
+        }
+        println!(
+            "{n:>4} {fusions:>10} {:>13}% {:>15.1}%",
+            100 * with_z / args.queries,
+            100.0 * removed as f64 / groupings.max(1) as f64
+        );
+    }
+}

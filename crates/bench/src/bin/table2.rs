@@ -1,0 +1,73 @@
+//! Table 2: optimization time and relative plan cost of EA(-Prune), H1,
+//! H2 and DPhyp on the TPC-H queries Ex, Q3, Q5 and Q10 (SF-1 statistics).
+
+use dpnext_core::{optimize, Algorithm, Optimized};
+use dpnext_workload::table2_queries;
+
+fn run(q: &dpnext_workload::TpchQuery, algo: Algorithm, reps: u32) -> (Optimized, f64) {
+    // Median-of-N timing: optimization is microseconds-fast, so repeat.
+    let mut best: Option<Optimized> = None;
+    let mut times = Vec::with_capacity(reps as usize);
+    for _ in 0..reps {
+        let r = optimize(&q.query, algo);
+        times.push(r.elapsed.as_secs_f64() * 1e3);
+        best = Some(r);
+    }
+    times.sort_by(f64::total_cmp);
+    (best.unwrap(), times[times.len() / 2])
+}
+
+fn main() {
+    let reps: u32 = std::env::args()
+        .nth(2)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(11);
+    let queries = table2_queries();
+    println!("# Table 2 — TPC-H optimization time [ms] and cost relative to DPhyp");
+    println!(
+        "{:<22} {:>10} {:>10} {:>10} {:>10}",
+        "metric", "Ex", "Q3", "Q5", "Q10"
+    );
+
+    let mut rows: Vec<(String, Vec<f64>)> = vec![
+        ("Time EA [ms]".into(), vec![]),
+        ("Time H1 [ms]".into(), vec![]),
+        ("Time H2 [ms]".into(), vec![]),
+        ("Time DPhyp [ms]".into(), vec![]),
+        ("Rel. Time EA/DPhyp".into(), vec![]),
+        ("Rel. Time H1/DPhyp".into(), vec![]),
+        ("Rel. Time H2/DPhyp".into(), vec![]),
+        ("Rel. Cost EA/DPhyp".into(), vec![]),
+        ("Rel. Cost H1/DPhyp".into(), vec![]),
+        ("Rel. Cost H2/DPhyp".into(), vec![]),
+    ];
+
+    for q in &queries {
+        let (ea, t_ea) = run(q, Algorithm::EaPrune, reps);
+        let (h1, t_h1) = run(q, Algorithm::H1, reps);
+        let (h2, t_h2) = run(q, Algorithm::H2(1.03), reps);
+        let (dp, t_dp) = run(q, Algorithm::DPhyp, reps);
+        rows[0].1.push(t_ea);
+        rows[1].1.push(t_h1);
+        rows[2].1.push(t_h2);
+        rows[3].1.push(t_dp);
+        rows[4].1.push(t_ea / t_dp);
+        rows[5].1.push(t_h1 / t_dp);
+        rows[6].1.push(t_h2 / t_dp);
+        rows[7].1.push(ea.plan.cost / dp.plan.cost);
+        rows[8].1.push(h1.plan.cost / dp.plan.cost);
+        rows[9].1.push(h2.plan.cost / dp.plan.cost);
+    }
+
+    for (label, vals) in rows {
+        print!("{label:<22}");
+        for v in vals {
+            if v >= 0.01 {
+                print!(" {v:>10.3}");
+            } else {
+                print!(" {v:>10.2e}");
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,175 @@
+//! A schema catalog: named relations with attributes, statistics and keys.
+
+use dpnext_algebra::{AttrGen, AttrId};
+use dpnext_query::QueryTable;
+use std::collections::HashMap;
+
+/// One attribute of a catalog relation.
+#[derive(Debug, Clone)]
+pub struct CatAttr {
+    pub name: String,
+    pub id: AttrId,
+    /// Estimated distinct values.
+    pub distinct: f64,
+}
+
+/// A catalog relation.
+#[derive(Debug, Clone)]
+pub struct CatRelation {
+    pub name: String,
+    pub card: f64,
+    pub attrs: Vec<CatAttr>,
+    /// Candidate keys (indices into `attrs`).
+    pub keys: Vec<Vec<usize>>,
+}
+
+impl CatRelation {
+    pub fn attr(&self, name: &str) -> &CatAttr {
+        self.attrs
+            .iter()
+            .find(|a| a.name == name)
+            .unwrap_or_else(|| panic!("no attribute {name} in {}", self.name))
+    }
+}
+
+/// A catalog: relations plus a fresh-attribute allocator for query
+/// instantiation.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    relations: Vec<CatRelation>,
+    by_name: HashMap<String, usize>,
+    next_attr: u32,
+}
+
+impl Catalog {
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Add a relation. `attrs` are `(name, distinct)`; `keys` are lists of
+    /// attribute names.
+    pub fn add_relation(
+        &mut self,
+        name: &str,
+        card: f64,
+        attrs: &[(&str, f64)],
+        keys: &[&[&str]],
+    ) -> usize {
+        let mut cat_attrs = Vec::with_capacity(attrs.len());
+        for (aname, distinct) in attrs {
+            cat_attrs.push(CatAttr {
+                name: (*aname).to_string(),
+                id: AttrId(self.next_attr),
+                distinct: *distinct,
+            });
+            self.next_attr += 1;
+        }
+        let keys = keys
+            .iter()
+            .map(|key| {
+                key.iter()
+                    .map(|kn| {
+                        cat_attrs
+                            .iter()
+                            .position(|a| a.name == *kn)
+                            .unwrap_or_else(|| panic!("key attribute {kn} missing in {name}"))
+                    })
+                    .collect()
+            })
+            .collect();
+        let idx = self.relations.len();
+        self.by_name.insert(name.to_string(), idx);
+        self.relations.push(CatRelation { name: name.to_string(), card, attrs: cat_attrs, keys });
+        idx
+    }
+
+    pub fn relation(&self, name: &str) -> &CatRelation {
+        let idx = *self
+            .by_name
+            .get(name)
+            .unwrap_or_else(|| panic!("no relation {name} in catalog"));
+        &self.relations[idx]
+    }
+
+    pub fn relations(&self) -> &[CatRelation] {
+        &self.relations
+    }
+
+    /// First attribute id not used by the catalog (for query-level
+    /// [`AttrGen`]s).
+    pub fn attr_gen(&self) -> AttrGen {
+        AttrGen::new(self.next_attr)
+    }
+
+    /// Instantiate a table occurrence for a query. Each call allocates
+    /// fresh attribute ids (self-joins need distinct attributes per
+    /// occurrence); returns the table plus the mapping from catalog
+    /// attribute names to the occurrence's ids.
+    pub fn instantiate(
+        &mut self,
+        rel_name: &str,
+        alias: &str,
+    ) -> (QueryTable, HashMap<String, AttrId>) {
+        let rel = self.relation(rel_name).clone();
+        let mut mapping = HashMap::new();
+        let mut attrs = Vec::with_capacity(rel.attrs.len());
+        let mut distinct = Vec::with_capacity(rel.attrs.len());
+        for a in &rel.attrs {
+            let id = AttrId(self.next_attr);
+            self.next_attr += 1;
+            mapping.insert(a.name.clone(), id);
+            attrs.push(id);
+            distinct.push(a.distinct);
+        }
+        let mut table = QueryTable::new(alias, attrs.clone(), rel.card).with_distinct(distinct);
+        for key in &rel.keys {
+            table = table.with_key(key.iter().map(|&i| attrs[i]).collect());
+        }
+        (table, mapping)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_relation(
+            "nation",
+            25.0,
+            &[("n_nationkey", 25.0), ("n_name", 25.0)],
+            &[&["n_nationkey"]],
+        );
+        c
+    }
+
+    #[test]
+    fn lookup() {
+        let c = sample();
+        let n = c.relation("nation");
+        assert_eq!(25.0, n.card);
+        assert_eq!(25.0, n.attr("n_name").distinct);
+        assert_eq!(vec![vec![0]], n.keys);
+    }
+
+    #[test]
+    fn instantiation_allocates_fresh_attrs() {
+        let mut c = sample();
+        let (t1, m1) = c.instantiate("nation", "ns");
+        let (t2, m2) = c.instantiate("nation", "nc");
+        assert_ne!(m1["n_nationkey"], m2["n_nationkey"]);
+        assert_eq!(1, t1.keys.len());
+        assert_eq!(t1.card, t2.card);
+        // Query-level generator starts above everything.
+        let mut gen = c.attr_gen();
+        let fresh = gen.fresh();
+        assert!(t1.attrs.iter().chain(&t2.attrs).all(|&a| a != fresh));
+    }
+
+    #[test]
+    #[should_panic(expected = "no relation")]
+    fn missing_relation_panics() {
+        sample().relation("zzz");
+    }
+}

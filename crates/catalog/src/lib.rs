@@ -1,0 +1,11 @@
+//! # dpnext-catalog
+//!
+//! Schema catalogs with statistics (cardinalities, distinct counts, keys),
+//! the TPC-H SF-1 metadata used by the paper's Table 2, and a synthetic,
+//! scale-configurable TPC-H data generator for executing plans.
+
+pub mod catalog;
+pub mod tpch;
+
+pub use catalog::{CatAttr, CatRelation, Catalog};
+pub use tpch::{generate_database, tpch_catalog, TpchGen};

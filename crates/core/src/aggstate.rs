@@ -1,0 +1,295 @@
+//! Aggregation-state rewriting: the mechanical core of the paper's
+//! equivalences (Fig. 3), generalized to arbitrary nesting.
+//!
+//! Every plan carries, per original aggregate, a position
+//! (`Raw` or `Partial{col, scope}`) plus the list of active *count columns*
+//! `(scope, col)` with pairwise-disjoint scopes. Introducing a grouping
+//! applies `F¹ ∘ (c : count(*))` to its own side's aggregates and the
+//! `F ⊗ c` duplicate adjustment of §2.1.3 to everything duplicate
+//! sensitive:
+//!
+//! * the new count column is `count(*)`, or `sum(Π old counts)` when the
+//!   input is already pre-aggregated (`count(*) ⊗ c = sum(c)`),
+//! * a raw duplicate-sensitive aggregate is adjusted by the product of
+//!   **all** active counts (each row stands for that many original tuples),
+//! * a partial aggregate is adjusted by all counts **except its own
+//!   scope's** — exactly `F² ⊗ c` of the Eager/Lazy Split equivalences
+//!   (Eqvs. 34–36).
+
+use crate::context::OptContext;
+use dpnext_algebra::{AggCall, AggKind, AttrId, Expr, Value};
+use dpnext_hypergraph::NodeSet;
+
+/// Where an original aggregate currently lives in a plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggPos {
+    /// Not yet (partially) computed; its argument attributes are visible.
+    Raw,
+    /// Partially aggregated into `col` by a grouping over `scope`.
+    Partial { col: AttrId, scope: NodeSet },
+}
+
+/// The aggregation state of a plan.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AggState {
+    /// Indexed like the query's normalized aggregation vector.
+    /// `count(*)` aggregates stay `Raw` forever: their value is derived
+    /// from the count columns (`count(*) = sum(Π cᵢ)`).
+    pub pos: Vec<AggPos>,
+    /// Active count columns with pairwise-disjoint scopes.
+    pub counts: Vec<(NodeSet, AttrId)>,
+}
+
+impl AggState {
+    pub fn fresh(n_aggs: usize) -> Self {
+        AggState { pos: vec![AggPos::Raw; n_aggs], counts: Vec::new() }
+    }
+
+    /// Merge the states of two joined plans (disjoint relation sets).
+    pub fn merge(&self, other: &AggState) -> AggState {
+        debug_assert_eq!(self.pos.len(), other.pos.len());
+        let pos = self
+            .pos
+            .iter()
+            .zip(&other.pos)
+            .map(|(l, r)| match (l, r) {
+                (AggPos::Raw, AggPos::Raw) => AggPos::Raw,
+                (p @ AggPos::Partial { .. }, AggPos::Raw) => *p,
+                (AggPos::Raw, p @ AggPos::Partial { .. }) => *p,
+                (AggPos::Partial { .. }, AggPos::Partial { .. }) => {
+                    unreachable!("aggregate partially computed on both sides of a join")
+                }
+            })
+            .collect();
+        let mut counts = self.counts.clone();
+        counts.extend_from_slice(&other.counts);
+        AggState { pos, counts }
+    }
+
+    /// Drop the state contributed by a vanishing right side (semijoin /
+    /// antijoin): its count columns and partials disappear with the
+    /// attributes. Sound because the operators do not duplicate left
+    /// tuples, so no `⊗` adjustment is lost.
+    pub fn keep_left(&self, left_set: NodeSet) -> AggState {
+        let pos = self
+            .pos
+            .iter()
+            .map(|p| match p {
+                AggPos::Partial { scope, .. } if !scope.is_subset_of(left_set) => AggPos::Raw,
+                other => *other,
+            })
+            .collect();
+        let counts = self
+            .counts
+            .iter()
+            .copied()
+            .filter(|(scope, _)| scope.is_subset_of(left_set))
+            .collect();
+        AggState { pos, counts }
+    }
+
+    /// The multiplicity expression `Π cᵢ` over all count columns, if any.
+    pub fn multiplier(&self) -> Option<Expr> {
+        product(self.counts.iter().map(|&(_, c)| c))
+    }
+
+    /// `Π cᵢ` over all count columns except the one owning `scope`.
+    pub fn multiplier_excluding(&self, scope: NodeSet) -> Option<Expr> {
+        product(self.counts.iter().filter(|(s, _)| *s != scope).map(|&(_, c)| c))
+    }
+
+    /// True when the plan was pre-aggregated anywhere.
+    pub fn is_grouped(&self) -> bool {
+        !self.counts.is_empty()
+    }
+
+    /// All columns (count + partial) this state materializes, with the
+    /// default value each must take when the side is NULL-padded by an
+    /// outerjoin: `F¹({⊥})` and `c : 1` (Eqvs. 11/12, 14/15, 20/21, …).
+    pub fn padding_defaults(&self, aggs: &[AggCall]) -> Vec<(AttrId, Value)> {
+        let mut out = Vec::new();
+        for &(_, c) in &self.counts {
+            out.push((c, Value::Int(1)));
+        }
+        for (i, p) in self.pos.iter().enumerate() {
+            if let AggPos::Partial { col, .. } = p {
+                out.push((*col, aggs[i].eval_null_tuple()));
+            }
+        }
+        out
+    }
+}
+
+fn product(mut cols: impl Iterator<Item = AttrId>) -> Option<Expr> {
+    let first = cols.next()?;
+    Some(cols.fold(Expr::attr(first), |acc, c| acc.mul(Expr::attr(c))))
+}
+
+/// Multiply an expression by an optional multiplier.
+fn times(e: Expr, m: Option<&Expr>) -> Expr {
+    match m {
+        Some(m) => e.mul(m.clone()),
+        None => e,
+    }
+}
+
+/// `count(arg) ⊗ c`: `sum(arg IS NULL ? 0 : c)`. Falls back to plain
+/// `count(arg)` without counts.
+fn count_times(arg: &Expr, m: Option<&Expr>, out: AttrId) -> AggCall {
+    match m {
+        None => AggCall::new(out, AggKind::Count, arg.clone()),
+        Some(m) => {
+            let attr = match arg {
+                Expr::Attr(a) => *a,
+                other => panic!("count(⊗) requires an attribute argument, got {other}"),
+            };
+            AggCall::new(
+                out,
+                AggKind::Sum,
+                Expr::IfNull(attr, Box::new(Expr::int(0)), Box::new(m.clone())),
+            )
+        }
+    }
+}
+
+/// The aggregate calls a new grouping node must compute for one original
+/// aggregate, plus its new position. `None` when the aggregate is
+/// untouched by a grouping over `s`.
+fn group_one(
+    ctx: &OptContext,
+    i: usize,
+    state: &AggState,
+    s: NodeSet,
+) -> Option<(AggCall, AggPos)> {
+    let call = &ctx.aggs()[i];
+    if call.kind == AggKind::CountStar {
+        return None; // derived from the count columns
+    }
+    let org = ctx.agg_origin[i];
+    if org.is_empty() || !org.is_subset_of(s) {
+        debug_assert!(!org.intersects(s), "can_group must reject split aggregates");
+        return None;
+    }
+    let out = ctx.fresh_attr();
+    let arg = call.arg.as_ref().expect("non-count(*) aggregate needs an argument");
+    let new_call = match state.pos[i] {
+        AggPos::Raw => {
+            let m = state.multiplier();
+            match call.kind {
+                AggKind::Min | AggKind::Max => AggCall::new(out, call.kind, arg.clone()),
+                AggKind::Sum => AggCall::new(out, AggKind::Sum, times(arg.clone(), m.as_ref())),
+                AggKind::Count => count_times(arg, m.as_ref(), out),
+                other => unreachable!("grouping over non-decomposable aggregate {other}"),
+            }
+        }
+        AggPos::Partial { col, scope } => {
+            let m = state.multiplier_excluding(scope);
+            match call.kind.combine() {
+                AggKind::Min => AggCall::new(out, AggKind::Min, Expr::attr(col)),
+                AggKind::Max => AggCall::new(out, AggKind::Max, Expr::attr(col)),
+                _ => AggCall::new(out, AggKind::Sum, times(Expr::attr(col), m.as_ref())),
+            }
+        }
+    };
+    Some((new_call, AggPos::Partial { col: out, scope: s }))
+}
+
+/// Build the aggregation vector of a pushed-down grouping `Γ_{G⁺(S); F¹ ∘
+/// (c : count(*))}` over a plan with state `state` covering `s`.
+/// Returns `(agg calls, new state)`.
+pub fn build_group_aggs(ctx: &OptContext, state: &AggState, s: NodeSet) -> (Vec<AggCall>, AggState) {
+    let c_new = ctx.fresh_attr();
+    let count_call = match state.multiplier() {
+        None => AggCall::count_star(c_new),
+        Some(m) => AggCall::new(c_new, AggKind::Sum, m),
+    };
+    let mut calls = vec![count_call];
+    let mut pos = state.pos.clone();
+    for (i, slot) in pos.iter_mut().enumerate() {
+        if let Some((call, p)) = group_one(ctx, i, state, s) {
+            calls.push(call);
+            *slot = p;
+        }
+    }
+    (calls, AggState { pos, counts: vec![(s, c_new)] })
+}
+
+/// The final aggregation vector for the top grouping `Γ_G` over a plan in
+/// state `state` — every aggregate lands in its original output attribute.
+pub fn final_agg_vector(ctx: &OptContext, state: &AggState) -> Vec<AggCall> {
+    let m = state.multiplier();
+    let mut calls = Vec::with_capacity(ctx.aggs().len());
+    for (i, call) in ctx.aggs().iter().enumerate() {
+        let out = call.out;
+        let built = match state.pos[i] {
+            AggPos::Raw => match call.kind {
+                AggKind::CountStar => match &m {
+                    None => AggCall::count_star(out),
+                    Some(m) => AggCall::new(out, AggKind::Sum, m.clone()),
+                },
+                AggKind::Sum => AggCall::new(
+                    out,
+                    AggKind::Sum,
+                    times(call.arg.clone().unwrap(), m.as_ref()),
+                ),
+                AggKind::Count => count_times(call.arg.as_ref().unwrap(), m.as_ref(), out),
+                // Duplicate-agnostic functions ignore multiplicities.
+                AggKind::Min | AggKind::Max | AggKind::CountDistinct | AggKind::SumDistinct
+                | AggKind::AvgDistinct => {
+                    AggCall { out, kind: call.kind, arg: call.arg.clone() }
+                }
+                AggKind::Avg => unreachable!("avg is normalized away"),
+            },
+            AggPos::Partial { col, scope } => {
+                let m_ex = state.multiplier_excluding(scope);
+                match call.kind.combine() {
+                    AggKind::Min => AggCall::new(out, AggKind::Min, Expr::attr(col)),
+                    AggKind::Max => AggCall::new(out, AggKind::Max, Expr::attr(col)),
+                    _ => AggCall::new(out, AggKind::Sum, times(Expr::attr(col), m_ex.as_ref())),
+                }
+            }
+        };
+        calls.push(built);
+    }
+    calls
+}
+
+/// The per-row expressions replacing an *eliminated* top grouping
+/// (Eqv. 42: `Γ_{G;F}(e) ≡ Π_C(χ_F̂(e))` when `G` contains a key and `e`
+/// is duplicate-free): each group holds exactly one tuple, which may still
+/// stand for `Π cᵢ` original tuples.
+pub fn final_map_exprs(ctx: &OptContext, state: &AggState) -> Vec<(AttrId, Expr)> {
+    let m = state.multiplier();
+    let one_or_m = || m.clone().unwrap_or_else(|| Expr::int(1));
+    let mut exts = Vec::with_capacity(ctx.aggs().len());
+    for (i, call) in ctx.aggs().iter().enumerate() {
+        let out = call.out;
+        let expr = match state.pos[i] {
+            AggPos::Raw => match call.kind {
+                AggKind::CountStar => one_or_m(),
+                AggKind::Sum => times(call.arg.clone().unwrap(), m.as_ref()),
+                AggKind::Count | AggKind::CountDistinct => {
+                    let attr = match call.arg.as_ref().unwrap() {
+                        Expr::Attr(a) => *a,
+                        other => panic!("count elimination requires attribute arg, got {other}"),
+                    };
+                    let v = if call.kind == AggKind::Count { one_or_m() } else { Expr::int(1) };
+                    Expr::IfNull(attr, Box::new(Expr::int(0)), Box::new(v))
+                }
+                AggKind::Min | AggKind::Max | AggKind::SumDistinct => call.arg.clone().unwrap(),
+                // `avg` of a single value, typed as a decimal.
+                AggKind::AvgDistinct => call.arg.clone().unwrap().div(Expr::int(1)),
+                AggKind::Avg => unreachable!("avg is normalized away"),
+            },
+            AggPos::Partial { col, scope } => {
+                let m_ex = state.multiplier_excluding(scope);
+                match call.kind.combine() {
+                    AggKind::Min | AggKind::Max => Expr::attr(col),
+                    _ => times(Expr::attr(col), m_ex.as_ref()),
+                }
+            }
+        };
+        exts.push((out, expr));
+    }
+    exts
+}

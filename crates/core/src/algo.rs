@@ -1,0 +1,361 @@
+//! The plan generators of §4: the DPhyp baseline (Fig. 5, no eager
+//! aggregation), complete enumeration EA-All (Fig. 9), the
+//! optimality-preserving EA-Prune (Figs. 13/14), and the heuristics H1
+//! (Fig. 10) and H2 (Fig. 12).
+
+use crate::context::OptContext;
+use crate::finalize::{finalize, FinalPlan};
+use crate::optrees::{op_tree_plain, op_trees};
+use crate::plan::{make_scan, Plan};
+use dpnext_conflict::applicable_ops;
+use dpnext_hypergraph::{enumerate_ccps, NodeSet};
+use dpnext_query::{OpKind, Query};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// The available plan-generation algorithms.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Algorithm {
+    /// DPhyp: join (re)ordering only, grouping stays on top.
+    DPhyp,
+    /// Complete enumeration of all eager-aggregation plans (Fig. 9);
+    /// optimal, `O(2^{2n-1} · #ccp)`.
+    EaAll,
+    /// Complete enumeration with dominance pruning (Figs. 13/14); optimal.
+    EaPrune,
+    /// Greedy single-plan heuristic (Fig. 10).
+    H1,
+    /// H1 with eagerness-adjusted cost comparison and tolerance factor `F`
+    /// (Fig. 12).
+    H2(f64),
+}
+
+impl Algorithm {
+    pub fn name(&self) -> String {
+        match self {
+            Algorithm::DPhyp => "DPhyp".into(),
+            Algorithm::EaAll => "EA-All".into(),
+            Algorithm::EaPrune => "EA-Prune".into(),
+            Algorithm::H1 => "H1".into(),
+            Algorithm::H2(f) => format!("H2(F={f})"),
+        }
+    }
+}
+
+/// The result of one optimization run.
+#[derive(Debug, Clone)]
+pub struct Optimized {
+    pub plan: FinalPlan,
+    /// Annotated EXPLAIN rendering of the winning logical plan (per-node
+    /// cardinality/cost estimates, keys, aggregation state).
+    pub explain: String,
+    /// Plans constructed during the search (joins + groupings).
+    pub plans_built: u64,
+    /// Plans retained in the DP table at the end.
+    pub retained_plans: u64,
+    pub elapsed: Duration,
+}
+
+/// Which conditions the dominance test of Def. 4 applies. `Full` is the
+/// paper's (optimality-preserving) criterion; the weaker variants exist
+/// for the ablation study in `dpnext-bench` — they prune harder but can
+/// lose the optimal plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DominanceKind {
+    /// Cost + cardinality + duplicate-freeness + key implication (§4.6).
+    Full,
+    /// Cost + cardinality only (ignores functional dependencies).
+    CostCard,
+    /// Cost only (Bellman-style pruning; equivalent to keeping the single
+    /// cheapest plan per class when ties collapse).
+    CostOnly,
+}
+
+/// Optimize `query` with the chosen algorithm.
+pub fn optimize(query: &Query, algo: Algorithm) -> Optimized {
+    let ctx = OptContext::new(query.clone());
+    let start = Instant::now();
+    let ((plan, logical), retained) = match algo {
+        Algorithm::DPhyp => run_single(&ctx, false, None),
+        Algorithm::H1 => run_single(&ctx, true, None),
+        Algorithm::H2(f) => run_single(&ctx, true, Some(f)),
+        Algorithm::EaAll => run_multi(&ctx, None),
+        Algorithm::EaPrune => run_multi(&ctx, Some(DominanceKind::Full)),
+    };
+    let plans_built = *ctx.plans_built.borrow();
+    let explain = crate::explain::explain(&ctx, &logical);
+    Optimized { plan, explain, plans_built, retained_plans: retained, elapsed: start.elapsed() }
+}
+
+/// EA-Prune with a configurable dominance criterion (ablation interface;
+/// `DominanceKind::Full` is exactly [`Algorithm::EaPrune`]).
+pub fn optimize_with_pruning(query: &Query, kind: DominanceKind) -> Optimized {
+    let ctx = OptContext::new(query.clone());
+    let start = Instant::now();
+    let ((plan, logical), retained) = run_multi(&ctx, Some(kind));
+    let plans_built = *ctx.plans_built.borrow();
+    let explain = crate::explain::explain(&ctx, &logical);
+    Optimized { plan, explain, plans_built, retained_plans: retained, elapsed: start.elapsed() }
+}
+
+/// All ways to apply operators to the csg-cmp-pair `(s1, s2)`:
+/// `(left set, right set, primary operator, extra inner-join edges)`.
+///
+/// Multiple edges cross the same cut only in cyclic queries; if they are
+/// all inner joins their predicates are merged into one application. A mix
+/// of inner and non-inner edges on one cut is rejected (never produced by
+/// the paper's workloads).
+fn orientations(
+    ctx: &OptContext,
+    s1: NodeSet,
+    s2: NodeSet,
+) -> Vec<(NodeSet, NodeSet, usize, Vec<usize>)> {
+    let apps = applicable_ops(&ctx.cq, s1, s2);
+    if apps.is_empty() {
+        return Vec::new();
+    }
+    let mut uniq: Vec<usize> = apps.iter().map(|&(i, _)| i).collect();
+    uniq.sort_unstable();
+    uniq.dedup();
+    if uniq.len() == 1 {
+        let idx = uniq[0];
+        apps.iter()
+            .map(|&(_, swapped)| {
+                if swapped {
+                    (s2, s1, idx, Vec::new())
+                } else {
+                    (s1, s2, idx, Vec::new())
+                }
+            })
+            .collect()
+    } else if uniq.iter().all(|&i| ctx.cq.ops[i].op == OpKind::Join) {
+        let primary = uniq[0];
+        let extra: Vec<usize> = uniq[1..].to_vec();
+        vec![
+            (s1, s2, primary, extra.clone()),
+            (s2, s1, primary, extra),
+        ]
+    } else {
+        Vec::new()
+    }
+}
+
+/// Single-plan-per-class DP: DPhyp baseline (`eager = false`), H1
+/// (`eager = true`), H2 (`factor = Some(F)`).
+fn run_single(
+    ctx: &OptContext,
+    eager: bool,
+    factor: Option<f64>,
+) -> ((FinalPlan, Plan), u64) {
+    let n = ctx.query.table_count();
+    let full = NodeSet::full(n);
+    let mut table: HashMap<NodeSet, Plan> = HashMap::new();
+    for i in 0..n {
+        table.insert(NodeSet::single(i), make_scan(ctx, i));
+    }
+    if n == 1 {
+        let scan = table[&full].clone();
+        let plan = finalize(ctx, &scan);
+        return ((plan, scan), 1);
+    }
+
+    let mut best_final: Option<(FinalPlan, Plan)> = None;
+    enumerate_ccps(&ctx.cq.graph, |s1, s2| {
+        for (sl, sr, op, extra) in orientations(ctx, s1, s2) {
+            let (Some(t1), Some(t2)) = (table.get(&sl), table.get(&sr)) else {
+                continue;
+            };
+            let candidates = if eager {
+                op_trees(ctx, op, &extra, t1, t2)
+            } else {
+                op_tree_plain(ctx, op, &extra, t1, t2).into_iter().collect()
+            };
+            let s = sl.union(sr);
+            for t in candidates {
+                if s == full {
+                    if !all_ops_applied(ctx, &t) {
+                        continue;
+                    }
+                    let f = finalize(ctx, &t);
+                    if best_final.as_ref().is_none_or(|(b, _)| f.cost < b.cost) {
+                        best_final = Some((f, t));
+                    }
+                } else {
+                    match table.get(&s) {
+                        None => {
+                            table.insert(s, t);
+                        }
+                        Some(cur) => {
+                            if compare_adjusted(&t, cur, factor) {
+                                table.insert(s, t);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    });
+
+    let retained = table.len() as u64;
+    match best_final {
+        Some(best) => (best, retained),
+        // Eager single-plan search can dead-end when a groupjoin's right
+        // side only has a pre-aggregated plan; fall back to the baseline.
+        None if eager => run_single(ctx, false, None),
+        None => panic!("no plan found: query graph disconnected or over-constrained"),
+    }
+}
+
+/// A complete plan must have applied every operator of the query exactly
+/// once — a plan reaching the full relation set with a missing predicate
+/// (possible only for pathological hyperedge/cut interactions) is invalid
+/// and discarded.
+fn all_ops_applied(ctx: &OptContext, t: &Plan) -> bool {
+    let n_ops = ctx.cq.ops.len();
+    let all = if n_ops >= 64 { u64::MAX } else { (1u64 << n_ops) - 1 };
+    t.applied == all
+}
+
+/// `CompareAdjustedCosts` (Fig. 12): should `new` replace `old`?
+/// Without a factor this is the plain cost comparison of H1 (Fig. 10).
+fn compare_adjusted(new: &Plan, old: &Plan, factor: Option<f64>) -> bool {
+    let Some(f) = factor else {
+        return new.cost < old.cost;
+    };
+    let (en, eo) = (new.eagerness(), old.eagerness());
+    if en == eo {
+        new.cost < old.cost
+    } else if en < eo {
+        // `new` is less eager: its cost is adjusted (penalized) by F.
+        f * new.cost < old.cost
+    } else {
+        new.cost < f * old.cost
+    }
+}
+
+/// Multi-plan DP: EA-All (`prune = None`, Fig. 9) and EA-Prune
+/// (`prune = Some(kind)`, Figs. 13/14).
+fn run_multi(
+    ctx: &OptContext,
+    prune: Option<DominanceKind>,
+) -> ((FinalPlan, Plan), u64) {
+    let n = ctx.query.table_count();
+    let full = NodeSet::full(n);
+    let guard_groupjoin = ctx.cq.ops.iter().any(|o| o.op == OpKind::GroupJoin);
+    let mut table: HashMap<NodeSet, Vec<Plan>> = HashMap::new();
+    for i in 0..n {
+        table.insert(NodeSet::single(i), vec![make_scan(ctx, i)]);
+    }
+    if n == 1 {
+        let scan = table[&full][0].clone();
+        let plan = finalize(ctx, &scan);
+        return ((plan, scan), 1);
+    }
+
+    let mut best_final: Option<(FinalPlan, Plan)> = None;
+    enumerate_ccps(&ctx.cq.graph, |s1, s2| {
+        for (sl, sr, op, extra) in orientations(ctx, s1, s2) {
+            let (Some(lefts), Some(rights)) = (table.get(&sl), table.get(&sr)) else {
+                continue;
+            };
+            let (lefts, rights) = (lefts.clone(), rights.clone());
+            let s = sl.union(sr);
+            for t1 in &lefts {
+                for t2 in &rights {
+                    for t in op_trees(ctx, op, &extra, t1, t2) {
+                        if s == full {
+                            if !all_ops_applied(ctx, &t) {
+                                continue;
+                            }
+                            let f = finalize(ctx, &t);
+                            if best_final.as_ref().is_none_or(|(b, _)| f.cost < b.cost) {
+                                best_final = Some((f, t));
+                            }
+                        } else {
+                            let list = table.entry(s).or_default();
+                            match prune {
+                                Some(kind) => prune_dominated(list, t, kind, guard_groupjoin),
+                                None => list.push(t),
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    });
+
+    let retained = table.values().map(|v| v.len() as u64).sum();
+    let best = best_final.expect("no plan found: query graph disconnected or over-constrained");
+    (best, retained)
+}
+
+/// Enumerate every plan EA-All would consider, for diagnostics and for
+/// property tests that validate per-plan claims (keys, duplicate-freeness)
+/// against executed results. Exponential — small queries only.
+pub fn all_subplans(query: &Query) -> (OptContext, Vec<Plan>) {
+    let ctx = OptContext::new(query.clone());
+    let n = ctx.query.table_count();
+    let full = NodeSet::full(n);
+    let mut table: HashMap<NodeSet, Vec<Plan>> = HashMap::new();
+    let mut complete: Vec<Plan> = Vec::new();
+    for i in 0..n {
+        table.insert(NodeSet::single(i), vec![make_scan(&ctx, i)]);
+    }
+    enumerate_ccps(&ctx.cq.graph, |s1, s2| {
+        for (sl, sr, op, extra) in orientations(&ctx, s1, s2) {
+            let (Some(lefts), Some(rights)) = (table.get(&sl), table.get(&sr)) else {
+                continue;
+            };
+            let (lefts, rights) = (lefts.clone(), rights.clone());
+            let s = sl.union(sr);
+            for t1 in &lefts {
+                for t2 in &rights {
+                    for t in op_trees(&ctx, op, &extra, t1, t2) {
+                        if s == full {
+                            if all_ops_applied(&ctx, &t) {
+                                complete.push(t);
+                            }
+                        } else {
+                            table.entry(s).or_default().push(t);
+                        }
+                    }
+                }
+            }
+        }
+    });
+    let mut plans: Vec<Plan> = table.into_values().flatten().collect();
+    plans.extend(complete);
+    (ctx, plans)
+}
+
+/// Dominance (Def. 4): `a` dominates `b` when it is at most as expensive,
+/// at most as large, duplicate-free whenever `b` is, and its key set
+/// implies `b`'s (the practical weakening of `FD⁺(a) ⊇ FD⁺(b)` suggested
+/// in §4.6). In the presence of groupjoins a pre-aggregated plan must not
+/// shadow a raw plan (the groupjoin needs raw right inputs).
+fn dominates(a: &Plan, b: &Plan, kind: DominanceKind, guard_groupjoin: bool) -> bool {
+    if guard_groupjoin && a.has_grouping && !b.has_grouping {
+        return false;
+    }
+    match kind {
+        DominanceKind::CostOnly => a.cost <= b.cost,
+        DominanceKind::CostCard => a.cost <= b.cost && a.card <= b.card,
+        DominanceKind::Full => {
+            a.cost <= b.cost
+                && a.card <= b.card
+                && (a.keyinfo.duplicate_free || !b.keyinfo.duplicate_free)
+                && a.keyinfo.keys.implies(&b.keyinfo.keys)
+        }
+    }
+}
+
+/// `PruneDominatedPlans` (Fig. 13).
+fn prune_dominated(list: &mut Vec<Plan>, t: Plan, kind: DominanceKind, guard_groupjoin: bool) {
+    for old in list.iter() {
+        if dominates(old, &t, kind, guard_groupjoin) {
+            return;
+        }
+    }
+    list.retain(|old| !dominates(&t, old, kind, guard_groupjoin));
+    list.push(t);
+}

@@ -1,0 +1,174 @@
+//! Shared optimization context: the conflicted query, attribute statistics,
+//! grouping attributes `G⁺(S)` and aggregate metadata.
+
+use dpnext_algebra::{AttrGen, AttrId};
+use dpnext_conflict::{detect, ConflictedQuery};
+use dpnext_hypergraph::NodeSet;
+use dpnext_query::Query;
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Context shared by all plan constructors during one optimization run.
+pub struct OptContext {
+    pub query: Query,
+    pub cq: ConflictedQuery,
+    /// Attribute → node set required for the attribute to exist.
+    pub origins: HashMap<AttrId, NodeSet>,
+    /// Base distinct counts for table attributes.
+    pub base_distinct: HashMap<AttrId, f64>,
+    /// Grouping attributes `G` of the query (empty when no grouping).
+    pub group_by: Vec<AttrId>,
+    /// Per normalized aggregate: the attributes its argument references.
+    pub agg_args: Vec<Vec<AttrId>>,
+    /// Per normalized aggregate: union of argument origins (empty for
+    /// `count(*)`).
+    pub agg_origin: Vec<NodeSet>,
+    /// Fresh-attribute allocator for partial/count columns.
+    pub gen: RefCell<AttrGen>,
+    /// Memoized `G⁺(S)` (§4.2; closed under all predicates crossing `S`).
+    gplus_cache: RefCell<HashMap<NodeSet, std::rc::Rc<Vec<AttrId>>>>,
+    /// Counter: plans constructed (joins + groupings), for the evaluation.
+    pub plans_built: RefCell<u64>,
+}
+
+impl OptContext {
+    pub fn new(query: Query) -> Self {
+        let cq = detect(&query);
+        let origins = query.attr_origins();
+        let mut base_distinct = HashMap::new();
+        for t in &query.tables {
+            for (i, &a) in t.attrs.iter().enumerate() {
+                base_distinct.insert(a, t.distinct[i]);
+            }
+        }
+        let mut max_attr = 0u32;
+        for &a in origins.keys() {
+            max_attr = max_attr.max(a.0);
+        }
+        let (group_by, aggs) = match &query.grouping {
+            Some(g) => (g.group_by.clone(), g.aggs.clone()),
+            None => (Vec::new(), Vec::new()),
+        };
+        for call in &aggs {
+            max_attr = max_attr.max(call.out.0);
+        }
+        if let Some(g) = &query.grouping {
+            for (a, _) in &g.post {
+                max_attr = max_attr.max(a.0);
+            }
+        }
+        let agg_args: Vec<Vec<AttrId>> = aggs.iter().map(|c| c.referenced()).collect();
+        let agg_origin: Vec<NodeSet> = agg_args
+            .iter()
+            .map(|args| {
+                args.iter().fold(NodeSet::EMPTY, |acc, a| {
+                    acc.union(*origins.get(a).expect("aggregate argument attribute unknown"))
+                })
+            })
+            .collect();
+        OptContext {
+            query,
+            cq,
+            origins,
+            base_distinct,
+            group_by,
+            agg_args,
+            agg_origin,
+            gen: RefCell::new(AttrGen::new(max_attr + 1)),
+            gplus_cache: RefCell::new(HashMap::new()),
+            plans_built: RefCell::new(0),
+        }
+    }
+
+    /// The normalized aggregation vector of the query.
+    pub fn aggs(&self) -> &[dpnext_algebra::AggCall] {
+        self.query.grouping.as_ref().map(|g| g.aggs.as_slice()).unwrap_or(&[])
+    }
+
+    pub fn has_grouping(&self) -> bool {
+        self.query.grouping.is_some()
+    }
+
+    pub fn fresh_attr(&self) -> AttrId {
+        self.gen.borrow_mut().fresh()
+    }
+
+    pub fn count_plan(&self) {
+        *self.plans_built.borrow_mut() += 1;
+    }
+
+    pub fn origin(&self, a: AttrId) -> NodeSet {
+        *self.origins.get(&a).unwrap_or_else(|| panic!("unknown attribute {a}"))
+    }
+
+    /// Base distinct count of an attribute (infinite when unknown, e.g.
+    /// groupjoin outputs — grouping on them then gives no reduction).
+    pub fn distinct(&self, a: AttrId) -> f64 {
+        self.base_distinct.get(&a).copied().unwrap_or(f64::INFINITY)
+    }
+
+    /// `G⁺(S)`: the grouping attributes for a pushed-down grouping over the
+    /// relation set `S` — the query's grouping attributes from `S` plus
+    /// every attribute of `S` referenced by a predicate (or groupjoin
+    /// aggregate) of an operator that is not fully contained in `S`
+    /// (§4.2's `G⁺ᵢ = Gᵢ ∪ Jᵢ`, closed under the whole remaining query so
+    /// the equivalences stay applicable above `S`).
+    pub fn gplus(&self, s: NodeSet) -> std::rc::Rc<Vec<AttrId>> {
+        if let Some(hit) = self.gplus_cache.borrow().get(&s) {
+            return hit.clone();
+        }
+        let mut attrs: Vec<AttrId> = Vec::new();
+        let mut push = |a: AttrId, origins: &HashMap<AttrId, NodeSet>| {
+            if let Some(org) = origins.get(&a) {
+                if org.is_subset_of(s) && !attrs.contains(&a) {
+                    attrs.push(a);
+                }
+            }
+        };
+        for &a in &self.group_by {
+            push(a, &self.origins);
+        }
+        for op in &self.cq.ops {
+            // An operator is applied inside every plan for S as soon as its
+            // hyperedge (L-TES ∪ R-TES) lies within S — that is its
+            // earliest application point under reordering, not its original
+            // subtree position.
+            if op.l_tes.union(op.r_tes).is_subset_of(s) {
+                continue;
+            }
+            for a in op.pred.all_attrs() {
+                push(a, &self.origins);
+            }
+            for call in &op.gj_aggs {
+                for a in call.referenced() {
+                    push(a, &self.origins);
+                }
+            }
+        }
+        attrs.sort_unstable();
+        let rc = std::rc::Rc::new(attrs);
+        self.gplus_cache.borrow_mut().insert(s, rc.clone());
+        rc
+    }
+
+    /// May a plan covering `s` be grouped at all? Every aggregate whose
+    /// arguments lie inside `s` must be decomposable (§2.1.2); aggregates
+    /// split across the boundary (impossible for single-table arguments)
+    /// also forbid grouping.
+    pub fn can_group(&self, s: NodeSet) -> bool {
+        for (i, call) in self.aggs().iter().enumerate() {
+            let org = self.agg_origin[i];
+            if org.is_empty() {
+                continue; // count(*) splits either way (special case S1)
+            }
+            if org.is_subset_of(s) {
+                if !call.kind.is_decomposable() {
+                    return false;
+                }
+            } else if org.intersects(s) {
+                return false; // argument split across the boundary
+            }
+        }
+        true
+    }
+}

@@ -1,0 +1,76 @@
+//! EXPLAIN output: the logical plan annotated with the optimizer's
+//! per-node estimates (cardinality, cumulative `C_out`, keys, aggregation
+//! state) — what a `EXPLAIN` statement would print for the chosen plan.
+
+use crate::aggstate::AggPos;
+use crate::context::OptContext;
+use crate::plan::{Plan, PlanNode};
+use std::fmt::Write;
+
+/// Render an annotated explanation of a logical plan.
+pub fn explain(ctx: &OptContext, plan: &Plan) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<52} {:>12} {:>12}  properties",
+        "operator", "est. rows", "C_out"
+    );
+    walk(ctx, plan, 0, &mut out);
+    out
+}
+
+fn walk(ctx: &OptContext, plan: &Plan, depth: usize, out: &mut String) {
+    let pad = "  ".repeat(depth);
+    let label = match &plan.node {
+        PlanNode::Scan { table } => format!("{pad}Scan {}", ctx.query.tables[*table].alias),
+        PlanNode::Apply { op, pred, .. } => format!("{pad}{op} [{pred}]"),
+        PlanNode::Group { attrs, .. } => {
+            let attrs: Vec<String> = attrs.iter().map(|a| a.to_string()).collect();
+            format!("{pad}Γ [{}]", attrs.join(","))
+        }
+    };
+    let mut props = Vec::new();
+    if plan.keyinfo.duplicate_free {
+        props.push("dup-free".to_string());
+    }
+    if !plan.keyinfo.keys.is_empty() {
+        let keys: Vec<String> = plan
+            .keyinfo
+            .keys
+            .keys()
+            .iter()
+            .map(|k| {
+                let attrs: Vec<String> = k.iter().map(|a| a.to_string()).collect();
+                format!("{{{}}}", attrs.join(","))
+            })
+            .collect();
+        props.push(format!("keys={}", keys.join(" ")));
+    }
+    let partials = plan
+        .agg
+        .pos
+        .iter()
+        .filter(|p| matches!(p, AggPos::Partial { .. }))
+        .count();
+    if partials > 0 {
+        props.push(format!("{partials} partial agg(s)"));
+    }
+    if !plan.agg.counts.is_empty() {
+        props.push(format!("{} count col(s)", plan.agg.counts.len()));
+    }
+    let _ = writeln!(
+        out,
+        "{label:<52} {:>12.1} {:>12.1}  {}",
+        plan.card,
+        plan.cost,
+        props.join(", ")
+    );
+    match &plan.node {
+        PlanNode::Scan { .. } => {}
+        PlanNode::Apply { left, right, .. } => {
+            walk(ctx, left, depth + 1, out);
+            walk(ctx, right, depth + 1, out);
+        }
+        PlanNode::Group { input, .. } => walk(ctx, input, depth + 1, out),
+    }
+}

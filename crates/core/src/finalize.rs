@@ -1,0 +1,108 @@
+//! Finalization: add (or eliminate, §3.2) the top grouping, and compile
+//! plans into executable algebra trees.
+
+use crate::aggstate::{final_agg_vector, final_map_exprs};
+use crate::context::OptContext;
+use crate::plan::{Plan, PlanNode};
+use dpnext_algebra::AlgExpr;
+use dpnext_cost::{distinct_in, grouping_card};
+use dpnext_keys::needs_grouping;
+use dpnext_query::OpKind;
+
+/// A complete, costed, executable plan.
+#[derive(Debug, Clone)]
+pub struct FinalPlan {
+    pub root: AlgExpr,
+    /// Total `C_out`, including the top grouping if present.
+    pub cost: f64,
+    /// Estimated result cardinality.
+    pub card: f64,
+    /// Whether a top grouping was required (false = eliminated per
+    /// Eqv. 42, replaced by a duplicate-preserving projection).
+    pub top_grouping: bool,
+}
+
+/// Compile a DP plan into an executable algebra tree. Outerjoins receive
+/// the `F¹({⊥})`/`c : 1` default vectors for every pre-aggregated column of
+/// a padded side (the generalized outerjoins of §2.2).
+pub fn compile(ctx: &OptContext, plan: &Plan) -> AlgExpr {
+    match &plan.node {
+        PlanNode::Scan { table } => AlgExpr::scan(ctx.query.tables[*table].alias.clone()),
+        PlanNode::Group { attrs, aggs, input } => AlgExpr::GroupBy {
+            input: Box::new(compile(ctx, input)),
+            attrs: attrs.clone(),
+            aggs: aggs.clone(),
+        },
+        PlanNode::Apply { op, pred, gj_aggs, left, right } => {
+            let l = Box::new(compile(ctx, left));
+            let r = Box::new(compile(ctx, right));
+            let pred = pred.clone();
+            match op {
+                OpKind::Join => AlgExpr::InnerJoin { left: l, right: r, pred },
+                OpKind::Semi => AlgExpr::SemiJoin { left: l, right: r, pred },
+                OpKind::Anti => AlgExpr::AntiJoin { left: l, right: r, pred },
+                OpKind::LeftOuter => AlgExpr::LeftOuterJoin {
+                    left: l,
+                    right: r,
+                    pred,
+                    defaults: right.agg.padding_defaults(ctx.aggs()),
+                },
+                OpKind::FullOuter => AlgExpr::FullOuterJoin {
+                    left: l,
+                    right: r,
+                    pred,
+                    d1: left.agg.padding_defaults(ctx.aggs()),
+                    d2: right.agg.padding_defaults(ctx.aggs()),
+                },
+                OpKind::GroupJoin => AlgExpr::GroupJoin {
+                    left: l,
+                    right: r,
+                    pred,
+                    aggs: gj_aggs.clone(),
+                    empty_defaults: vec![],
+                },
+            }
+        }
+    }
+}
+
+/// Finalize a plan covering all relations: attach the top grouping `Γ_G`
+/// with the state-adjusted aggregation vector, or — when `G` contains a
+/// key of a duplicate-free result — replace it by a map + projection
+/// (Eqv. 42, `InsertTopLevelPlan` of Fig. 9).
+pub fn finalize(ctx: &OptContext, plan: &Plan) -> FinalPlan {
+    let mut root = compile(ctx, plan);
+    let Some(g) = &ctx.query.grouping else {
+        return FinalPlan { root, cost: plan.cost, card: plan.card, top_grouping: false };
+    };
+
+    let (cost, card, top_grouping) = if needs_grouping(&g.group_by, &plan.keyinfo) {
+        let aggs = final_agg_vector(ctx, &plan.agg);
+        let distincts: Vec<f64> = g
+            .group_by
+            .iter()
+            .map(|&a| distinct_in(ctx.distinct(a), plan.card))
+            .collect();
+        let gcard = grouping_card(plan.card, &distincts);
+        root = AlgExpr::GroupBy {
+            input: Box::new(root),
+            attrs: g.group_by.clone(),
+            aggs,
+        };
+        (plan.cost + gcard, gcard, true)
+    } else {
+        // Each group holds exactly one tuple: a map computes the aggregate
+        // values per row; the duplicate-preserving projection is free.
+        let exts = final_map_exprs(ctx, &plan.agg);
+        if !exts.is_empty() {
+            root = AlgExpr::Map { input: Box::new(root), exts };
+        }
+        (plan.cost, plan.card, false)
+    };
+
+    if !g.post.is_empty() {
+        root = AlgExpr::Map { input: Box::new(root), exts: g.post.clone() };
+    }
+    root = AlgExpr::Project { input: Box::new(root), attrs: g.output.clone(), dedup: false };
+    FinalPlan { root, cost, card, top_grouping }
+}

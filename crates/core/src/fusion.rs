@@ -1,0 +1,223 @@
+//! Groupjoin fusion (§A.5.1, Eqvs. 98–100): a post-optimization pass that
+//! rewrites
+//!
+//! * `e1 ⟕^{D}_{G1=G2} Γ_{G2;F}(e2)`  →  `e1 Z^{D}_{G1=G2;F} e2`
+//! * `e1 ⋈_{G1=G2} Γ_{G2;F∘(c:count(*))}(e2)`  →  `σ_{c>0}(e1 Z e2)`
+//!
+//! whenever the grouped side's grouping attributes are exactly the join
+//! attributes and nothing above the join references them. The generalized
+//! groupjoin's *empty defaults* carry the outerjoin's `F¹({⊥}), c : 1`
+//! vector, which is precisely the `count(*)(∅) := 1` convention the paper
+//! introduces to make these equivalences hold.
+//!
+//! Under `C_out` the fusion is always beneficial: the grouped intermediate
+//! and the join result are replaced by a single operator producing one
+//! tuple per left tuple.
+
+use dpnext_algebra::{AggCall, AggKind, AlgExpr, AttrId, CmpOp, Expr};
+use std::collections::HashSet;
+
+/// Attributes an ancestor chain still needs from a subtree's output.
+/// `None` means unknown (assume everything is needed — no fusion).
+type Needed = Option<HashSet<AttrId>>;
+
+/// Fuse eligible outerjoin/join + grouping pairs into groupjoins.
+/// Returns the rewritten tree and the number of fusions performed.
+pub fn fuse_groupjoins(root: &AlgExpr) -> (AlgExpr, usize) {
+    let mut count = 0;
+    // The needed set at the root: a final projection tells us exactly.
+    let needed: Needed = match root {
+        AlgExpr::Project { attrs, .. } => Some(attrs.iter().copied().collect()),
+        _ => None,
+    };
+    let fused = fuse(root, &needed, &mut count);
+    (fused, count)
+}
+
+fn union_refs(needed: &Needed, extra: impl IntoIterator<Item = AttrId>) -> Needed {
+    needed.as_ref().map(|set| {
+        let mut s = set.clone();
+        s.extend(extra);
+        s
+    })
+}
+
+/// Is `e1 (⋈|⟕) Γ_{g2;aggs}(..)` fusable at this point?
+fn fusable(pred: &dpnext_algebra::JoinPred, g2: &[AttrId], needed: &Needed) -> bool {
+    let Some(needed) = needed else {
+        return false;
+    };
+    if !pred.is_equi() || pred.terms.is_empty() {
+        return false;
+    }
+    // The grouping attributes must be exactly the join attributes …
+    let mut rattrs: Vec<AttrId> = pred.right_attrs();
+    rattrs.sort_unstable();
+    rattrs.dedup();
+    let mut gattrs: Vec<AttrId> = g2.to_vec();
+    gattrs.sort_unstable();
+    if rattrs != gattrs {
+        return false;
+    }
+    // … and nobody above may still need them (the groupjoin drops them).
+    g2.iter().all(|a| !needed.contains(a))
+}
+
+/// The count column used to filter an inner-join fusion: only a literal
+/// `count(*)` is guaranteed positive for matched groups and 0 for the
+/// empty group. (A `sum` column could be a *user* aggregate whose values
+/// may be negative or NULL — never filter on those.)
+fn countish_column(aggs: &[AggCall]) -> Option<AttrId> {
+    aggs.iter().find(|c| c.kind == AggKind::CountStar).map(|c| c.out)
+}
+
+fn fuse(node: &AlgExpr, needed: &Needed, count: &mut usize) -> AlgExpr {
+    match node {
+        AlgExpr::Scan(_) => node.clone(),
+        AlgExpr::Project { input, attrs, dedup } => AlgExpr::Project {
+            input: Box::new(fuse(input, &Some(attrs.iter().copied().collect()), count)),
+            attrs: attrs.clone(),
+            dedup: *dedup,
+        },
+        AlgExpr::Map { input, exts } => {
+            let refs = exts.iter().flat_map(|(_, e)| {
+                let mut v = Vec::new();
+                e.referenced(&mut v);
+                v
+            });
+            let child = union_refs(needed, refs);
+            AlgExpr::Map { input: Box::new(fuse(input, &child, count)), exts: exts.clone() }
+        }
+        AlgExpr::GroupBy { input, attrs, aggs } => {
+            // A grouping reads exactly its attributes and arguments.
+            let mut set: HashSet<AttrId> = attrs.iter().copied().collect();
+            for c in aggs {
+                set.extend(c.referenced());
+            }
+            AlgExpr::GroupBy {
+                input: Box::new(fuse(input, &Some(set), count)),
+                attrs: attrs.clone(),
+                aggs: aggs.clone(),
+            }
+        }
+        AlgExpr::Select { input, left, op, right } => {
+            let mut refs = Vec::new();
+            left.referenced(&mut refs);
+            right.referenced(&mut refs);
+            let child = union_refs(needed, refs);
+            AlgExpr::Select {
+                input: Box::new(fuse(input, &child, count)),
+                left: left.clone(),
+                op: *op,
+                right: right.clone(),
+            }
+        }
+        AlgExpr::LeftOuterJoin { left, right, pred, defaults } => {
+            let child = union_refs(needed, pred.all_attrs());
+            if let AlgExpr::GroupBy { input, attrs, aggs } = right.as_ref() {
+                if fusable(pred, attrs, needed)
+                    && defaults.iter().all(|(d, _)| aggs.iter().any(|c| c.out == *d))
+                {
+                    *count += 1;
+                    return AlgExpr::GroupJoin {
+                        left: Box::new(fuse(left, &child, count)),
+                        right: Box::new(fuse(input, &group_input_needed(attrs, aggs), count)),
+                        pred: pred.clone(),
+                        aggs: aggs.clone(),
+                        empty_defaults: defaults.clone(),
+                    };
+                }
+            }
+            AlgExpr::LeftOuterJoin {
+                left: Box::new(fuse(left, &child, count)),
+                right: Box::new(fuse(right, &child, count)),
+                pred: pred.clone(),
+                defaults: defaults.clone(),
+            }
+        }
+        AlgExpr::InnerJoin { left, right, pred } => {
+            let child = union_refs(needed, pred.all_attrs());
+            if let AlgExpr::GroupBy { input, attrs, aggs } = right.as_ref() {
+                if fusable(pred, attrs, needed) {
+                    if let Some(c) = countish_column(aggs) {
+                        *count += 1;
+                        let gj = AlgExpr::GroupJoin {
+                            left: Box::new(fuse(left, &child, count)),
+                            right: Box::new(fuse(input, &group_input_needed(attrs, aggs), count)),
+                            pred: pred.clone(),
+                            aggs: aggs.clone(),
+                            empty_defaults: vec![],
+                        };
+                        return AlgExpr::Select {
+                            input: Box::new(gj),
+                            left: Expr::attr(c),
+                            op: CmpOp::Gt,
+                            right: Expr::int(0),
+                        };
+                    }
+                }
+            }
+            AlgExpr::InnerJoin {
+                left: Box::new(fuse(left, &child, count)),
+                right: Box::new(fuse(right, &child, count)),
+                pred: pred.clone(),
+            }
+        }
+        AlgExpr::SemiJoin { left, right, pred } => {
+            let child = union_refs(needed, pred.all_attrs());
+            AlgExpr::SemiJoin {
+                left: Box::new(fuse(left, &child, count)),
+                right: Box::new(fuse(right, &child, count)),
+                pred: pred.clone(),
+            }
+        }
+        AlgExpr::AntiJoin { left, right, pred } => {
+            let child = union_refs(needed, pred.all_attrs());
+            AlgExpr::AntiJoin {
+                left: Box::new(fuse(left, &child, count)),
+                right: Box::new(fuse(right, &child, count)),
+                pred: pred.clone(),
+            }
+        }
+        AlgExpr::FullOuterJoin { left, right, pred, d1, d2 } => {
+            // A full outerjoin keeps unmatched right tuples: not fusable.
+            let child = union_refs(needed, pred.all_attrs());
+            AlgExpr::FullOuterJoin {
+                left: Box::new(fuse(left, &child, count)),
+                right: Box::new(fuse(right, &child, count)),
+                pred: pred.clone(),
+                d1: d1.clone(),
+                d2: d2.clone(),
+            }
+        }
+        AlgExpr::GroupJoin { left, right, pred, aggs, empty_defaults } => {
+            let mut child_refs: Vec<AttrId> = pred.all_attrs();
+            for c in aggs {
+                child_refs.extend(c.referenced());
+            }
+            let child = union_refs(needed, child_refs);
+            AlgExpr::GroupJoin {
+                left: Box::new(fuse(left, &child, count)),
+                right: Box::new(fuse(right, &child, count)),
+                pred: pred.clone(),
+                aggs: aggs.clone(),
+                empty_defaults: empty_defaults.clone(),
+            }
+        }
+        AlgExpr::Cross(l, r) => {
+            AlgExpr::Cross(Box::new(fuse(l, &None, count)), Box::new(fuse(r, &None, count)))
+        }
+        AlgExpr::UnionAll(l, r) => {
+            AlgExpr::UnionAll(Box::new(fuse(l, &None, count)), Box::new(fuse(r, &None, count)))
+        }
+    }
+}
+
+/// What the input of a (fused-away) grouping must still provide.
+fn group_input_needed(attrs: &[AttrId], aggs: &[AggCall]) -> Needed {
+    let mut set: HashSet<AttrId> = attrs.iter().copied().collect();
+    for c in aggs {
+        set.extend(c.referenced());
+    }
+    Some(set)
+}

@@ -1,0 +1,37 @@
+//! # dpnext-core
+//!
+//! The paper's primary contribution: a DP-based plan generator that
+//! explores **join ordering and grouping placement simultaneously**
+//! (Eich & Moerkotte, *Dynamic Programming: The Next Step*, ICDE 2015).
+//!
+//! Public entry point: [`optimize`] with an [`Algorithm`]:
+//!
+//! * [`Algorithm::DPhyp`] — the baseline: join reordering only,
+//! * [`Algorithm::EaAll`] — complete eager-aggregation enumeration (Fig. 9),
+//! * [`Algorithm::EaPrune`] — with optimality-preserving dominance pruning
+//!   (Figs. 13/14),
+//! * [`Algorithm::H1`] / [`Algorithm::H2`] — the two heuristics
+//!   (Figs. 10/12).
+//!
+//! Optimized plans compile into executable [`dpnext_algebra::AlgExpr`]
+//! trees, so every transformation can be validated against the canonical
+//! plan on real data.
+
+pub mod aggstate;
+pub mod algo;
+pub mod context;
+pub mod explain;
+pub mod finalize;
+pub mod fusion;
+pub mod optrees;
+pub mod plan;
+
+#[cfg(test)]
+mod tests;
+
+pub use algo::{all_subplans, optimize, optimize_with_pruning, Algorithm, DominanceKind, Optimized};
+pub use context::OptContext;
+pub use explain::explain;
+pub use finalize::{compile, finalize, FinalPlan};
+pub use fusion::fuse_groupjoins;
+pub use plan::{make_apply, make_group, make_scan, Plan, PlanData, PlanNode};

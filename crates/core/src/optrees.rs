@@ -1,0 +1,85 @@
+//! The `OpTrees` routine (Fig. 6): for one operator application, produce
+//! the up-to-four join trees with all valid eager-aggregation variants.
+
+use crate::context::OptContext;
+use crate::plan::{make_apply, make_group, Plan};
+use dpnext_keys::needs_grouping;
+use dpnext_query::OpKind;
+
+/// Which sides of an operator a grouping may be pushed into, per the
+/// equivalences of §3 (`Valid` in Fig. 6):
+///
+/// * inner join — both sides (Eqvs. 10/13, 16/19, …),
+/// * left outerjoin — left (Eqv. 17) and right with `F¹({⊥})` defaults
+///   (Eqvs. 14/20),
+/// * full outerjoin — both sides with defaults (Eqvs. 12/15, 18/21),
+/// * semijoin / antijoin / groupjoin — left only (Eqvs. 37–41): their
+///   results expose only left attributes.
+fn may_push(op: OpKind) -> (bool, bool) {
+    match op {
+        OpKind::Join | OpKind::FullOuter | OpKind::LeftOuter => (true, true),
+        OpKind::Semi | OpKind::Anti | OpKind::GroupJoin => (true, false),
+    }
+}
+
+/// Is pushing a grouping onto `t` valid and useful?
+///
+/// * `Valid`: the aggregation vector restricted to `t` must be splittable
+///   off and decomposable (`ctx.can_group`),
+/// * usefulness: grouping is skipped when `G⁺` already contains a key of a
+///   duplicate-free `t` (Fig. 6 lines 10/15: `NeedsGrouping(G⁺ᵢ, …)`),
+/// * no double grouping: `Γ(Γ(e))` never helps.
+fn pushable(ctx: &OptContext, t: &Plan) -> bool {
+    if !ctx.has_grouping() || t.is_group() || !ctx.can_group(t.set) {
+        return false;
+    }
+    let gplus = ctx.gplus(t.set);
+    needs_grouping(&gplus, &t.keyinfo)
+}
+
+/// Build all operator trees for `t1 ◦ t2` (physical orientation):
+/// plain, `Γ(t1) ◦ t2`, `t1 ◦ Γ(t2)`, `Γ(t1) ◦ Γ(t2)` — Fig. 8 (a)–(d).
+pub fn op_trees(
+    ctx: &OptContext,
+    op_idx: usize,
+    extra: &[usize],
+    t1: &Plan,
+    t2: &Plan,
+) -> Vec<Plan> {
+    let mut out = Vec::with_capacity(4);
+    let op = ctx.cq.ops[op_idx].op;
+    let (left_ok, right_ok) = may_push(op);
+
+    if let Some(p) = make_apply(ctx, op_idx, extra, t1, t2) {
+        out.push(p);
+    }
+    let g1 = (left_ok && pushable(ctx, t1)).then(|| make_group(ctx, t1));
+    let g2 = (right_ok && pushable(ctx, t2)).then(|| make_group(ctx, t2));
+    if let Some(g1) = &g1 {
+        if let Some(p) = make_apply(ctx, op_idx, extra, g1, t2) {
+            out.push(p);
+        }
+    }
+    if let Some(g2) = &g2 {
+        if let Some(p) = make_apply(ctx, op_idx, extra, t1, g2) {
+            out.push(p);
+        }
+    }
+    if let (Some(g1), Some(g2)) = (&g1, &g2) {
+        if let Some(p) = make_apply(ctx, op_idx, extra, g1, g2) {
+            out.push(p);
+        }
+    }
+    out
+}
+
+/// Baseline variant: only the plain tree (DPhyp without eager aggregation).
+pub fn op_tree_plain(
+    ctx: &OptContext,
+    op_idx: usize,
+    extra: &[usize],
+    t1: &Plan,
+    t2: &Plan,
+) -> Option<Plan> {
+    make_apply(ctx, op_idx, extra, t1, t2)
+}

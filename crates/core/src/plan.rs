@@ -1,0 +1,235 @@
+//! DP plan nodes and their logical properties.
+
+use crate::aggstate::{build_group_aggs, AggState};
+use crate::context::OptContext;
+use dpnext_algebra::{AggCall, AttrId, JoinPred};
+use dpnext_cost::{distinct_in, grouping_card, join_card};
+use dpnext_hypergraph::NodeSet;
+use dpnext_keys::{grouping_keys, infer_join_keys, KeyInfo, KeySet};
+use dpnext_query::OpKind;
+use std::rc::Rc;
+
+/// A shared, immutable plan.
+pub type Plan = Rc<PlanData>;
+
+/// One operator of a plan tree.
+#[derive(Debug, Clone)]
+pub enum PlanNode {
+    /// Scan of a table occurrence.
+    Scan { table: usize },
+    /// A binary operator application with the (oriented, merged) predicate.
+    Apply {
+        op: OpKind,
+        pred: JoinPred,
+        gj_aggs: Vec<AggCall>,
+        left: Plan,
+        right: Plan,
+    },
+    /// An eager-aggregation grouping `Γ_{G⁺(S); F¹ ∘ (c : count(*))}`.
+    Group {
+        attrs: Vec<AttrId>,
+        aggs: Vec<AggCall>,
+        input: Plan,
+    },
+}
+
+/// A plan plus its derived logical properties.
+#[derive(Debug, Clone)]
+pub struct PlanData {
+    pub node: PlanNode,
+    /// Relations covered.
+    pub set: NodeSet,
+    /// Estimated output cardinality.
+    pub card: f64,
+    /// Accumulated `C_out`.
+    pub cost: f64,
+    /// Candidate keys + duplicate-freeness.
+    pub keyinfo: KeyInfo,
+    /// Aggregation state (positions of original aggregates, count columns).
+    pub agg: AggState,
+    /// Attributes visible in the output.
+    pub visible: Vec<AttrId>,
+    /// Whether any `Group` node occurs in the tree.
+    pub has_grouping: bool,
+    /// Bitmask of applied operators (indices into the conflicted query's
+    /// operator list). A complete plan must apply every operator exactly
+    /// once; this is asserted before finalization.
+    pub applied: u64,
+}
+
+impl PlanData {
+    /// `Eagerness` of a plan (§4.5): the number of grouping operators that
+    /// are a direct child of the topmost join operator.
+    pub fn eagerness(&self) -> u32 {
+        match &self.node {
+            PlanNode::Apply { left, right, .. } => {
+                let l = matches!(left.node, PlanNode::Group { .. }) as u32;
+                let r = matches!(right.node, PlanNode::Group { .. }) as u32;
+                l + r
+            }
+            _ => 0,
+        }
+    }
+
+    pub fn is_group(&self) -> bool {
+        matches!(self.node, PlanNode::Group { .. })
+    }
+}
+
+/// Build a scan plan for table occurrence `i`.
+pub fn make_scan(ctx: &OptContext, i: usize) -> Plan {
+    let t = &ctx.query.tables[i];
+    let keys = KeySet::from_keys(t.keys.iter().cloned());
+    Rc::new(PlanData {
+        node: PlanNode::Scan { table: i },
+        set: NodeSet::single(i),
+        card: t.card,
+        cost: 0.0, // scans are free under C_out
+        keyinfo: KeyInfo::base(keys),
+        agg: AggState::fresh(ctx.aggs().len()),
+        visible: t.attrs.clone(),
+        has_grouping: false,
+        applied: 0,
+    })
+}
+
+/// Orient one predicate term so its left attribute comes from `left_set`.
+fn orient_term(
+    ctx: &OptContext,
+    (l, op, r): (AttrId, dpnext_algebra::CmpOp, AttrId),
+    left_set: NodeSet,
+) -> (AttrId, dpnext_algebra::CmpOp, AttrId) {
+    if ctx.origin(l).is_subset_of(left_set) {
+        (l, op, r)
+    } else {
+        debug_assert!(ctx.origin(r).is_subset_of(left_set));
+        (r, op.flip(), l)
+    }
+}
+
+/// Apply operator `op_idx` (plus any extra inner-join edges crossing the
+/// same cut, for cyclic queries) on two plans. `left`/`right` are already
+/// in physical orientation. Returns `None` when required attributes are
+/// unavailable (structurally prevented, checked defensively).
+pub fn make_apply(
+    ctx: &OptContext,
+    op_idx: usize,
+    extra: &[usize],
+    left: &Plan,
+    right: &Plan,
+) -> Option<Plan> {
+    let op = &ctx.cq.ops[op_idx];
+    let kind = op.op;
+    // Groupjoins evaluate their aggregates over raw right-side tuples: a
+    // pre-aggregated right side would aggregate groups instead.
+    if kind == OpKind::GroupJoin && right.has_grouping {
+        return None;
+    }
+    // Merge and orient all predicates crossing this cut.
+    let mut terms = Vec::new();
+    let mut sel = op.sel;
+    for t in &op.pred.terms {
+        terms.push(orient_term(ctx, *t, left.set));
+    }
+    for &ei in extra {
+        let e = &ctx.cq.ops[ei];
+        debug_assert_eq!(OpKind::Join, e.op, "only inner joins may share a cut");
+        sel *= e.sel;
+        for t in &e.pred.terms {
+            terms.push(orient_term(ctx, *t, left.set));
+        }
+    }
+    let pred = JoinPred { terms };
+    // Defensive visibility check.
+    for &(l, _, r) in &pred.terms {
+        if !left.visible.contains(&l) || !right.visible.contains(&r) {
+            return None;
+        }
+    }
+    for call in &op.gj_aggs {
+        for a in call.referenced() {
+            if !right.visible.contains(&a) {
+                return None;
+            }
+        }
+    }
+
+    let set = left.set.union(right.set);
+    // Distinct join-value counts per side (products of the base distinct
+    // counts of the predicate attributes) for the match probability.
+    let d_left: f64 = pred.left_attrs().iter().map(|&a| ctx.distinct(a)).product();
+    let d_right: f64 = pred.right_attrs().iter().map(|&a| ctx.distinct(a)).product();
+    let card = join_card(kind, left.card, right.card, sel, d_left, d_right);
+    let cost = left.cost + right.cost + card;
+    let keyinfo = infer_join_keys(kind, &left.keyinfo, &right.keyinfo, &pred);
+    let agg = if kind.preserves_right() {
+        left.agg.merge(&right.agg)
+    } else {
+        left.agg.merge(&right.agg).keep_left(left.set)
+    };
+    let mut visible = left.visible.clone();
+    if kind.preserves_right() {
+        visible.extend_from_slice(&right.visible);
+    }
+    visible.extend(op.gj_aggs.iter().map(|c| c.out));
+
+    let mut applied = left.applied | right.applied | (1u64 << op_idx);
+    for &ei in extra {
+        applied |= 1u64 << ei;
+    }
+    debug_assert_eq!(
+        left.applied & right.applied,
+        0,
+        "operator applied twice across join inputs"
+    );
+
+    ctx.count_plan();
+    Some(Rc::new(PlanData {
+        node: PlanNode::Apply {
+            op: kind,
+            pred,
+            gj_aggs: op.gj_aggs.clone(),
+            left: left.clone(),
+            right: right.clone(),
+        },
+        set,
+        card,
+        cost,
+        keyinfo,
+        agg,
+        visible,
+        has_grouping: left.has_grouping || right.has_grouping,
+        applied,
+    }))
+}
+
+/// Wrap a plan in an eager-aggregation grouping over `G⁺(S)`.
+///
+/// Callers must have checked `ctx.can_group(input.set)` and the usefulness
+/// condition (`NeedsGrouping`); this constructor only assembles the node.
+pub fn make_group(ctx: &OptContext, input: &Plan) -> Plan {
+    let s = input.set;
+    let gattrs = ctx.gplus(s);
+    debug_assert!(
+        gattrs.iter().all(|a| input.visible.contains(a)),
+        "G⁺({s}) not fully visible"
+    );
+    let (aggs, state) = build_group_aggs(ctx, &input.agg, s);
+    let distincts: Vec<f64> = gattrs.iter().map(|&a| distinct_in(ctx.distinct(a), input.card)).collect();
+    let card = grouping_card(input.card, &distincts);
+    let cost = input.cost + card;
+    let mut visible: Vec<AttrId> = gattrs.to_vec();
+    visible.extend(aggs.iter().map(|c| c.out));
+    ctx.count_plan();
+    Rc::new(PlanData {
+        node: PlanNode::Group { attrs: gattrs.to_vec(), aggs, input: input.clone() },
+        set: s,
+        card,
+        cost,
+        keyinfo: grouping_keys(&gattrs),
+        agg: state,
+        visible,
+        has_grouping: true,
+        applied: input.applied,
+    })
+}

@@ -1,0 +1,334 @@
+//! Unit tests for the optimizer internals: context (`G⁺`, `can_group`),
+//! aggregation-state rewriting, plan constructors, `OpTrees` and
+//! finalization.
+
+use crate::aggstate::{AggPos, AggState};
+use crate::context::OptContext;
+use crate::finalize::finalize;
+use crate::optrees::op_trees;
+use crate::plan::{make_apply, make_group, make_scan};
+use dpnext_algebra::{AggCall, AggKind, AttrGen, AttrId, Expr, JoinPred, Value};
+use dpnext_hypergraph::NodeSet;
+use dpnext_query::{GroupSpec, OpKind, OpTree, Query, QueryTable};
+
+fn a(i: u32) -> AttrId {
+    AttrId(i)
+}
+
+/// `r0(a0 key, a1) ⋈ r1(a2, a3)`, group by a1, aggregates
+/// `count(*), sum(a3)`.
+fn two_table_ctx(op: OpKind) -> OptContext {
+    let t0 = QueryTable::new("r0", vec![a(0), a(1)], 100.0)
+        .with_distinct(vec![100.0, 10.0])
+        .with_key(vec![a(0)]);
+    let t1 = QueryTable::new("r1", vec![a(2), a(3)], 50.0).with_distinct(vec![25.0, 5.0]);
+    // Join on the non-key column a1 so that G⁺ of the left side does not
+    // cover r0's key (otherwise pushing a grouping there is useless and
+    // OpTrees rightly skips it).
+    let tree = OpTree::binary_sel(op, JoinPred::eq(a(1), a(2)), 0.01, OpTree::rel(0), OpTree::rel(1));
+    let mut gen = AttrGen::new(100);
+    let grouping = if op.preserves_right() {
+        GroupSpec::new(
+            vec![a(1)],
+            vec![
+                AggCall::count_star(a(50)),
+                AggCall::new(a(51), AggKind::Sum, Expr::attr(a(3))),
+            ],
+            &mut gen,
+        )
+    } else {
+        GroupSpec::new(vec![a(1)], vec![AggCall::count_star(a(50))], &mut gen)
+    };
+    let q = Query::new(vec![t0, t1], tree, Some(grouping));
+    OptContext::new(q)
+}
+
+mod context {
+    use super::*;
+
+    #[test]
+    fn gplus_includes_group_and_crossing_join_attrs() {
+        let ctx = two_table_ctx(OpKind::Join);
+        let g0 = ctx.gplus(NodeSet::single(0));
+        // a1 is both the grouping attribute and the crossing join attribute.
+        assert_eq!(vec![a(1)], *g0);
+        let g1 = ctx.gplus(NodeSet::single(1));
+        assert_eq!(vec![a(2)], *g1); // join attr only
+        // Full set: nothing crosses; only the grouping attribute remains.
+        let gf = ctx.gplus(NodeSet::full(2));
+        assert_eq!(vec![a(1)], *gf);
+    }
+
+    #[test]
+    fn gplus_is_cached() {
+        let ctx = two_table_ctx(OpKind::Join);
+        let p1 = ctx.gplus(NodeSet::single(0));
+        let p2 = ctx.gplus(NodeSet::single(0));
+        assert!(std::rc::Rc::ptr_eq(&p1, &p2));
+    }
+
+    #[test]
+    fn can_group_blocks_non_decomposable() {
+        let t0 = QueryTable::new("r0", vec![a(0)], 10.0);
+        let t1 = QueryTable::new("r1", vec![a(1)], 10.0);
+        let tree =
+            OpTree::binary(OpKind::Join, JoinPred::eq(a(0), a(1)), OpTree::rel(0), OpTree::rel(1));
+        let mut gen = AttrGen::new(100);
+        let spec = GroupSpec::new(
+            vec![a(0)],
+            vec![AggCall::new(a(50), AggKind::SumDistinct, Expr::attr(a(1)))],
+            &mut gen,
+        );
+        let ctx = OptContext::new(Query::new(vec![t0, t1], tree, Some(spec)));
+        // sum(distinct a1) is not decomposable: side {1} cannot be grouped.
+        assert!(!ctx.can_group(NodeSet::single(1)));
+        // Side {0} holds no aggregate arguments: free to group.
+        assert!(ctx.can_group(NodeSet::single(0)));
+    }
+
+    #[test]
+    fn count_star_never_blocks_grouping() {
+        let ctx = two_table_ctx(OpKind::Join);
+        assert!(ctx.can_group(NodeSet::single(0)));
+        assert!(ctx.can_group(NodeSet::single(1)));
+        assert!(ctx.can_group(NodeSet::full(2)));
+    }
+
+    #[test]
+    fn fresh_attrs_above_query_attrs() {
+        let ctx = two_table_ctx(OpKind::Join);
+        let f = ctx.fresh_attr();
+        assert!(f.0 > 51);
+    }
+}
+
+mod aggstate {
+    use super::*;
+
+    #[test]
+    fn merge_prefers_partials() {
+        let raw = AggState::fresh(2);
+        let mut grouped = AggState::fresh(2);
+        grouped.pos[1] = AggPos::Partial { col: a(60), scope: NodeSet::single(1) };
+        grouped.counts.push((NodeSet::single(1), a(61)));
+        let merged = raw.merge(&grouped);
+        assert_eq!(AggPos::Raw, merged.pos[0]);
+        assert!(matches!(merged.pos[1], AggPos::Partial { .. }));
+        assert_eq!(1, merged.counts.len());
+    }
+
+    #[test]
+    fn keep_left_drops_right_state() {
+        let mut st = AggState::fresh(1);
+        st.counts.push((NodeSet::single(1), a(61)));
+        st.counts.push((NodeSet::single(0), a(62)));
+        let kept = st.keep_left(NodeSet::single(0));
+        assert_eq!(vec![(NodeSet::single(0), a(62))], kept.counts);
+    }
+
+    #[test]
+    fn multiplier_products() {
+        let mut st = AggState::fresh(0);
+        assert!(st.multiplier().is_none());
+        st.counts.push((NodeSet::single(0), a(60)));
+        assert_eq!(Expr::attr(a(60)), st.multiplier().unwrap());
+        st.counts.push((NodeSet::single(1), a(61)));
+        let m = st.multiplier().unwrap();
+        assert_eq!(Expr::attr(a(60)).mul(Expr::attr(a(61))), m);
+        // Excluding one scope removes exactly its column.
+        assert_eq!(
+            Expr::attr(a(61)),
+            st.multiplier_excluding(NodeSet::single(0)).unwrap()
+        );
+    }
+
+    #[test]
+    fn padding_defaults_per_kind() {
+        let aggs = vec![
+            AggCall::new(a(50), AggKind::Sum, Expr::attr(a(3))),
+            AggCall::new(a(51), AggKind::Count, Expr::attr(a(3))),
+        ];
+        let mut st = AggState::fresh(2);
+        st.counts.push((NodeSet::single(1), a(60)));
+        st.pos[0] = AggPos::Partial { col: a(61), scope: NodeSet::single(1) };
+        st.pos[1] = AggPos::Partial { col: a(62), scope: NodeSet::single(1) };
+        let d = st.padding_defaults(&aggs);
+        assert!(d.contains(&(a(60), Value::Int(1)))); // count column → 1
+        assert!(d.contains(&(a(61), Value::Null))); // sum partial → NULL
+        assert!(d.contains(&(a(62), Value::Int(0)))); // count partial → 0
+    }
+}
+
+mod plans {
+    use super::*;
+
+    #[test]
+    fn scan_properties() {
+        let ctx = two_table_ctx(OpKind::Join);
+        let s = make_scan(&ctx, 0);
+        assert_eq!(100.0, s.card);
+        assert_eq!(0.0, s.cost); // scans free under C_out
+        assert!(s.keyinfo.duplicate_free);
+        assert_eq!(0, s.applied);
+    }
+
+    #[test]
+    fn apply_costs_and_bitmask() {
+        let ctx = two_table_ctx(OpKind::Join);
+        let l = make_scan(&ctx, 0);
+        let r = make_scan(&ctx, 1);
+        let j = make_apply(&ctx, 0, &[], &l, &r).unwrap();
+        assert_eq!(50.0, j.card); // 100 × 50 × 0.01
+        assert_eq!(50.0, j.cost);
+        assert_eq!(1, j.applied);
+        assert_eq!(0, j.eagerness());
+    }
+
+    #[test]
+    fn group_reduces_cardinality_and_sets_keys() {
+        let ctx = two_table_ctx(OpKind::Join);
+        let l = make_scan(&ctx, 0);
+        let g = make_group(&ctx, &l);
+        // G⁺({0}) = {a1} with 10 distinct values.
+        assert_eq!(10.0, g.card);
+        assert!(g.keyinfo.duplicate_free);
+        assert!(g.has_grouping);
+        // Grouping the small side: G⁺({1}) = {a2} with 25 distinct values.
+        let r = make_scan(&ctx, 1);
+        let gr = make_group(&ctx, &r);
+        assert_eq!(25.0, gr.card);
+        assert_eq!(25.0 + 0.0, gr.cost);
+    }
+
+    #[test]
+    fn group_rewrites_aggregates() {
+        let ctx = two_table_ctx(OpKind::Join);
+        let r = make_scan(&ctx, 1);
+        let g = make_group(&ctx, &r);
+        // sum(a3) is partialed; count(*) stays raw (derived from counts).
+        assert!(matches!(g.agg.pos[1], AggPos::Partial { .. }));
+        assert_eq!(AggPos::Raw, g.agg.pos[0]);
+        assert_eq!(1, g.agg.counts.len());
+    }
+
+    #[test]
+    fn groupjoin_rejects_grouped_right() {
+        let t0 = QueryTable::new("r0", vec![a(0)], 10.0);
+        let t1 = QueryTable::new("r1", vec![a(1), a(2)], 10.0);
+        let gj = vec![AggCall::new(a(60), AggKind::Sum, Expr::attr(a(2)))];
+        let tree = OpTree::groupjoin(JoinPred::eq(a(0), a(1)), gj, OpTree::rel(0), OpTree::rel(1));
+        let mut gen = AttrGen::new(100);
+        let spec = GroupSpec::new(vec![a(0)], vec![AggCall::count_star(a(70))], &mut gen);
+        let ctx = OptContext::new(Query::new(vec![t0, t1], tree, Some(spec)));
+        let l = make_scan(&ctx, 0);
+        let r = make_scan(&ctx, 1);
+        let grouped_r = make_group(&ctx, &r);
+        assert!(make_apply(&ctx, 0, &[], &l, &grouped_r).is_none());
+        assert!(make_apply(&ctx, 0, &[], &l, &r).is_some());
+    }
+}
+
+mod optrees {
+    use super::*;
+
+    fn variants(op: OpKind) -> usize {
+        let ctx = two_table_ctx(op);
+        let l = make_scan(&ctx, 0);
+        let r = make_scan(&ctx, 1);
+        op_trees(&ctx, 0, &[], &l, &r).len()
+    }
+
+    #[test]
+    fn join_yields_up_to_four_variants() {
+        // plain, Γ(left), Γ(right), Γ(both) — Fig. 8 (a)-(d).
+        assert_eq!(4, variants(OpKind::Join));
+    }
+
+    #[test]
+    fn outerjoins_push_both_sides() {
+        assert_eq!(4, variants(OpKind::LeftOuter));
+        assert_eq!(4, variants(OpKind::FullOuter));
+    }
+
+    #[test]
+    fn semi_anti_push_left_only() {
+        assert_eq!(2, variants(OpKind::Semi));
+        assert_eq!(2, variants(OpKind::Anti));
+    }
+
+    #[test]
+    fn useless_grouping_skipped_when_gplus_covers_key() {
+        // Make the left side's G⁺ contain its key: grouping is a waste and
+        // must not be generated (Fig. 6 line 10).
+        let t0 = QueryTable::new("r0", vec![a(0)], 100.0).with_key(vec![a(0)]);
+        let t1 = QueryTable::new("r1", vec![a(2), a(3)], 50.0);
+        let tree = OpTree::binary(OpKind::Join, JoinPred::eq(a(0), a(2)), OpTree::rel(0), OpTree::rel(1));
+        let mut gen = AttrGen::new(100);
+        let spec = GroupSpec::new(
+            vec![a(3)],
+            vec![AggCall::count_star(a(50))],
+            &mut gen,
+        );
+        let ctx = OptContext::new(Query::new(vec![t0, t1], tree, Some(spec)));
+        let l = make_scan(&ctx, 0);
+        let r = make_scan(&ctx, 1);
+        // G⁺({0}) = {a0} ⊇ key {a0} of duplicate-free r0 → only the right
+        // side may be grouped: plain + Γ(right) = 2 variants.
+        assert_eq!(2, op_trees(&ctx, 0, &[], &l, &r).len());
+    }
+}
+
+mod finalization {
+    use super::*;
+
+    #[test]
+    fn top_grouping_added_when_needed() {
+        let ctx = two_table_ctx(OpKind::Join);
+        let l = make_scan(&ctx, 0);
+        let r = make_scan(&ctx, 1);
+        let j = make_apply(&ctx, 0, &[], &l, &r).unwrap();
+        let f = finalize(&ctx, &j);
+        assert!(f.top_grouping);
+        // Cost = join output + grouping output (10 groups on a1).
+        assert_eq!(50.0 + 10.0, f.cost);
+    }
+
+    #[test]
+    fn top_grouping_eliminated_when_g_covers_key() {
+        // Group by the key a0 of duplicate-free r0 joined FK-style.
+        let t0 = QueryTable::new("r0", vec![a(0), a(1)], 100.0).with_key(vec![a(0)]);
+        let t1 = QueryTable::new("r1", vec![a(2)], 50.0).with_key(vec![a(2)]);
+        let tree = OpTree::binary_sel(
+            OpKind::Join,
+            JoinPred::eq(a(1), a(2)),
+            1.0 / 50.0,
+            OpTree::rel(0),
+            OpTree::rel(1),
+        );
+        let mut gen = AttrGen::new(100);
+        let spec = GroupSpec::new(vec![a(0)], vec![AggCall::count_star(a(50))], &mut gen);
+        let ctx = OptContext::new(Query::new(vec![t0, t1], tree, Some(spec)));
+        let l = make_scan(&ctx, 0);
+        let r = make_scan(&ctx, 1);
+        // a2 is a key of r1: each r0 tuple joins at most once → keys of r0
+        // survive; G = {a0} ⊇ key → grouping eliminated.
+        let j = make_apply(&ctx, 0, &[], &l, &r).unwrap();
+        let f = finalize(&ctx, &j);
+        assert!(!f.top_grouping);
+        assert_eq!(j.cost, f.cost); // map + projection are free
+    }
+
+    #[test]
+    fn no_grouping_query_finalizes_trivially() {
+        let t0 = QueryTable::new("r0", vec![a(0)], 10.0);
+        let t1 = QueryTable::new("r1", vec![a(1)], 10.0);
+        let tree = OpTree::binary(OpKind::Join, JoinPred::eq(a(0), a(1)), OpTree::rel(0), OpTree::rel(1));
+        let ctx = OptContext::new(Query::new(vec![t0, t1], tree, None));
+        let l = make_scan(&ctx, 0);
+        let r = make_scan(&ctx, 1);
+        let j = make_apply(&ctx, 0, &[], &l, &r).unwrap();
+        let f = finalize(&ctx, &j);
+        assert!(!f.top_grouping);
+        assert_eq!(j.cost, f.cost);
+    }
+}

@@ -1,0 +1,164 @@
+//! The end-to-end correctness oracle: every plan produced by every
+//! algorithm, compiled and executed on real data, must be bag-equal to the
+//! canonical (unoptimized) plan. This validates the §3 equivalences, the
+//! conflict detector, key inference, aggregation-state rewriting and plan
+//! compilation together.
+
+use dpnext_core::{optimize, Algorithm};
+use dpnext_workload::{generate_data, generate_query, GenConfig, OpWeights};
+
+fn algorithms() -> Vec<Algorithm> {
+    vec![
+        Algorithm::DPhyp,
+        Algorithm::H1,
+        Algorithm::H2(1.03),
+        Algorithm::EaAll,
+        Algorithm::EaPrune,
+    ]
+}
+
+fn check_seed(cfg: &GenConfig, seed: u64) {
+    let query = generate_query(cfg, seed);
+    let db = generate_data(&query, 8, 0.15, seed.wrapping_mul(31).wrapping_add(7));
+    let expected = query.canonical_plan().eval(&db);
+    for algo in algorithms() {
+        let opt = optimize(&query, algo);
+        let got = opt.plan.root.eval(&db);
+        assert!(
+            got.bag_eq(&expected),
+            "algorithm {} differs from canonical on seed {seed} (n={})\nplan:\n{}\nexpected:\n{expected}\ngot:\n{got}",
+            algo.name(),
+            cfg.n_relations,
+            opt.plan.root,
+        );
+    }
+}
+
+#[test]
+fn oracle_mixed_operators_small() {
+    for n in 2..=5 {
+        let cfg = GenConfig::oracle(n);
+        for seed in 0..30 {
+            check_seed(&cfg, seed);
+        }
+    }
+}
+
+#[test]
+fn oracle_inner_joins_only() {
+    for n in 2..=6 {
+        let mut cfg = GenConfig::oracle(n);
+        cfg.ops = OpWeights::inner_only();
+        for seed in 100..120 {
+            check_seed(&cfg, seed);
+        }
+    }
+}
+
+#[test]
+fn oracle_outer_join_heavy() {
+    for n in 2..=5 {
+        let mut cfg = GenConfig::oracle(n);
+        cfg.ops = OpWeights { join: 1, left_outer: 3, full_outer: 3, semi: 1, anti: 1, groupjoin: 0 };
+        for seed in 200..225 {
+            check_seed(&cfg, seed);
+        }
+    }
+}
+
+#[test]
+fn oracle_no_nulls() {
+    // Without NULLs the data exercises the multiplicity bookkeeping alone.
+    for n in 2..=5 {
+        let cfg = GenConfig::oracle(n);
+        for seed in 300..315 {
+            let query = generate_query(&cfg, seed);
+            let db = generate_data(&query, 8, 0.0, seed);
+            let expected = query.canonical_plan().eval(&db);
+            for algo in algorithms() {
+                let opt = optimize(&query, algo);
+                let got = opt.plan.root.eval(&db);
+                assert!(
+                    got.bag_eq(&expected),
+                    "{} differs on seed {seed} (n={n})",
+                    algo.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn oracle_with_groupjoins() {
+    // Groupjoin queries exercise Eqvs. 39–41 (grouping pushed into the
+    // groupjoin's left argument) and the raw-right-side restriction.
+    for n in 2..=4 {
+        let mut cfg = GenConfig::oracle(n);
+        cfg.ops = OpWeights::with_groupjoins();
+        for seed in 600..625 {
+            check_seed(&cfg, seed);
+        }
+    }
+}
+
+#[test]
+fn ea_prune_preserves_optimality() {
+    // §4.6: the pruning criterion does not affect plan optimality — the
+    // costs of EA-All and EA-Prune must be identical.
+    for n in 2..=5 {
+        let cfg = GenConfig::oracle(n);
+        for seed in 400..430 {
+            let query = generate_query(&cfg, seed);
+            let all = optimize(&query, Algorithm::EaAll);
+            let pruned = optimize(&query, Algorithm::EaPrune);
+            assert!(
+                (all.plan.cost - pruned.plan.cost).abs() <= 1e-6 * all.plan.cost.max(1.0),
+                "EA-Prune lost optimality on seed {seed} (n={n}): {} vs {}",
+                all.plan.cost,
+                pruned.plan.cost
+            );
+            // Pruning must never retain more plans than full enumeration.
+            assert!(pruned.retained_plans <= all.retained_plans);
+        }
+    }
+}
+
+#[test]
+fn ea_prune_preserves_optimality_at_paper_scale() {
+    // Paper-scale cardinalities/selectivities stress the monotonicity of
+    // the estimator (the antijoin/outerjoin match-probability fix);
+    // EA-Prune must still equal EA-All exactly.
+    for n in 3..=6 {
+        let cfg = GenConfig::paper(n);
+        for seed in 1000..1030 {
+            let query = generate_query(&cfg, seed);
+            let all = optimize(&query, Algorithm::EaAll);
+            let pruned = optimize(&query, Algorithm::EaPrune);
+            assert!(
+                (all.plan.cost - pruned.plan.cost).abs() <= 1e-9 * all.plan.cost.max(1.0),
+                "EA-Prune lost optimality on paper-scale seed {seed} (n={n}): {} vs {}",
+                all.plan.cost,
+                pruned.plan.cost
+            );
+        }
+    }
+}
+
+#[test]
+fn optimal_never_worse_than_heuristics_or_baseline() {
+    for n in 2..=5 {
+        let cfg = GenConfig::oracle(n);
+        for seed in 500..525 {
+            let query = generate_query(&cfg, seed);
+            let opt = optimize(&query, Algorithm::EaPrune).plan.cost;
+            for algo in [Algorithm::DPhyp, Algorithm::H1, Algorithm::H2(1.05)] {
+                let c = optimize(&query, algo).plan.cost;
+                assert!(
+                    opt <= c * (1.0 + 1e-9),
+                    "EA-Prune ({opt}) worse than {} ({c}) on seed {seed}",
+                    algo.name()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Enumeration of csg-cmp-pairs (Def. 3) following DPhyp
+//! (Moerkotte & Neumann: *Dynamic Programming Strikes Back*, SIGMOD 2008).
+//!
+//! [`enumerate_ccps`] emits every csg-cmp-pair `(S1, S2)` exactly once (up
+//! to symmetry) in an order that guarantees all pairs for proper subsets are
+//! emitted before pairs producing their union — the invariant dynamic
+//! programming needs.
+
+use crate::bitset::NodeSet;
+use crate::graph::Hypergraph;
+
+/// Enumerate all csg-cmp-pairs of `graph`, invoking `emit(s1, s2)` for each.
+///
+/// Pairs are emitted unordered: `(s1, s2)` is emitted but `(s2, s1)` is not;
+/// the consumer decides about commutativity.
+pub fn enumerate_ccps(graph: &Hypergraph, mut emit: impl FnMut(NodeSet, NodeSet)) {
+    let n = graph.node_count();
+    if n == 0 {
+        return;
+    }
+    let mut e = Enumerator { graph, emit: &mut emit };
+    for v in (0..n).rev() {
+        let s1 = NodeSet::single(v);
+        e.emit_csg(s1);
+        // B_v: all nodes with index <= v are forbidden for expansion, so
+        // each csg is generated from its minimum element exactly once.
+        let bv = NodeSet::upto(v);
+        e.enumerate_csg_rec(s1, bv);
+    }
+}
+
+struct Enumerator<'a, F: FnMut(NodeSet, NodeSet)> {
+    graph: &'a Hypergraph,
+    emit: &'a mut F,
+}
+
+impl<F: FnMut(NodeSet, NodeSet)> Enumerator<'_, F> {
+    /// Grow the connected subgraph `s1` by neighborhood subsets.
+    fn enumerate_csg_rec(&mut self, s1: NodeSet, x: NodeSet) {
+        let neigh = self.graph.neighborhood(s1, x);
+        if neigh.is_empty() {
+            return;
+        }
+        for sub in neigh.subsets() {
+            let grown = s1.union(sub);
+            if self.graph.is_connected(grown) {
+                self.emit_csg(grown);
+            }
+        }
+        let x2 = x.union(neigh);
+        for sub in neigh.subsets() {
+            self.enumerate_csg_rec(s1.union(sub), x2);
+        }
+    }
+
+    /// Find all complements for the connected subgraph `s1`.
+    fn emit_csg(&mut self, s1: NodeSet) {
+        let x = s1.union(NodeSet::upto(s1.min()));
+        let neigh = self.graph.neighborhood(s1, x);
+        for v in neigh.iter_desc() {
+            let s2 = NodeSet::single(v);
+            if self.graph.has_connecting_edge(s1, s2) {
+                (self.emit)(s1, s2);
+            }
+            // Forbid neighbors with index <= v so each complement is found
+            // from its minimal representative only.
+            let bv: NodeSet = neigh.iter().filter(|&w| w <= v).collect();
+            self.enumerate_cmp_rec(s1, s2, x.union(bv));
+        }
+    }
+
+    /// Grow the complement `s2`.
+    fn enumerate_cmp_rec(&mut self, s1: NodeSet, s2: NodeSet, x: NodeSet) {
+        let neigh = self.graph.neighborhood(s2, x);
+        if neigh.is_empty() {
+            return;
+        }
+        for sub in neigh.subsets() {
+            let grown = s2.union(sub);
+            if self.graph.is_connected(grown) && self.graph.has_connecting_edge(s1, grown) {
+                (self.emit)(s1, grown);
+            }
+        }
+        let x2 = x.union(neigh);
+        for sub in neigh.subsets() {
+            self.enumerate_cmp_rec(s1, s2.union(sub), x2);
+        }
+    }
+}
+
+/// Count the csg-cmp-pairs of a hypergraph (`#ccp` in the paper's complexity
+/// bound `O(2^{2n-1} · #ccp)`).
+pub fn count_ccps(graph: &Hypergraph) -> u64 {
+    let mut count = 0;
+    enumerate_ccps(graph, |_, _| count += 1);
+    count
+}
+
+/// Brute-force reference: enumerate all unordered pairs of disjoint,
+/// connected, edge-connected subsets. Exponential; for tests only.
+pub fn count_ccps_bruteforce(graph: &Hypergraph) -> u64 {
+    let n = graph.node_count();
+    let mut count = 0;
+    for s1_bits in 1u64..(1u64 << n) {
+        let s1 = NodeSet(s1_bits);
+        if !graph.is_connected(s1) {
+            continue;
+        }
+        for s2_bits in (s1_bits + 1)..(1u64 << n) {
+            let s2 = NodeSet(s2_bits);
+            if !s1.is_disjoint(s2) || !graph.is_connected(s2) {
+                continue;
+            }
+            if graph.has_connecting_edge(s1, s2) {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Hyperedge;
+    use std::collections::HashSet;
+
+    fn chain(n: usize) -> Hypergraph {
+        let mut g = Hypergraph::new(n);
+        for i in 0..n - 1 {
+            g.add_simple(i, i + 1, i);
+        }
+        g
+    }
+
+    fn star(n: usize) -> Hypergraph {
+        let mut g = Hypergraph::new(n);
+        for i in 1..n {
+            g.add_simple(0, i, i - 1);
+        }
+        g
+    }
+
+    fn clique(n: usize) -> Hypergraph {
+        let mut g = Hypergraph::new(n);
+        let mut label = 0;
+        for i in 0..n {
+            for j in i + 1..n {
+                g.add_simple(i, j, label);
+                label += 1;
+            }
+        }
+        g
+    }
+
+    fn cycle(n: usize) -> Hypergraph {
+        let mut g = chain(n);
+        g.add_simple(n - 1, 0, n - 1);
+        g
+    }
+
+    #[test]
+    fn chain_formula() {
+        // #ccp for a chain of n relations: (n^3 - n) / 6.
+        for n in 2..=10 {
+            let expect = ((n * n * n - n) / 6) as u64;
+            assert_eq!(expect, count_ccps(&chain(n)), "chain n={n}");
+        }
+    }
+
+    #[test]
+    fn star_formula() {
+        // #ccp for a star: (n - 1) * 2^(n - 2).
+        for n in 2..=10 {
+            let expect = (n as u64 - 1) * (1u64 << (n - 2));
+            assert_eq!(expect, count_ccps(&star(n)), "star n={n}");
+        }
+    }
+
+    #[test]
+    fn clique_formula() {
+        // #ccp for a clique: (3^n - 2^(n+1) + 1) / 2.
+        for n in 2..=8 {
+            let expect = (3u64.pow(n as u32) - (1u64 << (n + 1))).div_ceil(2);
+            assert_eq!(expect, count_ccps(&clique(n)), "clique n={n}");
+        }
+    }
+
+    #[test]
+    fn matches_bruteforce_on_cycles() {
+        for n in 3..=8 {
+            assert_eq!(count_ccps_bruteforce(&cycle(n)), count_ccps(&cycle(n)), "cycle n={n}");
+        }
+    }
+
+    #[test]
+    fn matches_bruteforce_with_hyperedges() {
+        // A hypergraph with a complex edge forcing {1,2} to stay together.
+        let mut g = Hypergraph::new(4);
+        g.add_simple(0, 1, 0);
+        g.add_simple(1, 2, 1);
+        g.add_edge(Hyperedge::new(
+            NodeSet::from_iter([1, 2]),
+            NodeSet::from_iter([3]),
+            2,
+        ));
+        assert_eq!(count_ccps_bruteforce(&g), count_ccps(&g));
+    }
+
+    #[test]
+    fn no_duplicates_and_valid_pairs() {
+        let g = cycle(6);
+        let mut seen = HashSet::new();
+        enumerate_ccps(&g, |s1, s2| {
+            assert!(s1.is_disjoint(s2));
+            assert!(g.is_connected(s1), "{s1} not connected");
+            assert!(g.is_connected(s2), "{s2} not connected");
+            assert!(g.has_connecting_edge(s1, s2));
+            let key = (s1.0.min(s2.0), s1.0.max(s2.0));
+            assert!(seen.insert(key), "duplicate ccp ({s1},{s2})");
+        });
+    }
+
+    #[test]
+    fn emission_order_supports_dp() {
+        // When (s1, s2) is emitted, every ccp whose union is a proper
+        // subset of s1 ∪ s2 must already have been emitted. We check the
+        // weaker DP-sufficient property: unions are emitted in
+        // non-decreasing... no — we check directly that for non-singleton
+        // s1/s2 some earlier pair produced exactly that set.
+        let g = clique(5);
+        let mut built: HashSet<u64> = (0..5).map(|i| 1u64 << i).collect();
+        enumerate_ccps(&g, |s1, s2| {
+            assert!(built.contains(&s1.0), "s1={s1} not built yet");
+            assert!(built.contains(&s2.0), "s2={s2} not built yet");
+            built.insert(s1.union(s2).0);
+        });
+    }
+
+    #[test]
+    fn empty_and_single_node_graphs() {
+        assert_eq!(0, count_ccps(&Hypergraph::new(0)));
+        assert_eq!(0, count_ccps(&Hypergraph::new(1)));
+    }
+}

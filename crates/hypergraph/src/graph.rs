@@ -1,0 +1,190 @@
+//! Query hypergraphs (Def. 3 context).
+
+use crate::bitset::NodeSet;
+
+/// A hyperedge `(u, v)`: two disjoint, non-empty hypernodes.
+///
+/// For simple query graphs both sides are singletons; the conflict detector
+/// produces complex hypernodes (`L-TES`, `R-TES`) to encode reordering
+/// constraints. `label` identifies the originating operator/predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hyperedge {
+    pub left: NodeSet,
+    pub right: NodeSet,
+    pub label: usize,
+}
+
+impl Hyperedge {
+    pub fn new(left: NodeSet, right: NodeSet, label: usize) -> Self {
+        debug_assert!(!left.is_empty() && !right.is_empty());
+        debug_assert!(left.is_disjoint(right), "hyperedge sides must be disjoint");
+        Hyperedge { left, right, label }
+    }
+
+    /// Simple edge between two single nodes.
+    pub fn simple(a: usize, b: usize, label: usize) -> Self {
+        Hyperedge::new(NodeSet::single(a), NodeSet::single(b), label)
+    }
+
+    /// True when this edge connects `s1` and `s2` (one side inside each).
+    #[inline]
+    pub fn connects(&self, s1: NodeSet, s2: NodeSet) -> bool {
+        (self.left.is_subset_of(s1) && self.right.is_subset_of(s2))
+            || (self.left.is_subset_of(s2) && self.right.is_subset_of(s1))
+    }
+}
+
+/// A query hypergraph `H = (V, E)`.
+#[derive(Debug, Clone, Default)]
+pub struct Hypergraph {
+    n: usize,
+    edges: Vec<Hyperedge>,
+}
+
+impl Hypergraph {
+    pub fn new(n: usize) -> Self {
+        assert!(n <= 64, "at most 64 relations supported");
+        Hypergraph { n, edges: Vec::new() }
+    }
+
+    pub fn add_edge(&mut self, e: Hyperedge) {
+        debug_assert!(e.left.union(e.right).is_subset_of(NodeSet::full(self.n)));
+        self.edges.push(e);
+    }
+
+    pub fn add_simple(&mut self, a: usize, b: usize, label: usize) {
+        self.add_edge(Hyperedge::simple(a, b, label));
+    }
+
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    pub fn edges(&self) -> &[Hyperedge] {
+        &self.edges
+    }
+
+    #[inline]
+    pub fn all_nodes(&self) -> NodeSet {
+        NodeSet::full(self.n)
+    }
+
+    /// Edges connecting `s1` to `s2`.
+    pub fn connecting_edges(&self, s1: NodeSet, s2: NodeSet) -> impl Iterator<Item = &Hyperedge> {
+        self.edges.iter().filter(move |e| e.connects(s1, s2))
+    }
+
+    /// True when some edge connects `s1` and `s2` (condition 3 of Def. 3).
+    pub fn has_connecting_edge(&self, s1: NodeSet, s2: NodeSet) -> bool {
+        self.connecting_edges(s1, s2).next().is_some()
+    }
+
+    /// Neighborhood `N(S, X)` for DPhyp: the set of *representative* nodes
+    /// (minimum element of each reachable hypernode) adjacent to `S`,
+    /// excluding anything in `S` or the forbidden set `X`.
+    pub fn neighborhood(&self, s: NodeSet, x: NodeSet) -> NodeSet {
+        let forbidden = s.union(x);
+        let mut n = NodeSet::EMPTY;
+        for e in &self.edges {
+            if e.left.is_subset_of(s) && e.right.is_disjoint(forbidden) {
+                n = n.insert(e.right.min());
+            } else if e.right.is_subset_of(s) && e.left.is_disjoint(forbidden) {
+                n = n.insert(e.left.min());
+            }
+        }
+        n
+    }
+
+    /// True when `s` induces a connected subgraph.
+    ///
+    /// A hyperedge `(u, v)` can be traversed once one side is fully inside
+    /// the current component and the other side lies within `s`; fixpoint
+    /// closure from the minimum element.
+    pub fn is_connected(&self, s: NodeSet) -> bool {
+        if s.is_empty() {
+            return false;
+        }
+        if s.len() == 1 {
+            return true;
+        }
+        let mut comp = NodeSet::single(s.min());
+        loop {
+            let mut grown = comp;
+            for e in &self.edges {
+                if !e.left.union(e.right).is_subset_of(s) {
+                    continue;
+                }
+                if e.left.is_subset_of(grown) {
+                    grown = grown.union(e.right);
+                }
+                if e.right.is_subset_of(grown) {
+                    grown = grown.union(e.left);
+                }
+            }
+            if grown == comp {
+                return comp == s;
+            }
+            comp = grown;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns(bits: &[usize]) -> NodeSet {
+        bits.iter().copied().collect()
+    }
+
+    #[test]
+    fn chain_connectivity() {
+        // 0 - 1 - 2
+        let mut g = Hypergraph::new(3);
+        g.add_simple(0, 1, 0);
+        g.add_simple(1, 2, 1);
+        assert!(g.is_connected(ns(&[0, 1])));
+        assert!(g.is_connected(ns(&[0, 1, 2])));
+        assert!(!g.is_connected(ns(&[0, 2])));
+        assert!(g.is_connected(ns(&[2])));
+        assert!(!g.is_connected(NodeSet::EMPTY));
+    }
+
+    #[test]
+    fn hyperedge_requires_full_side() {
+        // Edge ({0,1}, {2}): {0,2} is not connected because side {0,1} is
+        // not fully contained.
+        let mut g = Hypergraph::new(3);
+        g.add_edge(Hyperedge::new(ns(&[0, 1]), ns(&[2]), 0));
+        g.add_simple(0, 1, 1);
+        assert!(!g.is_connected(ns(&[0, 2])));
+        assert!(g.is_connected(ns(&[0, 1, 2])));
+    }
+
+    #[test]
+    fn neighborhood_representatives() {
+        let mut g = Hypergraph::new(4);
+        g.add_simple(0, 1, 0);
+        g.add_edge(Hyperedge::new(ns(&[0]), ns(&[2, 3]), 1));
+        // From {0}: neighbors are 1 and the representative min{2,3} = 2.
+        assert_eq!(ns(&[1, 2]), g.neighborhood(ns(&[0]), NodeSet::EMPTY));
+        // Forbidding 2 removes the hyperedge's representative.
+        assert_eq!(ns(&[1]), g.neighborhood(ns(&[0]), ns(&[2])));
+    }
+
+    #[test]
+    fn connecting_edges() {
+        let mut g = Hypergraph::new(3);
+        g.add_simple(0, 1, 7);
+        g.add_simple(1, 2, 8);
+        let found: Vec<usize> = g
+            .connecting_edges(ns(&[0]), ns(&[1, 2]))
+            .map(|e| e.label)
+            .collect();
+        assert_eq!(vec![7], found);
+        assert!(g.has_connecting_edge(ns(&[0, 1]), ns(&[2])));
+        assert!(!g.has_connecting_edge(ns(&[0]), ns(&[2])));
+    }
+}

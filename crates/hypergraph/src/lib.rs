@@ -1,0 +1,15 @@
+//! # dpnext-hypergraph
+//!
+//! Query hypergraphs and the DPhyp csg-cmp-pair enumerator — the second
+//! component of the plan generator of §4.1 (Moerkotte & Neumann's
+//! algorithm, cited as \[8\] in the paper).
+
+pub mod bitset;
+pub mod dpccp;
+pub mod dphyp;
+pub mod graph;
+
+pub use bitset::NodeSet;
+pub use dpccp::{count_ccps_simple, enumerate_ccps_simple, SimpleGraph};
+pub use dphyp::{count_ccps, count_ccps_bruteforce, enumerate_ccps};
+pub use graph::{Hyperedge, Hypergraph};

@@ -1,0 +1,146 @@
+//! Functional dependencies and their closure.
+//!
+//! The dominance test of Def. 4 compares `FD⁺(T1) ⊇ FD⁺(T2)`; the paper
+//! notes that real implementations weaken this to candidate-key comparison.
+//! This module provides the exact machinery so tests can verify that the
+//! weakening used by the optimizer is conservative.
+
+use dpnext_algebra::AttrId;
+use std::collections::BTreeSet;
+
+/// A functional dependency `lhs → rhs`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fd {
+    pub lhs: BTreeSet<AttrId>,
+    pub rhs: BTreeSet<AttrId>,
+}
+
+impl Fd {
+    pub fn new(lhs: impl IntoIterator<Item = AttrId>, rhs: impl IntoIterator<Item = AttrId>) -> Self {
+        Fd { lhs: lhs.into_iter().collect(), rhs: rhs.into_iter().collect() }
+    }
+}
+
+/// A set of functional dependencies.
+#[derive(Debug, Clone, Default)]
+pub struct FdSet {
+    fds: Vec<Fd>,
+}
+
+impl FdSet {
+    pub fn new() -> Self {
+        FdSet::default()
+    }
+
+    pub fn add(&mut self, fd: Fd) {
+        self.fds.push(fd);
+    }
+
+    pub fn fds(&self) -> &[Fd] {
+        &self.fds
+    }
+
+    /// Attribute closure `X⁺` under this FD set (textbook fixpoint).
+    pub fn closure(&self, attrs: &BTreeSet<AttrId>) -> BTreeSet<AttrId> {
+        let mut closed = attrs.clone();
+        loop {
+            let before = closed.len();
+            for fd in &self.fds {
+                if fd.lhs.is_subset(&closed) {
+                    closed.extend(fd.rhs.iter().copied());
+                }
+            }
+            if closed.len() == before {
+                return closed;
+            }
+        }
+    }
+
+    /// Does this FD set entail `lhs → rhs`?
+    pub fn entails(&self, fd: &Fd) -> bool {
+        fd.rhs.is_subset(&self.closure(&fd.lhs))
+    }
+
+    /// Does this FD set entail every dependency of `other` over the given
+    /// universe? (The `FD⁺(T1) ⊇ FD⁺(T2)` comparison, checked on `other`'s
+    /// generators — sufficient because closure is monotone.)
+    pub fn covers(&self, other: &FdSet) -> bool {
+        other.fds.iter().all(|fd| self.entails(fd))
+    }
+
+    /// Is `attrs` a superkey of a relation with universe `universe`?
+    pub fn is_superkey(&self, attrs: &BTreeSet<AttrId>, universe: &BTreeSet<AttrId>) -> bool {
+        universe.is_subset(&self.closure(attrs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(i: u32) -> AttrId {
+        AttrId(i)
+    }
+
+    fn set(items: &[u32]) -> BTreeSet<AttrId> {
+        items.iter().map(|&i| a(i)).collect()
+    }
+
+    #[test]
+    fn closure_transitivity() {
+        let mut fds = FdSet::new();
+        fds.add(Fd::new([a(0)], [a(1)]));
+        fds.add(Fd::new([a(1)], [a(2)]));
+        assert_eq!(set(&[0, 1, 2]), fds.closure(&set(&[0])));
+        assert!(fds.entails(&Fd::new([a(0)], [a(2)])));
+        assert!(!fds.entails(&Fd::new([a(2)], [a(0)])));
+    }
+
+    #[test]
+    fn compound_lhs() {
+        let mut fds = FdSet::new();
+        fds.add(Fd::new([a(0), a(1)], [a(2)]));
+        assert!(!fds.entails(&Fd::new([a(0)], [a(2)])));
+        assert!(fds.entails(&Fd::new([a(0), a(1)], [a(2)])));
+    }
+
+    #[test]
+    fn superkey() {
+        let mut fds = FdSet::new();
+        fds.add(Fd::new([a(0)], [a(1), a(2)]));
+        let universe = set(&[0, 1, 2]);
+        assert!(fds.is_superkey(&set(&[0]), &universe));
+        assert!(!fds.is_superkey(&set(&[1]), &universe));
+    }
+
+    #[test]
+    fn covering() {
+        let mut strong = FdSet::new();
+        strong.add(Fd::new([a(0)], [a(1)]));
+        strong.add(Fd::new([a(1)], [a(2)]));
+        let mut weak = FdSet::new();
+        weak.add(Fd::new([a(0)], [a(2)]));
+        assert!(strong.covers(&weak));
+        assert!(!weak.covers(&strong));
+    }
+
+    #[test]
+    fn key_comparison_is_conservative_weakening() {
+        // If every key of T2 is implied by a key of T1 (KeySet::implies),
+        // then T1's FD set covers the key FDs of T2.
+        use crate::keyset::KeySet;
+        let k1 = KeySet::from_keys([vec![a(0)]]);
+        let k2 = KeySet::from_keys([vec![a(0), a(1)]]);
+        assert!(k1.implies(&k2));
+        let universe = set(&[0, 1, 2]);
+        let mut fd1 = FdSet::new();
+        for k in k1.keys() {
+            fd1.add(Fd::new(k.iter().copied(), universe.iter().copied()));
+        }
+        let mut fd2 = FdSet::new();
+        for k in k2.keys() {
+            fd2.add(Fd::new(k.iter().copied(), universe.iter().copied()));
+        }
+        assert!(fd1.covers(&fd2));
+    }
+}

@@ -1,0 +1,189 @@
+//! Bottom-up key propagation through join operators (§2.3) and the
+//! `NeedsGrouping` test (Fig. 7).
+
+use crate::keyset::KeySet;
+use dpnext_algebra::{AttrId, JoinPred};
+use dpnext_query::OpKind;
+
+/// Logical properties of an intermediate result relevant to grouping
+/// placement: its candidate keys and whether it is duplicate-free.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct KeyInfo {
+    pub keys: KeySet,
+    /// SQL key/uniqueness declarations imply duplicate-freeness (§3.2
+    /// remark); propagated conservatively.
+    pub duplicate_free: bool,
+}
+
+impl KeyInfo {
+    pub fn base(keys: KeySet) -> Self {
+        let duplicate_free = !keys.is_empty();
+        KeyInfo { keys, duplicate_free }
+    }
+
+    /// No information: grouping will never be elided on top of this.
+    pub fn unknown() -> Self {
+        KeyInfo::default()
+    }
+}
+
+/// Does a side's join-attribute set contain one of its keys? (The `A_i is
+/// a key` precondition of the §2.3 case analysis.)
+fn join_attrs_cover_key(keys: &KeySet, join_attrs: &[AttrId]) -> bool {
+    keys.some_key_within(join_attrs)
+}
+
+/// `κ` propagation for a binary operator (§2.3.1–§2.3.4).
+///
+/// `pred` must be canonicalized (left terms from the left input). Only
+/// equality predicates allow the key-preserving fast cases; theta joins
+/// always fall back to pairwise combination.
+pub fn infer_join_keys(op: OpKind, left: &KeyInfo, right: &KeyInfo, pred: &JoinPred) -> KeyInfo {
+    let equi = pred.is_equi() && !pred.terms.is_empty();
+    let l_covers = equi && join_attrs_cover_key(&left.keys, &pred.left_attrs());
+    let r_covers = equi && join_attrs_cover_key(&right.keys, &pred.right_attrs());
+    let dup_free = left.duplicate_free && right.duplicate_free;
+    match op {
+        OpKind::Join => {
+            let keys = match (l_covers, r_covers) {
+                // Both join-attribute sets contain keys: all keys survive.
+                (true, true) => left.keys.union(&right.keys),
+                // A1 key, A2 not: every e2 tuple meets at most one e1 tuple.
+                (true, false) => right.keys.clone(),
+                (false, true) => left.keys.clone(),
+                (false, false) => left.keys.pairwise(&right.keys),
+            };
+            KeyInfo { keys, duplicate_free: dup_free }
+        }
+        OpKind::LeftOuter => {
+            // If A2 is a key of e2, every e1 tuple appears exactly once.
+            let keys = if r_covers {
+                left.keys.clone()
+            } else {
+                left.keys.pairwise(&right.keys)
+            };
+            KeyInfo { keys, duplicate_free: dup_free }
+        }
+        OpKind::FullOuter => {
+            // Regardless of the predicate: pairwise combination only.
+            KeyInfo { keys: left.keys.pairwise(&right.keys), duplicate_free: dup_free }
+        }
+        // Semijoin / antijoin / groupjoin: the right side disappears and
+        // no left tuple is duplicated: κ(e1) (§2.3.4).
+        OpKind::Semi | OpKind::Anti | OpKind::GroupJoin => KeyInfo {
+            keys: left.keys.clone(),
+            duplicate_free: left.duplicate_free,
+        },
+    }
+}
+
+/// Keys after `Γ_{G;F}`: the grouping attributes form a key and the result
+/// is duplicate-free.
+pub fn grouping_keys(group_attrs: &[AttrId]) -> KeyInfo {
+    KeyInfo {
+        keys: KeySet::from_keys([group_attrs.to_vec()]),
+        duplicate_free: true,
+    }
+}
+
+/// `NeedsGrouping(G, T)` (Fig. 7): grouping on `G` is needed unless some
+/// key of `T` is contained in `G` *and* `T` is duplicate-free — then every
+/// group holds exactly one tuple (§3.2).
+pub fn needs_grouping(group_attrs: &[AttrId], info: &KeyInfo) -> bool {
+    !(info.duplicate_free && info.keys.some_key_within(group_attrs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keyset::KeySet;
+
+    fn a(i: u32) -> AttrId {
+        AttrId(i)
+    }
+
+    fn keyed(attr: AttrId) -> KeyInfo {
+        KeyInfo::base(KeySet::from_keys([vec![attr]]))
+    }
+
+    #[test]
+    fn inner_join_both_keys() {
+        // Join on key = key: both sides' keys survive.
+        let l = keyed(a(0));
+        let r = keyed(a(1));
+        let out = infer_join_keys(OpKind::Join, &l, &r, &JoinPred::eq(a(0), a(1)));
+        assert!(out.keys.some_key_within(&[a(0)]));
+        assert!(out.keys.some_key_within(&[a(1)]));
+        assert!(out.duplicate_free);
+    }
+
+    #[test]
+    fn inner_join_fk_to_pk() {
+        // e1.fk = e2.pk (pk key of e2): keys of e1 survive.
+        let l = KeyInfo::base(KeySet::from_keys([vec![a(0)]])); // key a0, join attr a5
+        let r = keyed(a(1));
+        let out = infer_join_keys(OpKind::Join, &l, &r, &JoinPred::eq(a(5), a(1)));
+        assert!(out.keys.some_key_within(&[a(0)]));
+        assert!(!out.keys.some_key_within(&[a(1)]));
+    }
+
+    #[test]
+    fn inner_join_general_pairwise() {
+        let l = keyed(a(0));
+        let r = keyed(a(1));
+        // Join on non-key attributes.
+        let out = infer_join_keys(OpKind::Join, &l, &r, &JoinPred::eq(a(5), a(6)));
+        assert!(!out.keys.some_key_within(&[a(0)]));
+        assert!(out.keys.some_key_within(&[a(0), a(1)]));
+    }
+
+    #[test]
+    fn left_outer_key_on_right() {
+        let l = keyed(a(0));
+        let r = keyed(a(1));
+        let out = infer_join_keys(OpKind::LeftOuter, &l, &r, &JoinPred::eq(a(5), a(1)));
+        assert!(out.keys.some_key_within(&[a(0)]));
+    }
+
+    #[test]
+    fn full_outer_always_pairwise() {
+        let l = keyed(a(0));
+        let r = keyed(a(1));
+        let out = infer_join_keys(OpKind::FullOuter, &l, &r, &JoinPred::eq(a(0), a(1)));
+        assert!(!out.keys.some_key_within(&[a(0)]));
+        assert!(out.keys.some_key_within(&[a(0), a(1)]));
+    }
+
+    #[test]
+    fn semijoin_keeps_left_keys() {
+        let l = keyed(a(0));
+        let r = KeyInfo::unknown();
+        for op in [OpKind::Semi, OpKind::Anti, OpKind::GroupJoin] {
+            let out = infer_join_keys(op, &l, &r, &JoinPred::eq(a(0), a(1)));
+            assert!(out.keys.some_key_within(&[a(0)]), "{op:?}");
+            assert!(out.duplicate_free);
+        }
+    }
+
+    #[test]
+    fn unknown_keys_stay_unknown() {
+        let l = KeyInfo::unknown();
+        let r = keyed(a(1));
+        let out = infer_join_keys(OpKind::Join, &l, &r, &JoinPred::eq(a(0), a(1)));
+        // r covers its key, so left keys (empty) survive → still empty.
+        assert!(out.keys.is_empty());
+        assert!(!out.duplicate_free);
+    }
+
+    #[test]
+    fn needs_grouping_tests() {
+        let info = grouping_keys(&[a(0), a(1)]);
+        // G contains the key {a0,a1}: no grouping needed.
+        assert!(!needs_grouping(&[a(0), a(1), a(2)], &info));
+        // G misses part of the key.
+        assert!(needs_grouping(&[a(0)], &info));
+        // Duplicates possible: grouping needed even if key within G.
+        let dup = KeyInfo { keys: KeySet::from_keys([vec![a(0)]]), duplicate_free: false };
+        assert!(needs_grouping(&[a(0)], &dup));
+    }
+}

@@ -1,0 +1,185 @@
+//! Candidate key sets `κ(e)` and their propagation rules (§2.3).
+
+use dpnext_algebra::AttrId;
+
+/// A candidate key: a sorted set of attributes.
+pub type Key = Vec<AttrId>;
+
+fn normalize(mut k: Key) -> Key {
+    k.sort_unstable();
+    k.dedup();
+    k
+}
+
+fn is_subset(a: &[AttrId], b: &[AttrId]) -> bool {
+    // Both sorted.
+    let mut bi = b.iter();
+    'outer: for x in a {
+        for y in bi.by_ref() {
+            if y == x {
+                continue 'outer;
+            }
+            if y > x {
+                return false;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// A set of candidate keys, kept minimal (no key is a superset of another).
+///
+/// `κ` is a set of sets; an empty `KeySet` means *no key known* — every
+/// rule below degrades gracefully to that.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct KeySet {
+    keys: Vec<Key>,
+}
+
+impl KeySet {
+    pub fn empty() -> Self {
+        KeySet::default()
+    }
+
+    pub fn from_keys(keys: impl IntoIterator<Item = Key>) -> Self {
+        let mut s = KeySet::empty();
+        for k in keys {
+            s.insert(k);
+        }
+        s
+    }
+
+    /// Insert a key, maintaining minimality.
+    pub fn insert(&mut self, key: Key) {
+        let key = normalize(key);
+        if self.keys.iter().any(|k| is_subset(k, &key)) {
+            return; // an existing key already implies it
+        }
+        self.keys.retain(|k| !is_subset(&key, k));
+        self.keys.push(key);
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    pub fn keys(&self) -> &[Key] {
+        &self.keys
+    }
+
+    /// Is there a key contained in `attrs`? (`∃k ∈ κ(T), k ⊆ G` —
+    /// the test of `NeedsGrouping`, Fig. 7.)
+    pub fn some_key_within(&self, attrs: &[AttrId]) -> bool {
+        let attrs = normalize(attrs.to_vec());
+        self.keys.iter().any(|k| is_subset(k, &attrs))
+    }
+
+    /// Key-set implication: every key of `other` is implied by (a subset
+    /// key in) `self`. Used as the practical weakening of the
+    /// `FD⁺(T1) ⊇ FD⁺(T2)` dominance condition (§4.6).
+    pub fn implies(&self, other: &KeySet) -> bool {
+        other
+            .keys
+            .iter()
+            .all(|ko| self.keys.iter().any(|ks| is_subset(ks, ko)))
+    }
+
+    /// `κ(e1) ∪ κ(e2)`: every key of either side stays a key
+    /// (inner equi-join where both sides' join attributes contain keys).
+    pub fn union(&self, other: &KeySet) -> KeySet {
+        let mut out = self.clone();
+        for k in &other.keys {
+            out.insert(k.clone());
+        }
+        out
+    }
+
+    /// `⋃_{k1,k2} k1 ∪ k2`: pairwise key combination (the general join
+    /// rule). Empty if either side has no keys.
+    pub fn pairwise(&self, other: &KeySet) -> KeySet {
+        let mut out = KeySet::empty();
+        for k1 in &self.keys {
+            for k2 in &other.keys {
+                let mut k = k1.clone();
+                k.extend_from_slice(k2);
+                out.insert(k);
+            }
+        }
+        out
+    }
+
+    /// Restrict to keys fully contained in the surviving attribute set
+    /// (used when projections drop columns).
+    pub fn restrict_to(&self, attrs: &[AttrId]) -> KeySet {
+        let attrs = normalize(attrs.to_vec());
+        KeySet::from_keys(self.keys.iter().filter(|k| is_subset(k, &attrs)).cloned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(i: u32) -> AttrId {
+        AttrId(i)
+    }
+
+    #[test]
+    fn minimality() {
+        let mut s = KeySet::empty();
+        s.insert(vec![a(0), a(1)]);
+        s.insert(vec![a(0)]); // subsumes the first
+        assert_eq!(1, s.keys().len());
+        assert_eq!(vec![a(0)], s.keys()[0]);
+        s.insert(vec![a(0), a(2)]); // already implied
+        assert_eq!(1, s.keys().len());
+    }
+
+    #[test]
+    fn key_within() {
+        let s = KeySet::from_keys([vec![a(1), a(2)]]);
+        assert!(s.some_key_within(&[a(2), a(1), a(5)]));
+        assert!(!s.some_key_within(&[a(1)]));
+        assert!(!KeySet::empty().some_key_within(&[a(1)]));
+    }
+
+    #[test]
+    fn pairwise_combination() {
+        let l = KeySet::from_keys([vec![a(0)]]);
+        let r = KeySet::from_keys([vec![a(1)], vec![a(2)]]);
+        let p = l.pairwise(&r);
+        assert_eq!(2, p.keys().len());
+        assert!(p.some_key_within(&[a(0), a(1)]));
+        assert!(p.some_key_within(&[a(0), a(2)]));
+        assert!(l.pairwise(&KeySet::empty()).is_empty());
+    }
+
+    #[test]
+    fn implication() {
+        let strong = KeySet::from_keys([vec![a(0)]]);
+        let weak = KeySet::from_keys([vec![a(0), a(1)]]);
+        assert!(strong.implies(&weak));
+        assert!(!weak.implies(&strong));
+        assert!(strong.implies(&KeySet::empty()));
+        assert!(KeySet::empty().implies(&KeySet::empty()));
+        assert!(!KeySet::empty().implies(&strong));
+    }
+
+    #[test]
+    fn restriction() {
+        let s = KeySet::from_keys([vec![a(0)], vec![a(1), a(2)]]);
+        let r = s.restrict_to(&[a(1), a(2), a(3)]);
+        assert_eq!(1, r.keys().len());
+        assert!(r.some_key_within(&[a(1), a(2)]));
+    }
+
+    #[test]
+    fn union_keeps_both() {
+        let l = KeySet::from_keys([vec![a(0)]]);
+        let r = KeySet::from_keys([vec![a(1)]]);
+        let u = l.union(&r);
+        assert!(u.some_key_within(&[a(0)]));
+        assert!(u.some_key_within(&[a(1)]));
+    }
+}

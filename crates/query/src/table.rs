@@ -1,0 +1,91 @@
+//! Table occurrences within a query.
+
+use dpnext_algebra::AttrId;
+
+/// One occurrence of a base relation in a query (self-joins give several
+/// occurrences of the same catalog relation, each with fresh attributes —
+/// like `nation ns` / `nation nc` in the paper's introductory query).
+///
+/// Statistics are embedded so the optimizer never needs to reach back into
+/// a catalog.
+#[derive(Debug, Clone)]
+pub struct QueryTable {
+    /// Unique alias within the query; also the scan name in the database.
+    pub alias: String,
+    /// Attributes provided by this occurrence (`A(e)`).
+    pub attrs: Vec<AttrId>,
+    /// Estimated cardinality |e|.
+    pub card: f64,
+    /// Estimated distinct-value counts, aligned with `attrs`.
+    pub distinct: Vec<f64>,
+    /// Candidate keys declared in the schema (each a set of attributes).
+    /// SQL key declarations also imply duplicate-freeness (§3.2 remark).
+    pub keys: Vec<Vec<AttrId>>,
+}
+
+impl QueryTable {
+    pub fn new(alias: impl Into<String>, attrs: Vec<AttrId>, card: f64) -> Self {
+        let n = attrs.len();
+        QueryTable {
+            alias: alias.into(),
+            attrs,
+            card,
+            distinct: vec![card; n],
+            keys: Vec::new(),
+        }
+    }
+
+    pub fn with_distinct(mut self, distinct: Vec<f64>) -> Self {
+        assert_eq!(distinct.len(), self.attrs.len());
+        self.distinct = distinct;
+        self
+    }
+
+    pub fn with_key(mut self, key: Vec<AttrId>) -> Self {
+        for a in &key {
+            assert!(self.attrs.contains(a), "key attribute not in table");
+        }
+        self.keys.push(key);
+        self
+    }
+
+    /// Distinct count for one of this table's attributes.
+    pub fn distinct_of(&self, attr: AttrId) -> f64 {
+        let i = self
+            .attrs
+            .iter()
+            .position(|&a| a == attr)
+            .expect("attribute not in table");
+        self.distinct[i]
+    }
+
+    pub fn has_attr(&self, attr: AttrId) -> bool {
+        self.attrs.contains(&attr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(i: u32) -> AttrId {
+        AttrId(i)
+    }
+
+    #[test]
+    fn construction_and_lookup() {
+        let t = QueryTable::new("r", vec![a(0), a(1)], 100.0)
+            .with_distinct(vec![100.0, 10.0])
+            .with_key(vec![a(0)]);
+        assert_eq!(10.0, t.distinct_of(a(1)));
+        assert!(t.has_attr(a(0)));
+        assert!(!t.has_attr(a(2)));
+        assert_eq!(1, t.keys.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "key attribute not in table")]
+    fn key_must_exist() {
+        QueryTable::new("r", vec![a(0)], 1.0).with_key(vec![a(9)]);
+    }
+}

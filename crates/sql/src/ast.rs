@@ -1,0 +1,98 @@
+//! Abstract syntax for the query dialect.
+
+use dpnext_algebra::CmpOp;
+
+/// A possibly qualified column name (`alias.column` or `column`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QName {
+    pub qualifier: Option<String>,
+    pub name: String,
+}
+
+impl QName {
+    pub fn bare(name: impl Into<String>) -> Self {
+        QName { qualifier: None, name: name.into() }
+    }
+
+    pub fn qualified(q: impl Into<String>, name: impl Into<String>) -> Self {
+        QName { qualifier: Some(q.into()), name: name.into() }
+    }
+}
+
+impl std::fmt::Display for QName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.qualifier {
+            Some(q) => write!(f, "{q}.{}", self.name),
+            None => write!(f, "{}", self.name),
+        }
+    }
+}
+
+/// Join operators of the dialect — the paper's operator set (§2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AstJoinKind {
+    Inner,
+    LeftOuter,
+    FullOuter,
+    /// `SEMI JOIN` (non-standard syntax for `⋉`).
+    Semi,
+    /// `ANTI JOIN` (non-standard syntax for `▷`).
+    Anti,
+}
+
+/// One conjunct of an `ON` condition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AstComparison {
+    pub left: QName,
+    pub op: CmpOp,
+    pub right: QName,
+}
+
+/// A `FROM` tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstFrom {
+    Table {
+        name: String,
+        alias: Option<String>,
+    },
+    Join {
+        kind: AstJoinKind,
+        condition: Vec<AstComparison>,
+        left: Box<AstFrom>,
+        right: Box<AstFrom>,
+    },
+}
+
+/// A select-list item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstItem {
+    /// A plain column (must be a grouping column when grouping is present).
+    Column(QName),
+    /// An aggregate call.
+    Agg {
+        func: String,
+        distinct: bool,
+        /// `None` only for `count(*)`.
+        arg: Option<QName>,
+        alias: Option<String>,
+    },
+}
+
+/// A parsed query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AstQuery {
+    pub items: Vec<AstItem>,
+    pub from: AstFrom,
+    pub group_by: Vec<QName>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qname_display() {
+        assert_eq!("x.a", QName::qualified("x", "a").to_string());
+        assert_eq!("a", QName::bare("a").to_string());
+    }
+}

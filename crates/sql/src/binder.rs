@@ -1,0 +1,231 @@
+//! Name resolution and semantic analysis: AST → optimizable [`Query`].
+
+use crate::ast::{AstFrom, AstItem, AstJoinKind, AstQuery, QName};
+use crate::lexer::SqlError;
+use dpnext_algebra::{AggCall, AggKind, AttrId, CmpOp, Expr, JoinPred};
+use dpnext_catalog::Catalog;
+use dpnext_query::{GroupSpec, OpKind, OpTree, Query, QueryTable};
+use std::collections::HashMap;
+
+/// A bound query, ready for the optimizer, plus the metadata needed to
+/// generate data or label output columns.
+pub struct BoundQuery {
+    pub query: Query,
+    /// `(catalog table, alias, column mapping)` per occurrence, in table
+    /// index order.
+    pub occurrences: Vec<(String, String, HashMap<String, AttrId>)>,
+    /// Human-readable labels of the output columns.
+    pub output_names: Vec<String>,
+}
+
+/// Parse and bind in one step.
+pub fn plan(input: &str, catalog: &mut Catalog) -> Result<BoundQuery, SqlError> {
+    let ast = crate::parser::parse(input)?;
+    bind(&ast, catalog)
+}
+
+/// Bind a parsed query against a catalog.
+pub fn bind(ast: &AstQuery, catalog: &mut Catalog) -> Result<BoundQuery, SqlError> {
+    let mut binder = Binder {
+        catalog,
+        tables: Vec::new(),
+        occurrences: Vec::new(),
+    };
+    let tree = binder.from(&ast.from)?;
+
+    // Resolve grouping attributes.
+    let group_by: Vec<AttrId> = ast
+        .group_by
+        .iter()
+        .map(|q| binder.resolve(q))
+        .collect::<Result<_, _>>()?;
+
+    // Select list: aggregates and plain columns.
+    let mut gen = binder.catalog.attr_gen();
+    let mut aggs: Vec<AggCall> = Vec::new();
+    let mut output_names = Vec::new();
+    let mut plain_columns: Vec<AttrId> = Vec::new();
+    for item in &ast.items {
+        match item {
+            AstItem::Column(q) => {
+                let a = binder.resolve(q)?;
+                plain_columns.push(a);
+                output_names.push(q.to_string());
+            }
+            AstItem::Agg { func, distinct, arg, alias } => {
+                let kind = agg_kind(func, *distinct)?;
+                let out = gen.fresh();
+                let call = match arg {
+                    None => AggCall::count_star(out),
+                    Some(q) => AggCall::new(out, kind, Expr::attr(binder.resolve(q)?)),
+                };
+                output_names.push(alias.clone().unwrap_or_else(|| {
+                    match arg {
+                        None => "count(*)".to_string(),
+                        Some(q) => format!("{func}({}{q})", if *distinct { "distinct " } else { "" }),
+                    }
+                }));
+                aggs.push(call);
+            }
+        }
+    }
+
+    let has_grouping = !ast.group_by.is_empty() || !aggs.is_empty();
+    let grouping = if has_grouping {
+        // SQL rule: plain select columns must be grouping columns.
+        for &c in &plain_columns {
+            if !group_by.contains(&c) {
+                return Err(SqlError::new(format!(
+                    "column {c} must appear in GROUP BY or inside an aggregate"
+                )));
+            }
+        }
+        Some(GroupSpec::new(group_by, aggs, &mut gen))
+    } else {
+        None
+    };
+
+    let query = Query::new(binder.tables, tree, grouping);
+    Ok(BoundQuery { query, occurrences: binder.occurrences, output_names })
+}
+
+fn agg_kind(func: &str, distinct: bool) -> Result<AggKind, SqlError> {
+    Ok(match (func, distinct) {
+        ("count*", _) => AggKind::CountStar,
+        ("count", false) => AggKind::Count,
+        ("count", true) => AggKind::CountDistinct,
+        ("sum", false) => AggKind::Sum,
+        ("sum", true) => AggKind::SumDistinct,
+        ("avg", false) => AggKind::Avg,
+        ("avg", true) => AggKind::AvgDistinct,
+        // DISTINCT is a no-op for min/max.
+        ("min", _) => AggKind::Min,
+        ("max", _) => AggKind::Max,
+        (other, _) => return Err(SqlError::new(format!("unknown aggregate function {other}"))),
+    })
+}
+
+struct Binder<'a> {
+    catalog: &'a mut Catalog,
+    tables: Vec<QueryTable>,
+    occurrences: Vec<(String, String, HashMap<String, AttrId>)>,
+}
+
+impl Binder<'_> {
+    /// Bind a FROM tree, returning the operator tree. Table indices are
+    /// assigned left to right.
+    fn from(&mut self, f: &AstFrom) -> Result<OpTree, SqlError> {
+        match f {
+            AstFrom::Table { name, alias } => {
+                let alias = alias.clone().unwrap_or_else(|| name.clone());
+                if self.occurrences.iter().any(|(_, a, _)| *a == alias) {
+                    return Err(SqlError::new(format!("duplicate table alias {alias}")));
+                }
+                // Unknown tables surface as a catalog panic; map to error.
+                if !self.catalog.relations().iter().any(|r| r.name == *name) {
+                    return Err(SqlError::new(format!("unknown table {name}")));
+                }
+                let (table, mapping) = self.catalog.instantiate(name, &alias);
+                let idx = self.tables.len();
+                self.tables.push(table);
+                self.occurrences.push((name.clone(), alias, mapping));
+                Ok(OpTree::rel(idx))
+            }
+            AstFrom::Join { kind, condition, left, right } => {
+                let lstart = self.occurrences.len();
+                let ltree = self.from(left)?;
+                let lend = self.occurrences.len();
+                let rtree = self.from(right)?;
+                let rend = self.occurrences.len();
+
+                let in_left = |i: usize| (lstart..lend).contains(&i);
+                let in_right = |i: usize| (lend..rend).contains(&i);
+
+                let mut pred = JoinPred::default();
+                let mut sel = 1.0f64;
+                for cmp in condition {
+                    let (la, lo) = self.resolve_with_occ(&cmp.left)?;
+                    let (ra, ro) = self.resolve_with_occ(&cmp.right)?;
+                    let (l, op, r) = if in_left(lo) && in_right(ro) {
+                        (la, cmp.op, ra)
+                    } else if in_left(ro) && in_right(lo) {
+                        (ra, cmp.op.flip(), la)
+                    } else {
+                        return Err(SqlError::new(format!(
+                            "join condition {} {} does not connect the two sides",
+                            cmp.left, cmp.right
+                        )));
+                    };
+                    sel *= term_selectivity(&self.tables, l, r, op);
+                    pred = pred.and(l, op, r);
+                }
+                if pred.terms.is_empty() {
+                    return Err(SqlError::new("join requires an ON condition"));
+                }
+                let op = match kind {
+                    AstJoinKind::Inner => OpKind::Join,
+                    AstJoinKind::LeftOuter => OpKind::LeftOuter,
+                    AstJoinKind::FullOuter => OpKind::FullOuter,
+                    AstJoinKind::Semi => OpKind::Semi,
+                    AstJoinKind::Anti => OpKind::Anti,
+                };
+                Ok(OpTree::binary_sel(op, pred, sel, ltree, rtree))
+            }
+        }
+    }
+
+    /// Resolve a (possibly qualified) column to an attribute.
+    fn resolve(&self, q: &QName) -> Result<AttrId, SqlError> {
+        self.resolve_with_occ(q).map(|(a, _)| a)
+    }
+
+    fn resolve_with_occ(&self, q: &QName) -> Result<(AttrId, usize), SqlError> {
+        match &q.qualifier {
+            Some(alias) => {
+                let (i, (_, _, mapping)) = self
+                    .occurrences
+                    .iter()
+                    .enumerate()
+                    .find(|(_, (_, a, _))| a == alias)
+                    .ok_or_else(|| SqlError::new(format!("unknown table alias {alias}")))?;
+                let attr = mapping
+                    .get(&q.name)
+                    .ok_or_else(|| SqlError::new(format!("no column {} in {alias}", q.name)))?;
+                Ok((*attr, i))
+            }
+            None => {
+                let mut found = None;
+                for (i, (_, alias, mapping)) in self.occurrences.iter().enumerate() {
+                    if let Some(attr) = mapping.get(&q.name) {
+                        if found.is_some() {
+                            return Err(SqlError::new(format!(
+                                "ambiguous column {} (qualify with an alias)",
+                                q.name
+                            )));
+                        }
+                        found = Some((*attr, i, alias.clone()));
+                    }
+                }
+                found
+                    .map(|(a, i, _)| (a, i))
+                    .ok_or_else(|| SqlError::new(format!("unknown column {}", q.name)))
+            }
+        }
+    }
+}
+
+/// The textbook selectivity for one predicate term: `1/max(d_l, d_r)` for
+/// equality, a fixed `1/3` for inequalities.
+fn term_selectivity(tables: &[QueryTable], l: AttrId, r: AttrId, op: CmpOp) -> f64 {
+    if op != CmpOp::Eq {
+        return 1.0 / 3.0;
+    }
+    let d = |a: AttrId| {
+        tables
+            .iter()
+            .find(|t| t.has_attr(a))
+            .map(|t| t.distinct_of(a))
+            .unwrap_or(1.0)
+    };
+    1.0 / d(l).max(d(r)).max(1.0)
+}

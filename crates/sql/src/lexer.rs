@@ -1,0 +1,224 @@
+//! Tokenizer for the SQL dialect.
+
+use std::fmt;
+
+/// A token of the query language.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier (keywords are matched case-insensitively by
+    /// the parser; the original spelling is preserved).
+    Ident(String),
+    /// Integer literal.
+    Number(i64),
+    /// String literal (single quotes).
+    Str(String),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Star,
+    Eq,
+    Ne,
+    Le,
+    Ge,
+    Lt,
+    Gt,
+}
+
+impl Token {
+    /// Case-insensitive keyword match.
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Number(n) => write!(f, "{n}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Comma => write!(f, ","),
+            Token::Dot => write!(f, "."),
+            Token::Star => write!(f, "*"),
+            Token::Eq => write!(f, "="),
+            Token::Ne => write!(f, "<>"),
+            Token::Le => write!(f, "<="),
+            Token::Ge => write!(f, ">="),
+            Token::Lt => write!(f, "<"),
+            Token::Gt => write!(f, ">"),
+        }
+    }
+}
+
+/// Lexing / parsing / binding errors with a human-readable message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SqlError {
+    pub message: String,
+}
+
+impl SqlError {
+    pub fn new(message: impl Into<String>) -> Self {
+        SqlError { message: message.into() }
+    }
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SQL error: {}", self.message)
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+/// Tokenize `input`.
+pub fn lex(input: &str) -> Result<Vec<Token>, SqlError> {
+    let mut tokens = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Le);
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    tokens.push(Token::Ne);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Ge);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Ne);
+                    i += 2;
+                } else {
+                    return Err(SqlError::new(format!("unexpected character '!' at byte {i}")));
+                }
+            }
+            '\'' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'\'' {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(SqlError::new("unterminated string literal"));
+                }
+                tokens.push(Token::Str(input[start..j].to_string()));
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let n: i64 = input[start..i]
+                    .parse()
+                    .map_err(|_| SqlError::new("integer literal out of range"))?;
+                tokens.push(Token::Number(n));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let c = bytes[i] as char;
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token::Ident(input[start..i].to_string()));
+            }
+            other => {
+                return Err(SqlError::new(format!("unexpected character '{other}' at byte {i}")));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_and_symbols() {
+        let t = lex("select count(*), sum(x.a) from t1 x").unwrap();
+        assert!(t[0].is_kw("SELECT"));
+        assert_eq!(Token::LParen, t[2]);
+        assert_eq!(Token::Star, t[3]);
+        assert_eq!(Token::Comma, t[5]);
+        assert!(t.iter().any(|x| x.is_kw("from")));
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let t = lex("a = b <> c <= d >= e < f > g != h").unwrap();
+        let ops: Vec<&Token> = t.iter().filter(|t| !matches!(t, Token::Ident(_))).collect();
+        assert_eq!(
+            vec![&Token::Eq, &Token::Ne, &Token::Le, &Token::Ge, &Token::Lt, &Token::Gt, &Token::Ne],
+            ops
+        );
+    }
+
+    #[test]
+    fn literals() {
+        let t = lex("42 'hello world'").unwrap();
+        assert_eq!(Token::Number(42), t[0]);
+        assert_eq!(Token::Str("hello world".into()), t[1]);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("'unterminated").is_err());
+        assert!(lex("a ! b").is_err());
+        assert!(lex("a ; b").is_err());
+    }
+
+    #[test]
+    fn qualified_name() {
+        let t = lex("ns.n_name").unwrap();
+        assert_eq!(3, t.len());
+        assert_eq!(Token::Dot, t[1]);
+    }
+}

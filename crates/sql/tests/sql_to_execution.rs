@@ -1,0 +1,154 @@
+//! End-to-end: SQL text → parse → bind → optimize → execute.
+
+use dpnext_catalog::{generate_database, tpch_catalog};
+use dpnext_core::{optimize, Algorithm};
+use dpnext_sql::plan;
+
+/// The paper's introductory query, straight from its SQL text.
+const EX: &str = "select ns.n_name, nc.n_name, count(*) \
+    from (nation ns join supplier s on ns.n_nationkey = s.s_nationkey) \
+    full outer join \
+    (nation nc join customer c on nc.n_nationkey = c.c_nationkey) \
+    on ns.n_nationkey = nc.n_nationkey \
+    group by ns.n_name, nc.n_name";
+
+#[test]
+fn intro_query_from_sql_text() {
+    let mut catalog = tpch_catalog();
+    let bound = plan(EX, &mut catalog).unwrap();
+    assert_eq!(4, bound.query.table_count());
+    assert_eq!(vec!["ns.n_name", "nc.n_name", "count(*)"], bound.output_names);
+
+    // Optimize and execute at a small scale; all algorithms must agree
+    // with the canonical plan.
+    let occs: Vec<_> = bound
+        .occurrences
+        .iter()
+        .enumerate()
+        .map(|(i, (t, _, m))| (t.as_str(), &bound.query.tables[i], m))
+        .collect();
+    let db = generate_database(0.002, 11, &occs);
+    let reference = bound.query.canonical_plan().eval(&db);
+    for algo in [Algorithm::DPhyp, Algorithm::H1, Algorithm::EaPrune] {
+        let opt = optimize(&bound.query, algo);
+        assert!(opt.plan.root.eval(&db).bag_eq(&reference), "{}", algo.name());
+    }
+
+    // And the eager plan must beat the baseline by orders of magnitude.
+    let lazy = optimize(&bound.query, Algorithm::DPhyp).plan.cost;
+    let eager = optimize(&bound.query, Algorithm::EaPrune).plan.cost;
+    assert!(lazy / eager > 1000.0, "gain only {}", lazy / eager);
+}
+
+#[test]
+fn aliases_and_self_joins_resolve() {
+    let mut catalog = tpch_catalog();
+    let bound = plan(
+        "select a.n_name, count(*) from nation a join nation b on a.n_regionkey = b.n_regionkey \
+         group by a.n_name",
+        &mut catalog,
+    )
+    .unwrap();
+    assert_eq!(2, bound.query.table_count());
+    // Self-join: distinct attributes per occurrence.
+    let a_key = bound.occurrences[0].2["n_nationkey"];
+    let b_key = bound.occurrences[1].2["n_nationkey"];
+    assert_ne!(a_key, b_key);
+}
+
+#[test]
+fn unqualified_columns_resolve_when_unique() {
+    let mut catalog = tpch_catalog();
+    let bound = plan(
+        "select n_name, count(s_suppkey) from nation join supplier on n_nationkey = s_nationkey \
+         group by n_name",
+        &mut catalog,
+    )
+    .unwrap();
+    assert_eq!(2, bound.query.table_count());
+    let opt = optimize(&bound.query, Algorithm::EaPrune);
+    assert!(opt.plan.cost.is_finite());
+}
+
+#[test]
+fn semantic_errors() {
+    let mut catalog = tpch_catalog();
+    // Unknown table.
+    assert!(plan("select a from nowhere", &mut catalog).is_err());
+    // Unknown column.
+    assert!(plan("select nation.bogus from nation", &mut catalog).is_err());
+    // Ambiguous column in a self-join.
+    assert!(plan(
+        "select n_name from nation a join nation b on a.n_nationkey = b.n_nationkey",
+        &mut catalog
+    )
+    .is_err());
+    // Non-grouped plain column.
+    assert!(plan(
+        "select n_name, count(*) from nation group by n_regionkey",
+        &mut catalog
+    )
+    .is_err());
+    // Join condition not connecting the sides.
+    assert!(plan(
+        "select r_name from region join nation on region.r_regionkey = region.r_name",
+        &mut catalog
+    )
+    .is_err());
+    // Duplicate alias.
+    assert!(plan(
+        "select r_name from region x join nation x on x.r_regionkey = x.n_regionkey",
+        &mut catalog
+    )
+    .is_err());
+}
+
+#[test]
+fn avg_and_distinct_aggregates_bind() {
+    let mut catalog = tpch_catalog();
+    let bound = plan(
+        "select n_name, avg(s_acctbal), count(distinct s_nationkey) \
+         from nation join supplier on n_nationkey = s_nationkey group by n_name",
+        &mut catalog,
+    )
+    .unwrap();
+    // avg is normalized into sum/count partials with a post-map.
+    let g = bound.query.grouping.as_ref().unwrap();
+    assert_eq!(3, g.aggs.len()); // sum + countNN + count(distinct)
+    assert_eq!(1, g.post.len());
+}
+
+#[test]
+fn scalar_aggregate_without_group_by() {
+    let mut catalog = tpch_catalog();
+    let bound = plan(
+        "select count(*) from nation join supplier on n_nationkey = s_nationkey",
+        &mut catalog,
+    )
+    .unwrap();
+    let g = bound.query.grouping.as_ref().unwrap();
+    assert!(g.group_by.is_empty());
+    let opt = optimize(&bound.query, Algorithm::EaPrune);
+    assert!(opt.plan.cost.is_finite());
+}
+
+#[test]
+fn semi_and_anti_join_queries() {
+    let mut catalog = tpch_catalog();
+    let bound = plan(
+        "select n_name, count(*) from nation semi join supplier on n_nationkey = s_nationkey \
+         group by n_name",
+        &mut catalog,
+    )
+    .unwrap();
+    let occs: Vec<_> = bound
+        .occurrences
+        .iter()
+        .enumerate()
+        .map(|(i, (t, _, m))| (t.as_str(), &bound.query.tables[i], m))
+        .collect();
+    let db = generate_database(0.005, 3, &occs);
+    let reference = bound.query.canonical_plan().eval(&db);
+    let opt = optimize(&bound.query, Algorithm::EaPrune);
+    assert!(opt.plan.root.eval(&db).bag_eq(&reference));
+}

@@ -1,0 +1,106 @@
+//! The running example of §4.4 (Fig. 11 / Table 1): a three-relation
+//! query whose eager-aggregation plan violates Bellman's principle of
+//! optimality, with the exact relation instances printed in the paper.
+
+use dpnext_algebra::{AggCall, AttrGen, AttrId, Database, JoinPred, Relation};
+use dpnext_query::{GroupSpec, OpKind, OpTree, Query, QueryTable};
+
+/// Attribute ids for the example: R0(a, b), R1(c, d), R2(e, f).
+pub const A: AttrId = AttrId(0);
+pub const B: AttrId = AttrId(1);
+pub const C: AttrId = AttrId(2);
+pub const D: AttrId = AttrId(3);
+pub const E: AttrId = AttrId(4);
+pub const F: AttrId = AttrId(5);
+/// Output of the `count(*)` aggregate (`d''` in the paper).
+pub const DCOUNT: AttrId = AttrId(6);
+
+/// The example query:
+/// `Γ_{R1.d; d'' : count(*)}(R0 ⋈_{R0.a = R2.f} (R1 ⋈_{R1.d = R2.e} R2))`.
+pub fn fig11_query() -> Query {
+    let r0 = QueryTable::new("R0", vec![A, B], 4.0)
+        .with_distinct(vec![4.0, 2.0])
+        .with_key(vec![A]);
+    let r1 = QueryTable::new("R1", vec![C, D], 5.0)
+        .with_distinct(vec![5.0, 3.0])
+        .with_key(vec![C]);
+    let r2 = QueryTable::new("R2", vec![E, F], 4.0)
+        .with_distinct(vec![4.0, 4.0])
+        .with_key(vec![E]);
+    let tree = OpTree::binary_sel(
+        OpKind::Join,
+        JoinPred::eq(A, F),
+        0.25,
+        OpTree::rel(0),
+        OpTree::binary_sel(
+            OpKind::Join,
+            JoinPred::eq(D, E),
+            0.2,
+            OpTree::rel(1),
+            OpTree::rel(2),
+        ),
+    );
+    let mut gen = AttrGen::new(100);
+    let spec = GroupSpec::new(vec![D], vec![AggCall::count_star(DCOUNT)], &mut gen);
+    Query::new(vec![r0, r1, r2], tree, Some(spec))
+}
+
+/// The exact relation instances of Fig. 11.
+pub fn fig11_database() -> Database {
+    let mut db = Database::new();
+    db.insert(
+        "R0",
+        Relation::from_ints(
+            vec![A, B],
+            &[&[Some(0), Some(0)], &[Some(1), Some(0)], &[Some(2), Some(1)], &[Some(3), Some(1)]],
+        ),
+    );
+    db.insert(
+        "R1",
+        Relation::from_ints(
+            vec![C, D],
+            &[
+                &[Some(0), Some(1)],
+                &[Some(1), Some(0)],
+                &[Some(2), Some(1)],
+                &[Some(3), Some(1)],
+                &[Some(4), Some(4)],
+            ],
+        ),
+    );
+    db.insert(
+        "R2",
+        Relation::from_ints(
+            vec![E, F],
+            &[&[Some(0), Some(0)], &[Some(1), Some(1)], &[Some(2), Some(3)], &[Some(3), Some(4)]],
+        ),
+    );
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_result_matches_paper() {
+        // Γ_{R1.d; d'' : count(*)}: the paper's result is {(1, 3), (0, 1)}.
+        let q = fig11_query();
+        let db = fig11_database();
+        let res = q.canonical_plan().eval(&db);
+        let expect = Relation::from_ints(vec![D, DCOUNT], &[&[Some(1), Some(3)], &[Some(0), Some(1)]]);
+        assert!(res.bag_eq(&expect), "got {res}");
+    }
+
+    #[test]
+    fn intermediate_cardinalities_match_paper() {
+        let db = fig11_database();
+        let r1 = db.get("R1").unwrap();
+        let r2 = db.get("R2").unwrap();
+        let r0 = db.get("R0").unwrap();
+        let r12 = dpnext_algebra::ops::inner_join(r1, r2, &JoinPred::eq(D, E));
+        assert_eq!(4, r12.len()); // |R1,2| = 4
+        let r012 = dpnext_algebra::ops::inner_join(r0, &r12, &JoinPred::eq(A, F));
+        assert_eq!(4, r012.len()); // |R0,1,2| = 4
+    }
+}

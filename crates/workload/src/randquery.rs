@@ -1,0 +1,338 @@
+//! Random query generation following §5: "we first generated random
+//! binary trees using the unranking procedure proposed by Liebehenschel.
+//! Next, we randomly attached join operators to the internal nodes and
+//! relations to the leaves. Then, the attributes for equality join
+//! predicates and grouping are randomly selected. Finally, random
+//! cardinalities and selectivities are generated."
+
+use crate::unrank::{tree_count, unrank_tree, TreeShape};
+use dpnext_algebra::{AggCall, AggKind, AttrGen, AttrId, Expr, JoinPred};
+use dpnext_query::{GroupSpec, OpKind, OpTree, Query, QueryTable};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Relative weights for drawing the operator of an internal node.
+#[derive(Debug, Clone, Copy)]
+pub struct OpWeights {
+    pub join: u32,
+    pub left_outer: u32,
+    pub full_outer: u32,
+    pub semi: u32,
+    pub anti: u32,
+    pub groupjoin: u32,
+}
+
+impl OpWeights {
+    /// Inner joins only.
+    pub fn inner_only() -> Self {
+        OpWeights { join: 1, left_outer: 0, full_outer: 0, semi: 0, anti: 0, groupjoin: 0 }
+    }
+
+    /// The default mix: mostly inner joins with a sprinkling of the
+    /// non-inner operators whose reordering the paper enables.
+    pub fn mixed() -> Self {
+        OpWeights { join: 6, left_outer: 2, full_outer: 1, semi: 1, anti: 1, groupjoin: 0 }
+    }
+
+    /// Mix including groupjoins (Eqvs. 39–41).
+    pub fn with_groupjoins() -> Self {
+        OpWeights { join: 5, left_outer: 2, full_outer: 1, semi: 1, anti: 1, groupjoin: 2 }
+    }
+
+    fn draw(&self, rng: &mut StdRng) -> OpKind {
+        let total = self.join
+            + self.left_outer
+            + self.full_outer
+            + self.semi
+            + self.anti
+            + self.groupjoin;
+        assert!(total > 0, "all operator weights are zero");
+        let mut x = rng.gen_range(0..total);
+        for (w, op) in [
+            (self.join, OpKind::Join),
+            (self.left_outer, OpKind::LeftOuter),
+            (self.full_outer, OpKind::FullOuter),
+            (self.semi, OpKind::Semi),
+            (self.anti, OpKind::Anti),
+            (self.groupjoin, OpKind::GroupJoin),
+        ] {
+            if x < w {
+                return op;
+            }
+            x -= w;
+        }
+        unreachable!()
+    }
+}
+
+/// Configuration for the random query generator.
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    pub n_relations: usize,
+    pub ops: OpWeights,
+    /// Cardinalities are drawn log-uniformly from this range.
+    pub card_range: (f64, f64),
+    /// Attributes per relation (min, max).
+    pub attrs_per_rel: (usize, usize),
+    /// Number of aggregate functions in the select clause (min, max).
+    pub n_aggs: (usize, usize),
+    /// Probability that a relation declares its first attribute as key.
+    pub key_probability: f64,
+    /// Probability that each visible attribute joins the group-by list.
+    pub group_attr_probability: f64,
+    /// Generate a grouping at all (pure join-ordering queries otherwise).
+    pub with_grouping: bool,
+    /// Allow `avg` / `distinct` aggregates (they constrain pushability).
+    pub exotic_aggs: bool,
+}
+
+impl GenConfig {
+    /// The paper's evaluation setting for `n` relations.
+    pub fn paper(n_relations: usize) -> Self {
+        GenConfig {
+            n_relations,
+            ops: OpWeights::mixed(),
+            card_range: (10.0, 100_000.0),
+            attrs_per_rel: (2, 3),
+            n_aggs: (1, 3),
+            key_probability: 0.5,
+            group_attr_probability: 0.25,
+            with_grouping: true,
+            exotic_aggs: false,
+        }
+    }
+
+    /// Tiny cardinalities for executor-backed correctness tests.
+    pub fn oracle(n_relations: usize) -> Self {
+        GenConfig {
+            card_range: (2.0, 8.0),
+            exotic_aggs: true,
+            ..GenConfig::paper(n_relations)
+        }
+    }
+}
+
+/// Generate a random query. Deterministic in `(config, seed)`.
+pub fn generate_query(config: &GenConfig, seed: u64) -> Query {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = config.n_relations;
+    assert!(n >= 1);
+
+    // 1. Random tree shape by unranking a uniform rank.
+    let rank = rng.gen_range(0..tree_count(n));
+    let shape = unrank_tree(n, rank);
+
+    // 2. Tables with random cardinalities, distinct counts and keys.
+    let mut gen = AttrGen::new(0);
+    let mut tables = Vec::with_capacity(n);
+    for i in 0..n {
+        let n_attrs = rng.gen_range(config.attrs_per_rel.0..=config.attrs_per_rel.1);
+        let attrs: Vec<AttrId> = (0..n_attrs).map(|_| gen.fresh()).collect();
+        let card = log_uniform(&mut rng, config.card_range);
+        let distinct: Vec<f64> = (0..n_attrs)
+            .map(|k| {
+                if k == 0 {
+                    card // potential key column
+                } else {
+                    // At least ~sqrt(card) distinct values: grouping
+                    // compresses, but not degenerately (keeps the cost
+                    // ratios in the paper's regime).
+                    log_uniform(&mut rng, (card.sqrt().max(2.0), card.max(2.0)))
+                }
+            })
+            .collect();
+        let mut t = QueryTable::new(format!("r{i}"), attrs.clone(), card).with_distinct(distinct);
+        if rng.gen_bool(config.key_probability) {
+            t = t.with_key(vec![attrs[0]]);
+        }
+        tables.push(t);
+    }
+
+    // 3. Operators, predicates and selectivities, bottom-up; leaves get
+    //    relations in left-to-right order.
+    let mut next_leaf = 0usize;
+    let tree = build(&shape, &mut next_leaf, &tables, &config.ops, &mut gen, &mut rng);
+
+    // 4. Grouping attributes and aggregates over visible attributes.
+    // Groupjoin outputs are *not* used as grouping attributes or aggregate
+    // arguments here: the generator keeps the top grouping expressible over
+    // base attributes so the canonical plan stays the reference. (The
+    // groupjoin outputs still flow to the final projection implicitly.)
+    let grouping = config.with_grouping.then(|| {
+        let table_attrs = |i: usize| tables[i].attrs.clone();
+        let visible: Vec<AttrId> = tree
+            .visible_attrs(&table_attrs)
+            .into_iter()
+            .filter(|a| tables.iter().any(|t| t.has_attr(*a)))
+            .collect();
+        let mut group_by: Vec<AttrId> = visible
+            .iter()
+            .copied()
+            .filter(|_| rng.gen_bool(config.group_attr_probability))
+            .collect();
+        if group_by.is_empty() {
+            group_by.push(visible[rng.gen_range(0..visible.len())]);
+        }
+        let n_aggs = rng.gen_range(config.n_aggs.0..=config.n_aggs.1);
+        let aggs = (0..n_aggs)
+            .map(|_| random_agg(&mut rng, &visible, &mut gen, config.exotic_aggs))
+            .collect();
+        GroupSpec::new(group_by, aggs, &mut gen)
+    });
+
+    Query::new(tables, tree, grouping)
+}
+
+fn log_uniform(rng: &mut StdRng, (lo, hi): (f64, f64)) -> f64 {
+    if hi <= lo {
+        return lo;
+    }
+    (rng.gen_range(lo.ln()..=hi.ln())).exp().round().max(1.0)
+}
+
+fn random_agg(rng: &mut StdRng, visible: &[AttrId], gen: &mut AttrGen, exotic: bool) -> AggCall {
+    let out = gen.fresh();
+    let kinds: &[AggKind] = if exotic {
+        &[
+            AggKind::CountStar,
+            AggKind::Count,
+            AggKind::Sum,
+            AggKind::Min,
+            AggKind::Max,
+            AggKind::Avg,
+            AggKind::CountDistinct,
+            AggKind::SumDistinct,
+        ]
+    } else {
+        &[AggKind::CountStar, AggKind::Count, AggKind::Sum, AggKind::Min, AggKind::Max]
+    };
+    let kind = kinds[rng.gen_range(0..kinds.len())];
+    if kind == AggKind::CountStar {
+        AggCall::count_star(out)
+    } else {
+        let arg = visible[rng.gen_range(0..visible.len())];
+        AggCall::new(out, kind, Expr::attr(arg))
+    }
+}
+
+fn build(
+    shape: &TreeShape,
+    next_leaf: &mut usize,
+    tables: &[QueryTable],
+    ops: &OpWeights,
+    gen: &mut AttrGen,
+    rng: &mut StdRng,
+) -> OpTree {
+    match shape {
+        TreeShape::Leaf => {
+            let i = *next_leaf;
+            *next_leaf += 1;
+            OpTree::rel(i)
+        }
+        TreeShape::Node(l, r) => {
+            let left = build(l, next_leaf, tables, ops, gen, rng);
+            let right = build(r, next_leaf, tables, ops, gen, rng);
+            let op = ops.draw(rng);
+            // Pick equality-join attributes from each side's visible set.
+            let table_attrs = |i: usize| tables[i].attrs.clone();
+            let lvis = left.visible_attrs(&table_attrs);
+            let rvis = right.visible_attrs(&table_attrs);
+            let la = lvis[rng.gen_range(0..lvis.len())];
+            let ra = rvis[rng.gen_range(0..rvis.len())];
+            // Random selectivity anchored at the textbook equi-join
+            // estimate 1/max(d_l, d_r), jittered log-uniformly: join sizes
+            // stay in a realistic regime while still varying per query.
+            let d = distinct_of(tables, la).max(distinct_of(tables, ra)).max(1.0);
+            let sel = (log_uniform_raw(rng, 0.25, 4.0) / d).min(1.0);
+            if op == OpKind::GroupJoin {
+                // The groupjoin aggregates right-side attributes; its
+                // outputs become visible to the rest of the query.
+                let arg = rvis[rng.gen_range(0..rvis.len())];
+                let kinds = [AggKind::CountStar, AggKind::Sum, AggKind::Min, AggKind::Count];
+                let kind = kinds[rng.gen_range(0..kinds.len())];
+                let out = gen.fresh();
+                let call = if kind == AggKind::CountStar {
+                    AggCall::count_star(out)
+                } else {
+                    AggCall::new(out, kind, Expr::attr(arg))
+                };
+                OpTree::groupjoin(JoinPred::eq(la, ra), vec![call], left, right).with_sel(sel)
+            } else {
+                OpTree::binary_sel(op, JoinPred::eq(la, ra), sel, left, right)
+            }
+        }
+    }
+}
+
+fn log_uniform_raw(rng: &mut StdRng, lo: f64, hi: f64) -> f64 {
+    (rng.gen_range(lo.ln()..=hi.ln())).exp()
+}
+
+fn distinct_of(tables: &[QueryTable], attr: AttrId) -> f64 {
+    tables
+        .iter()
+        .find(|t| t.has_attr(attr))
+        .map(|t| t.distinct_of(attr))
+        .unwrap_or(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GenConfig::paper(6);
+        let q1 = generate_query(&cfg, 42);
+        let q2 = generate_query(&cfg, 42);
+        assert_eq!(q1.table_count(), q2.table_count());
+        assert_eq!(format!("{:?}", q1.tree), format!("{:?}", q2.tree));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = GenConfig::paper(8);
+        let q1 = generate_query(&cfg, 1);
+        let q2 = generate_query(&cfg, 2);
+        assert_ne!(format!("{:?}", q1.tree), format!("{:?}", q2.tree));
+    }
+
+    #[test]
+    fn queries_validate_across_seeds() {
+        // Query::new validates; just construct many.
+        let cfg = GenConfig::paper(7);
+        for seed in 0..50 {
+            let q = generate_query(&cfg, seed);
+            assert_eq!(7, q.table_count());
+            assert!(q.grouping.is_some());
+        }
+    }
+
+    #[test]
+    fn inner_only_config() {
+        let mut cfg = GenConfig::paper(5);
+        cfg.ops = OpWeights::inner_only();
+        for seed in 0..20 {
+            let q = generate_query(&cfg, seed);
+            q.tree.visit_ops(&mut |n| {
+                if let OpTree::Binary { op, .. } = n {
+                    assert_eq!(OpKind::Join, *op);
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn oracle_config_has_small_tables() {
+        let q = generate_query(&GenConfig::oracle(4), 9);
+        for t in &q.tables {
+            assert!(t.card <= 8.0);
+        }
+    }
+
+    #[test]
+    fn single_relation_query() {
+        let q = generate_query(&GenConfig::paper(1), 3);
+        assert_eq!(1, q.table_count());
+    }
+}

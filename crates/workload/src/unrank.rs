@@ -1,0 +1,182 @@
+//! Lexicographic unranking of binary trees via Dyck words
+//! (Liebehenschel, *Lexicographical generation of a generalized Dyck
+//! language*, 1998 — cited as \[5\]; used by §5 to draw uniformly random
+//! operator-tree shapes).
+
+/// Shape of a binary tree: leaves are `Leaf`, internal nodes carry the two
+/// subtrees. Leaf labels are assigned later.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeShape {
+    Leaf,
+    Node(Box<TreeShape>, Box<TreeShape>),
+}
+
+impl TreeShape {
+    pub fn leaf_count(&self) -> usize {
+        match self {
+            TreeShape::Leaf => 1,
+            TreeShape::Node(l, r) => l.leaf_count() + r.leaf_count(),
+        }
+    }
+
+    pub fn internal_count(&self) -> usize {
+        self.leaf_count() - 1
+    }
+}
+
+/// Number of lattice paths of length `len` from height `h` down to height
+/// 0 that never go below 0 (the "ballot" table driving the unranking).
+fn paths_table(max_len: usize) -> Vec<Vec<u128>> {
+    // table[l][h] = number of valid completions with l steps from height h.
+    let mut table = vec![vec![0u128; max_len + 2]; max_len + 1];
+    table[0][0] = 1;
+    for l in 1..=max_len {
+        for h in 0..=max_len {
+            let up = if h < max_len { table[l - 1][h + 1] } else { 0 };
+            let down = if h > 0 { table[l - 1][h - 1] } else { 0 };
+            table[l][h] = up + down;
+        }
+    }
+    table
+}
+
+/// The Catalan number `C_m` = number of binary trees with `m` internal
+/// nodes (= Dyck words of length `2m`).
+pub fn catalan(m: usize) -> u128 {
+    if m == 0 {
+        return 1;
+    }
+    let table = paths_table(2 * m);
+    table[2 * m][0]
+}
+
+/// Unrank the `rank`-th (0-based) Dyck word of length `2m` in
+/// lexicographic order (`(` < `)`), as a boolean vector (`true` = `(`).
+pub fn unrank_dyck(m: usize, mut rank: u128) -> Vec<bool> {
+    assert!(rank < catalan(m), "rank {rank} out of range for m={m}");
+    let table = paths_table(2 * m);
+    let mut word = Vec::with_capacity(2 * m);
+    let mut height = 0usize;
+    for pos in 0..2 * m {
+        let remaining = 2 * m - pos - 1;
+        // Words starting with '(' from here:
+        let with_open = table[remaining][height + 1];
+        if rank < with_open {
+            word.push(true);
+            height += 1;
+        } else {
+            rank -= with_open;
+            word.push(false);
+            height = height.checked_sub(1).expect("invalid Dyck prefix");
+        }
+    }
+    debug_assert_eq!(0, height);
+    word
+}
+
+/// Decode a Dyck word into a binary-tree shape via the standard bijection
+/// `enc(leaf) = ε`, `enc(node(l, r)) = ( enc(l) ) enc(r)`.
+pub fn dyck_to_tree(word: &[bool]) -> TreeShape {
+    fn parse(word: &[bool], pos: &mut usize) -> TreeShape {
+        if *pos < word.len() && word[*pos] {
+            *pos += 1; // '('
+            let left = parse(word, pos);
+            debug_assert!(!word[*pos], "expected ')'");
+            *pos += 1; // ')'
+            let right = parse(word, pos);
+            TreeShape::Node(Box::new(left), Box::new(right))
+        } else {
+            TreeShape::Leaf
+        }
+    }
+    let mut pos = 0;
+    let t = parse(word, &mut pos);
+    debug_assert_eq!(word.len(), pos);
+    t
+}
+
+/// Unrank directly to a tree with `n_leaves` leaves.
+pub fn unrank_tree(n_leaves: usize, rank: u128) -> TreeShape {
+    assert!(n_leaves >= 1);
+    let word = unrank_dyck(n_leaves - 1, rank);
+    dyck_to_tree(&word)
+}
+
+/// Number of distinct binary trees with `n_leaves` leaves.
+pub fn tree_count(n_leaves: usize) -> u128 {
+    catalan(n_leaves - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn catalan_numbers() {
+        let expect: [u128; 11] = [1, 1, 2, 5, 14, 42, 132, 429, 1430, 4862, 16796];
+        for (m, &e) in expect.iter().enumerate() {
+            assert_eq!(e, catalan(m), "C_{m}");
+        }
+        // The paper goes to 20 relations: C_19.
+        assert_eq!(1_767_263_190, catalan(19));
+    }
+
+    #[test]
+    fn unranking_is_bijective() {
+        for m in 0..=6 {
+            let total = catalan(m);
+            let mut seen = HashSet::new();
+            for r in 0..total {
+                let w = unrank_dyck(m, r);
+                assert_eq!(2 * m, w.len());
+                assert!(seen.insert(w), "duplicate word at rank {r}, m={m}");
+            }
+            assert_eq!(total as usize, seen.len());
+        }
+    }
+
+    #[test]
+    fn unranking_is_lexicographic() {
+        let m = 5;
+        let mut prev: Option<Vec<bool>> = None;
+        for r in 0..catalan(m) {
+            let w = unrank_dyck(m, r);
+            if let Some(p) = &prev {
+                // '(' = true sorts before ')' = false lexicographically,
+                // so invert for Vec<bool> comparison.
+                let key = |v: &Vec<bool>| v.iter().map(|&b| !b).collect::<Vec<bool>>();
+                assert!(key(p) < key(&w), "not lexicographic at rank {r}");
+            }
+            prev = Some(w);
+        }
+    }
+
+    #[test]
+    fn trees_have_right_size() {
+        for n in 1..=8 {
+            for r in [0u128, tree_count(n) / 2, tree_count(n) - 1] {
+                let t = unrank_tree(n, r);
+                assert_eq!(n, t.leaf_count());
+                assert_eq!(n - 1, t.internal_count());
+            }
+        }
+    }
+
+    #[test]
+    fn all_tree_shapes_distinct() {
+        let n = 6;
+        let mut seen = HashSet::new();
+        for r in 0..tree_count(n) {
+            let t = unrank_tree(n, r);
+            assert!(seen.insert(format!("{t:?}")));
+        }
+        assert_eq!(42, seen.len()); // C_5
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rank_out_of_range_panics() {
+        unrank_dyck(3, 5);
+    }
+}

@@ -1,0 +1,42 @@
+//! The Bellman-principle violation of §4.4 (Fig. 11), step by step:
+//! eager aggregation makes a locally more expensive subplan globally
+//! optimal, which defeats the greedy heuristic H1 but not H2 or the
+//! optimality-preserving EA-Prune.
+//!
+//! Run with `cargo run --example bellman_trap`.
+
+use dpnext::core::{optimize, Algorithm};
+use dpnext::workload::{fig11_database, fig11_query};
+
+fn main() {
+    let query = fig11_query();
+    let db = fig11_database();
+
+    println!("Fig. 11 query: Γ_d;count(*) (R0 ⋈ (R1 ⋈ R2)), data as printed in the paper\n");
+
+    for algo in [
+        Algorithm::DPhyp,
+        Algorithm::H1,
+        Algorithm::H2(1.5),
+        Algorithm::EaAll,
+        Algorithm::EaPrune,
+    ] {
+        let opt = optimize(&query, algo);
+        let (result, measured) = opt.plan.root.eval_counting(&db);
+        println!(
+            "{:<12} estimated = {:>6.1}   measured C_out = {:>2}   top grouping kept = {}",
+            algo.name(),
+            opt.plan.cost,
+            measured,
+            opt.plan.top_grouping
+        );
+        assert!(result.bag_eq(&query.canonical_plan().eval(&db)));
+    }
+
+    println!("\nPaper's Table 1: lazy tree = 10, eager tree = 9, eager + eliminated top grouping = 7.");
+    println!("H1 discards the eager subplan (its local cost is higher) — the Bellman trap;");
+    println!("H2's tolerance factor and EA-Prune's dominance pruning both escape it.\n");
+
+    let best = optimize(&query, Algorithm::EaPrune);
+    println!("optimal plan:\n{}", best.plan.root);
+}

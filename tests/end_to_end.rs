@@ -1,0 +1,93 @@
+//! Workspace-level integration tests exercising the full public API
+//! through the facade crate: query construction → conflict detection →
+//! plan generation → compilation → execution.
+
+use dpnext::core::{optimize, Algorithm};
+use dpnext::workload::{generate_data, generate_query, GenConfig, OpWeights};
+
+#[test]
+fn facade_reexports_work_together() {
+    let query = generate_query(&GenConfig::oracle(4), 1);
+    let db = generate_data(&query, 8, 0.1, 1);
+    let reference = query.canonical_plan().eval(&db);
+    let opt = optimize(&query, Algorithm::EaPrune);
+    assert!(opt.plan.root.eval(&db).bag_eq(&reference));
+}
+
+#[test]
+fn optimization_is_deterministic() {
+    let query = generate_query(&GenConfig::paper(9), 77);
+    let a = optimize(&query, Algorithm::H2(1.03));
+    let b = optimize(&query, Algorithm::H2(1.03));
+    assert_eq!(a.plan.cost, b.plan.cost);
+    assert_eq!(a.plans_built, b.plans_built);
+    assert_eq!(format!("{}", a.plan.root), format!("{}", b.plan.root));
+}
+
+#[test]
+fn all_algorithms_agree_on_results_across_sizes() {
+    for n in [3usize, 5, 6] {
+        let mut cfg = GenConfig::oracle(n);
+        cfg.ops = OpWeights::mixed();
+        for seed in 900..906 {
+            let query = generate_query(&cfg, seed);
+            let db = generate_data(&query, 7, 0.2, seed);
+            let reference = query.canonical_plan().eval(&db);
+            for algo in [Algorithm::DPhyp, Algorithm::H1, Algorithm::EaPrune] {
+                let opt = optimize(&query, algo);
+                assert!(
+                    opt.plan.root.eval(&db).bag_eq(&reference),
+                    "{} on n={n} seed={seed}",
+                    algo.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn costs_are_monotone_in_algorithm_strength() {
+    // EA-Prune ≤ H2 ≤ ∞, EA-Prune ≤ H1, EA-Prune ≤ DPhyp on every query.
+    for seed in 950..962 {
+        let query = generate_query(&GenConfig::paper(7), seed);
+        let opt = optimize(&query, Algorithm::EaPrune).plan.cost;
+        for algo in [Algorithm::DPhyp, Algorithm::H1, Algorithm::H2(1.01), Algorithm::H2(1.1)] {
+            let c = optimize(&query, algo).plan.cost;
+            assert!(opt <= c * (1.0 + 1e-9), "{}: {opt} > {c} (seed {seed})", algo.name());
+        }
+    }
+}
+
+#[test]
+fn larger_queries_stay_tractable_for_heuristics() {
+    // 16 relations: the heuristics and the baseline must finish fast.
+    let query = generate_query(&GenConfig::paper(16), 4711);
+    for algo in [Algorithm::DPhyp, Algorithm::H1, Algorithm::H2(1.03)] {
+        let opt = optimize(&query, algo);
+        assert!(opt.plan.cost.is_finite());
+        assert!(
+            opt.elapsed.as_secs_f64() < 10.0,
+            "{} too slow: {:?}",
+            algo.name(),
+            opt.elapsed
+        );
+    }
+}
+
+#[test]
+fn pure_join_ordering_without_grouping() {
+    // Queries without a grouping spec: plain join ordering must work and
+    // all algorithms degrade to it gracefully.
+    let mut cfg = GenConfig::oracle(4);
+    cfg.with_grouping = false;
+    for seed in 970..976 {
+        let query = generate_query(&cfg, seed);
+        let db = generate_data(&query, 6, 0.1, seed);
+        let reference = query.canonical_plan().eval(&db);
+        for algo in [Algorithm::DPhyp, Algorithm::H1, Algorithm::EaAll] {
+            let opt = optimize(&query, algo);
+            assert!(opt.plan.root.eval(&db).bag_eq(&reference), "{}", algo.name());
+            assert_eq!(0, opt.plan.root.grouping_count(), "no grouping should appear");
+        }
+    }
+}
