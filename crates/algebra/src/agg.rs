@@ -29,7 +29,11 @@ impl AggKind {
     pub fn is_duplicate_agnostic(self) -> bool {
         matches!(
             self,
-            AggKind::Min | AggKind::Max | AggKind::CountDistinct | AggKind::SumDistinct | AggKind::AvgDistinct
+            AggKind::Min
+                | AggKind::Max
+                | AggKind::CountDistinct
+                | AggKind::SumDistinct
+                | AggKind::AvgDistinct
         )
     }
 
@@ -96,12 +100,20 @@ pub struct AggCall {
 
 impl AggCall {
     pub fn count_star(out: AttrId) -> Self {
-        AggCall { out, kind: AggKind::CountStar, arg: None }
+        AggCall {
+            out,
+            kind: AggKind::CountStar,
+            arg: None,
+        }
     }
 
     pub fn new(out: AttrId, kind: AggKind, arg: Expr) -> Self {
         debug_assert!(kind != AggKind::CountStar);
-        AggCall { out, kind, arg: Some(arg) }
+        AggCall {
+            out,
+            kind,
+            arg: Some(arg),
+        }
     }
 
     /// Attributes referenced by the argument (`F(F)` for splittability).
@@ -121,7 +133,10 @@ impl AggCall {
             AggKind::CountStar => Value::Int(group.len() as i64),
             AggKind::Count => {
                 let arg = self.arg.as_ref().expect("count needs an argument");
-                let n = group.iter().filter(|t| !arg.eval(schema, t).is_null()).count();
+                let n = group
+                    .iter()
+                    .filter(|t| !arg.eval(schema, t).is_null())
+                    .count();
                 Value::Int(n as i64)
             }
             AggKind::Sum => fold_nonnull(self.arg(), schema, group, |acc, v| acc.add(&v)),
@@ -156,10 +171,15 @@ impl AggCall {
                     sum.div(&Value::Int(n))
                 }
             }
-            AggKind::CountDistinct => Value::Int(distinct_values(self.arg(), schema, group).len() as i64),
+            AggKind::CountDistinct => {
+                Value::Int(distinct_values(self.arg(), schema, group).len() as i64)
+            }
             AggKind::SumDistinct => {
                 let vals = distinct_values(self.arg(), schema, group);
-                vals.into_iter().fold(Value::Null, |acc, v| if acc.is_null() { v } else { acc.add(&v) })
+                vals.into_iter().fold(
+                    Value::Null,
+                    |acc, v| if acc.is_null() { v } else { acc.add(&v) },
+                )
             }
             AggKind::AvgDistinct => {
                 let vals = distinct_values(self.arg(), schema, group);
@@ -167,7 +187,11 @@ impl AggCall {
                     return Value::Null;
                 }
                 let n = vals.len() as i64;
-                let sum = vals.into_iter().fold(Value::Null, |acc, v| if acc.is_null() { v } else { acc.add(&v) });
+                let sum =
+                    vals.into_iter().fold(
+                        Value::Null,
+                        |acc, v| if acc.is_null() { v } else { acc.add(&v) },
+                    );
                 sum.div(&Value::Int(n))
             }
         }
@@ -297,11 +321,20 @@ mod tests {
         let r = Relation::from_ints(vec![a(0)], &[&[Some(1)], &[Some(2)], &[Some(2)], &[None]]);
         let g = group_of(&r);
         let avg = AggCall::new(a(9), AggKind::Avg, Expr::attr(a(0)));
-        assert_eq!(Value::Int(1).add(&Value::Int(2)).add(&Value::Int(2)).div(&Value::Int(3)), avg.eval_group(r.schema(), &g));
+        assert_eq!(
+            Value::Int(1)
+                .add(&Value::Int(2))
+                .add(&Value::Int(2))
+                .div(&Value::Int(3)),
+            avg.eval_group(r.schema(), &g)
+        );
         let sd = AggCall::new(a(9), AggKind::SumDistinct, Expr::attr(a(0)));
         assert_eq!(Value::Int(3), sd.eval_group(r.schema(), &g));
         let ad = AggCall::new(a(9), AggKind::AvgDistinct, Expr::attr(a(0)));
-        assert_eq!(Value::Int(3).div(&Value::Int(2)), ad.eval_group(r.schema(), &g));
+        assert_eq!(
+            Value::Int(3).div(&Value::Int(2)),
+            ad.eval_group(r.schema(), &g)
+        );
     }
 
     #[test]
@@ -311,7 +344,9 @@ mod tests {
             Value::Int(0),
             AggCall::new(a(9), AggKind::Count, Expr::attr(a(0))).eval_null_tuple()
         );
-        assert!(AggCall::new(a(9), AggKind::Sum, Expr::attr(a(0))).eval_null_tuple().is_null());
+        assert!(AggCall::new(a(9), AggKind::Sum, Expr::attr(a(0)))
+            .eval_null_tuple()
+            .is_null());
     }
 
     #[test]
@@ -323,7 +358,11 @@ mod tests {
             AggCall::count_star(a(9)),
         ];
         assert!(is_splittable(&ok, &left, &right));
-        let bad = vec![AggCall::new(a(8), AggKind::Sum, Expr::attr(a(0)).mul(Expr::attr(a(1))))];
+        let bad = vec![AggCall::new(
+            a(8),
+            AggKind::Sum,
+            Expr::attr(a(0)).mul(Expr::attr(a(1))),
+        )];
         assert!(!is_splittable(&bad, &left, &right));
     }
 }

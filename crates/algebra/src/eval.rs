@@ -42,16 +42,61 @@ pub enum AlgExpr {
     /// Scan of a named base relation.
     Scan(String),
     Cross(Box<AlgExpr>, Box<AlgExpr>),
-    InnerJoin { left: Box<AlgExpr>, right: Box<AlgExpr>, pred: JoinPred },
-    SemiJoin { left: Box<AlgExpr>, right: Box<AlgExpr>, pred: JoinPred },
-    AntiJoin { left: Box<AlgExpr>, right: Box<AlgExpr>, pred: JoinPred },
-    LeftOuterJoin { left: Box<AlgExpr>, right: Box<AlgExpr>, pred: JoinPred, defaults: Defaults },
-    FullOuterJoin { left: Box<AlgExpr>, right: Box<AlgExpr>, pred: JoinPred, d1: Defaults, d2: Defaults },
-    GroupJoin { left: Box<AlgExpr>, right: Box<AlgExpr>, pred: JoinPred, aggs: Vec<AggCall>, empty_defaults: Defaults },
-    GroupBy { input: Box<AlgExpr>, attrs: Vec<AttrId>, aggs: Vec<AggCall> },
-    Map { input: Box<AlgExpr>, exts: Vec<(AttrId, Expr)> },
-    Project { input: Box<AlgExpr>, attrs: Vec<AttrId>, dedup: bool },
-    Select { input: Box<AlgExpr>, left: Expr, op: CmpOp, right: Expr },
+    InnerJoin {
+        left: Box<AlgExpr>,
+        right: Box<AlgExpr>,
+        pred: JoinPred,
+    },
+    SemiJoin {
+        left: Box<AlgExpr>,
+        right: Box<AlgExpr>,
+        pred: JoinPred,
+    },
+    AntiJoin {
+        left: Box<AlgExpr>,
+        right: Box<AlgExpr>,
+        pred: JoinPred,
+    },
+    LeftOuterJoin {
+        left: Box<AlgExpr>,
+        right: Box<AlgExpr>,
+        pred: JoinPred,
+        defaults: Defaults,
+    },
+    FullOuterJoin {
+        left: Box<AlgExpr>,
+        right: Box<AlgExpr>,
+        pred: JoinPred,
+        d1: Defaults,
+        d2: Defaults,
+    },
+    GroupJoin {
+        left: Box<AlgExpr>,
+        right: Box<AlgExpr>,
+        pred: JoinPred,
+        aggs: Vec<AggCall>,
+        empty_defaults: Defaults,
+    },
+    GroupBy {
+        input: Box<AlgExpr>,
+        attrs: Vec<AttrId>,
+        aggs: Vec<AggCall>,
+    },
+    Map {
+        input: Box<AlgExpr>,
+        exts: Vec<(AttrId, Expr)>,
+    },
+    Project {
+        input: Box<AlgExpr>,
+        attrs: Vec<AttrId>,
+        dedup: bool,
+    },
+    Select {
+        input: Box<AlgExpr>,
+        left: Expr,
+        op: CmpOp,
+        right: Expr,
+    },
     UnionAll(Box<AlgExpr>, Box<AlgExpr>),
 }
 
@@ -65,42 +110,46 @@ impl AlgExpr {
     /// Panics if a scanned relation is missing or an attribute is not in
     /// scope — both indicate a malformed plan, which tests must surface.
     pub fn eval(&self, db: &Database) -> Relation {
+        let kids: Vec<Relation> = self.children().iter().map(|c| c.eval(db)).collect();
+        self.eval_node(db, &kids)
+    }
+
+    /// Evaluate one operator given its children's already-computed results
+    /// (in [`AlgExpr::children`] order). Shared by [`AlgExpr::eval`] and
+    /// [`AlgExpr::eval_counting`] so each node is evaluated exactly once.
+    fn eval_node(&self, db: &Database, kids: &[Relation]) -> Relation {
         match self {
             AlgExpr::Scan(name) => db
                 .get(name)
                 .unwrap_or_else(|| panic!("relation {name} not in database"))
                 .clone(),
-            AlgExpr::Cross(l, r) => ops::cross(&l.eval(db), &r.eval(db)),
-            AlgExpr::InnerJoin { left, right, pred } => {
-                ops::inner_join(&left.eval(db), &right.eval(db), pred)
+            AlgExpr::Cross(..) => ops::cross(&kids[0], &kids[1]),
+            AlgExpr::InnerJoin { pred, .. } => ops::inner_join(&kids[0], &kids[1], pred),
+            AlgExpr::SemiJoin { pred, .. } => ops::semi_join(&kids[0], &kids[1], pred),
+            AlgExpr::AntiJoin { pred, .. } => ops::anti_join(&kids[0], &kids[1], pred),
+            AlgExpr::LeftOuterJoin { pred, defaults, .. } => {
+                ops::left_outer_join(&kids[0], &kids[1], pred, defaults)
             }
-            AlgExpr::SemiJoin { left, right, pred } => {
-                ops::semi_join(&left.eval(db), &right.eval(db), pred)
+            AlgExpr::FullOuterJoin { pred, d1, d2, .. } => {
+                ops::full_outer_join(&kids[0], &kids[1], pred, d1, d2)
             }
-            AlgExpr::AntiJoin { left, right, pred } => {
-                ops::anti_join(&left.eval(db), &right.eval(db), pred)
+            AlgExpr::GroupJoin {
+                pred,
+                aggs,
+                empty_defaults,
+                ..
+            } => ops::groupjoin_with_defaults(&kids[0], &kids[1], pred, aggs, empty_defaults),
+            AlgExpr::GroupBy { attrs, aggs, .. } => {
+                crate::grouping::group_by(&kids[0], attrs, aggs)
             }
-            AlgExpr::LeftOuterJoin { left, right, pred, defaults } => {
-                ops::left_outer_join(&left.eval(db), &right.eval(db), pred, defaults)
-            }
-            AlgExpr::FullOuterJoin { left, right, pred, d1, d2 } => {
-                ops::full_outer_join(&left.eval(db), &right.eval(db), pred, d1, d2)
-            }
-            AlgExpr::GroupJoin { left, right, pred, aggs, empty_defaults } => {
-                ops::groupjoin_with_defaults(&left.eval(db), &right.eval(db), pred, aggs, empty_defaults)
-            }
-            AlgExpr::GroupBy { input, attrs, aggs } => {
-                crate::grouping::group_by(&input.eval(db), attrs, aggs)
-            }
-            AlgExpr::Map { input, exts } => ops::map(&input.eval(db), exts),
-            AlgExpr::Project { input, attrs, dedup } => {
-                ops::project(&input.eval(db), attrs, *dedup)
-            }
-            AlgExpr::Select { input, left, op, right } => {
-                let rel = input.eval(db);
-                ops::select(&rel, |schema, t| op.test(&left.eval(schema, t), &right.eval(schema, t)))
-            }
-            AlgExpr::UnionAll(l, r) => ops::union_all(&l.eval(db), &r.eval(db)),
+            AlgExpr::Map { exts, .. } => ops::map(&kids[0], exts),
+            AlgExpr::Project { attrs, dedup, .. } => ops::project(&kids[0], attrs, *dedup),
+            AlgExpr::Select {
+                left, op, right, ..
+            } => ops::select(&kids[0], |schema, t| {
+                op.test(&left.eval(schema, t), &right.eval(schema, t))
+            }),
+            AlgExpr::UnionAll(..) => ops::union_all(&kids[0], &kids[1]),
         }
     }
 
@@ -108,30 +157,23 @@ impl AlgExpr {
     /// result (the *measured* `C_out`). Returns `(result, total C_out)`.
     /// Scans and the final projection are free, matching §4.4.
     pub fn eval_counting(&self, db: &Database) -> (Relation, u64) {
-        match self {
-            AlgExpr::Scan(_) => (self.eval(db), 0),
-            AlgExpr::Project { input, attrs, dedup } => {
-                let (rel, c) = input.eval_counting(db);
-                (ops::project(&rel, attrs, *dedup), c)
-            }
-            AlgExpr::Map { input, exts } => {
-                let (rel, c) = input.eval_counting(db);
-                (ops::map(&rel, exts), c)
-            }
-            _ => {
-                let (rel, inner) = self.children().iter().fold(
-                    (None::<Relation>, 0u64),
-                    |(_, acc), child| {
-                        let (_, c) = child.eval_counting(db);
-                        (None, acc + c)
-                    },
-                );
-                let _ = rel;
-                let result = self.eval(db);
-                let cost = inner + result.len() as u64;
-                (result, cost)
-            }
-        }
+        let mut inner = 0u64;
+        let kids: Vec<Relation> = self
+            .children()
+            .iter()
+            .map(|child| {
+                let (rel, c) = child.eval_counting(db);
+                inner += c;
+                rel
+            })
+            .collect();
+        let result = self.eval_node(db, &kids);
+        let own = match self {
+            // Scans, the final projection and column extensions are free.
+            AlgExpr::Scan(_) | AlgExpr::Project { .. } | AlgExpr::Map { .. } => 0,
+            _ => result.len() as u64,
+        };
+        (result, inner + own)
     }
 
     fn children(&self) -> Vec<&AlgExpr> {
@@ -154,13 +196,21 @@ impl AlgExpr {
     /// Number of operators in the tree (scans excluded).
     pub fn operator_count(&self) -> usize {
         let own = usize::from(!matches!(self, AlgExpr::Scan(_)));
-        own + self.children().iter().map(|c| c.operator_count()).sum::<usize>()
+        own + self
+            .children()
+            .iter()
+            .map(|c| c.operator_count())
+            .sum::<usize>()
     }
 
     /// Number of grouping operators (Γ) in the tree.
     pub fn grouping_count(&self) -> usize {
         let own = usize::from(matches!(self, AlgExpr::GroupBy { .. }));
-        own + self.children().iter().map(|c| c.grouping_count()).sum::<usize>()
+        own + self
+            .children()
+            .iter()
+            .map(|c| c.grouping_count())
+            .sum::<usize>()
     }
 
     fn fmt_indent(&self, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
@@ -187,17 +237,34 @@ impl AlgExpr {
                 left.fmt_indent(f, indent + 1)?;
                 right.fmt_indent(f, indent + 1)
             }
-            AlgExpr::LeftOuterJoin { left, right, pred, defaults } => {
+            AlgExpr::LeftOuterJoin {
+                left,
+                right,
+                pred,
+                defaults,
+            } => {
                 writeln!(f, "{pad}LeftOuterJoin[{pred}] defaults={defaults:?}")?;
                 left.fmt_indent(f, indent + 1)?;
                 right.fmt_indent(f, indent + 1)
             }
-            AlgExpr::FullOuterJoin { left, right, pred, d1, d2 } => {
+            AlgExpr::FullOuterJoin {
+                left,
+                right,
+                pred,
+                d1,
+                d2,
+            } => {
                 writeln!(f, "{pad}FullOuterJoin[{pred}] d1={d1:?} d2={d2:?}")?;
                 left.fmt_indent(f, indent + 1)?;
                 right.fmt_indent(f, indent + 1)
             }
-            AlgExpr::GroupJoin { left, right, pred, aggs, .. } => {
+            AlgExpr::GroupJoin {
+                left,
+                right,
+                pred,
+                aggs,
+                ..
+            } => {
                 writeln!(f, "{pad}GroupJoin[{pred}] aggs={}", aggs.len())?;
                 left.fmt_indent(f, indent + 1)?;
                 right.fmt_indent(f, indent + 1)
@@ -210,11 +277,20 @@ impl AlgExpr {
                 writeln!(f, "{pad}Map[{} exts]", exts.len())?;
                 input.fmt_indent(f, indent + 1)
             }
-            AlgExpr::Project { input, attrs, dedup } => {
+            AlgExpr::Project {
+                input,
+                attrs,
+                dedup,
+            } => {
                 writeln!(f, "{pad}Project[{attrs:?}] dedup={dedup}")?;
                 input.fmt_indent(f, indent + 1)
             }
-            AlgExpr::Select { input, left, op, right } => {
+            AlgExpr::Select {
+                input,
+                left,
+                op,
+                right,
+            } => {
                 writeln!(f, "{pad}Select[{left} {op} {right}]")?;
                 input.fmt_indent(f, indent + 1)
             }
@@ -246,11 +322,17 @@ mod tests {
         let mut db = Database::new();
         db.insert(
             "r",
-            Relation::from_ints(vec![a(0), a(1)], &[&[Some(1), Some(10)], &[Some(2), Some(20)]]),
+            Relation::from_ints(
+                vec![a(0), a(1)],
+                &[&[Some(1), Some(10)], &[Some(2), Some(20)]],
+            ),
         );
         db.insert(
             "s",
-            Relation::from_ints(vec![a(2), a(3)], &[&[Some(1), Some(5)], &[Some(1), Some(6)]]),
+            Relation::from_ints(
+                vec![a(2), a(3)],
+                &[&[Some(1), Some(5)], &[Some(1), Some(6)]],
+            ),
         );
         db
     }

@@ -168,7 +168,9 @@ pub struct JoinPred {
 
 impl JoinPred {
     pub fn eq(l: AttrId, r: AttrId) -> Self {
-        JoinPred { terms: vec![(l, CmpOp::Eq, r)] }
+        JoinPred {
+            terms: vec![(l, CmpOp::Eq, r)],
+        }
     }
 
     pub fn and(mut self, l: AttrId, op: CmpOp, r: AttrId) -> Self {
@@ -184,9 +186,9 @@ impl JoinPred {
         rschema: &Schema,
         rtuple: &Tuple,
     ) -> bool {
-        self.terms.iter().all(|&(l, op, r)| {
-            op.test(&ltuple[lschema.pos_of(l)], &rtuple[rschema.pos_of(r)])
-        })
+        self.terms
+            .iter()
+            .all(|&(l, op, r)| op.test(&ltuple[lschema.pos_of(l)], &rtuple[rschema.pos_of(r)]))
     }
 
     /// True when every term is an equality.

@@ -12,7 +12,10 @@ use std::collections::HashMap;
 /// Grouping keys use null-tolerant equality (two NULLs are the same group),
 /// matching SQL `GROUP BY`.
 pub fn group_by(input: &Relation, group_attrs: &[AttrId], aggs: &[AggCall]) -> Relation {
-    let key_pos: Vec<usize> = group_attrs.iter().map(|&a| input.schema().pos_of(a)).collect();
+    let key_pos: Vec<usize> = group_attrs
+        .iter()
+        .map(|&a| input.schema().pos_of(a))
+        .collect();
     let mut groups: HashMap<Vec<Value>, Vec<&Tuple>> = HashMap::new();
     let mut order: Vec<Vec<Value>> = Vec::new();
     for t in input.tuples() {
@@ -55,7 +58,10 @@ pub fn group_by_theta(
     if theta == CmpOp::Eq {
         return group_by(input, group_attrs, aggs);
     }
-    let key_pos: Vec<usize> = group_attrs.iter().map(|&a| input.schema().pos_of(a)).collect();
+    let key_pos: Vec<usize> = group_attrs
+        .iter()
+        .map(|&a| input.schema().pos_of(a))
+        .collect();
     // Distinct prototypes y ∈ Π^D_G(e), null-tolerant.
     let mut seen: HashMap<Vec<Value>, ()> = HashMap::new();
     let mut prototypes: Vec<Vec<Value>> = Vec::new();
@@ -106,7 +112,11 @@ mod tests {
     fn simple_group_by() {
         let r = Relation::from_ints(
             vec![a(0), a(1)],
-            &[&[Some(1), Some(10)], &[Some(1), Some(20)], &[Some(2), Some(5)]],
+            &[
+                &[Some(1), Some(10)],
+                &[Some(1), Some(20)],
+                &[Some(2), Some(5)],
+            ],
         );
         let res = group_by(
             &r,
@@ -143,7 +153,11 @@ mod tests {
     fn grouping_on_no_attrs_single_group() {
         // Γ_{∅;F} over a non-empty input yields one global group.
         let r = Relation::from_ints(vec![a(0)], &[&[Some(1)], &[Some(2)]]);
-        let res = group_by(&r, &[], &[AggCall::new(a(9), AggKind::Sum, Expr::attr(a(0)))]);
+        let res = group_by(
+            &r,
+            &[],
+            &[AggCall::new(a(9), AggKind::Sum, Expr::attr(a(0)))],
+        );
         assert_eq!(1, res.len());
         assert_eq!(Value::Int(3), res.tuples()[0][0]);
     }
@@ -155,22 +169,37 @@ mod tests {
         let res = group_by_theta(&r, &[a(0)], CmpOp::Le, &[AggCall::count_star(a(9))]);
         let expect = Relation::from_ints(
             vec![a(0), a(9)],
-            &[&[Some(1), Some(3)], &[Some(2), Some(2)], &[Some(3), Some(1)]],
+            &[
+                &[Some(1), Some(3)],
+                &[Some(2), Some(2)],
+                &[Some(3), Some(1)],
+            ],
         );
         // θ is z.G θ y.G with z ranging over tuples: z <= y counts tuples <= y.
         let fixed = Relation::from_ints(
             vec![a(0), a(9)],
-            &[&[Some(1), Some(1)], &[Some(2), Some(2)], &[Some(3), Some(3)]],
+            &[
+                &[Some(1), Some(1)],
+                &[Some(2), Some(2)],
+                &[Some(3), Some(3)],
+            ],
         );
         // count of {z | z.a <= y.a}: y=1 → 1, y=2 → 2, y=3 → 3.
-        assert!(res.bag_eq(&fixed), "got {res} expected one of {expect}/{fixed}");
+        assert!(
+            res.bag_eq(&fixed),
+            "got {res} expected one of {expect}/{fixed}"
+        );
     }
 
     #[test]
     fn group_result_is_duplicate_free_on_keys() {
         let r = Relation::from_ints(
             vec![a(0), a(1)],
-            &[&[Some(1), Some(1)], &[Some(1), Some(2)], &[Some(2), Some(1)]],
+            &[
+                &[Some(1), Some(1)],
+                &[Some(1), Some(2)],
+                &[Some(2), Some(1)],
+            ],
         );
         let res = group_by(&r, &[a(0)], &[AggCall::count_star(a(9))]);
         let proj = crate::ops::project(&res, &[a(0)], false);

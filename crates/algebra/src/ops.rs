@@ -80,7 +80,9 @@ pub fn inner_join(l: &Relation, r: &Relation, pred: &JoinPred) -> Relation {
 }
 
 fn has_partner(l: &Relation, lt: &Tuple, r: &Relation, pred: &JoinPred) -> bool {
-    r.tuples().iter().any(|rt| pred.matches(l.schema(), lt, r.schema(), rt))
+    r.tuples()
+        .iter()
+        .any(|rt| pred.matches(l.schema(), lt, r.schema(), rt))
 }
 
 /// Left semijoin `e1 ⋉_p e2`.
@@ -99,8 +101,7 @@ fn filter_by_partner(l: &Relation, r: &Relation, pred: &JoinPred, keep_matched: 
         let table = build_hash(r, &pred.right_attrs());
         let lattrs = pred.left_attrs();
         for lt in l.tuples() {
-            let matched = equi_key(l.schema(), lt, &lattrs)
-                .is_some_and(|k| table.contains_key(&k));
+            let matched = equi_key(l.schema(), lt, &lattrs).is_some_and(|k| table.contains_key(&k));
             if matched == keep_matched {
                 out.push(lt.clone());
             }
@@ -210,7 +211,12 @@ pub fn full_outer_join(
 /// Every `e1` tuple is extended by the aggregates of its join partners in
 /// `e2`; tuples without partners aggregate the empty bag (SQL semantics:
 /// `count` yields 0, `sum`/`min`/`max` yield NULL).
-pub fn groupjoin(l: &Relation, r: &Relation, pred: &JoinPred, aggs: &[crate::agg::AggCall]) -> Relation {
+pub fn groupjoin(
+    l: &Relation,
+    r: &Relation,
+    pred: &JoinPred,
+    aggs: &[crate::agg::AggCall],
+) -> Relation {
     groupjoin_with_defaults(l, r, pred, aggs, &Vec::new())
 }
 
@@ -231,7 +237,11 @@ pub fn groupjoin_with_defaults(
     let schema = l.schema().extend(&out_attrs);
     let mut out = Relation::new(schema);
     let use_hash = pred.is_equi() && !pred.terms.is_empty();
-    let table = if use_hash { Some(build_hash(r, &pred.right_attrs())) } else { None };
+    let table = if use_hash {
+        Some(build_hash(r, &pred.right_attrs()))
+    } else {
+        None
+    };
     let lattrs = pred.left_attrs();
     let empty: Vec<&Tuple> = Vec::new();
     for lt in l.tuples() {
@@ -310,7 +320,12 @@ pub fn map(input: &Relation, exts: &[(AttrId, Expr)]) -> Relation {
 /// Bag union `e1 ∪ e2` (schemas must cover the same attributes; columns of
 /// `r` are permuted to `l`'s order).
 pub fn union_all(l: &Relation, r: &Relation) -> Relation {
-    let positions: Vec<usize> = l.schema().attrs().iter().map(|&a| r.schema().pos_of(a)).collect();
+    let positions: Vec<usize> = l
+        .schema()
+        .attrs()
+        .iter()
+        .map(|&a| r.schema().pos_of(a))
+        .collect();
     let mut out = Relation::with_tuples(l.schema().clone(), l.tuples().to_vec());
     for t in r.tuples() {
         let vals: Vec<Value> = positions.iter().map(|&p| t[p].clone()).collect();
@@ -397,7 +412,13 @@ mod tests {
 
     #[test]
     fn fig2_full_outer() {
-        let res = full_outer_join(&fig2_e1(), &fig2_e2(), &JoinPred::eq(a(0), a(4)), &vec![], &vec![]);
+        let res = full_outer_join(
+            &fig2_e1(),
+            &fig2_e2(),
+            &JoinPred::eq(a(0), a(4)),
+            &vec![],
+            &vec![],
+        );
         let expect = Relation::from_ints(
             vec![a(0), a(1), a(2), a(3), a(4), a(5)],
             &[
@@ -416,11 +437,7 @@ mod tests {
         let d2: Defaults = vec![(a(5), Value::Int(1))];
         let res = left_outer_join(&fig2_e1(), &fig2_e2(), &JoinPred::eq(a(0), a(4)), &d2);
         // The unmatched tuple (3,2,3) gets f = 1 instead of NULL.
-        let row = res
-            .tuples()
-            .iter()
-            .find(|t| t[0] == Value::Int(3))
-            .unwrap();
+        let row = res.tuples().iter().find(|t| t[0] == Value::Int(3)).unwrap();
         assert_eq!(Value::Int(1), row[5]);
         assert!(row[3].is_null() && row[4].is_null());
     }

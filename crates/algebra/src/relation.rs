@@ -13,7 +13,10 @@ pub struct Relation {
 
 impl Relation {
     pub fn new(schema: Schema) -> Self {
-        Relation { schema, tuples: Vec::new() }
+        Relation {
+            schema,
+            tuples: Vec::new(),
+        }
     }
 
     pub fn with_tuples(schema: Schema, tuples: Vec<Tuple>) -> Self {

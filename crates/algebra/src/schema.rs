@@ -147,7 +147,10 @@ mod tests {
     fn schema_concat() {
         let a = Schema::new(vec![AttrId(0), AttrId(1)]);
         let b = Schema::new(vec![AttrId(2)]);
-        assert_eq!(Schema::new(vec![AttrId(0), AttrId(1), AttrId(2)]), a.concat(&b));
+        assert_eq!(
+            Schema::new(vec![AttrId(0), AttrId(1), AttrId(2)]),
+            a.concat(&b)
+        );
     }
 
     #[test]

@@ -83,7 +83,9 @@ impl Value {
         match (self.as_dec_kind(), other.as_dec_kind()) {
             (Some((a, ad)), Some((b, bd))) => match (ad, bd) {
                 (false, false) => Value::Int(a.saturating_mul(b)),
-                (true, false) | (false, true) => Value::Dec(scaled(a, ad).saturating_mul(scaled(b, bd)) / DEC_SCALE),
+                (true, false) | (false, true) => {
+                    Value::Dec(scaled(a, ad).saturating_mul(scaled(b, bd)) / DEC_SCALE)
+                }
                 (true, true) => Value::Dec(a.saturating_mul(b) / DEC_SCALE),
             },
             _ => Value::Null,
@@ -94,7 +96,9 @@ impl Value {
     pub fn add(&self, other: &Value) -> Value {
         match (self.as_dec_kind(), other.as_dec_kind()) {
             (Some((a, false)), Some((b, false))) => Value::Int(a.saturating_add(b)),
-            (Some((a, ad)), Some((b, bd))) => Value::Dec(scaled(a, ad).saturating_add(scaled(b, bd))),
+            (Some((a, ad)), Some((b, bd))) => {
+                Value::Dec(scaled(a, ad).saturating_add(scaled(b, bd)))
+            }
             _ => Value::Null,
         }
     }
@@ -191,7 +195,10 @@ mod tests {
 
     #[test]
     fn mixed_numeric_compare() {
-        assert_eq!(Ordering::Equal, Value::Int(2).total_cmp(&Value::Dec(20_000)));
+        assert_eq!(
+            Ordering::Equal,
+            Value::Int(2).total_cmp(&Value::Dec(20_000))
+        );
         assert_eq!(Ordering::Less, Value::Int(1).total_cmp(&Value::Dec(20_000)));
     }
 

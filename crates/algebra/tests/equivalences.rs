@@ -45,13 +45,14 @@ fn small_value() -> impl Strategy<Value = Value> {
 }
 
 fn rel(attrs: [AttrId; 3], max_rows: usize) -> impl Strategy<Value = Relation> {
-    proptest::collection::vec([small_value(), small_value(), small_value()], 0..=max_rows)
-        .prop_map(move |rows| {
+    proptest::collection::vec([small_value(), small_value(), small_value()], 0..=max_rows).prop_map(
+        move |rows| {
             Relation::from_rows(
                 attrs.to_vec(),
                 rows.into_iter().map(|r| r.to_vec()).collect(),
             )
-        })
+        },
+    )
 }
 
 fn e1() -> impl Strategy<Value = Relation> {
@@ -360,14 +361,22 @@ mod fig4 {
     fn fig4_e1() -> Relation {
         Relation::from_ints(
             vec![G1, J1, A1],
-            &[&[Some(1), Some(1), Some(2)], &[Some(1), Some(2), Some(4)], &[Some(1), Some(2), Some(8)]],
+            &[
+                &[Some(1), Some(1), Some(2)],
+                &[Some(1), Some(2), Some(4)],
+                &[Some(1), Some(2), Some(8)],
+            ],
         )
     }
 
     fn fig4_e2() -> Relation {
         Relation::from_ints(
             vec![G2, J2, A2],
-            &[&[Some(1), Some(1), Some(2)], &[Some(1), Some(1), Some(4)], &[Some(1), Some(2), Some(8)]],
+            &[
+                &[Some(1), Some(1), Some(2)],
+                &[Some(1), Some(1), Some(4)],
+                &[Some(1), Some(2), Some(8)],
+            ],
         )
     }
 
@@ -403,7 +412,10 @@ mod fig4 {
         let e5 = group_by(&fig4_e1(), &[G1, J1], &inner_aggs);
         let e5_expect = Relation::from_ints(
             vec![G1, J1, C1, B1P],
-            &[&[Some(1), Some(1), Some(1), Some(2)], &[Some(1), Some(2), Some(2), Some(12)]],
+            &[
+                &[Some(1), Some(1), Some(1), Some(2)],
+                &[Some(1), Some(2), Some(2), Some(12)],
+            ],
         );
         assert!(e5.bag_eq(&e5_expect), "e5 = {e5}");
 

@@ -4,7 +4,9 @@
 //! the top-grouping elimination (42) — complementing the main families in
 //! `equivalences.rs`.
 
-use dpnext_algebra::ops::{full_outer_join, groupjoin, inner_join, left_outer_join, project, Defaults};
+use dpnext_algebra::ops::{
+    full_outer_join, groupjoin, inner_join, left_outer_join, project, Defaults,
+};
 use dpnext_algebra::{group_by, AggCall, AggKind, AttrId, Expr, JoinPred, Relation, Value};
 use proptest::prelude::*;
 
@@ -29,10 +31,14 @@ fn small_value() -> impl Strategy<Value = Value> {
 }
 
 fn rel(attrs: [AttrId; 3], max_rows: usize) -> impl Strategy<Value = Relation> {
-    proptest::collection::vec([small_value(), small_value(), small_value()], 0..=max_rows)
-        .prop_map(move |rows| {
-            Relation::from_rows(attrs.to_vec(), rows.into_iter().map(|r| r.to_vec()).collect())
-        })
+    proptest::collection::vec([small_value(), small_value(), small_value()], 0..=max_rows).prop_map(
+        move |rows| {
+            Relation::from_rows(
+                attrs.to_vec(),
+                rows.into_iter().map(|r| r.to_vec()).collect(),
+            )
+        },
+    )
 }
 
 fn e1() -> impl Strategy<Value = Relation> {

@@ -4,8 +4,8 @@
 //! duplicate elimination.
 
 use dpnext_algebra::ops::{
-    anti_join, cross, full_outer_join, groupjoin, inner_join, left_outer_join, project,
-    semi_join, union_all,
+    anti_join, cross, full_outer_join, groupjoin, inner_join, left_outer_join, project, semi_join,
+    union_all,
 };
 use dpnext_algebra::{group_by, AggCall, AggKind, AttrId, Expr, JoinPred, Relation, Value};
 use proptest::prelude::*;
@@ -24,7 +24,10 @@ fn small_value() -> impl Strategy<Value = Value> {
 
 fn rel(attrs: [AttrId; 2]) -> impl Strategy<Value = Relation> {
     proptest::collection::vec([small_value(), small_value()], 0..=7).prop_map(move |rows| {
-        Relation::from_rows(attrs.to_vec(), rows.into_iter().map(|r| r.to_vec()).collect())
+        Relation::from_rows(
+            attrs.to_vec(),
+            rows.into_iter().map(|r| r.to_vec()).collect(),
+        )
     })
 }
 

@@ -9,7 +9,12 @@ use rand::{Rng, SeedableRng};
 fn table(attrs: [u32; 2], rows: usize, domain: i64, seed: u64) -> Relation {
     let mut rng = StdRng::seed_from_u64(seed);
     let rows = (0..rows)
-        .map(|_| vec![Value::Int(rng.gen_range(0..domain)), Value::Int(rng.gen_range(0..domain))])
+        .map(|_| {
+            vec![
+                Value::Int(rng.gen_range(0..domain)),
+                Value::Int(rng.gen_range(0..domain)),
+            ]
+        })
         .collect();
     Relation::from_rows(vec![AttrId(attrs[0]), AttrId(attrs[1])], rows)
 }

@@ -9,9 +9,7 @@
 //! Usage: `ablation [--queries N] [--min N] [--max N] [--seed S]`.
 
 use dpnext_bench::Args;
-use dpnext_core::{
-    fuse_groupjoins, optimize, optimize_with_pruning, Algorithm, DominanceKind,
-};
+use dpnext_core::{fuse_groupjoins, optimize, optimize_with_pruning, Algorithm, DominanceKind};
 use dpnext_workload::{generate_query, GenConfig};
 
 fn main() {
@@ -34,10 +32,13 @@ fn main() {
             let seed = args.seed + (n * 1000 + q) as u64;
             let query = generate_query(&cfg, seed);
             let best = optimize(&query, Algorithm::EaAll).plan.cost;
-            for (i, kind) in
-                [DominanceKind::Full, DominanceKind::CostCard, DominanceKind::CostOnly]
-                    .into_iter()
-                    .enumerate()
+            for (i, kind) in [
+                DominanceKind::Full,
+                DominanceKind::CostCard,
+                DominanceKind::CostOnly,
+            ]
+            .into_iter()
+            .enumerate()
             {
                 let r = optimize_with_pruning(&query, kind);
                 if r.plan.cost > best * (1.0 + 1e-9) {
@@ -64,7 +65,8 @@ fn main() {
     );
     for n in args.min_n..=args.max_n + 3 {
         let cfg = GenConfig::paper(n);
-        let (mut fusions, mut with_z, mut groupings, mut removed) = (0usize, 0usize, 0usize, 0usize);
+        let (mut fusions, mut with_z, mut groupings, mut removed) =
+            (0usize, 0usize, 0usize, 0usize);
         for q in 0..args.queries {
             let seed = args.seed + (n * 2000 + q) as u64;
             let query = generate_query(&cfg, seed);

@@ -15,7 +15,13 @@ fn main() {
         AlgoSpec::new(Algorithm::EaPrune, args.max_n), // reference = optimum
         AlgoSpec::new(Algorithm::DPhyp, args.max_n),
     ];
-    let result = run_sweep(&args.sizes(), args.queries, args.seed, &algos, GenConfig::paper);
+    let result = run_sweep(
+        &args.sizes(),
+        args.queries,
+        args.seed,
+        &algos,
+        GenConfig::paper,
+    );
     println!(
         "{}",
         print_table(
@@ -34,8 +40,10 @@ fn main() {
     );
     println!(
         "{}",
-        print_table("Fig. 15 (outliers) — worst per-query ratio vs EA-Prune", &result, |c| {
-            format!("{:.0}", c.max_rel_cost)
-        })
+        print_table(
+            "Fig. 15 (outliers) — worst per-query ratio vs EA-Prune",
+            &result,
+            |c| { format!("{:.0}", c.max_rel_cost) }
+        )
     );
 }

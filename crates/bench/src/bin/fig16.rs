@@ -18,17 +18,27 @@ fn main() {
         AlgoSpec::new(Algorithm::EaPrune, ea_prune_cap),
         AlgoSpec::new(Algorithm::EaAll, ea_all_cap),
     ];
-    let result = run_sweep(&args.sizes(), args.queries, args.seed, &algos, GenConfig::paper);
-    println!(
-        "{}",
-        print_table("Fig. 16 — mean optimization runtime [µs]", &result, |c| {
-            format!("{:.1}", c.mean_runtime.as_secs_f64() * 1e6)
-        })
+    let result = run_sweep(
+        &args.sizes(),
+        args.queries,
+        args.seed,
+        &algos,
+        GenConfig::paper,
     );
     println!(
         "{}",
-        print_table("Fig. 16 (supplement) — mean plans constructed", &result, |c| {
-            format!("{:.0}", c.mean_plans_built)
-        })
+        print_table(
+            "Fig. 16 — mean optimization runtime [µs]",
+            &result,
+            |c| { format!("{:.1}", c.mean_runtime.as_secs_f64() * 1e6) }
+        )
+    );
+    println!(
+        "{}",
+        print_table(
+            "Fig. 16 (supplement) — mean plans constructed",
+            &result,
+            |c| { format!("{:.0}", c.mean_plans_built) }
+        )
     );
 }

@@ -18,17 +18,27 @@ fn main() {
         AlgoSpec::new(Algorithm::H2(1.05), args.max_n),
         AlgoSpec::new(Algorithm::H2(1.1), args.max_n),
     ];
-    let result = run_sweep(&args.sizes(), args.queries, args.seed, &algos, GenConfig::paper);
-    println!(
-        "{}",
-        print_table("Fig. 17 — heuristic plan cost relative to EA-Prune", &result, |c| {
-            format!("{:.4}", c.mean_rel_cost)
-        })
+    let result = run_sweep(
+        &args.sizes(),
+        args.queries,
+        args.seed,
+        &algos,
+        GenConfig::paper,
     );
     println!(
         "{}",
-        print_table("Fig. 17 (outliers) — worst per-query ratio", &result, |c| {
-            format!("{:.2}", c.max_rel_cost)
-        })
+        print_table(
+            "Fig. 17 — heuristic plan cost relative to EA-Prune",
+            &result,
+            |c| { format!("{:.4}", c.mean_rel_cost) }
+        )
+    );
+    println!(
+        "{}",
+        print_table(
+            "Fig. 17 (outliers) — worst per-query ratio",
+            &result,
+            |c| { format!("{:.2}", c.max_rel_cost) }
+        )
     );
 }

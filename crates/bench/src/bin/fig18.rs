@@ -14,9 +14,18 @@ fn main() {
         AlgoSpec::new(Algorithm::H1, args.max_n),
         AlgoSpec::new(Algorithm::H2(1.03), args.max_n),
     ];
-    let result = run_sweep(&args.sizes(), args.queries, args.seed, &algos, GenConfig::paper);
+    let result = run_sweep(
+        &args.sizes(),
+        args.queries,
+        args.seed,
+        &algos,
+        GenConfig::paper,
+    );
     println!("# Fig. 18 — runtime of H1 and H2 (F = 1.03), and their ratio");
-    println!("{:>4} {:>14} {:>14} {:>10}", "n", "H1 [µs]", "H2 [µs]", "H2/H1");
+    println!(
+        "{:>4} {:>14} {:>14} {:>10}",
+        "n", "H1 [µs]", "H2 [µs]", "H2/H1"
+    );
     for (si, n) in result.sizes.iter().enumerate() {
         let h1 = result.cells[0][si].as_ref().unwrap();
         let h2 = result.cells[1][si].as_ref().unwrap();

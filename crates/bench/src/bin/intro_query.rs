@@ -13,14 +13,23 @@ use dpnext_workload::ex_query;
 use std::time::Instant;
 
 fn main() {
-    let scale: f64 = std::env::args().nth(1).and_then(|v| v.parse().ok()).unwrap_or(0.02);
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.02);
     let ex = ex_query();
     let db = ex.database(scale, 4242);
 
     println!("# Intro query Ex at TPC-H scale {scale}");
     for (name, plan) in [
-        ("canonical (DPhyp)", optimize(&ex.query, Algorithm::DPhyp).plan),
-        ("eager (EA-Prune)", optimize(&ex.query, Algorithm::EaPrune).plan),
+        (
+            "canonical (DPhyp)",
+            optimize(&ex.query, Algorithm::DPhyp).plan,
+        ),
+        (
+            "eager (EA-Prune)",
+            optimize(&ex.query, Algorithm::EaPrune).plan,
+        ),
     ] {
         let start = Instant::now();
         let (res, cout) = plan.root.eval_counting(&db);

@@ -60,12 +60,20 @@ fn main() {
     println!("{:<44} {:>8}", "tree", "C_out");
     println!("{:<44} {:>8}", "lazy:  Γ(R0 ⋈ (R1 ⋈ R2))", lazy_cost);
     println!("{:<44} {:>8}", "eager: Γ(R0 ⋈ (Γ(R1) ⋈ R2))", eager_cost);
-    println!("{:<44} {:>8}", "eager + top grouping eliminated (Π)", elim_cost);
+    println!(
+        "{:<44} {:>8}",
+        "eager + top grouping eliminated (Π)", elim_cost
+    );
 
     // And what the plan generators make of it.
     let q = fig11_query();
     println!("\n# plan generators on the same query (measured C_out)");
-    for algo in [Algorithm::DPhyp, Algorithm::H1, Algorithm::H2(1.5), Algorithm::EaPrune] {
+    for algo in [
+        Algorithm::DPhyp,
+        Algorithm::H1,
+        Algorithm::H2(1.5),
+        Algorithm::EaPrune,
+    ] {
         let opt = optimize(&q, algo);
         let (_, measured) = opt.plan.root.eval_counting(&db);
         println!(

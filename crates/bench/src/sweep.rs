@@ -103,16 +103,16 @@ pub fn run_sweep(
             });
         }
     }
-    SweepResult { sizes: sizes.to_vec(), algos: algos.to_vec(), cells }
+    SweepResult {
+        sizes: sizes.to_vec(),
+        algos: algos.to_vec(),
+        cells,
+    }
 }
 
 /// Render a column-aligned table with one row per size. `value` extracts
 /// the printed quantity from a cell.
-pub fn print_table(
-    title: &str,
-    result: &SweepResult,
-    value: impl Fn(&Cell) -> String,
-) -> String {
+pub fn print_table(title: &str, result: &SweepResult, value: impl Fn(&Cell) -> String) -> String {
     let mut out = String::new();
     out.push_str(&format!("# {title}\n"));
     out.push_str(&format!("{:>4}", "n"));
@@ -151,7 +151,9 @@ impl Args {
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
-            let v = it.next().unwrap_or_else(|| panic!("missing value for {flag}"));
+            let v = it
+                .next()
+                .unwrap_or_else(|| panic!("missing value for {flag}"));
             match flag.as_str() {
                 "--queries" => args.queries = v.parse().expect("--queries"),
                 "--min" => args.min_n = v.parse().expect("--min"),

@@ -79,7 +79,12 @@ impl Catalog {
             .collect();
         let idx = self.relations.len();
         self.by_name.insert(name.to_string(), idx);
-        self.relations.push(CatRelation { name: name.to_string(), card, attrs: cat_attrs, keys });
+        self.relations.push(CatRelation {
+            name: name.to_string(),
+            card,
+            attrs: cat_attrs,
+            keys,
+        });
         idx
     }
 

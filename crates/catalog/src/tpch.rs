@@ -27,13 +27,21 @@ pub fn tpch_catalog() -> Catalog {
     c.add_relation(
         "nation",
         25.0,
-        &[("n_nationkey", 25.0), ("n_name", 25.0), ("n_regionkey", 5.0)],
+        &[
+            ("n_nationkey", 25.0),
+            ("n_name", 25.0),
+            ("n_regionkey", 5.0),
+        ],
         &[&["n_nationkey"]],
     );
     c.add_relation(
         "supplier",
         10_000.0,
-        &[("s_suppkey", 10_000.0), ("s_nationkey", 25.0), ("s_acctbal", 9_955.0)],
+        &[
+            ("s_suppkey", 10_000.0),
+            ("s_nationkey", 25.0),
+            ("s_acctbal", 9_955.0),
+        ],
         &[&["s_suppkey"]],
     );
     c.add_relation(
@@ -89,7 +97,10 @@ pub struct TpchGen {
 
 impl TpchGen {
     pub fn new(scale: f64, seed: u64) -> Self {
-        TpchGen { scale, rng: StdRng::seed_from_u64(seed) }
+        TpchGen {
+            scale,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Scaled cardinality of a TPC-H table (`nation`/`region` are fixed).
@@ -135,7 +146,10 @@ impl TpchGen {
     fn value(&mut self, table: &str, column: &str, row: usize) -> Value {
         match (table, column) {
             // Sequential primary keys.
-            (_, "r_regionkey") | (_, "n_nationkey") | (_, "s_suppkey") | (_, "c_custkey")
+            (_, "r_regionkey")
+            | (_, "n_nationkey")
+            | (_, "s_suppkey")
+            | (_, "c_custkey")
             | (_, "o_orderkey") => Value::Int(row as i64),
             // 1:1 name columns (kept integer-coded).
             (_, "r_name") | (_, "n_name") => Value::Int(row as i64),
@@ -217,7 +231,11 @@ mod tests {
         let keys: Vec<i64> = rel
             .tuples()
             .iter()
-            .map(|t| t[rel.schema().pos_of(mapping["n_nationkey"])].as_int().unwrap())
+            .map(|t| {
+                t[rel.schema().pos_of(mapping["n_nationkey"])]
+                    .as_int()
+                    .unwrap()
+            })
             .collect();
         let mut sorted = keys.clone();
         sorted.sort_unstable();

@@ -96,7 +96,9 @@ pub struct ConflictedQuery {
 pub fn detect(query: &Query) -> ConflictedQuery {
     let origins = query.attr_origins();
     let origin = |a: AttrId| -> NodeSet {
-        *origins.get(&a).unwrap_or_else(|| panic!("unknown attribute {a}"))
+        *origins
+            .get(&a)
+            .unwrap_or_else(|| panic!("unknown attribute {a}"))
     };
 
     // Collect operators bottom-up, remembering each subtree's operators.
@@ -119,7 +121,14 @@ fn collect(
 ) -> (NodeSet, Vec<usize>) {
     match tree {
         OpTree::Rel(i) => (NodeSet::single(*i), Vec::new()),
-        OpTree::Binary { op, pred, sel, gj_aggs, left, right } => {
+        OpTree::Binary {
+            op,
+            pred,
+            sel,
+            gj_aggs,
+            left,
+            right,
+        } => {
             let (lrels, lops) = collect(left, origin, ops);
             let (rrels, rops) = collect(right, origin, ops);
 
@@ -295,14 +304,22 @@ mod tests {
         let tree = OpTree::binary(
             OpKind::Join,
             JoinPred::eq(a(1), a(2)),
-            OpTree::binary(OpKind::Join, JoinPred::eq(a(0), a(1)), OpTree::rel(0), OpTree::rel(1)),
+            OpTree::binary(
+                OpKind::Join,
+                JoinPred::eq(a(0), a(1)),
+                OpTree::rel(0),
+                OpTree::rel(1),
+            ),
             OpTree::rel(2),
         );
         let q = Query::new(tables(3), tree, None);
         let cq = detect(&q);
         assert_eq!(2, cq.ops.len());
         assert!(cq.ops.iter().all(|o| o.rules.is_empty()));
-        assert!(cq.ops.iter().all(|o| o.l_tes.len() == 1 && o.r_tes.len() == 1));
+        assert!(cq
+            .ops
+            .iter()
+            .all(|o| o.l_tes.len() == 1 && o.r_tes.len() == 1));
         // All three "bushy" combinations of the top join are reachable.
         let top = &cq.ops[1];
         assert_eq!(
@@ -318,7 +335,12 @@ mod tests {
         let tree = OpTree::binary(
             OpKind::FullOuter,
             JoinPred::eq(a(1), a(2)),
-            OpTree::binary(OpKind::Join, JoinPred::eq(a(0), a(1)), OpTree::rel(0), OpTree::rel(1)),
+            OpTree::binary(
+                OpKind::Join,
+                JoinPred::eq(a(0), a(1)),
+                OpTree::rel(0),
+                OpTree::rel(1),
+            ),
             OpTree::rel(2),
         );
         let q = Query::new(tables(3), tree, None);
@@ -344,16 +366,27 @@ mod tests {
             OpKind::LeftOuter,
             JoinPred::eq(a(0), a(1)),
             OpTree::rel(0),
-            OpTree::binary(OpKind::LeftOuter, JoinPred::eq(a(1), a(2)), OpTree::rel(1), OpTree::rel(2)),
+            OpTree::binary(
+                OpKind::LeftOuter,
+                JoinPred::eq(a(1), a(2)),
+                OpTree::rel(1),
+                OpTree::rel(2),
+            ),
         );
         let q = Query::new(tables(3), tree, None);
         let cq = detect(&q);
         let top = cq.ops.iter().find(|o| o.right_rels.len() == 2).unwrap();
         // ({0}, {1}): applying the top ⟕ early — allowed by assoc(⟕,⟕).
-        assert_eq!(Applicability::Normal, top.applicable(NodeSet::single(0), NodeSet::single(1)));
+        assert_eq!(
+            Applicability::Normal,
+            top.applicable(NodeSet::single(0), NodeSet::single(1))
+        );
         // With the pair given the other way round, the operator must be
         // applied with swapped arguments (it is not commutative).
-        assert_eq!(Applicability::Swapped, top.applicable(NodeSet::single(1), NodeSet::single(0)));
+        assert_eq!(
+            Applicability::Swapped,
+            top.applicable(NodeSet::single(1), NodeSet::single(0))
+        );
     }
 
     /// The introductory query shape: (n_s ⋈ s) ⟗ (n_c ⋈ c).
@@ -363,8 +396,18 @@ mod tests {
         let tree = OpTree::binary(
             OpKind::FullOuter,
             JoinPred::eq(a(0), a(2)),
-            OpTree::binary(OpKind::Join, JoinPred::eq(a(0), a(1)), OpTree::rel(0), OpTree::rel(1)),
-            OpTree::binary(OpKind::Join, JoinPred::eq(a(2), a(3)), OpTree::rel(2), OpTree::rel(3)),
+            OpTree::binary(
+                OpKind::Join,
+                JoinPred::eq(a(0), a(1)),
+                OpTree::rel(0),
+                OpTree::rel(1),
+            ),
+            OpTree::binary(
+                OpKind::Join,
+                JoinPred::eq(a(2), a(3)),
+                OpTree::rel(2),
+                OpTree::rel(3),
+            ),
         );
         let q = Query::new(tables(4), tree, None);
         let cq = detect(&q);

@@ -9,5 +9,8 @@
 pub mod detect;
 pub mod tables;
 
-pub use detect::{applicable_ops, conflict_stats, detect, Applicability, ConflictRule, ConflictedQuery, OperatorInfo};
+pub use detect::{
+    applicable_ops, conflict_stats, detect, Applicability, ConflictRule, ConflictedQuery,
+    OperatorInfo,
+};
 pub use tables::{assoc, l_asscom, r_asscom};

@@ -9,7 +9,9 @@
 //! `p_bl : h1 = j3` (e1–e3). All are null rejecting, matching the
 //! side conditions under which the table entries hold.
 
-use dpnext_algebra::ops::{anti_join, full_outer_join, groupjoin, inner_join, left_outer_join, semi_join};
+use dpnext_algebra::ops::{
+    anti_join, full_outer_join, groupjoin, inner_join, left_outer_join, semi_join,
+};
 use dpnext_algebra::{AggCall, AttrId, JoinPred, Relation, Value};
 use dpnext_conflict::{assoc, l_asscom, r_asscom};
 use dpnext_query::OpKind;
@@ -35,10 +37,14 @@ fn small_value() -> impl Strategy<Value = Value> {
 }
 
 fn rel(attrs: [AttrId; 3], max_rows: usize) -> impl Strategy<Value = Relation> {
-    proptest::collection::vec([small_value(), small_value(), small_value()], 0..=max_rows)
-        .prop_map(move |rows| {
-            Relation::from_rows(attrs.to_vec(), rows.into_iter().map(|r| r.to_vec()).collect())
-        })
+    proptest::collection::vec([small_value(), small_value(), small_value()], 0..=max_rows).prop_map(
+        move |rows| {
+            Relation::from_rows(
+                attrs.to_vec(),
+                rows.into_iter().map(|r| r.to_vec()).collect(),
+            )
+        },
+    )
 }
 
 /// Apply `op` with the given predicate; groupjoins count their partners
@@ -174,7 +180,10 @@ fn false_entries_have_counterexamples() {
     let pb = JoinPred::eq(K2, J3);
     let lhs = full_outer_join(&inner_join(&r1, &r2, &pa), &r3, &pb, &vec![], &vec![]);
     let rhs = inner_join(&r1, &full_outer_join(&r2, &r3, &pb, &vec![], &vec![]), &pa);
-    assert!(!lhs.bag_eq(&rhs), "expected a counterexample for assoc(⋈,⟗)");
+    assert!(
+        !lhs.bag_eq(&rhs),
+        "expected a counterexample for assoc(⋈,⟗)"
+    );
 
     // l-asscom(⋈, ⟗) = false: unmatched e3 tuples survive on the LHS only.
     let pb_l = JoinPred::eq(H1, J3);
@@ -184,12 +193,18 @@ fn false_entries_have_counterexamples() {
         &r2,
         &pa,
     );
-    assert!(!lhs.bag_eq(&rhs), "expected a counterexample for l-asscom(⋈,⟗)");
+    assert!(
+        !lhs.bag_eq(&rhs),
+        "expected a counterexample for l-asscom(⋈,⟗)"
+    );
 
     // assoc(⟕, ⋈) = false: the join result of the RHS retains e1 tuples
     // the LHS drops.
     let r2b = Relation::from_ints(vec![A2, J2, K2], &[&[Some(1), Some(4), Some(3)]]);
     let lhs = inner_join(&left_outer_join(&r1, &r2b, &pa, &vec![]), &r3, &pb);
     let rhs = left_outer_join(&r1, &inner_join(&r2b, &r3, &pb), &pa, &vec![]);
-    assert!(!lhs.bag_eq(&rhs), "expected a counterexample for assoc(⟕,⋈)");
+    assert!(
+        !lhs.bag_eq(&rhs),
+        "expected a counterexample for assoc(⟕,⋈)"
+    );
 }

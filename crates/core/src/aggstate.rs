@@ -42,7 +42,10 @@ pub struct AggState {
 
 impl AggState {
     pub fn fresh(n_aggs: usize) -> Self {
-        AggState { pos: vec![AggPos::Raw; n_aggs], counts: Vec::new() }
+        AggState {
+            pos: vec![AggPos::Raw; n_aggs],
+            counts: Vec::new(),
+        }
     }
 
     /// Merge the states of two joined plans (disjoint relation sets).
@@ -95,7 +98,12 @@ impl AggState {
 
     /// `Π cᵢ` over all count columns except the one owning `scope`.
     pub fn multiplier_excluding(&self, scope: NodeSet) -> Option<Expr> {
-        product(self.counts.iter().filter(|(s, _)| *s != scope).map(|&(_, c)| c))
+        product(
+            self.counts
+                .iter()
+                .filter(|(s, _)| *s != scope)
+                .map(|&(_, c)| c),
+        )
     }
 
     /// True when the plan was pre-aggregated anywhere.
@@ -171,7 +179,10 @@ fn group_one(
         return None;
     }
     let out = ctx.fresh_attr();
-    let arg = call.arg.as_ref().expect("non-count(*) aggregate needs an argument");
+    let arg = call
+        .arg
+        .as_ref()
+        .expect("non-count(*) aggregate needs an argument");
     let new_call = match state.pos[i] {
         AggPos::Raw => {
             let m = state.multiplier();
@@ -197,7 +208,11 @@ fn group_one(
 /// Build the aggregation vector of a pushed-down grouping `Γ_{G⁺(S); F¹ ∘
 /// (c : count(*))}` over a plan with state `state` covering `s`.
 /// Returns `(agg calls, new state)`.
-pub fn build_group_aggs(ctx: &OptContext, state: &AggState, s: NodeSet) -> (Vec<AggCall>, AggState) {
+pub fn build_group_aggs(
+    ctx: &OptContext,
+    state: &AggState,
+    s: NodeSet,
+) -> (Vec<AggCall>, AggState) {
     let c_new = ctx.fresh_attr();
     let count_call = match state.multiplier() {
         None => AggCall::count_star(c_new),
@@ -211,7 +226,13 @@ pub fn build_group_aggs(ctx: &OptContext, state: &AggState, s: NodeSet) -> (Vec<
             *slot = p;
         }
     }
-    (calls, AggState { pos, counts: vec![(s, c_new)] })
+    (
+        calls,
+        AggState {
+            pos,
+            counts: vec![(s, c_new)],
+        },
+    )
 }
 
 /// The final aggregation vector for the top grouping `Γ_G` over a plan in
@@ -234,10 +255,15 @@ pub fn final_agg_vector(ctx: &OptContext, state: &AggState) -> Vec<AggCall> {
                 ),
                 AggKind::Count => count_times(call.arg.as_ref().unwrap(), m.as_ref(), out),
                 // Duplicate-agnostic functions ignore multiplicities.
-                AggKind::Min | AggKind::Max | AggKind::CountDistinct | AggKind::SumDistinct
-                | AggKind::AvgDistinct => {
-                    AggCall { out, kind: call.kind, arg: call.arg.clone() }
-                }
+                AggKind::Min
+                | AggKind::Max
+                | AggKind::CountDistinct
+                | AggKind::SumDistinct
+                | AggKind::AvgDistinct => AggCall {
+                    out,
+                    kind: call.kind,
+                    arg: call.arg.clone(),
+                },
                 AggKind::Avg => unreachable!("avg is normalized away"),
             },
             AggPos::Partial { col, scope } => {
@@ -273,7 +299,11 @@ pub fn final_map_exprs(ctx: &OptContext, state: &AggState) -> Vec<(AttrId, Expr)
                         Expr::Attr(a) => *a,
                         other => panic!("count elimination requires attribute arg, got {other}"),
                     };
-                    let v = if call.kind == AggKind::Count { one_or_m() } else { Expr::int(1) };
+                    let v = if call.kind == AggKind::Count {
+                        one_or_m()
+                    } else {
+                        Expr::int(1)
+                    };
                     Expr::IfNull(attr, Box::new(Expr::int(0)), Box::new(v))
                 }
                 AggKind::Min | AggKind::Max | AggKind::SumDistinct => call.arg.clone().unwrap(),

@@ -84,7 +84,13 @@ pub fn optimize(query: &Query, algo: Algorithm) -> Optimized {
     };
     let plans_built = *ctx.plans_built.borrow();
     let explain = crate::explain::explain(&ctx, &logical);
-    Optimized { plan, explain, plans_built, retained_plans: retained, elapsed: start.elapsed() }
+    Optimized {
+        plan,
+        explain,
+        plans_built,
+        retained_plans: retained,
+        elapsed: start.elapsed(),
+    }
 }
 
 /// EA-Prune with a configurable dominance criterion (ablation interface;
@@ -95,7 +101,13 @@ pub fn optimize_with_pruning(query: &Query, kind: DominanceKind) -> Optimized {
     let ((plan, logical), retained) = run_multi(&ctx, Some(kind));
     let plans_built = *ctx.plans_built.borrow();
     let explain = crate::explain::explain(&ctx, &logical);
-    Optimized { plan, explain, plans_built, retained_plans: retained, elapsed: start.elapsed() }
+    Optimized {
+        plan,
+        explain,
+        plans_built,
+        retained_plans: retained,
+        elapsed: start.elapsed(),
+    }
 }
 
 /// All ways to apply operators to the csg-cmp-pair `(s1, s2)`:
@@ -131,10 +143,7 @@ fn orientations(
     } else if uniq.iter().all(|&i| ctx.cq.ops[i].op == OpKind::Join) {
         let primary = uniq[0];
         let extra: Vec<usize> = uniq[1..].to_vec();
-        vec![
-            (s1, s2, primary, extra.clone()),
-            (s2, s1, primary, extra),
-        ]
+        vec![(s1, s2, primary, extra.clone()), (s2, s1, primary, extra)]
     } else {
         Vec::new()
     }
@@ -142,11 +151,7 @@ fn orientations(
 
 /// Single-plan-per-class DP: DPhyp baseline (`eager = false`), H1
 /// (`eager = true`), H2 (`factor = Some(F)`).
-fn run_single(
-    ctx: &OptContext,
-    eager: bool,
-    factor: Option<f64>,
-) -> ((FinalPlan, Plan), u64) {
+fn run_single(ctx: &OptContext, eager: bool, factor: Option<f64>) -> ((FinalPlan, Plan), u64) {
     let n = ctx.query.table_count();
     let full = NodeSet::full(n);
     let mut table: HashMap<NodeSet, Plan> = HashMap::new();
@@ -212,7 +217,11 @@ fn run_single(
 /// and discarded.
 fn all_ops_applied(ctx: &OptContext, t: &Plan) -> bool {
     let n_ops = ctx.cq.ops.len();
-    let all = if n_ops >= 64 { u64::MAX } else { (1u64 << n_ops) - 1 };
+    let all = if n_ops >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << n_ops) - 1
+    };
     t.applied == all
 }
 
@@ -235,10 +244,7 @@ fn compare_adjusted(new: &Plan, old: &Plan, factor: Option<f64>) -> bool {
 
 /// Multi-plan DP: EA-All (`prune = None`, Fig. 9) and EA-Prune
 /// (`prune = Some(kind)`, Figs. 13/14).
-fn run_multi(
-    ctx: &OptContext,
-    prune: Option<DominanceKind>,
-) -> ((FinalPlan, Plan), u64) {
+fn run_multi(ctx: &OptContext, prune: Option<DominanceKind>) -> ((FinalPlan, Plan), u64) {
     let n = ctx.query.table_count();
     let full = NodeSet::full(n);
     let guard_groupjoin = ctx.cq.ops.iter().any(|o| o.op == OpKind::GroupJoin);

@@ -62,7 +62,11 @@ impl OptContext {
             .iter()
             .map(|args| {
                 args.iter().fold(NodeSet::EMPTY, |acc, a| {
-                    acc.union(*origins.get(a).expect("aggregate argument attribute unknown"))
+                    acc.union(
+                        *origins
+                            .get(a)
+                            .expect("aggregate argument attribute unknown"),
+                    )
                 })
             })
             .collect();
@@ -82,7 +86,11 @@ impl OptContext {
 
     /// The normalized aggregation vector of the query.
     pub fn aggs(&self) -> &[dpnext_algebra::AggCall] {
-        self.query.grouping.as_ref().map(|g| g.aggs.as_slice()).unwrap_or(&[])
+        self.query
+            .grouping
+            .as_ref()
+            .map(|g| g.aggs.as_slice())
+            .unwrap_or(&[])
     }
 
     pub fn has_grouping(&self) -> bool {
@@ -98,7 +106,10 @@ impl OptContext {
     }
 
     pub fn origin(&self, a: AttrId) -> NodeSet {
-        *self.origins.get(&a).unwrap_or_else(|| panic!("unknown attribute {a}"))
+        *self
+            .origins
+            .get(&a)
+            .unwrap_or_else(|| panic!("unknown attribute {a}"))
     }
 
     /// Base distinct count of an attribute (infinite when unknown, e.g.

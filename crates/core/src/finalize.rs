@@ -33,14 +33,32 @@ pub fn compile(ctx: &OptContext, plan: &Plan) -> AlgExpr {
             attrs: attrs.clone(),
             aggs: aggs.clone(),
         },
-        PlanNode::Apply { op, pred, gj_aggs, left, right } => {
+        PlanNode::Apply {
+            op,
+            pred,
+            gj_aggs,
+            left,
+            right,
+        } => {
             let l = Box::new(compile(ctx, left));
             let r = Box::new(compile(ctx, right));
             let pred = pred.clone();
             match op {
-                OpKind::Join => AlgExpr::InnerJoin { left: l, right: r, pred },
-                OpKind::Semi => AlgExpr::SemiJoin { left: l, right: r, pred },
-                OpKind::Anti => AlgExpr::AntiJoin { left: l, right: r, pred },
+                OpKind::Join => AlgExpr::InnerJoin {
+                    left: l,
+                    right: r,
+                    pred,
+                },
+                OpKind::Semi => AlgExpr::SemiJoin {
+                    left: l,
+                    right: r,
+                    pred,
+                },
+                OpKind::Anti => AlgExpr::AntiJoin {
+                    left: l,
+                    right: r,
+                    pred,
+                },
                 OpKind::LeftOuter => AlgExpr::LeftOuterJoin {
                     left: l,
                     right: r,
@@ -73,7 +91,12 @@ pub fn compile(ctx: &OptContext, plan: &Plan) -> AlgExpr {
 pub fn finalize(ctx: &OptContext, plan: &Plan) -> FinalPlan {
     let mut root = compile(ctx, plan);
     let Some(g) = &ctx.query.grouping else {
-        return FinalPlan { root, cost: plan.cost, card: plan.card, top_grouping: false };
+        return FinalPlan {
+            root,
+            cost: plan.cost,
+            card: plan.card,
+            top_grouping: false,
+        };
     };
 
     let (cost, card, top_grouping) = if needs_grouping(&g.group_by, &plan.keyinfo) {
@@ -95,14 +118,29 @@ pub fn finalize(ctx: &OptContext, plan: &Plan) -> FinalPlan {
         // values per row; the duplicate-preserving projection is free.
         let exts = final_map_exprs(ctx, &plan.agg);
         if !exts.is_empty() {
-            root = AlgExpr::Map { input: Box::new(root), exts };
+            root = AlgExpr::Map {
+                input: Box::new(root),
+                exts,
+            };
         }
         (plan.cost, plan.card, false)
     };
 
     if !g.post.is_empty() {
-        root = AlgExpr::Map { input: Box::new(root), exts: g.post.clone() };
+        root = AlgExpr::Map {
+            input: Box::new(root),
+            exts: g.post.clone(),
+        };
     }
-    root = AlgExpr::Project { input: Box::new(root), attrs: g.output.clone(), dedup: false };
-    FinalPlan { root, cost, card, top_grouping }
+    root = AlgExpr::Project {
+        input: Box::new(root),
+        attrs: g.output.clone(),
+        dedup: false,
+    };
+    FinalPlan {
+        root,
+        cost,
+        card,
+        top_grouping,
+    }
 }

@@ -68,13 +68,19 @@ fn fusable(pred: &dpnext_algebra::JoinPred, g2: &[AttrId], needed: &Needed) -> b
 /// empty group. (A `sum` column could be a *user* aggregate whose values
 /// may be negative or NULL — never filter on those.)
 fn countish_column(aggs: &[AggCall]) -> Option<AttrId> {
-    aggs.iter().find(|c| c.kind == AggKind::CountStar).map(|c| c.out)
+    aggs.iter()
+        .find(|c| c.kind == AggKind::CountStar)
+        .map(|c| c.out)
 }
 
 fn fuse(node: &AlgExpr, needed: &Needed, count: &mut usize) -> AlgExpr {
     match node {
         AlgExpr::Scan(_) => node.clone(),
-        AlgExpr::Project { input, attrs, dedup } => AlgExpr::Project {
+        AlgExpr::Project {
+            input,
+            attrs,
+            dedup,
+        } => AlgExpr::Project {
             input: Box::new(fuse(input, &Some(attrs.iter().copied().collect()), count)),
             attrs: attrs.clone(),
             dedup: *dedup,
@@ -86,7 +92,10 @@ fn fuse(node: &AlgExpr, needed: &Needed, count: &mut usize) -> AlgExpr {
                 v
             });
             let child = union_refs(needed, refs);
-            AlgExpr::Map { input: Box::new(fuse(input, &child, count)), exts: exts.clone() }
+            AlgExpr::Map {
+                input: Box::new(fuse(input, &child, count)),
+                exts: exts.clone(),
+            }
         }
         AlgExpr::GroupBy { input, attrs, aggs } => {
             // A grouping reads exactly its attributes and arguments.
@@ -100,7 +109,12 @@ fn fuse(node: &AlgExpr, needed: &Needed, count: &mut usize) -> AlgExpr {
                 aggs: aggs.clone(),
             }
         }
-        AlgExpr::Select { input, left, op, right } => {
+        AlgExpr::Select {
+            input,
+            left,
+            op,
+            right,
+        } => {
             let mut refs = Vec::new();
             left.referenced(&mut refs);
             right.referenced(&mut refs);
@@ -112,11 +126,18 @@ fn fuse(node: &AlgExpr, needed: &Needed, count: &mut usize) -> AlgExpr {
                 right: right.clone(),
             }
         }
-        AlgExpr::LeftOuterJoin { left, right, pred, defaults } => {
+        AlgExpr::LeftOuterJoin {
+            left,
+            right,
+            pred,
+            defaults,
+        } => {
             let child = union_refs(needed, pred.all_attrs());
             if let AlgExpr::GroupBy { input, attrs, aggs } = right.as_ref() {
                 if fusable(pred, attrs, needed)
-                    && defaults.iter().all(|(d, _)| aggs.iter().any(|c| c.out == *d))
+                    && defaults
+                        .iter()
+                        .all(|(d, _)| aggs.iter().any(|c| c.out == *d))
                 {
                     *count += 1;
                     return AlgExpr::GroupJoin {
@@ -179,7 +200,13 @@ fn fuse(node: &AlgExpr, needed: &Needed, count: &mut usize) -> AlgExpr {
                 pred: pred.clone(),
             }
         }
-        AlgExpr::FullOuterJoin { left, right, pred, d1, d2 } => {
+        AlgExpr::FullOuterJoin {
+            left,
+            right,
+            pred,
+            d1,
+            d2,
+        } => {
             // A full outerjoin keeps unmatched right tuples: not fusable.
             let child = union_refs(needed, pred.all_attrs());
             AlgExpr::FullOuterJoin {
@@ -190,7 +217,13 @@ fn fuse(node: &AlgExpr, needed: &Needed, count: &mut usize) -> AlgExpr {
                 d2: d2.clone(),
             }
         }
-        AlgExpr::GroupJoin { left, right, pred, aggs, empty_defaults } => {
+        AlgExpr::GroupJoin {
+            left,
+            right,
+            pred,
+            aggs,
+            empty_defaults,
+        } => {
             let mut child_refs: Vec<AttrId> = pred.all_attrs();
             for c in aggs {
                 child_refs.extend(c.referenced());
@@ -204,12 +237,14 @@ fn fuse(node: &AlgExpr, needed: &Needed, count: &mut usize) -> AlgExpr {
                 empty_defaults: empty_defaults.clone(),
             }
         }
-        AlgExpr::Cross(l, r) => {
-            AlgExpr::Cross(Box::new(fuse(l, &None, count)), Box::new(fuse(r, &None, count)))
-        }
-        AlgExpr::UnionAll(l, r) => {
-            AlgExpr::UnionAll(Box::new(fuse(l, &None, count)), Box::new(fuse(r, &None, count)))
-        }
+        AlgExpr::Cross(l, r) => AlgExpr::Cross(
+            Box::new(fuse(l, &None, count)),
+            Box::new(fuse(r, &None, count)),
+        ),
+        AlgExpr::UnionAll(l, r) => AlgExpr::UnionAll(
+            Box::new(fuse(l, &None, count)),
+            Box::new(fuse(r, &None, count)),
+        ),
     }
 }
 

@@ -29,7 +29,9 @@ pub mod plan;
 #[cfg(test)]
 mod tests;
 
-pub use algo::{all_subplans, optimize, optimize_with_pruning, Algorithm, DominanceKind, Optimized};
+pub use algo::{
+    all_subplans, optimize, optimize_with_pruning, Algorithm, DominanceKind, Optimized,
+};
 pub use context::OptContext;
 pub use explain::explain;
 pub use finalize::{compile, finalize, FinalPlan};

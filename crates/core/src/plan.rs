@@ -93,6 +93,28 @@ pub fn make_scan(ctx: &OptContext, i: usize) -> Plan {
     })
 }
 
+/// Cap a cardinality estimate by the key-implied bound: a duplicate-free
+/// result has at most one tuple per key value, so it cannot exceed the
+/// product of any key's distinct counts. Without this cap the estimate can
+/// contradict the key info, and `NeedsGrouping` then elides a grouping the
+/// estimator still thinks would shrink the input — which breaks the
+/// monotonicity argument behind the §4.6 dominance pruning (a dominating
+/// keyed plan could forfeit a reduction the dominated raw plan kept).
+/// The cap is constant in the input cardinalities, so estimates stay
+/// monotone as the pruning proof requires.
+fn key_bounded_card(ctx: &OptContext, card: f64, keyinfo: &KeyInfo) -> f64 {
+    if !keyinfo.duplicate_free {
+        return card;
+    }
+    let mut bounded = card;
+    for key in keyinfo.keys.keys() {
+        // Unknown distinct counts are infinite: no cap from such keys.
+        let bound: f64 = key.iter().map(|&a| ctx.distinct(a).max(1.0)).product();
+        bounded = bounded.min(bound);
+    }
+    bounded
+}
+
 /// Orient one predicate term so its left attribute comes from `left_set`.
 fn orient_term(
     ctx: &OptContext,
@@ -158,10 +180,15 @@ pub fn make_apply(
     // Distinct join-value counts per side (products of the base distinct
     // counts of the predicate attributes) for the match probability.
     let d_left: f64 = pred.left_attrs().iter().map(|&a| ctx.distinct(a)).product();
-    let d_right: f64 = pred.right_attrs().iter().map(|&a| ctx.distinct(a)).product();
-    let card = join_card(kind, left.card, right.card, sel, d_left, d_right);
-    let cost = left.cost + right.cost + card;
+    let d_right: f64 = pred
+        .right_attrs()
+        .iter()
+        .map(|&a| ctx.distinct(a))
+        .product();
+    let raw_card = join_card(kind, left.card, right.card, sel, d_left, d_right);
     let keyinfo = infer_join_keys(kind, &left.keyinfo, &right.keyinfo, &pred);
+    let card = key_bounded_card(ctx, raw_card, &keyinfo);
+    let cost = left.cost + right.cost + card;
     let agg = if kind.preserves_right() {
         left.agg.merge(&right.agg)
     } else {
@@ -215,14 +242,21 @@ pub fn make_group(ctx: &OptContext, input: &Plan) -> Plan {
         "G⁺({s}) not fully visible"
     );
     let (aggs, state) = build_group_aggs(ctx, &input.agg, s);
-    let distincts: Vec<f64> = gattrs.iter().map(|&a| distinct_in(ctx.distinct(a), input.card)).collect();
+    let distincts: Vec<f64> = gattrs
+        .iter()
+        .map(|&a| distinct_in(ctx.distinct(a), input.card))
+        .collect();
     let card = grouping_card(input.card, &distincts);
     let cost = input.cost + card;
     let mut visible: Vec<AttrId> = gattrs.to_vec();
     visible.extend(aggs.iter().map(|c| c.out));
     ctx.count_plan();
     Rc::new(PlanData {
-        node: PlanNode::Group { attrs: gattrs.to_vec(), aggs, input: input.clone() },
+        node: PlanNode::Group {
+            attrs: gattrs.to_vec(),
+            aggs,
+            input: input.clone(),
+        },
         set: s,
         card,
         cost,

@@ -25,7 +25,13 @@ fn two_table_ctx(op: OpKind) -> OptContext {
     // Join on the non-key column a1 so that G⁺ of the left side does not
     // cover r0's key (otherwise pushing a grouping there is useless and
     // OpTrees rightly skips it).
-    let tree = OpTree::binary_sel(op, JoinPred::eq(a(1), a(2)), 0.01, OpTree::rel(0), OpTree::rel(1));
+    let tree = OpTree::binary_sel(
+        op,
+        JoinPred::eq(a(1), a(2)),
+        0.01,
+        OpTree::rel(0),
+        OpTree::rel(1),
+    );
     let mut gen = AttrGen::new(100);
     let grouping = if op.preserves_right() {
         GroupSpec::new(
@@ -54,7 +60,7 @@ mod context {
         assert_eq!(vec![a(1)], *g0);
         let g1 = ctx.gplus(NodeSet::single(1));
         assert_eq!(vec![a(2)], *g1); // join attr only
-        // Full set: nothing crosses; only the grouping attribute remains.
+                                     // Full set: nothing crosses; only the grouping attribute remains.
         let gf = ctx.gplus(NodeSet::full(2));
         assert_eq!(vec![a(1)], *gf);
     }
@@ -71,8 +77,12 @@ mod context {
     fn can_group_blocks_non_decomposable() {
         let t0 = QueryTable::new("r0", vec![a(0)], 10.0);
         let t1 = QueryTable::new("r1", vec![a(1)], 10.0);
-        let tree =
-            OpTree::binary(OpKind::Join, JoinPred::eq(a(0), a(1)), OpTree::rel(0), OpTree::rel(1));
+        let tree = OpTree::binary(
+            OpKind::Join,
+            JoinPred::eq(a(0), a(1)),
+            OpTree::rel(0),
+            OpTree::rel(1),
+        );
         let mut gen = AttrGen::new(100);
         let spec = GroupSpec::new(
             vec![a(0)],
@@ -109,7 +119,10 @@ mod aggstate {
     fn merge_prefers_partials() {
         let raw = AggState::fresh(2);
         let mut grouped = AggState::fresh(2);
-        grouped.pos[1] = AggPos::Partial { col: a(60), scope: NodeSet::single(1) };
+        grouped.pos[1] = AggPos::Partial {
+            col: a(60),
+            scope: NodeSet::single(1),
+        };
         grouped.counts.push((NodeSet::single(1), a(61)));
         let merged = raw.merge(&grouped);
         assert_eq!(AggPos::Raw, merged.pos[0]);
@@ -150,8 +163,14 @@ mod aggstate {
         ];
         let mut st = AggState::fresh(2);
         st.counts.push((NodeSet::single(1), a(60)));
-        st.pos[0] = AggPos::Partial { col: a(61), scope: NodeSet::single(1) };
-        st.pos[1] = AggPos::Partial { col: a(62), scope: NodeSet::single(1) };
+        st.pos[0] = AggPos::Partial {
+            col: a(61),
+            scope: NodeSet::single(1),
+        };
+        st.pos[1] = AggPos::Partial {
+            col: a(62),
+            scope: NodeSet::single(1),
+        };
         let d = st.padding_defaults(&aggs);
         assert!(d.contains(&(a(60), Value::Int(1)))); // count column → 1
         assert!(d.contains(&(a(61), Value::Null))); // sum partial → NULL
@@ -182,6 +201,39 @@ mod plans {
         assert_eq!(50.0, j.cost);
         assert_eq!(1, j.applied);
         assert_eq!(0, j.eagerness());
+    }
+
+    #[test]
+    fn join_card_capped_by_key_bound() {
+        // Regression for the EA-Prune optimality loss (paper-scale seed
+        // 1020, n=6): a left side keyed on its join attribute joined with
+        // a right side keyed elsewhere is duplicate-free with the right
+        // side's key, so the estimate must not exceed that key's distinct
+        // count — otherwise `NeedsGrouping` and the estimator disagree and
+        // the §4.6 dominance pruning can discard the optimal plan.
+        let t0 = QueryTable::new("r0", vec![a(0), a(1)], 100.0)
+            .with_distinct(vec![100.0, 10.0])
+            .with_key(vec![a(0)]);
+        let t1 = QueryTable::new("r1", vec![a(2), a(3)], 50.0)
+            .with_distinct(vec![25.0, 50.0])
+            .with_key(vec![a(3)]);
+        let tree = OpTree::binary_sel(
+            OpKind::Join,
+            JoinPred::eq(a(0), a(2)),
+            0.1,
+            OpTree::rel(0),
+            OpTree::rel(1),
+        );
+        let ctx = OptContext::new(Query::new(vec![t0, t1], tree, None));
+        let l = make_scan(&ctx, 0);
+        let r = make_scan(&ctx, 1);
+        let j = make_apply(&ctx, 0, &[], &l, &r).unwrap();
+        assert!(j.keyinfo.duplicate_free);
+        assert!(j.keyinfo.keys.some_key_within(&[a(3)]));
+        // Raw estimate 100 × 50 × 0.1 = 500; the key {a3} bounds it at
+        // d(a3) = 50.
+        assert_eq!(50.0, j.card);
+        assert_eq!(50.0, j.cost);
     }
 
     #[test]
@@ -262,13 +314,14 @@ mod optrees {
         // must not be generated (Fig. 6 line 10).
         let t0 = QueryTable::new("r0", vec![a(0)], 100.0).with_key(vec![a(0)]);
         let t1 = QueryTable::new("r1", vec![a(2), a(3)], 50.0);
-        let tree = OpTree::binary(OpKind::Join, JoinPred::eq(a(0), a(2)), OpTree::rel(0), OpTree::rel(1));
-        let mut gen = AttrGen::new(100);
-        let spec = GroupSpec::new(
-            vec![a(3)],
-            vec![AggCall::count_star(a(50))],
-            &mut gen,
+        let tree = OpTree::binary(
+            OpKind::Join,
+            JoinPred::eq(a(0), a(2)),
+            OpTree::rel(0),
+            OpTree::rel(1),
         );
+        let mut gen = AttrGen::new(100);
+        let spec = GroupSpec::new(vec![a(3)], vec![AggCall::count_star(a(50))], &mut gen);
         let ctx = OptContext::new(Query::new(vec![t0, t1], tree, Some(spec)));
         let l = make_scan(&ctx, 0);
         let r = make_scan(&ctx, 1);
@@ -322,7 +375,12 @@ mod finalization {
     fn no_grouping_query_finalizes_trivially() {
         let t0 = QueryTable::new("r0", vec![a(0)], 10.0);
         let t1 = QueryTable::new("r1", vec![a(1)], 10.0);
-        let tree = OpTree::binary(OpKind::Join, JoinPred::eq(a(0), a(1)), OpTree::rel(0), OpTree::rel(1));
+        let tree = OpTree::binary(
+            OpKind::Join,
+            JoinPred::eq(a(0), a(1)),
+            OpTree::rel(0),
+            OpTree::rel(1),
+        );
         let ctx = OptContext::new(Query::new(vec![t0, t1], tree, None));
         let l = make_scan(&ctx, 0);
         let r = make_scan(&ctx, 1);

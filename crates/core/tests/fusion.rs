@@ -28,7 +28,10 @@ fn fused_plans_agree_on_random_queries() {
             }
         }
     }
-    assert!(total_fusions > 0, "fusion never fired across the whole workload");
+    assert!(
+        total_fusions > 0,
+        "fusion never fired across the whole workload"
+    );
 }
 
 #[test]
@@ -36,7 +39,14 @@ fn fusion_fires_on_outer_join_pushdown() {
     // Left-outer queries where the grouping is pushed into the right side
     // produce the ⟕+Γ pattern the pass targets.
     let mut cfg = GenConfig::oracle(3);
-    cfg.ops = OpWeights { join: 0, left_outer: 1, full_outer: 0, semi: 0, anti: 0, groupjoin: 0 };
+    cfg.ops = OpWeights {
+        join: 0,
+        left_outer: 1,
+        full_outer: 0,
+        semi: 0,
+        anti: 0,
+        groupjoin: 0,
+    };
     let mut fired = 0;
     for seed in 840..880 {
         let query = generate_query(&cfg, seed);
@@ -50,7 +60,10 @@ fn fusion_fires_on_outer_join_pushdown() {
             assert!(fused.eval(&db).bag_eq(&opt.plan.root.eval(&db)));
         }
     }
-    assert!(fired > 0, "no ⟕+Γ fusion opportunity in 40 outer-join queries");
+    assert!(
+        fired > 0,
+        "no ⟕+Γ fusion opportunity in 40 outer-join queries"
+    );
 }
 
 #[test]
@@ -79,7 +92,10 @@ fn fusion_fires_on_ex_and_stays_comparable() {
     let (b, cost_fused) = fused.eval_counting(&db);
     assert!(a.bag_eq(&b));
     let ratio = cost_fused as f64 / cost_plain as f64;
-    assert!((0.5..=1.5).contains(&ratio), "C_out changed wildly: {cost_fused} vs {cost_plain}");
+    assert!(
+        (0.5..=1.5).contains(&ratio),
+        "C_out changed wildly: {cost_fused} vs {cost_plain}"
+    );
 }
 
 #[test]

@@ -59,7 +59,14 @@ fn oracle_inner_joins_only() {
 fn oracle_outer_join_heavy() {
     for n in 2..=5 {
         let mut cfg = GenConfig::oracle(n);
-        cfg.ops = OpWeights { join: 1, left_outer: 3, full_outer: 3, semi: 1, anti: 1, groupjoin: 0 };
+        cfg.ops = OpWeights {
+            join: 1,
+            left_outer: 3,
+            full_outer: 3,
+            semi: 1,
+            anti: 1,
+            groupjoin: 0,
+        };
         for seed in 200..225 {
             check_seed(&cfg, seed);
         }

@@ -113,7 +113,12 @@ fn h1_falls_into_bellman_trap_h2_recovers() {
     assert!(opt.plan.cost <= h1.plan.cost);
     assert!(opt.plan.cost <= h2.plan.cost + 1e-9);
     // H2 (with a generous factor) reaches the optimum on this instance.
-    assert!((h2.plan.cost - opt.plan.cost).abs() < 1e-9, "h2={} opt={}", h2.plan.cost, opt.plan.cost);
+    assert!(
+        (h2.plan.cost - opt.plan.cost).abs() < 1e-9,
+        "h2={} opt={}",
+        h2.plan.cost,
+        opt.plan.cost
+    );
 }
 
 /// EA-All and EA-Prune agree on the example.

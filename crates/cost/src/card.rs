@@ -126,7 +126,14 @@ mod tests {
     fn estimates_are_monotone_in_input_cards() {
         // The dominance-pruning prerequisite: growing an input never
         // shrinks the estimate (distinct counts held fixed).
-        for op in [OpKind::Join, OpKind::LeftOuter, OpKind::FullOuter, OpKind::Semi, OpKind::Anti, OpKind::GroupJoin] {
+        for op in [
+            OpKind::Join,
+            OpKind::LeftOuter,
+            OpKind::FullOuter,
+            OpKind::Semi,
+            OpKind::Anti,
+            OpKind::GroupJoin,
+        ] {
             let mut prev = 0.0f64;
             for r in [1.0, 10.0, 100.0, 1000.0] {
                 let c = join_card(op, 50.0, r, 0.01, 40.0, 30.0);

@@ -120,7 +120,11 @@ impl NodeSet {
     /// Iterate all non-empty subsets of this set in the canonical
     /// `(sub - 1) & mask` order (ascending as integers).
     pub fn subsets(self) -> SubsetIter {
-        SubsetIter { mask: self.0, sub: 0, done: self.0 == 0 }
+        SubsetIter {
+            mask: self.0,
+            sub: 0,
+            done: self.0 == 0,
+        }
     }
 }
 

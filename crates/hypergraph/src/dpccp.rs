@@ -18,7 +18,9 @@ pub struct SimpleGraph {
 impl SimpleGraph {
     pub fn new(n: usize) -> Self {
         assert!(n <= 64);
-        SimpleGraph { adj: vec![NodeSet::EMPTY; n] }
+        SimpleGraph {
+            adj: vec![NodeSet::EMPTY; n],
+        }
     }
 
     pub fn add_edge(&mut self, a: usize, b: usize) {
@@ -145,15 +147,20 @@ mod tests {
         for n in 2..=10usize {
             let chain: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
             let (s, _) = both(n, &chain);
-            assert_eq!(((n * n * n - n) / 6) as u64, count_ccps_simple(&s), "chain {n}");
+            assert_eq!(
+                ((n * n * n - n) / 6) as u64,
+                count_ccps_simple(&s),
+                "chain {n}"
+            );
 
             let star: Vec<(usize, usize)> = (1..n).map(|i| (0, i)).collect();
             let (s, _) = both(n, &star);
             assert_eq!((n as u64 - 1) << (n - 2), count_ccps_simple(&s), "star {n}");
         }
         for n in 2..=8usize {
-            let clique: Vec<(usize, usize)> =
-                (0..n).flat_map(|i| (i + 1..n).map(move |j| (i, j))).collect();
+            let clique: Vec<(usize, usize)> = (0..n)
+                .flat_map(|i| (i + 1..n).map(move |j| (i, j)))
+                .collect();
             let (s, _) = both(n, &clique);
             let expect = (3u64.pow(n as u32) - (1u64 << (n + 1))).div_ceil(2);
             assert_eq!(expect, count_ccps_simple(&s), "clique {n}");
@@ -174,9 +181,8 @@ mod tests {
         for n in 3..=8usize {
             for _ in 0..10 {
                 // Random spanning tree + extra edges.
-                let mut edges: Vec<(usize, usize)> = (1..n)
-                    .map(|v| (v, (rand() % v as u64) as usize))
-                    .collect();
+                let mut edges: Vec<(usize, usize)> =
+                    (1..n).map(|v| (v, (rand() % v as u64) as usize)).collect();
                 for _ in 0..(rand() % 4) {
                     let a = (rand() % n as u64) as usize;
                     let b = (rand() % n as u64) as usize;
@@ -218,7 +224,10 @@ mod tests {
         let mut g = SimpleGraph::new(4);
         g.add_edge(0, 1);
         g.add_edge(1, 2);
-        assert_eq!(NodeSet::from_iter([0, 2]), g.neighborhood(NodeSet::single(1)));
+        assert_eq!(
+            NodeSet::from_iter([0, 2]),
+            g.neighborhood(NodeSet::single(1))
+        );
         assert!(g.connects(NodeSet::single(0), NodeSet::single(1)));
         assert!(!g.connects(NodeSet::single(0), NodeSet::single(3)));
     }

@@ -18,7 +18,10 @@ pub fn enumerate_ccps(graph: &Hypergraph, mut emit: impl FnMut(NodeSet, NodeSet)
     if n == 0 {
         return;
     }
-    let mut e = Enumerator { graph, emit: &mut emit };
+    let mut e = Enumerator {
+        graph,
+        emit: &mut emit,
+    };
     for v in (0..n).rev() {
         let s1 = NodeSet::single(v);
         e.emit_csg(s1);
@@ -189,7 +192,11 @@ mod tests {
     #[test]
     fn matches_bruteforce_on_cycles() {
         for n in 3..=8 {
-            assert_eq!(count_ccps_bruteforce(&cycle(n)), count_ccps(&cycle(n)), "cycle n={n}");
+            assert_eq!(
+                count_ccps_bruteforce(&cycle(n)),
+                count_ccps(&cycle(n)),
+                "cycle n={n}"
+            );
         }
     }
 

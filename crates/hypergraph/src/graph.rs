@@ -44,7 +44,10 @@ pub struct Hypergraph {
 impl Hypergraph {
     pub fn new(n: usize) -> Self {
         assert!(n <= 64, "at most 64 relations supported");
-        Hypergraph { n, edges: Vec::new() }
+        Hypergraph {
+            n,
+            edges: Vec::new(),
+        }
     }
 
     pub fn add_edge(&mut self, e: Hyperedge) {

@@ -16,8 +16,14 @@ pub struct Fd {
 }
 
 impl Fd {
-    pub fn new(lhs: impl IntoIterator<Item = AttrId>, rhs: impl IntoIterator<Item = AttrId>) -> Self {
-        Fd { lhs: lhs.into_iter().collect(), rhs: rhs.into_iter().collect() }
+    pub fn new(
+        lhs: impl IntoIterator<Item = AttrId>,
+        rhs: impl IntoIterator<Item = AttrId>,
+    ) -> Self {
+        Fd {
+            lhs: lhs.into_iter().collect(),
+            rhs: rhs.into_iter().collect(),
+        }
     }
 }
 

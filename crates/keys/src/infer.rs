@@ -18,7 +18,10 @@ pub struct KeyInfo {
 impl KeyInfo {
     pub fn base(keys: KeySet) -> Self {
         let duplicate_free = !keys.is_empty();
-        KeyInfo { keys, duplicate_free }
+        KeyInfo {
+            keys,
+            duplicate_free,
+        }
     }
 
     /// No information: grouping will never be elided on top of this.
@@ -53,7 +56,10 @@ pub fn infer_join_keys(op: OpKind, left: &KeyInfo, right: &KeyInfo, pred: &JoinP
                 (false, true) => left.keys.clone(),
                 (false, false) => left.keys.pairwise(&right.keys),
             };
-            KeyInfo { keys, duplicate_free: dup_free }
+            KeyInfo {
+                keys,
+                duplicate_free: dup_free,
+            }
         }
         OpKind::LeftOuter => {
             // If A2 is a key of e2, every e1 tuple appears exactly once.
@@ -62,11 +68,17 @@ pub fn infer_join_keys(op: OpKind, left: &KeyInfo, right: &KeyInfo, pred: &JoinP
             } else {
                 left.keys.pairwise(&right.keys)
             };
-            KeyInfo { keys, duplicate_free: dup_free }
+            KeyInfo {
+                keys,
+                duplicate_free: dup_free,
+            }
         }
         OpKind::FullOuter => {
             // Regardless of the predicate: pairwise combination only.
-            KeyInfo { keys: left.keys.pairwise(&right.keys), duplicate_free: dup_free }
+            KeyInfo {
+                keys: left.keys.pairwise(&right.keys),
+                duplicate_free: dup_free,
+            }
         }
         // Semijoin / antijoin / groupjoin: the right side disappears and
         // no left tuple is duplicated: κ(e1) (§2.3.4).
@@ -183,7 +195,10 @@ mod tests {
         // G misses part of the key.
         assert!(needs_grouping(&[a(0)], &info));
         // Duplicates possible: grouping needed even if key within G.
-        let dup = KeyInfo { keys: KeySet::from_keys([vec![a(0)]]), duplicate_free: false };
+        let dup = KeyInfo {
+            keys: KeySet::from_keys([vec![a(0)]]),
+            duplicate_free: false,
+        };
         assert!(needs_grouping(&[a(0)], &dup));
     }
 }

@@ -142,7 +142,9 @@ impl OpTree {
     pub fn operator_count(&self) -> usize {
         match self {
             OpTree::Rel(_) => 0,
-            OpTree::Binary { left, right, .. } => 1 + left.operator_count() + right.operator_count(),
+            OpTree::Binary { left, right, .. } => {
+                1 + left.operator_count() + right.operator_count()
+            }
         }
     }
 
@@ -160,23 +162,53 @@ impl OpTree {
     pub fn to_alg(&self, scan_name: &impl Fn(usize) -> String) -> AlgExpr {
         match self {
             OpTree::Rel(i) => AlgExpr::scan(scan_name(*i)),
-            OpTree::Binary { op, pred, gj_aggs, left, right, .. } => {
+            OpTree::Binary {
+                op,
+                pred,
+                gj_aggs,
+                left,
+                right,
+                ..
+            } => {
                 let l = Box::new(left.to_alg(scan_name));
                 let r = Box::new(right.to_alg(scan_name));
                 let pred = pred.clone();
                 match op {
-                    OpKind::Join => AlgExpr::InnerJoin { left: l, right: r, pred },
-                    OpKind::LeftOuter => {
-                        AlgExpr::LeftOuterJoin { left: l, right: r, pred, defaults: vec![] }
-                    }
-                    OpKind::FullOuter => {
-                        AlgExpr::FullOuterJoin { left: l, right: r, pred, d1: vec![], d2: vec![] }
-                    }
-                    OpKind::Semi => AlgExpr::SemiJoin { left: l, right: r, pred },
-                    OpKind::Anti => AlgExpr::AntiJoin { left: l, right: r, pred },
-                    OpKind::GroupJoin => {
-                        AlgExpr::GroupJoin { left: l, right: r, pred, aggs: gj_aggs.clone(), empty_defaults: vec![] }
-                    }
+                    OpKind::Join => AlgExpr::InnerJoin {
+                        left: l,
+                        right: r,
+                        pred,
+                    },
+                    OpKind::LeftOuter => AlgExpr::LeftOuterJoin {
+                        left: l,
+                        right: r,
+                        pred,
+                        defaults: vec![],
+                    },
+                    OpKind::FullOuter => AlgExpr::FullOuterJoin {
+                        left: l,
+                        right: r,
+                        pred,
+                        d1: vec![],
+                        d2: vec![],
+                    },
+                    OpKind::Semi => AlgExpr::SemiJoin {
+                        left: l,
+                        right: r,
+                        pred,
+                    },
+                    OpKind::Anti => AlgExpr::AntiJoin {
+                        left: l,
+                        right: r,
+                        pred,
+                    },
+                    OpKind::GroupJoin => AlgExpr::GroupJoin {
+                        left: l,
+                        right: r,
+                        pred,
+                        aggs: gj_aggs.clone(),
+                        empty_defaults: vec![],
+                    },
                 }
             }
         }
@@ -188,7 +220,13 @@ impl OpTree {
     pub fn visible_attrs(&self, table_attrs: &impl Fn(usize) -> Vec<AttrId>) -> Vec<AttrId> {
         match self {
             OpTree::Rel(i) => table_attrs(*i),
-            OpTree::Binary { op, gj_aggs, left, right, .. } => {
+            OpTree::Binary {
+                op,
+                gj_aggs,
+                left,
+                right,
+                ..
+            } => {
                 let mut out = left.visible_attrs(table_attrs);
                 match op {
                     OpKind::Semi | OpKind::Anti => {}
@@ -222,7 +260,12 @@ mod tests {
             OpKind::Join,
             JoinPred::eq(AttrId(0), AttrId(1)),
             OpTree::rel(0),
-            OpTree::binary(OpKind::LeftOuter, JoinPred::eq(AttrId(1), AttrId(2)), OpTree::rel(1), OpTree::rel(2)),
+            OpTree::binary(
+                OpKind::LeftOuter,
+                JoinPred::eq(AttrId(1), AttrId(2)),
+                OpTree::rel(1),
+                OpTree::rel(2),
+            ),
         );
         assert_eq!(3, t.leaf_count());
         assert_eq!(2, t.operator_count());
@@ -234,7 +277,12 @@ mod tests {
         let t = OpTree::binary(
             OpKind::Join,
             JoinPred::eq(AttrId(0), AttrId(1)),
-            OpTree::binary(OpKind::Semi, JoinPred::eq(AttrId(0), AttrId(2)), OpTree::rel(0), OpTree::rel(2)),
+            OpTree::binary(
+                OpKind::Semi,
+                JoinPred::eq(AttrId(0), AttrId(2)),
+                OpTree::rel(0),
+                OpTree::rel(2),
+            ),
             OpTree::rel(1),
         );
         let mut ops = vec![];

@@ -43,7 +43,12 @@ impl GroupSpec {
                 aggs.push(call);
             }
         }
-        GroupSpec { group_by, aggs, post, output }
+        GroupSpec {
+            group_by,
+            aggs,
+            post,
+            output,
+        }
     }
 }
 
@@ -58,7 +63,11 @@ pub struct Query {
 
 impl Query {
     pub fn new(tables: Vec<QueryTable>, tree: OpTree, grouping: Option<GroupSpec>) -> Self {
-        let q = Query { tables, tree, grouping };
+        let q = Query {
+            tables,
+            tree,
+            grouping,
+        };
         q.validate();
         q
     }
@@ -79,7 +88,14 @@ impl Query {
             }
         }
         self.tree.visit_ops(&mut |node| {
-            if let OpTree::Binary { op: OpKind::GroupJoin, gj_aggs, left, right, .. } = node {
+            if let OpTree::Binary {
+                op: OpKind::GroupJoin,
+                gj_aggs,
+                left,
+                right,
+                ..
+            } = node
+            {
                 let set = left.relations().union(right.relations());
                 for call in gj_aggs {
                     origins.insert(call.out, set);
@@ -107,9 +123,16 @@ impl Query {
                 aggs: g.aggs.clone(),
             };
             if !g.post.is_empty() {
-                plan = AlgExpr::Map { input: Box::new(plan), exts: g.post.clone() };
+                plan = AlgExpr::Map {
+                    input: Box::new(plan),
+                    exts: g.post.clone(),
+                };
             }
-            plan = AlgExpr::Project { input: Box::new(plan), attrs: g.output.clone(), dedup: false };
+            plan = AlgExpr::Project {
+                input: Box::new(plan),
+                attrs: g.output.clone(),
+                dedup: false,
+            };
         }
         plan
     }
@@ -119,25 +142,46 @@ impl Query {
     fn validate(&self) {
         let mut aliases: Vec<&str> = self.tables.iter().map(|t| t.alias.as_str()).collect();
         aliases.sort_unstable();
-        aliases.windows(2).for_each(|w| assert_ne!(w[0], w[1], "duplicate table alias {}", w[0]));
+        aliases
+            .windows(2)
+            .for_each(|w| assert_ne!(w[0], w[1], "duplicate table alias {}", w[0]));
 
         let origins = self.attr_origins();
         let table_attrs = |i: usize| self.tables[i].attrs.clone();
         self.tree.visit_ops(&mut |node| {
-            if let OpTree::Binary { pred, left, right, gj_aggs, .. } = node {
+            if let OpTree::Binary {
+                pred,
+                left,
+                right,
+                gj_aggs,
+                ..
+            } = node
+            {
                 let lrels = left.relations();
                 let rrels = right.relations();
                 for &a in &pred.left_attrs() {
-                    let org = origins.get(&a).unwrap_or_else(|| panic!("unknown attr {a}"));
-                    assert!(org.is_subset_of(lrels), "pred attr {a} not from left subtree");
+                    let org = origins
+                        .get(&a)
+                        .unwrap_or_else(|| panic!("unknown attr {a}"));
+                    assert!(
+                        org.is_subset_of(lrels),
+                        "pred attr {a} not from left subtree"
+                    );
                 }
                 for &a in &pred.right_attrs() {
-                    let org = origins.get(&a).unwrap_or_else(|| panic!("unknown attr {a}"));
-                    assert!(org.is_subset_of(rrels), "pred attr {a} not from right subtree");
+                    let org = origins
+                        .get(&a)
+                        .unwrap_or_else(|| panic!("unknown attr {a}"));
+                    assert!(
+                        org.is_subset_of(rrels),
+                        "pred attr {a} not from right subtree"
+                    );
                 }
                 for call in gj_aggs {
                     for a in call.referenced() {
-                        let org = origins.get(&a).unwrap_or_else(|| panic!("unknown attr {a}"));
+                        let org = origins
+                            .get(&a)
+                            .unwrap_or_else(|| panic!("unknown attr {a}"));
                         assert!(
                             org.is_subset_of(rrels),
                             "groupjoin aggregate attr {a} not from right subtree"
@@ -150,11 +194,17 @@ impl Query {
         if let Some(g) = &self.grouping {
             let visible = self.tree.visible_attrs(&table_attrs);
             for &a in &g.group_by {
-                assert!(visible.contains(&a), "grouping attr {a} not visible at query top");
+                assert!(
+                    visible.contains(&a),
+                    "grouping attr {a} not visible at query top"
+                );
             }
             for call in &g.aggs {
                 for a in call.referenced() {
-                    assert!(visible.contains(&a), "aggregate attr {a} not visible at query top");
+                    assert!(
+                        visible.contains(&a),
+                        "aggregate attr {a} not visible at query top"
+                    );
                 }
             }
         }
@@ -173,7 +223,12 @@ mod tests {
     fn two_table_query() -> Query {
         let t0 = QueryTable::new("r", vec![a(0), a(1)], 3.0).with_key(vec![a(0)]);
         let t1 = QueryTable::new("s", vec![a(2), a(3)], 3.0);
-        let tree = OpTree::binary(OpKind::Join, JoinPred::eq(a(1), a(2)), OpTree::rel(0), OpTree::rel(1));
+        let tree = OpTree::binary(
+            OpKind::Join,
+            JoinPred::eq(a(1), a(2)),
+            OpTree::rel(0),
+            OpTree::rel(1),
+        );
         let mut gen = AttrGen::new(100);
         let spec = GroupSpec::new(
             vec![a(0)],
@@ -189,11 +244,17 @@ mod tests {
         let mut db = dpnext_algebra::Database::new();
         db.insert(
             "r",
-            Relation::from_ints(vec![a(0), a(1)], &[&[Some(1), Some(7)], &[Some(2), Some(8)]]),
+            Relation::from_ints(
+                vec![a(0), a(1)],
+                &[&[Some(1), Some(7)], &[Some(2), Some(8)]],
+            ),
         );
         db.insert(
             "s",
-            Relation::from_ints(vec![a(2), a(3)], &[&[Some(7), Some(10)], &[Some(7), Some(20)]]),
+            Relation::from_ints(
+                vec![a(2), a(3)],
+                &[&[Some(7), Some(10)], &[Some(7), Some(20)]],
+            ),
         );
         let res = q.canonical_plan().eval(&db);
         let expect = Relation::from_ints(vec![a(0), a(50)], &[&[Some(1), Some(30)]]);
@@ -230,7 +291,12 @@ mod tests {
         let t0 = QueryTable::new("r", vec![a(0)], 1.0);
         let t1 = QueryTable::new("s", vec![a(1)], 1.0);
         // Predicate sides are swapped relative to the subtrees.
-        let tree = OpTree::binary(OpKind::Join, JoinPred::eq(a(1), a(0)), OpTree::rel(0), OpTree::rel(1));
+        let tree = OpTree::binary(
+            OpKind::Join,
+            JoinPred::eq(a(1), a(0)),
+            OpTree::rel(0),
+            OpTree::rel(1),
+        );
         Query::new(vec![t0, t1], tree, None);
     }
 
@@ -239,7 +305,12 @@ mod tests {
     fn validation_rejects_duplicate_alias() {
         let t0 = QueryTable::new("r", vec![a(0)], 1.0);
         let t1 = QueryTable::new("r", vec![a(1)], 1.0);
-        let tree = OpTree::binary(OpKind::Join, JoinPred::eq(a(0), a(1)), OpTree::rel(0), OpTree::rel(1));
+        let tree = OpTree::binary(
+            OpKind::Join,
+            JoinPred::eq(a(0), a(1)),
+            OpTree::rel(0),
+            OpTree::rel(1),
+        );
         Query::new(vec![t0, t1], tree, None);
     }
 
@@ -248,7 +319,12 @@ mod tests {
     fn validation_rejects_grouping_on_semijoin_right() {
         let t0 = QueryTable::new("r", vec![a(0)], 1.0);
         let t1 = QueryTable::new("s", vec![a(1)], 1.0);
-        let tree = OpTree::binary(OpKind::Semi, JoinPred::eq(a(0), a(1)), OpTree::rel(0), OpTree::rel(1));
+        let tree = OpTree::binary(
+            OpKind::Semi,
+            JoinPred::eq(a(0), a(1)),
+            OpTree::rel(0),
+            OpTree::rel(1),
+        );
         let mut gen = AttrGen::new(100);
         let spec = GroupSpec::new(vec![a(1)], vec![], &mut gen);
         Query::new(vec![t0, t1], tree, Some(spec));

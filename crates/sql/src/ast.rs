@@ -11,11 +11,17 @@ pub struct QName {
 
 impl QName {
     pub fn bare(name: impl Into<String>) -> Self {
-        QName { qualifier: None, name: name.into() }
+        QName {
+            qualifier: None,
+            name: name.into(),
+        }
     }
 
     pub fn qualified(q: impl Into<String>, name: impl Into<String>) -> Self {
-        QName { qualifier: Some(q.into()), name: name.into() }
+        QName {
+            qualifier: Some(q.into()),
+            name: name.into(),
+        }
     }
 }
 

@@ -52,18 +52,21 @@ pub fn bind(ast: &AstQuery, catalog: &mut Catalog) -> Result<BoundQuery, SqlErro
                 plain_columns.push(a);
                 output_names.push(q.to_string());
             }
-            AstItem::Agg { func, distinct, arg, alias } => {
+            AstItem::Agg {
+                func,
+                distinct,
+                arg,
+                alias,
+            } => {
                 let kind = agg_kind(func, *distinct)?;
                 let out = gen.fresh();
                 let call = match arg {
                     None => AggCall::count_star(out),
                     Some(q) => AggCall::new(out, kind, Expr::attr(binder.resolve(q)?)),
                 };
-                output_names.push(alias.clone().unwrap_or_else(|| {
-                    match arg {
-                        None => "count(*)".to_string(),
-                        Some(q) => format!("{func}({}{q})", if *distinct { "distinct " } else { "" }),
-                    }
+                output_names.push(alias.clone().unwrap_or_else(|| match arg {
+                    None => "count(*)".to_string(),
+                    Some(q) => format!("{func}({}{q})", if *distinct { "distinct " } else { "" }),
                 }));
                 aggs.push(call);
             }
@@ -86,7 +89,11 @@ pub fn bind(ast: &AstQuery, catalog: &mut Catalog) -> Result<BoundQuery, SqlErro
     };
 
     let query = Query::new(binder.tables, tree, grouping);
-    Ok(BoundQuery { query, occurrences: binder.occurrences, output_names })
+    Ok(BoundQuery {
+        query,
+        occurrences: binder.occurrences,
+        output_names,
+    })
 }
 
 fn agg_kind(func: &str, distinct: bool) -> Result<AggKind, SqlError> {
@@ -131,7 +138,12 @@ impl Binder<'_> {
                 self.occurrences.push((name.clone(), alias, mapping));
                 Ok(OpTree::rel(idx))
             }
-            AstFrom::Join { kind, condition, left, right } => {
+            AstFrom::Join {
+                kind,
+                condition,
+                left,
+                right,
+            } => {
                 let lstart = self.occurrences.len();
                 let ltree = self.from(left)?;
                 let lend = self.occurrences.len();

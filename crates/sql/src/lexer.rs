@@ -61,7 +61,9 @@ pub struct SqlError {
 
 impl SqlError {
     pub fn new(message: impl Into<String>) -> Self {
-        SqlError { message: message.into() }
+        SqlError {
+            message: message.into(),
+        }
     }
 }
 
@@ -132,7 +134,9 @@ pub fn lex(input: &str) -> Result<Vec<Token>, SqlError> {
                     tokens.push(Token::Ne);
                     i += 2;
                 } else {
-                    return Err(SqlError::new(format!("unexpected character '!' at byte {i}")));
+                    return Err(SqlError::new(format!(
+                        "unexpected character '!' at byte {i}"
+                    )));
                 }
             }
             '\'' => {
@@ -170,7 +174,9 @@ pub fn lex(input: &str) -> Result<Vec<Token>, SqlError> {
                 tokens.push(Token::Ident(input[start..i].to_string()));
             }
             other => {
-                return Err(SqlError::new(format!("unexpected character '{other}' at byte {i}")));
+                return Err(SqlError::new(format!(
+                    "unexpected character '{other}' at byte {i}"
+                )));
             }
         }
     }
@@ -196,7 +202,15 @@ mod tests {
         let t = lex("a = b <> c <= d >= e < f > g != h").unwrap();
         let ops: Vec<&Token> = t.iter().filter(|t| !matches!(t, Token::Ident(_))).collect();
         assert_eq!(
-            vec![&Token::Eq, &Token::Ne, &Token::Le, &Token::Ge, &Token::Lt, &Token::Gt, &Token::Ne],
+            vec![
+                &Token::Eq,
+                &Token::Ne,
+                &Token::Le,
+                &Token::Ge,
+                &Token::Lt,
+                &Token::Gt,
+                &Token::Ne
+            ],
             ops
         );
     }

@@ -25,7 +25,10 @@ pub fn parse(input: &str) -> Result<AstQuery, SqlError> {
     let mut p = Parser { tokens, pos: 0 };
     let q = p.query()?;
     if p.pos != p.tokens.len() {
-        return Err(SqlError::new(format!("trailing input at token {}", p.peek_desc())));
+        return Err(SqlError::new(format!(
+            "trailing input at token {}",
+            p.peek_desc()
+        )));
     }
     Ok(q)
 }
@@ -47,7 +50,8 @@ impl Parser {
     }
 
     fn peek_desc(&self) -> String {
-        self.peek().map_or_else(|| "<end>".into(), |t| t.to_string())
+        self.peek()
+            .map_or_else(|| "<end>".into(), |t| t.to_string())
     }
 
     fn next(&mut self) -> Option<Token> {
@@ -71,7 +75,10 @@ impl Parser {
         if self.eat_kw(kw) {
             Ok(())
         } else {
-            Err(SqlError::new(format!("expected {kw}, found {}", self.peek_desc())))
+            Err(SqlError::new(format!(
+                "expected {kw}, found {}",
+                self.peek_desc()
+            )))
         }
     }
 
@@ -80,7 +87,10 @@ impl Parser {
             self.pos += 1;
             Ok(())
         } else {
-            Err(SqlError::new(format!("expected {t}, found {}", self.peek_desc())))
+            Err(SqlError::new(format!(
+                "expected {t}, found {}",
+                self.peek_desc()
+            )))
         }
     }
 
@@ -112,7 +122,11 @@ impl Parser {
                 group_by.push(self.qname()?);
             }
         }
-        Ok(AstQuery { items, from, group_by })
+        Ok(AstQuery {
+            items,
+            from,
+            group_by,
+        })
     }
 
     fn item(&mut self) -> Result<AstItem, SqlError> {
@@ -128,13 +142,23 @@ impl Parser {
                     self.pos += 1;
                     self.expect(&Token::RParen)?;
                     let alias = self.opt_alias()?;
-                    return Ok(AstItem::Agg { func: "count*".into(), distinct: false, arg: None, alias });
+                    return Ok(AstItem::Agg {
+                        func: "count*".into(),
+                        distinct: false,
+                        arg: None,
+                        alias,
+                    });
                 }
                 let distinct = self.eat_kw("distinct");
                 let arg = self.qname()?;
                 self.expect(&Token::RParen)?;
                 let alias = self.opt_alias()?;
-                return Ok(AstItem::Agg { func, distinct, arg: Some(arg), alias });
+                return Ok(AstItem::Agg {
+                    func,
+                    distinct,
+                    arg: Some(arg),
+                    alias,
+                });
             }
         }
         Ok(AstItem::Column(self.qname()?))
@@ -176,7 +200,12 @@ impl Parser {
             let right = self.term()?;
             self.expect_kw("on")?;
             let condition = self.condition()?;
-            left = AstFrom::Join { kind, condition, left: Box::new(left), right: Box::new(right) };
+            left = AstFrom::Join {
+                kind,
+                condition,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
     }
 
@@ -257,7 +286,9 @@ mod tests {
         assert_eq!(3, q.items.len());
         assert_eq!(vec![QName::qualified("x", "a")], q.group_by);
         match &q.from {
-            AstFrom::Join { kind, condition, .. } => {
+            AstFrom::Join {
+                kind, condition, ..
+            } => {
                 assert_eq!(AstJoinKind::Inner, *kind);
                 assert_eq!(1, condition.len());
             }
@@ -292,18 +323,26 @@ mod tests {
         )
         .unwrap();
         // Left-associative chain: ((t1 ⋉ t2) ⟕ t3) ▷ t4.
-        let AstFrom::Join { kind, left, .. } = &q.from else { panic!() };
+        let AstFrom::Join { kind, left, .. } = &q.from else {
+            panic!()
+        };
         assert_eq!(AstJoinKind::Anti, *kind);
-        let AstFrom::Join { kind, left, .. } = left.as_ref() else { panic!() };
+        let AstFrom::Join { kind, left, .. } = left.as_ref() else {
+            panic!()
+        };
         assert_eq!(AstJoinKind::LeftOuter, *kind);
-        let AstFrom::Join { kind, .. } = left.as_ref() else { panic!() };
+        let AstFrom::Join { kind, .. } = left.as_ref() else {
+            panic!()
+        };
         assert_eq!(AstJoinKind::Semi, *kind);
     }
 
     #[test]
     fn conjunctive_conditions_and_theta() {
         let q = parse("select a from t1 join t2 on t1.x = t2.y and t1.u < t2.v").unwrap();
-        let AstFrom::Join { condition, .. } = &q.from else { panic!() };
+        let AstFrom::Join { condition, .. } = &q.from else {
+            panic!()
+        };
         assert_eq!(2, condition.len());
         assert_eq!(CmpOp::Lt, condition[1].op);
     }
@@ -312,7 +351,9 @@ mod tests {
     fn distinct_and_avg() {
         let q = parse("select avg(t.a), count(distinct t.b) from t group by t.c").unwrap();
         assert!(matches!(&q.items[0], AstItem::Agg { func, distinct: false, .. } if func == "avg"));
-        assert!(matches!(&q.items[1], AstItem::Agg { func, distinct: true, .. } if func == "count"));
+        assert!(
+            matches!(&q.items[1], AstItem::Agg { func, distinct: true, .. } if func == "count")
+        );
         // "group" must not be swallowed as a table alias.
         assert_eq!(1, q.group_by.len());
     }

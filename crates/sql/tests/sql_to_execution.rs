@@ -17,7 +17,10 @@ fn intro_query_from_sql_text() {
     let mut catalog = tpch_catalog();
     let bound = plan(EX, &mut catalog).unwrap();
     assert_eq!(4, bound.query.table_count());
-    assert_eq!(vec!["ns.n_name", "nc.n_name", "count(*)"], bound.output_names);
+    assert_eq!(
+        vec!["ns.n_name", "nc.n_name", "count(*)"],
+        bound.output_names
+    );
 
     // Optimize and execute at a small scale; all algorithms must agree
     // with the canonical plan.
@@ -31,7 +34,11 @@ fn intro_query_from_sql_text() {
     let reference = bound.query.canonical_plan().eval(&db);
     for algo in [Algorithm::DPhyp, Algorithm::H1, Algorithm::EaPrune] {
         let opt = optimize(&bound.query, algo);
-        assert!(opt.plan.root.eval(&db).bag_eq(&reference), "{}", algo.name());
+        assert!(
+            opt.plan.root.eval(&db).bag_eq(&reference),
+            "{}",
+            algo.name()
+        );
     }
 
     // And the eager plan must beat the baseline by orders of magnitude.

@@ -52,7 +52,12 @@ pub fn fig11_database() -> Database {
         "R0",
         Relation::from_ints(
             vec![A, B],
-            &[&[Some(0), Some(0)], &[Some(1), Some(0)], &[Some(2), Some(1)], &[Some(3), Some(1)]],
+            &[
+                &[Some(0), Some(0)],
+                &[Some(1), Some(0)],
+                &[Some(2), Some(1)],
+                &[Some(3), Some(1)],
+            ],
         ),
     );
     db.insert(
@@ -72,7 +77,12 @@ pub fn fig11_database() -> Database {
         "R2",
         Relation::from_ints(
             vec![E, F],
-            &[&[Some(0), Some(0)], &[Some(1), Some(1)], &[Some(2), Some(3)], &[Some(3), Some(4)]],
+            &[
+                &[Some(0), Some(0)],
+                &[Some(1), Some(1)],
+                &[Some(2), Some(3)],
+                &[Some(3), Some(4)],
+            ],
         ),
     );
     db
@@ -88,7 +98,8 @@ mod tests {
         let q = fig11_query();
         let db = fig11_database();
         let res = q.canonical_plan().eval(&db);
-        let expect = Relation::from_ints(vec![D, DCOUNT], &[&[Some(1), Some(3)], &[Some(0), Some(1)]]);
+        let expect =
+            Relation::from_ints(vec![D, DCOUNT], &[&[Some(1), Some(3)], &[Some(0), Some(1)]]);
         assert!(res.bag_eq(&expect), "got {res}");
     }
 

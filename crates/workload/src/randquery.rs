@@ -25,27 +25,44 @@ pub struct OpWeights {
 impl OpWeights {
     /// Inner joins only.
     pub fn inner_only() -> Self {
-        OpWeights { join: 1, left_outer: 0, full_outer: 0, semi: 0, anti: 0, groupjoin: 0 }
+        OpWeights {
+            join: 1,
+            left_outer: 0,
+            full_outer: 0,
+            semi: 0,
+            anti: 0,
+            groupjoin: 0,
+        }
     }
 
     /// The default mix: mostly inner joins with a sprinkling of the
     /// non-inner operators whose reordering the paper enables.
     pub fn mixed() -> Self {
-        OpWeights { join: 6, left_outer: 2, full_outer: 1, semi: 1, anti: 1, groupjoin: 0 }
+        OpWeights {
+            join: 6,
+            left_outer: 2,
+            full_outer: 1,
+            semi: 1,
+            anti: 1,
+            groupjoin: 0,
+        }
     }
 
     /// Mix including groupjoins (Eqvs. 39–41).
     pub fn with_groupjoins() -> Self {
-        OpWeights { join: 5, left_outer: 2, full_outer: 1, semi: 1, anti: 1, groupjoin: 2 }
+        OpWeights {
+            join: 5,
+            left_outer: 2,
+            full_outer: 1,
+            semi: 1,
+            anti: 1,
+            groupjoin: 2,
+        }
     }
 
     fn draw(&self, rng: &mut StdRng) -> OpKind {
-        let total = self.join
-            + self.left_outer
-            + self.full_outer
-            + self.semi
-            + self.anti
-            + self.groupjoin;
+        let total =
+            self.join + self.left_outer + self.full_outer + self.semi + self.anti + self.groupjoin;
         assert!(total > 0, "all operator weights are zero");
         let mut x = rng.gen_range(0..total);
         for (w, op) in [
@@ -151,7 +168,14 @@ pub fn generate_query(config: &GenConfig, seed: u64) -> Query {
     // 3. Operators, predicates and selectivities, bottom-up; leaves get
     //    relations in left-to-right order.
     let mut next_leaf = 0usize;
-    let tree = build(&shape, &mut next_leaf, &tables, &config.ops, &mut gen, &mut rng);
+    let tree = build(
+        &shape,
+        &mut next_leaf,
+        &tables,
+        &config.ops,
+        &mut gen,
+        &mut rng,
+    );
 
     // 4. Grouping attributes and aggregates over visible attributes.
     // Groupjoin outputs are *not* used as grouping attributes or aggregate
@@ -204,7 +228,13 @@ fn random_agg(rng: &mut StdRng, visible: &[AttrId], gen: &mut AttrGen, exotic: b
             AggKind::SumDistinct,
         ]
     } else {
-        &[AggKind::CountStar, AggKind::Count, AggKind::Sum, AggKind::Min, AggKind::Max]
+        &[
+            AggKind::CountStar,
+            AggKind::Count,
+            AggKind::Sum,
+            AggKind::Min,
+            AggKind::Max,
+        ]
     };
     let kind = kinds[rng.gen_range(0..kinds.len())];
     if kind == AggKind::CountStar {
@@ -242,13 +272,20 @@ fn build(
             // Random selectivity anchored at the textbook equi-join
             // estimate 1/max(d_l, d_r), jittered log-uniformly: join sizes
             // stay in a realistic regime while still varying per query.
-            let d = distinct_of(tables, la).max(distinct_of(tables, ra)).max(1.0);
+            let d = distinct_of(tables, la)
+                .max(distinct_of(tables, ra))
+                .max(1.0);
             let sel = (log_uniform_raw(rng, 0.25, 4.0) / d).min(1.0);
             if op == OpKind::GroupJoin {
                 // The groupjoin aggregates right-side attributes; its
                 // outputs become visible to the rest of the query.
                 let arg = rvis[rng.gen_range(0..rvis.len())];
-                let kinds = [AggKind::CountStar, AggKind::Sum, AggKind::Min, AggKind::Count];
+                let kinds = [
+                    AggKind::CountStar,
+                    AggKind::Sum,
+                    AggKind::Min,
+                    AggKind::Count,
+                ];
                 let kind = kinds[rng.gen_range(0..kinds.len())];
                 let out = gen.fresh();
                 let call = if kind == AggKind::CountStar {

@@ -45,7 +45,11 @@ struct Builder {
 
 impl Builder {
     fn new() -> Self {
-        Builder { catalog: tpch_catalog(), tables: Vec::new(), occurrences: Vec::new() }
+        Builder {
+            catalog: tpch_catalog(),
+            tables: Vec::new(),
+            occurrences: Vec::new(),
+        }
     }
 
     /// Instantiate `rel` under `alias`, scaling its cardinality by the
@@ -146,7 +150,11 @@ pub fn q3() -> TpchQuery {
         b.attr(o, "o_orderdate"),
         b.attr(o, "o_shippriority"),
     ];
-    let sum = AggCall::new(AttrId(1_000_000), AggKind::Sum, Expr::attr(b.attr(l, "l_extendedprice")));
+    let sum = AggCall::new(
+        AttrId(1_000_000),
+        AggKind::Sum,
+        Expr::attr(b.attr(l, "l_extendedprice")),
+    );
     b.finish("Q3", tree, group_by, vec![sum])
 }
 
@@ -176,8 +184,11 @@ pub fn q5() -> TpchQuery {
     );
     let cols = OpTree::binary_sel(
         OpKind::Join,
-        JoinPred::eq(b.attr(l, "l_suppkey"), b.attr(s, "s_suppkey"))
-            .and(b.attr(c, "c_nationkey"), dpnext_algebra::CmpOp::Eq, b.attr(s, "s_nationkey")),
+        JoinPred::eq(b.attr(l, "l_suppkey"), b.attr(s, "s_suppkey")).and(
+            b.attr(c, "c_nationkey"),
+            dpnext_algebra::CmpOp::Eq,
+            b.attr(s, "s_nationkey"),
+        ),
         1.0 / 10_000.0 / 25.0,
         col,
         OpTree::rel(s),
@@ -197,7 +208,11 @@ pub fn q5() -> TpchQuery {
         OpTree::rel(r),
     );
     let group_by = vec![b.attr(n, "n_name")];
-    let sum = AggCall::new(AttrId(1_000_000), AggKind::Sum, Expr::attr(b.attr(l, "l_extendedprice")));
+    let sum = AggCall::new(
+        AttrId(1_000_000),
+        AggKind::Sum,
+        Expr::attr(b.attr(l, "l_extendedprice")),
+    );
     b.finish("Q5", tree, group_by, vec![sum])
 }
 
@@ -234,7 +249,11 @@ pub fn q10() -> TpchQuery {
         b.attr(c, "c_acctbal"),
         b.attr(n, "n_name"),
     ];
-    let sum = AggCall::new(AttrId(1_000_000), AggKind::Sum, Expr::attr(b.attr(l, "l_extendedprice")));
+    let sum = AggCall::new(
+        AttrId(1_000_000),
+        AggKind::Sum,
+        Expr::attr(b.attr(l, "l_extendedprice")),
+    );
     b.finish("Q10", tree, group_by, vec![sum])
 }
 

@@ -33,7 +33,9 @@ fn main() {
         assert!(result.bag_eq(&query.canonical_plan().eval(&db)));
     }
 
-    println!("\nPaper's Table 1: lazy tree = 10, eager tree = 9, eager + eliminated top grouping = 7.");
+    println!(
+        "\nPaper's Table 1: lazy tree = 10, eager tree = 9, eager + eliminated top grouping = 7."
+    );
     println!("H1 discards the eager subplan (its local cost is higher) — the Bellman trap;");
     println!("H2's tolerance factor and EA-Prune's dominance pruning both escape it.\n");
 

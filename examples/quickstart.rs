@@ -59,18 +59,33 @@ fn main() {
     let mut db = Database::new();
     db.insert(
         "orders",
-        Relation::from_ints(vec![o_id, o_cust], &[&[Some(0), Some(0)], &[Some(1), Some(0)], &[Some(2), Some(1)]]),
+        Relation::from_ints(
+            vec![o_id, o_cust],
+            &[
+                &[Some(0), Some(0)],
+                &[Some(1), Some(0)],
+                &[Some(2), Some(1)],
+            ],
+        ),
     );
     db.insert(
         "items",
         Relation::from_ints(
             vec![i_order, i_price],
-            &[&[Some(0), Some(10)], &[Some(0), Some(20)], &[Some(1), Some(5)], &[Some(2), Some(7)]],
+            &[
+                &[Some(0), Some(10)],
+                &[Some(0), Some(20)],
+                &[Some(1), Some(5)],
+                &[Some(2), Some(7)],
+            ],
         ),
     );
     db.insert(
         "customers",
-        Relation::from_ints(vec![c_id, c_region], &[&[Some(0), Some(1)], &[Some(1), Some(2)]]),
+        Relation::from_ints(
+            vec![c_id, c_region],
+            &[&[Some(0), Some(1)], &[Some(1), Some(2)]],
+        ),
     );
 
     let reference = query.canonical_plan().eval(&db);

@@ -9,11 +9,19 @@ use dpnext::core::{optimize, Algorithm};
 use dpnext::workload::{generate_query, GenConfig};
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(8);
-    let queries: u64 = std::env::args().nth(2).and_then(|a| a.parse().ok()).unwrap_or(25);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(8);
+    let queries: u64 = std::env::args()
+        .nth(2)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(25);
 
     let cfg = GenConfig::paper(n);
-    println!("# {queries} random queries over {n} relations (mixed join/outerjoin/semijoin trees)\n");
+    println!(
+        "# {queries} random queries over {n} relations (mixed join/outerjoin/semijoin trees)\n"
+    );
     println!(
         "{:>6} {:>14} {:>14} {:>14} {:>10} {:>10}",
         "seed", "DPhyp", "H1", "H2(1.03)", "H1 gain", "H2 gain"

@@ -15,7 +15,9 @@ const DEFAULT: &str = "select ns.n_name, nc.n_name, count(*) \
     group by ns.n_name, nc.n_name";
 
 fn main() {
-    let sql = std::env::args().nth(1).unwrap_or_else(|| DEFAULT.to_string());
+    let sql = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| DEFAULT.to_string());
     println!("SQL> {sql}\n");
 
     let mut catalog = tpch_catalog();
@@ -32,7 +34,12 @@ fn main() {
         bound.output_names
     );
 
-    for algo in [Algorithm::DPhyp, Algorithm::H1, Algorithm::H2(1.03), Algorithm::EaPrune] {
+    for algo in [
+        Algorithm::DPhyp,
+        Algorithm::H1,
+        Algorithm::H2(1.03),
+        Algorithm::EaPrune,
+    ] {
         let opt = optimize(&bound.query, algo);
         println!(
             "{:<12} estimated C_out = {:>14.1}   optimization time = {:>8.1} µs",

@@ -13,7 +13,10 @@ use dpnext::workload::ex_query;
 use std::time::Instant;
 
 fn main() {
-    let scale: f64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(0.01);
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(0.01);
     let ex = ex_query();
     println!("query: select ns.n_name, nc.n_name, count(*) from (nation ns ⋈ supplier) ⟗ (nation nc ⋈ customer) group by ns.n_name, nc.n_name\n");
 
@@ -38,9 +41,15 @@ fn main() {
     assert!(res_base.bag_eq(&res_eager), "plans disagree");
 
     println!("\nbaseline (grouping on top):");
-    println!("  measured C_out = {cout_base}, wall clock = {:.3} ms", t_base.as_secs_f64() * 1e3);
+    println!(
+        "  measured C_out = {cout_base}, wall clock = {:.3} ms",
+        t_base.as_secs_f64() * 1e3
+    );
     println!("eager aggregation (grouping pushed through the outerjoin):");
-    println!("  measured C_out = {cout_eager}, wall clock = {:.3} ms", t_eager.as_secs_f64() * 1e3);
+    println!(
+        "  measured C_out = {cout_eager}, wall clock = {:.3} ms",
+        t_eager.as_secs_f64() * 1e3
+    );
     println!(
         "\nspeedup: {:.1}x wall clock, {:.1}x C_out (paper: 2140 ms → 1.51 ms on HyPer)",
         t_base.as_secs_f64() / t_eager.as_secs_f64(),

@@ -1,0 +1,228 @@
+//! Minimal offline stand-in for the `criterion` crate (see `shims/README.md`).
+//!
+//! Implements the surface this workspace's benches use: [`Criterion`],
+//! [`Criterion::benchmark_group`] with `sample_size` / `measurement_time` /
+//! `warm_up_time`, `bench_function`, [`Bencher::iter`], [`black_box`], and
+//! the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Like crates-io criterion, a `harness = false` bench binary only runs its
+//! timing loops when invoked with `--bench` (as `cargo bench` does); under
+//! `cargo test` each benchmark body executes exactly once as a smoke test.
+//! Output is a plain mean-per-iteration line per benchmark — no statistics,
+//! no HTML reports.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Whether the process was started in bench mode (`cargo bench` passes
+/// `--bench` to `harness = false` targets; `cargo test` does not).
+fn bench_mode() -> bool {
+    std::env::args().any(|a| a == "--bench")
+}
+
+pub struct Criterion {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for drop-in compatibility; the shim has no CLI options
+    /// beyond the `--bench` mode flag, which is read per-run.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        run_benchmark(&id, self.warm_up_time, self.measurement_time, f);
+        self
+    }
+
+    /// No-op: the shim prints per-benchmark lines as it goes.
+    pub fn final_summary(&mut self) {}
+}
+
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for compatibility; the shim sizes its timing loop from
+    /// `measurement_time` alone.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into());
+        run_benchmark(&id, self.warm_up_time, self.measurement_time, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_benchmark(
+    id: &str,
+    warm_up: Duration,
+    measurement: Duration,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    if !bench_mode() {
+        // Test mode (`cargo test`): one iteration, no timing output.
+        let mut b = Bencher {
+            iters_per_call: 1,
+            total_iters: 0,
+            total_time: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("{id}: ok (smoke, 1 iteration)");
+        return;
+    }
+
+    // Calibrate: run single iterations during warm-up to estimate cost.
+    let mut b = Bencher {
+        iters_per_call: 1,
+        total_iters: 0,
+        total_time: Duration::ZERO,
+    };
+    let warm_start = Instant::now();
+    while warm_start.elapsed() < warm_up {
+        f(&mut b);
+    }
+    let per_iter = if b.total_iters > 0 {
+        b.total_time.as_nanos() / b.total_iters as u128
+    } else {
+        0
+    };
+    // Aim for ~50 timed calls within the measurement window.
+    let iters_per_call = ((measurement.as_nanos() / 50).checked_div(per_iter.max(1)))
+        .unwrap_or(1)
+        .clamp(1, 1_000_000) as u64;
+
+    let mut b = Bencher {
+        iters_per_call,
+        total_iters: 0,
+        total_time: Duration::ZERO,
+    };
+    let start = Instant::now();
+    while start.elapsed() < measurement {
+        f(&mut b);
+    }
+    let mean_ns = if b.total_iters > 0 {
+        b.total_time.as_nanos() as f64 / b.total_iters as f64
+    } else {
+        f64::NAN
+    };
+    println!(
+        "{id}: mean {:.1} ns/iter ({} iterations)",
+        mean_ns, b.total_iters
+    );
+}
+
+pub struct Bencher {
+    iters_per_call: u64,
+    total_iters: u64,
+    total_time: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_call {
+            black_box(f());
+        }
+        self.total_time += start.elapsed();
+        self.total_iters += self.iters_per_call;
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_each_bench_once() {
+        // Not invoked with --bench, so this must take one iteration, not
+        // the full measurement window.
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        let mut group = c.benchmark_group("g");
+        group.measurement_time(Duration::from_secs(60));
+        group.bench_function("b", |b| b.iter(|| calls += 1));
+        group.finish();
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn bencher_accumulates_iterations() {
+        let mut b = Bencher {
+            iters_per_call: 10,
+            total_iters: 0,
+            total_time: Duration::ZERO,
+        };
+        let mut n = 0u64;
+        b.iter(|| n += 1);
+        assert_eq!(n, 10);
+        assert_eq!(b.total_iters, 10);
+    }
+}

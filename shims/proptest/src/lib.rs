@@ -1,0 +1,515 @@
+//! Minimal offline stand-in for the `proptest` crate (see `shims/README.md`).
+//!
+//! Implements the surface this workspace's tests use: the [`Strategy`]
+//! trait with `prop_map`, [`Just`], integer ranges, fixed-size arrays of
+//! strategies, `collection::{vec, btree_set}`, weighted `prop_oneof!`,
+//! and the `proptest!` / `prop_assert!` / `prop_assert_eq!` macros with
+//! `#![proptest_config(ProptestConfig::with_cases(n))]`.
+//!
+//! Generation only — **no shrinking**. Each test case is generated from a
+//! deterministic seed derived from the test name and case index, so a CI
+//! failure reproduces locally by running the same test.
+
+/// Deterministic source of randomness for value generation (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn from_seed(state: u64) -> Self {
+        TestRng { state }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        // SplitMix64 (Steele, Lea & Flood 2014).
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, bound)`; modulo reduction is fine here.
+    fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "TestRng::below: empty bound");
+        self.next_u64() % bound
+    }
+}
+
+/// A generator of values of type `Self::Value`, mirroring
+/// `proptest::strategy::Strategy` (without shrinking).
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Result of [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy producing exactly one value, mirroring `proptest::strategy::Just`.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "strategy range is empty");
+                let span = (self.end as i128).wrapping_sub(self.start as i128) as u128;
+                let draw = (rng.next_u64() as u128) % span;
+                (self.start as i128).wrapping_add(draw as i128) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "strategy range is empty");
+                let span = (hi as i128).wrapping_sub(lo as i128) as u128 + 1;
+                let draw = (rng.next_u64() as u128) % span;
+                (lo as i128).wrapping_add(draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// Fixed-size arrays of strategies generate arrays of values, mirroring
+/// proptest's array support.
+impl<S: Strategy, const N: usize> Strategy for [S; N] {
+    type Value = [S::Value; N];
+    fn generate(&self, rng: &mut TestRng) -> [S::Value; N] {
+        std::array::from_fn(|i| self[i].generate(rng))
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// Weighted union of boxed strategies — the expansion target of
+/// [`prop_oneof!`].
+pub struct Union<T> {
+    arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+}
+
+impl<T> Union<T> {
+    pub fn new(arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        assert!(
+            arms.iter().any(|(w, _)| *w > 0),
+            "prop_oneof! weights are all zero"
+        );
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let total: u64 = self.arms.iter().map(|(w, _)| *w as u64).sum();
+        let mut draw = rng.below(total);
+        for (w, strat) in &self.arms {
+            if draw < *w as u64 {
+                return strat.generate(rng);
+            }
+            draw -= *w as u64;
+        }
+        unreachable!("weighted draw out of range")
+    }
+}
+
+/// Box a strategy for use inside [`Union`]; used by `prop_oneof!`.
+pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(s)
+}
+
+/// Size specification for collection strategies, mirroring
+/// `proptest::collection::SizeRange`.
+#[derive(Clone, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi_inclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            lo: n,
+            hi_inclusive: n,
+        }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "collection size range is empty");
+        SizeRange {
+            lo: r.start,
+            hi_inclusive: r.end - 1,
+        }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "collection size range is empty");
+        SizeRange {
+            lo: *r.start(),
+            hi_inclusive: *r.end(),
+        }
+    }
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        self.lo + rng.below((self.hi_inclusive - self.lo + 1) as u64) as usize
+    }
+}
+
+pub mod collection {
+    use super::{SizeRange, Strategy, TestRng};
+    use std::collections::BTreeSet;
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>`. Like crates-io proptest, the
+    /// requested size is an upper bound: duplicate draws collapse.
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    #[derive(Clone, Debug)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Configuration accepted by `#![proptest_config(..)]`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed test case, produced by `prop_assert!` / `prop_assert_eq!`.
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    pub fn fail(message: String) -> Self {
+        TestCaseError { message }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Drives the generate-and-check loop for one `proptest!` test function.
+pub struct TestRunner {
+    config: ProptestConfig,
+    name_seed: u64,
+}
+
+impl TestRunner {
+    pub fn new(config: ProptestConfig, test_name: &str) -> Self {
+        // FNV-1a over the test name: stable across runs and platforms.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRunner {
+            config,
+            name_seed: h,
+        }
+    }
+
+    pub fn cases(&self) -> u32 {
+        self.config.cases
+    }
+
+    pub fn rng_for_case(&self, case: u32) -> TestRng {
+        TestRng::from_seed(self.name_seed ^ ((case as u64) << 32 | 0x5bd1_e995))
+    }
+}
+
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+    pub use crate::{Just, ProptestConfig, Strategy};
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$(($weight as u32, $crate::boxed($strat))),+])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$((1u32, $crate::boxed($strat))),+])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} at {}:{}",
+                stringify!($cond), file!(), line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            lhs == rhs,
+            "assertion failed: `{:?} == {:?}` at {}:{}",
+            lhs, rhs, file!(), line!()
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(lhs == rhs, $($fmt)+);
+    }};
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let runner = $crate::TestRunner::new(config, concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..runner.cases() {
+                let mut rng = runner.rng_for_case(case);
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest case {}/{} of `{}` failed:\n{}",
+                        case + 1, runner.cases(), stringify!($name), e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::TestRng;
+
+    #[test]
+    fn ranges_and_maps_generate_in_bounds() {
+        let strat = (0i64..10).prop_map(|v| v * 2);
+        let mut rng = TestRng::from_seed(42);
+        for _ in 0..1000 {
+            let v = Strategy::generate(&strat, &mut rng);
+            assert!((0..20).contains(&v) && v % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn oneof_respects_zero_weight_avoidance() {
+        let strat = prop_oneof![
+            3 => (0i64..4).prop_map(Some),
+            1 => Just(None),
+        ];
+        let mut rng = TestRng::from_seed(7);
+        let draws: Vec<_> = (0..2000)
+            .map(|_| Strategy::generate(&strat, &mut rng))
+            .collect();
+        let nones = draws.iter().filter(|d| d.is_none()).count();
+        // Weight 1-in-4: expect roughly 500 Nones out of 2000.
+        assert!(nones > 300 && nones < 700, "got {nones} Nones");
+    }
+
+    #[test]
+    fn collections_respect_size_bounds() {
+        let strat = crate::collection::vec(0i64..5, 2..=6);
+        let mut rng = TestRng::from_seed(3);
+        for _ in 0..500 {
+            let v = Strategy::generate(&strat, &mut rng);
+            assert!((2..=6).contains(&v.len()));
+        }
+        let sets = crate::collection::btree_set(0i64..50, 0..8);
+        for _ in 0..500 {
+            let s = Strategy::generate(&sets, &mut rng);
+            assert!(s.len() < 8);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro pipeline itself: multiple args, weighted values.
+        #[test]
+        fn macro_roundtrip(a in 0i64..100, b in crate::collection::vec(0i64..10, 0..5)) {
+            prop_assert!((0..100).contains(&a));
+            prop_assert!(b.len() < 5);
+            prop_assert_eq!(b.iter().filter(|_| true).count(), b.len());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_case_panics_with_context() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            #[allow(unused)]
+            fn always_fails(a in 0i64..10) {
+                prop_assert!(a > 100, "a = {} is not > 100", a);
+            }
+        }
+        always_fails();
+    }
+}

@@ -51,9 +51,18 @@ fn costs_are_monotone_in_algorithm_strength() {
     for seed in 950..962 {
         let query = generate_query(&GenConfig::paper(7), seed);
         let opt = optimize(&query, Algorithm::EaPrune).plan.cost;
-        for algo in [Algorithm::DPhyp, Algorithm::H1, Algorithm::H2(1.01), Algorithm::H2(1.1)] {
+        for algo in [
+            Algorithm::DPhyp,
+            Algorithm::H1,
+            Algorithm::H2(1.01),
+            Algorithm::H2(1.1),
+        ] {
             let c = optimize(&query, algo).plan.cost;
-            assert!(opt <= c * (1.0 + 1e-9), "{}: {opt} > {c} (seed {seed})", algo.name());
+            assert!(
+                opt <= c * (1.0 + 1e-9),
+                "{}: {opt} > {c} (seed {seed})",
+                algo.name()
+            );
         }
     }
 }
@@ -86,8 +95,35 @@ fn pure_join_ordering_without_grouping() {
         let reference = query.canonical_plan().eval(&db);
         for algo in [Algorithm::DPhyp, Algorithm::H1, Algorithm::EaAll] {
             let opt = optimize(&query, algo);
-            assert!(opt.plan.root.eval(&db).bag_eq(&reference), "{}", algo.name());
-            assert_eq!(0, opt.plan.root.grouping_count(), "no grouping should appear");
+            assert!(
+                opt.plan.root.eval(&db).bag_eq(&reference),
+                "{}",
+                algo.name()
+            );
+            assert_eq!(
+                0,
+                opt.plan.root.grouping_count(),
+                "no grouping should appear"
+            );
         }
+    }
+}
+
+#[test]
+fn tpch_smoke_optimized_plans_match_oracle() {
+    // Workspace smoke test: on a small TPC-H-shaped instance (schema and
+    // data from `dpnext_catalog::tpch`, query shape from the paper's Q3),
+    // the plans of DPhyp and EA-Prune must execute to the same bag of
+    // tuples as the canonical (unoptimized) plan.
+    let q = dpnext::workload::q3();
+    let db = q.database(0.0015, 42);
+    let reference = q.query.canonical_plan().eval(&db);
+    for algo in [Algorithm::DPhyp, Algorithm::EaPrune] {
+        let opt = optimize(&q.query, algo);
+        assert!(
+            opt.plan.root.eval(&db).bag_eq(&reference),
+            "{} diverges from the oracle on TPC-H Q3",
+            algo.name()
+        );
     }
 }

@@ -9,7 +9,12 @@ fn ex_eager_plan_executes_correctly() {
     let ex = ex_query();
     let db = ex.database(0.003, 99);
     let reference = ex.query.canonical_plan().eval(&db);
-    for algo in [Algorithm::DPhyp, Algorithm::H1, Algorithm::H2(1.03), Algorithm::EaPrune] {
+    for algo in [
+        Algorithm::DPhyp,
+        Algorithm::H1,
+        Algorithm::H2(1.03),
+        Algorithm::EaPrune,
+    ] {
         let opt = optimize(&ex.query, algo);
         let res = opt.plan.root.eval(&db);
         assert!(res.bag_eq(&reference), "{} wrong on Ex", algo.name());
@@ -57,11 +62,7 @@ fn heuristics_match_optimum_on_tpch() {
     for q in table2_queries() {
         let ea = optimize(&q.query, Algorithm::EaPrune).plan.cost;
         let h2 = optimize(&q.query, Algorithm::H2(1.03)).plan.cost;
-        assert!(
-            h2 <= ea * 1.5 + 1e-9,
-            "{}: H2 {h2} vs EA {ea}",
-            q.name
-        );
+        assert!(h2 <= ea * 1.5 + 1e-9, "{}: H2 {h2} vs EA {ea}", q.name);
     }
 }
 
