@@ -8,8 +8,9 @@
 //!
 //! Usage: `ablation [--queries N] [--min N] [--max N] [--seed S]`.
 
+use dpnext::{Algorithm, DominanceKind, Optimizer};
 use dpnext_bench::Args;
-use dpnext_core::{fuse_groupjoins, optimize, optimize_with_pruning, Algorithm, DominanceKind};
+use dpnext_core::fuse_groupjoins;
 use dpnext_workload::{generate_query, GenConfig};
 
 fn main() {
@@ -31,7 +32,11 @@ fn main() {
         for q in 0..args.queries {
             let seed = args.seed + (n * 1000 + q) as u64;
             let query = generate_query(&cfg, seed);
-            let best = optimize(&query, Algorithm::EaAll).plan.cost;
+            let best = Optimizer::new(Algorithm::EaAll)
+                .explain(false)
+                .optimize(&query)
+                .plan
+                .cost;
             for (i, kind) in [
                 DominanceKind::Full,
                 DominanceKind::CostCard,
@@ -40,7 +45,10 @@ fn main() {
             .into_iter()
             .enumerate()
             {
-                let r = optimize_with_pruning(&query, kind);
+                let r = Optimizer::new(Algorithm::EaPrune)
+                    .dominance(kind)
+                    .explain(false)
+                    .optimize(&query);
                 if r.plan.cost > best * (1.0 + 1e-9) {
                     subopt[i] += 1;
                 }
@@ -70,7 +78,10 @@ fn main() {
         for q in 0..args.queries {
             let seed = args.seed + (n * 2000 + q) as u64;
             let query = generate_query(&cfg, seed);
-            let opt = optimize(&query, Algorithm::H1); // heuristics scale to all n
+            // Heuristics scale to all n; EXPLAIN is never read here.
+            let opt = Optimizer::new(Algorithm::H1)
+                .explain(false)
+                .optimize(&query);
             let (_, k) = fuse_groupjoins(&opt.plan.root);
             fusions += k;
             with_z += usize::from(k > 0);

@@ -1,0 +1,71 @@
+//! Bench smoke: one tiny fig15 configuration, emitted as machine-readable
+//! JSON so CI can archive a perf trajectory across PRs.
+//!
+//! Usage: `bench_smoke [--out PATH]` (default `BENCH_smoke.json`).
+//! Runs EA-Prune and DPhyp through the same `run_sweep` harness as the
+//! figure binaries (identical seed schedule) and records plans/sec, mean
+//! runtime and memo statistics per `(algorithm, n)` cell.
+
+use dpnext_bench::{run_sweep, AlgoSpec};
+use dpnext_core::Algorithm;
+use dpnext_workload::GenConfig;
+use std::fmt::Write as _;
+
+fn main() {
+    let mut out_path = "BENCH_smoke.json".to_string();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--out" => out_path = it.next().expect("missing value for --out"),
+            other => panic!("unknown flag {other} (supported: --out PATH)"),
+        }
+    }
+
+    let sizes = [3usize, 4, 5, 6];
+    let queries = 20;
+    let seed = 42u64;
+    let algos = [
+        AlgoSpec::new(Algorithm::EaPrune, *sizes.last().unwrap()),
+        AlgoSpec::new(Algorithm::DPhyp, *sizes.last().unwrap()),
+    ];
+    let result = run_sweep(&sizes, queries, seed, &algos, GenConfig::paper);
+
+    let mut json = String::from("{\n  \"workload\": \"fig15-smoke\",\n");
+    let _ = writeln!(json, "  \"sizes\": {sizes:?},");
+    let _ = writeln!(json, "  \"queries_per_size\": {queries},");
+    let _ = writeln!(json, "  \"seed\": {seed},");
+    json.push_str("  \"cells\": [\n");
+    let mut first = true;
+    for (ai, spec) in result.algos.iter().enumerate() {
+        for (si, n) in result.sizes.iter().enumerate() {
+            let Some(cell) = &result.cells[ai][si] else {
+                continue;
+            };
+            if !first {
+                json.push_str(",\n");
+            }
+            first = false;
+            let runtime_s = cell.mean_runtime.as_secs_f64();
+            let _ = write!(
+                json,
+                "    {{ \"algorithm\": \"{}\", \"n\": {n}, \"queries\": {}, \
+                 \"mean_runtime_us\": {:.3}, \"mean_plans_built\": {:.1}, \
+                 \"plans_per_sec\": {:.0}, \"mean_arena_plans\": {:.1}, \
+                 \"mean_peak_class_width\": {:.1}, \"mean_prune_hit_rate\": {:.4} }}",
+                spec.algo.name(),
+                cell.queries,
+                runtime_s * 1e6,
+                cell.mean_plans_built,
+                cell.mean_plans_built / runtime_s.max(1e-12),
+                cell.mean_arena_plans,
+                cell.mean_peak_class_width,
+                cell.mean_prune_hit_rate
+            );
+        }
+    }
+    json.push_str("\n  ]\n}\n");
+
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+}

@@ -5,7 +5,7 @@
 //! Paper setting: 10 000 queries per size, sizes 3..13. Defaults are
 //! laptop-friendly; pass larger values to tighten the averages.
 
-use dpnext_bench::{print_table, run_sweep, AlgoSpec, Args};
+use dpnext_bench::{print_memo_table, print_table, run_sweep, AlgoSpec, Args};
 use dpnext_core::Algorithm;
 use dpnext_workload::GenConfig;
 
@@ -46,4 +46,5 @@ fn main() {
             |c| { format!("{:.0}", c.max_rel_cost) }
         )
     );
+    println!("{}", print_memo_table(&result));
 }

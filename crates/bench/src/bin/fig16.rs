@@ -4,7 +4,7 @@
 //!
 //! Usage: `fig16 [--queries N] [--min N] [--max N] [--seed S]`.
 
-use dpnext_bench::{print_table, run_sweep, AlgoSpec, Args};
+use dpnext_bench::{print_memo_table, print_table, run_sweep, AlgoSpec, Args};
 use dpnext_core::Algorithm;
 use dpnext_workload::GenConfig;
 
@@ -41,4 +41,5 @@ fn main() {
             |c| { format!("{:.0}", c.mean_plans_built) }
         )
     );
+    println!("{}", print_memo_table(&result));
 }

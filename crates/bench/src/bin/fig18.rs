@@ -4,7 +4,7 @@
 //!
 //! Usage: `fig18 [--queries N] [--min N] [--max N] [--seed S]`.
 
-use dpnext_bench::{run_sweep, AlgoSpec, Args};
+use dpnext_bench::{print_memo_table, run_sweep, AlgoSpec, Args};
 use dpnext_core::Algorithm;
 use dpnext_workload::GenConfig;
 
@@ -33,4 +33,6 @@ fn main() {
         let t2 = h2.mean_runtime.as_secs_f64() * 1e6;
         println!("{n:>4} {t1:>14.1} {t2:>14.1} {:>10.3}", t2 / t1);
     }
+    println!();
+    println!("{}", print_memo_table(&result));
 }

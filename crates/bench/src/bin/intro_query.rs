@@ -8,7 +8,7 @@
 //! Usage: `intro_query [scale]` (default 0.02 = 200 suppliers,
 //! 3 000 customers).
 
-use dpnext_core::{optimize, Algorithm};
+use dpnext::{Algorithm, Optimizer};
 use dpnext_workload::ex_query;
 use std::time::Instant;
 
@@ -24,11 +24,11 @@ fn main() {
     for (name, plan) in [
         (
             "canonical (DPhyp)",
-            optimize(&ex.query, Algorithm::DPhyp).plan,
+            Optimizer::new(Algorithm::DPhyp).optimize(&ex.query).plan,
         ),
         (
             "eager (EA-Prune)",
-            optimize(&ex.query, Algorithm::EaPrune).plan,
+            Optimizer::new(Algorithm::EaPrune).optimize(&ex.query).plan,
         ),
     ] {
         let start = Instant::now();
@@ -41,8 +41,8 @@ fn main() {
         );
     }
 
-    let canonical = optimize(&ex.query, Algorithm::DPhyp);
-    let eager = optimize(&ex.query, Algorithm::EaPrune);
+    let canonical = Optimizer::new(Algorithm::DPhyp).optimize(&ex.query);
+    let eager = Optimizer::new(Algorithm::EaPrune).optimize(&ex.query);
     println!(
         "\nestimated C_out: canonical = {:.0}, eager = {:.0}, ratio = {:.0}x",
         canonical.plan.cost,

@@ -1,8 +1,8 @@
 //! Table 1: the `C_out` values of the Fig. 11 example, measured by
 //! executing both operator trees on the paper's exact relation instances.
 
+use dpnext::{Algorithm, Optimizer};
 use dpnext_algebra::{AggCall, AggKind, AlgExpr, AttrId, Expr, JoinPred};
-use dpnext_core::{optimize, Algorithm};
 use dpnext_workload::fig11::{fig11_database, fig11_query, A, D, DCOUNT, E, F};
 
 fn main() {
@@ -74,14 +74,17 @@ fn main() {
         Algorithm::H2(1.5),
         Algorithm::EaPrune,
     ] {
-        let opt = optimize(&q, algo);
+        let opt = Optimizer::new(algo).optimize(&q);
         let (_, measured) = opt.plan.root.eval_counting(&db);
         println!(
-            "{:<12} estimated={:>8.1}  measured={:>4}  top-grouping={}",
+            "{:<12} estimated={:>8.1}  measured={:>4}  top-grouping={}  memo={} plans (peak width {}, prune hits {:.0}%)",
             algo.name(),
             opt.plan.cost,
             measured,
-            opt.plan.top_grouping
+            opt.plan.top_grouping,
+            opt.memo.arena_plans,
+            opt.memo.peak_class_width,
+            100.0 * opt.memo.prune_hit_rate()
         );
     }
 }

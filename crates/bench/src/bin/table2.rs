@@ -1,7 +1,7 @@
 //! Table 2: optimization time and relative plan cost of EA(-Prune), H1,
 //! H2 and DPhyp on the TPC-H queries Ex, Q3, Q5 and Q10 (SF-1 statistics).
 
-use dpnext_core::{optimize, Algorithm, Optimized};
+use dpnext::{Algorithm, Optimized, Optimizer};
 use dpnext_workload::table2_queries;
 
 fn run(q: &dpnext_workload::TpchQuery, algo: Algorithm, reps: u32) -> (Optimized, f64) {
@@ -9,7 +9,7 @@ fn run(q: &dpnext_workload::TpchQuery, algo: Algorithm, reps: u32) -> (Optimized
     let mut best: Option<Optimized> = None;
     let mut times = Vec::with_capacity(reps as usize);
     for _ in 0..reps {
-        let r = optimize(&q.query, algo);
+        let r = Optimizer::new(algo).explain(false).optimize(&q.query);
         times.push(r.elapsed.as_secs_f64() * 1e3);
         best = Some(r);
     }

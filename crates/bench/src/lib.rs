@@ -7,4 +7,4 @@
 
 pub mod sweep;
 
-pub use sweep::{print_table, run_sweep, AlgoSpec, Args, Cell, SweepResult};
+pub use sweep::{print_memo_table, print_table, run_sweep, AlgoSpec, Args, Cell, SweepResult};

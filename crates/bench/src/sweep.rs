@@ -3,7 +3,8 @@
 //! the methodology of §5 (10 000 random trees per size in the paper; the
 //! sample size here is configurable).
 
-use dpnext_core::{optimize, Algorithm};
+use dpnext::Optimizer;
+use dpnext_core::Algorithm;
 use dpnext_workload::{generate_query, GenConfig};
 use std::time::Duration;
 
@@ -37,6 +38,13 @@ pub struct Cell {
     /// outliers").
     pub max_rel_cost: f64,
     pub mean_plans_built: f64,
+    /// Mean memo arena size at the end (retained DP state plus evicted
+    /// partial plans, which stay alive as children of later plans).
+    pub mean_arena_plans: f64,
+    /// Mean peak plan-class width.
+    pub mean_peak_class_width: f64,
+    /// Mean dominance-prune hit-rate (0 when the algorithm never prunes).
+    pub mean_prune_hit_rate: f64,
 }
 
 /// Results of a sweep: `cells[algo_index][size_index]` (None where the
@@ -63,6 +71,9 @@ pub fn run_sweep(
         let mut costs: Vec<Vec<f64>> = vec![Vec::new(); algos.len()];
         let mut times: Vec<Duration> = vec![Duration::ZERO; algos.len()];
         let mut plans: Vec<f64> = vec![0.0; algos.len()];
+        let mut arena: Vec<f64> = vec![0.0; algos.len()];
+        let mut width: Vec<f64> = vec![0.0; algos.len()];
+        let mut hits: Vec<f64> = vec![0.0; algos.len()];
         for q in 0..queries {
             let seed = base_seed
                 .wrapping_add(n as u64 * 1_000_003)
@@ -72,10 +83,14 @@ pub fn run_sweep(
                 if n > spec.max_n {
                     continue;
                 }
-                let r = optimize(&query, spec.algo);
+                // EXPLAIN rendering off: sweeps time the search itself.
+                let r = Optimizer::new(spec.algo).explain(false).optimize(&query);
                 costs[ai].push(r.plan.cost);
                 times[ai] += r.elapsed;
                 plans[ai] += r.plans_built as f64;
+                arena[ai] += r.memo.arena_plans as f64;
+                width[ai] += r.memo.peak_class_width as f64;
+                hits[ai] += r.memo.prune_hit_rate();
             }
         }
         for (ai, spec) in algos.iter().enumerate() {
@@ -100,6 +115,9 @@ pub fn run_sweep(
                 arith_rel_cost: rel_sum / m as f64,
                 max_rel_cost: rel_max,
                 mean_plans_built: plans[ai] / m as f64,
+                mean_arena_plans: arena[ai] / m as f64,
+                mean_peak_class_width: width[ai] / m as f64,
+                mean_prune_hit_rate: hits[ai] / m as f64,
             });
         }
     }
@@ -131,6 +149,24 @@ pub fn print_table(title: &str, result: &SweepResult, value: impl Fn(&Cell) -> S
         out.push('\n');
     }
     out
+}
+
+/// Render the memo statistics of a sweep (arena size, peak class width,
+/// prune hit-rate) as `arena/width/hit%` cells — the standard supplement
+/// the figure binaries print after their headline table.
+pub fn print_memo_table(result: &SweepResult) -> String {
+    print_table(
+        "Memo — mean arena plans / peak class width / prune hit-rate",
+        result,
+        |c| {
+            format!(
+                "{:.0}/{:.0}/{:.0}%",
+                c.mean_arena_plans,
+                c.mean_peak_class_width,
+                100.0 * c.mean_prune_hit_rate
+            )
+        },
+    )
 }
 
 /// Tiny command-line parsing: `--queries N --min N --max N --seed N`.

@@ -1,16 +1,18 @@
-//! The plan generators of §4: the DPhyp baseline (Fig. 5, no eager
+//! The plan generators of §4, reduced to **one** enumeration engine over
+//! the arena-backed [`Memo`]: the DPhyp baseline (Fig. 5, no eager
 //! aggregation), complete enumeration EA-All (Fig. 9), the
 //! optimality-preserving EA-Prune (Figs. 13/14), and the heuristics H1
-//! (Fig. 10) and H2 (Fig. 12).
+//! (Fig. 10) and H2 (Fig. 12) are all instances of the engine with a
+//! different [`ClassPolicy`].
 
 use crate::context::OptContext;
 use crate::finalize::{finalize, FinalPlan};
-use crate::optrees::{op_tree_plain, op_trees};
-use crate::plan::{make_scan, Plan};
+use crate::memo::{DominanceKind, Memo, MemoStats, PlanId};
+use crate::optrees::op_trees;
+use crate::plan::{make_apply, make_scan};
 use dpnext_conflict::applicable_ops;
 use dpnext_hypergraph::{enumerate_ccps, NodeSet};
 use dpnext_query::{OpKind, Query};
-use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 /// The available plan-generation algorithms.
@@ -47,65 +49,78 @@ impl Algorithm {
 pub struct Optimized {
     pub plan: FinalPlan,
     /// Annotated EXPLAIN rendering of the winning logical plan (per-node
-    /// cardinality/cost estimates, keys, aggregation state).
+    /// cardinality/cost estimates, keys, aggregation state). Empty when
+    /// rendering was disabled via [`OptimizeOptions::explain`].
     pub explain: String,
     /// Plans constructed during the search (joins + groupings).
     pub plans_built: u64,
     /// Plans retained in the DP table at the end.
     pub retained_plans: u64,
+    /// Memo statistics: arena size, peak class width, prune hit-rate.
+    pub memo: MemoStats,
     pub elapsed: Duration,
 }
 
-/// Which conditions the dominance test of Def. 4 applies. `Full` is the
-/// paper's (optimality-preserving) criterion; the weaker variants exist
-/// for the ablation study in `dpnext-bench` — they prune harder but can
-/// lose the optimal plan.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum DominanceKind {
-    /// Cost + cardinality + duplicate-freeness + key implication (§4.6).
-    Full,
-    /// Cost + cardinality only (ignores functional dependencies).
-    CostCard,
-    /// Cost only (Bellman-style pruning; equivalent to keeping the single
-    /// cheapest plan per class when ties collapse).
-    CostOnly,
+/// Knobs of [`optimize_with`] beyond the algorithm choice.
+#[derive(Debug, Clone, Copy)]
+pub struct OptimizeOptions {
+    /// Dominance criterion used by [`Algorithm::EaPrune`] (ablation
+    /// interface; the paper's criterion is [`DominanceKind::Full`]).
+    pub dominance: DominanceKind,
+    /// Render the EXPLAIN string (skip for pure benchmarking runs).
+    pub explain: bool,
 }
 
-/// Optimize `query` with the chosen algorithm.
-pub fn optimize(query: &Query, algo: Algorithm) -> Optimized {
-    let ctx = OptContext::new(query.clone());
-    let start = Instant::now();
-    let ((plan, logical), retained) = match algo {
-        Algorithm::DPhyp => run_single(&ctx, false, None),
-        Algorithm::H1 => run_single(&ctx, true, None),
-        Algorithm::H2(f) => run_single(&ctx, true, Some(f)),
-        Algorithm::EaAll => run_multi(&ctx, None),
-        Algorithm::EaPrune => run_multi(&ctx, Some(DominanceKind::Full)),
-    };
-    let plans_built = *ctx.plans_built.borrow();
-    let explain = crate::explain::explain(&ctx, &logical);
-    Optimized {
-        plan,
-        explain,
-        plans_built,
-        retained_plans: retained,
-        elapsed: start.elapsed(),
+impl Default for OptimizeOptions {
+    fn default() -> Self {
+        OptimizeOptions {
+            dominance: DominanceKind::Full,
+            explain: true,
+        }
     }
+}
+
+/// Optimize `query` with the chosen algorithm and default options.
+pub fn optimize(query: &Query, algo: Algorithm) -> Optimized {
+    optimize_with(query, algo, &OptimizeOptions::default())
 }
 
 /// EA-Prune with a configurable dominance criterion (ablation interface;
 /// `DominanceKind::Full` is exactly [`Algorithm::EaPrune`]).
 pub fn optimize_with_pruning(query: &Query, kind: DominanceKind) -> Optimized {
+    optimize_with(
+        query,
+        Algorithm::EaPrune,
+        &OptimizeOptions {
+            dominance: kind,
+            explain: true,
+        },
+    )
+}
+
+/// Optimize `query` with explicit [`OptimizeOptions`].
+pub fn optimize_with(query: &Query, algo: Algorithm, opts: &OptimizeOptions) -> Optimized {
     let ctx = OptContext::new(query.clone());
     let start = Instant::now();
-    let ((plan, logical), retained) = run_multi(&ctx, Some(kind));
+    let (memo, (plan, logical), retained) = match algo {
+        Algorithm::DPhyp => run_single(&ctx, false, None),
+        Algorithm::H1 => run_single(&ctx, true, None),
+        Algorithm::H2(f) => run_single(&ctx, true, Some(f)),
+        Algorithm::EaAll => run_multi(&ctx, None),
+        Algorithm::EaPrune => run_multi(&ctx, Some(opts.dominance)),
+    };
     let plans_built = *ctx.plans_built.borrow();
-    let explain = crate::explain::explain(&ctx, &logical);
+    let explain = if opts.explain {
+        crate::explain::explain(&ctx, &memo, logical)
+    } else {
+        String::new()
+    };
     Optimized {
         plan,
         explain,
         plans_built,
         retained_plans: retained,
+        memo: memo.stats(),
         elapsed: start.elapsed(),
     }
 }
@@ -149,61 +164,190 @@ fn orientations(
     }
 }
 
-/// Single-plan-per-class DP: DPhyp baseline (`eager = false`), H1
-/// (`eager = true`), H2 (`factor = Some(F)`).
-fn run_single(ctx: &OptContext, eager: bool, factor: Option<f64>) -> ((FinalPlan, Plan), u64) {
+/// What a plan class keeps, and what happens to complete plans — the only
+/// part in which the five generators differ. The engine drives the
+/// enumeration; the policy decides retention.
+trait ClassPolicy {
+    /// Generate all eager-aggregation variants (`OpTrees`, Fig. 6) or only
+    /// the plain operator tree (the DPhyp baseline)?
+    fn eager(&self) -> bool;
+    /// A new plan for the (incomplete) class `s` was built.
+    fn insert(&mut self, ctx: &OptContext, memo: &mut Memo, s: NodeSet, id: PlanId);
+    /// A plan covering the full relation set with every operator applied.
+    /// Returns whether the policy kept a reference to `id`; when no plan
+    /// of a full-set pair is kept, the engine rolls the arena back.
+    fn complete(&mut self, ctx: &OptContext, memo: &mut Memo, id: PlanId) -> bool;
+}
+
+/// The single generic enumeration loop: seed scan classes, then walk every
+/// csg-cmp-pair (DPhyp order), build the policy's plan variants for every
+/// pair of retained subplans, and hand them to the policy. Plan classes
+/// are id lists in the memo; the per-pair snapshots are plain `PlanId`
+/// copies into reusable scratch buffers — no plan data is ever cloned.
+fn enumerate_plans<P: ClassPolicy>(ctx: &OptContext, memo: &mut Memo, policy: &mut P) {
     let n = ctx.query.table_count();
     let full = NodeSet::full(n);
-    let mut table: HashMap<NodeSet, Plan> = HashMap::new();
     for i in 0..n {
-        table.insert(NodeSet::single(i), make_scan(ctx, i));
+        let id = make_scan(ctx, memo, i);
+        memo.class_push(NodeSet::single(i), id);
     }
     if n == 1 {
-        let scan = table[&full].clone();
-        let plan = finalize(ctx, &scan);
-        return ((plan, scan), 1);
+        return;
     }
-
-    let mut best_final: Option<(FinalPlan, Plan)> = None;
+    let mut lefts: Vec<PlanId> = Vec::new();
+    let mut rights: Vec<PlanId> = Vec::new();
+    let mut trees: Vec<PlanId> = Vec::new();
     enumerate_ccps(&ctx.cq.graph, |s1, s2| {
         for (sl, sr, op, extra) in orientations(ctx, s1, s2) {
-            let (Some(t1), Some(t2)) = (table.get(&sl), table.get(&sr)) else {
+            lefts.clear();
+            lefts.extend_from_slice(memo.class(sl));
+            rights.clear();
+            rights.extend_from_slice(memo.class(sr));
+            if lefts.is_empty() || rights.is_empty() {
                 continue;
-            };
-            let candidates = if eager {
-                op_trees(ctx, op, &extra, t1, t2)
-            } else {
-                op_tree_plain(ctx, op, &extra, t1, t2).into_iter().collect()
-            };
+            }
             let s = sl.union(sr);
-            for t in candidates {
-                if s == full {
-                    if !all_ops_applied(ctx, &t) {
-                        continue;
+            for &t1 in &lefts {
+                for &t2 in &rights {
+                    // Complete plans never enter a class: unless the policy
+                    // keeps one, the whole pair's plans are reclaimed.
+                    let mark = (s == full).then(|| memo.arena_len());
+                    trees.clear();
+                    if policy.eager() {
+                        op_trees(ctx, memo, op, &extra, t1, t2, &mut trees);
+                    } else if let Some(t) = make_apply(ctx, memo, op, &extra, t1, t2) {
+                        trees.push(t);
                     }
-                    let f = finalize(ctx, &t);
-                    if best_final.as_ref().is_none_or(|(b, _)| f.cost < b.cost) {
-                        best_final = Some((f, t));
-                    }
-                } else {
-                    match table.get(&s) {
-                        None => {
-                            table.insert(s, t);
-                        }
-                        Some(cur) => {
-                            if compare_adjusted(&t, cur, factor) {
-                                table.insert(s, t);
+                    let mut kept = false;
+                    for &t in &trees {
+                        if s == full {
+                            if all_ops_applied(ctx, memo[t].applied) {
+                                kept |= policy.complete(ctx, memo, t);
                             }
+                        } else {
+                            policy.insert(ctx, memo, s, t);
+                        }
+                    }
+                    if let Some(mark) = mark {
+                        if !kept {
+                            memo.truncate(mark);
                         }
                     }
                 }
             }
         }
     });
+}
 
-    let retained = table.len() as u64;
-    match best_final {
-        Some(best) => (best, retained),
+/// Keep the cheapest finalized plan (ties resolved to the earlier one).
+/// Returns whether `id` became the new best.
+fn keep_best(
+    best: &mut Option<(FinalPlan, PlanId)>,
+    ctx: &OptContext,
+    memo: &Memo,
+    id: PlanId,
+) -> bool {
+    let f = finalize(ctx, memo, id);
+    if best.as_ref().is_none_or(|(b, _)| f.cost < b.cost) {
+        *best = Some((f, id));
+        return true;
+    }
+    false
+}
+
+/// Single-plan-per-class policy: DPhyp baseline (`eager = false`), H1
+/// (`eager = true`), H2 (`factor = Some(F)`, Fig. 12).
+struct SingleBest {
+    eager: bool,
+    factor: Option<f64>,
+    best: Option<(FinalPlan, PlanId)>,
+}
+
+impl ClassPolicy for SingleBest {
+    fn eager(&self) -> bool {
+        self.eager
+    }
+
+    fn insert(&mut self, _ctx: &OptContext, memo: &mut Memo, s: NodeSet, id: PlanId) {
+        match memo.class(s).first().copied() {
+            None => memo.class_push(s, id),
+            Some(cur) => {
+                if compare_adjusted(memo, id, cur, self.factor) {
+                    memo.class_set_single(s, id);
+                }
+            }
+        }
+    }
+
+    fn complete(&mut self, ctx: &OptContext, memo: &mut Memo, id: PlanId) -> bool {
+        keep_best(&mut self.best, ctx, memo, id)
+    }
+}
+
+/// Multi-plan policy: EA-All (`prune = None`, Fig. 9) and EA-Prune
+/// (`prune = Some(kind)`, Figs. 13/14).
+struct MultiBest {
+    prune: Option<DominanceKind>,
+    guard_groupjoin: bool,
+    best: Option<(FinalPlan, PlanId)>,
+}
+
+impl ClassPolicy for MultiBest {
+    fn eager(&self) -> bool {
+        true
+    }
+
+    fn insert(&mut self, _ctx: &OptContext, memo: &mut Memo, s: NodeSet, id: PlanId) {
+        match self.prune {
+            Some(kind) => memo.class_prune_insert(s, id, kind, self.guard_groupjoin),
+            None => memo.class_push(s, id),
+        }
+    }
+
+    fn complete(&mut self, ctx: &OptContext, memo: &mut Memo, id: PlanId) -> bool {
+        keep_best(&mut self.best, ctx, memo, id)
+    }
+}
+
+/// Collect-everything policy for [`all_subplans`]: every class keeps every
+/// plan and complete plans are gathered instead of finalized.
+struct CollectAll {
+    complete: Vec<PlanId>,
+}
+
+impl ClassPolicy for CollectAll {
+    fn eager(&self) -> bool {
+        true
+    }
+
+    fn insert(&mut self, _ctx: &OptContext, memo: &mut Memo, s: NodeSet, id: PlanId) {
+        memo.class_push(s, id);
+    }
+
+    fn complete(&mut self, _ctx: &OptContext, _memo: &mut Memo, id: PlanId) -> bool {
+        self.complete.push(id);
+        true
+    }
+}
+
+fn run_single(
+    ctx: &OptContext,
+    eager: bool,
+    factor: Option<f64>,
+) -> (Memo, (FinalPlan, PlanId), u64) {
+    let mut memo = Memo::new();
+    let mut policy = SingleBest {
+        eager,
+        factor,
+        best: None,
+    };
+    enumerate_plans(ctx, &mut memo, &mut policy);
+    if ctx.query.table_count() == 1 {
+        return finalize_single_table(ctx, memo);
+    }
+    let retained = memo.class_count();
+    match policy.best {
+        Some(best) => (memo, best, retained),
         // Eager single-plan search can dead-end when a groupjoin's right
         // side only has a pre-aggregated plan; fall back to the baseline.
         None if eager => run_single(ctx, false, None),
@@ -211,157 +355,86 @@ fn run_single(ctx: &OptContext, eager: bool, factor: Option<f64>) -> ((FinalPlan
     }
 }
 
-/// A complete plan must have applied every operator of the query exactly
-/// once — a plan reaching the full relation set with a missing predicate
-/// (possible only for pathological hyperedge/cut interactions) is invalid
-/// and discarded.
-fn all_ops_applied(ctx: &OptContext, t: &Plan) -> bool {
-    let n_ops = ctx.cq.ops.len();
-    let all = if n_ops >= 64 {
-        u64::MAX
-    } else {
-        (1u64 << n_ops) - 1
-    };
-    t.applied == all
-}
-
-/// `CompareAdjustedCosts` (Fig. 12): should `new` replace `old`?
-/// Without a factor this is the plain cost comparison of H1 (Fig. 10).
-fn compare_adjusted(new: &Plan, old: &Plan, factor: Option<f64>) -> bool {
-    let Some(f) = factor else {
-        return new.cost < old.cost;
-    };
-    let (en, eo) = (new.eagerness(), old.eagerness());
-    if en == eo {
-        new.cost < old.cost
-    } else if en < eo {
-        // `new` is less eager: its cost is adjusted (penalized) by F.
-        f * new.cost < old.cost
-    } else {
-        new.cost < f * old.cost
-    }
-}
-
-/// Multi-plan DP: EA-All (`prune = None`, Fig. 9) and EA-Prune
-/// (`prune = Some(kind)`, Figs. 13/14).
-fn run_multi(ctx: &OptContext, prune: Option<DominanceKind>) -> ((FinalPlan, Plan), u64) {
-    let n = ctx.query.table_count();
-    let full = NodeSet::full(n);
+fn run_multi(ctx: &OptContext, prune: Option<DominanceKind>) -> (Memo, (FinalPlan, PlanId), u64) {
     let guard_groupjoin = ctx.cq.ops.iter().any(|o| o.op == OpKind::GroupJoin);
-    let mut table: HashMap<NodeSet, Vec<Plan>> = HashMap::new();
-    for i in 0..n {
-        table.insert(NodeSet::single(i), vec![make_scan(ctx, i)]);
+    let mut memo = Memo::new();
+    let mut policy = MultiBest {
+        prune,
+        guard_groupjoin,
+        best: None,
+    };
+    enumerate_plans(ctx, &mut memo, &mut policy);
+    if ctx.query.table_count() == 1 {
+        return finalize_single_table(ctx, memo);
     }
-    if n == 1 {
-        let scan = table[&full][0].clone();
-        let plan = finalize(ctx, &scan);
-        return ((plan, scan), 1);
-    }
+    let retained = memo.retained();
+    let best = policy
+        .best
+        .expect("no plan found: query graph disconnected or over-constrained");
+    (memo, best, retained)
+}
 
-    let mut best_final: Option<(FinalPlan, Plan)> = None;
-    enumerate_ccps(&ctx.cq.graph, |s1, s2| {
-        for (sl, sr, op, extra) in orientations(ctx, s1, s2) {
-            let (Some(lefts), Some(rights)) = (table.get(&sl), table.get(&sr)) else {
-                continue;
-            };
-            let (lefts, rights) = (lefts.clone(), rights.clone());
-            let s = sl.union(sr);
-            for t1 in &lefts {
-                for t2 in &rights {
-                    for t in op_trees(ctx, op, &extra, t1, t2) {
-                        if s == full {
-                            if !all_ops_applied(ctx, &t) {
-                                continue;
-                            }
-                            let f = finalize(ctx, &t);
-                            if best_final.as_ref().is_none_or(|(b, _)| f.cost < b.cost) {
-                                best_final = Some((f, t));
-                            }
-                        } else {
-                            let list = table.entry(s).or_default();
-                            match prune {
-                                Some(kind) => prune_dominated(list, t, kind, guard_groupjoin),
-                                None => list.push(t),
-                            }
-                        }
-                    }
-                }
-            }
-        }
-    });
-
-    let retained = table.values().map(|v| v.len() as u64).sum();
-    let best = best_final.expect("no plan found: query graph disconnected or over-constrained");
-    (best, retained)
+/// Degenerate single-table query: the scan is the complete plan.
+fn finalize_single_table(ctx: &OptContext, memo: Memo) -> (Memo, (FinalPlan, PlanId), u64) {
+    let id = memo.class(NodeSet::full(1))[0];
+    let plan = finalize(ctx, &memo, id);
+    (memo, (plan, id), 1)
 }
 
 /// Enumerate every plan EA-All would consider, for diagnostics and for
 /// property tests that validate per-plan claims (keys, duplicate-freeness)
-/// against executed results. Exponential — small queries only.
-pub fn all_subplans(query: &Query) -> (OptContext, Vec<Plan>) {
+/// against executed results. Exponential — small queries only. Returns the
+/// memo owning the plans plus every enumerated id (partial and complete).
+pub fn all_subplans(query: &Query) -> (OptContext, Memo, Vec<PlanId>) {
     let ctx = OptContext::new(query.clone());
-    let n = ctx.query.table_count();
-    let full = NodeSet::full(n);
-    let mut table: HashMap<NodeSet, Vec<Plan>> = HashMap::new();
-    let mut complete: Vec<Plan> = Vec::new();
-    for i in 0..n {
-        table.insert(NodeSet::single(i), vec![make_scan(&ctx, i)]);
-    }
-    enumerate_ccps(&ctx.cq.graph, |s1, s2| {
-        for (sl, sr, op, extra) in orientations(&ctx, s1, s2) {
-            let (Some(lefts), Some(rights)) = (table.get(&sl), table.get(&sr)) else {
-                continue;
-            };
-            let (lefts, rights) = (lefts.clone(), rights.clone());
-            let s = sl.union(sr);
-            for t1 in &lefts {
-                for t2 in &rights {
-                    for t in op_trees(&ctx, op, &extra, t1, t2) {
-                        if s == full {
-                            if all_ops_applied(&ctx, &t) {
-                                complete.push(t);
-                            }
-                        } else {
-                            table.entry(s).or_default().push(t);
-                        }
-                    }
-                }
-            }
-        }
-    });
-    let mut plans: Vec<Plan> = table.into_values().flatten().collect();
-    plans.extend(complete);
-    (ctx, plans)
+    let mut memo = Memo::new();
+    let mut policy = CollectAll {
+        complete: Vec::new(),
+    };
+    enumerate_plans(&ctx, &mut memo, &mut policy);
+    let mut plans = memo.retained_ids();
+    plans.extend(policy.complete);
+    (ctx, memo, plans)
 }
 
-/// Dominance (Def. 4): `a` dominates `b` when it is at most as expensive,
-/// at most as large, duplicate-free whenever `b` is, and its key set
-/// implies `b`'s (the practical weakening of `FD⁺(a) ⊇ FD⁺(b)` suggested
-/// in §4.6). In the presence of groupjoins a pre-aggregated plan must not
-/// shadow a raw plan (the groupjoin needs raw right inputs).
-fn dominates(a: &Plan, b: &Plan, kind: DominanceKind, guard_groupjoin: bool) -> bool {
-    if guard_groupjoin && a.has_grouping && !b.has_grouping {
-        return false;
-    }
-    match kind {
-        DominanceKind::CostOnly => a.cost <= b.cost,
-        DominanceKind::CostCard => a.cost <= b.cost && a.card <= b.card,
-        DominanceKind::Full => {
-            a.cost <= b.cost
-                && a.card <= b.card
-                && (a.keyinfo.duplicate_free || !b.keyinfo.duplicate_free)
-                && a.keyinfo.keys.implies(&b.keyinfo.keys)
-        }
+/// The width-safe all-operators-applied mask: `n_ops` low bits set.
+/// `u64` tracking caps the operator count at 64; [`OptContext::new`]
+/// asserts the bound so a too-wide query fails loudly instead of letting
+/// `1 << op_idx` wrap and corrupt the bookkeeping.
+pub fn applied_ops_mask(n_ops: usize) -> u64 {
+    assert!(
+        n_ops <= 64,
+        "applied-operator tracking supports at most 64 operators, got {n_ops}"
+    );
+    if n_ops == 0 {
+        0
+    } else {
+        u64::MAX >> (64 - n_ops)
     }
 }
 
-/// `PruneDominatedPlans` (Fig. 13).
-fn prune_dominated(list: &mut Vec<Plan>, t: Plan, kind: DominanceKind, guard_groupjoin: bool) {
-    for old in list.iter() {
-        if dominates(old, &t, kind, guard_groupjoin) {
-            return;
-        }
+/// A complete plan must have applied every operator of the query exactly
+/// once — a plan reaching the full relation set with a missing predicate
+/// (possible only for pathological hyperedge/cut interactions) is invalid
+/// and discarded.
+fn all_ops_applied(ctx: &OptContext, applied: u64) -> bool {
+    applied == applied_ops_mask(ctx.cq.ops.len())
+}
+
+/// `CompareAdjustedCosts` (Fig. 12): should `new` replace `old`?
+/// Without a factor this is the plain cost comparison of H1 (Fig. 10).
+fn compare_adjusted(memo: &Memo, new: PlanId, old: PlanId, factor: Option<f64>) -> bool {
+    let (nc, oc) = (memo[new].cost, memo[old].cost);
+    let Some(f) = factor else {
+        return nc < oc;
+    };
+    let (en, eo) = (memo.eagerness(new), memo.eagerness(old));
+    if en == eo {
+        nc < oc
+    } else if en < eo {
+        // `new` is less eager: its cost is adjusted (penalized) by F.
+        f * nc < oc
+    } else {
+        nc < f * oc
     }
-    list.retain(|old| !dominates(&t, old, kind, guard_groupjoin));
-    list.push(t);
 }

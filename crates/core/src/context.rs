@@ -34,6 +34,14 @@ pub struct OptContext {
 impl OptContext {
     pub fn new(query: Query) -> Self {
         let cq = detect(&query);
+        // Applied-operator tracking uses a u64 bitmask (`MemoPlan::applied`);
+        // beyond 64 operators the `1 << op_idx` shifts would wrap silently
+        // and `all_ops_applied` could accept plans that dropped a predicate.
+        assert!(
+            cq.ops.len() <= 64,
+            "query has {} operators; applied-operator tracking supports at most 64",
+            cq.ops.len()
+        );
         let origins = query.attr_origins();
         let mut base_distinct = HashMap::new();
         for t in &query.tables {

@@ -4,22 +4,23 @@
 
 use crate::aggstate::AggPos;
 use crate::context::OptContext;
-use crate::plan::{Plan, PlanNode};
+use crate::memo::{Memo, PlanId, PlanNode};
 use std::fmt::Write;
 
 /// Render an annotated explanation of a logical plan.
-pub fn explain(ctx: &OptContext, plan: &Plan) -> String {
+pub fn explain(ctx: &OptContext, memo: &Memo, id: PlanId) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
         "{:<52} {:>12} {:>12}  properties",
         "operator", "est. rows", "C_out"
     );
-    walk(ctx, plan, 0, &mut out);
+    walk(ctx, memo, id, 0, &mut out);
     out
 }
 
-fn walk(ctx: &OptContext, plan: &Plan, depth: usize, out: &mut String) {
+fn walk(ctx: &OptContext, memo: &Memo, id: PlanId, depth: usize, out: &mut String) {
+    let plan = &memo[id];
     let pad = "  ".repeat(depth);
     let label = match &plan.node {
         PlanNode::Scan { table } => format!("{pad}Scan {}", ctx.query.tables[*table].alias),
@@ -68,9 +69,9 @@ fn walk(ctx: &OptContext, plan: &Plan, depth: usize, out: &mut String) {
     match &plan.node {
         PlanNode::Scan { .. } => {}
         PlanNode::Apply { left, right, .. } => {
-            walk(ctx, left, depth + 1, out);
-            walk(ctx, right, depth + 1, out);
+            walk(ctx, memo, *left, depth + 1, out);
+            walk(ctx, memo, *right, depth + 1, out);
         }
-        PlanNode::Group { input, .. } => walk(ctx, input, depth + 1, out),
+        PlanNode::Group { input, .. } => walk(ctx, memo, *input, depth + 1, out),
     }
 }

@@ -3,7 +3,7 @@
 
 use crate::aggstate::{final_agg_vector, final_map_exprs};
 use crate::context::OptContext;
-use crate::plan::{Plan, PlanNode};
+use crate::memo::{Memo, PlanId, PlanNode};
 use dpnext_algebra::AlgExpr;
 use dpnext_cost::{distinct_in, grouping_card};
 use dpnext_keys::needs_grouping;
@@ -25,11 +25,12 @@ pub struct FinalPlan {
 /// Compile a DP plan into an executable algebra tree. Outerjoins receive
 /// the `F¹({⊥})`/`c : 1` default vectors for every pre-aggregated column of
 /// a padded side (the generalized outerjoins of §2.2).
-pub fn compile(ctx: &OptContext, plan: &Plan) -> AlgExpr {
+pub fn compile(ctx: &OptContext, memo: &Memo, id: PlanId) -> AlgExpr {
+    let plan = &memo[id];
     match &plan.node {
         PlanNode::Scan { table } => AlgExpr::scan(ctx.query.tables[*table].alias.clone()),
         PlanNode::Group { attrs, aggs, input } => AlgExpr::GroupBy {
-            input: Box::new(compile(ctx, input)),
+            input: Box::new(compile(ctx, memo, *input)),
             attrs: attrs.clone(),
             aggs: aggs.clone(),
         },
@@ -40,8 +41,8 @@ pub fn compile(ctx: &OptContext, plan: &Plan) -> AlgExpr {
             left,
             right,
         } => {
-            let l = Box::new(compile(ctx, left));
-            let r = Box::new(compile(ctx, right));
+            let l = Box::new(compile(ctx, memo, *left));
+            let r = Box::new(compile(ctx, memo, *right));
             let pred = pred.clone();
             match op {
                 OpKind::Join => AlgExpr::InnerJoin {
@@ -63,14 +64,14 @@ pub fn compile(ctx: &OptContext, plan: &Plan) -> AlgExpr {
                     left: l,
                     right: r,
                     pred,
-                    defaults: right.agg.padding_defaults(ctx.aggs()),
+                    defaults: memo[*right].agg.padding_defaults(ctx.aggs()),
                 },
                 OpKind::FullOuter => AlgExpr::FullOuterJoin {
                     left: l,
                     right: r,
                     pred,
-                    d1: left.agg.padding_defaults(ctx.aggs()),
-                    d2: right.agg.padding_defaults(ctx.aggs()),
+                    d1: memo[*left].agg.padding_defaults(ctx.aggs()),
+                    d2: memo[*right].agg.padding_defaults(ctx.aggs()),
                 },
                 OpKind::GroupJoin => AlgExpr::GroupJoin {
                     left: l,
@@ -88,8 +89,9 @@ pub fn compile(ctx: &OptContext, plan: &Plan) -> AlgExpr {
 /// with the state-adjusted aggregation vector, or — when `G` contains a
 /// key of a duplicate-free result — replace it by a map + projection
 /// (Eqv. 42, `InsertTopLevelPlan` of Fig. 9).
-pub fn finalize(ctx: &OptContext, plan: &Plan) -> FinalPlan {
-    let mut root = compile(ctx, plan);
+pub fn finalize(ctx: &OptContext, memo: &Memo, id: PlanId) -> FinalPlan {
+    let plan = &memo[id];
+    let mut root = compile(ctx, memo, id);
     let Some(g) = &ctx.query.grouping else {
         return FinalPlan {
             root,

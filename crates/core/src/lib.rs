@@ -23,6 +23,7 @@ pub mod context;
 pub mod explain;
 pub mod finalize;
 pub mod fusion;
+pub mod memo;
 pub mod optrees;
 pub mod plan;
 
@@ -30,10 +31,12 @@ pub mod plan;
 mod tests;
 
 pub use algo::{
-    all_subplans, optimize, optimize_with_pruning, Algorithm, DominanceKind, Optimized,
+    all_subplans, applied_ops_mask, optimize, optimize_with, optimize_with_pruning, Algorithm,
+    OptimizeOptions, Optimized,
 };
 pub use context::OptContext;
 pub use explain::explain;
 pub use finalize::{compile, finalize, FinalPlan};
 pub use fusion::fuse_groupjoins;
-pub use plan::{make_apply, make_group, make_scan, Plan, PlanData, PlanNode};
+pub use memo::{DominanceKind, Memo, MemoPlan, MemoStats, PlanId, PlanNode};
+pub use plan::{make_apply, make_group, make_scan};

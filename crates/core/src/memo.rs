@@ -1,0 +1,282 @@
+//! The arena-backed DP memo: plans are [`PlanId`] indices into a
+//! contiguous arena, plan classes are per-[`NodeSet`] id lists owned by
+//! the memo, and dominance pruning (Fig. 13) operates on ids without
+//! cloning plan-class vectors.
+//!
+//! The memo is the optimizer's single source of truth for DP state; the
+//! enumeration engine in [`crate::algo`] only decides *which* plans to
+//! build and which ids a class keeps.
+
+use crate::aggstate::AggState;
+use dpnext_algebra::{AggCall, AttrId, JoinPred};
+use dpnext_hypergraph::NodeSet;
+use dpnext_keys::KeyInfo;
+use dpnext_query::OpKind;
+use std::collections::HashMap;
+use std::ops::Index;
+
+/// Index of a plan in the memo arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PlanId(u32);
+
+impl PlanId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One operator of a plan tree; children are arena indices.
+#[derive(Debug, Clone)]
+pub enum PlanNode {
+    /// Scan of a table occurrence.
+    Scan { table: usize },
+    /// A binary operator application with the (oriented, merged) predicate.
+    Apply {
+        op: OpKind,
+        pred: JoinPred,
+        gj_aggs: Vec<AggCall>,
+        left: PlanId,
+        right: PlanId,
+    },
+    /// An eager-aggregation grouping `Γ_{G⁺(S); F¹ ∘ (c : count(*))}`.
+    Group {
+        attrs: Vec<AttrId>,
+        aggs: Vec<AggCall>,
+        input: PlanId,
+    },
+}
+
+/// A plan plus its derived logical properties — one arena entry.
+#[derive(Debug, Clone)]
+pub struct MemoPlan {
+    pub node: PlanNode,
+    /// Relations covered.
+    pub set: NodeSet,
+    /// Estimated output cardinality.
+    pub card: f64,
+    /// Accumulated `C_out`.
+    pub cost: f64,
+    /// Candidate keys + duplicate-freeness.
+    pub keyinfo: KeyInfo,
+    /// Aggregation state (positions of original aggregates, count columns).
+    pub agg: AggState,
+    /// Attributes visible in the output.
+    pub visible: Vec<AttrId>,
+    /// Whether any `Group` node occurs in the tree.
+    pub has_grouping: bool,
+    /// Bitmask of applied operators (indices into the conflicted query's
+    /// operator list). A complete plan must apply every operator exactly
+    /// once; this is asserted before finalization.
+    pub applied: u64,
+}
+
+impl MemoPlan {
+    pub fn is_group(&self) -> bool {
+        matches!(self.node, PlanNode::Group { .. })
+    }
+}
+
+/// Which conditions the dominance test of Def. 4 applies. `Full` is the
+/// paper's (optimality-preserving) criterion; the weaker variants exist
+/// for the ablation study in `dpnext-bench` — they prune harder but can
+/// lose the optimal plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DominanceKind {
+    /// Cost + cardinality + duplicate-freeness + key implication (§4.6).
+    Full,
+    /// Cost + cardinality only (ignores functional dependencies).
+    CostCard,
+    /// Cost only (Bellman-style pruning; equivalent to keeping the single
+    /// cheapest plan per class when ties collapse).
+    CostOnly,
+}
+
+/// Aggregate statistics of one memo, reported on [`crate::Optimized`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MemoStats {
+    /// Plans held in the arena at the end of the run: the retained DP
+    /// state plus every evicted/replaced *partial* plan. Partial plans
+    /// can be children of later plans (including the winner), so only
+    /// losing *complete* plans are reclaimed during enumeration —
+    /// reclaiming evicted partials would need reference counting.
+    pub arena_plans: u64,
+    /// Largest arena size observed (live DP state + transient plans).
+    pub arena_peak: u64,
+    /// Widest plan class observed during the run.
+    pub peak_class_width: u64,
+    /// Dominance-pruned insertions attempted.
+    pub prune_attempts: u64,
+    /// Attempted insertions rejected because an incumbent dominates.
+    pub prune_rejected: u64,
+    /// Incumbents evicted because the new plan dominates them.
+    pub prune_evicted: u64,
+}
+
+impl MemoStats {
+    /// Fraction of pruned insertions that did any work (rejected the new
+    /// plan or evicted an incumbent). 0 when pruning never ran.
+    pub fn prune_hit_rate(&self) -> f64 {
+        if self.prune_attempts == 0 {
+            return 0.0;
+        }
+        (self.prune_rejected + self.prune_evicted) as f64 / self.prune_attempts as f64
+    }
+}
+
+/// The arena plus the plan classes built over it.
+#[derive(Debug, Default)]
+pub struct Memo {
+    arena: Vec<MemoPlan>,
+    classes: HashMap<NodeSet, Vec<PlanId>>,
+    stats: MemoStats,
+}
+
+impl Index<PlanId> for Memo {
+    type Output = MemoPlan;
+
+    #[inline]
+    fn index(&self, id: PlanId) -> &MemoPlan {
+        &self.arena[id.index()]
+    }
+}
+
+impl Memo {
+    pub fn new() -> Memo {
+        Memo::default()
+    }
+
+    /// Store a plan in the arena (does not touch any class).
+    #[inline]
+    pub fn push(&mut self, plan: MemoPlan) -> PlanId {
+        let id = PlanId(u32::try_from(self.arena.len()).expect("memo arena overflows u32"));
+        self.arena.push(plan);
+        id
+    }
+
+    /// Number of plans in the arena.
+    pub fn arena_len(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Roll the arena back to `len` entries, discarding plans pushed since.
+    ///
+    /// Callers must guarantee that no class and no retained id references
+    /// a truncated plan. The enumeration engine uses this to reclaim
+    /// complete (full-set) plans that lost the cost comparison — they are
+    /// never inserted into a class, and on EA-All they outnumber retained
+    /// plans by an order of magnitude.
+    pub fn truncate(&mut self, len: usize) {
+        debug_assert!(len <= self.arena.len());
+        self.stats.arena_peak = self.stats.arena_peak.max(self.arena.len() as u64);
+        self.arena.truncate(len);
+    }
+
+    /// The plan class of `s` (empty when no plan covers `s` yet).
+    #[inline]
+    pub fn class(&self, s: NodeSet) -> &[PlanId] {
+        self.classes.get(&s).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Append `id` to the class of `s` unconditionally.
+    pub fn class_push(&mut self, s: NodeSet, id: PlanId) {
+        let class = self.classes.entry(s).or_default();
+        class.push(id);
+        self.stats.peak_class_width = self.stats.peak_class_width.max(class.len() as u64);
+    }
+
+    /// Make `id` the sole member of the class of `s` (single-plan DP).
+    pub fn class_set_single(&mut self, s: NodeSet, id: PlanId) {
+        let class = self.classes.entry(s).or_default();
+        class.clear();
+        class.push(id);
+        self.stats.peak_class_width = self.stats.peak_class_width.max(1);
+    }
+
+    /// `PruneDominatedPlans` (Fig. 13) on ids: drop `id` if an incumbent
+    /// of the class dominates it, otherwise evict every incumbent it
+    /// dominates and append it.
+    pub fn class_prune_insert(
+        &mut self,
+        s: NodeSet,
+        id: PlanId,
+        kind: DominanceKind,
+        guard_groupjoin: bool,
+    ) {
+        self.stats.prune_attempts += 1;
+        let new = &self.arena[id.index()];
+        let class = self.classes.entry(s).or_default();
+        for &old in class.iter() {
+            if dominates(&self.arena[old.index()], new, kind, guard_groupjoin) {
+                self.stats.prune_rejected += 1;
+                return;
+            }
+        }
+        let before = class.len();
+        class.retain(|&old| !dominates(new, &self.arena[old.index()], kind, guard_groupjoin));
+        self.stats.prune_evicted += (before - class.len()) as u64;
+        class.push(id);
+        self.stats.peak_class_width = self.stats.peak_class_width.max(class.len() as u64);
+    }
+
+    /// Number of classes holding at least one plan.
+    pub fn class_count(&self) -> u64 {
+        self.classes.len() as u64
+    }
+
+    /// Total plans retained across all classes.
+    pub fn retained(&self) -> u64 {
+        self.classes.values().map(|v| v.len() as u64).sum()
+    }
+
+    /// Every id retained in some class, in ascending arena order (the
+    /// class map itself iterates in hash order — sort for determinism).
+    pub fn retained_ids(&self) -> Vec<PlanId> {
+        let mut ids: Vec<PlanId> = self.classes.values().flatten().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// `Eagerness` of a plan (§4.5): the number of grouping operators that
+    /// are a direct child of the topmost join operator.
+    pub fn eagerness(&self, id: PlanId) -> u32 {
+        match &self[id].node {
+            PlanNode::Apply { left, right, .. } => {
+                let l = self[*left].is_group() as u32;
+                let r = self[*right].is_group() as u32;
+                l + r
+            }
+            _ => 0,
+        }
+    }
+
+    /// Snapshot of the memo statistics (arena sizes filled in).
+    pub fn stats(&self) -> MemoStats {
+        MemoStats {
+            arena_plans: self.arena.len() as u64,
+            arena_peak: self.stats.arena_peak.max(self.arena.len() as u64),
+            ..self.stats
+        }
+    }
+}
+
+/// Dominance (Def. 4): `a` dominates `b` when it is at most as expensive,
+/// at most as large, duplicate-free whenever `b` is, and its key set
+/// implies `b`'s (the practical weakening of `FD⁺(a) ⊇ FD⁺(b)` suggested
+/// in §4.6). In the presence of groupjoins a pre-aggregated plan must not
+/// shadow a raw plan (the groupjoin needs raw right inputs).
+pub fn dominates(a: &MemoPlan, b: &MemoPlan, kind: DominanceKind, guard_groupjoin: bool) -> bool {
+    if guard_groupjoin && a.has_grouping && !b.has_grouping {
+        return false;
+    }
+    match kind {
+        DominanceKind::CostOnly => a.cost <= b.cost,
+        DominanceKind::CostCard => a.cost <= b.cost && a.card <= b.card,
+        DominanceKind::Full => {
+            a.cost <= b.cost
+                && a.card <= b.card
+                && (a.keyinfo.duplicate_free || !b.keyinfo.duplicate_free)
+                && a.keyinfo.keys.implies(&b.keyinfo.keys)
+        }
+    }
+}

@@ -2,7 +2,8 @@
 //! the up-to-four join trees with all valid eager-aggregation variants.
 
 use crate::context::OptContext;
-use crate::plan::{make_apply, make_group, Plan};
+use crate::memo::{Memo, PlanId};
+use crate::plan::{make_apply, make_group};
 use dpnext_keys::needs_grouping;
 use dpnext_query::OpKind;
 
@@ -29,57 +30,49 @@ fn may_push(op: OpKind) -> (bool, bool) {
 /// * usefulness: grouping is skipped when `G⁺` already contains a key of a
 ///   duplicate-free `t` (Fig. 6 lines 10/15: `NeedsGrouping(G⁺ᵢ, …)`),
 /// * no double grouping: `Γ(Γ(e))` never helps.
-fn pushable(ctx: &OptContext, t: &Plan) -> bool {
-    if !ctx.has_grouping() || t.is_group() || !ctx.can_group(t.set) {
+fn pushable(ctx: &OptContext, memo: &Memo, t: PlanId) -> bool {
+    let plan = &memo[t];
+    if !ctx.has_grouping() || plan.is_group() || !ctx.can_group(plan.set) {
         return false;
     }
-    let gplus = ctx.gplus(t.set);
-    needs_grouping(&gplus, &t.keyinfo)
+    let gplus = ctx.gplus(plan.set);
+    needs_grouping(&gplus, &plan.keyinfo)
 }
 
-/// Build all operator trees for `t1 ◦ t2` (physical orientation):
-/// plain, `Γ(t1) ◦ t2`, `t1 ◦ Γ(t2)`, `Γ(t1) ◦ Γ(t2)` — Fig. 8 (a)–(d).
+/// Build all operator trees for `t1 ◦ t2` (physical orientation) into
+/// `out`: plain, `Γ(t1) ◦ t2`, `t1 ◦ Γ(t2)`, `Γ(t1) ◦ Γ(t2)` —
+/// Fig. 8 (a)–(d). `out` is a caller-owned scratch buffer so the hot
+/// enumeration loop allocates nothing per pair.
 pub fn op_trees(
     ctx: &OptContext,
+    memo: &mut Memo,
     op_idx: usize,
     extra: &[usize],
-    t1: &Plan,
-    t2: &Plan,
-) -> Vec<Plan> {
-    let mut out = Vec::with_capacity(4);
+    t1: PlanId,
+    t2: PlanId,
+    out: &mut Vec<PlanId>,
+) {
     let op = ctx.cq.ops[op_idx].op;
     let (left_ok, right_ok) = may_push(op);
 
-    if let Some(p) = make_apply(ctx, op_idx, extra, t1, t2) {
+    if let Some(p) = make_apply(ctx, memo, op_idx, extra, t1, t2) {
         out.push(p);
     }
-    let g1 = (left_ok && pushable(ctx, t1)).then(|| make_group(ctx, t1));
-    let g2 = (right_ok && pushable(ctx, t2)).then(|| make_group(ctx, t2));
-    if let Some(g1) = &g1 {
-        if let Some(p) = make_apply(ctx, op_idx, extra, g1, t2) {
+    let g1 = (left_ok && pushable(ctx, memo, t1)).then(|| make_group(ctx, memo, t1));
+    let g2 = (right_ok && pushable(ctx, memo, t2)).then(|| make_group(ctx, memo, t2));
+    if let Some(g1) = g1 {
+        if let Some(p) = make_apply(ctx, memo, op_idx, extra, g1, t2) {
             out.push(p);
         }
     }
-    if let Some(g2) = &g2 {
-        if let Some(p) = make_apply(ctx, op_idx, extra, t1, g2) {
+    if let Some(g2) = g2 {
+        if let Some(p) = make_apply(ctx, memo, op_idx, extra, t1, g2) {
             out.push(p);
         }
     }
-    if let (Some(g1), Some(g2)) = (&g1, &g2) {
-        if let Some(p) = make_apply(ctx, op_idx, extra, g1, g2) {
+    if let (Some(g1), Some(g2)) = (g1, g2) {
+        if let Some(p) = make_apply(ctx, memo, op_idx, extra, g1, g2) {
             out.push(p);
         }
     }
-    out
-}
-
-/// Baseline variant: only the plain tree (DPhyp without eager aggregation).
-pub fn op_tree_plain(
-    ctx: &OptContext,
-    op_idx: usize,
-    extra: &[usize],
-    t1: &Plan,
-    t2: &Plan,
-) -> Option<Plan> {
-    make_apply(ctx, op_idx, extra, t1, t2)
 }

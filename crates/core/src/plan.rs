@@ -1,86 +1,20 @@
-//! DP plan nodes and their logical properties.
+//! Plan constructors: build scan / apply / grouping nodes with their
+//! derived logical properties directly into the [`Memo`] arena.
 
 use crate::aggstate::{build_group_aggs, AggState};
 use crate::context::OptContext;
-use dpnext_algebra::{AggCall, AttrId, JoinPred};
+use crate::memo::{Memo, MemoPlan, PlanId, PlanNode};
+use dpnext_algebra::{AttrId, JoinPred};
 use dpnext_cost::{distinct_in, grouping_card, join_card};
 use dpnext_hypergraph::NodeSet;
 use dpnext_keys::{grouping_keys, infer_join_keys, KeyInfo, KeySet};
 use dpnext_query::OpKind;
-use std::rc::Rc;
-
-/// A shared, immutable plan.
-pub type Plan = Rc<PlanData>;
-
-/// One operator of a plan tree.
-#[derive(Debug, Clone)]
-pub enum PlanNode {
-    /// Scan of a table occurrence.
-    Scan { table: usize },
-    /// A binary operator application with the (oriented, merged) predicate.
-    Apply {
-        op: OpKind,
-        pred: JoinPred,
-        gj_aggs: Vec<AggCall>,
-        left: Plan,
-        right: Plan,
-    },
-    /// An eager-aggregation grouping `Γ_{G⁺(S); F¹ ∘ (c : count(*))}`.
-    Group {
-        attrs: Vec<AttrId>,
-        aggs: Vec<AggCall>,
-        input: Plan,
-    },
-}
-
-/// A plan plus its derived logical properties.
-#[derive(Debug, Clone)]
-pub struct PlanData {
-    pub node: PlanNode,
-    /// Relations covered.
-    pub set: NodeSet,
-    /// Estimated output cardinality.
-    pub card: f64,
-    /// Accumulated `C_out`.
-    pub cost: f64,
-    /// Candidate keys + duplicate-freeness.
-    pub keyinfo: KeyInfo,
-    /// Aggregation state (positions of original aggregates, count columns).
-    pub agg: AggState,
-    /// Attributes visible in the output.
-    pub visible: Vec<AttrId>,
-    /// Whether any `Group` node occurs in the tree.
-    pub has_grouping: bool,
-    /// Bitmask of applied operators (indices into the conflicted query's
-    /// operator list). A complete plan must apply every operator exactly
-    /// once; this is asserted before finalization.
-    pub applied: u64,
-}
-
-impl PlanData {
-    /// `Eagerness` of a plan (§4.5): the number of grouping operators that
-    /// are a direct child of the topmost join operator.
-    pub fn eagerness(&self) -> u32 {
-        match &self.node {
-            PlanNode::Apply { left, right, .. } => {
-                let l = matches!(left.node, PlanNode::Group { .. }) as u32;
-                let r = matches!(right.node, PlanNode::Group { .. }) as u32;
-                l + r
-            }
-            _ => 0,
-        }
-    }
-
-    pub fn is_group(&self) -> bool {
-        matches!(self.node, PlanNode::Group { .. })
-    }
-}
 
 /// Build a scan plan for table occurrence `i`.
-pub fn make_scan(ctx: &OptContext, i: usize) -> Plan {
+pub fn make_scan(ctx: &OptContext, memo: &mut Memo, i: usize) -> PlanId {
     let t = &ctx.query.tables[i];
     let keys = KeySet::from_keys(t.keys.iter().cloned());
-    Rc::new(PlanData {
+    memo.push(MemoPlan {
         node: PlanNode::Scan { table: i },
         set: NodeSet::single(i),
         card: t.card,
@@ -135,13 +69,15 @@ fn orient_term(
 /// unavailable (structurally prevented, checked defensively).
 pub fn make_apply(
     ctx: &OptContext,
+    memo: &mut Memo,
     op_idx: usize,
     extra: &[usize],
-    left: &Plan,
-    right: &Plan,
-) -> Option<Plan> {
+    left_id: PlanId,
+    right_id: PlanId,
+) -> Option<PlanId> {
     let op = &ctx.cq.ops[op_idx];
     let kind = op.op;
+    let (left, right) = (&memo[left_id], &memo[right_id]);
     // Groupjoins evaluate their aggregates over raw right-side tuples: a
     // pre-aggregated right side would aggregate groups instead.
     if kind == OpKind::GroupJoin && right.has_grouping {
@@ -209,15 +145,16 @@ pub fn make_apply(
         0,
         "operator applied twice across join inputs"
     );
+    let has_grouping = left.has_grouping || right.has_grouping;
 
     ctx.count_plan();
-    Some(Rc::new(PlanData {
+    Some(memo.push(MemoPlan {
         node: PlanNode::Apply {
             op: kind,
             pred,
             gj_aggs: op.gj_aggs.clone(),
-            left: left.clone(),
-            right: right.clone(),
+            left: left_id,
+            right: right_id,
         },
         set,
         card,
@@ -225,7 +162,7 @@ pub fn make_apply(
         keyinfo,
         agg,
         visible,
-        has_grouping: left.has_grouping || right.has_grouping,
+        has_grouping,
         applied,
     }))
 }
@@ -234,7 +171,8 @@ pub fn make_apply(
 ///
 /// Callers must have checked `ctx.can_group(input.set)` and the usefulness
 /// condition (`NeedsGrouping`); this constructor only assembles the node.
-pub fn make_group(ctx: &OptContext, input: &Plan) -> Plan {
+pub fn make_group(ctx: &OptContext, memo: &mut Memo, input_id: PlanId) -> PlanId {
+    let input = &memo[input_id];
     let s = input.set;
     let gattrs = ctx.gplus(s);
     debug_assert!(
@@ -250,12 +188,13 @@ pub fn make_group(ctx: &OptContext, input: &Plan) -> Plan {
     let cost = input.cost + card;
     let mut visible: Vec<AttrId> = gattrs.to_vec();
     visible.extend(aggs.iter().map(|c| c.out));
+    let applied = input.applied;
     ctx.count_plan();
-    Rc::new(PlanData {
+    memo.push(MemoPlan {
         node: PlanNode::Group {
             attrs: gattrs.to_vec(),
             aggs,
-            input: input.clone(),
+            input: input_id,
         },
         set: s,
         card,
@@ -264,6 +203,6 @@ pub fn make_group(ctx: &OptContext, input: &Plan) -> Plan {
         agg: state,
         visible,
         has_grouping: true,
-        applied: input.applied,
+        applied,
     })
 }

@@ -3,8 +3,10 @@
 //! finalization.
 
 use crate::aggstate::{AggPos, AggState};
+use crate::algo::applied_ops_mask;
 use crate::context::OptContext;
 use crate::finalize::finalize;
+use crate::memo::{Memo, PlanId};
 use crate::optrees::op_trees;
 use crate::plan::{make_apply, make_group, make_scan};
 use dpnext_algebra::{AggCall, AggKind, AttrGen, AttrId, Expr, JoinPred, Value};
@@ -13,6 +15,19 @@ use dpnext_query::{GroupSpec, OpKind, OpTree, Query, QueryTable};
 
 fn a(i: u32) -> AttrId {
     AttrId(i)
+}
+
+/// Wrap `op_trees` for tests that only count the produced variants.
+fn op_tree_ids(
+    ctx: &OptContext,
+    memo: &mut Memo,
+    op_idx: usize,
+    t1: PlanId,
+    t2: PlanId,
+) -> Vec<PlanId> {
+    let mut out = Vec::new();
+    op_trees(ctx, memo, op_idx, &[], t1, t2, &mut out);
+    out
 }
 
 /// `r0(a0 key, a1) ⋈ r1(a2, a3)`, group by a1, aggregates
@@ -184,23 +199,25 @@ mod plans {
     #[test]
     fn scan_properties() {
         let ctx = two_table_ctx(OpKind::Join);
-        let s = make_scan(&ctx, 0);
-        assert_eq!(100.0, s.card);
-        assert_eq!(0.0, s.cost); // scans free under C_out
-        assert!(s.keyinfo.duplicate_free);
-        assert_eq!(0, s.applied);
+        let mut memo = Memo::new();
+        let s = make_scan(&ctx, &mut memo, 0);
+        assert_eq!(100.0, memo[s].card);
+        assert_eq!(0.0, memo[s].cost); // scans free under C_out
+        assert!(memo[s].keyinfo.duplicate_free);
+        assert_eq!(0, memo[s].applied);
     }
 
     #[test]
     fn apply_costs_and_bitmask() {
         let ctx = two_table_ctx(OpKind::Join);
-        let l = make_scan(&ctx, 0);
-        let r = make_scan(&ctx, 1);
-        let j = make_apply(&ctx, 0, &[], &l, &r).unwrap();
-        assert_eq!(50.0, j.card); // 100 × 50 × 0.01
-        assert_eq!(50.0, j.cost);
-        assert_eq!(1, j.applied);
-        assert_eq!(0, j.eagerness());
+        let mut memo = Memo::new();
+        let l = make_scan(&ctx, &mut memo, 0);
+        let r = make_scan(&ctx, &mut memo, 1);
+        let j = make_apply(&ctx, &mut memo, 0, &[], l, r).unwrap();
+        assert_eq!(50.0, memo[j].card); // 100 × 50 × 0.01
+        assert_eq!(50.0, memo[j].cost);
+        assert_eq!(1, memo[j].applied);
+        assert_eq!(0, memo.eagerness(j));
     }
 
     #[test]
@@ -225,42 +242,45 @@ mod plans {
             OpTree::rel(1),
         );
         let ctx = OptContext::new(Query::new(vec![t0, t1], tree, None));
-        let l = make_scan(&ctx, 0);
-        let r = make_scan(&ctx, 1);
-        let j = make_apply(&ctx, 0, &[], &l, &r).unwrap();
-        assert!(j.keyinfo.duplicate_free);
-        assert!(j.keyinfo.keys.some_key_within(&[a(3)]));
+        let mut memo = Memo::new();
+        let l = make_scan(&ctx, &mut memo, 0);
+        let r = make_scan(&ctx, &mut memo, 1);
+        let j = make_apply(&ctx, &mut memo, 0, &[], l, r).unwrap();
+        assert!(memo[j].keyinfo.duplicate_free);
+        assert!(memo[j].keyinfo.keys.some_key_within(&[a(3)]));
         // Raw estimate 100 × 50 × 0.1 = 500; the key {a3} bounds it at
         // d(a3) = 50.
-        assert_eq!(50.0, j.card);
-        assert_eq!(50.0, j.cost);
+        assert_eq!(50.0, memo[j].card);
+        assert_eq!(50.0, memo[j].cost);
     }
 
     #[test]
     fn group_reduces_cardinality_and_sets_keys() {
         let ctx = two_table_ctx(OpKind::Join);
-        let l = make_scan(&ctx, 0);
-        let g = make_group(&ctx, &l);
+        let mut memo = Memo::new();
+        let l = make_scan(&ctx, &mut memo, 0);
+        let g = make_group(&ctx, &mut memo, l);
         // G⁺({0}) = {a1} with 10 distinct values.
-        assert_eq!(10.0, g.card);
-        assert!(g.keyinfo.duplicate_free);
-        assert!(g.has_grouping);
+        assert_eq!(10.0, memo[g].card);
+        assert!(memo[g].keyinfo.duplicate_free);
+        assert!(memo[g].has_grouping);
         // Grouping the small side: G⁺({1}) = {a2} with 25 distinct values.
-        let r = make_scan(&ctx, 1);
-        let gr = make_group(&ctx, &r);
-        assert_eq!(25.0, gr.card);
-        assert_eq!(25.0 + 0.0, gr.cost);
+        let r = make_scan(&ctx, &mut memo, 1);
+        let gr = make_group(&ctx, &mut memo, r);
+        assert_eq!(25.0, memo[gr].card);
+        assert_eq!(25.0 + 0.0, memo[gr].cost);
     }
 
     #[test]
     fn group_rewrites_aggregates() {
         let ctx = two_table_ctx(OpKind::Join);
-        let r = make_scan(&ctx, 1);
-        let g = make_group(&ctx, &r);
+        let mut memo = Memo::new();
+        let r = make_scan(&ctx, &mut memo, 1);
+        let g = make_group(&ctx, &mut memo, r);
         // sum(a3) is partialed; count(*) stays raw (derived from counts).
-        assert!(matches!(g.agg.pos[1], AggPos::Partial { .. }));
-        assert_eq!(AggPos::Raw, g.agg.pos[0]);
-        assert_eq!(1, g.agg.counts.len());
+        assert!(matches!(memo[g].agg.pos[1], AggPos::Partial { .. }));
+        assert_eq!(AggPos::Raw, memo[g].agg.pos[0]);
+        assert_eq!(1, memo[g].agg.counts.len());
     }
 
     #[test]
@@ -272,11 +292,12 @@ mod plans {
         let mut gen = AttrGen::new(100);
         let spec = GroupSpec::new(vec![a(0)], vec![AggCall::count_star(a(70))], &mut gen);
         let ctx = OptContext::new(Query::new(vec![t0, t1], tree, Some(spec)));
-        let l = make_scan(&ctx, 0);
-        let r = make_scan(&ctx, 1);
-        let grouped_r = make_group(&ctx, &r);
-        assert!(make_apply(&ctx, 0, &[], &l, &grouped_r).is_none());
-        assert!(make_apply(&ctx, 0, &[], &l, &r).is_some());
+        let mut memo = Memo::new();
+        let l = make_scan(&ctx, &mut memo, 0);
+        let r = make_scan(&ctx, &mut memo, 1);
+        let grouped_r = make_group(&ctx, &mut memo, r);
+        assert!(make_apply(&ctx, &mut memo, 0, &[], l, grouped_r).is_none());
+        assert!(make_apply(&ctx, &mut memo, 0, &[], l, r).is_some());
     }
 }
 
@@ -285,9 +306,10 @@ mod optrees {
 
     fn variants(op: OpKind) -> usize {
         let ctx = two_table_ctx(op);
-        let l = make_scan(&ctx, 0);
-        let r = make_scan(&ctx, 1);
-        op_trees(&ctx, 0, &[], &l, &r).len()
+        let mut memo = Memo::new();
+        let l = make_scan(&ctx, &mut memo, 0);
+        let r = make_scan(&ctx, &mut memo, 1);
+        op_tree_ids(&ctx, &mut memo, 0, l, r).len()
     }
 
     #[test]
@@ -323,11 +345,12 @@ mod optrees {
         let mut gen = AttrGen::new(100);
         let spec = GroupSpec::new(vec![a(3)], vec![AggCall::count_star(a(50))], &mut gen);
         let ctx = OptContext::new(Query::new(vec![t0, t1], tree, Some(spec)));
-        let l = make_scan(&ctx, 0);
-        let r = make_scan(&ctx, 1);
+        let mut memo = Memo::new();
+        let l = make_scan(&ctx, &mut memo, 0);
+        let r = make_scan(&ctx, &mut memo, 1);
         // G⁺({0}) = {a0} ⊇ key {a0} of duplicate-free r0 → only the right
         // side may be grouped: plain + Γ(right) = 2 variants.
-        assert_eq!(2, op_trees(&ctx, 0, &[], &l, &r).len());
+        assert_eq!(2, op_tree_ids(&ctx, &mut memo, 0, l, r).len());
     }
 }
 
@@ -337,10 +360,11 @@ mod finalization {
     #[test]
     fn top_grouping_added_when_needed() {
         let ctx = two_table_ctx(OpKind::Join);
-        let l = make_scan(&ctx, 0);
-        let r = make_scan(&ctx, 1);
-        let j = make_apply(&ctx, 0, &[], &l, &r).unwrap();
-        let f = finalize(&ctx, &j);
+        let mut memo = Memo::new();
+        let l = make_scan(&ctx, &mut memo, 0);
+        let r = make_scan(&ctx, &mut memo, 1);
+        let j = make_apply(&ctx, &mut memo, 0, &[], l, r).unwrap();
+        let f = finalize(&ctx, &memo, j);
         assert!(f.top_grouping);
         // Cost = join output + grouping output (10 groups on a1).
         assert_eq!(50.0 + 10.0, f.cost);
@@ -361,14 +385,15 @@ mod finalization {
         let mut gen = AttrGen::new(100);
         let spec = GroupSpec::new(vec![a(0)], vec![AggCall::count_star(a(50))], &mut gen);
         let ctx = OptContext::new(Query::new(vec![t0, t1], tree, Some(spec)));
-        let l = make_scan(&ctx, 0);
-        let r = make_scan(&ctx, 1);
+        let mut memo = Memo::new();
+        let l = make_scan(&ctx, &mut memo, 0);
+        let r = make_scan(&ctx, &mut memo, 1);
         // a2 is a key of r1: each r0 tuple joins at most once → keys of r0
         // survive; G = {a0} ⊇ key → grouping eliminated.
-        let j = make_apply(&ctx, 0, &[], &l, &r).unwrap();
-        let f = finalize(&ctx, &j);
+        let j = make_apply(&ctx, &mut memo, 0, &[], l, r).unwrap();
+        let f = finalize(&ctx, &memo, j);
         assert!(!f.top_grouping);
-        assert_eq!(j.cost, f.cost); // map + projection are free
+        assert_eq!(memo[j].cost, f.cost); // map + projection are free
     }
 
     #[test]
@@ -382,11 +407,45 @@ mod finalization {
             OpTree::rel(1),
         );
         let ctx = OptContext::new(Query::new(vec![t0, t1], tree, None));
-        let l = make_scan(&ctx, 0);
-        let r = make_scan(&ctx, 1);
-        let j = make_apply(&ctx, 0, &[], &l, &r).unwrap();
-        let f = finalize(&ctx, &j);
+        let mut memo = Memo::new();
+        let l = make_scan(&ctx, &mut memo, 0);
+        let r = make_scan(&ctx, &mut memo, 1);
+        let j = make_apply(&ctx, &mut memo, 0, &[], l, r).unwrap();
+        let f = finalize(&ctx, &memo, j);
         assert!(!f.top_grouping);
-        assert_eq!(j.cost, f.cost);
+        assert_eq!(memo[j].cost, f.cost);
+    }
+}
+
+mod applied_mask {
+    use super::*;
+
+    #[test]
+    fn mask_is_width_safe_across_the_full_range() {
+        assert_eq!(0, applied_ops_mask(0));
+        assert_eq!(0b1, applied_ops_mask(1));
+        assert_eq!(0b111, applied_ops_mask(3));
+        assert_eq!(u64::MAX >> 1, applied_ops_mask(63));
+        // The old `(1u64 << n_ops) - 1` overflowed here; 64 operators are
+        // exactly representable and must yield the all-ones mask.
+        assert_eq!(u64::MAX, applied_ops_mask(64));
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64 operators")]
+    fn mask_rejects_more_than_64_ops() {
+        applied_ops_mask(65);
+    }
+
+    #[test]
+    fn masks_are_distinct_per_width() {
+        // A plan that misses one operator must never compare equal to the
+        // full mask, for any width — including the boundary widths where
+        // shifting used to wrap.
+        for n_ops in 1..=64usize {
+            let full = applied_ops_mask(n_ops);
+            let missing_one = full & !(1u64 << (n_ops - 1));
+            assert_ne!(full, missing_one, "width {n_ops}");
+        }
     }
 }

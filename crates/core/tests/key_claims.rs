@@ -16,15 +16,16 @@ fn claimed_keys_hold_on_executed_results() {
         for seed in 700..715 {
             let query = generate_query(&cfg, seed);
             let db = generate_data(&query, 6, 0.1, seed);
-            let (ctx, plans) = all_subplans(&query);
-            for plan in &plans {
-                let rel = compile(&ctx, plan).eval(&db);
+            let (ctx, memo, plans) = all_subplans(&query);
+            for &id in &plans {
+                let plan = &memo[id];
+                let rel = compile(&ctx, &memo, id).eval(&db);
                 if plan.keyinfo.duplicate_free {
                     assert!(
                         rel.is_duplicate_free(),
                         "plan claims duplicate-freeness but result has duplicates \
                          (n={n}, seed={seed}):\n{}",
-                        compile(&ctx, plan)
+                        compile(&ctx, &memo, id)
                     );
                 }
                 for key in plan.keyinfo.keys.keys() {
@@ -38,7 +39,7 @@ fn claimed_keys_hold_on_executed_results() {
                     assert!(
                         proj.is_duplicate_free(),
                         "claimed key {key:?} violated (n={n}, seed={seed}):\n{}",
-                        compile(&ctx, plan)
+                        compile(&ctx, &memo, id)
                     );
                 }
             }
@@ -50,6 +51,6 @@ fn claimed_keys_hold_on_executed_results() {
 fn subplan_enumeration_is_substantial() {
     // Guard against silently empty enumerations.
     let query = generate_query(&GenConfig::oracle(4), 3);
-    let (_, plans) = all_subplans(&query);
+    let (_, _, plans) = all_subplans(&query);
     assert!(plans.len() > 10, "only {} plans enumerated", plans.len());
 }

@@ -3,9 +3,15 @@
 //! canonical (unoptimized) plan. This validates the §3 equivalences, the
 //! conflict detector, key inference, aggregation-state rewriting and plan
 //! compilation together.
+//!
+//! Each family runs a quick smoke subset by default so `cargo test -q`
+//! stays fast; the full paper-scale seed sweeps (~3 min in debug) are
+//! `#[ignore]`d and run by the dedicated `slow-oracle` CI job via
+//! `cargo test --release -- --ignored`.
 
 use dpnext_core::{optimize, Algorithm};
 use dpnext_workload::{generate_data, generate_query, GenConfig, OpWeights};
+use std::ops::Range;
 
 fn algorithms() -> Vec<Algorithm> {
     vec![
@@ -34,30 +40,49 @@ fn check_seed(cfg: &GenConfig, seed: u64) {
     }
 }
 
-#[test]
-fn oracle_mixed_operators_small() {
-    for n in 2..=5 {
+fn check_mixed_operators(sizes: Range<usize>, seeds: Range<u64>) {
+    for n in sizes {
         let cfg = GenConfig::oracle(n);
-        for seed in 0..30 {
+        for seed in seeds.clone() {
             check_seed(&cfg, seed);
         }
     }
 }
 
 #[test]
-fn oracle_inner_joins_only() {
-    for n in 2..=6 {
+fn oracle_mixed_operators_smoke() {
+    check_mixed_operators(2..5, 0..8);
+}
+
+#[test]
+#[ignore = "paper-scale seed sweep; run via `cargo test --release -- --ignored`"]
+fn oracle_mixed_operators_full() {
+    check_mixed_operators(2..6, 0..30);
+}
+
+fn check_inner_joins_only(sizes: Range<usize>, seeds: Range<u64>) {
+    for n in sizes {
         let mut cfg = GenConfig::oracle(n);
         cfg.ops = OpWeights::inner_only();
-        for seed in 100..120 {
+        for seed in seeds.clone() {
             check_seed(&cfg, seed);
         }
     }
 }
 
 #[test]
-fn oracle_outer_join_heavy() {
-    for n in 2..=5 {
+fn oracle_inner_joins_only_smoke() {
+    check_inner_joins_only(2..5, 100..106);
+}
+
+#[test]
+#[ignore = "paper-scale seed sweep; run via `cargo test --release -- --ignored`"]
+fn oracle_inner_joins_only_full() {
+    check_inner_joins_only(2..7, 100..120);
+}
+
+fn check_outer_join_heavy(sizes: Range<usize>, seeds: Range<u64>) {
+    for n in sizes {
         let mut cfg = GenConfig::oracle(n);
         cfg.ops = OpWeights {
             join: 1,
@@ -67,18 +92,28 @@ fn oracle_outer_join_heavy() {
             anti: 1,
             groupjoin: 0,
         };
-        for seed in 200..225 {
+        for seed in seeds.clone() {
             check_seed(&cfg, seed);
         }
     }
 }
 
 #[test]
-fn oracle_no_nulls() {
+fn oracle_outer_join_heavy_smoke() {
+    check_outer_join_heavy(2..5, 200..208);
+}
+
+#[test]
+#[ignore = "paper-scale seed sweep; run via `cargo test --release -- --ignored`"]
+fn oracle_outer_join_heavy_full() {
+    check_outer_join_heavy(2..6, 200..225);
+}
+
+fn check_no_nulls(sizes: Range<usize>, seeds: Range<u64>) {
     // Without NULLs the data exercises the multiplicity bookkeeping alone.
-    for n in 2..=5 {
+    for n in sizes {
         let cfg = GenConfig::oracle(n);
-        for seed in 300..315 {
+        for seed in seeds.clone() {
             let query = generate_query(&cfg, seed);
             let db = generate_data(&query, 8, 0.0, seed);
             let expected = query.canonical_plan().eval(&db);
@@ -96,25 +131,45 @@ fn oracle_no_nulls() {
 }
 
 #[test]
-fn oracle_with_groupjoins() {
+fn oracle_no_nulls_smoke() {
+    check_no_nulls(2..5, 300..306);
+}
+
+#[test]
+#[ignore = "paper-scale seed sweep; run via `cargo test --release -- --ignored`"]
+fn oracle_no_nulls_full() {
+    check_no_nulls(2..6, 300..315);
+}
+
+fn check_with_groupjoins(sizes: Range<usize>, seeds: Range<u64>) {
     // Groupjoin queries exercise Eqvs. 39–41 (grouping pushed into the
     // groupjoin's left argument) and the raw-right-side restriction.
-    for n in 2..=4 {
+    for n in sizes {
         let mut cfg = GenConfig::oracle(n);
         cfg.ops = OpWeights::with_groupjoins();
-        for seed in 600..625 {
+        for seed in seeds.clone() {
             check_seed(&cfg, seed);
         }
     }
 }
 
 #[test]
-fn ea_prune_preserves_optimality() {
+fn oracle_with_groupjoins_smoke() {
+    check_with_groupjoins(2..4, 600..610);
+}
+
+#[test]
+#[ignore = "paper-scale seed sweep; run via `cargo test --release -- --ignored`"]
+fn oracle_with_groupjoins_full() {
+    check_with_groupjoins(2..5, 600..625);
+}
+
+fn check_prune_preserves_optimality(sizes: Range<usize>, seeds: Range<u64>) {
     // §4.6: the pruning criterion does not affect plan optimality — the
     // costs of EA-All and EA-Prune must be identical.
-    for n in 2..=5 {
+    for n in sizes {
         let cfg = GenConfig::oracle(n);
-        for seed in 400..430 {
+        for seed in seeds.clone() {
             let query = generate_query(&cfg, seed);
             let all = optimize(&query, Algorithm::EaAll);
             let pruned = optimize(&query, Algorithm::EaPrune);
@@ -131,6 +186,18 @@ fn ea_prune_preserves_optimality() {
 }
 
 #[test]
+fn ea_prune_preserves_optimality_smoke() {
+    check_prune_preserves_optimality(2..5, 400..410);
+}
+
+#[test]
+#[ignore = "paper-scale seed sweep; run via `cargo test --release -- --ignored`"]
+fn ea_prune_preserves_optimality_full() {
+    check_prune_preserves_optimality(2..6, 400..430);
+}
+
+#[test]
+#[ignore = "paper-scale seed sweep; run via `cargo test --release -- --ignored`"]
 fn ea_prune_preserves_optimality_at_paper_scale() {
     // Paper-scale cardinalities/selectivities stress the monotonicity of
     // the estimator (the antijoin/outerjoin match-probability fix);
@@ -151,11 +218,10 @@ fn ea_prune_preserves_optimality_at_paper_scale() {
     }
 }
 
-#[test]
-fn optimal_never_worse_than_heuristics_or_baseline() {
-    for n in 2..=5 {
+fn check_optimal_never_worse(sizes: Range<usize>, seeds: Range<u64>) {
+    for n in sizes {
         let cfg = GenConfig::oracle(n);
-        for seed in 500..525 {
+        for seed in seeds.clone() {
             let query = generate_query(&cfg, seed);
             let opt = optimize(&query, Algorithm::EaPrune).plan.cost;
             for algo in [Algorithm::DPhyp, Algorithm::H1, Algorithm::H2(1.05)] {
@@ -168,4 +234,15 @@ fn optimal_never_worse_than_heuristics_or_baseline() {
             }
         }
     }
+}
+
+#[test]
+fn optimal_never_worse_than_heuristics_or_baseline_smoke() {
+    check_optimal_never_worse(2..5, 500..510);
+}
+
+#[test]
+#[ignore = "paper-scale seed sweep; run via `cargo test --release -- --ignored`"]
+fn optimal_never_worse_than_heuristics_or_baseline_full() {
+    check_optimal_never_worse(2..6, 500..525);
 }

@@ -1,0 +1,240 @@
+//! Parity suite for the memo/engine refactor: the arena-backed engine
+//! must reproduce the seed implementation bit for bit. The golden values
+//! below (final-plan cost as raw f64 bits, `plans_built`,
+//! `retained_plans`) were recorded by running the pre-refactor
+//! `Rc<PlanData>`-based generators on the oracle and paper workload
+//! seeds; any divergence means the enumeration order, cost model or
+//! retention behavior changed.
+
+use dpnext_core::{optimize, Algorithm as A};
+use dpnext_workload::{generate_query, GenConfig};
+use proptest::prelude::*;
+
+#[derive(Clone, Copy)]
+enum Cfg {
+    Oracle,
+    Paper,
+}
+
+impl Cfg {
+    fn config(self, n: usize) -> GenConfig {
+        match self {
+            Cfg::Oracle => GenConfig::oracle(n),
+            Cfg::Paper => GenConfig::paper(n),
+        }
+    }
+}
+
+/// `(workload, n_relations, seed, algorithm, cost bits, plans_built,
+/// retained_plans)` — recorded from the seed implementation.
+#[rustfmt::skip]
+const GOLDEN: &[(Cfg, usize, u64, A, u64, u64, u64)] = &[
+    (Cfg::Oracle, 2, 0, A::DPhyp, 0x0000000000000000, 1, 2),
+    (Cfg::Oracle, 2, 0, A::H1, 0x0000000000000000, 1, 2),
+    (Cfg::Oracle, 2, 0, A::H2(1.03), 0x0000000000000000, 1, 2),
+    (Cfg::Oracle, 2, 0, A::EaAll, 0x0000000000000000, 1, 2),
+    (Cfg::Oracle, 2, 0, A::EaPrune, 0x0000000000000000, 1, 2),
+    (Cfg::Oracle, 2, 1, A::DPhyp, 0x403738543a16a575, 2, 2),
+    (Cfg::Oracle, 2, 1, A::H1, 0x403738543a16a575, 2, 2),
+    (Cfg::Oracle, 2, 1, A::H2(1.03), 0x403738543a16a575, 2, 2),
+    (Cfg::Oracle, 2, 1, A::EaAll, 0x403738543a16a575, 2, 2),
+    (Cfg::Oracle, 2, 1, A::EaPrune, 0x403738543a16a575, 2, 2),
+    (Cfg::Oracle, 2, 2, A::DPhyp, 0x4011e8ed460fd039, 2, 2),
+    (Cfg::Oracle, 2, 2, A::H1, 0x4011e8ed460fd039, 12, 2),
+    (Cfg::Oracle, 2, 2, A::H2(1.03), 0x4011e8ed460fd039, 12, 2),
+    (Cfg::Oracle, 2, 2, A::EaAll, 0x4011e8ed460fd039, 12, 2),
+    (Cfg::Oracle, 2, 2, A::EaPrune, 0x4011e8ed460fd039, 12, 2),
+    (Cfg::Oracle, 2, 3, A::DPhyp, 0x4018000000000000, 1, 2),
+    (Cfg::Oracle, 2, 3, A::H1, 0x4018000000000000, 1, 2),
+    (Cfg::Oracle, 2, 3, A::H2(1.03), 0x4018000000000000, 1, 2),
+    (Cfg::Oracle, 2, 3, A::EaAll, 0x4018000000000000, 1, 2),
+    (Cfg::Oracle, 2, 3, A::EaPrune, 0x4018000000000000, 1, 2),
+    (Cfg::Oracle, 2, 4, A::DPhyp, 0x40016b3af31ad178, 2, 2),
+    (Cfg::Oracle, 2, 4, A::H1, 0x40016b3af31ad178, 12, 2),
+    (Cfg::Oracle, 2, 4, A::H2(1.03), 0x40016b3af31ad178, 12, 2),
+    (Cfg::Oracle, 2, 4, A::EaAll, 0x40016b3af31ad178, 12, 2),
+    (Cfg::Oracle, 2, 4, A::EaPrune, 0x40016b3af31ad178, 12, 2),
+    (Cfg::Oracle, 3, 0, A::DPhyp, 0x40266c485634b560, 4, 4),
+    (Cfg::Oracle, 3, 0, A::H1, 0x40266c485634b560, 4, 4),
+    (Cfg::Oracle, 3, 0, A::H2(1.03), 0x40266c485634b560, 4, 4),
+    (Cfg::Oracle, 3, 0, A::EaAll, 0x40266c485634b560, 6, 5),
+    (Cfg::Oracle, 3, 0, A::EaPrune, 0x40266c485634b560, 4, 4),
+    (Cfg::Oracle, 3, 1, A::DPhyp, 0x403020188dc3a6a3, 4, 4),
+    (Cfg::Oracle, 3, 1, A::H1, 0x403020188dc3a6a3, 18, 4),
+    (Cfg::Oracle, 3, 1, A::H2(1.03), 0x403020188dc3a6a3, 18, 4),
+    (Cfg::Oracle, 3, 1, A::EaAll, 0x403020188dc3a6a3, 54, 7),
+    (Cfg::Oracle, 3, 1, A::EaPrune, 0x403020188dc3a6a3, 30, 5),
+    (Cfg::Oracle, 3, 2, A::DPhyp, 0x0000000000000000, 4, 5),
+    (Cfg::Oracle, 3, 2, A::H1, 0x0000000000000000, 18, 5),
+    (Cfg::Oracle, 3, 2, A::H2(1.03), 0x0000000000000000, 18, 5),
+    (Cfg::Oracle, 3, 2, A::EaAll, 0x0000000000000000, 33, 9),
+    (Cfg::Oracle, 3, 2, A::EaPrune, 0x0000000000000000, 30, 8),
+    (Cfg::Oracle, 3, 3, A::DPhyp, 0x40417c507c917f24, 4, 4),
+    (Cfg::Oracle, 3, 3, A::H1, 0x4035faea846bafe8, 12, 4),
+    (Cfg::Oracle, 3, 3, A::H2(1.03), 0x4035faea846bafe8, 12, 4),
+    (Cfg::Oracle, 3, 3, A::EaAll, 0x4035faea846bafe8, 30, 7),
+    (Cfg::Oracle, 3, 3, A::EaPrune, 0x4035faea846bafe8, 18, 5),
+    (Cfg::Oracle, 3, 4, A::DPhyp, 0x403f830d794a3296, 6, 5),
+    (Cfg::Oracle, 3, 4, A::H1, 0x403f830d794a3296, 36, 5),
+    (Cfg::Oracle, 3, 4, A::H2(1.03), 0x403f830d794a3296, 36, 5),
+    (Cfg::Oracle, 3, 4, A::EaAll, 0x4032d17052dad0bc, 108, 15),
+    (Cfg::Oracle, 3, 4, A::EaPrune, 0x4032d17052dad0bc, 51, 7),
+    (Cfg::Oracle, 4, 0, A::DPhyp, 0x400a87c766a7cdd9, 17, 9),
+    (Cfg::Oracle, 4, 0, A::H1, 0x400a87c766a7cdd9, 39, 9),
+    (Cfg::Oracle, 4, 0, A::H2(1.03), 0x400a87c766a7cdd9, 39, 9),
+    (Cfg::Oracle, 4, 0, A::EaAll, 0x400a87c766a7cdd9, 169, 39),
+    (Cfg::Oracle, 4, 0, A::EaPrune, 0x400a87c766a7cdd9, 57, 12),
+    (Cfg::Oracle, 4, 1, A::DPhyp, 0x40151d7cf594afa8, 8, 7),
+    (Cfg::Oracle, 4, 1, A::H1, 0x40151d7cf594afa8, 28, 7),
+    (Cfg::Oracle, 4, 1, A::H2(1.03), 0x40151d7cf594afa8, 28, 7),
+    (Cfg::Oracle, 4, 1, A::EaAll, 0x40151d7cf594afa8, 138, 32),
+    (Cfg::Oracle, 4, 1, A::EaPrune, 0x40151d7cf594afa8, 41, 11),
+    (Cfg::Oracle, 4, 2, A::DPhyp, 0x404ec6676d46810d, 6, 7),
+    (Cfg::Oracle, 4, 2, A::H1, 0x40469be42724e66e, 36, 7),
+    (Cfg::Oracle, 4, 2, A::H2(1.03), 0x40469be42724e66e, 36, 7),
+    (Cfg::Oracle, 4, 2, A::EaAll, 0x403f3072b7c34c01, 393, 42),
+    (Cfg::Oracle, 4, 2, A::EaPrune, 0x403f3072b7c34c01, 75, 13),
+    (Cfg::Oracle, 4, 3, A::DPhyp, 0x4026d90e6f3f7d06, 7, 7),
+    (Cfg::Oracle, 4, 3, A::H1, 0x4026d90e6f3f7d06, 9, 7),
+    (Cfg::Oracle, 4, 3, A::H2(1.03), 0x4026d90e6f3f7d06, 9, 7),
+    (Cfg::Oracle, 4, 3, A::EaAll, 0x4026d90e6f3f7d06, 15, 10),
+    (Cfg::Oracle, 4, 3, A::EaPrune, 0x4026d90e6f3f7d06, 11, 8),
+    (Cfg::Oracle, 4, 4, A::DPhyp, 0x403296dbe5250384, 6, 6),
+    (Cfg::Oracle, 4, 4, A::H1, 0x403296dbe5250384, 24, 6),
+    (Cfg::Oracle, 4, 4, A::H2(1.03), 0x403296dbe5250384, 24, 6),
+    (Cfg::Oracle, 4, 4, A::EaAll, 0x403296dbe5250384, 178, 16),
+    (Cfg::Oracle, 4, 4, A::EaPrune, 0x403296dbe5250384, 34, 8),
+    (Cfg::Oracle, 5, 0, A::DPhyp, 0x4018812e8a45264c, 44, 16),
+    (Cfg::Oracle, 5, 0, A::H1, 0x4018812e8a45264c, 62, 16),
+    (Cfg::Oracle, 5, 0, A::H2(1.03), 0x4018812e8a45264c, 62, 16),
+    (Cfg::Oracle, 5, 0, A::EaAll, 0x4018812e8a45264c, 407, 158),
+    (Cfg::Oracle, 5, 0, A::EaPrune, 0x4018812e8a45264c, 73, 21),
+    (Cfg::Oracle, 5, 1, A::DPhyp, 0x40055d3f0d8f4380, 19, 12),
+    (Cfg::Oracle, 5, 1, A::H1, 0x40055d3f0d8f4380, 77, 12),
+    (Cfg::Oracle, 5, 1, A::H2(1.03), 0x40055d3f0d8f4380, 77, 12),
+    (Cfg::Oracle, 5, 1, A::EaAll, 0x40055d3f0d8f4380, 392, 79),
+    (Cfg::Oracle, 5, 1, A::EaPrune, 0x40055d3f0d8f4380, 123, 21),
+    (Cfg::Oracle, 5, 2, A::DPhyp, 0x403a5d0163b9e521, 22, 11),
+    (Cfg::Oracle, 5, 2, A::H1, 0x40308be26b1c7244, 102, 11),
+    (Cfg::Oracle, 5, 2, A::H2(1.03), 0x40308be26b1c7244, 102, 11),
+    (Cfg::Oracle, 5, 2, A::EaAll, 0x4030451f42cea0b6, 14670, 569),
+    (Cfg::Oracle, 5, 2, A::EaPrune, 0x4030451f42cea0b6, 300, 21),
+    (Cfg::Oracle, 5, 3, A::DPhyp, 0x4037ae3fdb887c60, 12, 9),
+    (Cfg::Oracle, 5, 3, A::H1, 0x4037ae3fdb887c60, 16, 9),
+    (Cfg::Oracle, 5, 3, A::H2(1.03), 0x4037ae3fdb887c60, 16, 9),
+    (Cfg::Oracle, 5, 3, A::EaAll, 0x4037ae3fdb887c60, 96, 33),
+    (Cfg::Oracle, 5, 3, A::EaPrune, 0x4037ae3fdb887c60, 20, 10),
+    (Cfg::Oracle, 5, 4, A::DPhyp, 0x4089b447e5e71040, 13, 10),
+    (Cfg::Oracle, 5, 4, A::H1, 0x407b2b0434e53276, 78, 10),
+    (Cfg::Oracle, 5, 4, A::H2(1.03), 0x407b2b0434e53276, 78, 10),
+    (Cfg::Oracle, 5, 4, A::EaAll, 0x407b2b0434e53276, 4470, 297),
+    (Cfg::Oracle, 5, 4, A::EaPrune, 0x407b2b0434e53276, 204, 18),
+    (Cfg::Paper, 3, 1000, A::DPhyp, 0x40fc11999f96456c, 6, 5),
+    (Cfg::Paper, 3, 1000, A::H1, 0x40c4563e03bf115f, 30, 5),
+    (Cfg::Paper, 3, 1000, A::H2(1.03), 0x40c4563e03bf115f, 30, 5),
+    (Cfg::Paper, 3, 1000, A::EaAll, 0x40c4563e03bf115f, 59, 13),
+    (Cfg::Paper, 3, 1000, A::EaPrune, 0x40c4563e03bf115f, 43, 7),
+    (Cfg::Paper, 3, 1001, A::DPhyp, 0x40c176fb4bcd7524, 8, 5),
+    (Cfg::Paper, 3, 1001, A::H1, 0x4092300000000000, 22, 5),
+    (Cfg::Paper, 3, 1001, A::H2(1.03), 0x4092300000000000, 22, 5),
+    (Cfg::Paper, 3, 1001, A::EaAll, 0x4092300000000000, 48, 9),
+    (Cfg::Paper, 3, 1001, A::EaPrune, 0x4092300000000000, 22, 5),
+    (Cfg::Paper, 3, 1002, A::DPhyp, 0x40b0475a4a022ab3, 6, 5),
+    (Cfg::Paper, 3, 1002, A::H1, 0x40b0475a4a022ab3, 18, 5),
+    (Cfg::Paper, 3, 1002, A::H2(1.03), 0x40b0475a4a022ab3, 18, 5),
+    (Cfg::Paper, 3, 1002, A::EaAll, 0x40b0475a4a022ab3, 25, 9),
+    (Cfg::Paper, 3, 1002, A::EaPrune, 0x40b0475a4a022ab3, 21, 7),
+    (Cfg::Paper, 4, 1000, A::DPhyp, 0x40668856e5b5eebc, 14, 9),
+    (Cfg::Paper, 4, 1000, A::H1, 0x4062759f5f2ec52f, 75, 9),
+    (Cfg::Paper, 4, 1000, A::H2(1.03), 0x4062759f5f2ec52f, 75, 9),
+    (Cfg::Paper, 4, 1000, A::EaAll, 0x4062759f5f2ec52f, 511, 100),
+    (Cfg::Paper, 4, 1000, A::EaPrune, 0x4062759f5f2ec52f, 129, 18),
+    (Cfg::Paper, 4, 1001, A::DPhyp, 0x40a93ec91dc20ba2, 14, 10),
+    (Cfg::Paper, 4, 1001, A::H1, 0x40a93ec91dc20ba2, 34, 10),
+    (Cfg::Paper, 4, 1001, A::H2(1.03), 0x40a93ec91dc20ba2, 34, 10),
+    (Cfg::Paper, 4, 1001, A::EaAll, 0x40a93ec91dc20ba2, 71, 26),
+    (Cfg::Paper, 4, 1001, A::EaPrune, 0x40a93ec91dc20ba2, 49, 16),
+    (Cfg::Paper, 4, 1002, A::DPhyp, 0x40d086e28b23981a, 20, 9),
+    (Cfg::Paper, 4, 1002, A::H1, 0x40d086e28b23981a, 120, 9),
+    (Cfg::Paper, 4, 1002, A::H2(1.03), 0x40d086e28b23981a, 120, 9),
+    (Cfg::Paper, 4, 1002, A::EaAll, 0x40c2b43d3efb3237, 4056, 276),
+    (Cfg::Paper, 4, 1002, A::EaPrune, 0x40c2b43d3efb3237, 366, 25),
+    (Cfg::Paper, 5, 1000, A::DPhyp, 0x4084539a4ebdb686, 22, 11),
+    (Cfg::Paper, 5, 1000, A::H1, 0x407ef01ca1f90506, 132, 11),
+    (Cfg::Paper, 5, 1000, A::H2(1.03), 0x407ef01ca1f90506, 132, 11),
+    (Cfg::Paper, 5, 1000, A::EaAll, 0x407ef01ca1f90506, 33348, 2781),
+    (Cfg::Paper, 5, 1000, A::EaPrune, 0x407ef01ca1f90506, 264, 19),
+    (Cfg::Paper, 5, 1001, A::DPhyp, 0x40616e38fe72b8a0, 50, 16),
+    (Cfg::Paper, 5, 1001, A::H1, 0x40616e38fe72b8a0, 194, 16),
+    (Cfg::Paper, 5, 1001, A::H2(1.03), 0x4061af94741ea668, 194, 16),
+    (Cfg::Paper, 5, 1001, A::EaAll, 0x40616e38fe72b8a0, 13788, 1651),
+    (Cfg::Paper, 5, 1001, A::EaPrune, 0x40616e38fe72b8a0, 520, 38),
+    (Cfg::Paper, 5, 1002, A::DPhyp, 0x40bb6eb9a5bffb60, 19, 11),
+    (Cfg::Paper, 5, 1002, A::H1, 0x40bb6eb9a5bffb60, 99, 11),
+    (Cfg::Paper, 5, 1002, A::H2(1.03), 0x40bb6eb9a5bffb60, 99, 11),
+    (Cfg::Paper, 5, 1002, A::EaAll, 0x40bb6eb9a5bffb60, 6341, 555),
+    (Cfg::Paper, 5, 1002, A::EaPrune, 0x40bb6eb9a5bffb60, 220, 23),
+    (Cfg::Paper, 6, 1000, A::DPhyp, 0x40eb25e8b9015b6c, 15, 12),
+    (Cfg::Paper, 6, 1000, A::H1, 0x40eb1468af295929, 81, 12),
+    (Cfg::Paper, 6, 1000, A::H2(1.03), 0x40eb1468af295929, 81, 12),
+    (Cfg::Paper, 6, 1000, A::EaAll, 0x40eb1468af295929, 10624, 822),
+    (Cfg::Paper, 6, 1000, A::EaPrune, 0x40eb1468af295929, 130, 19),
+    (Cfg::Paper, 6, 1001, A::DPhyp, 0x41328e938db5f005, 13, 11),
+    (Cfg::Paper, 6, 1001, A::H1, 0x40de8ceb53b8a0cc, 69, 11),
+    (Cfg::Paper, 6, 1001, A::H2(1.03), 0x40decd9756d1ac00, 69, 11),
+    (Cfg::Paper, 6, 1001, A::EaAll, 0x40de4f96b97657ce, 21780, 1086),
+    (Cfg::Paper, 6, 1001, A::EaPrune, 0x40de4f96b97657ce, 198, 20),
+    (Cfg::Paper, 6, 1002, A::DPhyp, 0x40b90206175c99ec, 24, 14),
+    (Cfg::Paper, 6, 1002, A::H1, 0x40a4c5b3c08ee228, 138, 14),
+    (Cfg::Paper, 6, 1002, A::H2(1.03), 0x40a4c5b3c08ee228, 138, 14),
+    (Cfg::Paper, 6, 1002, A::EaAll, 0x40a4c5b3c08ee228, 66570, 7778),
+    (Cfg::Paper, 6, 1002, A::EaPrune, 0x40a4c5b3c08ee228, 292, 26),
+];
+
+#[test]
+fn engine_matches_seed_goldens_bit_for_bit() {
+    for &(cfg, n, seed, algo, cost_bits, plans_built, retained) in GOLDEN {
+        let query = generate_query(&cfg.config(n), seed);
+        let r = optimize(&query, algo);
+        assert_eq!(
+            cost_bits,
+            r.plan.cost.to_bits(),
+            "cost diverges from seed behavior (n={n}, seed={seed}, {}): {} vs {}",
+            algo.name(),
+            f64::from_bits(cost_bits),
+            r.plan.cost
+        );
+        assert_eq!(
+            plans_built,
+            r.plans_built,
+            "plans_built diverges (n={n}, seed={seed}, {})",
+            algo.name()
+        );
+        assert_eq!(
+            retained,
+            r.retained_plans,
+            "retained_plans diverges (n={n}, seed={seed}, {})",
+            algo.name()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(30))]
+
+    /// §4.6 under the memo representation: dominance pruning never loses
+    /// the optimal plan on random 2–6 table queries.
+    #[test]
+    fn ea_prune_cost_equals_ea_all(n in 2usize..=6, seed in 0u64..1_000_000) {
+        let query = generate_query(&GenConfig::oracle(n), seed);
+        let all = optimize(&query, A::EaAll);
+        let pruned = optimize(&query, A::EaPrune);
+        prop_assert!(
+            (all.plan.cost - pruned.plan.cost).abs() <= 1e-9 * all.plan.cost.max(1.0),
+            "EA-Prune lost optimality (n={}, seed={}): {} vs {}",
+            n, seed, all.plan.cost, pruned.plan.cost
+        );
+        prop_assert!(pruned.retained_plans <= all.retained_plans);
+        prop_assert!(pruned.plans_built <= all.plans_built);
+    }
+}

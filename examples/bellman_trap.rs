@@ -5,8 +5,8 @@
 //!
 //! Run with `cargo run --example bellman_trap`.
 
-use dpnext::core::{optimize, Algorithm};
 use dpnext::workload::{fig11_database, fig11_query};
+use dpnext::{Algorithm, Optimizer};
 
 fn main() {
     let query = fig11_query();
@@ -21,7 +21,7 @@ fn main() {
         Algorithm::EaAll,
         Algorithm::EaPrune,
     ] {
-        let opt = optimize(&query, algo);
+        let opt = Optimizer::new(algo).optimize(&query);
         let (result, measured) = opt.plan.root.eval_counting(&db);
         println!(
             "{:<12} estimated = {:>6.1}   measured C_out = {:>2}   top grouping kept = {}",
@@ -39,6 +39,6 @@ fn main() {
     println!("H1 discards the eager subplan (its local cost is higher) — the Bellman trap;");
     println!("H2's tolerance factor and EA-Prune's dominance pruning both escape it.\n");
 
-    let best = optimize(&query, Algorithm::EaPrune);
+    let best = Optimizer::new(Algorithm::EaPrune).optimize(&query);
     println!("optimal plan:\n{}", best.plan.root);
 }

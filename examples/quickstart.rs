@@ -4,8 +4,8 @@
 //! Run with `cargo run --example quickstart`.
 
 use dpnext::algebra::{AggCall, AggKind, Expr, JoinPred, Relation, Value};
-use dpnext::core::{optimize, Algorithm};
 use dpnext::query::{GroupSpec, OpKind, OpTree, Query, QueryTable};
+use dpnext::{Algorithm, Optimizer};
 use dpnext_algebra::{AttrGen, AttrId, Database};
 
 fn main() {
@@ -98,7 +98,7 @@ fn main() {
         Algorithm::EaAll,
         Algorithm::EaPrune,
     ] {
-        let opt = optimize(&query, algo);
+        let opt = Optimizer::new(algo).optimize(&query);
         let result = opt.plan.root.eval(&db);
         assert!(result.bag_eq(&reference), "{} plan disagrees!", algo.name());
         println!(
@@ -110,8 +110,14 @@ fn main() {
         );
     }
 
-    let best = optimize(&query, Algorithm::EaPrune);
+    let best = Optimizer::new(Algorithm::EaPrune).optimize(&query);
     println!("\noptimal plan (EA-Prune):\n{}", best.plan.root);
+    println!(
+        "memo: {} arena plans, peak class width {}, prune hit-rate {:.0}%",
+        best.memo.arena_plans,
+        best.memo.peak_class_width,
+        100.0 * best.memo.prune_hit_rate()
+    );
     println!("EXPLAIN:\n{}", best.explain);
     let _ = Value::Int(0); // silence unused import lint in minimal builds
 }

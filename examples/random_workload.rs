@@ -5,8 +5,8 @@
 //!
 //! Run with `cargo run --release --example random_workload [n_relations] [queries]`.
 
-use dpnext::core::{optimize, Algorithm};
 use dpnext::workload::{generate_query, GenConfig};
+use dpnext::{Algorithm, Optimizer};
 
 fn main() {
     let n: usize = std::env::args()
@@ -30,9 +30,12 @@ fn main() {
     let (mut h1_wins, mut total_gain) = (0usize, 0.0f64);
     for seed in 0..queries {
         let query = generate_query(&cfg, seed);
-        let dphyp = optimize(&query, Algorithm::DPhyp).plan.cost;
-        let h1 = optimize(&query, Algorithm::H1).plan.cost;
-        let h2 = optimize(&query, Algorithm::H2(1.03)).plan.cost;
+        let dphyp = Optimizer::new(Algorithm::DPhyp).optimize(&query).plan.cost;
+        let h1 = Optimizer::new(Algorithm::H1).optimize(&query).plan.cost;
+        let h2 = Optimizer::new(Algorithm::H2(1.03))
+            .optimize(&query)
+            .plan
+            .cost;
         if h1 < dphyp {
             h1_wins += 1;
         }

@@ -1,11 +1,11 @@
-//! Drive the whole system from SQL text: parse, bind against the TPC-H
-//! catalog, optimize with every algorithm, execute at a small scale.
+//! Drive the whole system from SQL text through the [`Optimizer`] facade:
+//! parse, bind against the TPC-H catalog, optimize with every algorithm,
+//! execute at a small scale.
 //!
 //! Run with `cargo run --example sql_frontend ["<query>"]`.
 
-use dpnext::core::{optimize, Algorithm};
-use dpnext::sql::plan;
-use dpnext_catalog::{generate_database, tpch_catalog};
+use dpnext::catalog::generate_database;
+use dpnext::{Algorithm, Optimizer};
 
 const DEFAULT: &str = "select ns.n_name, nc.n_name, count(*) \
     from (nation ns join supplier s on ns.n_nationkey = s.s_nationkey) \
@@ -20,27 +20,16 @@ fn main() {
         .unwrap_or_else(|| DEFAULT.to_string());
     println!("SQL> {sql}\n");
 
-    let mut catalog = tpch_catalog();
-    let bound = match plan(&sql, &mut catalog) {
-        Ok(b) => b,
+    // Parse/bind once; the loop below reuses the bound query.
+    let (bound, best) = match Optimizer::new(Algorithm::EaPrune).optimize_sql_bound(&sql) {
+        Ok(r) => r,
         Err(e) => {
             eprintln!("{e}");
             std::process::exit(1);
         }
     };
-    println!(
-        "bound: {} table occurrence(s), output columns: {:?}\n",
-        bound.query.table_count(),
-        bound.output_names
-    );
-
-    for algo in [
-        Algorithm::DPhyp,
-        Algorithm::H1,
-        Algorithm::H2(1.03),
-        Algorithm::EaPrune,
-    ] {
-        let opt = optimize(&bound.query, algo);
+    for algo in [Algorithm::DPhyp, Algorithm::H1, Algorithm::H2(1.03)] {
+        let opt = Optimizer::new(algo).optimize(&bound.query);
         println!(
             "{:<12} estimated C_out = {:>14.1}   optimization time = {:>8.1} µs",
             algo.name(),
@@ -48,8 +37,24 @@ fn main() {
             opt.elapsed.as_secs_f64() * 1e6
         );
     }
+    println!(
+        "{:<12} estimated C_out = {:>14.1}   optimization time = {:>8.1} µs",
+        Algorithm::EaPrune.name(),
+        best.plan.cost,
+        best.elapsed.as_secs_f64() * 1e6
+    );
 
-    let best = optimize(&bound.query, Algorithm::EaPrune);
+    println!(
+        "\nbound: {} table occurrence(s), output columns: {:?}",
+        bound.query.table_count(),
+        bound.output_names
+    );
+    println!(
+        "memo: {} arena plans (peak {}), prune hit-rate {:.0}%",
+        best.memo.arena_plans,
+        best.memo.arena_peak,
+        100.0 * best.memo.prune_hit_rate()
+    );
     println!("\nbest plan:\n{}", best.plan.root);
 
     // Execute on a small synthetic instance.
@@ -62,10 +67,7 @@ fn main() {
     let db = generate_database(0.002, 7, &occs);
     let result = best.plan.root.eval(&db);
     println!("result ({} rows, scale 0.002):", result.len());
-    for (i, names) in [bound.output_names].iter().enumerate() {
-        let _ = i;
-        println!("{}", names.join("\t"));
-    }
+    println!("{}", bound.output_names.join("\t"));
     for row in result.tuples().iter().take(10) {
         let vals: Vec<String> = row.iter().map(|v| v.to_string()).collect();
         println!("{}", vals.join("\t"));

@@ -8,8 +8,8 @@
 //!
 //! Run with `cargo run --release --example tpch_outer_join [scale]`.
 
-use dpnext::core::{optimize, Algorithm};
 use dpnext::workload::ex_query;
+use dpnext::{Algorithm, Optimizer};
 use std::time::Instant;
 
 fn main() {
@@ -27,8 +27,8 @@ fn main() {
         db.get("c").unwrap().len()
     );
 
-    let baseline = optimize(&ex.query, Algorithm::DPhyp);
-    let eager = optimize(&ex.query, Algorithm::EaPrune);
+    let baseline = Optimizer::new(Algorithm::DPhyp).optimize(&ex.query);
+    let eager = Optimizer::new(Algorithm::EaPrune).optimize(&ex.query);
 
     let t0 = Instant::now();
     let (res_base, cout_base) = baseline.plan.root.eval_counting(&db);

@@ -1,4 +1,7 @@
-//! Facade crate re-exporting the dpnext workspace.
+//! Facade crate re-exporting the dpnext workspace, plus the [`Optimizer`]
+//! entry point running the full pipeline `SQL text → parse/bind → Query →
+//! memo DP → Optimized` in one call.
+
 pub use dpnext_algebra as algebra;
 pub use dpnext_catalog as catalog;
 pub use dpnext_conflict as conflict;
@@ -9,3 +12,8 @@ pub use dpnext_keys as keys;
 pub use dpnext_query as query;
 pub use dpnext_sql as sql;
 pub use dpnext_workload as workload;
+
+mod optimizer;
+
+pub use dpnext_core::{Algorithm, DominanceKind, MemoStats, Optimized};
+pub use optimizer::Optimizer;

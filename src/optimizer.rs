@@ -1,0 +1,96 @@
+//! The [`Optimizer`] facade: one builder-style entry point that runs the
+//! full pipeline `SQL text → parse/bind → Query → memo DP → Optimized`.
+//!
+//! ```
+//! use dpnext::{Algorithm, Optimizer};
+//!
+//! let opt = Optimizer::new(Algorithm::EaPrune)
+//!     .optimize_sql(
+//!         "select n.n_name, count(*) \
+//!          from nation n join supplier s on n.n_nationkey = s.s_nationkey \
+//!          group by n.n_name",
+//!     )
+//!     .unwrap();
+//! assert!(opt.plan.cost.is_finite());
+//! ```
+
+use dpnext_catalog::{tpch_catalog, Catalog};
+use dpnext_core::{optimize_with, Algorithm, DominanceKind, OptimizeOptions, Optimized};
+use dpnext_query::Query;
+use dpnext_sql::{plan as bind_sql, BoundQuery, SqlError};
+
+/// Builder-style facade over the whole workspace: pick an algorithm, tune
+/// the dominance criterion and stats rendering, then optimize [`Query`]
+/// values or SQL text in one call.
+///
+/// The catalog used for SQL binding defaults to the TPC-H schema
+/// ([`dpnext_catalog::tpch_catalog`]) and is built lazily on the first
+/// `optimize_sql` call; supply your own with [`Optimizer::with_catalog`].
+#[derive(Debug, Clone)]
+pub struct Optimizer {
+    algorithm: Algorithm,
+    dominance: DominanceKind,
+    explain: bool,
+    catalog: Option<Catalog>,
+}
+
+impl Optimizer {
+    /// A facade running `algorithm` with the paper's defaults: `Full`
+    /// dominance pruning and EXPLAIN/stats rendering enabled.
+    pub fn new(algorithm: Algorithm) -> Optimizer {
+        Optimizer {
+            algorithm,
+            dominance: DominanceKind::Full,
+            explain: true,
+            catalog: None,
+        }
+    }
+
+    /// Override the dominance criterion used by [`Algorithm::EaPrune`]
+    /// (the weaker kinds prune harder but can lose the optimal plan).
+    pub fn dominance(mut self, kind: DominanceKind) -> Optimizer {
+        self.dominance = kind;
+        self
+    }
+
+    /// Toggle EXPLAIN rendering on the result (disable for benchmarking
+    /// loops; the memo statistics are always collected).
+    pub fn explain(mut self, on: bool) -> Optimizer {
+        self.explain = on;
+        self
+    }
+
+    /// Bind SQL against this catalog instead of the TPC-H default.
+    pub fn with_catalog(mut self, catalog: Catalog) -> Optimizer {
+        self.catalog = Some(catalog);
+        self
+    }
+
+    /// The catalog SQL is bound against (instantiated on first use).
+    pub fn catalog(&mut self) -> &mut Catalog {
+        self.catalog.get_or_insert_with(tpch_catalog)
+    }
+
+    /// Optimize an already-constructed [`Query`].
+    pub fn optimize(&self, query: &Query) -> Optimized {
+        let opts = OptimizeOptions {
+            dominance: self.dominance,
+            explain: self.explain,
+        };
+        optimize_with(query, self.algorithm, &opts)
+    }
+
+    /// Full pipeline from SQL text: parse, bind, optimize.
+    pub fn optimize_sql(&mut self, sql: &str) -> Result<Optimized, SqlError> {
+        self.optimize_sql_bound(sql).map(|(_, opt)| opt)
+    }
+
+    /// Like [`Optimizer::optimize_sql`], additionally returning the bound
+    /// query (table occurrences, output column names) for callers that
+    /// execute the plan or generate data.
+    pub fn optimize_sql_bound(&mut self, sql: &str) -> Result<(BoundQuery, Optimized), SqlError> {
+        let bound = bind_sql(sql, self.catalog())?;
+        let optimized = self.optimize(&bound.query);
+        Ok((bound, optimized))
+    }
+}

@@ -2,8 +2,14 @@
 //! through the facade crate: query construction → conflict detection →
 //! plan generation → compilation → execution.
 
-use dpnext::core::{optimize, Algorithm};
 use dpnext::workload::{generate_data, generate_query, GenConfig, OpWeights};
+use dpnext::{Algorithm, DominanceKind, Optimized, Optimizer};
+use dpnext_query::Query;
+
+/// The workspace tests route through the `Optimizer` facade.
+fn optimize(query: &Query, algo: Algorithm) -> Optimized {
+    Optimizer::new(algo).optimize(query)
+}
 
 #[test]
 fn facade_reexports_work_together() {
@@ -107,6 +113,88 @@ fn pure_join_ordering_without_grouping() {
             );
         }
     }
+}
+
+#[test]
+fn optimizer_facade_runs_sql_end_to_end() {
+    // The whole pipeline in one call: SQL text → parse/bind (TPC-H
+    // catalog) → conflicted query → memo DP → optimized plan.
+    let opt = Optimizer::new(Algorithm::EaPrune)
+        .optimize_sql(
+            "select n.n_name, count(*) \
+             from nation n join supplier s on n.n_nationkey = s.s_nationkey \
+             group by n.n_name",
+        )
+        .expect("valid SQL");
+    assert!(opt.plan.cost.is_finite());
+    assert!(opt.plans_built > 0);
+    assert!(opt.memo.arena_plans > 0);
+    assert!(!opt.explain.is_empty());
+
+    // Binding errors surface as Err, not panics.
+    assert!(Optimizer::new(Algorithm::H1)
+        .optimize_sql("select no_such_col from nowhere")
+        .is_err());
+}
+
+#[test]
+fn optimizer_facade_executes_bound_sql() {
+    // `optimize_sql_bound` exposes the occurrences needed to generate
+    // data; the optimized plan must agree with the canonical plan.
+    let mut facade = Optimizer::new(Algorithm::EaPrune);
+    let (bound, opt) = facade
+        .optimize_sql_bound(
+            "select n.n_name, count(*) \
+             from nation n join supplier s on n.n_nationkey = s.s_nationkey \
+             group by n.n_name",
+        )
+        .expect("valid SQL");
+    let occs: Vec<_> = bound
+        .occurrences
+        .iter()
+        .enumerate()
+        .map(|(i, (t, _, m))| (t.as_str(), &bound.query.tables[i], m))
+        .collect();
+    let db = dpnext::catalog::generate_database(0.01, 3, &occs);
+    let reference = bound.query.canonical_plan().eval(&db);
+    assert!(opt.plan.root.eval(&db).bag_eq(&reference));
+}
+
+#[test]
+fn optimizer_facade_builder_knobs() {
+    let query = generate_query(&GenConfig::paper(6), 123);
+    // Stats toggle: explain rendering off, metrics still collected.
+    let quiet = Optimizer::new(Algorithm::EaPrune)
+        .explain(false)
+        .optimize(&query);
+    assert!(quiet.explain.is_empty());
+    assert!(quiet.memo.arena_plans > 0);
+    assert!(quiet.memo.prune_attempts > 0);
+
+    // Dominance override: weaker criteria must never retain more plans
+    // than the paper's full criterion.
+    let full = Optimizer::new(Algorithm::EaPrune).optimize(&query);
+    let cost_only = Optimizer::new(Algorithm::EaPrune)
+        .dominance(DominanceKind::CostOnly)
+        .optimize(&query);
+    assert!(cost_only.retained_plans <= full.retained_plans);
+    assert!(!full.explain.is_empty());
+}
+
+#[test]
+fn memo_stats_are_consistent() {
+    let query = generate_query(&GenConfig::paper(7), 7);
+    let all = optimize(&query, Algorithm::EaAll);
+    let pruned = optimize(&query, Algorithm::EaPrune);
+    // EA-All keeps every plan: no prune activity, wide classes.
+    assert_eq!(0, all.memo.prune_attempts);
+    assert!(all.memo.peak_class_width >= pruned.memo.peak_class_width);
+    // The arena holds at least the retained DP state; its peak also
+    // covers transient complete plans.
+    assert!(all.memo.arena_plans >= all.retained_plans);
+    assert!(all.memo.arena_peak >= all.memo.arena_plans);
+    assert!(pruned.memo.prune_hit_rate() > 0.0);
+    assert!(pruned.memo.prune_hit_rate() <= 1.0);
 }
 
 #[test]

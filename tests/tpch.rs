@@ -1,8 +1,14 @@
 //! TPC-H integration tests: the paper's Table-2 queries optimized and —
 //! for the introductory query — executed on synthetic data.
 
-use dpnext::core::{optimize, Algorithm};
 use dpnext::workload::{ex_query, q10, q3, q5, table2_queries};
+use dpnext::{Algorithm, Optimized, Optimizer};
+use dpnext_query::Query;
+
+/// All TPC-H assertions route through the `Optimizer` facade.
+fn optimize(query: &Query, algo: Algorithm) -> Optimized {
+    Optimizer::new(algo).optimize(query)
+}
 
 #[test]
 fn ex_eager_plan_executes_correctly() {
