@@ -1,71 +1,199 @@
 //! Bench smoke: one tiny fig15 configuration, emitted as machine-readable
 //! JSON so CI can archive a perf trajectory across PRs.
 //!
-//! Usage: `bench_smoke [--out PATH]` (default `BENCH_smoke.json`).
-//! Runs EA-Prune and DPhyp through the same `run_sweep` harness as the
-//! figure binaries (identical seed schedule) and records plans/sec, mean
-//! runtime and memo statistics per `(algorithm, n)` cell.
+//! Usage: `bench_smoke [--out PATH] [--diff PREV_PATH]`.
+//! Runs EA-Prune, EA-All and DPhyp through the same `run_sweep` harness as
+//! the figure binaries (identical seed schedule), once at `threads=1` and
+//! once at `threads=max` (at least 4, so the layered parallel engine is
+//! exercised even on small CI boxes), and records plans/sec, mean runtime
+//! and memo statistics per `(algorithm, n, threads)` cell.
+//!
+//! `--diff` compares plans/sec against a previously archived file and
+//! prints the deltas — **warn-only**: it never fails the run, it just
+//! makes perf regressions visible in the CI log.
 
-use dpnext_bench::{run_sweep, AlgoSpec};
+use dpnext_bench::{run_sweep, AlgoSpec, SweepResult};
 use dpnext_core::Algorithm;
 use dpnext_workload::GenConfig;
 use std::fmt::Write as _;
 
+const SIZES: [usize; 4] = [3, 4, 5, 6];
+const QUERIES: usize = 20;
+const SEED: u64 = 42;
+
+/// One emitted `(algorithm, n, threads)` measurement.
+struct SmokeCell {
+    algo: String,
+    n: usize,
+    threads: usize,
+    runtime_us: f64,
+    plans_built: f64,
+    plans_per_sec: f64,
+    arena: f64,
+    width: f64,
+    hit_rate: f64,
+}
+
 fn main() {
     let mut out_path = "BENCH_smoke.json".to_string();
+    let mut diff_path: Option<String> = None;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--out" => out_path = it.next().expect("missing value for --out"),
-            other => panic!("unknown flag {other} (supported: --out PATH)"),
+            "--diff" => diff_path = Some(it.next().expect("missing value for --diff")),
+            other => panic!("unknown flag {other} (supported: --out PATH, --diff PATH)"),
         }
     }
 
-    let sizes = [3usize, 4, 5, 6];
-    let queries = 20;
-    let seed = 42u64;
+    let max_n = *SIZES.last().unwrap();
     let algos = [
-        AlgoSpec::new(Algorithm::EaPrune, *sizes.last().unwrap()),
-        AlgoSpec::new(Algorithm::DPhyp, *sizes.last().unwrap()),
+        AlgoSpec::new(Algorithm::EaPrune, max_n),
+        AlgoSpec::new(Algorithm::EaAll, max_n),
+        AlgoSpec::new(Algorithm::DPhyp, max_n),
     ];
-    let result = run_sweep(&sizes, queries, seed, &algos, GenConfig::paper);
+    // threads=1 is the sequential baseline; the second run exercises the
+    // layered parallel engine — at least 4 workers even when the box has
+    // fewer cores (oversubscription is honest data, not a hazard: results
+    // are bit-identical, only the wall clock moves).
+    let t_max = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .max(4);
+    let runs: Vec<(usize, SweepResult)> = [1usize, t_max]
+        .iter()
+        .map(|&t| {
+            (
+                t,
+                run_sweep(&SIZES, QUERIES, SEED, &algos, GenConfig::paper, t),
+            )
+        })
+        .collect();
+
+    let mut cells: Vec<SmokeCell> = Vec::new();
+    for (threads, result) in &runs {
+        for (ai, spec) in result.algos.iter().enumerate() {
+            for (si, n) in result.sizes.iter().enumerate() {
+                let Some(cell) = &result.cells[ai][si] else {
+                    continue;
+                };
+                let runtime_s = cell.mean_runtime.as_secs_f64();
+                cells.push(SmokeCell {
+                    algo: spec.algo.name(),
+                    n: *n,
+                    threads: *threads,
+                    runtime_us: runtime_s * 1e6,
+                    plans_built: cell.mean_plans_built,
+                    plans_per_sec: cell.mean_plans_built / runtime_s.max(1e-12),
+                    arena: cell.mean_arena_plans,
+                    width: cell.mean_peak_class_width,
+                    hit_rate: cell.mean_prune_hit_rate,
+                });
+            }
+        }
+    }
 
     let mut json = String::from("{\n  \"workload\": \"fig15-smoke\",\n");
-    let _ = writeln!(json, "  \"sizes\": {sizes:?},");
-    let _ = writeln!(json, "  \"queries_per_size\": {queries},");
-    let _ = writeln!(json, "  \"seed\": {seed},");
+    let _ = writeln!(json, "  \"sizes\": {SIZES:?},");
+    let _ = writeln!(json, "  \"queries_per_size\": {QUERIES},");
+    let _ = writeln!(json, "  \"seed\": {SEED},");
+    let _ = writeln!(json, "  \"threads_max\": {t_max},");
     json.push_str("  \"cells\": [\n");
-    let mut first = true;
-    for (ai, spec) in result.algos.iter().enumerate() {
-        for (si, n) in result.sizes.iter().enumerate() {
-            let Some(cell) = &result.cells[ai][si] else {
-                continue;
-            };
-            if !first {
-                json.push_str(",\n");
-            }
-            first = false;
-            let runtime_s = cell.mean_runtime.as_secs_f64();
-            let _ = write!(
-                json,
-                "    {{ \"algorithm\": \"{}\", \"n\": {n}, \"queries\": {}, \
-                 \"mean_runtime_us\": {:.3}, \"mean_plans_built\": {:.1}, \
-                 \"plans_per_sec\": {:.0}, \"mean_arena_plans\": {:.1}, \
-                 \"mean_peak_class_width\": {:.1}, \"mean_prune_hit_rate\": {:.4} }}",
-                spec.algo.name(),
-                cell.queries,
-                runtime_s * 1e6,
-                cell.mean_plans_built,
-                cell.mean_plans_built / runtime_s.max(1e-12),
-                cell.mean_arena_plans,
-                cell.mean_peak_class_width,
-                cell.mean_prune_hit_rate
-            );
+    for (i, c) in cells.iter().enumerate() {
+        if i > 0 {
+            json.push_str(",\n");
         }
+        let _ = write!(
+            json,
+            "    {{ \"algorithm\": \"{}\", \"n\": {}, \"threads\": {}, \
+             \"queries\": {QUERIES}, \"mean_runtime_us\": {:.3}, \
+             \"mean_plans_built\": {:.1}, \"plans_per_sec\": {:.0}, \
+             \"mean_arena_plans\": {:.1}, \"mean_peak_class_width\": {:.1}, \
+             \"mean_prune_hit_rate\": {:.4} }}",
+            c.algo,
+            c.n,
+            c.threads,
+            c.runtime_us,
+            c.plans_built,
+            c.plans_per_sec,
+            c.arena,
+            c.width,
+            c.hit_rate
+        );
     }
     json.push_str("\n  ]\n}\n");
 
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
     println!("{json}");
     eprintln!("wrote {out_path}");
+
+    if let Some(prev) = diff_path {
+        diff_against(&prev, &cells);
+    }
+}
+
+/// Parse a previously archived `BENCH_smoke.json` (our own line-per-cell
+/// format; pre-threads files lack the `threads` field and are treated as
+/// `threads=1`) and print warn-only plans/sec deltas.
+fn diff_against(prev_path: &str, cells: &[SmokeCell]) {
+    let Ok(prev) = std::fs::read_to_string(prev_path) else {
+        eprintln!("perf-diff: cannot read {prev_path}; skipping comparison");
+        return;
+    };
+    let mut old: Vec<(String, usize, usize, f64)> = Vec::new();
+    for line in prev.lines() {
+        let Some(algo) = field_str(line, "\"algorithm\": \"") else {
+            continue;
+        };
+        let (Some(n), Some(pps)) = (
+            field_num(line, "\"n\": "),
+            field_num(line, "\"plans_per_sec\": "),
+        ) else {
+            continue;
+        };
+        let threads = field_num(line, "\"threads\": ").unwrap_or(1.0);
+        old.push((algo, n as usize, threads as usize, pps));
+    }
+    if old.is_empty() {
+        eprintln!("perf-diff: no cells found in {prev_path}; skipping comparison");
+        return;
+    }
+    eprintln!("perf-diff vs {prev_path} (warn-only):");
+    for c in cells {
+        let Some((.., old_pps)) = old
+            .iter()
+            .find(|(a, on, ot, _)| *a == c.algo && *on == c.n && *ot == c.threads)
+        else {
+            continue;
+        };
+        let delta = 100.0 * (c.plans_per_sec - old_pps) / old_pps.max(1.0);
+        let marker = if delta <= -10.0 {
+            "  ⚠ regression?"
+        } else {
+            ""
+        };
+        eprintln!(
+            "  {:<10} n={} threads={}: {:.0}k → {:.0}k plans/s ({delta:+.1}%){marker}",
+            c.algo,
+            c.n,
+            c.threads,
+            old_pps / 1e3,
+            c.plans_per_sec / 1e3
+        );
+    }
+}
+
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let start = line.find(key)? + key.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+fn field_num(line: &str, key: &str) -> Option<f64> {
+    let start = line.find(key)? + key.len();
+    let end = line[start..]
+        .find(|c: char| !c.is_ascii_digit() && c != '.' && c != '-')
+        .map(|e| e + start)
+        .unwrap_or(line.len());
+    line[start..end].parse().ok()
 }

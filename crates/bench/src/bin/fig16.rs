@@ -24,6 +24,7 @@ fn main() {
         args.seed,
         &algos,
         GenConfig::paper,
+        args.threads,
     );
     println!(
         "{}",

@@ -7,4 +7,7 @@
 
 pub mod sweep;
 
-pub use sweep::{print_memo_table, print_table, run_sweep, AlgoSpec, Args, Cell, SweepResult};
+pub use sweep::{
+    maybe_print_threads_compare, print_memo_table, print_table, print_threads_compare, run_sweep,
+    AlgoSpec, Args, Cell, SweepResult,
+};

@@ -4,7 +4,7 @@
 //! sample size here is configurable).
 
 use dpnext::Optimizer;
-use dpnext_core::Algorithm;
+use dpnext_core::{resolve_threads, Algorithm};
 use dpnext_workload::{generate_query, GenConfig};
 use std::time::Duration;
 
@@ -57,13 +57,16 @@ pub struct SweepResult {
 
 /// Run the sweep. For every size, `queries` seeds are drawn; the same
 /// query is fed to every algorithm. The *first* algorithm serves as the
-/// reference for relative costs.
+/// reference for relative costs. `threads` is the enumeration-engine
+/// fan-out (`1` = sequential streaming engine, `0` = all cores); results
+/// are bit-identical across thread counts, only runtimes change.
 pub fn run_sweep(
     sizes: &[usize],
     queries: usize,
     base_seed: u64,
     algos: &[AlgoSpec],
     gen_cfg: impl Fn(usize) -> GenConfig,
+    threads: usize,
 ) -> SweepResult {
     let mut cells: Vec<Vec<Option<Cell>>> = vec![vec![None; sizes.len()]; algos.len()];
     for (si, &n) in sizes.iter().enumerate() {
@@ -84,7 +87,10 @@ pub fn run_sweep(
                     continue;
                 }
                 // EXPLAIN rendering off: sweeps time the search itself.
-                let r = Optimizer::new(spec.algo).explain(false).optimize(&query);
+                let r = Optimizer::new(spec.algo)
+                    .explain(false)
+                    .threads(threads)
+                    .optimize(&query);
                 costs[ai].push(r.plan.cost);
                 times[ai] += r.elapsed;
                 plans[ai] += r.plans_built as f64;
@@ -169,12 +175,72 @@ pub fn print_memo_table(result: &SweepResult) -> String {
     )
 }
 
-/// Tiny command-line parsing: `--queries N --min N --max N --seed N`.
+/// Plans-per-second comparison of two sweeps of the same shape — the
+/// standard "threads=1 vs threads=N" readout of the figure binaries.
+/// Cells are `base → par (speedup×)`.
+pub fn print_threads_compare(title: &str, base: &SweepResult, par: &SweepResult) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# {title}\n"));
+    out.push_str(&format!("{:>4}", "n"));
+    for spec in &base.algos {
+        out.push_str(&format!(" {:>28}", spec.algo.name()));
+    }
+    out.push('\n');
+    let pps = |c: &Cell| c.mean_plans_built / c.mean_runtime.as_secs_f64().max(1e-12);
+    for (si, n) in base.sizes.iter().enumerate() {
+        out.push_str(&format!("{n:>4}"));
+        for (ai, _) in base.algos.iter().enumerate() {
+            match (&base.cells[ai][si], &par.cells[ai][si]) {
+                (Some(b), Some(p)) => {
+                    let (bp, pp) = (pps(b), pps(p));
+                    out.push_str(&format!(
+                        " {:>28}",
+                        format!("{:.0}k → {:.0}k ({:.2}×)", bp / 1e3, pp / 1e3, pp / bp)
+                    ));
+                }
+                _ => out.push_str(&format!(" {:>28}", "-")),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// If an explicit `--threads T > 1` was passed, rerun the sweep at
+/// `threads = 1` and print the plans/s comparison against `result` —
+/// opt-in, because the baseline sweep doubles the figure's runtime.
+/// Results are bit-identical across thread counts; only plans/s moves.
+pub fn maybe_print_threads_compare(
+    figure: &str,
+    args: &Args,
+    algos: &[AlgoSpec],
+    result: &SweepResult,
+    gen_cfg: impl Fn(usize) -> GenConfig,
+) {
+    if args.threads <= 1 {
+        return;
+    }
+    let threads = resolve_threads(args.threads);
+    let seq = run_sweep(&args.sizes(), args.queries, args.seed, algos, gen_cfg, 1);
+    println!(
+        "{}",
+        print_threads_compare(
+            &format!("{figure} — plans/s, threads=1 → threads={threads}"),
+            &seq,
+            result,
+        )
+    );
+}
+
+/// Tiny command-line parsing:
+/// `--queries N --min N --max N --seed N --threads N`.
 pub struct Args {
     pub queries: usize,
     pub min_n: usize,
     pub max_n: usize,
     pub seed: u64,
+    /// Enumeration fan-out; `0` = all cores (the facade default).
+    pub threads: usize,
 }
 
 impl Args {
@@ -184,6 +250,7 @@ impl Args {
             min_n: default_min,
             max_n: default_max,
             seed: 42,
+            threads: 0,
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
@@ -195,7 +262,10 @@ impl Args {
                 "--min" => args.min_n = v.parse().expect("--min"),
                 "--max" => args.max_n = v.parse().expect("--max"),
                 "--seed" => args.seed = v.parse().expect("--seed"),
-                other => panic!("unknown flag {other} (supported: --queries --min --max --seed)"),
+                "--threads" => args.threads = v.parse().expect("--threads"),
+                other => panic!(
+                    "unknown flag {other} (supported: --queries --min --max --seed --threads)"
+                ),
             }
         }
         args
@@ -217,7 +287,7 @@ mod tests {
             AlgoSpec::new(Algorithm::H1, 20),
             AlgoSpec::new(Algorithm::EaPrune, 5),
         ];
-        let r = run_sweep(&[3, 6], 4, 7, &algos, GenConfig::paper);
+        let r = run_sweep(&[3, 6], 4, 7, &algos, GenConfig::paper, 1);
         assert_eq!(2, r.sizes.len());
         // EA-Prune capped at 5: missing for n = 6.
         assert!(r.cells[2][0].is_some());
@@ -231,5 +301,27 @@ mod tests {
         let table = print_table("t", &r, |c| format!("{:.3}", c.mean_rel_cost));
         assert!(table.contains("DPhyp"));
         assert!(table.contains('-'));
+    }
+
+    #[test]
+    fn sweep_results_identical_across_thread_counts() {
+        let algos = [
+            AlgoSpec::new(Algorithm::EaPrune, 6),
+            AlgoSpec::new(Algorithm::DPhyp, 6),
+        ];
+        let seq = run_sweep(&[5, 6], 3, 42, &algos, GenConfig::paper, 1);
+        let par = run_sweep(&[5, 6], 3, 42, &algos, GenConfig::paper, 4);
+        for ai in 0..algos.len() {
+            for si in 0..2 {
+                let (s, p) = (
+                    seq.cells[ai][si].as_ref().unwrap(),
+                    par.cells[ai][si].as_ref().unwrap(),
+                );
+                assert_eq!(s.mean_cost.to_bits(), p.mean_cost.to_bits());
+                assert_eq!(s.mean_plans_built, p.mean_plans_built);
+            }
+        }
+        let table = print_threads_compare("1 vs 4", &seq, &par);
+        assert!(table.contains('×'));
     }
 }

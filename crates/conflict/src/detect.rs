@@ -249,6 +249,20 @@ fn collect(
 /// Returns `(op index, swapped)` entries.
 pub fn applicable_ops(cq: &ConflictedQuery, s1: NodeSet, s2: NodeSet) -> Vec<(usize, bool)> {
     let mut out = Vec::new();
+    applicable_ops_into(cq, s1, s2, &mut out);
+    out
+}
+
+/// [`applicable_ops`] into a caller-provided scratch buffer: the plan
+/// generator calls this once per csg-cmp-pair, so the enumeration hot path
+/// must not allocate here. `out` is cleared first.
+pub fn applicable_ops_into(
+    cq: &ConflictedQuery,
+    s1: NodeSet,
+    s2: NodeSet,
+    out: &mut Vec<(usize, bool)>,
+) {
+    out.clear();
     for e in cq.graph.connecting_edges(s1, s2) {
         let op = &cq.ops[e.label];
         match op.applicable(s1, s2) {
@@ -263,7 +277,6 @@ pub fn applicable_ops(cq: &ConflictedQuery, s1: NodeSet, s2: NodeSet) -> Vec<(us
     }
     out.sort_unstable();
     out.dedup();
-    out
 }
 
 /// Statistics over the conflict representation (useful for tests and

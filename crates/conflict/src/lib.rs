@@ -10,7 +10,7 @@ pub mod detect;
 pub mod tables;
 
 pub use detect::{
-    applicable_ops, conflict_stats, detect, Applicability, ConflictRule, ConflictedQuery,
-    OperatorInfo,
+    applicable_ops, applicable_ops_into, conflict_stats, detect, Applicability, ConflictRule,
+    ConflictedQuery, OperatorInfo,
 };
 pub use tables::{assoc, l_asscom, r_asscom};

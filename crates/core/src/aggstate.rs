@@ -16,7 +16,7 @@
 //!   scope's** — exactly `F² ⊗ c` of the Eager/Lazy Split equivalences
 //!   (Eqvs. 34–36).
 
-use crate::context::OptContext;
+use crate::context::{OptContext, Scratch};
 use dpnext_algebra::{AggCall, AggKind, AttrId, Expr, Value};
 use dpnext_hypergraph::NodeSet;
 
@@ -165,6 +165,7 @@ fn count_times(arg: &Expr, m: Option<&Expr>, out: AttrId) -> AggCall {
 /// untouched by a grouping over `s`.
 fn group_one(
     ctx: &OptContext,
+    scratch: &mut Scratch,
     i: usize,
     state: &AggState,
     s: NodeSet,
@@ -178,7 +179,7 @@ fn group_one(
         debug_assert!(!org.intersects(s), "can_group must reject split aggregates");
         return None;
     }
-    let out = ctx.fresh_attr();
+    let out = scratch.fresh_attr();
     let arg = call
         .arg
         .as_ref()
@@ -210,10 +211,11 @@ fn group_one(
 /// Returns `(agg calls, new state)`.
 pub fn build_group_aggs(
     ctx: &OptContext,
+    scratch: &mut Scratch,
     state: &AggState,
     s: NodeSet,
 ) -> (Vec<AggCall>, AggState) {
-    let c_new = ctx.fresh_attr();
+    let c_new = scratch.fresh_attr();
     let count_call = match state.multiplier() {
         None => AggCall::count_star(c_new),
         Some(m) => AggCall::new(c_new, AggKind::Sum, m),
@@ -221,7 +223,7 @@ pub fn build_group_aggs(
     let mut calls = vec![count_call];
     let mut pos = state.pos.clone();
     for (i, slot) in pos.iter_mut().enumerate() {
-        if let Some((call, p)) = group_one(ctx, i, state, s) {
+        if let Some((call, p)) = group_one(ctx, scratch, i, state, s) {
             calls.push(call);
             *slot = p;
         }

@@ -4,14 +4,29 @@
 //! optimality-preserving EA-Prune (Figs. 13/14), and the heuristics H1
 //! (Fig. 10) and H2 (Fig. 12) are all instances of the engine with a
 //! different [`ClassPolicy`].
+//!
+//! The engine has two interchangeable drivers:
+//!
+//! * **streaming** (`threads = 1`): walk the DPhyp csg-cmp-pair stream in
+//!   emission order and feed the policy directly — exactly the historical
+//!   sequential path;
+//! * **layered** (`threads > 1`): stratify the stream by `|S1 ∪ S2|`
+//!   ([`dpnext_hypergraph::stratify_ccps`]), fan each stratum's pairs out
+//!   over `std::thread::scope` workers building into thread-local
+//!   [`MemoShard`]s, then merge the shards and **replay** the recorded
+//!   candidate stream against the real policy in original pair order.
+//!   Because a stratum only reads plan classes frozen by earlier strata,
+//!   the replay makes costs, class contents, dominance outcomes and
+//!   `plans_built` bit-identical to the streaming driver for any thread
+//!   count (the parity suite pins this).
 
-use crate::context::OptContext;
+use crate::context::{OptContext, Scratch};
 use crate::finalize::{finalize, FinalPlan};
-use crate::memo::{DominanceKind, Memo, MemoStats, PlanId};
+use crate::memo::{DominanceKind, Memo, MemoShard, MemoStats, PlanId, PlanStore};
 use crate::optrees::op_trees;
 use crate::plan::{make_apply, make_scan};
-use dpnext_conflict::applicable_ops;
-use dpnext_hypergraph::{enumerate_ccps, NodeSet};
+use dpnext_conflict::applicable_ops_into;
+use dpnext_hypergraph::{enumerate_ccps, stratify_ccps, NodeSet};
 use dpnext_query::{OpKind, Query};
 use std::time::{Duration, Instant};
 
@@ -56,8 +71,10 @@ pub struct Optimized {
     pub plans_built: u64,
     /// Plans retained in the DP table at the end.
     pub retained_plans: u64,
-    /// Memo statistics: arena size, peak class width, prune hit-rate.
+    /// Memo statistics: arena size, peak class width, prune hit-rate,
+    /// layering/threading of the enumeration.
     pub memo: MemoStats,
+    /// Time spent searching (EXPLAIN rendering excluded).
     pub elapsed: Duration,
 }
 
@@ -69,6 +86,11 @@ pub struct OptimizeOptions {
     pub dominance: DominanceKind,
     /// Render the EXPLAIN string (skip for pure benchmarking runs).
     pub explain: bool,
+    /// Worker threads for the enumeration engine: `1` is the exact
+    /// sequential streaming path, `0` resolves to the machine's available
+    /// parallelism. Any value yields bit-identical costs, class contents
+    /// and `plans_built`.
+    pub threads: usize,
 }
 
 impl Default for OptimizeOptions {
@@ -76,7 +98,19 @@ impl Default for OptimizeOptions {
         OptimizeOptions {
             dominance: DominanceKind::Full,
             explain: true,
+            threads: 0,
         }
+    }
+}
+
+/// Resolve the `threads` knob: `0` means all available cores.
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    } else {
+        threads
     }
 }
 
@@ -93,7 +127,7 @@ pub fn optimize_with_pruning(query: &Query, kind: DominanceKind) -> Optimized {
         Algorithm::EaPrune,
         &OptimizeOptions {
             dominance: kind,
-            explain: true,
+            ..OptimizeOptions::default()
         },
     )
 }
@@ -101,15 +135,18 @@ pub fn optimize_with_pruning(query: &Query, kind: DominanceKind) -> Optimized {
 /// Optimize `query` with explicit [`OptimizeOptions`].
 pub fn optimize_with(query: &Query, algo: Algorithm, opts: &OptimizeOptions) -> Optimized {
     let ctx = OptContext::new(query.clone());
+    let threads = resolve_threads(opts.threads);
     let start = Instant::now();
-    let (memo, (plan, logical), retained) = match algo {
-        Algorithm::DPhyp => run_single(&ctx, false, None),
-        Algorithm::H1 => run_single(&ctx, true, None),
-        Algorithm::H2(f) => run_single(&ctx, true, Some(f)),
-        Algorithm::EaAll => run_multi(&ctx, None),
-        Algorithm::EaPrune => run_multi(&ctx, Some(opts.dominance)),
+    let (memo, (plan, logical), retained, plans_built) = match algo {
+        Algorithm::DPhyp => run_single(&ctx, false, None, threads),
+        Algorithm::H1 => run_single(&ctx, true, None, threads),
+        Algorithm::H2(f) => run_single(&ctx, true, Some(f), threads),
+        Algorithm::EaAll => run_multi(&ctx, None, threads),
+        Algorithm::EaPrune => run_multi(&ctx, Some(opts.dominance), threads),
     };
-    let plans_built = *ctx.plans_built.borrow();
+    // Capture the search time *before* rendering: EXPLAIN is presentation,
+    // not optimization, and must not inflate the reported elapsed time.
+    let elapsed = start.elapsed();
     let explain = if opts.explain {
         crate::explain::explain(&ctx, &memo, logical)
     } else {
@@ -121,46 +158,81 @@ pub fn optimize_with(query: &Query, algo: Algorithm, opts: &OptimizeOptions) -> 
         plans_built,
         retained_plans: retained,
         memo: memo.stats(),
-        elapsed: start.elapsed(),
+        elapsed,
     }
 }
 
-/// All ways to apply operators to the csg-cmp-pair `(s1, s2)`:
-/// `(left set, right set, primary operator, extra inner-join edges)`.
+/// Reusable per-pair buffers of the enumeration hot loop: orientation and
+/// class snapshots live here so processing a csg-cmp-pair allocates
+/// nothing (beyond the plans themselves).
+struct PairBufs {
+    /// `applicable_ops_into` output.
+    apps: Vec<(usize, bool)>,
+    /// Deduplicated operator indices crossing the cut.
+    uniq: Vec<usize>,
+    /// Orientations `(left set, right set, primary operator)`.
+    orients: Vec<(NodeSet, NodeSet, usize)>,
+    /// Extra inner-join edges crossing the same cut (cyclic queries);
+    /// shared by every orientation of the pair.
+    extra: Vec<usize>,
+    lefts: Vec<PlanId>,
+    rights: Vec<PlanId>,
+    trees: Vec<PlanId>,
+}
+
+impl PairBufs {
+    fn new() -> PairBufs {
+        PairBufs {
+            apps: Vec::new(),
+            uniq: Vec::new(),
+            orients: Vec::new(),
+            extra: Vec::new(),
+            lefts: Vec::new(),
+            rights: Vec::new(),
+            trees: Vec::new(),
+        }
+    }
+}
+
+/// All ways to apply operators to the csg-cmp-pair `(s1, s2)`, written
+/// into `bufs.orients`/`bufs.extra` (no per-pair allocation).
 ///
 /// Multiple edges cross the same cut only in cyclic queries; if they are
 /// all inner joins their predicates are merged into one application. A mix
 /// of inner and non-inner edges on one cut is rejected (never produced by
 /// the paper's workloads).
-fn orientations(
-    ctx: &OptContext,
-    s1: NodeSet,
-    s2: NodeSet,
-) -> Vec<(NodeSet, NodeSet, usize, Vec<usize>)> {
-    let apps = applicable_ops(&ctx.cq, s1, s2);
+fn orientations_into(ctx: &OptContext, s1: NodeSet, s2: NodeSet, bufs: &mut PairBufs) {
+    let PairBufs {
+        apps,
+        uniq,
+        orients,
+        extra,
+        ..
+    } = bufs;
+    orients.clear();
+    extra.clear();
+    applicable_ops_into(&ctx.cq, s1, s2, apps);
     if apps.is_empty() {
-        return Vec::new();
+        return;
     }
-    let mut uniq: Vec<usize> = apps.iter().map(|&(i, _)| i).collect();
+    uniq.clear();
+    uniq.extend(apps.iter().map(|&(i, _)| i));
     uniq.sort_unstable();
     uniq.dedup();
     if uniq.len() == 1 {
         let idx = uniq[0];
-        apps.iter()
-            .map(|&(_, swapped)| {
-                if swapped {
-                    (s2, s1, idx, Vec::new())
-                } else {
-                    (s1, s2, idx, Vec::new())
-                }
-            })
-            .collect()
+        for &(_, swapped) in apps.iter() {
+            if swapped {
+                orients.push((s2, s1, idx));
+            } else {
+                orients.push((s1, s2, idx));
+            }
+        }
     } else if uniq.iter().all(|&i| ctx.cq.ops[i].op == OpKind::Join) {
         let primary = uniq[0];
-        let extra: Vec<usize> = uniq[1..].to_vec();
-        vec![(s1, s2, primary, extra.clone()), (s2, s1, primary, extra)]
-    } else {
-        Vec::new()
+        extra.extend_from_slice(&uniq[1..]);
+        orients.push((s1, s2, primary));
+        orients.push((s2, s1, primary));
     }
 }
 
@@ -177,66 +249,424 @@ trait ClassPolicy {
     /// Returns whether the policy kept a reference to `id`; when no plan
     /// of a full-set pair is kept, the engine rolls the arena back.
     fn complete(&mut self, ctx: &OptContext, memo: &mut Memo, id: PlanId) -> bool;
+    /// Whether the layered driver may run this policy: [`WorkerSink`]
+    /// pre-filters complete plans with a worker-local strict-`<`
+    /// finalized-cost keep-best, which is lossless only when `complete`
+    /// itself keeps exactly the strict-cost winners (as the keep-best
+    /// policies do). Policies that retain non-improving complete plans
+    /// (collect-all, top-k, tolerance acceptance) must return `false`;
+    /// the engine then stays on the streaming driver regardless of the
+    /// `threads` knob.
+    fn parallel_safe(&self) -> bool {
+        true
+    }
 }
 
-/// The single generic enumeration loop: seed scan classes, then walk every
-/// csg-cmp-pair (DPhyp order), build the policy's plan variants for every
-/// pair of retained subplans, and hand them to the policy. Plan classes
-/// are id lists in the memo; the per-pair snapshots are plain `PlanId`
-/// copies into reusable scratch buffers — no plan data is ever cloned.
-fn enumerate_plans<P: ClassPolicy>(ctx: &OptContext, memo: &mut Memo, policy: &mut P) {
-    let n = ctx.query.table_count();
-    let full = NodeSet::full(n);
-    for i in 0..n {
-        let id = make_scan(ctx, memo, i);
-        memo.class_push(NodeSet::single(i), id);
-    }
-    if n == 1 {
-        return;
-    }
-    let mut lefts: Vec<PlanId> = Vec::new();
-    let mut rights: Vec<PlanId> = Vec::new();
-    let mut trees: Vec<PlanId> = Vec::new();
-    enumerate_ccps(&ctx.cq.graph, |s1, s2| {
-        for (sl, sr, op, extra) in orientations(ctx, s1, s2) {
-            lefts.clear();
-            lefts.extend_from_slice(memo.class(sl));
-            rights.clear();
-            rights.extend_from_slice(memo.class(sr));
-            if lefts.is_empty() || rights.is_empty() {
-                continue;
-            }
-            let s = sl.union(sr);
-            for &t1 in &lefts {
-                for &t2 in &rights {
-                    // Complete plans never enter a class: unless the policy
-                    // keeps one, the whole pair's plans are reclaimed.
-                    let mark = (s == full).then(|| memo.arena_len());
-                    trees.clear();
-                    if policy.eager() {
-                        op_trees(ctx, memo, op, &extra, t1, t2, &mut trees);
-                    } else if let Some(t) = make_apply(ctx, memo, op, &extra, t1, t2) {
-                        trees.push(t);
-                    }
-                    let mut kept = false;
-                    for &t in &trees {
-                        if s == full {
-                            if all_ops_applied(ctx, memo[t].applied) {
-                                kept |= policy.complete(ctx, memo, t);
-                            }
-                        } else {
-                            policy.insert(ctx, memo, s, t);
+/// Where the plans of one csg-cmp-pair go: the streaming driver feeds the
+/// policy and memo directly; layered workers record candidates (plus a
+/// local keep-best for rollback) for the deterministic merge replay.
+trait PairSink<S: PlanStore> {
+    /// The engine is about to build the plans of work unit `unit` — one
+    /// `(t1, t2)` subplan combination in the stratum-global enumeration
+    /// order. Workers tag their candidates with it so the merge can
+    /// interleave the streams back into sequential order.
+    fn begin_unit(&mut self, unit: u64);
+    fn insert(&mut self, ctx: &OptContext, store: &mut S, s: NodeSet, id: PlanId);
+    /// Returns whether the sink kept a reference to the complete plan.
+    fn complete(&mut self, ctx: &OptContext, store: &mut S, id: PlanId) -> bool;
+}
+
+/// Build the plan variants of one csg-cmp-pair: for each orientation,
+/// pair up the retained subplans of both sides, construct the policy's
+/// tree variants, and hand them to the sink. Complete plans never enter a
+/// class; unless the sink keeps one, the whole `(t1, t2)` application is
+/// rolled back — on EA-All the losing complete plans outnumber the
+/// retained state by an order of magnitude.
+///
+/// Every `(orientation, t1, t2)` combination is one **work unit**,
+/// numbered by `unit` across the whole stratum. `take` decides whether
+/// this caller builds the unit — the streaming driver takes everything,
+/// layered workers take their `unit ≡ worker (mod threads)` share. Unit
+/// numbering depends only on frozen class snapshots and the (pure)
+/// orientation computation, so every worker counts identically; combos
+/// are the grain of the fan-out because the heavy strata of the EA
+/// searches hold few pairs with enormous subplan grids.
+#[allow(clippy::too_many_arguments)]
+fn process_pair<S: PlanStore, K: PairSink<S>>(
+    ctx: &OptContext,
+    scratch: &mut Scratch,
+    bufs: &mut PairBufs,
+    store: &mut S,
+    sink: &mut K,
+    eager: bool,
+    s1: NodeSet,
+    s2: NodeSet,
+    full: NodeSet,
+    unit: &mut u64,
+    take: &mut impl FnMut(u64) -> bool,
+) {
+    orientations_into(ctx, s1, s2, bufs);
+    let PairBufs {
+        orients,
+        extra,
+        lefts,
+        rights,
+        trees,
+        ..
+    } = bufs;
+    for &(sl, sr, op) in orients.iter() {
+        lefts.clear();
+        lefts.extend_from_slice(store.plan_class(sl));
+        rights.clear();
+        rights.extend_from_slice(store.plan_class(sr));
+        if lefts.is_empty() || rights.is_empty() {
+            continue;
+        }
+        let s = sl.union(sr);
+        for &t1 in lefts.iter() {
+            for &t2 in rights.iter() {
+                let u = *unit;
+                *unit += 1;
+                if !take(u) {
+                    continue;
+                }
+                sink.begin_unit(u);
+                let mark = (s == full).then(|| store.plan_count());
+                trees.clear();
+                if eager {
+                    op_trees(ctx, scratch, store, op, extra, t1, t2, trees);
+                } else if let Some(t) = make_apply(ctx, scratch, store, op, extra, t1, t2) {
+                    trees.push(t);
+                }
+                let mut kept = false;
+                for &t in trees.iter() {
+                    if s == full {
+                        if all_ops_applied(ctx, store[t].applied) {
+                            kept |= sink.complete(ctx, store, t);
                         }
+                    } else {
+                        sink.insert(ctx, store, s, t);
                     }
-                    if let Some(mark) = mark {
-                        if !kept {
-                            memo.truncate(mark);
-                        }
+                }
+                if let Some(mark) = mark {
+                    if !kept {
+                        store.truncate_plans(mark);
                     }
                 }
             }
         }
+    }
+}
+
+/// The streaming sink: candidates go straight to the policy.
+struct PolicySink<'a, P: ClassPolicy> {
+    policy: &'a mut P,
+}
+
+impl<P: ClassPolicy> PairSink<Memo> for PolicySink<'_, P> {
+    fn begin_unit(&mut self, _unit: u64) {}
+
+    fn insert(&mut self, ctx: &OptContext, memo: &mut Memo, s: NodeSet, id: PlanId) {
+        self.policy.insert(ctx, memo, s, id);
+    }
+
+    fn complete(&mut self, ctx: &OptContext, memo: &mut Memo, id: PlanId) -> bool {
+        self.policy.complete(ctx, memo, id)
+    }
+}
+
+/// A layered worker's sink: class candidates and surviving complete plans
+/// are recorded (tagged with their work unit) for the merge replay; a
+/// worker-local keep-best drives the arena rollback so losing complete
+/// plans are reclaimed without cross-thread coordination.
+#[derive(Default)]
+struct WorkerSink {
+    unit: u64,
+    inserts: Vec<(u64, NodeSet, PlanId)>,
+    completes: Vec<(u64, PlanId)>,
+    best_cost: Option<f64>,
+}
+
+impl PairSink<MemoShard<'_>> for WorkerSink {
+    fn begin_unit(&mut self, unit: u64) {
+        self.unit = unit;
+    }
+
+    fn insert(&mut self, _ctx: &OptContext, _store: &mut MemoShard<'_>, s: NodeSet, id: PlanId) {
+        self.inserts.push((self.unit, s, id));
+    }
+
+    fn complete(&mut self, ctx: &OptContext, store: &mut MemoShard<'_>, id: PlanId) -> bool {
+        let f = finalize(ctx, store, id);
+        if self.best_cost.is_none_or(|b| f.cost < b) {
+            self.best_cost = Some(f.cost);
+            self.completes.push((self.unit, id));
+            return true;
+        }
+        false
+    }
+}
+
+/// Everything one worker hands back from a stratum.
+struct WorkerOut {
+    plans: Vec<crate::memo::MemoPlan>,
+    peak: usize,
+    inserts: Vec<(u64, NodeSet, PlanId)>,
+    completes: Vec<(u64, PlanId)>,
+    plans_built: u64,
+    attrs_used: u32,
+    units: u64,
+    /// The worker's scratch, returned so its warm `G⁺` cache survives
+    /// into the next stratum (G⁺ is a pure function of the query).
+    scratch: Scratch,
+}
+
+/// One worker: walk the whole stratum's unit enumeration (cheap — the
+/// per-pair orientation probe against frozen classes) and build every
+/// `unit ≡ worker (mod threads)` combination against the frozen shared
+/// memo. Unit-granular striping is what load-balances the EA searches,
+/// whose heaviest strata hold only a handful of pairs with huge subplan
+/// grids.
+#[allow(clippy::too_many_arguments)]
+fn run_worker(
+    ctx: &OptContext,
+    shared: &Memo,
+    pairs: &[(NodeSet, NodeSet)],
+    worker: usize,
+    threads: usize,
+    mut scratch: Scratch,
+    eager: bool,
+    full: NodeSet,
+) -> WorkerOut {
+    // The scratch is reused across strata; report this stratum's delta.
+    let built_before = scratch.plans_built;
+    let mut bufs = PairBufs::new();
+    let mut shard = MemoShard::new(shared);
+    let mut sink = WorkerSink::default();
+    let mut unit = 0u64;
+    let w = worker as u64;
+    let t = threads as u64;
+    let mut take = move |u: u64| u % t == w;
+    for &(s1, s2) in pairs {
+        process_pair(
+            ctx,
+            &mut scratch,
+            &mut bufs,
+            &mut shard,
+            &mut sink,
+            eager,
+            s1,
+            s2,
+            full,
+            &mut unit,
+            &mut take,
+        );
+    }
+    let peak = shard.peak();
+    let plans_built = scratch.plans_built - built_before;
+    let attrs_used = scratch.attrs_used();
+    WorkerOut {
+        plans: shard.into_local(),
+        peak,
+        inserts: sink.inserts,
+        completes: sink.completes,
+        plans_built,
+        attrs_used,
+        units: unit,
+        scratch,
+    }
+}
+
+/// Fan-out threshold: a stratum below this many subplan combinations is
+/// processed inline — thread spawn plus merge costs more than the work.
+const PAR_MIN_COMBOS: usize = 256;
+
+/// The layered driver: strata in ascending union size; within a stratum,
+/// work units fan out round-robin over scoped worker threads and the
+/// recorded candidates are replayed against the policy in original unit
+/// order, so every observable outcome matches the streaming driver bit
+/// for bit.
+/// Memory note: unlike the streaming driver, this materializes the whole
+/// csg-cmp-pair stream (16 bytes/pair). That is only significant where
+/// `#ccp` is astronomically large — and every pair also costs at least
+/// one plan construction (~µs), so any graph whose pair list strains
+/// memory is already out of wall-clock reach; a lazy stratifier is listed
+/// in the ROADMAP should that change.
+fn enumerate_layered<P: ClassPolicy>(
+    ctx: &OptContext,
+    memo: &mut Memo,
+    scratch: &mut Scratch,
+    policy: &mut P,
+    threads: usize,
+) {
+    let eager = policy.eager();
+    let n = ctx.query.table_count();
+    let full = NodeSet::full(n);
+    let strata = stratify_ccps(&ctx.cq.graph);
+    // Widest fan-out actually spawned (1 = every stratum ran inline),
+    // recorded after the loop.
+    let mut fanout_used = 1u64;
+    // Global fresh-attribute cursor: inline strata allocate from it
+    // directly; fanned-out strata interleave it across workers (ids ≡
+    // worker mod t). Ids differ between thread counts but never collide,
+    // and nothing observable depends on them (fresh columns have unknown
+    // statistics).
+    let mut next_attr = ctx.first_fresh_attr();
+    let mut bufs = PairBufs::new();
+    // Per-worker scratches persist across strata so the warm G⁺ caches
+    // (pure functions of the query) are not recomputed every layer.
+    let mut pool: Vec<Option<Scratch>> = (0..threads).map(|_| None).collect();
+    for pairs in strata.strata.iter().filter(|p| !p.is_empty()) {
+        // Work-unit estimate for the stratum: subplan combinations over
+        // the frozen classes. Orientations can double it (commutative
+        // operators emit both directions), so this is a ×2-accurate
+        // estimate, not a bound — good enough for the fan-out decision.
+        let combos: usize = pairs
+            .iter()
+            .map(|&(s1, s2)| memo.class(s1).len() * memo.class(s2).len())
+            .sum();
+        let t = threads.min(combos.max(1));
+        if t < 2 || combos < PAR_MIN_COMBOS {
+            // Inline: identical to one worker plus immediate replay.
+            scratch.set_attr_base(next_attr);
+            let mut sink = PolicySink {
+                policy: &mut *policy,
+            };
+            let mut unit = 0u64;
+            let mut take = |_: u64| true;
+            for &(s1, s2) in pairs {
+                process_pair(
+                    ctx, scratch, &mut bufs, memo, &mut sink, eager, s1, s2, full, &mut unit,
+                    &mut take,
+                );
+            }
+            next_attr += scratch.attrs_used();
+            continue;
+        }
+        fanout_used = fanout_used.max(t as u64);
+        let shared: &Memo = memo;
+        let scratches: Vec<Scratch> = pool
+            .iter_mut()
+            .take(t)
+            .enumerate()
+            .map(|(w, slot)| {
+                let mut s = slot
+                    .take()
+                    .unwrap_or_else(|| Scratch::with_attr_base(next_attr));
+                // Interleaved ids: worker w allocates next_attr + w + k·t,
+                // disjoint across workers from one shared cursor.
+                s.set_attr_stride(next_attr + w as u32, t as u32);
+                s
+            })
+            .collect();
+        let outs: Vec<WorkerOut> = std::thread::scope(|sc| {
+            let handles: Vec<_> = scratches
+                .into_iter()
+                .enumerate()
+                .map(|(w, ws)| {
+                    sc.spawn(move || run_worker(ctx, shared, pairs, w, t, ws, eager, full))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("enumeration worker panicked"))
+                .collect()
+        });
+        // Advance the cursor past the interleaved block actually used:
+        // worker w's largest id is < next_attr + w + t·used_w, so
+        // t × max(used) covers every worker.
+        let max_used = outs.iter().map(|o| o.attrs_used).max().unwrap_or(0);
+        next_attr = u32::try_from(u64::from(next_attr) + u64::from(max_used) * t as u64)
+            .expect("fresh-attribute space (u32) exhausted");
+        // Merge: shards append in worker order (ids shift as a block)...
+        memo.record_shard_peak(outs.iter().map(|o| o.peak as u64).sum());
+        let base = memo.arena_len();
+        let mut remaps = Vec::with_capacity(t);
+        let mut ins_cur = vec![0usize; t];
+        let mut cmp_cur = vec![0usize; t];
+        let mut outs = outs;
+        for (w, out) in outs.iter_mut().enumerate() {
+            scratch.plans_built += out.plans_built;
+            remaps.push(memo.append_shard(std::mem::take(&mut out.plans), base));
+            pool[w] = Some(std::mem::replace(
+                &mut out.scratch,
+                Scratch::with_attr_base(0),
+            ));
+        }
+        // ...and the candidate streams replay in original unit order
+        // (round-robin: unit u belongs to worker u mod t), reproducing the
+        // sequential insertion/keep-best order exactly.
+        let units = outs.first().map(|o| o.units).unwrap_or(0);
+        debug_assert!(outs.iter().all(|o| o.units == units));
+        for u in 0..units {
+            let w = (u % t as u64) as usize;
+            let out = &outs[w];
+            let remap = remaps[w];
+            while ins_cur[w] < out.inserts.len() && out.inserts[ins_cur[w]].0 == u {
+                let (_, s, id) = out.inserts[ins_cur[w]];
+                policy.insert(ctx, memo, s, remap.apply(id));
+                ins_cur[w] += 1;
+            }
+            while cmp_cur[w] < out.completes.len() && out.completes[cmp_cur[w]].0 == u {
+                let (_, id) = out.completes[cmp_cur[w]];
+                policy.complete(ctx, memo, remap.apply(id));
+                cmp_cur[w] += 1;
+            }
+        }
+    }
+    memo.record_layering(strata.layer_count(), strata.peak_layer_pairs(), fanout_used);
+}
+
+/// The streaming driver: seed scan classes, then walk every csg-cmp-pair
+/// in DPhyp emission order and feed the policy directly. Plan classes are
+/// id lists in the memo; the per-pair snapshots are plain `PlanId` copies
+/// into reusable scratch buffers — no plan data is ever cloned.
+fn enumerate_streaming<P: ClassPolicy>(
+    ctx: &OptContext,
+    memo: &mut Memo,
+    scratch: &mut Scratch,
+    policy: &mut P,
+) {
+    let n = ctx.query.table_count();
+    let full = NodeSet::full(n);
+    let eager = policy.eager();
+    let mut bufs = PairBufs::new();
+    let mut sink = PolicySink { policy };
+    let mut unit = 0u64;
+    let mut take = |_: u64| true;
+    enumerate_ccps(&ctx.cq.graph, |s1, s2| {
+        process_pair(
+            ctx, scratch, &mut bufs, memo, &mut sink, eager, s1, s2, full, &mut unit, &mut take,
+        );
     });
+}
+
+/// Seed the singleton scan classes, then run the requested driver.
+/// Returns the total number of plans built.
+fn run_engine<P: ClassPolicy>(
+    ctx: &OptContext,
+    memo: &mut Memo,
+    policy: &mut P,
+    threads: usize,
+) -> u64 {
+    let mut scratch = Scratch::new(ctx);
+    let n = ctx.query.table_count();
+    for i in 0..n {
+        let id = make_scan(ctx, memo, i);
+        memo.class_push(NodeSet::single(i), id);
+    }
+    // Policies whose complete() is not a strict keep-best cannot use the
+    // layered driver (see ClassPolicy::parallel_safe).
+    let threads = if policy.parallel_safe() { threads } else { 1 };
+    if n > 1 {
+        if threads <= 1 {
+            memo.record_layering(0, 0, 1);
+            enumerate_streaming(ctx, memo, &mut scratch, policy);
+        } else {
+            enumerate_layered(ctx, memo, &mut scratch, policy, threads);
+        }
+    }
+    scratch.plans_built
 }
 
 /// Keep the cheapest finalized plan (ties resolved to the earlier one).
@@ -328,34 +758,49 @@ impl ClassPolicy for CollectAll {
         self.complete.push(id);
         true
     }
+
+    // Keeps every complete plan — the worker-local keep-best filter of
+    // the layered driver would silently drop all but the cheapest.
+    fn parallel_safe(&self) -> bool {
+        false
+    }
 }
 
 fn run_single(
     ctx: &OptContext,
     eager: bool,
     factor: Option<f64>,
-) -> (Memo, (FinalPlan, PlanId), u64) {
+    threads: usize,
+) -> (Memo, (FinalPlan, PlanId), u64, u64) {
     let mut memo = Memo::new();
     let mut policy = SingleBest {
         eager,
         factor,
         best: None,
     };
-    enumerate_plans(ctx, &mut memo, &mut policy);
+    let plans_built = run_engine(ctx, &mut memo, &mut policy, threads);
     if ctx.query.table_count() == 1 {
-        return finalize_single_table(ctx, memo);
+        return finalize_single_table(ctx, memo, plans_built);
     }
     let retained = memo.class_count();
     match policy.best {
-        Some(best) => (memo, best, retained),
+        Some(best) => (memo, best, retained, plans_built),
         // Eager single-plan search can dead-end when a groupjoin's right
-        // side only has a pre-aggregated plan; fall back to the baseline.
-        None if eager => run_single(ctx, false, None),
+        // side only has a pre-aggregated plan; fall back to the baseline
+        // (plans built during the dead-ended attempt stay counted).
+        None if eager => {
+            let (memo, best, retained, fallback_built) = run_single(ctx, false, None, threads);
+            (memo, best, retained, plans_built + fallback_built)
+        }
         None => panic!("no plan found: query graph disconnected or over-constrained"),
     }
 }
 
-fn run_multi(ctx: &OptContext, prune: Option<DominanceKind>) -> (Memo, (FinalPlan, PlanId), u64) {
+fn run_multi(
+    ctx: &OptContext,
+    prune: Option<DominanceKind>,
+    threads: usize,
+) -> (Memo, (FinalPlan, PlanId), u64, u64) {
     let guard_groupjoin = ctx.cq.ops.iter().any(|o| o.op == OpKind::GroupJoin);
     let mut memo = Memo::new();
     let mut policy = MultiBest {
@@ -363,22 +808,26 @@ fn run_multi(ctx: &OptContext, prune: Option<DominanceKind>) -> (Memo, (FinalPla
         guard_groupjoin,
         best: None,
     };
-    enumerate_plans(ctx, &mut memo, &mut policy);
+    let plans_built = run_engine(ctx, &mut memo, &mut policy, threads);
     if ctx.query.table_count() == 1 {
-        return finalize_single_table(ctx, memo);
+        return finalize_single_table(ctx, memo, plans_built);
     }
     let retained = memo.retained();
     let best = policy
         .best
         .expect("no plan found: query graph disconnected or over-constrained");
-    (memo, best, retained)
+    (memo, best, retained, plans_built)
 }
 
 /// Degenerate single-table query: the scan is the complete plan.
-fn finalize_single_table(ctx: &OptContext, memo: Memo) -> (Memo, (FinalPlan, PlanId), u64) {
+fn finalize_single_table(
+    ctx: &OptContext,
+    memo: Memo,
+    plans_built: u64,
+) -> (Memo, (FinalPlan, PlanId), u64, u64) {
     let id = memo.class(NodeSet::full(1))[0];
     let plan = finalize(ctx, &memo, id);
-    (memo, (plan, id), 1)
+    (memo, (plan, id), 1, plans_built)
 }
 
 /// Enumerate every plan EA-All would consider, for diagnostics and for
@@ -391,7 +840,7 @@ pub fn all_subplans(query: &Query) -> (OptContext, Memo, Vec<PlanId>) {
     let mut policy = CollectAll {
         complete: Vec::new(),
     };
-    enumerate_plans(&ctx, &mut memo, &mut policy);
+    run_engine(&ctx, &mut memo, &mut policy, 1);
     let mut plans = memo.retained_ids();
     plans.extend(policy.complete);
     (ctx, memo, plans)

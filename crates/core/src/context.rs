@@ -1,12 +1,19 @@
 //! Shared optimization context: the conflicted query, attribute statistics,
 //! grouping attributes `G⁺(S)` and aggregate metadata.
+//!
+//! [`OptContext`] is immutable after construction and `Sync`, so the
+//! layered parallel engine can share one reference across worker threads.
+//! All per-run mutable state — the fresh-attribute allocator, the memoized
+//! `G⁺(S)` cache, the plans-built counter and the hot-path scratch buffers
+//! — lives in [`Scratch`], of which every worker owns its own instance
+//! (contention-free by construction; counters are summed at merge time).
 
-use dpnext_algebra::{AttrGen, AttrId};
+use dpnext_algebra::{AttrId, CmpOp};
 use dpnext_conflict::{detect, ConflictedQuery};
 use dpnext_hypergraph::NodeSet;
 use dpnext_query::Query;
-use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Context shared by all plan constructors during one optimization run.
 pub struct OptContext {
@@ -23,13 +30,17 @@ pub struct OptContext {
     /// Per normalized aggregate: union of argument origins (empty for
     /// `count(*)`).
     pub agg_origin: Vec<NodeSet>,
-    /// Fresh-attribute allocator for partial/count columns.
-    pub gen: RefCell<AttrGen>,
-    /// Memoized `G⁺(S)` (§4.2; closed under all predicates crossing `S`).
-    gplus_cache: RefCell<HashMap<NodeSet, std::rc::Rc<Vec<AttrId>>>>,
-    /// Counter: plans constructed (joins + groupings), for the evaluation.
-    pub plans_built: RefCell<u64>,
+    /// First attribute id above every catalog/query attribute — the base
+    /// from which [`Scratch`] allocators hand out partial/count columns.
+    first_fresh: u32,
 }
+
+// The layered engine shares `&OptContext` across `std::thread::scope`
+// workers; keep the context free of interior mutability.
+const _: () = {
+    const fn assert_sync<T: Sync>() {}
+    assert_sync::<OptContext>()
+};
 
 impl OptContext {
     pub fn new(query: Query) -> Self {
@@ -86,9 +97,7 @@ impl OptContext {
             group_by,
             agg_args,
             agg_origin,
-            gen: RefCell::new(AttrGen::new(max_attr + 1)),
-            gplus_cache: RefCell::new(HashMap::new()),
-            plans_built: RefCell::new(0),
+            first_fresh: max_attr + 1,
         }
     }
 
@@ -105,12 +114,10 @@ impl OptContext {
         self.query.grouping.is_some()
     }
 
-    pub fn fresh_attr(&self) -> AttrId {
-        self.gen.borrow_mut().fresh()
-    }
-
-    pub fn count_plan(&self) {
-        *self.plans_built.borrow_mut() += 1;
+    /// First id strictly above every query attribute; fresh-attribute
+    /// allocators must start at or above this.
+    pub fn first_fresh_attr(&self) -> u32 {
+        self.first_fresh
     }
 
     pub fn origin(&self, a: AttrId) -> NodeSet {
@@ -126,16 +133,14 @@ impl OptContext {
         self.base_distinct.get(&a).copied().unwrap_or(f64::INFINITY)
     }
 
-    /// `G⁺(S)`: the grouping attributes for a pushed-down grouping over the
-    /// relation set `S` — the query's grouping attributes from `S` plus
-    /// every attribute of `S` referenced by a predicate (or groupjoin
-    /// aggregate) of an operator that is not fully contained in `S`
-    /// (§4.2's `G⁺ᵢ = Gᵢ ∪ Jᵢ`, closed under the whole remaining query so
-    /// the equivalences stay applicable above `S`).
-    pub fn gplus(&self, s: NodeSet) -> std::rc::Rc<Vec<AttrId>> {
-        if let Some(hit) = self.gplus_cache.borrow().get(&s) {
-            return hit.clone();
-        }
+    /// `G⁺(S)` computed from scratch (see [`Scratch::gplus`] for the memoized
+    /// variant the plan constructors use): the grouping attributes for a
+    /// pushed-down grouping over the relation set `S` — the query's grouping
+    /// attributes from `S` plus every attribute of `S` referenced by a
+    /// predicate (or groupjoin aggregate) of an operator that is not fully
+    /// contained in `S` (§4.2's `G⁺ᵢ = Gᵢ ∪ Jᵢ`, closed under the whole
+    /// remaining query so the equivalences stay applicable above `S`).
+    pub fn compute_gplus(&self, s: NodeSet) -> Vec<AttrId> {
         let mut attrs: Vec<AttrId> = Vec::new();
         let mut push = |a: AttrId, origins: &HashMap<AttrId, NodeSet>| {
             if let Some(org) = origins.get(&a) {
@@ -165,9 +170,7 @@ impl OptContext {
             }
         }
         attrs.sort_unstable();
-        let rc = std::rc::Rc::new(attrs);
-        self.gplus_cache.borrow_mut().insert(s, rc.clone());
-        rc
+        attrs
     }
 
     /// May a plan covering `s` be grouped at all? Every aggregate whose
@@ -189,5 +192,99 @@ impl OptContext {
             }
         }
         true
+    }
+}
+
+/// Per-worker mutable state of one enumeration: the fresh-attribute
+/// allocator, the memoized `G⁺(S)` cache, the plans-built counter, and the
+/// predicate-term scratch buffer of [`crate::plan::make_apply`]. The
+/// sequential engine owns exactly one; the layered engine hands each
+/// worker thread its own (with a disjoint attribute range), so nothing
+/// here is ever contended.
+pub struct Scratch {
+    /// Next fresh attribute id; advances by `step` per allocation, so the
+    /// layered engine's workers can interleave disjoint ids (worker `w`
+    /// of `t` hands out `base + w + k·t`) without pre-partitioning the
+    /// id space.
+    next_attr: u32,
+    step: u32,
+    attrs_used: u32,
+    // Arc (not Rc) so a worker's scratch — and its warm G⁺ cache — can be
+    // carried across the per-stratum thread spawns of the layered engine.
+    gplus_cache: HashMap<NodeSet, Arc<Vec<AttrId>>>,
+    /// Plans constructed (joins + groupings) by this scratch's owner.
+    pub plans_built: u64,
+    /// Scratch for the oriented, merged predicate terms of `make_apply`:
+    /// terms are staged here so failed applications allocate nothing.
+    pub terms: Vec<(AttrId, CmpOp, AttrId)>,
+}
+
+impl Scratch {
+    /// Scratch for a sequential run: fresh attributes start right above
+    /// the query's own.
+    pub fn new(ctx: &OptContext) -> Scratch {
+        Scratch::with_attr_base(ctx.first_fresh_attr())
+    }
+
+    /// Scratch whose fresh attributes start at `base`.
+    pub fn with_attr_base(base: u32) -> Scratch {
+        Scratch {
+            next_attr: base,
+            step: 1,
+            attrs_used: 0,
+            gplus_cache: HashMap::new(),
+            plans_built: 0,
+            terms: Vec::new(),
+        }
+    }
+
+    pub fn fresh_attr(&mut self) -> AttrId {
+        let id = AttrId(self.next_attr);
+        self.next_attr = self
+            .next_attr
+            .checked_add(self.step)
+            .expect("fresh-attribute space (u32) exhausted");
+        self.attrs_used += 1;
+        id
+    }
+
+    /// Restart fresh-attribute allocation at `base` with stride 1,
+    /// resetting the usage counter (the memoized `G⁺` cache survives —
+    /// it is a pure function of the query). The layered engine uses this
+    /// to keep its inline (non-fanned-out) strata on the global
+    /// attribute cursor.
+    pub fn set_attr_base(&mut self, base: u32) {
+        self.set_attr_stride(base, 1);
+    }
+
+    /// Restart allocation at `base` handing out `base, base+step,
+    /// base+2·step, …` — worker `w` of `t` uses `(base+w, t)` so the
+    /// workers of one stratum interleave pairwise-disjoint ids from a
+    /// shared cursor instead of pre-partitioning the id space (which
+    /// would shrink it geometrically with every fanned-out stratum).
+    pub fn set_attr_stride(&mut self, base: u32, step: u32) {
+        debug_assert!(step >= 1);
+        self.next_attr = base;
+        self.step = step;
+        self.attrs_used = 0;
+    }
+
+    /// Fresh attributes handed out so far.
+    pub fn attrs_used(&self) -> u32 {
+        self.attrs_used
+    }
+
+    pub fn count_plan(&mut self) {
+        self.plans_built += 1;
+    }
+
+    /// Memoized `G⁺(S)` (§4.2); see [`OptContext::compute_gplus`].
+    pub fn gplus(&mut self, ctx: &OptContext, s: NodeSet) -> Arc<Vec<AttrId>> {
+        if let Some(hit) = self.gplus_cache.get(&s) {
+            return hit.clone();
+        }
+        let rc = Arc::new(ctx.compute_gplus(s));
+        self.gplus_cache.insert(s, rc.clone());
+        rc
     }
 }

@@ -3,7 +3,7 @@
 
 use crate::aggstate::{final_agg_vector, final_map_exprs};
 use crate::context::OptContext;
-use crate::memo::{Memo, PlanId, PlanNode};
+use crate::memo::{PlanId, PlanNode, PlanStore};
 use dpnext_algebra::AlgExpr;
 use dpnext_cost::{distinct_in, grouping_card};
 use dpnext_keys::needs_grouping;
@@ -25,7 +25,7 @@ pub struct FinalPlan {
 /// Compile a DP plan into an executable algebra tree. Outerjoins receive
 /// the `F¹({⊥})`/`c : 1` default vectors for every pre-aggregated column of
 /// a padded side (the generalized outerjoins of §2.2).
-pub fn compile(ctx: &OptContext, memo: &Memo, id: PlanId) -> AlgExpr {
+pub fn compile<S: PlanStore + ?Sized>(ctx: &OptContext, memo: &S, id: PlanId) -> AlgExpr {
     let plan = &memo[id];
     match &plan.node {
         PlanNode::Scan { table } => AlgExpr::scan(ctx.query.tables[*table].alias.clone()),
@@ -89,7 +89,7 @@ pub fn compile(ctx: &OptContext, memo: &Memo, id: PlanId) -> AlgExpr {
 /// with the state-adjusted aggregation vector, or — when `G` contains a
 /// key of a duplicate-free result — replace it by a map + projection
 /// (Eqv. 42, `InsertTopLevelPlan` of Fig. 9).
-pub fn finalize(ctx: &OptContext, memo: &Memo, id: PlanId) -> FinalPlan {
+pub fn finalize<S: PlanStore + ?Sized>(ctx: &OptContext, memo: &S, id: PlanId) -> FinalPlan {
     let plan = &memo[id];
     let mut root = compile(ctx, memo, id);
     let Some(g) = &ctx.query.grouping else {

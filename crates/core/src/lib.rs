@@ -31,12 +31,14 @@ pub mod plan;
 mod tests;
 
 pub use algo::{
-    all_subplans, applied_ops_mask, optimize, optimize_with, optimize_with_pruning, Algorithm,
-    OptimizeOptions, Optimized,
+    all_subplans, applied_ops_mask, optimize, optimize_with, optimize_with_pruning,
+    resolve_threads, Algorithm, OptimizeOptions, Optimized,
 };
-pub use context::OptContext;
+pub use context::{OptContext, Scratch};
 pub use explain::explain;
 pub use finalize::{compile, finalize, FinalPlan};
 pub use fusion::fuse_groupjoins;
-pub use memo::{DominanceKind, Memo, MemoPlan, MemoStats, PlanId, PlanNode};
+pub use memo::{
+    DominanceKind, Memo, MemoPlan, MemoShard, MemoStats, PlanId, PlanNode, PlanStore, ShardRemap,
+};
 pub use plan::{make_apply, make_group, make_scan};

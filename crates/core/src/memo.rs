@@ -24,6 +24,11 @@ impl PlanId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    #[inline]
+    fn from_index(i: usize) -> PlanId {
+        PlanId(u32::try_from(i).expect("memo arena overflows u32"))
+    }
 }
 
 /// One operator of a plan tree; children are arena indices.
@@ -111,6 +116,16 @@ pub struct MemoStats {
     pub prune_rejected: u64,
     /// Incumbents evicted because the new plan dominates them.
     pub prune_evicted: u64,
+    /// DP layers (strata by `|S1 ∪ S2|`) the layered engine processed;
+    /// 0 on the streaming (threads = 1) path.
+    pub layers: u64,
+    /// Widest stratum: csg-cmp-pairs in the largest single layer — the
+    /// fan-out bound for intra-layer parallelism.
+    pub peak_layer_pairs: u64,
+    /// Widest worker fan-out actually spawned by the layered engine
+    /// (1 = sequential, or every stratum ran inline below the fan-out
+    /// threshold).
+    pub threads_used: u64,
 }
 
 impl MemoStats {
@@ -121,6 +136,41 @@ impl MemoStats {
             return 0.0;
         }
         (self.prune_rejected + self.prune_evicted) as f64 / self.prune_attempts as f64
+    }
+}
+
+/// Append-and-read access to a plan arena — the interface the plan
+/// constructors ([`crate::plan`], [`crate::optrees`]) and the finalizer
+/// build against. Implemented by the [`Memo`] itself (sequential engine)
+/// and by [`MemoShard`] (a worker's thread-local arena layered over the
+/// frozen shared memo).
+pub trait PlanStore: Index<PlanId, Output = MemoPlan> {
+    /// Store a plan, returning its id (does not touch any class).
+    fn push_plan(&mut self, plan: MemoPlan) -> PlanId;
+
+    /// Ids handed out so far: the next push returns `PlanId(plan_count())`.
+    fn plan_count(&self) -> usize;
+
+    /// Roll the store back to `len` plans, reclaiming everything pushed
+    /// since. Callers must guarantee no retained id references a
+    /// truncated plan.
+    fn truncate_plans(&mut self, len: usize);
+
+    /// The plan class of `s` visible to the enumeration: the live classes
+    /// of the [`Memo`], the frozen pre-stratum classes of a [`MemoShard`].
+    fn plan_class(&self, s: NodeSet) -> &[PlanId];
+
+    /// `Eagerness` of a plan (§4.5): the number of grouping operators that
+    /// are a direct child of the topmost join operator.
+    fn eagerness(&self, id: PlanId) -> u32 {
+        match &self[id].node {
+            PlanNode::Apply { left, right, .. } => {
+                let l = self[*left].is_group() as u32;
+                let r = self[*right].is_group() as u32;
+                l + r
+            }
+            _ => 0,
+        }
     }
 }
 
@@ -141,6 +191,28 @@ impl Index<PlanId> for Memo {
     }
 }
 
+impl PlanStore for Memo {
+    #[inline]
+    fn push_plan(&mut self, plan: MemoPlan) -> PlanId {
+        self.push(plan)
+    }
+
+    #[inline]
+    fn plan_count(&self) -> usize {
+        self.arena.len()
+    }
+
+    #[inline]
+    fn truncate_plans(&mut self, len: usize) {
+        self.truncate(len)
+    }
+
+    #[inline]
+    fn plan_class(&self, s: NodeSet) -> &[PlanId] {
+        self.class(s)
+    }
+}
+
 impl Memo {
     pub fn new() -> Memo {
         Memo::default()
@@ -149,7 +221,7 @@ impl Memo {
     /// Store a plan in the arena (does not touch any class).
     #[inline]
     pub fn push(&mut self, plan: MemoPlan) -> PlanId {
-        let id = PlanId(u32::try_from(self.arena.len()).expect("memo arena overflows u32"));
+        let id = PlanId::from_index(self.arena.len());
         self.arena.push(plan);
         id
     }
@@ -170,6 +242,52 @@ impl Memo {
         debug_assert!(len <= self.arena.len());
         self.stats.arena_peak = self.stats.arena_peak.max(self.arena.len() as u64);
         self.arena.truncate(len);
+    }
+
+    /// Merge one worker's thread-local shard into the shared arena.
+    ///
+    /// `base` is the shared arena length every shard of the stratum was
+    /// layered on. Plans are appended in shard order; child references
+    /// `>= base` point into the shard itself (workers never see each
+    /// other's plans) and are shifted by the shard's final offset, while
+    /// references `< base` address the frozen shared prefix and pass
+    /// through untouched. Returns the translation to apply to the shard's
+    /// provisional ids (the candidate lists recorded by the worker).
+    pub fn append_shard(&mut self, plans: Vec<MemoPlan>, base: usize) -> ShardRemap {
+        debug_assert!(base <= self.arena.len());
+        let delta = self.arena.len() - base;
+        let remap = ShardRemap { base, delta };
+        self.arena.reserve(plans.len());
+        for mut plan in plans {
+            match &mut plan.node {
+                PlanNode::Scan { .. } => {}
+                PlanNode::Apply { left, right, .. } => {
+                    *left = remap.apply(*left);
+                    *right = remap.apply(*right);
+                }
+                PlanNode::Group { input, .. } => {
+                    *input = remap.apply(*input);
+                }
+            }
+            self.arena.push(plan);
+        }
+        remap
+    }
+
+    /// Record layering statistics of the layered engine (a no-op for the
+    /// streaming path, which reports `layers = 0`, `threads_used = 1`).
+    pub fn record_layering(&mut self, layers: u64, peak_layer_pairs: u64, threads: u64) {
+        self.stats.layers = layers;
+        self.stats.peak_layer_pairs = peak_layer_pairs;
+        self.stats.threads_used = threads;
+    }
+
+    /// Fold the peak arena size of concurrently live worker shards into
+    /// the peak statistic: while a stratum runs, the shared prefix and
+    /// every shard are alive at once.
+    pub fn record_shard_peak(&mut self, shard_peak_sum: u64) {
+        let live = self.arena.len() as u64 + shard_peak_sum;
+        self.stats.arena_peak = self.stats.arena_peak.max(live);
     }
 
     /// The plan class of `s` (empty when no plan covers `s` yet).
@@ -237,19 +355,6 @@ impl Memo {
         ids
     }
 
-    /// `Eagerness` of a plan (§4.5): the number of grouping operators that
-    /// are a direct child of the topmost join operator.
-    pub fn eagerness(&self, id: PlanId) -> u32 {
-        match &self[id].node {
-            PlanNode::Apply { left, right, .. } => {
-                let l = self[*left].is_group() as u32;
-                let r = self[*right].is_group() as u32;
-                l + r
-            }
-            _ => 0,
-        }
-    }
-
     /// Snapshot of the memo statistics (arena sizes filled in).
     pub fn stats(&self) -> MemoStats {
         MemoStats {
@@ -257,6 +362,111 @@ impl Memo {
             arena_peak: self.stats.arena_peak.max(self.arena.len() as u64),
             ..self.stats
         }
+    }
+}
+
+/// Shard-id translation returned by [`Memo::append_shard`]: provisional
+/// ids at or above the shard's base shift to their merged position,
+/// references into the frozen shared prefix pass through.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardRemap {
+    base: usize,
+    delta: usize,
+}
+
+impl ShardRemap {
+    #[inline]
+    pub fn apply(self, id: PlanId) -> PlanId {
+        if id.index() >= self.base {
+            PlanId::from_index(id.index() + self.delta)
+        } else {
+            id
+        }
+    }
+}
+
+/// A worker's thread-local plan arena, layered over the shared [`Memo`].
+///
+/// During one stratum of the layered engine the shared memo is frozen:
+/// workers only read plans and classes below `base` (= the shared arena
+/// length at stratum start) and push new plans into their own `local`
+/// vector, with provisional ids `base + local index`. Because every shard
+/// uses the same `base` and workers never see each other's plans, a
+/// provisional id `>= base` always refers to the owning shard; the merge
+/// ([`Memo::append_shard`]) shifts those references to final positions.
+pub struct MemoShard<'a> {
+    shared: &'a Memo,
+    base: usize,
+    local: Vec<MemoPlan>,
+    /// Largest local arena observed (before rollbacks), for peak stats.
+    peak: usize,
+}
+
+impl<'a> MemoShard<'a> {
+    /// Layer a fresh shard over `shared` (frozen for the stratum).
+    pub fn new(shared: &'a Memo) -> MemoShard<'a> {
+        MemoShard {
+            shared,
+            base: shared.arena_len(),
+            local: Vec::new(),
+            peak: 0,
+        }
+    }
+
+    /// The frozen plan class of `s` from the shared memo.
+    #[inline]
+    pub fn class(&self, s: NodeSet) -> &[PlanId] {
+        self.shared.class(s)
+    }
+
+    /// Largest local plan count observed.
+    pub fn peak(&self) -> usize {
+        self.peak.max(self.local.len())
+    }
+
+    /// Tear the shard apart into its locally built plans (rollbacks
+    /// already applied) for [`Memo::append_shard`].
+    pub fn into_local(self) -> Vec<MemoPlan> {
+        self.local
+    }
+}
+
+impl Index<PlanId> for MemoShard<'_> {
+    type Output = MemoPlan;
+
+    #[inline]
+    fn index(&self, id: PlanId) -> &MemoPlan {
+        if id.index() < self.base {
+            &self.shared[id]
+        } else {
+            &self.local[id.index() - self.base]
+        }
+    }
+}
+
+impl PlanStore for MemoShard<'_> {
+    #[inline]
+    fn push_plan(&mut self, plan: MemoPlan) -> PlanId {
+        let id = PlanId::from_index(self.base + self.local.len());
+        self.local.push(plan);
+        id
+    }
+
+    #[inline]
+    fn plan_count(&self) -> usize {
+        self.base + self.local.len()
+    }
+
+    #[inline]
+    fn truncate_plans(&mut self, len: usize) {
+        debug_assert!(len >= self.base);
+        self.peak = self.peak.max(self.local.len());
+        self.local.truncate(len - self.base);
+    }
+
+    #[inline]
+    fn plan_class(&self, s: NodeSet) -> &[PlanId] {
+        self.shared.class(s)
     }
 }
 

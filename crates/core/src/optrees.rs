@@ -1,8 +1,8 @@
 //! The `OpTrees` routine (Fig. 6): for one operator application, produce
 //! the up-to-four join trees with all valid eager-aggregation variants.
 
-use crate::context::OptContext;
-use crate::memo::{Memo, PlanId};
+use crate::context::{OptContext, Scratch};
+use crate::memo::{PlanId, PlanStore};
 use crate::plan::{make_apply, make_group};
 use dpnext_keys::needs_grouping;
 use dpnext_query::OpKind;
@@ -30,22 +30,24 @@ fn may_push(op: OpKind) -> (bool, bool) {
 /// * usefulness: grouping is skipped when `G⁺` already contains a key of a
 ///   duplicate-free `t` (Fig. 6 lines 10/15: `NeedsGrouping(G⁺ᵢ, …)`),
 /// * no double grouping: `Γ(Γ(e))` never helps.
-fn pushable(ctx: &OptContext, memo: &Memo, t: PlanId) -> bool {
-    let plan = &memo[t];
+fn pushable<S: PlanStore>(ctx: &OptContext, scratch: &mut Scratch, store: &S, t: PlanId) -> bool {
+    let plan = &store[t];
     if !ctx.has_grouping() || plan.is_group() || !ctx.can_group(plan.set) {
         return false;
     }
-    let gplus = ctx.gplus(plan.set);
-    needs_grouping(&gplus, &plan.keyinfo)
+    let gplus = scratch.gplus(ctx, plan.set);
+    needs_grouping(&gplus, &store[t].keyinfo)
 }
 
 /// Build all operator trees for `t1 ◦ t2` (physical orientation) into
 /// `out`: plain, `Γ(t1) ◦ t2`, `t1 ◦ Γ(t2)`, `Γ(t1) ◦ Γ(t2)` —
 /// Fig. 8 (a)–(d). `out` is a caller-owned scratch buffer so the hot
 /// enumeration loop allocates nothing per pair.
-pub fn op_trees(
+#[allow(clippy::too_many_arguments)]
+pub fn op_trees<S: PlanStore>(
     ctx: &OptContext,
-    memo: &mut Memo,
+    scratch: &mut Scratch,
+    store: &mut S,
     op_idx: usize,
     extra: &[usize],
     t1: PlanId,
@@ -55,23 +57,25 @@ pub fn op_trees(
     let op = ctx.cq.ops[op_idx].op;
     let (left_ok, right_ok) = may_push(op);
 
-    if let Some(p) = make_apply(ctx, memo, op_idx, extra, t1, t2) {
+    if let Some(p) = make_apply(ctx, scratch, store, op_idx, extra, t1, t2) {
         out.push(p);
     }
-    let g1 = (left_ok && pushable(ctx, memo, t1)).then(|| make_group(ctx, memo, t1));
-    let g2 = (right_ok && pushable(ctx, memo, t2)).then(|| make_group(ctx, memo, t2));
+    let g1 =
+        (left_ok && pushable(ctx, scratch, store, t1)).then(|| make_group(ctx, scratch, store, t1));
+    let g2 = (right_ok && pushable(ctx, scratch, store, t2))
+        .then(|| make_group(ctx, scratch, store, t2));
     if let Some(g1) = g1 {
-        if let Some(p) = make_apply(ctx, memo, op_idx, extra, g1, t2) {
+        if let Some(p) = make_apply(ctx, scratch, store, op_idx, extra, g1, t2) {
             out.push(p);
         }
     }
     if let Some(g2) = g2 {
-        if let Some(p) = make_apply(ctx, memo, op_idx, extra, t1, g2) {
+        if let Some(p) = make_apply(ctx, scratch, store, op_idx, extra, t1, g2) {
             out.push(p);
         }
     }
     if let (Some(g1), Some(g2)) = (g1, g2) {
-        if let Some(p) = make_apply(ctx, memo, op_idx, extra, g1, g2) {
+        if let Some(p) = make_apply(ctx, scratch, store, op_idx, extra, g1, g2) {
             out.push(p);
         }
     }

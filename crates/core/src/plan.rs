@@ -1,9 +1,11 @@
 //! Plan constructors: build scan / apply / grouping nodes with their
-//! derived logical properties directly into the [`Memo`] arena.
+//! derived logical properties directly into a [`PlanStore`] — the shared
+//! [`crate::memo::Memo`] arena on the sequential path, a thread-local
+//! [`crate::memo::MemoShard`] inside the layered engine's workers.
 
 use crate::aggstate::{build_group_aggs, AggState};
-use crate::context::OptContext;
-use crate::memo::{Memo, MemoPlan, PlanId, PlanNode};
+use crate::context::{OptContext, Scratch};
+use crate::memo::{MemoPlan, PlanId, PlanNode, PlanStore};
 use dpnext_algebra::{AttrId, JoinPred};
 use dpnext_cost::{distinct_in, grouping_card, join_card};
 use dpnext_hypergraph::NodeSet;
@@ -11,10 +13,10 @@ use dpnext_keys::{grouping_keys, infer_join_keys, KeyInfo, KeySet};
 use dpnext_query::OpKind;
 
 /// Build a scan plan for table occurrence `i`.
-pub fn make_scan(ctx: &OptContext, memo: &mut Memo, i: usize) -> PlanId {
+pub fn make_scan<S: PlanStore>(ctx: &OptContext, store: &mut S, i: usize) -> PlanId {
     let t = &ctx.query.tables[i];
     let keys = KeySet::from_keys(t.keys.iter().cloned());
-    memo.push(MemoPlan {
+    store.push_plan(MemoPlan {
         node: PlanNode::Scan { table: i },
         set: NodeSet::single(i),
         card: t.card,
@@ -67,9 +69,10 @@ fn orient_term(
 /// same cut, for cyclic queries) on two plans. `left`/`right` are already
 /// in physical orientation. Returns `None` when required attributes are
 /// unavailable (structurally prevented, checked defensively).
-pub fn make_apply(
+pub fn make_apply<S: PlanStore>(
     ctx: &OptContext,
-    memo: &mut Memo,
+    scratch: &mut Scratch,
+    store: &mut S,
     op_idx: usize,
     extra: &[usize],
     left_id: PlanId,
@@ -77,29 +80,29 @@ pub fn make_apply(
 ) -> Option<PlanId> {
     let op = &ctx.cq.ops[op_idx];
     let kind = op.op;
-    let (left, right) = (&memo[left_id], &memo[right_id]);
+    let (left, right) = (&store[left_id], &store[right_id]);
     // Groupjoins evaluate their aggregates over raw right-side tuples: a
     // pre-aggregated right side would aggregate groups instead.
     if kind == OpKind::GroupJoin && right.has_grouping {
         return None;
     }
-    // Merge and orient all predicates crossing this cut.
-    let mut terms = Vec::new();
+    // Merge and orient all predicates crossing this cut — staged in the
+    // scratch buffer so rejected applications allocate nothing.
+    scratch.terms.clear();
     let mut sel = op.sel;
     for t in &op.pred.terms {
-        terms.push(orient_term(ctx, *t, left.set));
+        scratch.terms.push(orient_term(ctx, *t, left.set));
     }
     for &ei in extra {
         let e = &ctx.cq.ops[ei];
         debug_assert_eq!(OpKind::Join, e.op, "only inner joins may share a cut");
         sel *= e.sel;
         for t in &e.pred.terms {
-            terms.push(orient_term(ctx, *t, left.set));
+            scratch.terms.push(orient_term(ctx, *t, left.set));
         }
     }
-    let pred = JoinPred { terms };
     // Defensive visibility check.
-    for &(l, _, r) in &pred.terms {
+    for &(l, _, r) in &scratch.terms {
         if !left.visible.contains(&l) || !right.visible.contains(&r) {
             return None;
         }
@@ -111,6 +114,9 @@ pub fn make_apply(
             }
         }
     }
+    let pred = JoinPred {
+        terms: scratch.terms.clone(),
+    };
 
     let set = left.set.union(right.set);
     // Distinct join-value counts per side (products of the base distinct
@@ -147,8 +153,8 @@ pub fn make_apply(
     );
     let has_grouping = left.has_grouping || right.has_grouping;
 
-    ctx.count_plan();
-    Some(memo.push(MemoPlan {
+    scratch.count_plan();
+    Some(store.push_plan(MemoPlan {
         node: PlanNode::Apply {
             op: kind,
             pred,
@@ -171,15 +177,20 @@ pub fn make_apply(
 ///
 /// Callers must have checked `ctx.can_group(input.set)` and the usefulness
 /// condition (`NeedsGrouping`); this constructor only assembles the node.
-pub fn make_group(ctx: &OptContext, memo: &mut Memo, input_id: PlanId) -> PlanId {
-    let input = &memo[input_id];
-    let s = input.set;
-    let gattrs = ctx.gplus(s);
+pub fn make_group<S: PlanStore>(
+    ctx: &OptContext,
+    scratch: &mut Scratch,
+    store: &mut S,
+    input_id: PlanId,
+) -> PlanId {
+    let s = store[input_id].set;
+    let gattrs = scratch.gplus(ctx, s);
+    let input = &store[input_id];
     debug_assert!(
         gattrs.iter().all(|a| input.visible.contains(a)),
         "G⁺({s}) not fully visible"
     );
-    let (aggs, state) = build_group_aggs(ctx, &input.agg, s);
+    let (aggs, state) = build_group_aggs(ctx, scratch, &input.agg, s);
     let distincts: Vec<f64> = gattrs
         .iter()
         .map(|&a| distinct_in(ctx.distinct(a), input.card))
@@ -189,8 +200,7 @@ pub fn make_group(ctx: &OptContext, memo: &mut Memo, input_id: PlanId) -> PlanId
     let mut visible: Vec<AttrId> = gattrs.to_vec();
     visible.extend(aggs.iter().map(|c| c.out));
     let applied = input.applied;
-    ctx.count_plan();
-    memo.push(MemoPlan {
+    let node = MemoPlan {
         node: PlanNode::Group {
             attrs: gattrs.to_vec(),
             aggs,
@@ -204,5 +214,7 @@ pub fn make_group(ctx: &OptContext, memo: &mut Memo, input_id: PlanId) -> PlanId
         visible,
         has_grouping: true,
         applied,
-    })
+    };
+    scratch.count_plan();
+    store.push_plan(node)
 }

@@ -4,9 +4,9 @@
 
 use crate::aggstate::{AggPos, AggState};
 use crate::algo::applied_ops_mask;
-use crate::context::OptContext;
+use crate::context::{OptContext, Scratch};
 use crate::finalize::finalize;
-use crate::memo::{Memo, PlanId};
+use crate::memo::{Memo, PlanId, PlanStore};
 use crate::optrees::op_trees;
 use crate::plan::{make_apply, make_group, make_scan};
 use dpnext_algebra::{AggCall, AggKind, AttrGen, AttrId, Expr, JoinPred, Value};
@@ -20,13 +20,14 @@ fn a(i: u32) -> AttrId {
 /// Wrap `op_trees` for tests that only count the produced variants.
 fn op_tree_ids(
     ctx: &OptContext,
+    sc: &mut Scratch,
     memo: &mut Memo,
     op_idx: usize,
     t1: PlanId,
     t2: PlanId,
 ) -> Vec<PlanId> {
     let mut out = Vec::new();
-    op_trees(ctx, memo, op_idx, &[], t1, t2, &mut out);
+    op_trees(ctx, sc, memo, op_idx, &[], t1, t2, &mut out);
     out
 }
 
@@ -70,22 +71,24 @@ mod context {
     #[test]
     fn gplus_includes_group_and_crossing_join_attrs() {
         let ctx = two_table_ctx(OpKind::Join);
-        let g0 = ctx.gplus(NodeSet::single(0));
+        let mut sc = Scratch::new(&ctx);
+        let g0 = sc.gplus(&ctx, NodeSet::single(0));
         // a1 is both the grouping attribute and the crossing join attribute.
         assert_eq!(vec![a(1)], *g0);
-        let g1 = ctx.gplus(NodeSet::single(1));
+        let g1 = sc.gplus(&ctx, NodeSet::single(1));
         assert_eq!(vec![a(2)], *g1); // join attr only
                                      // Full set: nothing crosses; only the grouping attribute remains.
-        let gf = ctx.gplus(NodeSet::full(2));
+        let gf = sc.gplus(&ctx, NodeSet::full(2));
         assert_eq!(vec![a(1)], *gf);
     }
 
     #[test]
     fn gplus_is_cached() {
         let ctx = two_table_ctx(OpKind::Join);
-        let p1 = ctx.gplus(NodeSet::single(0));
-        let p2 = ctx.gplus(NodeSet::single(0));
-        assert!(std::rc::Rc::ptr_eq(&p1, &p2));
+        let mut sc = Scratch::new(&ctx);
+        let p1 = sc.gplus(&ctx, NodeSet::single(0));
+        let p2 = sc.gplus(&ctx, NodeSet::single(0));
+        assert!(std::sync::Arc::ptr_eq(&p1, &p2));
     }
 
     #[test]
@@ -122,8 +125,10 @@ mod context {
     #[test]
     fn fresh_attrs_above_query_attrs() {
         let ctx = two_table_ctx(OpKind::Join);
-        let f = ctx.fresh_attr();
+        let mut sc = Scratch::new(&ctx);
+        let f = sc.fresh_attr();
         assert!(f.0 > 51);
+        assert_eq!(1, sc.attrs_used());
     }
 }
 
@@ -211,9 +216,10 @@ mod plans {
     fn apply_costs_and_bitmask() {
         let ctx = two_table_ctx(OpKind::Join);
         let mut memo = Memo::new();
+        let mut sc = Scratch::new(&ctx);
         let l = make_scan(&ctx, &mut memo, 0);
         let r = make_scan(&ctx, &mut memo, 1);
-        let j = make_apply(&ctx, &mut memo, 0, &[], l, r).unwrap();
+        let j = make_apply(&ctx, &mut sc, &mut memo, 0, &[], l, r).unwrap();
         assert_eq!(50.0, memo[j].card); // 100 × 50 × 0.01
         assert_eq!(50.0, memo[j].cost);
         assert_eq!(1, memo[j].applied);
@@ -243,9 +249,10 @@ mod plans {
         );
         let ctx = OptContext::new(Query::new(vec![t0, t1], tree, None));
         let mut memo = Memo::new();
+        let mut sc = Scratch::new(&ctx);
         let l = make_scan(&ctx, &mut memo, 0);
         let r = make_scan(&ctx, &mut memo, 1);
-        let j = make_apply(&ctx, &mut memo, 0, &[], l, r).unwrap();
+        let j = make_apply(&ctx, &mut sc, &mut memo, 0, &[], l, r).unwrap();
         assert!(memo[j].keyinfo.duplicate_free);
         assert!(memo[j].keyinfo.keys.some_key_within(&[a(3)]));
         // Raw estimate 100 × 50 × 0.1 = 500; the key {a3} bounds it at
@@ -258,15 +265,16 @@ mod plans {
     fn group_reduces_cardinality_and_sets_keys() {
         let ctx = two_table_ctx(OpKind::Join);
         let mut memo = Memo::new();
+        let mut sc = Scratch::new(&ctx);
         let l = make_scan(&ctx, &mut memo, 0);
-        let g = make_group(&ctx, &mut memo, l);
+        let g = make_group(&ctx, &mut sc, &mut memo, l);
         // G⁺({0}) = {a1} with 10 distinct values.
         assert_eq!(10.0, memo[g].card);
         assert!(memo[g].keyinfo.duplicate_free);
         assert!(memo[g].has_grouping);
         // Grouping the small side: G⁺({1}) = {a2} with 25 distinct values.
         let r = make_scan(&ctx, &mut memo, 1);
-        let gr = make_group(&ctx, &mut memo, r);
+        let gr = make_group(&ctx, &mut sc, &mut memo, r);
         assert_eq!(25.0, memo[gr].card);
         assert_eq!(25.0 + 0.0, memo[gr].cost);
     }
@@ -275,8 +283,9 @@ mod plans {
     fn group_rewrites_aggregates() {
         let ctx = two_table_ctx(OpKind::Join);
         let mut memo = Memo::new();
+        let mut sc = Scratch::new(&ctx);
         let r = make_scan(&ctx, &mut memo, 1);
-        let g = make_group(&ctx, &mut memo, r);
+        let g = make_group(&ctx, &mut sc, &mut memo, r);
         // sum(a3) is partialed; count(*) stays raw (derived from counts).
         assert!(matches!(memo[g].agg.pos[1], AggPos::Partial { .. }));
         assert_eq!(AggPos::Raw, memo[g].agg.pos[0]);
@@ -293,11 +302,12 @@ mod plans {
         let spec = GroupSpec::new(vec![a(0)], vec![AggCall::count_star(a(70))], &mut gen);
         let ctx = OptContext::new(Query::new(vec![t0, t1], tree, Some(spec)));
         let mut memo = Memo::new();
+        let mut sc = Scratch::new(&ctx);
         let l = make_scan(&ctx, &mut memo, 0);
         let r = make_scan(&ctx, &mut memo, 1);
-        let grouped_r = make_group(&ctx, &mut memo, r);
-        assert!(make_apply(&ctx, &mut memo, 0, &[], l, grouped_r).is_none());
-        assert!(make_apply(&ctx, &mut memo, 0, &[], l, r).is_some());
+        let grouped_r = make_group(&ctx, &mut sc, &mut memo, r);
+        assert!(make_apply(&ctx, &mut sc, &mut memo, 0, &[], l, grouped_r).is_none());
+        assert!(make_apply(&ctx, &mut sc, &mut memo, 0, &[], l, r).is_some());
     }
 }
 
@@ -307,9 +317,10 @@ mod optrees {
     fn variants(op: OpKind) -> usize {
         let ctx = two_table_ctx(op);
         let mut memo = Memo::new();
+        let mut sc = Scratch::new(&ctx);
         let l = make_scan(&ctx, &mut memo, 0);
         let r = make_scan(&ctx, &mut memo, 1);
-        op_tree_ids(&ctx, &mut memo, 0, l, r).len()
+        op_tree_ids(&ctx, &mut sc, &mut memo, 0, l, r).len()
     }
 
     #[test]
@@ -346,11 +357,12 @@ mod optrees {
         let spec = GroupSpec::new(vec![a(3)], vec![AggCall::count_star(a(50))], &mut gen);
         let ctx = OptContext::new(Query::new(vec![t0, t1], tree, Some(spec)));
         let mut memo = Memo::new();
+        let mut sc = Scratch::new(&ctx);
         let l = make_scan(&ctx, &mut memo, 0);
         let r = make_scan(&ctx, &mut memo, 1);
         // G⁺({0}) = {a0} ⊇ key {a0} of duplicate-free r0 → only the right
         // side may be grouped: plain + Γ(right) = 2 variants.
-        assert_eq!(2, op_tree_ids(&ctx, &mut memo, 0, l, r).len());
+        assert_eq!(2, op_tree_ids(&ctx, &mut sc, &mut memo, 0, l, r).len());
     }
 }
 
@@ -361,9 +373,10 @@ mod finalization {
     fn top_grouping_added_when_needed() {
         let ctx = two_table_ctx(OpKind::Join);
         let mut memo = Memo::new();
+        let mut sc = Scratch::new(&ctx);
         let l = make_scan(&ctx, &mut memo, 0);
         let r = make_scan(&ctx, &mut memo, 1);
-        let j = make_apply(&ctx, &mut memo, 0, &[], l, r).unwrap();
+        let j = make_apply(&ctx, &mut sc, &mut memo, 0, &[], l, r).unwrap();
         let f = finalize(&ctx, &memo, j);
         assert!(f.top_grouping);
         // Cost = join output + grouping output (10 groups on a1).
@@ -386,11 +399,12 @@ mod finalization {
         let spec = GroupSpec::new(vec![a(0)], vec![AggCall::count_star(a(50))], &mut gen);
         let ctx = OptContext::new(Query::new(vec![t0, t1], tree, Some(spec)));
         let mut memo = Memo::new();
+        let mut sc = Scratch::new(&ctx);
         let l = make_scan(&ctx, &mut memo, 0);
         let r = make_scan(&ctx, &mut memo, 1);
         // a2 is a key of r1: each r0 tuple joins at most once → keys of r0
         // survive; G = {a0} ⊇ key → grouping eliminated.
-        let j = make_apply(&ctx, &mut memo, 0, &[], l, r).unwrap();
+        let j = make_apply(&ctx, &mut sc, &mut memo, 0, &[], l, r).unwrap();
         let f = finalize(&ctx, &memo, j);
         assert!(!f.top_grouping);
         assert_eq!(memo[j].cost, f.cost); // map + projection are free
@@ -408,9 +422,10 @@ mod finalization {
         );
         let ctx = OptContext::new(Query::new(vec![t0, t1], tree, None));
         let mut memo = Memo::new();
+        let mut sc = Scratch::new(&ctx);
         let l = make_scan(&ctx, &mut memo, 0);
         let r = make_scan(&ctx, &mut memo, 1);
-        let j = make_apply(&ctx, &mut memo, 0, &[], l, r).unwrap();
+        let j = make_apply(&ctx, &mut sc, &mut memo, 0, &[], l, r).unwrap();
         let f = finalize(&ctx, &memo, j);
         assert!(!f.top_grouping);
         assert_eq!(memo[j].cost, f.cost);

@@ -6,9 +6,16 @@
 //! seeds; any divergence means the enumeration order, cost model or
 //! retention behavior changed.
 
-use dpnext_core::{optimize, Algorithm as A};
+use dpnext_core::{optimize, optimize_with, Algorithm as A, OptimizeOptions};
 use dpnext_workload::{generate_query, GenConfig};
 use proptest::prelude::*;
+
+fn with_threads(threads: usize) -> OptimizeOptions {
+    OptimizeOptions {
+        threads,
+        ..OptimizeOptions::default()
+    }
+}
 
 #[derive(Clone, Copy)]
 enum Cfg {
@@ -219,6 +226,64 @@ fn engine_matches_seed_goldens_bit_for_bit() {
     }
 }
 
+/// The layered parallel engine must reproduce the same seed goldens: the
+/// stratified evaluation order and the worker/merge replay may not change
+/// a single observable bit, for any thread count.
+#[test]
+fn layered_engine_matches_goldens_at_2_and_8_threads() {
+    for &threads in &[2usize, 8] {
+        for &(cfg, n, seed, algo, cost_bits, plans_built, retained) in GOLDEN {
+            let query = generate_query(&cfg.config(n), seed);
+            let r = optimize_with(&query, algo, &with_threads(threads));
+            assert_eq!(
+                cost_bits,
+                r.plan.cost.to_bits(),
+                "cost diverges at threads={threads} (n={n}, seed={seed}, {}): {} vs {}",
+                algo.name(),
+                f64::from_bits(cost_bits),
+                r.plan.cost
+            );
+            assert_eq!(
+                plans_built,
+                r.plans_built,
+                "plans_built diverges at threads={threads} (n={n}, seed={seed}, {})",
+                algo.name()
+            );
+            assert_eq!(
+                retained,
+                r.retained_plans,
+                "retained_plans diverges at threads={threads} (n={n}, seed={seed}, {})",
+                algo.name()
+            );
+        }
+    }
+}
+
+/// Wide-but-cheap queries (single-plan classes, many pairs per stratum)
+/// push the layered engine past its fan-out threshold even for the
+/// heuristics, covering the worker/merge path the small goldens reach
+/// only with the EA searches.
+#[test]
+fn layered_workers_match_streaming_on_wide_queries() {
+    for n in [10usize, 12] {
+        for seed in [1000u64, 1001] {
+            let query = generate_query(&GenConfig::paper(n), seed);
+            for algo in [A::DPhyp, A::H1, A::H2(1.03), A::EaPrune] {
+                let seq = optimize_with(&query, algo, &with_threads(1));
+                let par = optimize_with(&query, algo, &with_threads(4));
+                assert_eq!(
+                    seq.plan.cost.to_bits(),
+                    par.plan.cost.to_bits(),
+                    "cost diverges (n={n}, seed={seed}, {})",
+                    algo.name()
+                );
+                assert_eq!(seq.plans_built, par.plans_built, "n={n} seed={seed}");
+                assert_eq!(seq.retained_plans, par.retained_plans, "n={n} seed={seed}");
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(30))]
 
@@ -236,5 +301,30 @@ proptest! {
         );
         prop_assert!(pruned.retained_plans <= all.retained_plans);
         prop_assert!(pruned.plans_built <= all.plans_built);
+    }
+
+    /// The thread count is not allowed to influence anything observable:
+    /// costs, plans built and retained DP state are bit-identical across
+    /// `threads ∈ {1, 2, 8}` for all five algorithms.
+    #[test]
+    fn thread_count_never_changes_results(n in 2usize..=6, seed in 0u64..1_000_000) {
+        let query = generate_query(&GenConfig::oracle(n), seed);
+        for algo in [A::DPhyp, A::H1, A::H2(1.03), A::EaAll, A::EaPrune] {
+            let seq = optimize_with(&query, algo, &with_threads(1));
+            for threads in [2usize, 8] {
+                let par = optimize_with(&query, algo, &with_threads(threads));
+                prop_assert_eq!(
+                    seq.plan.cost.to_bits(), par.plan.cost.to_bits(),
+                    "cost diverges at threads={} (n={}, seed={}, {})",
+                    threads, n, seed, algo.name()
+                );
+                prop_assert_eq!(seq.plans_built, par.plans_built,
+                    "plans_built diverges at threads={} (n={}, seed={}, {})",
+                    threads, n, seed, algo.name());
+                prop_assert_eq!(seq.retained_plans, par.retained_plans,
+                    "retained_plans diverges at threads={} (n={}, seed={}, {})",
+                    threads, n, seed, algo.name());
+            }
+        }
     }
 }

@@ -1,0 +1,54 @@
+//! Regression tests for `Optimized::elapsed`: the reported time measures
+//! the *search*, not result presentation. `elapsed` used to be captured
+//! after EXPLAIN rendering, so enabling `explain` silently inflated every
+//! benchmark that trusted the field.
+
+use dpnext_core::{optimize_with, Algorithm, OptimizeOptions};
+use dpnext_workload::{generate_query, GenConfig};
+use std::time::Duration;
+
+fn opts(explain: bool) -> OptimizeOptions {
+    OptimizeOptions {
+        explain,
+        threads: 1,
+        ..OptimizeOptions::default()
+    }
+}
+
+/// `elapsed` with EXPLAIN rendering on must be in the same ballpark as
+/// with rendering off: rendering happens after the clock stops. The bound
+/// (min-of-5 per mode, 2× + 5 ms slack) guards the contract, not the
+/// scheduler — and it is honest about its limits: rendering one plan tree
+/// costs microseconds against a milliseconds-scale search, so this test
+/// catches EXPLAIN becoming *expensive* inside the timed region, while
+/// the exact clock placement is pinned by the code itself
+/// (`optimize_with` captures `elapsed` before building the string).
+#[test]
+fn elapsed_excludes_explain_rendering() {
+    let query = generate_query(&GenConfig::paper(7), 1000);
+    let min_on = (0..5)
+        .map(|_| optimize_with(&query, Algorithm::EaPrune, &opts(true)).elapsed)
+        .min()
+        .unwrap();
+    let min_off = (0..5)
+        .map(|_| optimize_with(&query, Algorithm::EaPrune, &opts(false)).elapsed)
+        .min()
+        .unwrap();
+    assert!(
+        min_on <= min_off * 2 + Duration::from_millis(5),
+        "elapsed with explain ({min_on:?}) far exceeds elapsed without ({min_off:?}): \
+         is EXPLAIN rendering being timed again?"
+    );
+}
+
+/// The EXPLAIN string is still produced when requested — the fix moved
+/// the clock, not the rendering.
+#[test]
+fn explain_rendering_still_works() {
+    let query = generate_query(&GenConfig::paper(5), 1000);
+    let with = optimize_with(&query, Algorithm::EaPrune, &opts(true));
+    let without = optimize_with(&query, Algorithm::EaPrune, &opts(false));
+    assert!(with.explain.contains("C_out"));
+    assert!(without.explain.is_empty());
+    assert_eq!(with.plan.cost.to_bits(), without.plan.cost.to_bits());
+}

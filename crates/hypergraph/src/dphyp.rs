@@ -91,6 +91,55 @@ impl<F: FnMut(NodeSet, NodeSet)> Enumerator<'_, F> {
     }
 }
 
+/// The csg-cmp-pairs of `graph` layered by union size — a DPsize-style
+/// stratification of the DPhyp stream.
+///
+/// `strata[k]` holds every pair `(S1, S2)` with `|S1 ∪ S2| = k`, in DPhyp
+/// emission order (the stratification is stable). Because both components
+/// of a pair are strictly smaller than their union and DPhyp emits every
+/// pair producing a set before any pair consuming it, all plans a
+/// stratum-`k` pair reads live in strata `< k`: pairs **within** one
+/// stratum are data-independent and may be evaluated in any order — the
+/// monotone-DP structure layered/parallel evaluation exploits.
+pub fn stratify_ccps(graph: &Hypergraph) -> CcpStrata {
+    let n = graph.node_count();
+    let mut strata: Vec<Vec<(NodeSet, NodeSet)>> = vec![Vec::new(); n + 1];
+    enumerate_ccps(graph, |s1, s2| {
+        strata[s1.union(s2).len()].push((s1, s2));
+    });
+    CcpStrata { strata }
+}
+
+/// The result of [`stratify_ccps`]: one pair list per union size.
+#[derive(Debug, Clone, Default)]
+pub struct CcpStrata {
+    /// `strata[k]` = pairs whose union covers exactly `k` nodes. Indices
+    /// `0` and `1` are always empty (a ccp union has at least two nodes).
+    pub strata: Vec<Vec<(NodeSet, NodeSet)>>,
+}
+
+impl CcpStrata {
+    /// Total number of pairs across all strata (equals [`count_ccps`]).
+    pub fn pair_count(&self) -> u64 {
+        self.strata.iter().map(|s| s.len() as u64).sum()
+    }
+
+    /// Number of non-empty strata (DP layers with work).
+    pub fn layer_count(&self) -> u64 {
+        self.strata.iter().filter(|s| !s.is_empty()).count() as u64
+    }
+
+    /// Size of the widest stratum — the upper bound on how much work one
+    /// barrier-separated layer can fan out.
+    pub fn peak_layer_pairs(&self) -> u64 {
+        self.strata
+            .iter()
+            .map(|s| s.len() as u64)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
 /// Count the csg-cmp-pairs of a hypergraph (`#ccp` in the paper's complexity
 /// bound `O(2^{2n-1} · #ccp)`).
 pub fn count_ccps(graph: &Hypergraph) -> u64 {
@@ -248,5 +297,61 @@ mod tests {
     fn empty_and_single_node_graphs() {
         assert_eq!(0, count_ccps(&Hypergraph::new(0)));
         assert_eq!(0, count_ccps(&Hypergraph::new(1)));
+    }
+
+    #[test]
+    fn strata_partition_the_ccp_stream_by_union_size() {
+        for g in [chain(7), star(6), clique(5), cycle(6)] {
+            let s = stratify_ccps(&g);
+            assert_eq!(count_ccps(&g), s.pair_count());
+            assert_eq!(g.node_count() + 1, s.strata.len());
+            assert!(s.strata[0].is_empty() && s.strata[1].is_empty());
+            for (k, stratum) in s.strata.iter().enumerate() {
+                for &(s1, s2) in stratum {
+                    assert_eq!(k, s1.union(s2).len(), "pair ({s1},{s2}) in stratum {k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stratification_is_stable() {
+        // Within a stratum, pairs keep their DPhyp emission order — the
+        // property that makes layered replay bit-identical to streaming.
+        let g = cycle(6);
+        let s = stratify_ccps(&g);
+        let mut streamed: Vec<Vec<(NodeSet, NodeSet)>> = vec![Vec::new(); 7];
+        enumerate_ccps(&g, |s1, s2| streamed[s1.union(s2).len()].push((s1, s2)));
+        assert_eq!(streamed, s.strata);
+    }
+
+    #[test]
+    fn strata_respect_dp_dependencies() {
+        // Every component of a stratum-k pair is a singleton or was the
+        // union of some pair in a strictly smaller stratum: a layer only
+        // reads plan classes frozen by earlier layers.
+        let g = clique(5);
+        let s = stratify_ccps(&g);
+        let mut built: HashSet<u64> = (0..5).map(|i| 1u64 << i).collect();
+        for stratum in &s.strata {
+            for &(s1, s2) in stratum {
+                assert!(built.contains(&s1.0), "{s1} read before built");
+                assert!(built.contains(&s2.0), "{s2} read before built");
+            }
+            // Unions become readable only after the whole layer.
+            for &(s1, s2) in stratum {
+                built.insert(s1.union(s2).0);
+            }
+        }
+    }
+
+    #[test]
+    fn strata_shape_helpers() {
+        let s = stratify_ccps(&chain(4));
+        // Chain of 4: 3 pairs of size 2, 4 of size 3, 3 of size 4 = 10.
+        assert_eq!(10, s.pair_count());
+        assert_eq!(3, s.layer_count());
+        assert_eq!(4, s.peak_layer_pairs());
+        assert_eq!(0, stratify_ccps(&Hypergraph::new(1)).layer_count());
     }
 }

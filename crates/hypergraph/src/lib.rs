@@ -11,5 +11,5 @@ pub mod graph;
 
 pub use bitset::NodeSet;
 pub use dpccp::{count_ccps_simple, enumerate_ccps_simple, SimpleGraph};
-pub use dphyp::{count_ccps, count_ccps_bruteforce, enumerate_ccps};
+pub use dphyp::{count_ccps, count_ccps_bruteforce, enumerate_ccps, stratify_ccps, CcpStrata};
 pub use graph::{Hyperedge, Hypergraph};

@@ -31,17 +31,21 @@ pub struct Optimizer {
     algorithm: Algorithm,
     dominance: DominanceKind,
     explain: bool,
+    threads: usize,
     catalog: Option<Catalog>,
 }
 
 impl Optimizer {
     /// A facade running `algorithm` with the paper's defaults: `Full`
-    /// dominance pruning and EXPLAIN/stats rendering enabled.
+    /// dominance pruning and EXPLAIN/stats rendering enabled. The
+    /// enumeration engine uses all available cores by default; see
+    /// [`Optimizer::threads`].
     pub fn new(algorithm: Algorithm) -> Optimizer {
         Optimizer {
             algorithm,
             dominance: DominanceKind::Full,
             explain: true,
+            threads: 0,
             catalog: None,
         }
     }
@@ -50,6 +54,16 @@ impl Optimizer {
     /// (the weaker kinds prune harder but can lose the optimal plan).
     pub fn dominance(mut self, kind: DominanceKind) -> Optimizer {
         self.dominance = kind;
+        self
+    }
+
+    /// Worker threads for the enumeration engine: `1` runs the exact
+    /// sequential path, `0` (the default) resolves to the machine's
+    /// available parallelism. Plan costs, class contents, dominance
+    /// outcomes and `plans_built` are bit-identical for every setting —
+    /// only wall-clock time changes.
+    pub fn threads(mut self, threads: usize) -> Optimizer {
+        self.threads = threads;
         self
     }
 
@@ -76,6 +90,7 @@ impl Optimizer {
         let opts = OptimizeOptions {
             dominance: self.dominance,
             explain: self.explain,
+            threads: self.threads,
         };
         optimize_with(query, self.algorithm, &opts)
     }
