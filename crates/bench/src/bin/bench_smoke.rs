@@ -12,7 +12,7 @@
 //! prints the deltas — **warn-only**: it never fails the run, it just
 //! makes perf regressions visible in the CI log.
 
-use dpnext_bench::{run_sweep, AlgoSpec, SweepResult};
+use dpnext_bench::{run_sweep, serial_fraction, AlgoSpec, SweepResult};
 use dpnext_core::Algorithm;
 use dpnext_workload::GenConfig;
 use std::fmt::Write as _;
@@ -32,6 +32,16 @@ struct SmokeCell {
     arena: f64,
     width: f64,
     hit_rate: f64,
+    worker_nanos: f64,
+    replay_nanos: f64,
+}
+
+impl SmokeCell {
+    /// Share of engine time in the merge + replay phase (0 at
+    /// threads = 1, where everything is build work).
+    fn replay_share(&self) -> f64 {
+        serial_fraction(self.worker_nanos, self.replay_nanos)
+    }
 }
 
 fn main() {
@@ -88,6 +98,8 @@ fn main() {
                     arena: cell.mean_arena_plans,
                     width: cell.mean_peak_class_width,
                     hit_rate: cell.mean_prune_hit_rate,
+                    worker_nanos: cell.mean_worker_nanos,
+                    replay_nanos: cell.mean_replay_nanos,
                 });
             }
         }
@@ -109,7 +121,8 @@ fn main() {
              \"queries\": {QUERIES}, \"mean_runtime_us\": {:.3}, \
              \"mean_plans_built\": {:.1}, \"plans_per_sec\": {:.0}, \
              \"mean_arena_plans\": {:.1}, \"mean_peak_class_width\": {:.1}, \
-             \"mean_prune_hit_rate\": {:.4} }}",
+             \"mean_prune_hit_rate\": {:.4}, \"worker_nanos\": {:.0}, \
+             \"replay_nanos\": {:.0} }}",
             c.algo,
             c.n,
             c.threads,
@@ -118,7 +131,9 @@ fn main() {
             c.plans_per_sec,
             c.arena,
             c.width,
-            c.hit_rate
+            c.hit_rate,
+            c.worker_nanos,
+            c.replay_nanos
         );
     }
     json.push_str("\n  ]\n}\n");
@@ -132,15 +147,26 @@ fn main() {
     }
 }
 
+/// One parsed cell of a previously archived `BENCH_smoke.json`.
+struct PrevCell {
+    algo: String,
+    n: usize,
+    threads: usize,
+    plans_per_sec: f64,
+    /// `None` for pre-phase-split archives (fields absent).
+    replay_share: Option<f64>,
+}
+
 /// Parse a previously archived `BENCH_smoke.json` (our own line-per-cell
 /// format; pre-threads files lack the `threads` field and are treated as
-/// `threads=1`) and print warn-only plans/sec deltas.
+/// `threads=1`, pre-phase-split files lack the `*_nanos` fields) and
+/// print warn-only plans/sec and replay-share deltas.
 fn diff_against(prev_path: &str, cells: &[SmokeCell]) {
     let Ok(prev) = std::fs::read_to_string(prev_path) else {
         eprintln!("perf-diff: cannot read {prev_path}; skipping comparison");
         return;
     };
-    let mut old: Vec<(String, usize, usize, f64)> = Vec::new();
+    let mut old: Vec<PrevCell> = Vec::new();
     for line in prev.lines() {
         let Some(algo) = field_str(line, "\"algorithm\": \"") else {
             continue;
@@ -152,7 +178,20 @@ fn diff_against(prev_path: &str, cells: &[SmokeCell]) {
             continue;
         };
         let threads = field_num(line, "\"threads\": ").unwrap_or(1.0);
-        old.push((algo, n as usize, threads as usize, pps));
+        let replay_share = match (
+            field_num(line, "\"worker_nanos\": "),
+            field_num(line, "\"replay_nanos\": "),
+        ) {
+            (Some(w), Some(r)) => Some(serial_fraction(w, r)),
+            _ => None,
+        };
+        old.push(PrevCell {
+            algo,
+            n: n as usize,
+            threads: threads as usize,
+            plans_per_sec: pps,
+            replay_share,
+        });
     }
     if old.is_empty() {
         eprintln!("perf-diff: no cells found in {prev_path}; skipping comparison");
@@ -160,24 +199,41 @@ fn diff_against(prev_path: &str, cells: &[SmokeCell]) {
     }
     eprintln!("perf-diff vs {prev_path} (warn-only):");
     for c in cells {
-        let Some((.., old_pps)) = old
+        let Some(prev) = old
             .iter()
-            .find(|(a, on, ot, _)| *a == c.algo && *on == c.n && *ot == c.threads)
+            .find(|p| p.algo == c.algo && p.n == c.n && p.threads == c.threads)
         else {
             continue;
         };
-        let delta = 100.0 * (c.plans_per_sec - old_pps) / old_pps.max(1.0);
+        let delta = 100.0 * (c.plans_per_sec - prev.plans_per_sec) / prev.plans_per_sec.max(1.0);
         let marker = if delta <= -10.0 {
             "  ⚠ regression?"
         } else {
             ""
         };
+        // Replay-share trajectory: the serial fraction the
+        // class-partitioned replay attacks. Only meaningful at
+        // threads > 1 (streaming reports 0/0) and against archives that
+        // already carry the phase fields.
+        let share = match prev.replay_share {
+            Some(old_share) if c.threads > 1 => {
+                let new_share = 100.0 * c.replay_share();
+                let old_share = 100.0 * old_share;
+                let warn = if new_share > old_share + 5.0 {
+                    "  ⚠ serial section growing?"
+                } else {
+                    ""
+                };
+                format!(", replay share {old_share:.1}% → {new_share:.1}%{warn}")
+            }
+            _ => String::new(),
+        };
         eprintln!(
-            "  {:<10} n={} threads={}: {:.0}k → {:.0}k plans/s ({delta:+.1}%){marker}",
+            "  {:<10} n={} threads={}: {:.0}k → {:.0}k plans/s ({delta:+.1}%){marker}{share}",
             c.algo,
             c.n,
             c.threads,
-            old_pps / 1e3,
+            prev.plans_per_sec / 1e3,
             c.plans_per_sec / 1e3
         );
     }

@@ -9,5 +9,5 @@ pub mod sweep;
 
 pub use sweep::{
     maybe_print_threads_compare, print_memo_table, print_table, print_threads_compare, run_sweep,
-    AlgoSpec, Args, Cell, SweepResult,
+    serial_fraction, AlgoSpec, Args, Cell, SweepResult,
 };

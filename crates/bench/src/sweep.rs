@@ -45,6 +45,31 @@ pub struct Cell {
     pub mean_peak_class_width: f64,
     /// Mean dominance-prune hit-rate (0 when the algorithm never prunes).
     pub mean_prune_hit_rate: f64,
+    /// Mean nanoseconds in the plan-building phase (workers + inline
+    /// strata; the whole enumeration on the streaming path).
+    pub mean_worker_nanos: f64,
+    /// Mean nanoseconds in the merge + per-class replay phase (0 on the
+    /// streaming path).
+    pub mean_replay_nanos: f64,
+}
+
+/// Share of instrumented engine time in the merge + replay phase — the
+/// Amdahl serial fraction of the layered engine, on (possibly averaged)
+/// phase nanoseconds. The one definition every bench-side readout uses;
+/// mirrors `MemoStats::serial_fraction` on the raw per-run counters.
+pub fn serial_fraction(worker_nanos: f64, replay_nanos: f64) -> f64 {
+    let total = worker_nanos + replay_nanos;
+    if total <= 0.0 {
+        return 0.0;
+    }
+    replay_nanos / total
+}
+
+impl Cell {
+    /// [`serial_fraction`] over this cell's mean phase times.
+    pub fn serial_fraction(&self) -> f64 {
+        serial_fraction(self.mean_worker_nanos, self.mean_replay_nanos)
+    }
 }
 
 /// Results of a sweep: `cells[algo_index][size_index]` (None where the
@@ -77,6 +102,8 @@ pub fn run_sweep(
         let mut arena: Vec<f64> = vec![0.0; algos.len()];
         let mut width: Vec<f64> = vec![0.0; algos.len()];
         let mut hits: Vec<f64> = vec![0.0; algos.len()];
+        let mut worker_ns: Vec<f64> = vec![0.0; algos.len()];
+        let mut replay_ns: Vec<f64> = vec![0.0; algos.len()];
         for q in 0..queries {
             let seed = base_seed
                 .wrapping_add(n as u64 * 1_000_003)
@@ -97,6 +124,8 @@ pub fn run_sweep(
                 arena[ai] += r.memo.arena_plans as f64;
                 width[ai] += r.memo.peak_class_width as f64;
                 hits[ai] += r.memo.prune_hit_rate();
+                worker_ns[ai] += r.memo.worker_nanos as f64;
+                replay_ns[ai] += r.memo.replay_nanos as f64;
             }
         }
         for (ai, spec) in algos.iter().enumerate() {
@@ -124,6 +153,8 @@ pub fn run_sweep(
                 mean_arena_plans: arena[ai] / m as f64,
                 mean_peak_class_width: width[ai] / m as f64,
                 mean_prune_hit_rate: hits[ai] / m as f64,
+                mean_worker_nanos: worker_ns[ai] / m as f64,
+                mean_replay_nanos: replay_ns[ai] / m as f64,
             });
         }
     }
@@ -228,6 +259,17 @@ pub fn maybe_print_threads_compare(
             &format!("{figure} — plans/s, threads=1 → threads={threads}"),
             &seq,
             result,
+        )
+    );
+    println!(
+        "{}",
+        print_table(
+            &format!(
+                "{figure} — replay serial fraction at threads={threads} \
+                 (share of engine time in the merge+replay phase)"
+            ),
+            result,
+            |c| format!("{:.1}%", 100.0 * c.serial_fraction()),
         )
     );
 }

@@ -1,0 +1,102 @@
+//! Micro-benchmark backing the `core::fxhash` hasher swap: the memo's
+//! plan-class map is a `NodeSet`-keyed hash map probed once per subplan
+//! combination, so the per-lookup hashing cost is directly on the
+//! enumeration hot path. This compares insert and lookup throughput of
+//! the standard library's SipHash (`RandomState`) against the in-tree
+//! multiply-xor `FxHasher` on exactly that map shape — `NodeSet` keys,
+//! `Vec<u32>` class payloads.
+//!
+//! Run with `cargo bench --bench fxhash`; CI compiles it on every PR
+//! (`cargo bench --no-run`) and archives the binary so the perf surface
+//! cannot silently rot.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dpnext_core::fxhash::FxHashMap;
+use dpnext_hypergraph::NodeSet;
+use std::collections::HashMap;
+
+/// Key population shaped like a real EA search: every connected subset of
+/// a 14-relation chain query (all contiguous bit runs), which is what the
+/// class map of a mid-size enumeration actually holds.
+fn chain_class_keys(n: usize) -> Vec<NodeSet> {
+    let mut keys = Vec::new();
+    for len in 1..=n {
+        for start in 0..=(n - len) {
+            keys.push(NodeSet(((1u64 << len) - 1) << start));
+        }
+    }
+    keys
+}
+
+/// A denser population: all 2^12 subsets of 12 relations (clique query).
+fn clique_class_keys() -> Vec<NodeSet> {
+    (1u64..(1 << 12)).map(NodeSet).collect()
+}
+
+fn bench_class_map(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nodeset_class_map");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+
+    for (label, keys) in [
+        ("chain14", chain_class_keys(14)),
+        ("clique12", clique_class_keys()),
+    ] {
+        // Insert: build the class map from scratch (the per-stratum cost
+        // of seeding fresh classes).
+        group.bench_function(format!("insert_siphash_{label}"), |b| {
+            b.iter(|| {
+                let mut m: HashMap<NodeSet, Vec<u32>> = HashMap::new();
+                for (i, &k) in keys.iter().enumerate() {
+                    m.entry(black_box(k)).or_default().push(i as u32);
+                }
+                black_box(m.len())
+            })
+        });
+        group.bench_function(format!("insert_fxhash_{label}"), |b| {
+            b.iter(|| {
+                let mut m: FxHashMap<NodeSet, Vec<u32>> = FxHashMap::default();
+                for (i, &k) in keys.iter().enumerate() {
+                    m.entry(black_box(k)).or_default().push(i as u32);
+                }
+                black_box(m.len())
+            })
+        });
+
+        // Lookup: the dominant operation — every work unit probes both
+        // orientation classes against the frozen map.
+        let sip: HashMap<NodeSet, Vec<u32>> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (k, vec![i as u32]))
+            .collect();
+        let fx: FxHashMap<NodeSet, Vec<u32>> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (k, vec![i as u32]))
+            .collect();
+        group.bench_function(format!("lookup_siphash_{label}"), |b| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for &k in &keys {
+                    hits += sip.get(black_box(&k)).map_or(0, Vec::len);
+                }
+                black_box(hits)
+            })
+        });
+        group.bench_function(format!("lookup_fxhash_{label}"), |b| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for &k in &keys {
+                    hits += fx.get(black_box(&k)).map_or(0, Vec::len);
+                }
+                black_box(hits)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_class_map);
+criterion_main!(benches);

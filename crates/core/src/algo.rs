@@ -13,16 +13,22 @@
 //! * **layered** (`threads > 1`): stratify the stream by `|S1 ∪ S2|`
 //!   ([`dpnext_hypergraph::stratify_ccps`]), fan each stratum's pairs out
 //!   over `std::thread::scope` workers building into thread-local
-//!   [`MemoShard`]s, then merge the shards and **replay** the recorded
-//!   candidate stream against the real policy in original pair order.
-//!   Because a stratum only reads plan classes frozen by earlier strata,
-//!   the replay makes costs, class contents, dominance outcomes and
-//!   `plans_built` bit-identical to the streaming driver for any thread
-//!   count (the parity suite pins this).
+//!   [`MemoShard`]s, merge the shards while **bucketing** the recorded
+//!   candidates by target class, then fan the per-class streams back out
+//!   over the worker pool: plan classes are independent per `NodeSet`
+//!   (dominance/keep-best only ever compares within a class), so the
+//!   folds commute across classes, and within each class candidates
+//!   apply in the original sequential unit order. Because a stratum only
+//!   reads plan classes frozen by earlier strata, this makes costs, class
+//!   contents, dominance outcomes and `plans_built` bit-identical to the
+//!   streaming driver for any thread count (the parity suite pins this).
 
 use crate::context::{OptContext, Scratch};
 use crate::finalize::{finalize, FinalPlan};
-use crate::memo::{DominanceKind, Memo, MemoShard, MemoStats, PlanId, PlanStore};
+use crate::memo::{
+    prune_insert_ids, ClassBuckets, ClassTally, DominanceKind, Memo, MemoShard, MemoStats, PlanId,
+    PlanStore,
+};
 use crate::optrees::op_trees;
 use crate::plan::{make_apply, make_scan};
 use dpnext_conflict::applicable_ops_into;
@@ -239,7 +245,11 @@ fn orientations_into(ctx: &OptContext, s1: NodeSet, s2: NodeSet, bufs: &mut Pair
 /// What a plan class keeps, and what happens to complete plans — the only
 /// part in which the five generators differ. The engine drives the
 /// enumeration; the policy decides retention.
-trait ClassPolicy {
+///
+/// `Sync` because the class-partitioned replay shares `&self` across the
+/// per-class fold workers ([`ClassPolicy::fold_insert`] is read-only on
+/// the policy).
+trait ClassPolicy: Sync {
     /// Generate all eager-aggregation variants (`OpTrees`, Fig. 6) or only
     /// the plain operator tree (the DPhyp baseline)?
     fn eager(&self) -> bool;
@@ -249,14 +259,41 @@ trait ClassPolicy {
     /// Returns whether the policy kept a reference to `id`; when no plan
     /// of a full-set pair is kept, the engine rolls the arena back.
     fn complete(&mut self, ctx: &OptContext, memo: &mut Memo, id: PlanId) -> bool;
+    /// Per-class equivalent of [`ClassPolicy::insert`]: fold one recorded
+    /// candidate into the detached class vector `class`, reading plan
+    /// data from the frozen, fully merged memo and tallying counters per
+    /// fold. Folds for different classes run concurrently — retention may
+    /// depend only on plan data and the class itself, never on mutable
+    /// policy state (hence `&self`). Within one class the replay applies
+    /// candidates in the original sequential unit order, so the folded
+    /// class is bit-identical to what streaming `insert`s build.
+    fn fold_insert(
+        &self,
+        ctx: &OptContext,
+        memo: &Memo,
+        class: &mut Vec<PlanId>,
+        id: PlanId,
+        tally: &mut ClassTally,
+    );
+    /// Replay-path equivalent of [`ClassPolicy::complete`]. The replay
+    /// never rolls the merged arena back (losing plans were already
+    /// reclaimed worker-locally), so shared memo access suffices.
+    fn fold_complete(&mut self, ctx: &OptContext, memo: &Memo, id: PlanId) -> bool;
+    /// Does `complete` keep every complete plan unconditionally? Workers
+    /// then record all complete plans instead of pre-filtering with the
+    /// worker-local keep-best (and never roll their shard back).
+    fn keeps_all_completes(&self) -> bool {
+        false
+    }
     /// Whether the layered driver may run this policy: [`WorkerSink`]
     /// pre-filters complete plans with a worker-local strict-`<`
     /// finalized-cost keep-best, which is lossless only when `complete`
-    /// itself keeps exactly the strict-cost winners (as the keep-best
-    /// policies do). Policies that retain non-improving complete plans
-    /// (collect-all, top-k, tolerance acceptance) must return `false`;
-    /// the engine then stays on the streaming driver regardless of the
-    /// `threads` knob.
+    /// itself keeps exactly the strict-cost winners (the keep-best
+    /// policies) or keeps everything ([`ClassPolicy::keeps_all_completes`],
+    /// which disables the pre-filter). Policies that retain a non-trivial
+    /// subset of complete plans (top-k, tolerance acceptance) must return
+    /// `false`; the engine then stays on the streaming driver regardless
+    /// of the `threads` knob.
     fn parallel_safe(&self) -> bool {
         true
     }
@@ -378,13 +415,24 @@ impl<P: ClassPolicy> PairSink<Memo> for PolicySink<'_, P> {
 /// A layered worker's sink: class candidates and surviving complete plans
 /// are recorded (tagged with their work unit) for the merge replay; a
 /// worker-local keep-best drives the arena rollback so losing complete
-/// plans are reclaimed without cross-thread coordination.
+/// plans are reclaimed without cross-thread coordination. Collect-all
+/// policies (`keep_all`) retain every complete plan instead.
 #[derive(Default)]
 struct WorkerSink {
     unit: u64,
     inserts: Vec<(u64, NodeSet, PlanId)>,
     completes: Vec<(u64, PlanId)>,
     best_cost: Option<f64>,
+    keep_all: bool,
+}
+
+impl WorkerSink {
+    fn new(keep_all: bool) -> WorkerSink {
+        WorkerSink {
+            keep_all,
+            ..WorkerSink::default()
+        }
+    }
 }
 
 impl PairSink<MemoShard<'_>> for WorkerSink {
@@ -397,6 +445,10 @@ impl PairSink<MemoShard<'_>> for WorkerSink {
     }
 
     fn complete(&mut self, ctx: &OptContext, store: &mut MemoShard<'_>, id: PlanId) -> bool {
+        if self.keep_all {
+            self.completes.push((self.unit, id));
+            return true;
+        }
         let f = finalize(ctx, store, id);
         if self.best_cost.is_none_or(|b| f.cost < b) {
             self.best_cost = Some(f.cost);
@@ -436,13 +488,14 @@ fn run_worker(
     threads: usize,
     mut scratch: Scratch,
     eager: bool,
+    keep_all: bool,
     full: NodeSet,
 ) -> WorkerOut {
     // The scratch is reused across strata; report this stratum's delta.
     let built_before = scratch.plans_built;
     let mut bufs = PairBufs::new();
     let mut shard = MemoShard::new(shared);
-    let mut sink = WorkerSink::default();
+    let mut sink = WorkerSink::new(keep_all);
     let mut unit = 0u64;
     let w = worker as u64;
     let t = threads as u64;
@@ -481,11 +534,17 @@ fn run_worker(
 /// processed inline — thread spawn plus merge costs more than the work.
 const PAR_MIN_COMBOS: usize = 256;
 
+/// Fan-out threshold of the class-partitioned replay: below this many
+/// recorded candidates the per-class folds run inline on the merging
+/// thread — spawning would cost more than the dominance checks.
+const PAR_MIN_REPLAY: usize = 256;
+
 /// The layered driver: strata in ascending union size; within a stratum,
-/// work units fan out round-robin over scoped worker threads and the
-/// recorded candidates are replayed against the policy in original unit
-/// order, so every observable outcome matches the streaming driver bit
-/// for bit.
+/// work units fan out round-robin over scoped worker threads, the shard
+/// merge buckets the recorded candidates by target class, and the
+/// per-class candidate streams fan back out over scoped workers — within
+/// a class candidates apply in original unit order, so every observable
+/// outcome matches the streaming driver bit for bit.
 /// Memory note: unlike the streaming driver, this materializes the whole
 /// csg-cmp-pair stream (16 bytes/pair). That is only significant where
 /// `#ccp` is astronomically large — and every pair also costs at least
@@ -500,12 +559,18 @@ fn enumerate_layered<P: ClassPolicy>(
     threads: usize,
 ) {
     let eager = policy.eager();
+    let keep_all = policy.keeps_all_completes();
     let n = ctx.query.table_count();
     let full = NodeSet::full(n);
     let strata = stratify_ccps(&ctx.cq.graph);
     // Widest fan-out actually spawned (1 = every stratum ran inline),
     // recorded after the loop.
     let mut fanout_used = 1u64;
+    // Phase instrumentation: plan-building (worker/inline) time vs
+    // merge+replay time, and the widest per-class replay fan-out.
+    let mut worker_nanos = 0u64;
+    let mut replay_nanos = 0u64;
+    let mut peak_replay_classes = 0u64;
     // Global fresh-attribute cursor: inline strata allocate from it
     // directly; fanned-out strata interleave it across workers (ids ≡
     // worker mod t). Ids differ between thread counts but never collide,
@@ -528,6 +593,7 @@ fn enumerate_layered<P: ClassPolicy>(
         let t = threads.min(combos.max(1));
         if t < 2 || combos < PAR_MIN_COMBOS {
             // Inline: identical to one worker plus immediate replay.
+            let t0 = Instant::now();
             scratch.set_attr_base(next_attr);
             let mut sink = PolicySink {
                 policy: &mut *policy,
@@ -541,9 +607,11 @@ fn enumerate_layered<P: ClassPolicy>(
                 );
             }
             next_attr += scratch.attrs_used();
+            worker_nanos += t0.elapsed().as_nanos() as u64;
             continue;
         }
         fanout_used = fanout_used.max(t as u64);
+        let t0 = Instant::now();
         let shared: &Memo = memo;
         let scratches: Vec<Scratch> = pool
             .iter_mut()
@@ -564,7 +632,9 @@ fn enumerate_layered<P: ClassPolicy>(
                 .into_iter()
                 .enumerate()
                 .map(|(w, ws)| {
-                    sc.spawn(move || run_worker(ctx, shared, pairs, w, t, ws, eager, full))
+                    sc.spawn(move || {
+                        run_worker(ctx, shared, pairs, w, t, ws, eager, keep_all, full)
+                    })
                 })
                 .collect();
             handles
@@ -572,49 +642,148 @@ fn enumerate_layered<P: ClassPolicy>(
                 .map(|h| h.join().expect("enumeration worker panicked"))
                 .collect()
         });
+        worker_nanos += t0.elapsed().as_nanos() as u64;
+        let t1 = Instant::now();
         // Advance the cursor past the interleaved block actually used:
         // worker w's largest id is < next_attr + w + t·used_w, so
         // t × max(used) covers every worker.
         let max_used = outs.iter().map(|o| o.attrs_used).max().unwrap_or(0);
         next_attr = u32::try_from(u64::from(next_attr) + u64::from(max_used) * t as u64)
             .expect("fresh-attribute space (u32) exhausted");
-        // Merge: shards append in worker order (ids shift as a block)...
+        // Merge: shards append in worker order (ids shift as a block) and
+        // the recorded candidate streams are remapped and bucketed by
+        // target class as they land...
         memo.record_shard_peak(outs.iter().map(|o| o.peak as u64).sum());
         let base = memo.arena_len();
-        let mut remaps = Vec::with_capacity(t);
-        let mut ins_cur = vec![0usize; t];
-        let mut cmp_cur = vec![0usize; t];
+        let mut buckets = ClassBuckets::default();
         let mut outs = outs;
         for (w, out) in outs.iter_mut().enumerate() {
             scratch.plans_built += out.plans_built;
-            remaps.push(memo.append_shard(std::mem::take(&mut out.plans), base));
+            memo.append_shard_bucketed(
+                std::mem::take(&mut out.plans),
+                base,
+                &out.inserts,
+                &out.completes,
+                &mut buckets,
+            );
             pool[w] = Some(std::mem::replace(
                 &mut out.scratch,
                 Scratch::with_attr_base(0),
             ));
         }
-        // ...and the candidate streams replay in original unit order
-        // (round-robin: unit u belongs to worker u mod t), reproducing the
-        // sequential insertion/keep-best order exactly.
         let units = outs.first().map(|o| o.units).unwrap_or(0);
         debug_assert!(outs.iter().all(|o| o.units == units));
-        for u in 0..units {
-            let w = (u % t as u64) as usize;
-            let out = &outs[w];
-            let remap = remaps[w];
-            while ins_cur[w] < out.inserts.len() && out.inserts[ins_cur[w]].0 == u {
-                let (_, s, id) = out.inserts[ins_cur[w]];
-                policy.insert(ctx, memo, s, remap.apply(id));
-                ins_cur[w] += 1;
-            }
-            while cmp_cur[w] < out.completes.len() && out.completes[cmp_cur[w]].0 == u {
-                let (_, id) = out.completes[cmp_cur[w]];
-                policy.complete(ctx, memo, remap.apply(id));
-                cmp_cur[w] += 1;
-            }
-        }
+        // ...and the per-class streams fold concurrently (sequential unit
+        // order *within* each class), reproducing the streaming outcome.
+        let par_classes = replay_buckets(ctx, memo, policy, buckets, t);
+        peak_replay_classes = peak_replay_classes.max(par_classes);
+        replay_nanos += t1.elapsed().as_nanos() as u64;
     }
     memo.record_layering(strata.layer_count(), strata.peak_layer_pairs(), fanout_used);
+    memo.record_phases(worker_nanos, replay_nanos, peak_replay_classes);
+}
+
+/// Replay one stratum's bucketed candidate streams against the policy.
+///
+/// Plan classes are independent per `NodeSet` — the Fig. 13 dominance
+/// test and the keep-best comparisons only ever look at plans *within*
+/// one class — so the per-class folds commute across classes and can run
+/// concurrently on the scoped worker pool. Each bucket is first restored
+/// to the original sequential unit order (stable sort by unit: a unit's
+/// candidates come from the single worker that owned it and stay
+/// contiguous), so costs, class contents, dominance outcomes and counter
+/// totals are bit-identical to the streaming driver for any fan-out.
+/// Counters accrue in per-fold [`ClassTally`]s reduced at install time.
+///
+/// Complete (full-set) plans are only ever produced by the final stratum,
+/// which feeds no classes; their keep-best over finalized costs resolves
+/// ties to the earliest unit, so that stream replays serially in unit
+/// order. Returns the number of classes folded concurrently (0 when the
+/// replay ran inline below [`PAR_MIN_REPLAY`]).
+/// One detached class bucket: target set plus unit-tagged candidates.
+type ClassBucket = (NodeSet, Vec<(u64, PlanId)>);
+
+fn replay_buckets<P: ClassPolicy>(
+    ctx: &OptContext,
+    memo: &mut Memo,
+    policy: &mut P,
+    mut buckets: ClassBuckets,
+    threads: usize,
+) -> u64 {
+    // A stratum produces either class candidates (union < full set) or
+    // complete plans (final stratum), never both.
+    debug_assert!(buckets.classes.is_empty() || buckets.completes.is_empty());
+    let n_classes = buckets.classes.len();
+    let fanout = threads.min(n_classes);
+    let candidates: usize = buckets.candidate_count();
+    let mut entries: Vec<ClassBucket> = buckets.classes.drain().collect();
+    let mut par_classes = 0u64;
+    if fanout >= 2 && candidates >= PAR_MIN_REPLAY {
+        par_classes = n_classes as u64;
+        // Deterministic LPT assignment: heaviest buckets first, each onto
+        // the least-loaded worker (ties to the lowest worker index).
+        entries.sort_unstable_by(|a, b| b.1.len().cmp(&a.1.len()).then(a.0.cmp(&b.0)));
+        let mut chunks: Vec<Vec<ClassBucket>> = (0..fanout).map(|_| Vec::new()).collect();
+        let mut load = vec![0usize; fanout];
+        for entry in entries {
+            let w = (0..fanout).min_by_key(|&w| load[w]).unwrap();
+            load[w] += entry.1.len();
+            chunks[w].push(entry);
+        }
+        let shared: &Memo = memo;
+        let pol: &P = policy;
+        let folded: Vec<Vec<(NodeSet, Vec<PlanId>, ClassTally)>> = std::thread::scope(|sc| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| sc.spawn(move || fold_classes(ctx, shared, pol, chunk)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("replay worker panicked"))
+                .collect()
+        });
+        // Install in set order: counters are commutative sums/maxima, the
+        // sort just keeps the operation sequence deterministic.
+        let mut flat: Vec<_> = folded.into_iter().flatten().collect();
+        flat.sort_unstable_by_key(|&(s, _, _)| s);
+        for (s, ids, tally) in flat {
+            memo.install_class(s, ids, &tally);
+        }
+    } else {
+        entries.sort_unstable_by_key(|&(s, _)| s);
+        for (s, ids, tally) in fold_classes(ctx, memo, policy, entries) {
+            memo.install_class(s, ids, &tally);
+        }
+    }
+    // Stable by unit: same-unit completes are contiguous already.
+    buckets.completes.sort_by_key(|&(u, _)| u);
+    for &(_, id) in &buckets.completes {
+        policy.fold_complete(ctx, memo, id);
+    }
+    par_classes
+}
+
+/// Fold each class's candidate stream (restored to unit order) into its
+/// final id list without touching the shared memo — the unit of work of
+/// the class-partitioned replay.
+fn fold_classes<P: ClassPolicy>(
+    ctx: &OptContext,
+    memo: &Memo,
+    policy: &P,
+    chunk: Vec<ClassBucket>,
+) -> Vec<(NodeSet, Vec<PlanId>, ClassTally)> {
+    chunk
+        .into_iter()
+        .map(|(s, mut cands)| {
+            cands.sort_by_key(|&(u, _)| u);
+            let mut class = Vec::new();
+            let mut tally = ClassTally::default();
+            for &(_, id) in &cands {
+                policy.fold_insert(ctx, memo, &mut class, id, &mut tally);
+            }
+            (s, class, tally)
+        })
+        .collect()
 }
 
 /// The streaming driver: seed scan classes, then walk every csg-cmp-pair
@@ -655,13 +824,17 @@ fn run_engine<P: ClassPolicy>(
         let id = make_scan(ctx, memo, i);
         memo.class_push(NodeSet::single(i), id);
     }
-    // Policies whose complete() is not a strict keep-best cannot use the
-    // layered driver (see ClassPolicy::parallel_safe).
+    // Policies whose complete() keeps a non-trivial subset of complete
+    // plans cannot use the layered driver (see ClassPolicy::parallel_safe).
     let threads = if policy.parallel_safe() { threads } else { 1 };
     if n > 1 {
         if threads <= 1 {
             memo.record_layering(0, 0, 1);
+            let t0 = Instant::now();
             enumerate_streaming(ctx, memo, &mut scratch, policy);
+            // Streaming is all build work: the phase split degenerates to
+            // a zero replay share.
+            memo.record_phases(t0.elapsed().as_nanos() as u64, 0, 0);
         } else {
             enumerate_layered(ctx, memo, &mut scratch, policy, threads);
         }
@@ -712,6 +885,29 @@ impl ClassPolicy for SingleBest {
     fn complete(&mut self, ctx: &OptContext, memo: &mut Memo, id: PlanId) -> bool {
         keep_best(&mut self.best, ctx, memo, id)
     }
+
+    fn fold_insert(
+        &self,
+        _ctx: &OptContext,
+        memo: &Memo,
+        class: &mut Vec<PlanId>,
+        id: PlanId,
+        tally: &mut ClassTally,
+    ) {
+        match class.first().copied() {
+            None => class.push(id),
+            Some(cur) => {
+                if compare_adjusted(memo, id, cur, self.factor) {
+                    class[0] = id;
+                }
+            }
+        }
+        tally.peak_class_width = tally.peak_class_width.max(1);
+    }
+
+    fn fold_complete(&mut self, ctx: &OptContext, memo: &Memo, id: PlanId) -> bool {
+        keep_best(&mut self.best, ctx, memo, id)
+    }
 }
 
 /// Multi-plan policy: EA-All (`prune = None`, Fig. 9) and EA-Prune
@@ -737,6 +933,29 @@ impl ClassPolicy for MultiBest {
     fn complete(&mut self, ctx: &OptContext, memo: &mut Memo, id: PlanId) -> bool {
         keep_best(&mut self.best, ctx, memo, id)
     }
+
+    fn fold_insert(
+        &self,
+        _ctx: &OptContext,
+        memo: &Memo,
+        class: &mut Vec<PlanId>,
+        id: PlanId,
+        tally: &mut ClassTally,
+    ) {
+        match self.prune {
+            Some(kind) => {
+                prune_insert_ids(memo.plans(), class, id, kind, self.guard_groupjoin, tally)
+            }
+            None => {
+                class.push(id);
+                tally.peak_class_width = tally.peak_class_width.max(class.len() as u64);
+            }
+        }
+    }
+
+    fn fold_complete(&mut self, ctx: &OptContext, memo: &Memo, id: PlanId) -> bool {
+        keep_best(&mut self.best, ctx, memo, id)
+    }
 }
 
 /// Collect-everything policy for [`all_subplans`]: every class keeps every
@@ -759,10 +978,28 @@ impl ClassPolicy for CollectAll {
         true
     }
 
-    // Keeps every complete plan — the worker-local keep-best filter of
-    // the layered driver would silently drop all but the cheapest.
-    fn parallel_safe(&self) -> bool {
-        false
+    fn fold_insert(
+        &self,
+        _ctx: &OptContext,
+        _memo: &Memo,
+        class: &mut Vec<PlanId>,
+        id: PlanId,
+        tally: &mut ClassTally,
+    ) {
+        class.push(id);
+        tally.peak_class_width = tally.peak_class_width.max(class.len() as u64);
+    }
+
+    fn fold_complete(&mut self, _ctx: &OptContext, _memo: &Memo, id: PlanId) -> bool {
+        self.complete.push(id);
+        true
+    }
+
+    // Keeps every complete plan: the workers record all of them instead
+    // of pre-filtering with the worker-local keep-best, which makes the
+    // layered driver lossless for this policy too.
+    fn keeps_all_completes(&self) -> bool {
+        true
     }
 }
 
@@ -835,12 +1072,21 @@ fn finalize_single_table(
 /// against executed results. Exponential — small queries only. Returns the
 /// memo owning the plans plus every enumerated id (partial and complete).
 pub fn all_subplans(query: &Query) -> (OptContext, Memo, Vec<PlanId>) {
+    all_subplans_with(query, 1)
+}
+
+/// [`all_subplans`] with an explicit enumeration fan-out. The collect-all
+/// policy is layered-capable (workers record every complete plan, see
+/// `ClassPolicy::keeps_all_completes`), so class contents, the complete
+/// stream and `plans_built` are identical for any thread count — only
+/// arena positions (hence raw `PlanId` values) differ.
+pub fn all_subplans_with(query: &Query, threads: usize) -> (OptContext, Memo, Vec<PlanId>) {
     let ctx = OptContext::new(query.clone());
     let mut memo = Memo::new();
     let mut policy = CollectAll {
         complete: Vec::new(),
     };
-    run_engine(&ctx, &mut memo, &mut policy, 1);
+    run_engine(&ctx, &mut memo, &mut policy, threads);
     let mut plans = memo.retained_ids();
     plans.extend(policy.complete);
     (ctx, memo, plans)

@@ -8,11 +8,11 @@
 //! — lives in [`Scratch`], of which every worker owns its own instance
 //! (contention-free by construction; counters are summed at merge time).
 
+use crate::fxhash::FxHashMap;
 use dpnext_algebra::{AttrId, CmpOp};
 use dpnext_conflict::{detect, ConflictedQuery};
 use dpnext_hypergraph::NodeSet;
 use dpnext_query::Query;
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Context shared by all plan constructors during one optimization run.
@@ -20,9 +20,9 @@ pub struct OptContext {
     pub query: Query,
     pub cq: ConflictedQuery,
     /// Attribute → node set required for the attribute to exist.
-    pub origins: HashMap<AttrId, NodeSet>,
+    pub origins: FxHashMap<AttrId, NodeSet>,
     /// Base distinct counts for table attributes.
-    pub base_distinct: HashMap<AttrId, f64>,
+    pub base_distinct: FxHashMap<AttrId, f64>,
     /// Grouping attributes `G` of the query (empty when no grouping).
     pub group_by: Vec<AttrId>,
     /// Per normalized aggregate: the attributes its argument references.
@@ -54,7 +54,7 @@ impl OptContext {
             cq.ops.len()
         );
         let origins = query.attr_origins();
-        let mut base_distinct = HashMap::new();
+        let mut base_distinct = FxHashMap::default();
         for t in &query.tables {
             for (i, &a) in t.attrs.iter().enumerate() {
                 base_distinct.insert(a, t.distinct[i]);
@@ -142,7 +142,7 @@ impl OptContext {
     /// remaining query so the equivalences stay applicable above `S`).
     pub fn compute_gplus(&self, s: NodeSet) -> Vec<AttrId> {
         let mut attrs: Vec<AttrId> = Vec::new();
-        let mut push = |a: AttrId, origins: &HashMap<AttrId, NodeSet>| {
+        let mut push = |a: AttrId, origins: &FxHashMap<AttrId, NodeSet>| {
             if let Some(org) = origins.get(&a) {
                 if org.is_subset_of(s) && !attrs.contains(&a) {
                     attrs.push(a);
@@ -211,7 +211,7 @@ pub struct Scratch {
     attrs_used: u32,
     // Arc (not Rc) so a worker's scratch — and its warm G⁺ cache — can be
     // carried across the per-stratum thread spawns of the layered engine.
-    gplus_cache: HashMap<NodeSet, Arc<Vec<AttrId>>>,
+    gplus_cache: FxHashMap<NodeSet, Arc<Vec<AttrId>>>,
     /// Plans constructed (joins + groupings) by this scratch's owner.
     pub plans_built: u64,
     /// Scratch for the oriented, merged predicate terms of `make_apply`:
@@ -232,7 +232,7 @@ impl Scratch {
             next_attr: base,
             step: 1,
             attrs_used: 0,
-            gplus_cache: HashMap::new(),
+            gplus_cache: FxHashMap::default(),
             plans_built: 0,
             terms: Vec::new(),
         }
@@ -279,12 +279,25 @@ impl Scratch {
     }
 
     /// Memoized `G⁺(S)` (§4.2); see [`OptContext::compute_gplus`].
-    pub fn gplus(&mut self, ctx: &OptContext, s: NodeSet) -> Arc<Vec<AttrId>> {
-        if let Some(hit) = self.gplus_cache.get(&s) {
-            return hit.clone();
-        }
-        let rc = Arc::new(ctx.compute_gplus(s));
-        self.gplus_cache.insert(s, rc.clone());
-        rc
+    ///
+    /// Returns a borrow of the cached vector: a cache hit is one map
+    /// probe — no `Arc` refcount traffic on the enumeration hot path
+    /// (every worker owns its scratch, so the borrow never contends).
+    /// Callers that need the scratch again while holding the attributes
+    /// use [`Scratch::gplus_arc`].
+    pub fn gplus(&mut self, ctx: &OptContext, s: NodeSet) -> &[AttrId] {
+        self.gplus_cache
+            .entry(s)
+            .or_insert_with(|| Arc::new(ctx.compute_gplus(s)))
+    }
+
+    /// Owning variant of [`Scratch::gplus`] for callers that must keep
+    /// using the scratch (e.g. to allocate fresh attributes) while the
+    /// grouping attributes are alive — clones the cache's `Arc`.
+    pub fn gplus_arc(&mut self, ctx: &OptContext, s: NodeSet) -> Arc<Vec<AttrId>> {
+        self.gplus_cache
+            .entry(s)
+            .or_insert_with(|| Arc::new(ctx.compute_gplus(s)))
+            .clone()
     }
 }

@@ -23,6 +23,7 @@ pub mod context;
 pub mod explain;
 pub mod finalize;
 pub mod fusion;
+pub mod fxhash;
 pub mod memo;
 pub mod optrees;
 pub mod plan;
@@ -31,14 +32,16 @@ pub mod plan;
 mod tests;
 
 pub use algo::{
-    all_subplans, applied_ops_mask, optimize, optimize_with, optimize_with_pruning,
-    resolve_threads, Algorithm, OptimizeOptions, Optimized,
+    all_subplans, all_subplans_with, applied_ops_mask, optimize, optimize_with,
+    optimize_with_pruning, resolve_threads, Algorithm, OptimizeOptions, Optimized,
 };
 pub use context::{OptContext, Scratch};
 pub use explain::explain;
 pub use finalize::{compile, finalize, FinalPlan};
 pub use fusion::fuse_groupjoins;
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use memo::{
-    DominanceKind, Memo, MemoPlan, MemoShard, MemoStats, PlanId, PlanNode, PlanStore, ShardRemap,
+    ClassBuckets, ClassTally, DominanceKind, Memo, MemoPlan, MemoShard, MemoStats, PlanId,
+    PlanNode, PlanStore, ShardRemap,
 };
 pub use plan::{make_apply, make_group, make_scan};

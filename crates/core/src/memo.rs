@@ -8,11 +8,11 @@
 //! build and which ids a class keeps.
 
 use crate::aggstate::AggState;
+use crate::fxhash::FxHashMap;
 use dpnext_algebra::{AggCall, AttrId, JoinPred};
 use dpnext_hypergraph::NodeSet;
 use dpnext_keys::KeyInfo;
 use dpnext_query::OpKind;
-use std::collections::HashMap;
 use std::ops::Index;
 
 /// Index of a plan in the memo arena.
@@ -126,6 +126,18 @@ pub struct MemoStats {
     /// (1 = sequential, or every stratum ran inline below the fan-out
     /// threshold).
     pub threads_used: u64,
+    /// Nanoseconds spent building plans: the fanned-out worker phase of
+    /// the layered engine plus its inline strata, or the whole
+    /// enumeration on the streaming (threads = 1) path.
+    pub worker_nanos: u64,
+    /// Nanoseconds spent in the merge + replay phase of the layered
+    /// engine (shard append, class bucketing, per-class folds). With the
+    /// class-partitioned replay only the bucketing remains serial; the
+    /// folds fan out. 0 on the streaming path.
+    pub replay_nanos: u64,
+    /// Most plan classes replayed concurrently in one stratum by the
+    /// class-partitioned replay (0 = every replay ran serially).
+    pub peak_replay_classes: u64,
 }
 
 impl MemoStats {
@@ -137,6 +149,66 @@ impl MemoStats {
         }
         (self.prune_rejected + self.prune_evicted) as f64 / self.prune_attempts as f64
     }
+
+    /// Reduce one per-class fold tally into the shared statistics.
+    fn merge_tally(&mut self, tally: &ClassTally) {
+        self.prune_attempts += tally.prune_attempts;
+        self.prune_rejected += tally.prune_rejected;
+        self.prune_evicted += tally.prune_evicted;
+        self.peak_class_width = self.peak_class_width.max(tally.peak_class_width);
+    }
+
+    /// Share of the instrumented engine time spent in the merge + replay
+    /// phase — the Amdahl serial fraction the class-partitioned replay
+    /// attacks. 0 when nothing was instrumented (streaming path).
+    pub fn serial_fraction(&self) -> f64 {
+        let total = self.worker_nanos + self.replay_nanos;
+        if total == 0 {
+            return 0.0;
+        }
+        self.replay_nanos as f64 / total as f64
+    }
+}
+
+/// Per-worker counters of the class-partitioned replay: one tally per
+/// fold, reduced into [`MemoStats`] when the class is installed — so
+/// concurrent per-class folds never contend on the shared statistics.
+/// All fields are sums or maxima, hence commutative across classes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClassTally {
+    pub prune_attempts: u64,
+    pub prune_rejected: u64,
+    pub prune_evicted: u64,
+    pub peak_class_width: u64,
+}
+
+/// `PruneDominatedPlans` (Fig. 13) against a detached class vector:
+/// drop `id` if an incumbent dominates it, otherwise evict every
+/// incumbent it dominates and append it. Plan data is read from `arena`;
+/// counters go to `tally`. This is the one implementation of the pruning
+/// fold — [`Memo::class_prune_insert`] (streaming) and the per-class
+/// replay workers of the layered engine both call it.
+pub fn prune_insert_ids(
+    arena: &[MemoPlan],
+    class: &mut Vec<PlanId>,
+    id: PlanId,
+    kind: DominanceKind,
+    guard_groupjoin: bool,
+    tally: &mut ClassTally,
+) {
+    tally.prune_attempts += 1;
+    let new = &arena[id.index()];
+    for &old in class.iter() {
+        if dominates(&arena[old.index()], new, kind, guard_groupjoin) {
+            tally.prune_rejected += 1;
+            return;
+        }
+    }
+    let before = class.len();
+    class.retain(|&old| !dominates(new, &arena[old.index()], kind, guard_groupjoin));
+    tally.prune_evicted += (before - class.len()) as u64;
+    class.push(id);
+    tally.peak_class_width = tally.peak_class_width.max(class.len() as u64);
 }
 
 /// Append-and-read access to a plan arena — the interface the plan
@@ -178,7 +250,7 @@ pub trait PlanStore: Index<PlanId, Output = MemoPlan> {
 #[derive(Debug, Default)]
 pub struct Memo {
     arena: Vec<MemoPlan>,
-    classes: HashMap<NodeSet, Vec<PlanId>>,
+    classes: FxHashMap<NodeSet, Vec<PlanId>>,
     stats: MemoStats,
 }
 
@@ -274,12 +346,54 @@ impl Memo {
         remap
     }
 
+    /// [`Memo::append_shard`] plus candidate bucketing: append the
+    /// shard's plans, then translate its recorded candidate streams to
+    /// merged ids and group the class candidates by target `NodeSet` in
+    /// `buckets`. Plan classes are independent per `NodeSet` (the Fig. 13
+    /// dominance test only ever compares plans within one class), so the
+    /// buckets can later fold concurrently — this grouping is what the
+    /// class-partitioned parallel replay fans out over.
+    pub fn append_shard_bucketed(
+        &mut self,
+        plans: Vec<MemoPlan>,
+        base: usize,
+        inserts: &[(u64, NodeSet, PlanId)],
+        completes: &[(u64, PlanId)],
+        buckets: &mut ClassBuckets,
+    ) {
+        let remap = self.append_shard(plans, base);
+        for &(unit, s, id) in inserts {
+            buckets
+                .classes
+                .entry(s)
+                .or_default()
+                .push((unit, remap.apply(id)));
+        }
+        for &(unit, id) in completes {
+            buckets.completes.push((unit, remap.apply(id)));
+        }
+    }
+
     /// Record layering statistics of the layered engine (a no-op for the
     /// streaming path, which reports `layers = 0`, `threads_used = 1`).
     pub fn record_layering(&mut self, layers: u64, peak_layer_pairs: u64, threads: u64) {
         self.stats.layers = layers;
         self.stats.peak_layer_pairs = peak_layer_pairs;
         self.stats.threads_used = threads;
+    }
+
+    /// Record the phase split of one enumeration: time spent building
+    /// plans (`worker_nanos`), time spent merging and replaying
+    /// (`replay_nanos`), and the widest per-class replay fan-out.
+    pub fn record_phases(
+        &mut self,
+        worker_nanos: u64,
+        replay_nanos: u64,
+        peak_replay_classes: u64,
+    ) {
+        self.stats.worker_nanos = worker_nanos;
+        self.stats.replay_nanos = replay_nanos;
+        self.stats.peak_replay_classes = peak_replay_classes;
     }
 
     /// Fold the peak arena size of concurrently live worker shards into
@@ -321,20 +435,46 @@ impl Memo {
         kind: DominanceKind,
         guard_groupjoin: bool,
     ) {
-        self.stats.prune_attempts += 1;
-        let new = &self.arena[id.index()];
+        let mut tally = ClassTally::default();
         let class = self.classes.entry(s).or_default();
-        for &old in class.iter() {
-            if dominates(&self.arena[old.index()], new, kind, guard_groupjoin) {
-                self.stats.prune_rejected += 1;
-                return;
-            }
+        prune_insert_ids(&self.arena, class, id, kind, guard_groupjoin, &mut tally);
+        self.stats.merge_tally(&tally);
+    }
+
+    /// Install a class produced by a detached (per-class replay) fold and
+    /// fold its counter tally into the shared statistics. The class must
+    /// not exist yet — every union size is produced by exactly one
+    /// stratum, so a stratum's target classes always start empty.
+    pub fn install_class(&mut self, s: NodeSet, ids: Vec<PlanId>, tally: &ClassTally) {
+        self.stats.merge_tally(tally);
+        if ids.is_empty() {
+            return;
         }
-        let before = class.len();
-        class.retain(|&old| !dominates(new, &self.arena[old.index()], kind, guard_groupjoin));
-        self.stats.prune_evicted += (before - class.len()) as u64;
-        class.push(id);
-        self.stats.peak_class_width = self.stats.peak_class_width.max(class.len() as u64);
+        let prev = self.classes.insert(s, ids);
+        debug_assert!(
+            prev.is_none_or(|p| p.is_empty()),
+            "install_class would clobber a non-empty class for {s}"
+        );
+    }
+
+    /// Every plan in arena order — read access for the detached per-class
+    /// folds, which run against a frozen (fully merged) arena.
+    #[inline]
+    pub fn plans(&self) -> &[MemoPlan] {
+        &self.arena
+    }
+
+    /// Snapshot of all plan classes sorted by node set — a deterministic
+    /// view of the DP state for tests and diagnostics (the map itself
+    /// iterates in hash order).
+    pub fn classes_sorted(&self) -> Vec<(NodeSet, &[PlanId])> {
+        let mut all: Vec<(NodeSet, &[PlanId])> = self
+            .classes
+            .iter()
+            .map(|(&s, ids)| (s, ids.as_slice()))
+            .collect();
+        all.sort_unstable_by_key(|&(s, _)| s);
+        all
     }
 
     /// Number of classes holding at least one plan.
@@ -362,6 +502,30 @@ impl Memo {
             arena_peak: self.stats.arena_peak.max(self.arena.len() as u64),
             ..self.stats
         }
+    }
+}
+
+/// One stratum's merged candidate streams, grouped for the
+/// class-partitioned replay ([`Memo::append_shard_bucketed`]).
+///
+/// Candidates arrive shard-major (worker 0's stream, then worker 1's, …),
+/// each shard stream in ascending work-unit order; a stable per-class
+/// sort by unit therefore restores the exact sequential fold order —
+/// all candidates of one unit come from the single worker that owned it
+/// and stay contiguous.
+#[derive(Debug, Default)]
+pub struct ClassBuckets {
+    /// Target class → unit-tagged candidate ids (merged, shard-major).
+    pub classes: FxHashMap<NodeSet, Vec<(u64, PlanId)>>,
+    /// Complete (full-set) plans surviving the worker filters,
+    /// unit-tagged and shard-major like the class streams.
+    pub completes: Vec<(u64, PlanId)>,
+}
+
+impl ClassBuckets {
+    /// Total class candidates across all buckets.
+    pub fn candidate_count(&self) -> usize {
+        self.classes.values().map(Vec::len).sum()
     }
 }
 

@@ -35,8 +35,11 @@ fn pushable<S: PlanStore>(ctx: &OptContext, scratch: &mut Scratch, store: &S, t:
     if !ctx.has_grouping() || plan.is_group() || !ctx.can_group(plan.set) {
         return false;
     }
-    let gplus = scratch.gplus(ctx, plan.set);
-    needs_grouping(&gplus, &store[t].keyinfo)
+    let set = plan.set;
+    let keyinfo = &plan.keyinfo;
+    // Borrowed cache hit: no Arc clone on this per-candidate-pair path.
+    let gplus = scratch.gplus(ctx, set);
+    needs_grouping(gplus, keyinfo)
 }
 
 /// Build all operator trees for `t1 ◦ t2` (physical orientation) into

@@ -184,7 +184,9 @@ pub fn make_group<S: PlanStore>(
     input_id: PlanId,
 ) -> PlanId {
     let s = store[input_id].set;
-    let gattrs = scratch.gplus(ctx, s);
+    // Owning handle: `build_group_aggs` below needs the scratch mutably
+    // while the grouping attributes are still in use.
+    let gattrs = scratch.gplus_arc(ctx, s);
     let input = &store[input_id];
     debug_assert!(
         gattrs.iter().all(|a| input.visible.contains(a)),

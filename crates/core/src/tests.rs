@@ -74,21 +74,41 @@ mod context {
         let mut sc = Scratch::new(&ctx);
         let g0 = sc.gplus(&ctx, NodeSet::single(0));
         // a1 is both the grouping attribute and the crossing join attribute.
-        assert_eq!(vec![a(1)], *g0);
+        assert_eq!(vec![a(1)], g0);
         let g1 = sc.gplus(&ctx, NodeSet::single(1));
-        assert_eq!(vec![a(2)], *g1); // join attr only
-                                     // Full set: nothing crosses; only the grouping attribute remains.
+        assert_eq!(vec![a(2)], g1); // join attr only
+                                    // Full set: nothing crosses; only the grouping attribute remains.
         let gf = sc.gplus(&ctx, NodeSet::full(2));
-        assert_eq!(vec![a(1)], *gf);
+        assert_eq!(vec![a(1)], gf);
     }
 
     #[test]
     fn gplus_is_cached() {
         let ctx = two_table_ctx(OpKind::Join);
         let mut sc = Scratch::new(&ctx);
-        let p1 = sc.gplus(&ctx, NodeSet::single(0));
-        let p2 = sc.gplus(&ctx, NodeSet::single(0));
+        let p1 = sc.gplus_arc(&ctx, NodeSet::single(0));
+        let p2 = sc.gplus_arc(&ctx, NodeSet::single(0));
+        // A hit returns the memoized allocation, not a recomputation.
         assert!(std::sync::Arc::ptr_eq(&p1, &p2));
+    }
+
+    #[test]
+    fn gplus_hit_borrows_the_memoized_value() {
+        // The borrowing accessor must serve hits from the same cache the
+        // owning accessor fills (and vice versa), and agree with the
+        // uncached computation — pins that neither path recomputes.
+        let ctx = two_table_ctx(OpKind::Join);
+        let s = NodeSet::single(0);
+        let mut sc = Scratch::new(&ctx);
+        let owned = sc.gplus_arc(&ctx, s);
+        assert_eq!(owned.as_slice(), sc.gplus(&ctx, s));
+        assert_eq!(ctx.compute_gplus(s), sc.gplus(&ctx, s));
+        // Warming via the borrow also feeds the Arc accessor.
+        let mut sc2 = Scratch::new(&ctx);
+        assert_eq!(ctx.compute_gplus(s), sc2.gplus(&ctx, s));
+        let warm = sc2.gplus_arc(&ctx, s);
+        let again = sc2.gplus_arc(&ctx, s);
+        assert!(std::sync::Arc::ptr_eq(&warm, &again));
     }
 
     #[test]

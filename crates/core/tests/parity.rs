@@ -6,7 +6,10 @@
 //! seeds; any divergence means the enumeration order, cost model or
 //! retention behavior changed.
 
-use dpnext_core::{optimize, optimize_with, Algorithm as A, OptimizeOptions};
+use dpnext_core::{
+    all_subplans_with, optimize, optimize_with, Algorithm as A, Memo, OptimizeOptions,
+};
+use dpnext_query::Query;
 use dpnext_workload::{generate_query, GenConfig};
 use proptest::prelude::*;
 
@@ -284,6 +287,87 @@ fn layered_workers_match_streaming_on_wide_queries() {
     }
 }
 
+/// Observable signature of a collect-all enumeration, independent of
+/// arena positions (raw `PlanId`s differ between drivers): per-class
+/// plan sequences and the complete-plan stream, both order-preserving,
+/// projected to (set, cost, card, applied-mask) tuples.
+type PlanSig = (u64, u64, u64, u64);
+
+fn collect_all_signature(
+    query: &Query,
+    threads: usize,
+) -> (Vec<(u64, Vec<PlanSig>)>, Vec<PlanSig>) {
+    let (_ctx, memo, plans) = all_subplans_with(query, threads);
+    let sig = |memo: &Memo, id| {
+        let p = &memo[id];
+        (p.set.0, p.cost.to_bits(), p.card.to_bits(), p.applied)
+    };
+    let classes = memo
+        .classes_sorted()
+        .into_iter()
+        .map(|(s, ids)| (s.0, ids.iter().map(|&id| sig(&memo, id)).collect()))
+        .collect();
+    // `all_subplans` returns the retained ids first, then the complete
+    // stream in enumeration order.
+    let retained = memo.retained() as usize;
+    let completes = plans[retained..].iter().map(|&id| sig(&memo, id)).collect();
+    (classes, completes)
+}
+
+/// Golden for the class-partitioned replay: a paper-workload query whose
+/// widest stratum buckets enough candidates that dozens of plan classes
+/// fold concurrently — and the outcome still matches the streaming driver
+/// bit for bit.
+#[test]
+fn wide_stratum_replays_many_classes_concurrently() {
+    let query = generate_query(&GenConfig::paper(11), 1000);
+    let seq = optimize_with(&query, A::EaPrune, &with_threads(1));
+    let par = optimize_with(&query, A::EaPrune, &with_threads(8));
+    assert!(
+        par.memo.peak_replay_classes >= 8,
+        "expected a wide parallel replay, got {} classes",
+        par.memo.peak_replay_classes
+    );
+    assert_eq!(seq.plan.cost.to_bits(), par.plan.cost.to_bits());
+    assert_eq!(seq.plans_built, par.plans_built);
+    assert_eq!(seq.retained_plans, par.retained_plans);
+    assert_eq!(
+        seq.memo.prune_attempts, par.memo.prune_attempts,
+        "per-worker prune tallies must reduce to the streaming totals"
+    );
+    assert_eq!(seq.memo.prune_rejected, par.memo.prune_rejected);
+    assert_eq!(seq.memo.prune_evicted, par.memo.prune_evicted);
+    assert_eq!(seq.memo.peak_class_width, par.memo.peak_class_width);
+    // The phase split is instrumented on both drivers; the streaming
+    // driver reports a zero replay share.
+    assert!(par.memo.worker_nanos > 0 && par.memo.replay_nanos > 0);
+    assert!(seq.memo.worker_nanos > 0 && seq.memo.replay_nanos == 0);
+}
+
+/// The collect-all policy is layered-capable too (workers record every
+/// complete plan): class contents and the complete stream — as content
+/// signatures, since arena positions legitimately differ — must match the
+/// streaming driver exactly.
+#[test]
+fn collect_all_matches_streaming_across_thread_counts() {
+    // Exponential policy: small queries only. The paper workload's
+    // collect-all classes are wide enough that mid strata exceed the
+    // fan-out threshold even at these sizes.
+    for n in [5usize, 6] {
+        for seed in [1000u64, 1001, 1002] {
+            let query = generate_query(&GenConfig::paper(n), seed);
+            let seq = collect_all_signature(&query, 1);
+            for threads in [2usize, 8] {
+                let par = collect_all_signature(&query, threads);
+                assert_eq!(
+                    seq, par,
+                    "collect-all diverges (n={n}, seed={seed}, threads={threads})"
+                );
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(30))]
 
@@ -303,11 +387,21 @@ proptest! {
         prop_assert!(pruned.plans_built <= all.plans_built);
     }
 
+}
+
+proptest! {
+    // Heavier generators (EA-All up to 7 relations, three thread counts
+    // each): fewer cases keep the default `cargo test` fast while the
+    // 2–7 relation range still reaches deep multi-stratum fan-outs.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
     /// The thread count is not allowed to influence anything observable:
-    /// costs, plans built and retained DP state are bit-identical across
-    /// `threads ∈ {1, 2, 8}` for all five algorithms.
+    /// costs, plans built, retained DP state and the reduced prune
+    /// counters are bit-identical across `threads ∈ {1, 2, 8}` for all
+    /// five algorithms — which exercise both keep-best policies — under
+    /// the class-partitioned replay.
     #[test]
-    fn thread_count_never_changes_results(n in 2usize..=6, seed in 0u64..1_000_000) {
+    fn thread_count_never_changes_results(n in 2usize..=7, seed in 0u64..1_000_000) {
         let query = generate_query(&GenConfig::oracle(n), seed);
         for algo in [A::DPhyp, A::H1, A::H2(1.03), A::EaAll, A::EaPrune] {
             let seq = optimize_with(&query, algo, &with_threads(1));
@@ -324,7 +418,35 @@ proptest! {
                 prop_assert_eq!(seq.retained_plans, par.retained_plans,
                     "retained_plans diverges at threads={} (n={}, seed={}, {})",
                     threads, n, seed, algo.name());
+                prop_assert_eq!(seq.memo.prune_attempts, par.memo.prune_attempts,
+                    "prune_attempts diverges at threads={} (n={}, seed={}, {})",
+                    threads, n, seed, algo.name());
+                prop_assert_eq!(
+                    seq.memo.prune_rejected + seq.memo.prune_evicted,
+                    par.memo.prune_rejected + par.memo.prune_evicted,
+                    "prune outcomes diverge at threads={} (n={}, seed={}, {})",
+                    threads, n, seed, algo.name());
+                prop_assert_eq!(seq.memo.peak_class_width, par.memo.peak_class_width,
+                    "peak_class_width diverges at threads={} (n={}, seed={}, {})",
+                    threads, n, seed, algo.name());
             }
+        }
+    }
+
+    /// The third policy — collect-all — under the same contract: class
+    /// contents and the complete stream match streaming for any thread
+    /// count on random 2–7 table queries.
+    #[test]
+    fn collect_all_thread_parity(n in 2usize..=7, seed in 0u64..1_000_000) {
+        let query = generate_query(&GenConfig::oracle(n), seed);
+        let seq = collect_all_signature(&query, 1);
+        for threads in [2usize, 8] {
+            let par = collect_all_signature(&query, threads);
+            prop_assert_eq!(
+                &seq, &par,
+                "collect-all diverges at threads={} (n={}, seed={})",
+                threads, n, seed
+            );
         }
     }
 }

@@ -129,7 +129,9 @@ mod tests {
     use super::*;
     use crate::dphyp::count_ccps;
     use crate::graph::Hypergraph;
-    use std::collections::HashSet;
+    // Dogfood the in-tree hasher: these dedup sets are NodeSet/word-pair
+    // keyed, exactly the shape `fxhash` is built for.
+    use crate::fxhash::FxHashSet;
 
     /// Build the same topology as both a simple graph and a hypergraph.
     fn both(n: usize, edges: &[(usize, usize)]) -> (SimpleGraph, Hypergraph) {
@@ -191,11 +193,11 @@ mod tests {
                     }
                 }
                 let (s, h) = both(n, &edges);
-                let mut pairs_simple = HashSet::new();
+                let mut pairs_simple = FxHashSet::default();
                 enumerate_ccps_simple(&s, |a, b| {
                     pairs_simple.insert((a.0.min(b.0), a.0.max(b.0)));
                 });
-                let mut pairs_hyp = HashSet::new();
+                let mut pairs_hyp = FxHashSet::default();
                 crate::dphyp::enumerate_ccps(&h, |a, b| {
                     pairs_hyp.insert((a.0.min(b.0), a.0.max(b.0)));
                 });
@@ -212,7 +214,7 @@ mod tests {
             g.add_edge(i, i + 1);
         }
         g.add_edge(5, 0); // cycle
-        let mut seen = HashSet::new();
+        let mut seen = FxHashSet::default();
         enumerate_ccps_simple(&g, |a, b| {
             assert!(a.is_disjoint(b));
             assert!(seen.insert((a.0.min(b.0), a.0.max(b.0))), "dup ({a},{b})");

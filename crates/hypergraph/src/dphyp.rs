@@ -175,7 +175,9 @@ pub fn count_ccps_bruteforce(graph: &Hypergraph) -> u64 {
 mod tests {
     use super::*;
     use crate::graph::Hyperedge;
-    use std::collections::HashSet;
+    // Dogfood the in-tree hasher: these dedup sets are NodeSet/word-pair
+    // keyed, exactly the shape `fxhash` is built for.
+    use crate::fxhash::FxHashSet;
 
     fn chain(n: usize) -> Hypergraph {
         let mut g = Hypergraph::new(n);
@@ -266,7 +268,7 @@ mod tests {
     #[test]
     fn no_duplicates_and_valid_pairs() {
         let g = cycle(6);
-        let mut seen = HashSet::new();
+        let mut seen = FxHashSet::default();
         enumerate_ccps(&g, |s1, s2| {
             assert!(s1.is_disjoint(s2));
             assert!(g.is_connected(s1), "{s1} not connected");
@@ -285,7 +287,7 @@ mod tests {
         // non-decreasing... no — we check directly that for non-singleton
         // s1/s2 some earlier pair produced exactly that set.
         let g = clique(5);
-        let mut built: HashSet<u64> = (0..5).map(|i| 1u64 << i).collect();
+        let mut built: FxHashSet<u64> = (0..5).map(|i| 1u64 << i).collect();
         enumerate_ccps(&g, |s1, s2| {
             assert!(built.contains(&s1.0), "s1={s1} not built yet");
             assert!(built.contains(&s2.0), "s2={s2} not built yet");
@@ -332,7 +334,7 @@ mod tests {
         // reads plan classes frozen by earlier layers.
         let g = clique(5);
         let s = stratify_ccps(&g);
-        let mut built: HashSet<u64> = (0..5).map(|i| 1u64 << i).collect();
+        let mut built: FxHashSet<u64> = (0..5).map(|i| 1u64 << i).collect();
         for stratum in &s.strata {
             for &(s1, s2) in stratum {
                 assert!(built.contains(&s1.0), "{s1} read before built");

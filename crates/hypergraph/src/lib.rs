@@ -7,9 +7,11 @@
 pub mod bitset;
 pub mod dpccp;
 pub mod dphyp;
+pub mod fxhash;
 pub mod graph;
 
 pub use bitset::NodeSet;
 pub use dpccp::{count_ccps_simple, enumerate_ccps_simple, SimpleGraph};
 pub use dphyp::{count_ccps, count_ccps_bruteforce, enumerate_ccps, stratify_ccps, CcpStrata};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use graph::{Hyperedge, Hypergraph};

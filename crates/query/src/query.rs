@@ -3,8 +3,7 @@
 use crate::optree::{OpKind, OpTree};
 use crate::table::QueryTable;
 use dpnext_algebra::{AggCall, AggKind, AlgExpr, AttrGen, AttrId, Expr};
-use dpnext_hypergraph::NodeSet;
-use std::collections::HashMap;
+use dpnext_hypergraph::{FxHashMap, NodeSet};
 
 /// The grouping part of a query: `select G, F(…) … group by G`.
 ///
@@ -80,8 +79,8 @@ impl Query {
     /// Map every attribute to the node set that must be present for the
     /// attribute to exist: table attributes map to their occurrence,
     /// groupjoin outputs to the relations of the groupjoin's subtree.
-    pub fn attr_origins(&self) -> HashMap<AttrId, NodeSet> {
-        let mut origins = HashMap::new();
+    pub fn attr_origins(&self) -> FxHashMap<AttrId, NodeSet> {
+        let mut origins = FxHashMap::default();
         for (i, t) in self.tables.iter().enumerate() {
             for &a in &t.attrs {
                 origins.insert(a, NodeSet::single(i));
