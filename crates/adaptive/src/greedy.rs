@@ -1,0 +1,195 @@
+//! The greedy rung: a GOO-style join-ordering pass over the query
+//! hypergraph (Fearnley/Moerkotte's "greedy operator ordering" shape:
+//! repeatedly merge the pair of components with the smallest estimated
+//! join result), built directly on the budgeted engine so every merge
+//! explores the eager/lazy aggregation variants of the paper and the
+//! constructed plans land in the shared memo.
+//!
+//! The pass also produces the **linear order** the linearized DP rung
+//! refines: relations in the left-to-right traversal order of the greedy
+//! merge tree. Every greedy subtree is a contiguous interval of that
+//! order, so interval DP explores a superset of the greedy tree and its
+//! result can only be as good or better.
+//!
+//! When the greedy pair selection dead-ends (conflict rules can paint an
+//! arbitrary merge order into a corner), the pass falls back to replaying
+//! the query's canonical operator tree bottom-up — the one merge sequence
+//! conflict detection guarantees to be applicable.
+
+use dpnext_conflict::applicable_ops_into;
+use dpnext_core::{BudgetedSearch, Memo, OptContext};
+use dpnext_cost::join_card;
+use dpnext_hypergraph::NodeSet;
+use dpnext_query::{OpKind, OpTree};
+
+/// One greedy component: the relations it covers and their order in the
+/// component's merge-tree traversal.
+struct Component {
+    set: NodeSet,
+    order: Vec<usize>,
+}
+
+/// What the greedy pass hands back to the ladder.
+pub struct GreedyOutcome {
+    /// Linearization of the relations: the greedy merge tree's traversal
+    /// order (or the canonical tree's, after a fallback).
+    pub order: Vec<usize>,
+    /// Whether the canonical-tree fallback had to run.
+    pub fell_back: bool,
+}
+
+/// Run the greedy pass on `search`. On success the memo holds a complete
+/// plan (the search's keep-best) and one or two representative plans per
+/// greedy subtree class; the returned order linearizes the merge tree.
+pub fn greedy_join(search: &mut BudgetedSearch<'_>, ctx: &OptContext) -> GreedyOutcome {
+    let n = ctx.query.table_count();
+    let mut comps: Vec<Component> = (0..n)
+        .map(|i| Component {
+            set: NodeSet::single(i),
+            order: vec![i],
+        })
+        .collect();
+    let mut apps: Vec<(usize, bool)> = Vec::new();
+    while comps.len() > 1 && !search.exhausted() {
+        // The applicable pair with the smallest estimated join result.
+        let mut best: Option<(usize, usize, f64)> = None;
+        for i in 0..comps.len() {
+            for j in i + 1..comps.len() {
+                let Some(card) =
+                    estimate_pair(ctx, search.memo(), comps[i].set, comps[j].set, &mut apps)
+                else {
+                    continue;
+                };
+                if best.is_none_or(|(_, _, c)| card < c) {
+                    best = Some((i, j, card));
+                }
+            }
+        }
+        let Some((i, j, _)) = best else {
+            break; // no applicable pair: conflict-rule dead end
+        };
+        let union = comps[i].set.union(comps[j].set);
+        search.process(comps[i].set, comps[j].set);
+        if union != NodeSet::full(n) && search.class_len(union) == 0 {
+            break; // every variant was rejected: dead end
+        }
+        // GOO keeps one plan per component (plus a raw alternative when
+        // groupjoins need one); without this the class widths would
+        // compound across merges and the greedy floor would not hold.
+        search.shrink_class_to_best(union);
+        let Component { order: jorder, .. } = comps.swap_remove(j);
+        comps[i].set = union;
+        comps[i].order.extend(jorder);
+    }
+    if comps.len() == 1 && search.has_best() {
+        return GreedyOutcome {
+            order: std::mem::take(&mut comps[0].order),
+            fell_back: false,
+        };
+    }
+    // Fallback: replay the canonical operator tree bottom-up. Operators
+    // are collected in post-order, so every operator's input classes are
+    // populated (by scans or by earlier operators) when it is processed.
+    for k in 0..ctx.cq.ops.len() {
+        let op = &ctx.cq.ops[k];
+        if search.class_len(op.left_rels) == 0 || search.class_len(op.right_rels) == 0 {
+            continue; // an earlier application dead-ended; no plan here
+        }
+        search.process(op.left_rels, op.right_rels);
+        let union = op.left_rels.union(op.right_rels);
+        if union != NodeSet::full(n) {
+            search.shrink_class_to_best(union);
+        }
+    }
+    GreedyOutcome {
+        order: traversal_order(&ctx.query.tree),
+        fell_back: true,
+    }
+}
+
+/// Relations in left-to-right traversal order of an operator tree: every
+/// subtree maps to a contiguous interval of the result.
+pub fn traversal_order(tree: &OpTree) -> Vec<usize> {
+    fn walk(t: &OpTree, out: &mut Vec<usize>) {
+        match t {
+            OpTree::Rel(i) => out.push(*i),
+            OpTree::Binary { left, right, .. } => {
+                walk(left, out);
+                walk(right, out);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    walk(tree, &mut out);
+    out
+}
+
+/// Estimated result cardinality of joining the components `a` and `b`,
+/// or `None` when no operator is applicable to the cut. Mirrors the
+/// engine's estimate (`make_apply`) without constructing a plan: the
+/// primary operator's `join_card` over the cheapest representative of
+/// each side, with the selectivities of extra same-cut inner joins
+/// multiplied in.
+fn estimate_pair(
+    ctx: &OptContext,
+    memo: &Memo,
+    a: NodeSet,
+    b: NodeSet,
+    apps: &mut Vec<(usize, bool)>,
+) -> Option<f64> {
+    applicable_ops_into(&ctx.cq, a, b, apps);
+    let &(primary, swapped) = apps.first()?;
+    // Mirror the engine's orientation rule (`orientations_into`): a cut
+    // crossed by several *distinct* operators builds plans only when they
+    // are all inner joins (merged into one application) — for any other
+    // mix the engine constructs nothing, so selecting the pair would
+    // dead-end the greedy pass. `apps` is sorted by operator index.
+    let mut distinct = 0usize;
+    let mut all_join = true;
+    let mut prev = usize::MAX;
+    for &(idx, _) in apps.iter() {
+        if idx != prev {
+            distinct += 1;
+            all_join &= ctx.cq.ops[idx].op == OpKind::Join;
+            prev = idx;
+        }
+    }
+    if distinct > 1 && !all_join {
+        return None;
+    }
+    let (sl, sr) = if swapped { (b, a) } else { (a, b) };
+    let lcard = class_min_card(memo, sl)?;
+    let rcard = class_min_card(memo, sr)?;
+    let op = &ctx.cq.ops[primary];
+    let mut sel = op.sel;
+    // `apps` is sorted by (index, orientation): skip duplicate entries of
+    // one operator (commutative operators appear in both orientations).
+    let mut last = primary;
+    for &(idx, _) in apps.iter() {
+        if idx != last && ctx.cq.ops[idx].op == OpKind::Join {
+            sel *= ctx.cq.ops[idx].sel;
+        }
+        last = idx;
+    }
+    let d_left: f64 = op
+        .pred
+        .left_attrs()
+        .iter()
+        .map(|&at| ctx.distinct(at))
+        .product();
+    let d_right: f64 = op
+        .pred
+        .right_attrs()
+        .iter()
+        .map(|&at| ctx.distinct(at))
+        .product();
+    Some(join_card(op.op, lcard, rcard, sel, d_left, d_right))
+}
+
+/// Cardinality of the cheapest plan in the class of `s`.
+fn class_min_card(memo: &Memo, s: NodeSet) -> Option<f64> {
+    memo.class(s)
+        .iter()
+        .map(|&id| memo[id].card)
+        .min_by(f64::total_cmp)
+}

@@ -1,0 +1,211 @@
+//! # dpnext-adaptive
+//!
+//! The large-query subsystem: budgeted plan search with graceful
+//! degradation, so the optimizer **never blows up** — exact DP is superb
+//! up to ~10 relations and hopeless at 30, where production optimizers
+//! switch to greedy/linearized construction under an enumeration budget.
+//!
+//! [`optimize_adaptive`] runs a three-rung ladder on one shared
+//! [`BudgetedSearch`] (one memo, one plan counter, one hard budget):
+//!
+//! 1. **Greedy** (always): a GOO-style pass merging the component pair
+//!    with the smallest estimated join result, exploring the paper's
+//!    eager/lazy aggregation variants at every merge. Cheap — the
+//!    effective budget is clamped to a floor that always fits it — and
+//!    its merge tree yields the linear relation order for rung 3.
+//! 2. **Exact DP**: attempted only when a capped csg-cmp-pair count
+//!    ([`count_ccps_capped`]) shows the full DPhyp stream plausibly fits,
+//!    and run under **half** the remaining budget (the rest is reserved
+//!    for rung 3, so an aborted exact stream cannot starve it); aborted
+//!    mid-stream the moment its sub-budget runs out. Completing this rung
+//!    makes the result the EA-Prune optimum; an aborted stream's plans
+//!    still compete (reported as `PartialExact` when one wins).
+//! 3. **Linearized DP**: exact DP restricted to connected contiguous
+//!    intervals of the greedy linear order (`O(n³)` splits instead of
+//!    exponential), never worse than the greedy plan because every greedy
+//!    merge appears as an interval split.
+//!
+//! Every rung funnels through the same engine (`op_trees`, dominance
+//! pruning, `C_out`), so aggregation placement stays explored at scale,
+//! and `plans_built <= plan_budget` holds no matter which rung wins —
+//! [`dpnext_core::MemoStats::plan_budget`],
+//! [`dpnext_core::MemoStats::budget_exhausted`] and
+//! [`dpnext_core::MemoStats::adaptive_mode`] report what happened.
+//!
+//! This crate sits **above** `dpnext-core` (it drives the core's budgeted
+//! engine hook); the `dpnext::Optimizer` facade dispatches
+//! `Algorithm::Adaptive` here.
+
+mod greedy;
+mod linear;
+
+pub use greedy::{greedy_join, traversal_order, GreedyOutcome};
+pub use linear::linearized_dp;
+
+use dpnext_core::{
+    explain, finalize, AdaptiveMode, BudgetedSearch, Memo, OptContext, OptimizeOptions, Optimized,
+    PlanId, UNIT_MAX_PLANS,
+};
+use dpnext_hypergraph::{count_ccps_capped, try_enumerate_ccps, NodeSet};
+use dpnext_query::Query;
+use std::ops::ControlFlow;
+use std::time::Instant;
+
+/// Default plan budget when [`OptimizeOptions::plan_budget`] is 0.
+pub const DEFAULT_PLAN_BUDGET: u64 = 100_000;
+
+/// The smallest budget the ladder accepts for an `n`-relation query:
+/// enough for the greedy pass (and its canonical-tree fallback) to finish
+/// no matter what — per merge at most `2 × 2` representative subplan
+/// combinations in two orientations, [`UNIT_MAX_PLANS`] plans each, for
+/// both passes. Requests below the floor are clamped up, so a valid plan
+/// always fits; the clamped value is what
+/// [`dpnext_core::MemoStats::plan_budget`] reports and what `plans_built`
+/// never exceeds.
+pub fn budget_floor(n: usize) -> u64 {
+    128 * n.max(1) as u64
+}
+
+/// One adaptive optimization with full access to the search state, for
+/// tests and diagnostics that want to validate or inspect the winning
+/// plan ([`dpnext_core::validate_complete_plan`] needs the memo and id).
+pub struct AdaptiveRun {
+    pub optimized: Optimized,
+    /// The optimization context (owns a clone of the query).
+    pub ctx: OptContext,
+    /// The memo owning every plan the ladder built.
+    pub memo: Memo,
+    /// Memo id of the winning complete plan.
+    pub winner: PlanId,
+}
+
+/// Optimize `query` with the budgeted degradation ladder. See the crate
+/// docs for the rung semantics; `opts.plan_budget` (0 = default, clamped
+/// to [`budget_floor`]) caps the plans built, `opts.dominance` tunes the
+/// pruning, `opts.threads` is ignored (budget enforcement is sequential).
+///
+/// Panics like the exact engine when the query graph is disconnected or
+/// over-constrained (no complete plan exists).
+pub fn optimize_adaptive(query: &Query, opts: &OptimizeOptions) -> Optimized {
+    optimize_adaptive_run(query, opts).optimized
+}
+
+/// [`optimize_adaptive`] returning the whole [`AdaptiveRun`].
+pub fn optimize_adaptive_run(query: &Query, opts: &OptimizeOptions) -> AdaptiveRun {
+    let ctx = OptContext::new(query.clone());
+    let n = ctx.query.table_count();
+    let requested = if opts.plan_budget == 0 {
+        DEFAULT_PLAN_BUDGET
+    } else {
+        opts.plan_budget
+    };
+    let budget = requested.max(budget_floor(n));
+    let start = Instant::now();
+    let mut search = BudgetedSearch::new(&ctx, opts.dominance, budget);
+    let mut mode = AdaptiveMode::Greedy;
+    let mut degraded = false;
+    if n == 1 {
+        mode = AdaptiveMode::Exact; // the scan is the (optimal) plan
+    } else {
+        let greedy = greedy_join(&mut search, &ctx);
+        degraded |= search.exhausted();
+        search.reset_exhausted();
+        let best_after_greedy = search.best_cost();
+        // Rung 2: the full exact stream, under HALF the remaining budget
+        // — an aborted exact run must not starve the linearized rung,
+        // which is the one strategy that reliably beats greedy when exact
+        // DP does not fit (class widths can blow the budget mid-stream on
+        // topologies the pair-count gate admits). The gate itself is
+        // capped so a dense graph costs at most ~allowance probe steps,
+        // never the full exponential walk; it stays optimistic (it cannot
+        // know class widths) — the per-pair budget enforcement is what
+        // actually bounds the work.
+        let full_budget = search.budget();
+        let reserve = search.remaining() / 2;
+        let cap = (search.remaining() - reserve) / UNIT_MAX_PLANS;
+        let mut done = false;
+        if count_ccps_capped(&ctx.cq.graph, cap).is_some() {
+            search.set_budget(full_budget - reserve);
+            let flow = try_enumerate_ccps(&ctx.cq.graph, |s1, s2| {
+                if search.process(s1, s2) {
+                    ControlFlow::Continue(())
+                } else {
+                    ControlFlow::Break(())
+                }
+            });
+            search.set_budget(full_budget);
+            if flow.is_continue() && !search.exhausted() {
+                mode = AdaptiveMode::Exact;
+                done = true;
+            } else {
+                degraded = true;
+                search.reset_exhausted();
+            }
+        } else {
+            // The gate itself is a budget decision: the result will come
+            // from a shallower rung than exact DP, so report exhaustion.
+            degraded = true;
+        }
+        // Rung 3: interval DP over the greedy linear order. The reported
+        // mode is the rung that actually produced the winning plan —
+        // keep-best costs only ever improve, so stage snapshots identify
+        // the producer even when a rung was aborted partway.
+        if !done {
+            let best_after_exact = search.best_cost();
+            let lin_done = linearized_dp(&mut search, &ctx, &greedy.order);
+            if !lin_done {
+                degraded = true;
+                search.reset_exhausted();
+            }
+            let improved = |before: Option<f64>, after: Option<f64>| match (before, after) {
+                (Some(b), Some(a)) => a < b,
+                (None, Some(_)) => true,
+                _ => false,
+            };
+            mode = if improved(best_after_exact, search.best_cost()) {
+                AdaptiveMode::Linearized
+            } else if improved(best_after_greedy, best_after_exact) {
+                AdaptiveMode::PartialExact
+            } else if lin_done {
+                // Completed without improving: the greedy plan *is* the
+                // linearized optimum (every greedy merge is a split).
+                AdaptiveMode::Linearized
+            } else {
+                AdaptiveMode::Greedy
+            };
+        }
+    }
+    let exhausted = degraded || search.exhausted();
+    let outcome = search.finish();
+    let mut memo = outcome.memo;
+    let (plan, winner) = if n == 1 {
+        let id = memo.class(NodeSet::full(1))[0];
+        (finalize(&ctx, &memo, id), id)
+    } else {
+        outcome
+            .best
+            .expect("no plan found: query graph disconnected or over-constrained")
+    };
+    memo.record_budget(budget, exhausted, mode);
+    // Search time excludes EXPLAIN rendering, like the exact engine.
+    let elapsed = start.elapsed();
+    let explain = if opts.explain {
+        explain(&ctx, &memo, winner)
+    } else {
+        String::new()
+    };
+    let optimized = Optimized {
+        plan,
+        explain,
+        plans_built: outcome.plans_built,
+        retained_plans: memo.retained(),
+        memo: memo.stats(),
+        elapsed,
+    };
+    AdaptiveRun {
+        optimized,
+        ctx,
+        memo,
+        winner,
+    }
+}

@@ -1,0 +1,174 @@
+//! Integration tests for the budgeted degradation ladder: plan quality
+//! against the exact optimum on small queries, structural validity of
+//! every winning plan, hard budget enforcement, and the large-query
+//! acceptance scenarios (30-relation clique and star).
+
+use dpnext_adaptive::{budget_floor, optimize_adaptive_run, DEFAULT_PLAN_BUDGET};
+use dpnext_core::{
+    optimize_with, validate_complete_plan, AdaptiveMode, Algorithm, OptimizeOptions,
+};
+use dpnext_workload::{generate_query, GenConfig, Topology};
+use std::time::Instant;
+
+const TOPOLOGIES: [Topology; 5] = [
+    Topology::Paper,
+    Topology::Chain,
+    Topology::Star,
+    Topology::Clique,
+    Topology::Mixed,
+];
+
+fn opts(plan_budget: u64) -> OptimizeOptions {
+    OptimizeOptions {
+        explain: false,
+        threads: 1,
+        plan_budget,
+        ..OptimizeOptions::default()
+    }
+}
+
+/// On n ≤ 8 queries of every topology the adaptive result is a valid plan
+/// whose cost never beats the exact EA-Prune optimum; when the exact rung
+/// completes within the budget the costs agree exactly. The measured
+/// quality ratio is recorded on the test output.
+#[test]
+fn adaptive_never_beats_the_exact_optimum() {
+    let o = opts(0);
+    let (mut ratios, mut worst) = (Vec::new(), 1.0f64);
+    for topo in TOPOLOGIES {
+        for n in [3usize, 5, 8] {
+            for seed in 0..4u64 {
+                let q = generate_query(&GenConfig::topology(n, topo), seed);
+                let exact = optimize_with(&q, Algorithm::EaPrune, &o);
+                let run = optimize_adaptive_run(&q, &o);
+                validate_complete_plan(&run.ctx, &run.memo, run.winner).unwrap_or_else(|e| {
+                    panic!("invalid adaptive plan ({topo:?} n={n} seed={seed}): {e}")
+                });
+                let (a, e) = (run.optimized.plan.cost, exact.plan.cost);
+                assert!(
+                    a >= e * (1.0 - 1e-9),
+                    "adaptive cost {a} beats the exact optimum {e} ({topo:?} n={n} seed={seed})"
+                );
+                let stats = run.optimized.memo;
+                assert!(stats.plan_budget > 0);
+                assert!(run.optimized.plans_built <= stats.plan_budget);
+                if stats.adaptive_mode == AdaptiveMode::Exact {
+                    assert!(
+                        (a - e).abs() <= e.abs() * 1e-9,
+                        "exact rung completed but costs differ: {a} vs {e}"
+                    );
+                }
+                let ratio = if e > 0.0 { a / e } else { 1.0 };
+                worst = worst.max(ratio);
+                ratios.push(ratio.max(1e-30).ln());
+            }
+        }
+    }
+    let geo = (ratios.iter().sum::<f64>() / ratios.len() as f64).exp();
+    println!(
+        "adaptive-vs-exact cost ratio over {} queries: geometric mean {geo:.4}, worst {worst:.4}",
+        ratios.len()
+    );
+}
+
+/// `plans_built <= plan_budget` holds for every requested budget,
+/// including ones far below what exact DP would need — the ladder then
+/// reports a shallower rung and flags exhaustion.
+#[test]
+fn budget_is_a_hard_cap() {
+    let q = generate_query(&GenConfig::topology(12, Topology::Star), 1);
+    let floor = budget_floor(12);
+    for requested in [1u64, floor, 2_000, 10_000] {
+        let run = optimize_adaptive_run(&q, &opts(requested));
+        let stats = run.optimized.memo;
+        assert_eq!(stats.plan_budget, requested.max(floor));
+        assert!(
+            run.optimized.plans_built <= stats.plan_budget,
+            "plans_built {} exceeds budget {} (requested {requested})",
+            run.optimized.plans_built,
+            stats.plan_budget
+        );
+        validate_complete_plan(&run.ctx, &run.memo, run.winner).unwrap();
+        assert_ne!(stats.adaptive_mode, AdaptiveMode::None);
+    }
+    // At the floor the deeper rungs cannot fit on a 12-relation star:
+    // the run must degrade and say so.
+    let run = optimize_adaptive_run(&q, &opts(floor));
+    let stats = run.optimized.memo;
+    assert_ne!(stats.adaptive_mode, AdaptiveMode::Exact);
+    assert!(stats.budget_exhausted);
+}
+
+/// The acceptance scenario: a 30-relation clique optimizes within a tight
+/// budget, fast, with a valid plan and `plans_built <= budget` proven by
+/// the stats.
+#[test]
+fn thirty_relation_clique_within_budget() {
+    let q = generate_query(&GenConfig::topology(30, Topology::Clique), 0);
+    let start = Instant::now();
+    let run = optimize_adaptive_run(&q, &opts(20_000));
+    let elapsed = start.elapsed();
+    let stats = run.optimized.memo;
+    assert_eq!(20_000, stats.plan_budget);
+    assert!(run.optimized.plans_built <= 20_000);
+    assert_ne!(stats.adaptive_mode, AdaptiveMode::None);
+    validate_complete_plan(&run.ctx, &run.memo, run.winner).unwrap();
+    assert!(
+        elapsed.as_secs_f64() < 5.0,
+        "30-relation clique took {elapsed:?} (budget demands < 5s)"
+    );
+}
+
+/// A 30-relation star is the expressible enumeration worst case
+/// (`#ccp = 29·2^28`): the exact rung must be skipped by the capped pair
+/// count and the ladder must still produce a valid plan within budget.
+#[test]
+fn thirty_relation_star_degrades_gracefully() {
+    let q = generate_query(&GenConfig::topology(30, Topology::Star), 2);
+    let start = Instant::now();
+    let run = optimize_adaptive_run(&q, &opts(20_000));
+    let elapsed = start.elapsed();
+    let stats = run.optimized.memo;
+    assert_ne!(
+        stats.adaptive_mode,
+        AdaptiveMode::Exact,
+        "exact DP cannot fit a 30-relation star in 20k plans"
+    );
+    assert!(run.optimized.plans_built <= stats.plan_budget);
+    validate_complete_plan(&run.ctx, &run.memo, run.winner).unwrap();
+    assert!(elapsed.as_secs_f64() < 5.0, "star took {elapsed:?}");
+}
+
+/// Large chains stay exactly optimizable under a generous budget: `#ccp`
+/// is `O(n³)` (4 495 pairs at n = 30; the Pareto-wide plan classes still
+/// need ~150k plans, above [`DEFAULT_PLAN_BUDGET`]), and when the exact
+/// rung completes the budgeted result is the EA-Prune optimum.
+#[test]
+fn thirty_relation_chain_stays_exact() {
+    let mut cfg = GenConfig::topology(30, Topology::Chain);
+    // Inner joins only: conflict rules cannot shrink the search space.
+    cfg.ops = dpnext_workload::OpWeights::inner_only();
+    cfg.with_grouping = false;
+    let q = generate_query(&cfg, 3);
+    let run = optimize_adaptive_run(&q, &opts(10 * DEFAULT_PLAN_BUDGET));
+    assert_eq!(AdaptiveMode::Exact, run.optimized.memo.adaptive_mode);
+    assert!(!run.optimized.memo.budget_exhausted);
+    let exact = optimize_with(&q, Algorithm::EaPrune, &opts(0));
+    assert_eq!(
+        exact.plan.cost.to_bits(),
+        run.optimized.plan.cost.to_bits(),
+        "completed exact rung must reproduce the EA-Prune optimum"
+    );
+    validate_complete_plan(&run.ctx, &run.memo, run.winner).unwrap();
+}
+
+/// Degenerate sizes run through the ladder too.
+#[test]
+fn tiny_queries() {
+    for n in [1usize, 2] {
+        let q = generate_query(&GenConfig::paper(n), 5);
+        let run = optimize_adaptive_run(&q, &opts(0));
+        validate_complete_plan(&run.ctx, &run.memo, run.winner).unwrap();
+        assert_eq!(AdaptiveMode::Exact, run.optimized.memo.adaptive_mode);
+    }
+}

@@ -12,20 +12,34 @@
 //! prints the deltas — **warn-only**: it never fails the run, it just
 //! makes perf regressions visible in the CI log.
 
+use dpnext::Optimizer;
 use dpnext_bench::{run_sweep, serial_fraction, AlgoSpec, SweepResult};
 use dpnext_core::Algorithm;
-use dpnext_workload::GenConfig;
+use dpnext_workload::{generate_query, GenConfig, Topology};
 use std::fmt::Write as _;
 
 const SIZES: [usize; 4] = [3, 4, 5, 6];
 const QUERIES: usize = 20;
 const SEED: u64 = 42;
 
+/// Large-query cells: the adaptive degradation ladder on explicit
+/// topologies beyond exact-DP reach, with a pinned budget so plans/s and
+/// the winning-rung mix stay comparable across PRs.
+const LARGE_TOPOLOGIES: [(Topology, &str); 3] = [
+    (Topology::Chain, "chain"),
+    (Topology::Star, "star"),
+    (Topology::Clique, "clique"),
+];
+const LARGE_SIZES: [usize; 2] = [20, 30];
+const LARGE_QUERIES: usize = 5;
+const LARGE_BUDGET: u64 = 50_000;
+
 /// One emitted `(algorithm, n, threads)` measurement.
 struct SmokeCell {
     algo: String,
     n: usize,
     threads: usize,
+    queries: usize,
     runtime_us: f64,
     plans_built: f64,
     plans_per_sec: f64,
@@ -34,6 +48,12 @@ struct SmokeCell {
     hit_rate: f64,
     worker_nanos: f64,
     replay_nanos: f64,
+    /// Plan budget enforced on the cell's runs (0 = unbudgeted exact
+    /// algorithm).
+    budget: u64,
+    /// Winning adaptive-ladder rungs, as `exact:a,linearized:b,greedy:c`
+    /// counts (empty for the exact algorithms).
+    modes: String,
 }
 
 impl SmokeCell {
@@ -92,6 +112,7 @@ fn main() {
                     algo: spec.algo.name(),
                     n: *n,
                     threads: *threads,
+                    queries: QUERIES,
                     runtime_us: runtime_s * 1e6,
                     plans_built: cell.mean_plans_built,
                     plans_per_sec: cell.mean_plans_built / runtime_s.max(1e-12),
@@ -100,12 +121,25 @@ fn main() {
                     hit_rate: cell.mean_prune_hit_rate,
                     worker_nanos: cell.mean_worker_nanos,
                     replay_nanos: cell.mean_replay_nanos,
+                    budget: 0,
+                    modes: String::new(),
                 });
             }
         }
     }
 
+    for (topo, tag) in LARGE_TOPOLOGIES {
+        for n in LARGE_SIZES {
+            cells.push(adaptive_cell(topo, tag, n));
+        }
+    }
+
     let mut json = String::from("{\n  \"workload\": \"fig15-smoke\",\n");
+    let _ = writeln!(
+        json,
+        "  \"large_query\": {{ \"sizes\": {LARGE_SIZES:?}, \"queries_per_cell\": \
+         {LARGE_QUERIES}, \"plan_budget\": {LARGE_BUDGET} }},"
+    );
     let _ = writeln!(json, "  \"sizes\": {SIZES:?},");
     let _ = writeln!(json, "  \"queries_per_size\": {QUERIES},");
     let _ = writeln!(json, "  \"seed\": {SEED},");
@@ -115,17 +149,26 @@ fn main() {
         if i > 0 {
             json.push_str(",\n");
         }
+        let budget = if c.budget > 0 {
+            format!(
+                ", \"plan_budget\": {}, \"modes\": \"{}\"",
+                c.budget, c.modes
+            )
+        } else {
+            String::new()
+        };
         let _ = write!(
             json,
             "    {{ \"algorithm\": \"{}\", \"n\": {}, \"threads\": {}, \
-             \"queries\": {QUERIES}, \"mean_runtime_us\": {:.3}, \
+             \"queries\": {}, \"mean_runtime_us\": {:.3}, \
              \"mean_plans_built\": {:.1}, \"plans_per_sec\": {:.0}, \
              \"mean_arena_plans\": {:.1}, \"mean_peak_class_width\": {:.1}, \
              \"mean_prune_hit_rate\": {:.4}, \"worker_nanos\": {:.0}, \
-             \"replay_nanos\": {:.0} }}",
+             \"replay_nanos\": {:.0}{budget} }}",
             c.algo,
             c.n,
             c.threads,
+            c.queries,
             c.runtime_us,
             c.plans_built,
             c.plans_per_sec,
@@ -144,6 +187,68 @@ fn main() {
 
     if let Some(prev) = diff_path {
         diff_against(&prev, &cells);
+    }
+}
+
+/// One large-query cell: `Algorithm::Adaptive` over `LARGE_QUERIES` random
+/// queries of one (topology, n) with the pinned `LARGE_BUDGET`. Sequential
+/// by construction (budget enforcement is a streaming fold), so the cell
+/// reports `threads = 1`.
+fn adaptive_cell(topo: Topology, tag: &str, n: usize) -> SmokeCell {
+    let cfg = GenConfig::topology(n, topo);
+    let opt = Optimizer::new(Algorithm::Adaptive)
+        .explain(false)
+        .plan_budget(LARGE_BUDGET);
+    let mut runtime = 0.0f64;
+    let mut plans = 0.0f64;
+    let mut arena = 0.0f64;
+    let mut width = 0.0f64;
+    let mut hits = 0.0f64;
+    let mut modes = [0usize; 4]; // exact / partial-exact / linearized / greedy
+    for q in 0..LARGE_QUERIES {
+        let seed = SEED
+            .wrapping_add(n as u64 * 1_000_003)
+            .wrapping_add(q as u64 * 7_919);
+        let query = generate_query(&cfg, seed);
+        let r = opt.optimize(&query);
+        assert!(
+            r.plans_built <= r.memo.plan_budget,
+            "budget violated: {} > {}",
+            r.plans_built,
+            r.memo.plan_budget
+        );
+        runtime += r.elapsed.as_secs_f64();
+        plans += r.plans_built as f64;
+        arena += r.memo.arena_plans as f64;
+        width += r.memo.peak_class_width as f64;
+        hits += r.memo.prune_hit_rate();
+        match r.memo.adaptive_mode {
+            dpnext::AdaptiveMode::Exact => modes[0] += 1,
+            dpnext::AdaptiveMode::PartialExact => modes[1] += 1,
+            dpnext::AdaptiveMode::Linearized => modes[2] += 1,
+            dpnext::AdaptiveMode::Greedy => modes[3] += 1,
+            dpnext::AdaptiveMode::None => unreachable!("adaptive run reported no mode"),
+        }
+    }
+    let m = LARGE_QUERIES as f64;
+    SmokeCell {
+        algo: format!("Adaptive[{tag}]"),
+        n,
+        threads: 1,
+        queries: LARGE_QUERIES,
+        runtime_us: runtime / m * 1e6,
+        plans_built: plans / m,
+        plans_per_sec: plans / runtime.max(1e-12),
+        arena: arena / m,
+        width: width / m,
+        hit_rate: hits / m,
+        worker_nanos: 0.0,
+        replay_nanos: 0.0,
+        budget: LARGE_BUDGET,
+        modes: format!(
+            "exact:{},partial-exact:{},linearized:{},greedy:{}",
+            modes[0], modes[1], modes[2], modes[3]
+        ),
     }
 }
 
@@ -203,6 +308,13 @@ fn diff_against(prev_path: &str, cells: &[SmokeCell]) {
             .iter()
             .find(|p| p.algo == c.algo && p.n == c.n && p.threads == c.threads)
         else {
+            // Warn-only by design: a cell absent from the archive is a
+            // freshly added measurement (new algorithm, size or phase
+            // field), not a regression — the next run's archive has it.
+            eprintln!(
+                "  {:<10} n={} threads={}: new cell, no baseline in the previous artifact",
+                c.algo, c.n, c.threads
+            );
             continue;
         };
         let delta = 100.0 * (c.plans_per_sec - prev.plans_per_sec) / prev.plans_per_sec.max(1.0);

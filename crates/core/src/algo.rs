@@ -51,6 +51,13 @@ pub enum Algorithm {
     /// H1 with eagerness-adjusted cost comparison and tolerance factor `F`
     /// (Fig. 12).
     H2(f64),
+    /// Budgeted large-query ladder: exact DP when the csg-cmp-pair stream
+    /// fits [`OptimizeOptions::plan_budget`], else linearized DP over the
+    /// greedy linear order, else the greedy plan itself. Implemented by
+    /// the `dpnext-adaptive` crate and dispatched by the `dpnext`
+    /// [`Optimizer`] facade — [`optimize_with`] itself panics on this
+    /// variant to keep the crate layering acyclic.
+    Adaptive,
 }
 
 impl Algorithm {
@@ -61,6 +68,7 @@ impl Algorithm {
             Algorithm::EaPrune => "EA-Prune".into(),
             Algorithm::H1 => "H1".into(),
             Algorithm::H2(f) => format!("H2(F={f})"),
+            Algorithm::Adaptive => "Adaptive".into(),
         }
     }
 }
@@ -97,6 +105,13 @@ pub struct OptimizeOptions {
     /// parallelism. Any value yields bit-identical costs, class contents
     /// and `plans_built`.
     pub threads: usize,
+    /// Plan budget for [`Algorithm::Adaptive`]: the maximum number of
+    /// plans (joins + groupings) the search may construct across every
+    /// rung of its degradation ladder. `0` means the adaptive default
+    /// (`dpnext_adaptive::DEFAULT_PLAN_BUDGET`); requests below the
+    /// greedy floor are clamped up so a valid plan always fits. The exact
+    /// algorithms ignore this knob.
+    pub plan_budget: u64,
 }
 
 impl Default for OptimizeOptions {
@@ -105,6 +120,7 @@ impl Default for OptimizeOptions {
             dominance: DominanceKind::Full,
             explain: true,
             threads: 0,
+            plan_budget: 0,
         }
     }
 }
@@ -149,6 +165,12 @@ pub fn optimize_with(query: &Query, algo: Algorithm, opts: &OptimizeOptions) -> 
         Algorithm::H2(f) => run_single(&ctx, true, Some(f), threads),
         Algorithm::EaAll => run_multi(&ctx, None, threads),
         Algorithm::EaPrune => run_multi(&ctx, Some(opts.dominance), threads),
+        // dpnext-core cannot depend on dpnext-adaptive (it is the other
+        // way around); the facade routes this variant before we get here.
+        Algorithm::Adaptive => panic!(
+            "Algorithm::Adaptive is implemented by the dpnext-adaptive crate; \
+             use dpnext::Optimizer or dpnext_adaptive::optimize_adaptive"
+        ),
     };
     // Capture the search time *before* rendering: EXPLAIN is presentation,
     // not optimization, and must not inflate the reported elapsed time.
@@ -1090,6 +1112,193 @@ pub fn all_subplans_with(query: &Query, threads: usize) -> (OptContext, Memo, Ve
     let mut plans = memo.retained_ids();
     plans.extend(policy.complete);
     (ctx, memo, plans)
+}
+
+/// Hard upper bound on the plans one enumeration work unit (one
+/// `(orientation, t1, t2)` subplan combination) can construct: `op_trees`
+/// builds at most the plain apply, two pushed-down groupings and three
+/// grouped applies (Fig. 8 (a)–(d)). The budgeted search uses this to
+/// translate a plan budget into a unit allowance without mid-unit
+/// bookkeeping.
+pub const UNIT_MAX_PLANS: u64 = 6;
+
+/// A budget-enforcing, pair-at-a-time frontend over the multi-plan
+/// enumeration engine: the caller supplies the csg-cmp-pair stream (the
+/// full DPhyp stream, greedy merges, interval splits of a linear order —
+/// anything whose pairs read only already-populated classes), and the
+/// search feeds each pair through the same `op_trees`/dominance machinery
+/// as [`Algorithm::EaPrune`], guaranteeing `plans_built <= budget`
+/// throughout. This is the core hook the `dpnext-adaptive` large-query
+/// ladder drives; it always runs the sequential streaming path.
+pub struct BudgetedSearch<'a> {
+    ctx: &'a OptContext,
+    memo: Memo,
+    scratch: Scratch,
+    bufs: PairBufs,
+    policy: MultiBest,
+    budget: u64,
+    exhausted: bool,
+    full: NodeSet,
+}
+
+/// What a finished [`BudgetedSearch`] hands back.
+pub struct BudgetedOutcome {
+    /// The memo owning every plan the search built.
+    pub memo: Memo,
+    /// The cheapest complete plan seen, with its memo id (`None` when no
+    /// pair produced a complete plan — disconnected graph or exhaustion
+    /// before the first full-set pair).
+    pub best: Option<(FinalPlan, PlanId)>,
+    /// Plans constructed in total; never exceeds the budget.
+    pub plans_built: u64,
+    /// Whether some pair was skipped or truncated for lack of budget.
+    pub exhausted: bool,
+}
+
+impl<'a> BudgetedSearch<'a> {
+    /// A fresh search over `ctx` with dominance pruning `dominance` and a
+    /// hard cap of `budget` constructed plans (scans are free, matching
+    /// the `plans_built` accounting of the unbudgeted engine). Seeds the
+    /// singleton scan classes.
+    pub fn new(ctx: &'a OptContext, dominance: DominanceKind, budget: u64) -> BudgetedSearch<'a> {
+        let guard_groupjoin = ctx.cq.ops.iter().any(|o| o.op == OpKind::GroupJoin);
+        let mut memo = Memo::new();
+        let n = ctx.query.table_count();
+        for i in 0..n {
+            let id = make_scan(ctx, &mut memo, i);
+            memo.class_push(NodeSet::single(i), id);
+        }
+        BudgetedSearch {
+            ctx,
+            memo,
+            scratch: Scratch::new(ctx),
+            bufs: PairBufs::new(),
+            policy: MultiBest {
+                prune: Some(dominance),
+                guard_groupjoin,
+                best: None,
+            },
+            budget,
+            exhausted: false,
+            full: NodeSet::full(n),
+        }
+    }
+
+    /// Plans constructed so far (joins + groupings).
+    pub fn plans_built(&self) -> u64 {
+        self.scratch.plans_built
+    }
+
+    /// Budget still available.
+    pub fn remaining(&self) -> u64 {
+        self.budget.saturating_sub(self.scratch.plans_built)
+    }
+
+    /// The hard cap this search enforces.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Replace the enforced cap. Ladder-style callers temporarily lower
+    /// it to run one rung under a sub-budget (reserving the rest for a
+    /// cheaper fallback strategy) and restore the full cap afterwards.
+    /// Must never drop below what is already spent.
+    pub fn set_budget(&mut self, budget: u64) {
+        debug_assert!(budget >= self.scratch.plans_built);
+        self.budget = budget;
+    }
+
+    /// Whether a pair has been skipped or truncated for lack of budget.
+    pub fn exhausted(&self) -> bool {
+        self.exhausted
+    }
+
+    /// Clear the exhaustion marker. For ladder-style callers that abandon
+    /// an exhausted rung but keep the memo and spend the remaining budget
+    /// on a cheaper strategy — the abandoned rung's partial classes stay
+    /// valid (every plan in them is real), they just stop being complete.
+    pub fn reset_exhausted(&mut self) {
+        self.exhausted = false;
+    }
+
+    /// Read access to the memo (classes, plan data) for pair selection.
+    pub fn memo(&self) -> &Memo {
+        &self.memo
+    }
+
+    /// Width of the plan class of `s`.
+    pub fn class_len(&self, s: NodeSet) -> usize {
+        self.memo.class(s).len()
+    }
+
+    /// Cost of the cheapest complete plan seen so far.
+    pub fn best_cost(&self) -> Option<f64> {
+        self.policy.best.as_ref().map(|(f, _)| f.cost)
+    }
+
+    /// Whether any complete plan has been found.
+    pub fn has_best(&self) -> bool {
+        self.policy.best.is_some()
+    }
+
+    /// Shrink the class of `s` to its greedy representative(s); see
+    /// [`Memo::class_shrink_to_best`]. The groupjoin guard is applied
+    /// exactly when the query contains groupjoins.
+    pub fn shrink_class_to_best(&mut self, s: NodeSet) {
+        self.memo
+            .class_shrink_to_best(s, self.policy.guard_groupjoin);
+    }
+
+    /// Process one candidate pair under the budget: build every operator
+    /// tree of every subplan combination (with all eager-aggregation
+    /// variants), insert into the target class with dominance pruning, and
+    /// keep-best complete plans. Work units beyond the remaining budget's
+    /// unit allowance are skipped; if any were, the search is marked
+    /// exhausted and `false` is returned (the pair's plan set is then
+    /// incomplete and downstream results must not claim optimality).
+    ///
+    /// Pairs with no applicable operator build nothing and return `true`.
+    pub fn process(&mut self, s1: NodeSet, s2: NodeSet) -> bool {
+        if self.exhausted {
+            return false;
+        }
+        let allowed = self.remaining() / UNIT_MAX_PLANS;
+        let mut unit = 0u64;
+        let mut take = |u: u64| u < allowed;
+        let mut sink = PolicySink {
+            policy: &mut self.policy,
+        };
+        process_pair(
+            self.ctx,
+            &mut self.scratch,
+            &mut self.bufs,
+            &mut self.memo,
+            &mut sink,
+            true,
+            s1,
+            s2,
+            self.full,
+            &mut unit,
+            &mut take,
+        );
+        debug_assert!(self.scratch.plans_built <= self.budget);
+        if unit > allowed {
+            self.exhausted = true;
+            false
+        } else {
+            true
+        }
+    }
+
+    /// Tear the search apart into its outcome.
+    pub fn finish(self) -> BudgetedOutcome {
+        BudgetedOutcome {
+            memo: self.memo,
+            best: self.policy.best,
+            plans_built: self.scratch.plans_built,
+            exhausted: self.exhausted,
+        }
+    }
 }
 
 /// The width-safe all-operators-applied mask: `n_ops` low bits set.

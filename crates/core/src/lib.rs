@@ -27,13 +27,15 @@ pub mod fxhash;
 pub mod memo;
 pub mod optrees;
 pub mod plan;
+pub mod validate;
 
 #[cfg(test)]
 mod tests;
 
 pub use algo::{
     all_subplans, all_subplans_with, applied_ops_mask, optimize, optimize_with,
-    optimize_with_pruning, resolve_threads, Algorithm, OptimizeOptions, Optimized,
+    optimize_with_pruning, resolve_threads, Algorithm, BudgetedOutcome, BudgetedSearch,
+    OptimizeOptions, Optimized, UNIT_MAX_PLANS,
 };
 pub use context::{OptContext, Scratch};
 pub use explain::explain;
@@ -41,7 +43,8 @@ pub use finalize::{compile, finalize, FinalPlan};
 pub use fusion::fuse_groupjoins;
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use memo::{
-    ClassBuckets, ClassTally, DominanceKind, Memo, MemoPlan, MemoShard, MemoStats, PlanId,
-    PlanNode, PlanStore, ShardRemap,
+    AdaptiveMode, ClassBuckets, ClassTally, DominanceKind, Memo, MemoPlan, MemoShard, MemoStats,
+    PlanId, PlanNode, PlanStore, ShardRemap,
 };
 pub use plan::{make_apply, make_group, make_scan};
+pub use validate::{validate_complete_plan, validate_subplan};

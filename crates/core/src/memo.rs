@@ -97,6 +97,44 @@ pub enum DominanceKind {
     CostOnly,
 }
 
+/// Which rung of the adaptive degradation ladder produced the final plan
+/// (`Algorithm::Adaptive`, see the `dpnext-adaptive` crate). `None` for
+/// every non-adaptive run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum AdaptiveMode {
+    /// Not an adaptive run (or the ladder never ran).
+    #[default]
+    None,
+    /// The full exact DP stream completed within the budget: the result
+    /// is the EA-Prune optimum.
+    Exact,
+    /// The exact DP stream was aborted for budget, but one of the plans
+    /// it built before the abort still won — deeper than the linearized
+    /// interval space, yet not provably optimal.
+    PartialExact,
+    /// The plan is the optimum of the linearized DP over connected
+    /// sub-intervals of the greedy linear order (the rung completed, or
+    /// one of its splits produced the winner before the budget ran out);
+    /// exact DP was skipped or abandoned without beating it.
+    Linearized,
+    /// Only the greedy (GOO-style) construction produced the winning
+    /// plan before the budget ran out.
+    Greedy,
+}
+
+impl std::fmt::Display for AdaptiveMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            AdaptiveMode::None => "none",
+            AdaptiveMode::Exact => "exact",
+            AdaptiveMode::PartialExact => "partial-exact",
+            AdaptiveMode::Linearized => "linearized",
+            AdaptiveMode::Greedy => "greedy",
+        };
+        f.write_str(s)
+    }
+}
+
 /// Aggregate statistics of one memo, reported on [`crate::Optimized`].
 #[derive(Debug, Clone, Copy, Default)]
 pub struct MemoStats {
@@ -138,6 +176,16 @@ pub struct MemoStats {
     /// Most plan classes replayed concurrently in one stratum by the
     /// class-partitioned replay (0 = every replay ran serially).
     pub peak_replay_classes: u64,
+    /// Effective plan budget enforced by a budgeted search (the requested
+    /// budget clamped up to the greedy floor); 0 when the run was not
+    /// budgeted. When non-zero, `plans_built <= plan_budget` holds.
+    pub plan_budget: u64,
+    /// Whether the budgeted search ran out of plans before finishing its
+    /// deepest rung (the result then comes from a shallower rung).
+    pub budget_exhausted: bool,
+    /// Which adaptive ladder rung produced the plan (`None` for
+    /// non-adaptive runs).
+    pub adaptive_mode: AdaptiveMode,
 }
 
 impl MemoStats {
@@ -396,6 +444,14 @@ impl Memo {
         self.stats.peak_replay_classes = peak_replay_classes;
     }
 
+    /// Record the outcome of a budgeted search: the effective budget, the
+    /// exhaustion flag and the adaptive ladder rung that won.
+    pub fn record_budget(&mut self, plan_budget: u64, exhausted: bool, mode: AdaptiveMode) {
+        self.stats.plan_budget = plan_budget;
+        self.stats.budget_exhausted = exhausted;
+        self.stats.adaptive_mode = mode;
+    }
+
     /// Fold the peak arena size of concurrently live worker shards into
     /// the peak statistic: while a stratum runs, the shared prefix and
     /// every shard are alive at once.
@@ -439,6 +495,43 @@ impl Memo {
         let class = self.classes.entry(s).or_default();
         prune_insert_ids(&self.arena, class, id, kind, guard_groupjoin, &mut tally);
         self.stats.merge_tally(&tally);
+    }
+
+    /// Shrink the class of `s` to its representative member(s): the
+    /// cheapest plan, plus — when `keep_raw` and the cheapest plan
+    /// contains a grouping — the cheapest grouping-free plan, so a later
+    /// groupjoin application (which needs raw right inputs) is not
+    /// structurally cut off. The greedy rung of the adaptive optimizer
+    /// uses this to keep its per-component state GOO-sized (one or two
+    /// plans) instead of letting class widths compound across merges.
+    pub fn class_shrink_to_best(&mut self, s: NodeSet, keep_raw: bool) {
+        let Some(class) = self.classes.get_mut(&s) else {
+            return;
+        };
+        let best = class.iter().copied().min_by(|&a, &b| {
+            self.arena[a.index()]
+                .cost
+                .total_cmp(&self.arena[b.index()].cost)
+        });
+        let Some(best) = best else { return };
+        let raw = (keep_raw && self.arena[best.index()].has_grouping)
+            .then(|| {
+                class
+                    .iter()
+                    .copied()
+                    .filter(|&id| !self.arena[id.index()].has_grouping)
+                    .min_by(|&a, &b| {
+                        self.arena[a.index()]
+                            .cost
+                            .total_cmp(&self.arena[b.index()].cost)
+                    })
+            })
+            .flatten();
+        class.clear();
+        class.push(best);
+        if let Some(raw) = raw {
+            class.push(raw);
+        }
     }
 
     /// Install a class produced by a detached (per-class replay) fold and

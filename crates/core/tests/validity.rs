@@ -1,0 +1,74 @@
+//! The plan-validity checker run against the exact engine: every complete
+//! plan the collect-all enumeration produces — across topologies, operator
+//! mixes and groupings — must satisfy the structural contract
+//! (`validate_complete_plan`), and the retained partial plans the subplan
+//! contract. The adaptive crate's tests hold the budgeted ladder to the
+//! same checker; together they pin both plan producers to one invariant.
+
+use dpnext_core::{all_subplans, validate_complete_plan, validate_subplan};
+use dpnext_hypergraph::NodeSet;
+use dpnext_workload::{generate_query, GenConfig, Topology};
+
+const TOPOLOGIES: [Topology; 5] = [
+    Topology::Paper,
+    Topology::Chain,
+    Topology::Star,
+    Topology::Clique,
+    Topology::Mixed,
+];
+
+fn check_all_plans(sizes: &[usize], seeds: u64) {
+    for topo in TOPOLOGIES {
+        for &n in sizes {
+            for seed in 0..seeds {
+                let q = generate_query(&GenConfig::topology(n, topo), seed);
+                let (ctx, memo, plans) = all_subplans(&q);
+                let full = NodeSet::full(n);
+                let mut completes = 0usize;
+                for id in plans {
+                    if memo[id].set == full {
+                        completes += 1;
+                        validate_complete_plan(&ctx, &memo, id)
+                    } else {
+                        validate_subplan(&ctx, &memo, id)
+                    }
+                    .unwrap_or_else(|e| {
+                        panic!("invalid engine plan ({topo:?} n={n} seed={seed}): {e}")
+                    });
+                }
+                assert!(
+                    completes > 0,
+                    "no complete plan ({topo:?} n={n} seed={seed})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn exact_engine_plans_validate() {
+    check_all_plans(&[2, 4], 2);
+}
+
+/// The paper-scale sweep (n = 6 collect-all is expensive in debug); run by
+/// the `slow-oracle` CI job via `cargo test --release -- --ignored`.
+#[test]
+#[ignore = "paper-scale sweep; run with --release -- --ignored"]
+fn exact_engine_plans_validate_paper_scale() {
+    check_all_plans(&[5, 6], 3);
+}
+
+#[test]
+fn exact_engine_groupjoin_plans_validate() {
+    let mut cfg = GenConfig::oracle(5);
+    cfg.ops = dpnext_workload::OpWeights::with_groupjoins();
+    for seed in 0..10u64 {
+        let q = generate_query(&cfg, seed);
+        let (ctx, memo, plans) = all_subplans(&q);
+        let full = NodeSet::full(5);
+        for id in plans.iter().copied().filter(|&id| memo[id].set == full) {
+            validate_complete_plan(&ctx, &memo, id)
+                .unwrap_or_else(|e| panic!("invalid groupjoin plan (seed={seed}): {e}"));
+        }
+    }
+}

@@ -8,15 +8,31 @@
 
 use crate::bitset::NodeSet;
 use crate::graph::Hypergraph;
+use std::ops::ControlFlow;
 
 /// Enumerate all csg-cmp-pairs of `graph`, invoking `emit(s1, s2)` for each.
 ///
 /// Pairs are emitted unordered: `(s1, s2)` is emitted but `(s2, s1)` is not;
 /// the consumer decides about commutativity.
 pub fn enumerate_ccps(graph: &Hypergraph, mut emit: impl FnMut(NodeSet, NodeSet)) {
+    let _ = try_enumerate_ccps(graph, |s1, s2| {
+        emit(s1, s2);
+        ControlFlow::Continue(())
+    });
+}
+
+/// Abortable variant of [`enumerate_ccps`]: the walk stops as soon as
+/// `emit` returns [`ControlFlow::Break`], and the break value is
+/// propagated. Consumers that cannot afford the full stream — budgeted
+/// plan generators, capped counters — use this to bail out mid-walk
+/// instead of paying for the (potentially exponential) remainder.
+pub fn try_enumerate_ccps(
+    graph: &Hypergraph,
+    mut emit: impl FnMut(NodeSet, NodeSet) -> ControlFlow<()>,
+) -> ControlFlow<()> {
     let n = graph.node_count();
     if n == 0 {
-        return;
+        return ControlFlow::Continue(());
     }
     let mut e = Enumerator {
         graph,
@@ -24,70 +40,74 @@ pub fn enumerate_ccps(graph: &Hypergraph, mut emit: impl FnMut(NodeSet, NodeSet)
     };
     for v in (0..n).rev() {
         let s1 = NodeSet::single(v);
-        e.emit_csg(s1);
+        e.emit_csg(s1)?;
         // B_v: all nodes with index <= v are forbidden for expansion, so
         // each csg is generated from its minimum element exactly once.
         let bv = NodeSet::upto(v);
-        e.enumerate_csg_rec(s1, bv);
+        e.enumerate_csg_rec(s1, bv)?;
     }
+    ControlFlow::Continue(())
 }
 
-struct Enumerator<'a, F: FnMut(NodeSet, NodeSet)> {
+struct Enumerator<'a, F: FnMut(NodeSet, NodeSet) -> ControlFlow<()>> {
     graph: &'a Hypergraph,
     emit: &'a mut F,
 }
 
-impl<F: FnMut(NodeSet, NodeSet)> Enumerator<'_, F> {
+impl<F: FnMut(NodeSet, NodeSet) -> ControlFlow<()>> Enumerator<'_, F> {
     /// Grow the connected subgraph `s1` by neighborhood subsets.
-    fn enumerate_csg_rec(&mut self, s1: NodeSet, x: NodeSet) {
+    fn enumerate_csg_rec(&mut self, s1: NodeSet, x: NodeSet) -> ControlFlow<()> {
         let neigh = self.graph.neighborhood(s1, x);
         if neigh.is_empty() {
-            return;
+            return ControlFlow::Continue(());
         }
         for sub in neigh.subsets() {
             let grown = s1.union(sub);
             if self.graph.is_connected(grown) {
-                self.emit_csg(grown);
+                self.emit_csg(grown)?;
             }
         }
         let x2 = x.union(neigh);
         for sub in neigh.subsets() {
-            self.enumerate_csg_rec(s1.union(sub), x2);
+            self.enumerate_csg_rec(s1.union(sub), x2)?;
         }
+        ControlFlow::Continue(())
     }
 
     /// Find all complements for the connected subgraph `s1`.
-    fn emit_csg(&mut self, s1: NodeSet) {
+    fn emit_csg(&mut self, s1: NodeSet) -> ControlFlow<()> {
         let x = s1.union(NodeSet::upto(s1.min()));
         let neigh = self.graph.neighborhood(s1, x);
         for v in neigh.iter_desc() {
             let s2 = NodeSet::single(v);
             if self.graph.has_connecting_edge(s1, s2) {
-                (self.emit)(s1, s2);
+                (self.emit)(s1, s2)?;
             }
             // Forbid neighbors with index <= v so each complement is found
             // from its minimal representative only.
             let bv: NodeSet = neigh.iter().filter(|&w| w <= v).collect();
-            self.enumerate_cmp_rec(s1, s2, x.union(bv));
+            self.enumerate_cmp_rec(s1, s2, x.union(bv))?;
         }
+        ControlFlow::Continue(())
     }
 
     /// Grow the complement `s2`.
-    fn enumerate_cmp_rec(&mut self, s1: NodeSet, s2: NodeSet, x: NodeSet) {
+    fn enumerate_cmp_rec(&mut self, s1: NodeSet, s2: NodeSet, x: NodeSet) -> ControlFlow<()> {
         let neigh = self.graph.neighborhood(s2, x);
         if neigh.is_empty() {
-            return;
+            return ControlFlow::Continue(());
         }
         for sub in neigh.subsets() {
             let grown = s2.union(sub);
             if self.graph.is_connected(grown) && self.graph.has_connecting_edge(s1, grown) {
-                (self.emit)(s1, grown);
+                (self.emit)(s1, grown)?;
             }
         }
         let x2 = x.union(neigh);
         for sub in neigh.subsets() {
-            self.enumerate_cmp_rec(s1, s2.union(sub), x2);
+            self.enumerate_cmp_rec(s1, s2.union(sub), x2)?;
         }
+        ControlFlow::Continue(())
     }
 }
 
@@ -146,6 +166,25 @@ pub fn count_ccps(graph: &Hypergraph) -> u64 {
     let mut count = 0;
     enumerate_ccps(graph, |_, _| count += 1);
     count
+}
+
+/// Count csg-cmp-pairs, giving up once the count exceeds `cap`: returns
+/// `Some(count)` when the graph has at most `cap` pairs and `None`
+/// otherwise. `#ccp` is exponential on dense graphs (a 30-relation star
+/// has billions of pairs), so a budgeted optimizer probing "does exact DP
+/// fit my budget?" must not pay for the full count — the capped walk
+/// stops after at most `cap + 1` emissions.
+pub fn count_ccps_capped(graph: &Hypergraph, cap: u64) -> Option<u64> {
+    let mut count = 0u64;
+    let flow = try_enumerate_ccps(graph, |_, _| {
+        count += 1;
+        if count > cap {
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    });
+    flow.is_continue().then_some(count)
 }
 
 /// Brute-force reference: enumerate all unordered pairs of disjoint,
@@ -299,6 +338,41 @@ mod tests {
     fn empty_and_single_node_graphs() {
         assert_eq!(0, count_ccps(&Hypergraph::new(0)));
         assert_eq!(0, count_ccps(&Hypergraph::new(1)));
+    }
+
+    #[test]
+    fn capped_count_matches_uncapped_when_under_cap() {
+        for g in [chain(8), star(8), clique(6), cycle(7)] {
+            let exact = count_ccps(&g);
+            assert_eq!(Some(exact), count_ccps_capped(&g, exact));
+            assert_eq!(Some(exact), count_ccps_capped(&g, exact + 100));
+        }
+    }
+
+    #[test]
+    fn capped_count_gives_up_above_cap() {
+        let g = star(10); // 9 * 2^8 = 2304 pairs
+        assert_eq!(None, count_ccps_capped(&g, 100));
+        assert_eq!(None, count_ccps_capped(&g, 2303));
+        assert_eq!(Some(2304), count_ccps_capped(&g, 2304));
+    }
+
+    #[test]
+    fn try_enumerate_stops_at_break() {
+        // The walk must visit no more than cap + 1 pairs before bailing:
+        // this is what makes budget probes affordable on dense graphs.
+        let g = clique(8);
+        let mut visited = 0u64;
+        let flow = try_enumerate_ccps(&g, |_, _| {
+            visited += 1;
+            if visited > 10 {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        assert!(flow.is_break());
+        assert_eq!(11, visited);
     }
 
     #[test]

@@ -100,17 +100,13 @@ impl Hypergraph {
         n
     }
 
-    /// True when `s` induces a connected subgraph.
-    ///
-    /// A hyperedge `(u, v)` can be traversed once one side is fully inside
-    /// the current component and the other side lies within `s`; fixpoint
-    /// closure from the minimum element.
-    pub fn is_connected(&self, s: NodeSet) -> bool {
+    /// The maximal connected component of `s` containing `s.min()`:
+    /// fixpoint closure over the hyperedges fully contained in `s` (a
+    /// hyperedge is traversable once one side lies inside the component
+    /// and both sides lie within `s`).
+    pub fn component_of(&self, s: NodeSet) -> NodeSet {
         if s.is_empty() {
-            return false;
-        }
-        if s.len() == 1 {
-            return true;
+            return NodeSet::EMPTY;
         }
         let mut comp = NodeSet::single(s.min());
         loop {
@@ -127,10 +123,45 @@ impl Hypergraph {
                 }
             }
             if grown == comp {
-                return comp == s;
+                return comp;
             }
             comp = grown;
         }
+    }
+
+    /// Partition `within` into its connected components, ascending by
+    /// minimum element. Large-query planners use this to fail fast on
+    /// disconnected graphs (no complete plan can exist) and to seed
+    /// per-component greedy passes.
+    pub fn components_within(&self, within: NodeSet) -> Vec<NodeSet> {
+        let mut out = Vec::new();
+        let mut rest = within;
+        while !rest.is_empty() {
+            let comp = self.component_of(rest);
+            out.push(comp);
+            rest = rest.difference(comp);
+        }
+        out
+    }
+
+    /// [`Hypergraph::components_within`] over all nodes of the graph.
+    pub fn components(&self) -> Vec<NodeSet> {
+        self.components_within(self.all_nodes())
+    }
+
+    /// True when `s` induces a connected subgraph.
+    ///
+    /// A hyperedge `(u, v)` can be traversed once one side is fully inside
+    /// the current component and the other side lies within `s`; fixpoint
+    /// closure from the minimum element.
+    pub fn is_connected(&self, s: NodeSet) -> bool {
+        if s.is_empty() {
+            return false;
+        }
+        if s.len() == 1 {
+            return true;
+        }
+        self.component_of(s) == s
     }
 }
 
@@ -175,6 +206,23 @@ mod tests {
         assert_eq!(ns(&[1, 2]), g.neighborhood(ns(&[0]), NodeSet::EMPTY));
         // Forbidding 2 removes the hyperedge's representative.
         assert_eq!(ns(&[1]), g.neighborhood(ns(&[0]), ns(&[2])));
+    }
+
+    #[test]
+    fn components_partition_the_node_set() {
+        // Two components: 0-1-2 chain and 3-4 edge.
+        let mut g = Hypergraph::new(5);
+        g.add_simple(0, 1, 0);
+        g.add_simple(1, 2, 1);
+        g.add_simple(3, 4, 2);
+        assert_eq!(vec![ns(&[0, 1, 2]), ns(&[3, 4])], g.components());
+        // Restricting the node set splits the chain.
+        assert_eq!(
+            vec![ns(&[0]), ns(&[2]), ns(&[3, 4])],
+            g.components_within(ns(&[0, 2, 3, 4]))
+        );
+        assert_eq!(ns(&[0, 1, 2]), g.component_of(NodeSet::full(5)));
+        assert!(g.components_within(NodeSet::EMPTY).is_empty());
     }
 
     #[test]

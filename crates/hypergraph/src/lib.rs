@@ -12,6 +12,9 @@ pub mod graph;
 
 pub use bitset::NodeSet;
 pub use dpccp::{count_ccps_simple, enumerate_ccps_simple, SimpleGraph};
-pub use dphyp::{count_ccps, count_ccps_bruteforce, enumerate_ccps, stratify_ccps, CcpStrata};
+pub use dphyp::{
+    count_ccps, count_ccps_bruteforce, count_ccps_capped, enumerate_ccps, stratify_ccps,
+    try_enumerate_ccps, CcpStrata,
+};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use graph::{Hyperedge, Hypergraph};

@@ -6,7 +6,7 @@
 //! cardinalities and selectivities are generated."
 
 use crate::unrank::{tree_count, unrank_tree, TreeShape};
-use dpnext_algebra::{AggCall, AggKind, AttrGen, AttrId, Expr, JoinPred};
+use dpnext_algebra::{AggCall, AggKind, AttrGen, AttrId, CmpOp, Expr, JoinPred};
 use dpnext_query::{GroupSpec, OpKind, OpTree, Query, QueryTable};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -82,10 +82,42 @@ impl OpWeights {
     }
 }
 
+/// Shape of the generated query graph. [`Topology::Paper`] reproduces the
+/// paper's §5 methodology (random binary trees by unranking, predicates
+/// between random visible attributes); the explicit topologies build
+/// left-deep trees with controlled predicate anchors and scale to the
+/// large-`n` regime (up to the engine's 64-relation `NodeSet` cap; the
+/// adaptive subsystem's tests and bench cells use n up to 50) where the
+/// unranking counts would overflow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Topology {
+    /// Random binary tree by Liebehenschel unranking (the §5 default).
+    #[default]
+    Paper,
+    /// Path graph `r0 – r1 – … – r(n-1)`: each relation joined to its
+    /// predecessor. The benign large-`n` shape (`#ccp` is `O(n³)`).
+    Chain,
+    /// Star graph with hub `r0`: every other relation joined to the hub.
+    /// The expressible worst case for enumeration — `#ccp` is
+    /// `(n-1)·2^(n-2)`, hopeless for exact DP from ~20 relations.
+    Star,
+    /// Every pair of relations carries a join predicate. Extra predicates
+    /// are conjoined into the operator where both sides first meet, so the
+    /// inner operators become hyperedges `({r0..rk-1}, {rk})`; operators
+    /// are forced to inner joins (a conjunct spanning many relations has
+    /// no outer-join reading here).
+    Clique,
+    /// Per-seed random draw: chain, star, or a random-attachment tree
+    /// (each relation joined to a uniformly random earlier one).
+    Mixed,
+}
+
 /// Configuration for the random query generator.
 #[derive(Debug, Clone)]
 pub struct GenConfig {
     pub n_relations: usize,
+    /// Query-graph shape; see [`Topology`].
+    pub topology: Topology,
     pub ops: OpWeights,
     /// Cardinalities are drawn log-uniformly from this range.
     pub card_range: (f64, f64),
@@ -108,6 +140,7 @@ impl GenConfig {
     pub fn paper(n_relations: usize) -> Self {
         GenConfig {
             n_relations,
+            topology: Topology::Paper,
             ops: OpWeights::mixed(),
             card_range: (10.0, 100_000.0),
             attrs_per_rel: (2, 3),
@@ -127,6 +160,16 @@ impl GenConfig {
             ..GenConfig::paper(n_relations)
         }
     }
+
+    /// The paper setting with an explicit query-graph [`Topology`] — the
+    /// configuration the large-query (adaptive) tests and bench cells
+    /// sweep at n up to 50.
+    pub fn topology(n_relations: usize, topology: Topology) -> Self {
+        GenConfig {
+            topology,
+            ..GenConfig::paper(n_relations)
+        }
+    }
 }
 
 /// Generate a random query. Deterministic in `(config, seed)`.
@@ -135,9 +178,12 @@ pub fn generate_query(config: &GenConfig, seed: u64) -> Query {
     let n = config.n_relations;
     assert!(n >= 1);
 
-    // 1. Random tree shape by unranking a uniform rank.
-    let rank = rng.gen_range(0..tree_count(n));
-    let shape = unrank_tree(n, rank);
+    // 1. (Paper topology) Random tree shape by unranking a uniform rank —
+    //    drawn before the tables so existing seeds stay bit-identical.
+    let shape = (config.topology == Topology::Paper).then(|| {
+        let rank = rng.gen_range(0..tree_count(n));
+        unrank_tree(n, rank)
+    });
 
     // 2. Tables with random cardinalities, distinct counts and keys.
     let mut gen = AttrGen::new(0);
@@ -166,16 +212,22 @@ pub fn generate_query(config: &GenConfig, seed: u64) -> Query {
     }
 
     // 3. Operators, predicates and selectivities, bottom-up; leaves get
-    //    relations in left-to-right order.
-    let mut next_leaf = 0usize;
-    let tree = build(
-        &shape,
-        &mut next_leaf,
-        &tables,
-        &config.ops,
-        &mut gen,
-        &mut rng,
-    );
+    //    relations in left-to-right order. Explicit topologies build a
+    //    left-deep tree with controlled predicate anchors instead.
+    let tree = match &shape {
+        Some(shape) => {
+            let mut next_leaf = 0usize;
+            build(
+                shape,
+                &mut next_leaf,
+                &tables,
+                &config.ops,
+                &mut gen,
+                &mut rng,
+            )
+        }
+        None => build_topology(config, &tables, &mut gen, &mut rng),
+    };
 
     // 4. Grouping attributes and aggregates over visible attributes.
     // Groupjoin outputs are *not* used as grouping attributes or aggregate
@@ -301,6 +353,114 @@ fn build(
     }
 }
 
+/// How the explicit topologies anchor the predicate of step `k` (the node
+/// merging relation `k` into the left-deep spine).
+#[derive(Clone, Copy)]
+enum Anchor {
+    /// To the previous relation `k-1` (chain).
+    Prev,
+    /// To the hub relation `0` (star).
+    Hub,
+    /// To a uniformly random earlier relation (random-attachment tree).
+    Random,
+    /// To every earlier relation (clique: one conjunct term per pair).
+    All,
+}
+
+/// Left-deep construction for the explicit topologies: step `k` joins the
+/// spine over `{r0..r(k-1)}` with `rk`, anchored per [`Topology`]. The
+/// operator of each step is drawn from `config.ops` (clique steps force
+/// inner joins — a conjunct spanning many relations has no outer-join
+/// reading); semi/anti/groupjoin steps hide their right relation's
+/// attributes, and later anchors fall back to the nearest still-visible
+/// earlier relation.
+fn build_topology(
+    config: &GenConfig,
+    tables: &[QueryTable],
+    gen: &mut AttrGen,
+    rng: &mut StdRng,
+) -> OpTree {
+    let n = tables.len();
+    if n == 1 {
+        return OpTree::rel(0);
+    }
+    let anchor = match config.topology {
+        Topology::Chain => Anchor::Prev,
+        Topology::Star => Anchor::Hub,
+        Topology::Clique => Anchor::All,
+        // One coherent shape per query: resolve the mixture up front.
+        Topology::Mixed => [Anchor::Prev, Anchor::Hub, Anchor::Random][rng.gen_range(0..3usize)],
+        Topology::Paper => unreachable!("paper shapes go through the unranking path"),
+    };
+    // Attributes of each relation still visible on the spine (semi, anti
+    // and groupjoin steps project their right input away).
+    let mut vis: Vec<&[AttrId]> = tables.iter().map(|t| t.attrs.as_slice()).collect();
+    let term_sel = |rng: &mut StdRng, la: AttrId, ra: AttrId| {
+        let d = distinct_of(tables, la)
+            .max(distinct_of(tables, ra))
+            .max(1.0);
+        (log_uniform_raw(rng, 0.25, 4.0) / d).min(1.0)
+    };
+    let mut acc = OpTree::rel(0);
+    for k in 1..n {
+        let rattrs = &tables[k].attrs;
+        let ra = rattrs[rng.gen_range(0..rattrs.len())];
+        let (op, pred, sel) = if matches!(anchor, Anchor::All) {
+            // Clique: one equality term per earlier relation, conjoined
+            // into this step's predicate; selectivities multiply.
+            let mut pred = JoinPred::default();
+            let mut sel = 1.0f64;
+            for jvis in vis.iter().take(k) {
+                let la = jvis[rng.gen_range(0..jvis.len())];
+                let ra = rattrs[rng.gen_range(0..rattrs.len())];
+                sel *= term_sel(rng, la, ra);
+                pred = pred.and(la, CmpOp::Eq, ra);
+            }
+            (OpKind::Join, pred, sel)
+        } else {
+            let j = match anchor {
+                Anchor::Prev => k - 1,
+                Anchor::Hub => 0,
+                Anchor::Random => rng.gen_range(0..k),
+                Anchor::All => unreachable!(),
+            };
+            // Fall back to the nearest earlier relation whose attributes
+            // are still visible (r0 always is: it is never a right input).
+            let j = if vis[j].is_empty() {
+                (0..k).rev().find(|&i| !vis[i].is_empty()).unwrap()
+            } else {
+                j
+            };
+            let la = vis[j][rng.gen_range(0..vis[j].len())];
+            let sel = term_sel(rng, la, ra);
+            (config.ops.draw(rng), JoinPred::eq(la, ra), sel)
+        };
+        acc = if op == OpKind::GroupJoin {
+            let arg = rattrs[rng.gen_range(0..rattrs.len())];
+            let kinds = [
+                AggKind::CountStar,
+                AggKind::Sum,
+                AggKind::Min,
+                AggKind::Count,
+            ];
+            let kind = kinds[rng.gen_range(0..kinds.len())];
+            let out = gen.fresh();
+            let call = if kind == AggKind::CountStar {
+                AggCall::count_star(out)
+            } else {
+                AggCall::new(out, kind, Expr::attr(arg))
+            };
+            OpTree::groupjoin(pred, vec![call], acc, OpTree::rel(k)).with_sel(sel)
+        } else {
+            OpTree::binary_sel(op, pred, sel, acc, OpTree::rel(k))
+        };
+        if matches!(op, OpKind::Semi | OpKind::Anti | OpKind::GroupJoin) {
+            vis[k] = &[];
+        }
+    }
+    acc
+}
+
 fn log_uniform_raw(rng: &mut StdRng, lo: f64, hi: f64) -> f64 {
     (rng.gen_range(lo.ln()..=hi.ln())).exp()
 }
@@ -371,5 +531,100 @@ mod tests {
     fn single_relation_query() {
         let q = generate_query(&GenConfig::paper(1), 3);
         assert_eq!(1, q.table_count());
+    }
+
+    /// The relations each join predicate connects, as (min side, max side)
+    /// sets of table indices.
+    fn predicate_links(q: &Query) -> Vec<(Vec<usize>, Vec<usize>)> {
+        let origin = |attrs: Vec<AttrId>| -> Vec<usize> {
+            let mut t: Vec<usize> = attrs
+                .iter()
+                .flat_map(|a| (0..q.table_count()).filter(|&i| q.tables[i].has_attr(*a)))
+                .collect();
+            t.sort_unstable();
+            t.dedup();
+            t
+        };
+        let mut out = Vec::new();
+        q.tree.visit_ops(&mut |n| {
+            if let OpTree::Binary { pred, .. } = n {
+                out.push((origin(pred.left_attrs()), origin(pred.right_attrs())));
+            }
+        });
+        out
+    }
+
+    #[test]
+    fn chain_topology_links_successive_relations() {
+        let cfg = GenConfig::topology(12, Topology::Chain);
+        let mut cfg = cfg;
+        cfg.ops = OpWeights::inner_only(); // nothing hidden: pure chain
+        for seed in 0..10 {
+            let q = generate_query(&cfg, seed);
+            let mut links = predicate_links(&q);
+            links.sort();
+            let want: Vec<_> = (1..12).map(|k| (vec![k - 1], vec![k])).collect();
+            assert_eq!(want, links);
+        }
+    }
+
+    #[test]
+    fn star_topology_links_every_relation_to_the_hub() {
+        let mut cfg = GenConfig::topology(20, Topology::Star);
+        cfg.ops = OpWeights::inner_only();
+        let q = generate_query(&cfg, 7);
+        for (l, r) in predicate_links(&q) {
+            assert_eq!(vec![0], l);
+            assert_eq!(1, r.len());
+        }
+    }
+
+    #[test]
+    fn clique_topology_joins_every_pair() {
+        let cfg = GenConfig::topology(9, Topology::Clique);
+        let q = generate_query(&cfg, 3);
+        // Step k carries one term per earlier relation: all pairs covered.
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        for (ls, rs) in predicate_links(&q) {
+            let &k = rs.first().unwrap();
+            for &j in &ls {
+                pairs.push((j, k));
+            }
+        }
+        pairs.sort_unstable();
+        pairs.dedup();
+        assert_eq!(9 * 8 / 2, pairs.len());
+    }
+
+    #[test]
+    fn large_n_topologies_generate_and_validate() {
+        // The unranking path would overflow here; the explicit topologies
+        // must not (Query::new validates on construction).
+        for topo in [
+            Topology::Chain,
+            Topology::Star,
+            Topology::Clique,
+            Topology::Mixed,
+        ] {
+            let q = generate_query(&GenConfig::topology(50, topo), 11);
+            assert_eq!(50, q.table_count());
+        }
+    }
+
+    #[test]
+    fn mixed_topology_is_deterministic_per_seed() {
+        let cfg = GenConfig::topology(14, Topology::Mixed);
+        let q1 = generate_query(&cfg, 5);
+        let q2 = generate_query(&cfg, 5);
+        assert_eq!(format!("{:?}", q1.tree), format!("{:?}", q2.tree));
+    }
+
+    #[test]
+    fn paper_topology_unchanged_by_the_knob() {
+        // Topology::Paper is the default: seeds must keep producing the
+        // exact trees the parity goldens were recorded against.
+        let q1 = generate_query(&GenConfig::paper(6), 42);
+        let q2 = generate_query(&GenConfig::topology(6, Topology::Paper), 42);
+        assert_eq!(format!("{:?}", q1.tree), format!("{:?}", q2.tree));
     }
 }

@@ -2,6 +2,7 @@
 //! entry point running the full pipeline `SQL text → parse/bind → Query →
 //! memo DP → Optimized` in one call.
 
+pub use dpnext_adaptive as adaptive;
 pub use dpnext_algebra as algebra;
 pub use dpnext_catalog as catalog;
 pub use dpnext_conflict as conflict;
@@ -15,5 +16,5 @@ pub use dpnext_workload as workload;
 
 mod optimizer;
 
-pub use dpnext_core::{Algorithm, DominanceKind, MemoStats, Optimized};
+pub use dpnext_core::{AdaptiveMode, Algorithm, DominanceKind, MemoStats, Optimized};
 pub use optimizer::Optimizer;

@@ -32,6 +32,7 @@ pub struct Optimizer {
     dominance: DominanceKind,
     explain: bool,
     threads: usize,
+    plan_budget: u64,
     catalog: Option<Catalog>,
 }
 
@@ -46,6 +47,7 @@ impl Optimizer {
             dominance: DominanceKind::Full,
             explain: true,
             threads: 0,
+            plan_budget: 0,
             catalog: None,
         }
     }
@@ -64,6 +66,19 @@ impl Optimizer {
     /// only wall-clock time changes.
     pub fn threads(mut self, threads: usize) -> Optimizer {
         self.threads = threads;
+        self
+    }
+
+    /// Plan budget for [`Algorithm::Adaptive`]: the maximum number of
+    /// plans the search may build across its exact → linearized → greedy
+    /// degradation ladder. `0` (the default) uses
+    /// `dpnext_adaptive::DEFAULT_PLAN_BUDGET`; requests below the greedy
+    /// floor are clamped up so a valid plan always fits. The stats on the
+    /// result prove the cap: `memo.plan_budget` is the effective budget
+    /// and `plans_built` never exceeds it. Ignored by the exact
+    /// algorithms.
+    pub fn plan_budget(mut self, budget: u64) -> Optimizer {
+        self.plan_budget = budget;
         self
     }
 
@@ -91,8 +106,15 @@ impl Optimizer {
             dominance: self.dominance,
             explain: self.explain,
             threads: self.threads,
+            plan_budget: self.plan_budget,
         };
-        optimize_with(query, self.algorithm, &opts)
+        match self.algorithm {
+            // The budgeted ladder lives above dpnext-core (see the crate
+            // layering note on `Algorithm::Adaptive`), so the facade is
+            // the dispatch point.
+            Algorithm::Adaptive => dpnext_adaptive::optimize_adaptive(query, &opts),
+            algo => optimize_with(query, algo, &opts),
+        }
     }
 
     /// Full pipeline from SQL text: parse, bind, optimize.
