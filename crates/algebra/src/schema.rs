@@ -34,6 +34,13 @@ impl AttrGen {
         self.next += 1;
         id
     }
+
+    /// The id the next [`AttrGen::fresh`] call will return, without
+    /// allocating it. Lets a caller persist the cursor (e.g. a catalog
+    /// recording how far instantiation advanced).
+    pub fn peek(&self) -> u32 {
+        self.next
+    }
 }
 
 /// An ordered list of attributes describing the columns of a relation.

@@ -15,8 +15,11 @@
 use dpnext::Optimizer;
 use dpnext_bench::{run_sweep, serial_fraction, AlgoSpec, SweepResult};
 use dpnext_core::Algorithm;
-use dpnext_workload::{generate_query, GenConfig, Topology};
+use dpnext_serve::{OptimizerService, ServiceConfig};
+use dpnext_workload::{generate_query, request_mix, GenConfig, MixConfig, Topology};
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 const SIZES: [usize; 4] = [3, 4, 5, 6];
 const QUERIES: usize = 20;
@@ -33,6 +36,17 @@ const LARGE_TOPOLOGIES: [(Topology, &str); 3] = [
 const LARGE_SIZES: [usize; 2] = [20, 30];
 const LARGE_QUERIES: usize = 5;
 const LARGE_BUDGET: u64 = 50_000;
+
+/// Serving cells: queries/s through `dpnext-serve` for three request
+/// paths — `cold` (no cache, no pool: every request a full optimize in a
+/// fresh memo), `pooled` (no cache, arena pool on: full optimize in a
+/// recycled memo) and `cached` (one hot shape: all but the first request
+/// served from the plan cache) — at client-thread counts 1 and max. The
+/// in-service optimizer runs `threads(1)` so client concurrency is the
+/// measured axis.
+const SERVE_N: usize = 6;
+const SERVE_SHAPES: usize = 8;
+const SERVE_REQUESTS_PER_CLIENT: usize = 64;
 
 /// One emitted `(algorithm, n, threads)` measurement.
 struct SmokeCell {
@@ -54,6 +68,11 @@ struct SmokeCell {
     /// Winning adaptive-ladder rungs, as `exact:a,linearized:b,greedy:c`
     /// counts (empty for the exact algorithms).
     modes: String,
+    /// Whole requests served per second (serving cells only, 0 elsewhere).
+    queries_per_sec: f64,
+    /// Preformatted extra JSON fields (serving cells append cache/pool
+    /// counters here; empty elsewhere).
+    extra: String,
 }
 
 impl SmokeCell {
@@ -123,6 +142,8 @@ fn main() {
                     replay_nanos: cell.mean_replay_nanos,
                     budget: 0,
                     modes: String::new(),
+                    queries_per_sec: 0.0,
+                    extra: String::new(),
                 });
             }
         }
@@ -131,6 +152,12 @@ fn main() {
     for (topo, tag) in LARGE_TOPOLOGIES {
         for n in LARGE_SIZES {
             cells.push(adaptive_cell(topo, tag, n));
+        }
+    }
+
+    for client_threads in [1usize, t_max] {
+        for mode in [ServeMode::Cold, ServeMode::Pooled, ServeMode::Cached] {
+            cells.push(serve_cell(mode, client_threads));
         }
     }
 
@@ -149,7 +176,7 @@ fn main() {
         if i > 0 {
             json.push_str(",\n");
         }
-        let budget = if c.budget > 0 {
+        let mut budget = if c.budget > 0 {
             format!(
                 ", \"plan_budget\": {}, \"modes\": \"{}\"",
                 c.budget, c.modes
@@ -157,6 +184,13 @@ fn main() {
         } else {
             String::new()
         };
+        if c.queries_per_sec > 0.0 {
+            let _ = write!(
+                budget,
+                ", \"queries_per_sec\": {:.0}{}",
+                c.queries_per_sec, c.extra
+            );
+        }
         let _ = write!(
             json,
             "    {{ \"algorithm\": \"{}\", \"n\": {}, \"threads\": {}, \
@@ -248,6 +282,97 @@ fn adaptive_cell(topo: Topology, tag: &str, n: usize) -> SmokeCell {
         modes: format!(
             "exact:{},partial-exact:{},linearized:{},greedy:{}",
             modes[0], modes[1], modes[2], modes[3]
+        ),
+        queries_per_sec: 0.0,
+        extra: String::new(),
+    }
+}
+
+/// Which request path a serving cell measures.
+#[derive(Clone, Copy)]
+enum ServeMode {
+    Cold,
+    Pooled,
+    Cached,
+}
+
+impl ServeMode {
+    fn tag(self) -> &'static str {
+        match self {
+            ServeMode::Cold => "cold",
+            ServeMode::Pooled => "pooled",
+            ServeMode::Cached => "cached",
+        }
+    }
+}
+
+/// One serving-throughput cell: `client_threads` workers sharing one
+/// [`OptimizerService`], each firing its slice of a deterministic
+/// request mix.
+fn serve_cell(mode: ServeMode, client_threads: usize) -> SmokeCell {
+    let total = SERVE_REQUESTS_PER_CLIENT * client_threads;
+    let mix_cfg = match mode {
+        // One hot shape: everything after the first arrival is a hit.
+        ServeMode::Cached => MixConfig::uniform(1, SERVE_N),
+        // Uniform traffic over a shape pool; with the cache off every
+        // request runs the DP, so cold vs pooled isolates the arena pool.
+        _ => MixConfig::uniform(SERVE_SHAPES, SERVE_N),
+    };
+    let mix = request_mix(&mix_cfg, total, SEED);
+    let config = match mode {
+        ServeMode::Cold => ServiceConfig {
+            cache_capacity: 0,
+            pool_capacity: 0,
+        },
+        ServeMode::Pooled => ServiceConfig {
+            cache_capacity: 0,
+            pool_capacity: client_threads,
+        },
+        ServeMode::Cached => ServiceConfig::default(),
+    };
+    let service = OptimizerService::with_config(
+        Optimizer::new(Algorithm::EaPrune).threads(1).explain(false),
+        config,
+    );
+
+    let plans = AtomicU64::new(0);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..client_threads {
+            let (service, mix, plans) = (&service, &mix, &plans);
+            scope.spawn(move || {
+                let chunk = &mix.schedule()
+                    [t * SERVE_REQUESTS_PER_CLIENT..(t + 1) * SERVE_REQUESTS_PER_CLIENT];
+                for &shape in chunk {
+                    let served = service.optimize(&mix.shapes()[shape]);
+                    plans.fetch_add(served.result.plans_built, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    let runtime = start.elapsed().as_secs_f64();
+
+    let stats = service.stats();
+    SmokeCell {
+        algo: format!("Serve[{}]", mode.tag()),
+        n: SERVE_N,
+        threads: client_threads,
+        queries: total,
+        runtime_us: runtime / total as f64 * 1e6,
+        plans_built: plans.load(Ordering::Relaxed) as f64 / total as f64,
+        plans_per_sec: plans.load(Ordering::Relaxed) as f64 / runtime.max(1e-12),
+        arena: 0.0,
+        width: 0.0,
+        hit_rate: 0.0,
+        worker_nanos: 0.0,
+        replay_nanos: 0.0,
+        budget: 0,
+        modes: String::new(),
+        queries_per_sec: total as f64 / runtime.max(1e-12),
+        extra: format!(
+            ", \"cache_hits\": {}, \"cache_misses\": {}, \"pool_created\": {}, \
+             \"pool_reused\": {}",
+            stats.cache.hits, stats.cache.misses, stats.pool.created, stats.pool.reused
         ),
     }
 }

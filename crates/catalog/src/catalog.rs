@@ -110,18 +110,43 @@ impl Catalog {
     /// fresh attribute ids (self-joins need distinct attributes per
     /// occurrence); returns the table plus the mapping from catalog
     /// attribute names to the occurrence's ids.
+    ///
+    /// This advances the catalog's own allocator, so consecutive queries
+    /// built this way never share ids. Concurrent binders that only hold
+    /// `&Catalog` use [`Catalog::instantiate_with`] with a query-local
+    /// generator instead.
     pub fn instantiate(
         &mut self,
         rel_name: &str,
         alias: &str,
     ) -> (QueryTable, HashMap<String, AttrId>) {
-        let rel = self.relation(rel_name).clone();
+        let mut gen = AttrGen::new(self.next_attr);
+        let out = self.instantiate_with(&mut gen, rel_name, alias);
+        self.next_attr = gen.peek();
+        out
+    }
+
+    /// [`Catalog::instantiate`] against a shared catalog reference,
+    /// allocating occurrence ids from a caller-owned [`AttrGen`] (seed it
+    /// with [`Catalog::attr_gen`]).
+    ///
+    /// Because the catalog is not mutated, binding becomes a pure
+    /// function of (catalog, query text): rebinding the same query
+    /// against the same catalog yields bit-identical attribute ids —
+    /// the property that lets a plan cache hand a cached plan to a
+    /// freshly-bound request with the ids still lining up.
+    pub fn instantiate_with(
+        &self,
+        gen: &mut AttrGen,
+        rel_name: &str,
+        alias: &str,
+    ) -> (QueryTable, HashMap<String, AttrId>) {
+        let rel = self.relation(rel_name);
         let mut mapping = HashMap::new();
         let mut attrs = Vec::with_capacity(rel.attrs.len());
         let mut distinct = Vec::with_capacity(rel.attrs.len());
         for a in &rel.attrs {
-            let id = AttrId(self.next_attr);
-            self.next_attr += 1;
+            let id = gen.fresh();
             mapping.insert(a.name.clone(), id);
             attrs.push(id);
             distinct.push(a.distinct);

@@ -26,7 +26,12 @@ pub enum AggPos {
     /// Not yet (partially) computed; its argument attributes are visible.
     Raw,
     /// Partially aggregated into `col` by a grouping over `scope`.
-    Partial { col: AttrId, scope: NodeSet },
+    Partial {
+        /// Attribute holding the partial aggregate.
+        col: AttrId,
+        /// Node set of the grouping that produced the partial.
+        scope: NodeSet,
+    },
 }
 
 /// The aggregation state of a plan.
@@ -41,6 +46,7 @@ pub struct AggState {
 }
 
 impl AggState {
+    /// The state of a base-table plan: every aggregate raw, no counts.
     pub fn fresh(n_aggs: usize) -> Self {
         AggState {
             pos: vec![AggPos::Raw; n_aggs],

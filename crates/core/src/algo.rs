@@ -3,7 +3,7 @@
 //! aggregation), complete enumeration EA-All (Fig. 9), the
 //! optimality-preserving EA-Prune (Figs. 13/14), and the heuristics H1
 //! (Fig. 10) and H2 (Fig. 12) are all instances of the engine with a
-//! different [`ClassPolicy`].
+//! different `ClassPolicy`.
 //!
 //! The engine has two interchangeable drivers:
 //!
@@ -55,12 +55,13 @@ pub enum Algorithm {
     /// fits [`OptimizeOptions::plan_budget`], else linearized DP over the
     /// greedy linear order, else the greedy plan itself. Implemented by
     /// the `dpnext-adaptive` crate and dispatched by the `dpnext`
-    /// [`Optimizer`] facade — [`optimize_with`] itself panics on this
+    /// `Optimizer` facade — [`optimize_with`] itself panics on this
     /// variant to keep the crate layering acyclic.
     Adaptive,
 }
 
 impl Algorithm {
+    /// Display name matching the paper's figures (e.g. `"EA-Prune"`).
     pub fn name(&self) -> String {
         match self {
             Algorithm::DPhyp => "DPhyp".into(),
@@ -76,6 +77,7 @@ impl Algorithm {
 /// The result of one optimization run.
 #[derive(Debug, Clone)]
 pub struct Optimized {
+    /// The winning complete plan with its cost and cardinality.
     pub plan: FinalPlan,
     /// Annotated EXPLAIN rendering of the winning logical plan (per-node
     /// cardinality/cost estimates, keys, aggregation state). Empty when
@@ -156,15 +158,38 @@ pub fn optimize_with_pruning(query: &Query, kind: DominanceKind) -> Optimized {
 
 /// Optimize `query` with explicit [`OptimizeOptions`].
 pub fn optimize_with(query: &Query, algo: Algorithm, opts: &OptimizeOptions) -> Optimized {
+    let mut memo = Memo::new();
+    optimize_into(query, algo, opts, &mut memo)
+}
+
+/// [`optimize_with`] running inside a caller-supplied [`Memo`] — the
+/// pooled entry point for serving layers that recycle arena allocations
+/// across back-to-back optimizations.
+///
+/// The memo is [`Memo::reset`] before the run, so results and statistics
+/// are bit-identical to [`optimize_with`] regardless of what the memo
+/// held before; only the arena *capacity* (the allocation) is reused.
+/// The winning [`crate::FinalPlan`] owns its compiled expression, so the
+/// memo can be recycled immediately after this returns.
+///
+/// Panics on [`Algorithm::Adaptive`] like [`optimize_with`] does: the
+/// budgeted ladder lives above dpnext-core and owns its own memos.
+pub fn optimize_into(
+    query: &Query,
+    algo: Algorithm,
+    opts: &OptimizeOptions,
+    memo: &mut Memo,
+) -> Optimized {
+    memo.reset();
     let ctx = OptContext::new(query.clone());
     let threads = resolve_threads(opts.threads);
     let start = Instant::now();
-    let (memo, (plan, logical), retained, plans_built) = match algo {
-        Algorithm::DPhyp => run_single(&ctx, false, None, threads),
-        Algorithm::H1 => run_single(&ctx, true, None, threads),
-        Algorithm::H2(f) => run_single(&ctx, true, Some(f), threads),
-        Algorithm::EaAll => run_multi(&ctx, None, threads),
-        Algorithm::EaPrune => run_multi(&ctx, Some(opts.dominance), threads),
+    let ((plan, logical), retained, plans_built) = match algo {
+        Algorithm::DPhyp => run_single(&ctx, memo, false, None, threads),
+        Algorithm::H1 => run_single(&ctx, memo, true, None, threads),
+        Algorithm::H2(f) => run_single(&ctx, memo, true, Some(f), threads),
+        Algorithm::EaAll => run_multi(&ctx, memo, None, threads),
+        Algorithm::EaPrune => run_multi(&ctx, memo, Some(opts.dominance), threads),
         // dpnext-core cannot depend on dpnext-adaptive (it is the other
         // way around); the facade routes this variant before we get here.
         Algorithm::Adaptive => panic!(
@@ -176,7 +201,7 @@ pub fn optimize_with(query: &Query, algo: Algorithm, opts: &OptimizeOptions) -> 
     // not optimization, and must not inflate the reported elapsed time.
     let elapsed = start.elapsed();
     let explain = if opts.explain {
-        crate::explain::explain(&ctx, &memo, logical)
+        crate::explain::explain(&ctx, memo, logical)
     } else {
         String::new()
     };
@@ -1027,29 +1052,31 @@ impl ClassPolicy for CollectAll {
 
 fn run_single(
     ctx: &OptContext,
+    memo: &mut Memo,
     eager: bool,
     factor: Option<f64>,
     threads: usize,
-) -> (Memo, (FinalPlan, PlanId), u64, u64) {
-    let mut memo = Memo::new();
+) -> ((FinalPlan, PlanId), u64, u64) {
     let mut policy = SingleBest {
         eager,
         factor,
         best: None,
     };
-    let plans_built = run_engine(ctx, &mut memo, &mut policy, threads);
+    let plans_built = run_engine(ctx, memo, &mut policy, threads);
     if ctx.query.table_count() == 1 {
         return finalize_single_table(ctx, memo, plans_built);
     }
     let retained = memo.class_count();
     match policy.best {
-        Some(best) => (memo, best, retained, plans_built),
+        Some(best) => (best, retained, plans_built),
         // Eager single-plan search can dead-end when a groupjoin's right
         // side only has a pre-aggregated plan; fall back to the baseline
-        // (plans built during the dead-ended attempt stay counted).
+        // (plans built during the dead-ended attempt stay counted; the
+        // dead-ended memo is wiped, matching the old drop-and-restart).
         None if eager => {
-            let (memo, best, retained, fallback_built) = run_single(ctx, false, None, threads);
-            (memo, best, retained, plans_built + fallback_built)
+            memo.reset();
+            let (best, retained, fallback_built) = run_single(ctx, memo, false, None, threads);
+            (best, retained, plans_built + fallback_built)
         }
         None => panic!("no plan found: query graph disconnected or over-constrained"),
     }
@@ -1057,17 +1084,17 @@ fn run_single(
 
 fn run_multi(
     ctx: &OptContext,
+    memo: &mut Memo,
     prune: Option<DominanceKind>,
     threads: usize,
-) -> (Memo, (FinalPlan, PlanId), u64, u64) {
+) -> ((FinalPlan, PlanId), u64, u64) {
     let guard_groupjoin = ctx.cq.ops.iter().any(|o| o.op == OpKind::GroupJoin);
-    let mut memo = Memo::new();
     let mut policy = MultiBest {
         prune,
         guard_groupjoin,
         best: None,
     };
-    let plans_built = run_engine(ctx, &mut memo, &mut policy, threads);
+    let plans_built = run_engine(ctx, memo, &mut policy, threads);
     if ctx.query.table_count() == 1 {
         return finalize_single_table(ctx, memo, plans_built);
     }
@@ -1075,18 +1102,18 @@ fn run_multi(
     let best = policy
         .best
         .expect("no plan found: query graph disconnected or over-constrained");
-    (memo, best, retained, plans_built)
+    (best, retained, plans_built)
 }
 
 /// Degenerate single-table query: the scan is the complete plan.
 fn finalize_single_table(
     ctx: &OptContext,
-    memo: Memo,
+    memo: &Memo,
     plans_built: u64,
-) -> (Memo, (FinalPlan, PlanId), u64, u64) {
+) -> ((FinalPlan, PlanId), u64, u64) {
     let id = memo.class(NodeSet::full(1))[0];
-    let plan = finalize(ctx, &memo, id);
-    (memo, (plan, id), 1, plans_built)
+    let plan = finalize(ctx, memo, id);
+    ((plan, id), 1, plans_built)
 }
 
 /// Enumerate every plan EA-All would consider, for diagnostics and for

@@ -17,7 +17,9 @@ use std::sync::Arc;
 
 /// Context shared by all plan constructors during one optimization run.
 pub struct OptContext {
+    /// The query being optimized.
     pub query: Query,
+    /// Conflict-detection result (TES/SES sets) for the query's operators.
     pub cq: ConflictedQuery,
     /// Attribute → node set required for the attribute to exist.
     pub origins: FxHashMap<AttrId, NodeSet>,
@@ -43,6 +45,8 @@ const _: () = {
 };
 
 impl OptContext {
+    /// Derive the full optimization context (conflict detection,
+    /// attribute origins, base statistics) for one query.
     pub fn new(query: Query) -> Self {
         let cq = detect(&query);
         // Applied-operator tracking uses a u64 bitmask (`MemoPlan::applied`);
@@ -110,6 +114,7 @@ impl OptContext {
             .unwrap_or(&[])
     }
 
+    /// Whether the query has a `GROUP BY` (or scalar-aggregate) block.
     pub fn has_grouping(&self) -> bool {
         self.query.grouping.is_some()
     }
@@ -120,6 +125,7 @@ impl OptContext {
         self.first_fresh
     }
 
+    /// Node set an attribute originates from; panics on unknown ids.
     pub fn origin(&self, a: AttrId) -> NodeSet {
         *self
             .origins
@@ -238,6 +244,8 @@ impl Scratch {
         }
     }
 
+    /// Allocate the next fresh attribute id (stride-aware, so parallel
+    /// workers draw from disjoint sequences).
     pub fn fresh_attr(&mut self) -> AttrId {
         let id = AttrId(self.next_attr);
         self.next_attr = self
@@ -274,6 +282,7 @@ impl Scratch {
         self.attrs_used
     }
 
+    /// Record one constructed plan in the scratch counter.
     pub fn count_plan(&mut self) {
         self.plans_built += 1;
     }

@@ -12,6 +12,7 @@ use dpnext_query::OpKind;
 /// A complete, costed, executable plan.
 #[derive(Debug, Clone)]
 pub struct FinalPlan {
+    /// Executable operator tree of the plan.
     pub root: AlgExpr,
     /// Total `C_out`, including the top grouping if present.
     pub cost: f64,

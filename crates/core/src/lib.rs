@@ -16,6 +16,7 @@
 //! Optimized plans compile into executable [`dpnext_algebra::AlgExpr`]
 //! trees, so every transformation can be validated against the canonical
 //! plan on real data.
+#![warn(missing_docs)]
 
 pub mod aggstate;
 pub mod algo;
@@ -33,7 +34,7 @@ pub mod validate;
 mod tests;
 
 pub use algo::{
-    all_subplans, all_subplans_with, applied_ops_mask, optimize, optimize_with,
+    all_subplans, all_subplans_with, applied_ops_mask, optimize, optimize_into, optimize_with,
     optimize_with_pruning, resolve_threads, Algorithm, BudgetedOutcome, BudgetedSearch,
     OptimizeOptions, Optimized, UNIT_MAX_PLANS,
 };

@@ -20,6 +20,7 @@ use std::ops::Index;
 pub struct PlanId(u32);
 
 impl PlanId {
+    /// The arena slot this id refers to.
     #[inline]
     pub fn index(self) -> usize {
         self.0 as usize
@@ -35,19 +36,30 @@ impl PlanId {
 #[derive(Debug, Clone)]
 pub enum PlanNode {
     /// Scan of a table occurrence.
-    Scan { table: usize },
+    Scan {
+        /// Index into the query's table vector.
+        table: usize,
+    },
     /// A binary operator application with the (oriented, merged) predicate.
     Apply {
+        /// Operator kind (join, outer join, groupjoin, ...).
         op: OpKind,
+        /// The merged predicate, oriented left-to-right.
         pred: JoinPred,
+        /// Aggregates evaluated inline when `op` is a groupjoin.
         gj_aggs: Vec<AggCall>,
+        /// Left input plan.
         left: PlanId,
+        /// Right input plan.
         right: PlanId,
     },
     /// An eager-aggregation grouping `Γ_{G⁺(S); F¹ ∘ (c : count(*))}`.
     Group {
+        /// Grouping attributes `G⁺(S)`.
         attrs: Vec<AttrId>,
+        /// Partial aggregates plus the mandatory count column.
         aggs: Vec<AggCall>,
+        /// The plan being grouped.
         input: PlanId,
     },
 }
@@ -55,6 +67,7 @@ pub enum PlanNode {
 /// A plan plus its derived logical properties — one arena entry.
 #[derive(Debug, Clone)]
 pub struct MemoPlan {
+    /// The root operator; children are arena ids.
     pub node: PlanNode,
     /// Relations covered.
     pub set: NodeSet,
@@ -77,6 +90,7 @@ pub struct MemoPlan {
 }
 
 impl MemoPlan {
+    /// Whether the root operator is an eager-aggregation grouping.
     pub fn is_group(&self) -> bool {
         matches!(self.node, PlanNode::Group { .. })
     }
@@ -224,9 +238,13 @@ impl MemoStats {
 /// All fields are sums or maxima, hence commutative across classes.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ClassTally {
+    /// Dominance tests performed.
     pub prune_attempts: u64,
+    /// Candidate plans rejected on arrival.
     pub prune_rejected: u64,
+    /// Resident plans evicted by a dominating arrival.
     pub prune_evicted: u64,
+    /// Widest plan class observed.
     pub peak_class_width: u64,
 }
 
@@ -334,8 +352,30 @@ impl PlanStore for Memo {
 }
 
 impl Memo {
+    /// An empty memo.
     pub fn new() -> Memo {
         Memo::default()
+    }
+
+    /// Clear the memo for reuse, keeping the arena's allocation.
+    ///
+    /// Every piece of per-run state is wiped: plans, classes and the
+    /// whole [`MemoStats`] block — including the rollback high-water
+    /// mark `arena_peak` and the prune counters, which would otherwise
+    /// leak into the next run's report. A run on a reset memo produces
+    /// bit-identical results and statistics to a run on a fresh one;
+    /// only the arena's *capacity* carries over, which is the point:
+    /// pooled back-to-back optimizations skip the re-malloc.
+    pub fn reset(&mut self) {
+        self.arena.clear();
+        self.classes.clear();
+        self.stats = MemoStats::default();
+    }
+
+    /// Allocated arena capacity in plans (diagnostic for arena pooling:
+    /// a warmed-up pool serves repeat queries without growing this).
+    pub fn arena_capacity(&self) -> usize {
+        self.arena.capacity()
     }
 
     /// Store a plan in the arena (does not touch any class).
@@ -632,6 +672,7 @@ pub struct ShardRemap {
 }
 
 impl ShardRemap {
+    /// Translate a shard-local plan id into the merged arena.
     #[inline]
     pub fn apply(self, id: PlanId) -> PlanId {
         if id.index() >= self.base {

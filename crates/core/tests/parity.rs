@@ -450,3 +450,67 @@ proptest! {
         }
     }
 }
+
+/// Pooled-memo regression: `optimize_into` on a recycled memo must
+/// report exactly the same result and statistics as a fresh run — in
+/// particular the rollback high-water mark (`arena_peak`) and the prune
+/// counters, which a missed [`Memo::reset`] would leak from the
+/// previous query.
+#[test]
+fn pooled_memo_reuse_matches_fresh_stats() {
+    let opts = OptimizeOptions::default();
+    let queries: Vec<Query> = (0..6)
+        .map(|seed| generate_query(&GenConfig::paper(3 + (seed as usize % 3)), seed))
+        .collect();
+    for algo in [A::DPhyp, A::H1, A::EaAll, A::EaPrune] {
+        let mut memo = Memo::new();
+        // First pass dirties the memo with each query in turn; second
+        // pass re-optimizes after the memo served a *different* query.
+        for pass in 0..2 {
+            for (i, query) in queries.iter().enumerate() {
+                let fresh = optimize_with(query, algo, &opts);
+                let pooled = dpnext_core::optimize_into(query, algo, &opts, &mut memo);
+                let what = format!("{} query {i} pass {pass}", algo.name());
+                assert_eq!(
+                    fresh.plan.cost.to_bits(),
+                    pooled.plan.cost.to_bits(),
+                    "{what}: cost"
+                );
+                assert_eq!(fresh.plans_built, pooled.plans_built, "{what}: plans_built");
+                assert_eq!(
+                    fresh.retained_plans, pooled.retained_plans,
+                    "{what}: retained"
+                );
+                assert_eq!(
+                    fresh.memo.arena_plans, pooled.memo.arena_plans,
+                    "{what}: arena_plans"
+                );
+                assert_eq!(
+                    fresh.memo.arena_peak, pooled.memo.arena_peak,
+                    "{what}: arena_peak"
+                );
+                assert_eq!(
+                    fresh.memo.peak_class_width, pooled.memo.peak_class_width,
+                    "{what}: peak_class_width"
+                );
+                assert_eq!(
+                    (
+                        fresh.memo.prune_attempts,
+                        fresh.memo.prune_rejected,
+                        fresh.memo.prune_evicted
+                    ),
+                    (
+                        pooled.memo.prune_attempts,
+                        pooled.memo.prune_rejected,
+                        pooled.memo.prune_evicted
+                    ),
+                    "{what}: prune counters"
+                );
+                assert_eq!(fresh.explain, pooled.explain, "{what}: explain");
+            }
+        }
+        // The arena allocation really was recycled, not reallocated per
+        // run: capacity stays at the high-water mark of the query set.
+        assert!(memo.arena_capacity() > 0);
+    }
+}

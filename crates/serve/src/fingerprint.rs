@@ -1,0 +1,253 @@
+//! Canonical query fingerprints: the exact, collision-free cache key.
+//!
+//! A [`Query`] is lowered to a flat word stream covering everything the
+//! optimizer reads — table statistics, keys, operator tree, predicates,
+//! selectivities and the grouping spec. Two queries get equal shapes iff
+//! the optimizer cannot tell them apart, so a cache hit is always safe
+//! to serve. Hashing of the stream (for the cache's shard map) uses the
+//! in-tree fxhash via [`dpnext_core::FxHashMap`]; the stream itself is
+//! kept in the key, so hash collisions degrade to map probes, never to
+//! wrong plans.
+
+use dpnext_algebra::{AggCall, Expr, JoinPred, Value};
+use dpnext_query::{OpTree, Query};
+
+/// The canonical shape of a query: an exact encoding of every
+/// optimizer-visible detail, used as the plan-cache key.
+///
+/// Equality is exact (no hash truncation); `f64` statistics compare by
+/// bit pattern, so `-0.0`/`0.0` and NaN payload differences are treated
+/// as distinct — the conservative direction for a cache.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct QueryShape {
+    words: Box<[u64]>,
+}
+
+impl QueryShape {
+    /// Length of the canonical encoding in 64-bit words (diagnostic;
+    /// roughly proportional to query size).
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the encoding is empty (never true for a real query).
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+}
+
+/// Compute the [`QueryShape`] of a query.
+///
+/// Deterministic and pure: the same query value always yields the same
+/// shape, on every thread.
+///
+/// ```
+/// use dpnext_serve::fingerprint_query;
+/// use dpnext_workload::{generate_query, GenConfig};
+///
+/// let a = generate_query(&GenConfig::paper(4), 7);
+/// let b = generate_query(&GenConfig::paper(4), 7);
+/// let c = generate_query(&GenConfig::paper(4), 8);
+/// assert_eq!(fingerprint_query(&a), fingerprint_query(&b));
+/// assert_ne!(fingerprint_query(&a), fingerprint_query(&c));
+/// ```
+pub fn fingerprint_query(query: &Query) -> QueryShape {
+    let mut enc = Encoder {
+        words: Vec::with_capacity(64),
+    };
+    enc.query(query);
+    QueryShape {
+        words: enc.words.into_boxed_slice(),
+    }
+}
+
+struct Encoder {
+    words: Vec<u64>,
+}
+
+impl Encoder {
+    fn u(&mut self, v: u64) {
+        self.words.push(v);
+    }
+
+    fn f(&mut self, v: f64) {
+        self.u(v.to_bits());
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u(s.len() as u64);
+        for chunk in s.as_bytes().chunks(8) {
+            let mut w = [0u8; 8];
+            w[..chunk.len()].copy_from_slice(chunk);
+            self.u(u64::from_le_bytes(w));
+        }
+    }
+
+    fn query(&mut self, q: &Query) {
+        self.u(q.tables.len() as u64);
+        for t in &q.tables {
+            self.str(&t.alias);
+            self.f(t.card);
+            self.u(t.attrs.len() as u64);
+            for (a, d) in t.attrs.iter().zip(&t.distinct) {
+                self.u(a.0 as u64);
+                self.f(*d);
+            }
+            self.u(t.keys.len() as u64);
+            for key in &t.keys {
+                self.u(key.len() as u64);
+                for a in key {
+                    self.u(a.0 as u64);
+                }
+            }
+        }
+        self.tree(&q.tree);
+        match &q.grouping {
+            None => self.u(0),
+            Some(g) => {
+                self.u(1);
+                self.u(g.group_by.len() as u64);
+                for a in &g.group_by {
+                    self.u(a.0 as u64);
+                }
+                self.aggs(&g.aggs);
+                self.u(g.post.len() as u64);
+                for (out, e) in &g.post {
+                    self.u(out.0 as u64);
+                    self.expr(e);
+                }
+                self.u(g.output.len() as u64);
+                for a in &g.output {
+                    self.u(a.0 as u64);
+                }
+            }
+        }
+    }
+
+    fn tree(&mut self, t: &OpTree) {
+        match t {
+            OpTree::Rel(i) => {
+                self.u(0);
+                self.u(*i as u64);
+            }
+            OpTree::Binary {
+                op,
+                pred,
+                sel,
+                gj_aggs,
+                left,
+                right,
+            } => {
+                self.u(1);
+                self.u(*op as u64);
+                self.pred(pred);
+                self.f(*sel);
+                self.aggs(gj_aggs);
+                self.tree(left);
+                self.tree(right);
+            }
+        }
+    }
+
+    fn pred(&mut self, p: &JoinPred) {
+        self.u(p.terms.len() as u64);
+        for (l, op, r) in &p.terms {
+            self.u(l.0 as u64);
+            self.u(*op as u64);
+            self.u(r.0 as u64);
+        }
+    }
+
+    fn aggs(&mut self, aggs: &[AggCall]) {
+        self.u(aggs.len() as u64);
+        for a in aggs {
+            self.u(a.out.0 as u64);
+            self.u(a.kind as u64);
+            match &a.arg {
+                None => self.u(0),
+                Some(e) => {
+                    self.u(1);
+                    self.expr(e);
+                }
+            }
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        match e {
+            Expr::Attr(a) => {
+                self.u(2);
+                self.u(a.0 as u64);
+            }
+            Expr::Const(v) => {
+                self.u(3);
+                self.value(v);
+            }
+            Expr::Mul(l, r) => {
+                self.u(4);
+                self.expr(l);
+                self.expr(r);
+            }
+            Expr::Add(l, r) => {
+                self.u(5);
+                self.expr(l);
+                self.expr(r);
+            }
+            Expr::Div(l, r) => {
+                self.u(6);
+                self.expr(l);
+                self.expr(r);
+            }
+            Expr::IfNull(a, t, f) => {
+                self.u(7);
+                self.u(a.0 as u64);
+                self.expr(t);
+                self.expr(f);
+            }
+        }
+    }
+
+    fn value(&mut self, v: &Value) {
+        match v {
+            Value::Null => self.u(0),
+            Value::Int(i) => {
+                self.u(1);
+                self.u(*i as u64);
+            }
+            Value::Dec(d) => {
+                self.u(2);
+                self.u(*d as u64);
+            }
+            Value::Str(s) => {
+                self.u(3);
+                self.str(s);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpnext_workload::{generate_query, GenConfig};
+
+    #[test]
+    fn distinct_seeds_distinct_shapes() {
+        let shapes: Vec<_> = (0..20)
+            .map(|s| fingerprint_query(&generate_query(&GenConfig::paper(5), s)))
+            .collect();
+        for i in 0..shapes.len() {
+            for j in i + 1..shapes.len() {
+                assert_ne!(shapes[i], shapes[j], "seeds {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn statistics_are_part_of_the_shape() {
+        let q = generate_query(&GenConfig::paper(4), 3);
+        let mut tweaked = q.clone();
+        tweaked.tables[0].card *= 2.0;
+        assert_ne!(fingerprint_query(&q), fingerprint_query(&tweaked));
+    }
+}

@@ -1,0 +1,67 @@
+//! # dpnext-serve
+//!
+//! Optimizer-as-a-service: a concurrent frontend over the
+//! [`dpnext::Optimizer`] facade for workloads that optimize many queries
+//! back to back — potentially from many threads at once.
+//!
+//! The service adds two layers the one-shot facade does not have:
+//!
+//! * a **plan cache** ([`PlanCache`]) keyed on the canonical shape of
+//!   the query ([`QueryShape`]) plus a catalog/statistics *epoch*, so a
+//!   repeated query returns its previously optimized plan without
+//!   running the DP at all, and
+//! * a **memo arena pool** ([`MemoPool`]) so cache-missing
+//!   optimizations reuse the plan arena of an earlier run instead of
+//!   re-allocating it ([`dpnext_core::optimize_into`]).
+//!
+//! Both layers are observable: hit/miss/eviction counters on the cache,
+//! created/reused/high-water counters on the pool, all surfaced by
+//! [`OptimizerService::stats`].
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dpnext::{Algorithm, Optimizer};
+//! use dpnext_serve::OptimizerService;
+//! use std::sync::Arc;
+//!
+//! // Wrap a configured facade; Arc it to share across worker threads.
+//! let service = Arc::new(OptimizerService::new(Optimizer::new(Algorithm::EaPrune)));
+//!
+//! let sql = "select n.n_name, count(*) \
+//!            from nation n join supplier s on n.n_nationkey = s.s_nationkey \
+//!            group by n.n_name";
+//! let cold = service.optimize_sql(sql).unwrap();
+//! let warm = service.optimize_sql(sql).unwrap();
+//!
+//! assert!(!cold.cache_hit);
+//! assert!(warm.cache_hit);
+//! // The cached result is the same plan, bit for bit.
+//! assert_eq!(
+//!     cold.result.plan.cost.to_bits(),
+//!     warm.result.plan.cost.to_bits(),
+//! );
+//! ```
+//!
+//! ## Cache-key semantics
+//!
+//! The key is the *bound query*, not the SQL text: two texts that bind
+//! to the same tables, predicates, cardinalities and grouping share one
+//! entry (binding is deterministic since the catalog is never mutated
+//! by it). Statistics changes are **not** detected — after updating
+//! catalog statistics out of band, call
+//! [`OptimizerService::bump_stats_epoch`], which moves every new lookup
+//! to a fresh epoch and turns the first arrival of each shape into a
+//! miss. Superseded entries age out of the FIFO shards.
+
+#![warn(missing_docs)]
+
+mod cache;
+mod fingerprint;
+mod pool;
+mod service;
+
+pub use cache::{CacheKey, CacheStats, PlanCache};
+pub use fingerprint::{fingerprint_query, QueryShape};
+pub use pool::{MemoPool, PoolStats, PooledMemo};
+pub use service::{OptimizerService, ServeResult, ServiceConfig, ServiceStats};

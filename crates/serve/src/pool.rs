@@ -1,0 +1,195 @@
+//! The memo arena pool: recycle plan-arena allocations across runs.
+
+use dpnext::Memo;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Point-in-time pool counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Memos constructed from scratch. Once the pool is warmed up (as
+    /// many parked memos as concurrent workers), this stops growing —
+    /// the acceptance signal that steady-state serving allocates no new
+    /// arenas.
+    pub created: u64,
+    /// Checkouts served from a parked memo (allocation reuse).
+    pub reused: u64,
+    /// Memos currently parked in the pool.
+    pub pooled: u64,
+    /// High-water mark of parked memos.
+    pub pooled_peak: u64,
+    /// Largest arena capacity (in plans) ever returned to the pool —
+    /// the steady-state per-memo allocation footprint.
+    pub arena_peak_capacity: u64,
+}
+
+/// A pool of reusable [`Memo`]s.
+///
+/// [`MemoPool::checkout`] hands out a parked memo when one is available
+/// (its arena allocation intact) and constructs a fresh one otherwise;
+/// dropping the [`PooledMemo`] parks it again, up to `capacity` parked
+/// memos. The optimizer [`Memo::reset`]s the memo before every run, so
+/// results are bit-identical whether the memo is fresh or recycled.
+///
+/// `capacity` = 0 disables pooling: every checkout constructs, every
+/// return drops — the knob the unpooled benchmark cells use.
+///
+/// ```
+/// use dpnext_serve::MemoPool;
+///
+/// let pool = MemoPool::new(8);
+/// {
+///     let _memo = pool.checkout(); // fresh construction
+/// } // parked on drop
+/// let _memo = pool.checkout(); // reused, no new arena
+/// let stats = pool.stats();
+/// assert_eq!((1, 1), (stats.created, stats.reused));
+/// ```
+pub struct MemoPool {
+    free: Mutex<Vec<Memo>>,
+    capacity: usize,
+    created: AtomicU64,
+    reused: AtomicU64,
+    pooled_peak: AtomicU64,
+    arena_peak_capacity: AtomicU64,
+}
+
+impl MemoPool {
+    /// A pool parking at most `capacity` idle memos (0 disables pooling).
+    pub fn new(capacity: usize) -> MemoPool {
+        MemoPool {
+            free: Mutex::new(Vec::new()),
+            capacity,
+            created: AtomicU64::new(0),
+            reused: AtomicU64::new(0),
+            pooled_peak: AtomicU64::new(0),
+            arena_peak_capacity: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether pooling is enabled (a non-zero capacity was configured).
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Take a memo out of the pool, constructing one if none is parked.
+    pub fn checkout(&self) -> PooledMemo<'_> {
+        let parked = if self.enabled() {
+            self.free.lock().unwrap().pop()
+        } else {
+            None
+        };
+        let memo = match parked {
+            Some(m) => {
+                self.reused.fetch_add(1, Ordering::Relaxed);
+                m
+            }
+            None => {
+                self.created.fetch_add(1, Ordering::Relaxed);
+                Memo::new()
+            }
+        };
+        PooledMemo {
+            memo: Some(memo),
+            pool: self,
+        }
+    }
+
+    fn park(&self, memo: Memo) {
+        self.arena_peak_capacity
+            .fetch_max(memo.arena_capacity() as u64, Ordering::Relaxed);
+        if !self.enabled() {
+            return;
+        }
+        let mut free = self.free.lock().unwrap();
+        if free.len() < self.capacity {
+            free.push(memo);
+            let len = free.len() as u64;
+            drop(free);
+            self.pooled_peak.fetch_max(len, Ordering::Relaxed);
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            created: self.created.load(Ordering::Relaxed),
+            reused: self.reused.load(Ordering::Relaxed),
+            pooled: self.free.lock().unwrap().len() as u64,
+            pooled_peak: self.pooled_peak.load(Ordering::Relaxed),
+            arena_peak_capacity: self.arena_peak_capacity.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A checked-out [`Memo`]; derefs to the memo and parks it back into
+/// the pool on drop.
+pub struct PooledMemo<'p> {
+    memo: Option<Memo>,
+    pool: &'p MemoPool,
+}
+
+impl Deref for PooledMemo<'_> {
+    type Target = Memo;
+
+    fn deref(&self) -> &Memo {
+        self.memo.as_ref().expect("present until drop")
+    }
+}
+
+impl DerefMut for PooledMemo<'_> {
+    fn deref_mut(&mut self) -> &mut Memo {
+        self.memo.as_mut().expect("present until drop")
+    }
+}
+
+impl Drop for PooledMemo<'_> {
+    fn drop(&mut self) {
+        if let Some(memo) = self.memo.take() {
+            self.pool.park(memo);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warmup_then_steady_state() {
+        let pool = MemoPool::new(4);
+        drop(pool.checkout());
+        let after_warmup = pool.stats().created;
+        for _ in 0..10 {
+            drop(pool.checkout());
+        }
+        let stats = pool.stats();
+        assert_eq!(after_warmup, stats.created, "steady state re-created");
+        assert_eq!(10, stats.reused);
+        assert_eq!(1, stats.pooled);
+    }
+
+    #[test]
+    fn capacity_bounds_parked_memos() {
+        let pool = MemoPool::new(2);
+        let (a, b, c) = (pool.checkout(), pool.checkout(), pool.checkout());
+        drop(a);
+        drop(b);
+        drop(c); // over capacity: dropped, not parked
+        let stats = pool.stats();
+        assert_eq!(3, stats.created);
+        assert_eq!(2, stats.pooled);
+        assert_eq!(2, stats.pooled_peak);
+    }
+
+    #[test]
+    fn disabled_pool_never_parks() {
+        let pool = MemoPool::new(0);
+        drop(pool.checkout());
+        drop(pool.checkout());
+        let stats = pool.stats();
+        assert_eq!(2, stats.created);
+        assert_eq!((0, 0), (stats.reused, stats.pooled));
+    }
+}

@@ -1,0 +1,165 @@
+//! The optimizer service: cache + pool wired around a shared [`Optimizer`].
+
+use crate::cache::{CacheKey, CacheStats, PlanCache};
+use crate::fingerprint::fingerprint_query;
+use crate::pool::{MemoPool, PoolStats};
+use dpnext::{Optimized, Optimizer};
+use dpnext_query::Query;
+use dpnext_sql::{plan as bind_sql, BoundQuery, SqlError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Capacity knobs of an [`OptimizerService`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Total plans the cache may hold; 0 disables caching.
+    pub cache_capacity: usize,
+    /// Idle memos the arena pool may park; 0 disables pooling. Sizing it
+    /// at the worker-thread count keeps steady-state serving free of
+    /// arena allocation.
+    pub pool_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            cache_capacity: 1024,
+            pool_capacity: 32,
+        }
+    }
+}
+
+/// What one service request returns.
+#[derive(Debug, Clone)]
+pub struct ServeResult {
+    /// The optimized plan — shared, since cache hits all return the same
+    /// underlying result.
+    pub result: Arc<Optimized>,
+    /// Whether the plan came out of the cache (`false` = this request
+    /// ran the optimizer).
+    pub cache_hit: bool,
+    /// The statistics epoch the plan belongs to.
+    pub epoch: u64,
+}
+
+/// Point-in-time service counters ([`OptimizerService::stats`]).
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceStats {
+    /// Requests accepted (`optimize` + `optimize_sql` calls).
+    pub requests: u64,
+    /// Current statistics epoch.
+    pub epoch: u64,
+    /// Plan-cache counters.
+    pub cache: CacheStats,
+    /// Arena-pool counters.
+    pub pool: PoolStats,
+}
+
+/// A concurrent optimizer frontend: share one instance (behind an
+/// [`Arc`]) between any number of threads; every method takes `&self`.
+///
+/// Each request is keyed by the canonical shape of its (bound) query
+/// plus the current statistics epoch. Hits return the previously
+/// optimized result; misses run the wrapped [`Optimizer`] inside a
+/// pooled memo and publish the result for later arrivals of the same
+/// shape. See the crate docs for the cache-key semantics and the epoch
+/// invalidation caveat.
+pub struct OptimizerService {
+    optimizer: Optimizer,
+    cache: PlanCache,
+    pool: MemoPool,
+    epoch: AtomicU64,
+    requests: AtomicU64,
+}
+
+impl OptimizerService {
+    /// A service over `optimizer` with default capacities
+    /// ([`ServiceConfig::default`]).
+    pub fn new(optimizer: Optimizer) -> OptimizerService {
+        OptimizerService::with_config(optimizer, ServiceConfig::default())
+    }
+
+    /// A service with explicit cache/pool capacities.
+    pub fn with_config(optimizer: Optimizer, config: ServiceConfig) -> OptimizerService {
+        OptimizerService {
+            optimizer,
+            cache: PlanCache::new(config.cache_capacity),
+            pool: MemoPool::new(config.pool_capacity),
+            epoch: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped facade (e.g. to reach its catalog for binding).
+    pub fn optimizer(&self) -> &Optimizer {
+        &self.optimizer
+    }
+
+    /// The current statistics epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Declare the catalog statistics changed: moves every subsequent
+    /// lookup to a fresh epoch, so the first arrival of each shape
+    /// re-optimizes. Returns the new epoch. Entries of earlier epochs
+    /// are unreachable and age out FIFO; they are deliberately not
+    /// cleared (see [`CacheKey`]).
+    pub fn bump_stats_epoch(&self) -> u64 {
+        self.epoch.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Optimize an already-bound [`Query`], serving from the cache when
+    /// the shape was optimized before under the current epoch.
+    pub fn optimize(&self, query: &Query) -> ServeResult {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let epoch = self.epoch();
+        let key = CacheKey {
+            epoch,
+            shape: fingerprint_query(query),
+        };
+        if let Some(result) = self.cache.lookup(&key) {
+            return ServeResult {
+                result,
+                cache_hit: true,
+                epoch,
+            };
+        }
+        let mut memo = self.pool.checkout();
+        let optimized = self.optimizer.optimize_pooled(query, &mut memo);
+        drop(memo); // park the arena before publishing
+        let result = Arc::new(optimized);
+        self.cache.insert(key, result.clone());
+        ServeResult {
+            result,
+            cache_hit: false,
+            epoch,
+        }
+    }
+
+    /// Full pipeline from SQL text: parse, bind against the facade's
+    /// catalog, then [`OptimizerService::optimize`]. Caching operates on
+    /// the *bound* query, so differently spelled but identically bound
+    /// texts share one entry.
+    pub fn optimize_sql(&self, sql: &str) -> Result<ServeResult, SqlError> {
+        self.optimize_sql_bound(sql).map(|(_, r)| r)
+    }
+
+    /// Like [`OptimizerService::optimize_sql`], additionally returning
+    /// the bound query for callers that execute the plan.
+    pub fn optimize_sql_bound(&self, sql: &str) -> Result<(BoundQuery, ServeResult), SqlError> {
+        let bound = bind_sql(sql, self.optimizer.catalog())?;
+        let result = self.optimize(&bound.query);
+        Ok((bound, result))
+    }
+
+    /// Current counters across the request path, cache and pool.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            epoch: self.epoch(),
+            cache: self.cache.stats(),
+            pool: self.pool.stats(),
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Service-level correctness: cached results must be bit-identical to
+//! cold optimizations across the golden parity grid, epoch bumps must
+//! invalidate, counters must stay consistent under concurrent load, and
+//! pooled memo reuse must not leak state between runs.
+
+use dpnext::{Algorithm as A, MemoStats, Optimized, Optimizer};
+use dpnext_serve::{OptimizerService, ServiceConfig};
+use dpnext_workload::{generate_query, request_mix, GenConfig, MixConfig};
+use std::sync::Arc;
+
+/// The run-deterministic subset of [`MemoStats`] (drops the wall-clock
+/// `worker_nanos` / `replay_nanos` instrumentation).
+#[allow(clippy::type_complexity)]
+fn det_stats(s: &MemoStats) -> (u64, u64, u64, u64, u64, u64, u64, u64, u64, bool) {
+    (
+        s.arena_plans,
+        s.arena_peak,
+        s.peak_class_width,
+        s.prune_attempts,
+        s.prune_rejected,
+        s.prune_evicted,
+        s.layers,
+        s.peak_layer_pairs,
+        s.plan_budget,
+        s.budget_exhausted,
+    )
+}
+
+fn assert_bit_identical(cold: &Optimized, served: &Optimized, what: &str) {
+    assert_eq!(
+        cold.plan.cost.to_bits(),
+        served.plan.cost.to_bits(),
+        "{what}: cost"
+    );
+    assert_eq!(
+        cold.plan.card.to_bits(),
+        served.plan.card.to_bits(),
+        "{what}: card"
+    );
+    assert_eq!(cold.plans_built, served.plans_built, "{what}: plans_built");
+    assert_eq!(
+        cold.retained_plans, served.retained_plans,
+        "{what}: retained"
+    );
+    assert_eq!(
+        det_stats(&cold.memo),
+        det_stats(&served.memo),
+        "{what}: memo stats"
+    );
+    assert_eq!(cold.explain, served.explain, "{what}: explain");
+}
+
+/// The 160-cell golden parity grid (same workloads and seeds as
+/// `dpnext-core`'s parity suite): oracle n 2–5 × seeds 0–4 and paper
+/// n 3–6 × seeds 1000–1002, across all five exact algorithms.
+fn golden_grid() -> Vec<(GenConfig, u64)> {
+    let mut grid = Vec::new();
+    for n in 2..=5 {
+        for seed in 0..=4 {
+            grid.push((GenConfig::oracle(n), seed));
+        }
+    }
+    for n in 3..=6 {
+        for seed in 1000..=1002 {
+            grid.push((GenConfig::paper(n), seed));
+        }
+    }
+    grid
+}
+
+#[test]
+fn golden_grid_cached_equals_cold() {
+    for algo in [A::DPhyp, A::H1, A::H2(1.03), A::EaAll, A::EaPrune] {
+        let service = OptimizerService::new(Optimizer::new(algo));
+        for (cfg, seed) in golden_grid() {
+            let what = format!("{} n={} seed={seed}", algo.name(), cfg.n_relations);
+            let query = generate_query(&cfg, seed);
+            let cold = service.optimizer().optimize(&query);
+            let first = service.optimize(&query);
+            assert!(!first.cache_hit, "{what}: first request must miss");
+            let second = service.optimize(&query);
+            assert!(second.cache_hit, "{what}: repeat request must hit");
+            assert!(
+                Arc::ptr_eq(&first.result, &second.result),
+                "{what}: hit must return the published result"
+            );
+            assert_bit_identical(&cold, &first.result, &what);
+        }
+    }
+}
+
+#[test]
+fn epoch_bump_forces_reoptimization() {
+    let service = OptimizerService::new(Optimizer::new(A::EaPrune));
+    let query = generate_query(&GenConfig::paper(4), 7);
+
+    let r1 = service.optimize(&query);
+    let r2 = service.optimize(&query);
+    assert!(!r1.cache_hit);
+    assert!(r2.cache_hit);
+    assert_eq!(0, r1.epoch);
+
+    let new_epoch = service.bump_stats_epoch();
+    assert_eq!(1, new_epoch);
+
+    let r3 = service.optimize(&query);
+    assert!(!r3.cache_hit, "epoch bump must force a miss");
+    assert_eq!(1, r3.epoch);
+    let r4 = service.optimize(&query);
+    assert!(r4.cache_hit, "the new epoch re-populates the cache");
+    assert_bit_identical(&r1.result, &r3.result, "across epochs");
+
+    let stats = service.stats();
+    assert_eq!(4, stats.requests);
+    assert_eq!(2, stats.cache.hits);
+    assert_eq!(2, stats.cache.misses);
+}
+
+#[test]
+fn concurrent_hammer_consistent_counters() {
+    let threads = 4;
+    let per_thread = 32;
+    let mix = request_mix(&MixConfig::hot(6, 4), threads * per_thread, 99);
+    let service = Arc::new(OptimizerService::new(Optimizer::new(A::EaPrune)));
+
+    // Cold references, one per shape, from an identically configured
+    // facade run outside the service.
+    let refs: Vec<Optimized> = mix
+        .shapes()
+        .iter()
+        .map(|q| service.optimizer().optimize(q))
+        .collect();
+
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let service = &service;
+            let mix = &mix;
+            let refs = &refs;
+            scope.spawn(move || {
+                let chunk = &mix.schedule()[t * per_thread..(t + 1) * per_thread];
+                for &shape in chunk {
+                    let served = service.optimize(&mix.shapes()[shape]);
+                    assert_eq!(
+                        refs[shape].plan.cost.to_bits(),
+                        served.result.plan.cost.to_bits(),
+                        "shape {shape}: served plan diverged from cold reference"
+                    );
+                    assert_eq!(refs[shape].plans_built, served.result.plans_built);
+                }
+            });
+        }
+    });
+
+    let stats = service.stats();
+    let total = (threads * per_thread) as u64;
+    assert_eq!(total, stats.requests);
+    assert_eq!(
+        total,
+        stats.cache.hits + stats.cache.misses,
+        "every request is exactly one hit or one miss"
+    );
+    // Concurrent first arrivals of one shape may each miss, but the
+    // cache converges: entries never exceed the distinct shapes served.
+    let distinct = {
+        let mut seen: Vec<usize> = mix.schedule().to_vec();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.len() as u64
+    };
+    assert!(stats.cache.misses >= distinct);
+    assert!(stats.cache.entries <= distinct);
+    assert!(stats.cache.hits > 0, "hot mix must produce hits");
+}
+
+#[test]
+fn pooled_reoptimize_reports_fresh_stats() {
+    // Cache off, pool on: every request runs the optimizer inside the
+    // recycled memo. Any rollback/prune state leaking across reuses
+    // would show up as diverging MemoStats.
+    let service = OptimizerService::with_config(
+        Optimizer::new(A::EaPrune),
+        ServiceConfig {
+            cache_capacity: 0,
+            pool_capacity: 4,
+        },
+    );
+    let queries: Vec<_> = (0..8)
+        .map(|seed| generate_query(&GenConfig::paper(3 + (seed as usize % 4)), seed))
+        .collect();
+    let fresh: Vec<Optimized> = queries
+        .iter()
+        .map(|q| service.optimizer().optimize(q))
+        .collect();
+
+    // Twice over the set, so every query also runs in a memo previously
+    // used by a *different* query.
+    for round in 0..2 {
+        for (i, q) in queries.iter().enumerate() {
+            let served = service.optimize(q);
+            assert!(!served.cache_hit);
+            assert_bit_identical(
+                &fresh[i],
+                &served.result,
+                &format!("round {round} query {i}"),
+            );
+        }
+    }
+
+    let stats = service.stats();
+    assert_eq!(
+        1, stats.pool.created,
+        "sequential load must reuse one memo after warmup"
+    );
+    assert_eq!(15, stats.pool.reused);
+    assert!(stats.pool.arena_peak_capacity > 0);
+}
+
+#[test]
+fn sql_requests_share_cache_entries() {
+    let service = OptimizerService::new(Optimizer::new(A::EaPrune));
+    // Same bound query, different SQL spelling (whitespace).
+    let a = service
+        .optimize_sql(
+            "select n.n_name, count(*) from nation n join supplier s \
+             on n.n_nationkey = s.s_nationkey group by n.n_name",
+        )
+        .unwrap();
+    let b = service
+        .optimize_sql(
+            "select n.n_name, count(*)   from nation n join supplier s \
+             on n.n_nationkey = s.s_nationkey   group by n.n_name",
+        )
+        .unwrap();
+    assert!(!a.cache_hit);
+    assert!(b.cache_hit, "identically bound SQL must share the entry");
+    assert!(service.optimize_sql("select broken from").is_err());
+}

@@ -19,15 +19,23 @@ pub struct BoundQuery {
 }
 
 /// Parse and bind in one step.
-pub fn plan(input: &str, catalog: &mut Catalog) -> Result<BoundQuery, SqlError> {
+pub fn plan(input: &str, catalog: &Catalog) -> Result<BoundQuery, SqlError> {
     let ast = crate::parser::parse(input)?;
     bind(&ast, catalog)
 }
 
 /// Bind a parsed query against a catalog.
-pub fn bind(ast: &AstQuery, catalog: &mut Catalog) -> Result<BoundQuery, SqlError> {
+///
+/// Binding only reads the catalog; occurrence attributes come from a
+/// query-local allocator seeded at the catalog's high-water mark. This
+/// makes binding deterministic — the same text against the same catalog
+/// always yields bit-identical attribute ids — and lets many binders
+/// share one catalog concurrently.
+pub fn bind(ast: &AstQuery, catalog: &Catalog) -> Result<BoundQuery, SqlError> {
+    let gen = catalog.attr_gen();
     let mut binder = Binder {
         catalog,
+        gen,
         tables: Vec::new(),
         occurrences: Vec::new(),
     };
@@ -40,8 +48,9 @@ pub fn bind(ast: &AstQuery, catalog: &mut Catalog) -> Result<BoundQuery, SqlErro
         .map(|q| binder.resolve(q))
         .collect::<Result<_, _>>()?;
 
-    // Select list: aggregates and plain columns.
-    let mut gen = binder.catalog.attr_gen();
+    // Select list: aggregates and plain columns. The binder's allocator
+    // continues past the occurrence attributes it just handed out.
+    let mut gen = binder.gen.clone();
     let mut aggs: Vec<AggCall> = Vec::new();
     let mut output_names = Vec::new();
     let mut plain_columns: Vec<AttrId> = Vec::new();
@@ -113,7 +122,11 @@ fn agg_kind(func: &str, distinct: bool) -> Result<AggKind, SqlError> {
 }
 
 struct Binder<'a> {
-    catalog: &'a mut Catalog,
+    catalog: &'a Catalog,
+    /// Query-local fresh-attribute allocator, seeded at the catalog's
+    /// high-water mark; occurrence and aggregate-output ids come from
+    /// here instead of mutating the shared catalog.
+    gen: dpnext_algebra::AttrGen,
     tables: Vec<QueryTable>,
     occurrences: Vec<(String, String, HashMap<String, AttrId>)>,
 }
@@ -132,7 +145,7 @@ impl Binder<'_> {
                 if !self.catalog.relations().iter().any(|r| r.name == *name) {
                     return Err(SqlError::new(format!("unknown table {name}")));
                 }
-                let (table, mapping) = self.catalog.instantiate(name, &alias);
+                let (table, mapping) = self.catalog.instantiate_with(&mut self.gen, name, &alias);
                 let idx = self.tables.len();
                 self.tables.push(table);
                 self.occurrences.push((name.clone(), alias, mapping));

@@ -10,12 +10,12 @@
 //! use dpnext_catalog::tpch_catalog;
 //! use dpnext_sql::plan;
 //!
-//! let mut catalog = tpch_catalog();
+//! let catalog = tpch_catalog();
 //! let bound = plan(
 //!     "select n.n_name, count(*) \
 //!      from nation n join supplier s on n.n_nationkey = s.s_nationkey \
 //!      group by n.n_name",
-//!     &mut catalog,
+//!     &catalog,
 //! ).unwrap();
 //! assert_eq!(2, bound.query.table_count());
 //! ```

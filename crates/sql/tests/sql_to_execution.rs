@@ -14,8 +14,8 @@ const EX: &str = "select ns.n_name, nc.n_name, count(*) \
 
 #[test]
 fn intro_query_from_sql_text() {
-    let mut catalog = tpch_catalog();
-    let bound = plan(EX, &mut catalog).unwrap();
+    let catalog = tpch_catalog();
+    let bound = plan(EX, &catalog).unwrap();
     assert_eq!(4, bound.query.table_count());
     assert_eq!(
         vec!["ns.n_name", "nc.n_name", "count(*)"],
@@ -49,11 +49,11 @@ fn intro_query_from_sql_text() {
 
 #[test]
 fn aliases_and_self_joins_resolve() {
-    let mut catalog = tpch_catalog();
+    let catalog = tpch_catalog();
     let bound = plan(
         "select a.n_name, count(*) from nation a join nation b on a.n_regionkey = b.n_regionkey \
          group by a.n_name",
-        &mut catalog,
+        &catalog,
     )
     .unwrap();
     assert_eq!(2, bound.query.table_count());
@@ -65,11 +65,11 @@ fn aliases_and_self_joins_resolve() {
 
 #[test]
 fn unqualified_columns_resolve_when_unique() {
-    let mut catalog = tpch_catalog();
+    let catalog = tpch_catalog();
     let bound = plan(
         "select n_name, count(s_suppkey) from nation join supplier on n_nationkey = s_nationkey \
          group by n_name",
-        &mut catalog,
+        &catalog,
     )
     .unwrap();
     assert_eq!(2, bound.query.table_count());
@@ -79,44 +79,44 @@ fn unqualified_columns_resolve_when_unique() {
 
 #[test]
 fn semantic_errors() {
-    let mut catalog = tpch_catalog();
+    let catalog = tpch_catalog();
     // Unknown table.
-    assert!(plan("select a from nowhere", &mut catalog).is_err());
+    assert!(plan("select a from nowhere", &catalog).is_err());
     // Unknown column.
-    assert!(plan("select nation.bogus from nation", &mut catalog).is_err());
+    assert!(plan("select nation.bogus from nation", &catalog).is_err());
     // Ambiguous column in a self-join.
     assert!(plan(
         "select n_name from nation a join nation b on a.n_nationkey = b.n_nationkey",
-        &mut catalog
+        &catalog
     )
     .is_err());
     // Non-grouped plain column.
     assert!(plan(
         "select n_name, count(*) from nation group by n_regionkey",
-        &mut catalog
+        &catalog
     )
     .is_err());
     // Join condition not connecting the sides.
     assert!(plan(
         "select r_name from region join nation on region.r_regionkey = region.r_name",
-        &mut catalog
+        &catalog
     )
     .is_err());
     // Duplicate alias.
     assert!(plan(
         "select r_name from region x join nation x on x.r_regionkey = x.n_regionkey",
-        &mut catalog
+        &catalog
     )
     .is_err());
 }
 
 #[test]
 fn avg_and_distinct_aggregates_bind() {
-    let mut catalog = tpch_catalog();
+    let catalog = tpch_catalog();
     let bound = plan(
         "select n_name, avg(s_acctbal), count(distinct s_nationkey) \
          from nation join supplier on n_nationkey = s_nationkey group by n_name",
-        &mut catalog,
+        &catalog,
     )
     .unwrap();
     // avg is normalized into sum/count partials with a post-map.
@@ -127,10 +127,10 @@ fn avg_and_distinct_aggregates_bind() {
 
 #[test]
 fn scalar_aggregate_without_group_by() {
-    let mut catalog = tpch_catalog();
+    let catalog = tpch_catalog();
     let bound = plan(
         "select count(*) from nation join supplier on n_nationkey = s_nationkey",
-        &mut catalog,
+        &catalog,
     )
     .unwrap();
     let g = bound.query.grouping.as_ref().unwrap();
@@ -141,11 +141,11 @@ fn scalar_aggregate_without_group_by() {
 
 #[test]
 fn semi_and_anti_join_queries() {
-    let mut catalog = tpch_catalog();
+    let catalog = tpch_catalog();
     let bound = plan(
         "select n_name, count(*) from nation semi join supplier on n_nationkey = s_nationkey \
          group by n_name",
-        &mut catalog,
+        &catalog,
     )
     .unwrap();
     let occs: Vec<_> = bound

@@ -15,9 +15,12 @@
 //! ```
 
 use dpnext_catalog::{tpch_catalog, Catalog};
-use dpnext_core::{optimize_with, Algorithm, DominanceKind, OptimizeOptions, Optimized};
+use dpnext_core::{
+    optimize_into, optimize_with, Algorithm, DominanceKind, Memo, OptimizeOptions, Optimized,
+};
 use dpnext_query::Query;
 use dpnext_sql::{plan as bind_sql, BoundQuery, SqlError};
+use std::sync::{Arc, OnceLock};
 
 /// Builder-style facade over the whole workspace: pick an algorithm, tune
 /// the dominance criterion and stats rendering, then optimize [`Query`]
@@ -26,6 +29,12 @@ use dpnext_sql::{plan as bind_sql, BoundQuery, SqlError};
 /// The catalog used for SQL binding defaults to the TPC-H schema
 /// ([`dpnext_catalog::tpch_catalog`]) and is built lazily on the first
 /// `optimize_sql` call; supply your own with [`Optimizer::with_catalog`].
+///
+/// Every method takes `&self` and the catalog is held behind an [`Arc`],
+/// so one configured `Optimizer` can be shared across threads (it is
+/// `Send + Sync`) — the property the `dpnext-serve` service layer builds
+/// on. Binding SQL does not mutate the catalog: the same text against
+/// the same catalog always binds to bit-identical attribute ids.
 #[derive(Debug, Clone)]
 pub struct Optimizer {
     algorithm: Algorithm,
@@ -33,7 +42,7 @@ pub struct Optimizer {
     explain: bool,
     threads: usize,
     plan_budget: u64,
-    catalog: Option<Catalog>,
+    catalog: OnceLock<Arc<Catalog>>,
 }
 
 impl Optimizer {
@@ -48,7 +57,7 @@ impl Optimizer {
             explain: true,
             threads: 0,
             plan_budget: 0,
-            catalog: None,
+            catalog: OnceLock::new(),
         }
     }
 
@@ -90,24 +99,27 @@ impl Optimizer {
     }
 
     /// Bind SQL against this catalog instead of the TPC-H default.
-    pub fn with_catalog(mut self, catalog: Catalog) -> Optimizer {
-        self.catalog = Some(catalog);
+    pub fn with_catalog(self, catalog: Catalog) -> Optimizer {
+        self.with_shared_catalog(Arc::new(catalog))
+    }
+
+    /// Like [`Optimizer::with_catalog`], but sharing an existing
+    /// [`Arc`]-held catalog (several optimizers, or an optimizer and a
+    /// serving layer, can point at the same statistics).
+    pub fn with_shared_catalog(mut self, catalog: Arc<Catalog>) -> Optimizer {
+        self.catalog = OnceLock::from(catalog);
         self
     }
 
-    /// The catalog SQL is bound against (instantiated on first use).
-    pub fn catalog(&mut self) -> &mut Catalog {
-        self.catalog.get_or_insert_with(tpch_catalog)
+    /// The catalog SQL is bound against (the TPC-H schema, instantiated
+    /// on first use, unless [`Optimizer::with_catalog`] supplied one).
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        self.catalog.get_or_init(|| Arc::new(tpch_catalog()))
     }
 
     /// Optimize an already-constructed [`Query`].
     pub fn optimize(&self, query: &Query) -> Optimized {
-        let opts = OptimizeOptions {
-            dominance: self.dominance,
-            explain: self.explain,
-            threads: self.threads,
-            plan_budget: self.plan_budget,
-        };
+        let opts = self.options();
         match self.algorithm {
             // The budgeted ladder lives above dpnext-core (see the crate
             // layering note on `Algorithm::Adaptive`), so the facade is
@@ -118,16 +130,43 @@ impl Optimizer {
     }
 
     /// Full pipeline from SQL text: parse, bind, optimize.
-    pub fn optimize_sql(&mut self, sql: &str) -> Result<Optimized, SqlError> {
+    pub fn optimize_sql(&self, sql: &str) -> Result<Optimized, SqlError> {
         self.optimize_sql_bound(sql).map(|(_, opt)| opt)
     }
 
     /// Like [`Optimizer::optimize_sql`], additionally returning the bound
     /// query (table occurrences, output column names) for callers that
     /// execute the plan or generate data.
-    pub fn optimize_sql_bound(&mut self, sql: &str) -> Result<(BoundQuery, Optimized), SqlError> {
+    pub fn optimize_sql_bound(&self, sql: &str) -> Result<(BoundQuery, Optimized), SqlError> {
         let bound = bind_sql(sql, self.catalog())?;
         let optimized = self.optimize(&bound.query);
         Ok((bound, optimized))
+    }
+
+    /// [`Optimizer::optimize`] running inside a caller-supplied [`Memo`]
+    /// (see [`dpnext_core::optimize_into`]): results and statistics are
+    /// bit-identical to a fresh run, only the arena allocation is reused.
+    ///
+    /// [`Algorithm::Adaptive`] manages its own memos inside the budget
+    /// ladder, so for that variant the supplied memo is reset but left
+    /// empty and the call behaves exactly like [`Optimizer::optimize`].
+    pub fn optimize_pooled(&self, query: &Query, memo: &mut Memo) -> Optimized {
+        let opts = self.options();
+        match self.algorithm {
+            Algorithm::Adaptive => {
+                memo.reset();
+                dpnext_adaptive::optimize_adaptive(query, &opts)
+            }
+            algo => optimize_into(query, algo, &opts, memo),
+        }
+    }
+
+    fn options(&self) -> OptimizeOptions {
+        OptimizeOptions {
+            dominance: self.dominance,
+            explain: self.explain,
+            threads: self.threads,
+            plan_budget: self.plan_budget,
+        }
     }
 }

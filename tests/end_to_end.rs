@@ -141,7 +141,7 @@ fn optimizer_facade_runs_sql_end_to_end() {
 fn optimizer_facade_executes_bound_sql() {
     // `optimize_sql_bound` exposes the occurrences needed to generate
     // data; the optimized plan must agree with the canonical plan.
-    let mut facade = Optimizer::new(Algorithm::EaPrune);
+    let facade = Optimizer::new(Algorithm::EaPrune);
     let (bound, opt) = facade
         .optimize_sql_bound(
             "select n.n_name, count(*) \
