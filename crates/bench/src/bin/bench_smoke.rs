@@ -127,6 +127,20 @@ fn main() {
                     continue;
                 };
                 let runtime_s = cell.mean_runtime.as_secs_f64();
+                let plans_per_sec = cell.mean_plans_built / runtime_s.max(1e-12);
+                // Hot-path readout: the three numbers the enumeration
+                // speed work tracks per cell — raw plan throughput, the
+                // Amdahl share of the merge+replay phase, and the LPT
+                // balance of the parallel bucketing/replay fan-out.
+                let extra = format!(
+                    ", \"hotpath\": {{ \"plans_per_sec\": {:.0}, \
+                     \"replay_share\": {:.4}, \"lpt_imbalance_x100\": {:.0}, \
+                     \"par_bucket_strata\": {:.2} }}",
+                    plans_per_sec,
+                    cell.serial_fraction(),
+                    cell.mean_lpt_imbalance_x100,
+                    cell.mean_par_bucket_strata,
+                );
                 cells.push(SmokeCell {
                     algo: spec.algo.name(),
                     n: *n,
@@ -134,7 +148,7 @@ fn main() {
                     queries: QUERIES,
                     runtime_us: runtime_s * 1e6,
                     plans_built: cell.mean_plans_built,
-                    plans_per_sec: cell.mean_plans_built / runtime_s.max(1e-12),
+                    plans_per_sec,
                     arena: cell.mean_arena_plans,
                     width: cell.mean_peak_class_width,
                     hit_rate: cell.mean_prune_hit_rate,
@@ -143,7 +157,7 @@ fn main() {
                     budget: 0,
                     modes: String::new(),
                     queries_per_sec: 0.0,
-                    extra: String::new(),
+                    extra,
                 });
             }
         }
@@ -185,12 +199,10 @@ fn main() {
             String::new()
         };
         if c.queries_per_sec > 0.0 {
-            let _ = write!(
-                budget,
-                ", \"queries_per_sec\": {:.0}{}",
-                c.queries_per_sec, c.extra
-            );
+            let _ = write!(budget, ", \"queries_per_sec\": {:.0}", c.queries_per_sec);
         }
+        // Per-cell extra block (serving counters or the hot-path readout).
+        budget.push_str(&c.extra);
         let _ = write!(
             json,
             "    {{ \"algorithm\": \"{}\", \"n\": {}, \"threads\": {}, \

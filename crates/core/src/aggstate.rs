@@ -70,7 +70,8 @@ impl AggState {
                 }
             })
             .collect();
-        let mut counts = self.counts.clone();
+        let mut counts = Vec::with_capacity(self.counts.len() + other.counts.len());
+        counts.extend_from_slice(&self.counts);
         counts.extend_from_slice(&other.counts);
         AggState { pos, counts }
     }

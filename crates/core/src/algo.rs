@@ -24,13 +24,14 @@
 //!   streaming driver for any thread count (the parity suite pins this).
 
 use crate::context::{OptContext, Scratch};
-use crate::finalize::{finalize, FinalPlan};
+use crate::finalize::{final_numbers, finalize, FinalPlan};
+use crate::fxhash::{FxHashMap, FxHasher};
 use crate::memo::{
-    prune_insert_ids, ClassBuckets, ClassTally, DominanceKind, Memo, MemoShard, MemoStats, PlanId,
-    PlanStore,
+    prune_fold_slice, prune_insert_ids, ClassBuckets, ClassTally, DominanceKind, Memo, MemoShard,
+    MemoStats, PlanCold, PlanHot, PlanId, PlanStore, ShardRemap,
 };
 use crate::optrees::op_trees;
-use crate::plan::{make_apply, make_scan};
+use crate::plan::{apply_staged, make_scan, stage_apply};
 use dpnext_conflict::applicable_ops_into;
 use dpnext_hypergraph::{enumerate_ccps, stratify_ccps, NodeSet};
 use dpnext_query::{OpKind, Query};
@@ -322,6 +323,27 @@ trait ClassPolicy: Sync {
         id: PlanId,
         tally: &mut ClassTally,
     );
+    /// Fold a whole class's unit-sorted candidate slice in one call — the
+    /// batched form of [`ClassPolicy::fold_insert`] the replay actually
+    /// drives, so policies can amortize per-candidate setup across the
+    /// slice (dominance pruning mirrors the residents' hot rows into the
+    /// caller-owned `rows` scratch once per class instead of chasing
+    /// arena indices per candidate). Must be semantically identical to
+    /// folding the candidates one by one; the default does exactly that.
+    fn fold_class(
+        &self,
+        ctx: &OptContext,
+        memo: &Memo,
+        class: &mut Vec<PlanId>,
+        rows: &mut Vec<PlanHot>,
+        candidates: &[PlanId],
+        tally: &mut ClassTally,
+    ) {
+        let _ = rows;
+        for &id in candidates {
+            self.fold_insert(ctx, memo, class, id, tally);
+        }
+    }
     /// Replay-path equivalent of [`ClassPolicy::complete`]. The replay
     /// never rolls the merged arena back (losing plans were already
     /// reclaimed worker-locally), so shared memo access suffices.
@@ -407,6 +429,11 @@ fn process_pair<S: PlanStore, K: PairSink<S>>(
             continue;
         }
         let s = sl.union(sr);
+        // Stage the cut once per orientation: predicate orientation,
+        // merged selectivity, distinct products and applied bits are
+        // identical for every `(t1, t2)` combination of the grid, so the
+        // per-plan application does none of that work.
+        let staged = stage_apply(ctx, scratch, op, extra, sl);
         for &t1 in lefts.iter() {
             for &t2 in rights.iter() {
                 let u = *unit;
@@ -418,8 +445,8 @@ fn process_pair<S: PlanStore, K: PairSink<S>>(
                 let mark = (s == full).then(|| store.plan_count());
                 trees.clear();
                 if eager {
-                    op_trees(ctx, scratch, store, op, extra, t1, t2, trees);
-                } else if let Some(t) = make_apply(ctx, scratch, store, op, extra, t1, t2) {
+                    op_trees(ctx, scratch, store, &staged, t1, t2, trees);
+                } else if let Some(t) = apply_staged(ctx, scratch, store, &staged, t1, t2) {
                     trees.push(t);
                 }
                 let mut kept = false;
@@ -496,9 +523,9 @@ impl PairSink<MemoShard<'_>> for WorkerSink {
             self.completes.push((self.unit, id));
             return true;
         }
-        let f = finalize(ctx, store, id);
-        if self.best_cost.is_none_or(|b| f.cost < b) {
-            self.best_cost = Some(f.cost);
+        let (cost, _, _) = final_numbers(ctx, store, id);
+        if self.best_cost.is_none_or(|b| cost < b) {
+            self.best_cost = Some(cost);
             self.completes.push((self.unit, id));
             return true;
         }
@@ -508,7 +535,10 @@ impl PairSink<MemoShard<'_>> for WorkerSink {
 
 /// Everything one worker hands back from a stratum.
 struct WorkerOut {
-    plans: Vec<crate::memo::MemoPlan>,
+    /// The shard's locally built plan rows, split hot/cold like the
+    /// shared arena they will be appended to.
+    hot: Vec<PlanHot>,
+    cold: Vec<PlanCold>,
     peak: usize,
     inserts: Vec<(u64, NodeSet, PlanId)>,
     completes: Vec<(u64, PlanId)>,
@@ -565,8 +595,10 @@ fn run_worker(
     let peak = shard.peak();
     let plans_built = scratch.plans_built - built_before;
     let attrs_used = scratch.attrs_used();
+    let (hot, cold) = shard.into_local();
     WorkerOut {
-        plans: shard.into_local(),
+        hot,
+        cold,
         peak,
         inserts: sink.inserts,
         completes: sink.completes,
@@ -697,26 +729,48 @@ fn enumerate_layered<P: ClassPolicy>(
         let max_used = outs.iter().map(|o| o.attrs_used).max().unwrap_or(0);
         next_attr = u32::try_from(u64::from(next_attr) + u64::from(max_used) * t as u64)
             .expect("fresh-attribute space (u32) exhausted");
-        // Merge: shards append in worker order (ids shift as a block) and
-        // the recorded candidate streams are remapped and bucketed by
-        // target class as they land...
+        // Merge: shards append in worker order (ids shift as a block —
+        // this arena splice is the only irreducibly serial step)...
         memo.record_shard_peak(outs.iter().map(|o| o.peak as u64).sum());
         let base = memo.arena_len();
         let mut buckets = ClassBuckets::default();
         let mut outs = outs;
+        let mut remaps: Vec<ShardRemap> = Vec::with_capacity(outs.len());
         for (w, out) in outs.iter_mut().enumerate() {
             scratch.plans_built += out.plans_built;
-            memo.append_shard_bucketed(
-                std::mem::take(&mut out.plans),
-                base,
-                &out.inserts,
-                &out.completes,
-                &mut buckets,
-            );
+            let hot = std::mem::take(&mut out.hot);
+            let cold = std::mem::take(&mut out.cold);
+            remaps.push(memo.append_shard(hot, cold, base));
             pool[w] = Some(std::mem::replace(
                 &mut out.scratch,
                 Scratch::with_attr_base(0),
             ));
+        }
+        // ...then the recorded candidate streams are remapped and grouped
+        // by target class. On wide strata the bucketing itself fans out
+        // over the worker pool, hash-partitioned by class (each class is
+        // owned by exactly one bucket worker, which scans the shards in
+        // worker order — the shard-major per-class order the replay's
+        // unit sort depends on is preserved exactly).
+        let candidates: usize = outs.iter().map(|o| o.inserts.len()).sum();
+        if t >= 2 && candidates >= PAR_MIN_REPLAY {
+            memo.record_par_bucket_stratum();
+            bucket_parallel(&outs, &remaps, t, &mut buckets);
+        } else {
+            for (out, &remap) in outs.iter().zip(&remaps) {
+                for &(unit, s, id) in &out.inserts {
+                    buckets
+                        .classes
+                        .entry(s)
+                        .or_default()
+                        .push((unit, remap.apply(id)));
+                }
+            }
+        }
+        for (out, &remap) in outs.iter().zip(&remaps) {
+            for &(unit, id) in &out.completes {
+                buckets.completes.push((unit, remap.apply(id)));
+            }
         }
         let units = outs.first().map(|o| o.units).unwrap_or(0);
         debug_assert!(outs.iter().all(|o| o.units == units));
@@ -728,6 +782,57 @@ fn enumerate_layered<P: ClassPolicy>(
     }
     memo.record_layering(strata.layer_count(), strata.peak_layer_pairs(), fanout_used);
     memo.record_phases(worker_nanos, replay_nanos, peak_replay_classes);
+}
+
+/// The bucket worker owning class `s` under a `fanout`-way hash
+/// partition. Deterministic (seeded FxHash of the node set), so every
+/// thread count produces the same ownership — only *who* buckets a class
+/// changes, never the bucket contents.
+fn class_bucket(s: NodeSet, fanout: usize) -> usize {
+    use std::hash::{Hash, Hasher};
+    let mut h = FxHasher::default();
+    s.hash(&mut h);
+    (h.finish() as usize) % fanout
+}
+
+/// Fan the merge-candidate bucketing over scoped workers: worker `b` owns
+/// every class hashing to bucket `b` and scans all shards' insert streams
+/// in worker order, so each per-class candidate list comes out in the
+/// same shard-major order the serial bucketing produces. Classes are
+/// disjoint across workers, hence the partial maps merge by plain moves.
+fn bucket_parallel(
+    outs: &[WorkerOut],
+    remaps: &[ShardRemap],
+    fanout: usize,
+    buckets: &mut ClassBuckets,
+) {
+    let partials: Vec<FxHashMap<NodeSet, Vec<(u64, PlanId)>>> = std::thread::scope(|sc| {
+        let handles: Vec<_> = (0..fanout)
+            .map(|b| {
+                sc.spawn(move || {
+                    let mut map: FxHashMap<NodeSet, Vec<(u64, PlanId)>> = FxHashMap::default();
+                    for (out, &remap) in outs.iter().zip(remaps) {
+                        for &(unit, s, id) in &out.inserts {
+                            if class_bucket(s, fanout) == b {
+                                map.entry(s).or_default().push((unit, remap.apply(id)));
+                            }
+                        }
+                    }
+                    map
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("bucketing worker panicked"))
+            .collect()
+    });
+    for map in partials {
+        for (s, cands) in map {
+            debug_assert!(!buckets.classes.contains_key(&s));
+            buckets.classes.insert(s, cands);
+        }
+    }
 }
 
 /// Replay one stratum's bucketed candidate streams against the policy.
@@ -777,6 +882,11 @@ fn replay_buckets<P: ClassPolicy>(
             load[w] += entry.1.len();
             chunks[w].push(entry);
         }
+        // LPT skew: how far the heaviest worker exceeds its fair share
+        // (100 = perfectly balanced). Candidates > 0 here (>= the fan-out
+        // threshold).
+        let max_load = load.iter().copied().max().unwrap_or(0) as u64;
+        memo.record_replay_imbalance(max_load * fanout as u64 * 100 / candidates as u64);
         let shared: &Memo = memo;
         let pol: &P = policy;
         let folded: Vec<Vec<(NodeSet, Vec<PlanId>, ClassTally)>> = std::thread::scope(|sc| {
@@ -819,15 +929,19 @@ fn fold_classes<P: ClassPolicy>(
     policy: &P,
     chunk: Vec<ClassBucket>,
 ) -> Vec<(NodeSet, Vec<PlanId>, ClassTally)> {
+    // Worker-local scratch reused across the chunk's classes: the hot-row
+    // mirror of the batched dominance fold and the untagged candidate ids.
+    let mut rows: Vec<PlanHot> = Vec::new();
+    let mut ids: Vec<PlanId> = Vec::new();
     chunk
         .into_iter()
         .map(|(s, mut cands)| {
             cands.sort_by_key(|&(u, _)| u);
+            ids.clear();
+            ids.extend(cands.iter().map(|&(_, id)| id));
             let mut class = Vec::new();
             let mut tally = ClassTally::default();
-            for &(_, id) in &cands {
-                policy.fold_insert(ctx, memo, &mut class, id, &mut tally);
-            }
+            policy.fold_class(ctx, memo, &mut class, &mut rows, &ids, &mut tally);
             (s, class, tally)
         })
         .collect()
@@ -891,15 +1005,14 @@ fn run_engine<P: ClassPolicy>(
 
 /// Keep the cheapest finalized plan (ties resolved to the earlier one).
 /// Returns whether `id` became the new best.
-fn keep_best(
-    best: &mut Option<(FinalPlan, PlanId)>,
-    ctx: &OptContext,
-    memo: &Memo,
-    id: PlanId,
-) -> bool {
-    let f = finalize(ctx, memo, id);
-    if best.as_ref().is_none_or(|(b, _)| f.cost < b.cost) {
-        *best = Some((f, id));
+fn keep_best(best: &mut Option<(f64, PlanId)>, ctx: &OptContext, memo: &Memo, id: PlanId) -> bool {
+    // Compare by final cost only ([`final_numbers`]): compiling the
+    // winner's algebra tree is deferred to the end of the run, so the
+    // orders-of-magnitude more numerous losing complete plans never pay
+    // the recursive `compile` walk.
+    let (cost, _, _) = final_numbers(ctx, memo, id);
+    if best.is_none_or(|(b, _)| cost < b) {
+        *best = Some((cost, id));
         return true;
     }
     false
@@ -910,7 +1023,9 @@ fn keep_best(
 struct SingleBest {
     eager: bool,
     factor: Option<f64>,
-    best: Option<(FinalPlan, PlanId)>,
+    /// Cheapest complete plan so far, by final cost; compiled to a
+    /// [`FinalPlan`] only once the run ends.
+    best: Option<(f64, PlanId)>,
 }
 
 impl ClassPolicy for SingleBest {
@@ -962,7 +1077,9 @@ impl ClassPolicy for SingleBest {
 struct MultiBest {
     prune: Option<DominanceKind>,
     guard_groupjoin: bool,
-    best: Option<(FinalPlan, PlanId)>,
+    /// Cheapest complete plan so far, by final cost; compiled to a
+    /// [`FinalPlan`] only once the run ends.
+    best: Option<(f64, PlanId)>,
 }
 
 impl ClassPolicy for MultiBest {
@@ -990,11 +1107,45 @@ impl ClassPolicy for MultiBest {
         tally: &mut ClassTally,
     ) {
         match self.prune {
-            Some(kind) => {
-                prune_insert_ids(memo.plans(), class, id, kind, self.guard_groupjoin, tally)
-            }
+            Some(kind) => prune_insert_ids(
+                memo.hot_plans(),
+                memo.cold_plans(),
+                class,
+                id,
+                kind,
+                self.guard_groupjoin,
+                tally,
+            ),
             None => {
                 class.push(id);
+                tally.peak_class_width = tally.peak_class_width.max(class.len() as u64);
+            }
+        }
+    }
+
+    fn fold_class(
+        &self,
+        _ctx: &OptContext,
+        memo: &Memo,
+        class: &mut Vec<PlanId>,
+        rows: &mut Vec<PlanHot>,
+        candidates: &[PlanId],
+        tally: &mut ClassTally,
+    ) {
+        match self.prune {
+            Some(kind) => prune_fold_slice(
+                memo.hot_plans(),
+                memo.cold_plans(),
+                class,
+                rows,
+                candidates,
+                kind,
+                self.guard_groupjoin,
+                tally,
+            ),
+            // EA-All keeps everything: one bulk append, width tallied once.
+            None => {
+                class.extend_from_slice(candidates);
                 tally.peak_class_width = tally.peak_class_width.max(class.len() as u64);
             }
         }
@@ -1068,7 +1219,8 @@ fn run_single(
     }
     let retained = memo.class_count();
     match policy.best {
-        Some(best) => (best, retained, plans_built),
+        // Deferred finalization: compile the single winner's tree now.
+        Some((_, id)) => ((finalize(ctx, memo, id), id), retained, plans_built),
         // Eager single-plan search can dead-end when a groupjoin's right
         // side only has a pre-aggregated plan; fall back to the baseline
         // (plans built during the dead-ended attempt stay counted; the
@@ -1099,10 +1251,11 @@ fn run_multi(
         return finalize_single_table(ctx, memo, plans_built);
     }
     let retained = memo.retained();
-    let best = policy
+    let (_, id) = policy
         .best
         .expect("no plan found: query graph disconnected or over-constrained");
-    (best, retained, plans_built)
+    // Deferred finalization: compile the single winner's tree now.
+    ((finalize(ctx, memo, id), id), retained, plans_built)
 }
 
 /// Degenerate single-table query: the scan is the complete plan.
@@ -1260,7 +1413,7 @@ impl<'a> BudgetedSearch<'a> {
 
     /// Cost of the cheapest complete plan seen so far.
     pub fn best_cost(&self) -> Option<f64> {
-        self.policy.best.as_ref().map(|(f, _)| f.cost)
+        self.policy.best.map(|(cost, _)| cost)
     }
 
     /// Whether any complete plan has been found.
@@ -1319,9 +1472,14 @@ impl<'a> BudgetedSearch<'a> {
 
     /// Tear the search apart into its outcome.
     pub fn finish(self) -> BudgetedOutcome {
+        // Deferred finalization: compile the winner's tree once, here.
+        let best = self
+            .policy
+            .best
+            .map(|(_, id)| (finalize(self.ctx, &self.memo, id), id));
         BudgetedOutcome {
             memo: self.memo,
-            best: self.policy.best,
+            best,
             plans_built: self.scratch.plans_built,
             exhausted: self.exhausted,
         }

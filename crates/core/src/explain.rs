@@ -4,7 +4,7 @@
 
 use crate::aggstate::AggPos;
 use crate::context::OptContext;
-use crate::memo::{Memo, PlanId, PlanNode};
+use crate::memo::{Memo, PlanId, PlanNode, PlanStore};
 use std::fmt::Write;
 
 /// Render an annotated explanation of a logical plan.
@@ -20,9 +20,9 @@ pub fn explain(ctx: &OptContext, memo: &Memo, id: PlanId) -> String {
 }
 
 fn walk(ctx: &OptContext, memo: &Memo, id: PlanId, depth: usize, out: &mut String) {
-    let plan = &memo[id];
+    let plan = memo.plan(id);
     let pad = "  ".repeat(depth);
-    let label = match &plan.node {
+    let label = match &plan.cold.node {
         PlanNode::Scan { table } => format!("{pad}Scan {}", ctx.query.tables[*table].alias),
         PlanNode::Apply { op, pred, .. } => format!("{pad}{op} [{pred}]"),
         PlanNode::Group { attrs, .. } => {
@@ -31,11 +31,12 @@ fn walk(ctx: &OptContext, memo: &Memo, id: PlanId, depth: usize, out: &mut Strin
         }
     };
     let mut props = Vec::new();
-    if plan.keyinfo.duplicate_free {
+    if plan.cold.keyinfo.duplicate_free {
         props.push("dup-free".to_string());
     }
-    if !plan.keyinfo.keys.is_empty() {
+    if !plan.cold.keyinfo.keys.is_empty() {
         let keys: Vec<String> = plan
+            .cold
             .keyinfo
             .keys
             .keys()
@@ -48,6 +49,7 @@ fn walk(ctx: &OptContext, memo: &Memo, id: PlanId, depth: usize, out: &mut Strin
         props.push(format!("keys={}", keys.join(" ")));
     }
     let partials = plan
+        .cold
         .agg
         .pos
         .iter()
@@ -56,17 +58,17 @@ fn walk(ctx: &OptContext, memo: &Memo, id: PlanId, depth: usize, out: &mut Strin
     if partials > 0 {
         props.push(format!("{partials} partial agg(s)"));
     }
-    if !plan.agg.counts.is_empty() {
-        props.push(format!("{} count col(s)", plan.agg.counts.len()));
+    if !plan.cold.agg.counts.is_empty() {
+        props.push(format!("{} count col(s)", plan.cold.agg.counts.len()));
     }
     let _ = writeln!(
         out,
         "{label:<52} {:>12.1} {:>12.1}  {}",
-        plan.card,
-        plan.cost,
+        plan.hot.card,
+        plan.hot.cost,
         props.join(", ")
     );
-    match &plan.node {
+    match &plan.cold.node {
         PlanNode::Scan { .. } => {}
         PlanNode::Apply { left, right, .. } => {
             walk(ctx, memo, *left, depth + 1, out);

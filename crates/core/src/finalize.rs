@@ -27,8 +27,8 @@ pub struct FinalPlan {
 /// the `F¹({⊥})`/`c : 1` default vectors for every pre-aggregated column of
 /// a padded side (the generalized outerjoins of §2.2).
 pub fn compile<S: PlanStore + ?Sized>(ctx: &OptContext, memo: &S, id: PlanId) -> AlgExpr {
-    let plan = &memo[id];
-    match &plan.node {
+    let plan = memo.plan(id);
+    match &plan.cold.node {
         PlanNode::Scan { table } => AlgExpr::scan(ctx.query.tables[*table].alias.clone()),
         PlanNode::Group { attrs, aggs, input } => AlgExpr::GroupBy {
             input: Box::new(compile(ctx, memo, *input)),
@@ -44,7 +44,7 @@ pub fn compile<S: PlanStore + ?Sized>(ctx: &OptContext, memo: &S, id: PlanId) ->
         } => {
             let l = Box::new(compile(ctx, memo, *left));
             let r = Box::new(compile(ctx, memo, *right));
-            let pred = pred.clone();
+            let pred = pred.as_ref().clone();
             match op {
                 OpKind::Join => AlgExpr::InnerJoin {
                     left: l,
@@ -65,14 +65,14 @@ pub fn compile<S: PlanStore + ?Sized>(ctx: &OptContext, memo: &S, id: PlanId) ->
                     left: l,
                     right: r,
                     pred,
-                    defaults: memo[*right].agg.padding_defaults(ctx.aggs()),
+                    defaults: memo.plan(*right).cold.agg.padding_defaults(ctx.aggs()),
                 },
                 OpKind::FullOuter => AlgExpr::FullOuterJoin {
                     left: l,
                     right: r,
                     pred,
-                    d1: memo[*left].agg.padding_defaults(ctx.aggs()),
-                    d2: memo[*right].agg.padding_defaults(ctx.aggs()),
+                    d1: memo.plan(*left).cold.agg.padding_defaults(ctx.aggs()),
+                    d2: memo.plan(*right).cold.agg.padding_defaults(ctx.aggs()),
                 },
                 OpKind::GroupJoin => AlgExpr::GroupJoin {
                     left: l,
@@ -86,48 +86,70 @@ pub fn compile<S: PlanStore + ?Sized>(ctx: &OptContext, memo: &S, id: PlanId) ->
     }
 }
 
+/// The `(cost, card, top_grouping)` triple [`finalize`] would assign to a
+/// complete plan, computed **without compiling** the algebra tree: whether
+/// the top grouping is needed (Eqv. 42) and what it adds to `C_out`. The
+/// enumeration's keep-best fold runs this per complete candidate — on
+/// EA-All the losing complete plans outnumber the winners by orders of
+/// magnitude, so deferring tree compilation to the single final winner
+/// takes the whole `compile` walk off the enumeration hot path.
+pub fn final_numbers<S: PlanStore + ?Sized>(
+    ctx: &OptContext,
+    memo: &S,
+    id: PlanId,
+) -> (f64, f64, bool) {
+    let plan = memo.plan(id);
+    let Some(g) = &ctx.query.grouping else {
+        return (plan.hot.cost, plan.hot.card, false);
+    };
+    if needs_grouping(&g.group_by, &plan.cold.keyinfo) {
+        let distincts: Vec<f64> = g
+            .group_by
+            .iter()
+            .map(|&a| distinct_in(ctx.distinct(a), plan.hot.card))
+            .collect();
+        let gcard = grouping_card(plan.hot.card, &distincts);
+        (plan.hot.cost + gcard, gcard, true)
+    } else {
+        (plan.hot.cost, plan.hot.card, false)
+    }
+}
+
 /// Finalize a plan covering all relations: attach the top grouping `Γ_G`
 /// with the state-adjusted aggregation vector, or — when `G` contains a
 /// key of a duplicate-free result — replace it by a map + projection
 /// (Eqv. 42, `InsertTopLevelPlan` of Fig. 9).
 pub fn finalize<S: PlanStore + ?Sized>(ctx: &OptContext, memo: &S, id: PlanId) -> FinalPlan {
-    let plan = &memo[id];
+    let plan = memo.plan(id);
     let mut root = compile(ctx, memo, id);
+    let (cost, card, top_grouping) = final_numbers(ctx, memo, id);
     let Some(g) = &ctx.query.grouping else {
         return FinalPlan {
             root,
-            cost: plan.cost,
-            card: plan.card,
-            top_grouping: false,
+            cost,
+            card,
+            top_grouping,
         };
     };
 
-    let (cost, card, top_grouping) = if needs_grouping(&g.group_by, &plan.keyinfo) {
-        let aggs = final_agg_vector(ctx, &plan.agg);
-        let distincts: Vec<f64> = g
-            .group_by
-            .iter()
-            .map(|&a| distinct_in(ctx.distinct(a), plan.card))
-            .collect();
-        let gcard = grouping_card(plan.card, &distincts);
+    if top_grouping {
+        let aggs = final_agg_vector(ctx, &plan.cold.agg);
         root = AlgExpr::GroupBy {
             input: Box::new(root),
             attrs: g.group_by.clone(),
             aggs,
         };
-        (plan.cost + gcard, gcard, true)
     } else {
         // Each group holds exactly one tuple: a map computes the aggregate
         // values per row; the duplicate-preserving projection is free.
-        let exts = final_map_exprs(ctx, &plan.agg);
+        let exts = final_map_exprs(ctx, &plan.cold.agg);
         if !exts.is_empty() {
             root = AlgExpr::Map {
                 input: Box::new(root),
                 exts,
             };
         }
-        (plan.cost, plan.card, false)
-    };
+    }
 
     if !g.post.is_empty() {
         root = AlgExpr::Map {

@@ -45,7 +45,7 @@ pub use fusion::fuse_groupjoins;
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use memo::{
     AdaptiveMode, ClassBuckets, ClassTally, DominanceKind, Memo, MemoPlan, MemoShard, MemoStats,
-    PlanId, PlanNode, PlanStore, ShardRemap,
+    PlanCold, PlanHot, PlanId, PlanNode, PlanRef, PlanStore, ShardRemap,
 };
-pub use plan::{make_apply, make_group, make_scan};
+pub use plan::{apply_staged, make_apply, make_group, make_scan, stage_apply, StagedApply};
 pub use validate::{validate_complete_plan, validate_subplan};

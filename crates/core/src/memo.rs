@@ -3,6 +3,15 @@
 //! the memo, and dominance pruning (Fig. 13) operates on ids without
 //! cloning plan-class vectors.
 //!
+//! The arena is split structure-of-arrays into a **hot** lane
+//! ([`PlanHot`]: set, cardinality, cost, applied mask, key/grouping
+//! flags — everything the dominance test of Def. 4 reads) and a **cold**
+//! lane ([`PlanCold`]: the operator tree, key sets, aggregation state and
+//! visible attributes — touched only on materialization, key implication
+//! and plan construction). A class scan for pruning walks a few dozen
+//! 40-byte hot rows instead of dragging whole plan payloads through the
+//! cache; see `docs/ARCHITECTURE.md` § "memo data layout".
+//!
 //! The memo is the optimizer's single source of truth for DP state; the
 //! enumeration engine in [`crate::algo`] only decides *which* plans to
 //! build and which ids a class keeps.
@@ -14,6 +23,7 @@ use dpnext_hypergraph::NodeSet;
 use dpnext_keys::KeyInfo;
 use dpnext_query::OpKind;
 use std::ops::Index;
+use std::sync::Arc;
 
 /// Index of a plan in the memo arena.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -44,8 +54,11 @@ pub enum PlanNode {
     Apply {
         /// Operator kind (join, outer join, groupjoin, ...).
         op: OpKind,
-        /// The merged predicate, oriented left-to-right.
-        pred: JoinPred,
+        /// The merged predicate, oriented left-to-right. Shared: every
+        /// plan of one orientation applies the identical predicate, so
+        /// the enumeration stages it once per orientation and each plan
+        /// holds a reference instead of a cloned term vector.
+        pred: Arc<JoinPred>,
         /// Aggregates evaluated inline when `op` is a groupjoin.
         gj_aggs: Vec<AggCall>,
         /// Left input plan.
@@ -64,7 +77,10 @@ pub enum PlanNode {
     },
 }
 
-/// A plan plus its derived logical properties — one arena entry.
+/// A plan plus its derived logical properties — the construction /
+/// transfer representation. The memo stores it split into a [`PlanHot`]
+/// and a [`PlanCold`] row; read both back through
+/// [`PlanStore::plan`] / [`PlanRef`].
 #[derive(Debug, Clone)]
 pub struct MemoPlan {
     /// The root operator; children are arena ids.
@@ -93,6 +109,120 @@ impl MemoPlan {
     /// Whether the root operator is an eager-aggregation grouping.
     pub fn is_group(&self) -> bool {
         matches!(self.node, PlanNode::Group { .. })
+    }
+
+    /// Split into the hot/cold arena rows.
+    #[inline]
+    pub fn split(self) -> (PlanHot, PlanCold) {
+        let mut flags = 0u8;
+        if self.has_grouping {
+            flags |= PlanHot::HAS_GROUPING;
+        }
+        if self.keyinfo.duplicate_free {
+            flags |= PlanHot::DUP_FREE;
+        }
+        if matches!(self.node, PlanNode::Group { .. }) {
+            flags |= PlanHot::IS_GROUP;
+        }
+        (
+            PlanHot {
+                set: self.set,
+                card: self.card,
+                cost: self.cost,
+                applied: self.applied,
+                flags,
+            },
+            PlanCold {
+                node: self.node,
+                keyinfo: self.keyinfo,
+                agg: self.agg,
+                visible: self.visible,
+            },
+        )
+    }
+}
+
+/// The dominance-relevant properties of one plan, packed into a 40-byte
+/// `Copy` row. A class scan during pruning reads only this array — the
+/// operator tree and key sets stay out of the cache until a comparison
+/// actually needs key implication or a plan is materialized.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanHot {
+    /// Relations covered.
+    pub set: NodeSet,
+    /// Estimated output cardinality.
+    pub card: f64,
+    /// Accumulated `C_out`.
+    pub cost: f64,
+    /// Bitmask of applied operators.
+    pub applied: u64,
+    /// Packed `HAS_GROUPING` / `DUP_FREE` / `IS_GROUP` bits.
+    flags: u8,
+}
+
+impl PlanHot {
+    const HAS_GROUPING: u8 = 1;
+    const DUP_FREE: u8 = 2;
+    const IS_GROUP: u8 = 4;
+
+    /// Whether any `Group` node occurs in the plan tree.
+    #[inline]
+    pub fn has_grouping(&self) -> bool {
+        self.flags & Self::HAS_GROUPING != 0
+    }
+
+    /// Whether the plan's output is duplicate-free
+    /// (mirrors `keyinfo.duplicate_free` of the cold row).
+    #[inline]
+    pub fn duplicate_free(&self) -> bool {
+        self.flags & Self::DUP_FREE != 0
+    }
+
+    /// Whether the root operator is an eager-aggregation grouping.
+    #[inline]
+    pub fn is_group(&self) -> bool {
+        self.flags & Self::IS_GROUP != 0
+    }
+}
+
+/// The materialization payload of one plan: everything dominance does not
+/// read on its fast path. Reached through [`PlanStore::plan`].
+#[derive(Debug, Clone)]
+pub struct PlanCold {
+    /// The root operator; children are arena ids.
+    pub node: PlanNode,
+    /// Candidate keys + duplicate-freeness.
+    pub keyinfo: KeyInfo,
+    /// Aggregation state (positions of original aggregates, count columns).
+    pub agg: AggState,
+    /// Attributes visible in the output.
+    pub visible: Vec<AttrId>,
+}
+
+/// A borrowed view of one plan's hot and cold rows.
+#[derive(Clone, Copy)]
+pub struct PlanRef<'a> {
+    /// The dominance-relevant properties.
+    pub hot: &'a PlanHot,
+    /// The materialization payload.
+    pub cold: &'a PlanCold,
+}
+
+impl PlanRef<'_> {
+    /// Reassemble an owned [`MemoPlan`] (clones the cold payload) — for
+    /// callers that construct new plans from existing ones.
+    pub fn to_plan(&self) -> MemoPlan {
+        MemoPlan {
+            node: self.cold.node.clone(),
+            set: self.hot.set,
+            card: self.hot.card,
+            cost: self.hot.cost,
+            keyinfo: self.cold.keyinfo.clone(),
+            agg: self.cold.agg.clone(),
+            visible: self.cold.visible.clone(),
+            has_grouping: self.hot.has_grouping(),
+            applied: self.hot.applied,
+        }
     }
 }
 
@@ -184,12 +314,22 @@ pub struct MemoStats {
     pub worker_nanos: u64,
     /// Nanoseconds spent in the merge + replay phase of the layered
     /// engine (shard append, class bucketing, per-class folds). With the
-    /// class-partitioned replay only the bucketing remains serial; the
-    /// folds fan out. 0 on the streaming path.
+    /// class-partitioned replay only the shard append remains serial;
+    /// the bucketing and the folds fan out. 0 on the streaming path.
     pub replay_nanos: u64,
     /// Most plan classes replayed concurrently in one stratum by the
     /// class-partitioned replay (0 = every replay ran serially).
     pub peak_replay_classes: u64,
+    /// Worst LPT load imbalance observed across parallel replays, as
+    /// `max_worker_load · fanout · 100 / total_candidates`: 100 means the
+    /// most loaded replay worker carried exactly its fair share, `k·100`
+    /// that it carried `k×` its share (skewed strata). 0 when no replay
+    /// ever fanned out.
+    pub lpt_imbalance_x100: u64,
+    /// Strata whose merge-candidate *bucketing* (grouping the shard
+    /// streams by target class) itself fanned out over the worker pool
+    /// instead of running on the merge thread.
+    pub par_bucket_strata: u64,
     /// Effective plan budget enforced by a budgeted search (the requested
     /// budget clamped up to the greedy floor); 0 when the run was not
     /// budgeted. When non-zero, `plans_built <= plan_budget` holds.
@@ -248,14 +388,73 @@ pub struct ClassTally {
     pub peak_class_width: u64,
 }
 
+/// The hot half of the dominance test: everything decidable from two
+/// [`PlanHot`] rows. `Full` dominance additionally requires the cold-side
+/// key implication, checked by the callers *after* this passes — the
+/// `&&` order matches the original single-struct test exactly, so the
+/// split changes no outcome.
+#[inline]
+fn dominates_hot(a: &PlanHot, b: &PlanHot, kind: DominanceKind, guard_groupjoin: bool) -> bool {
+    if guard_groupjoin && a.has_grouping() && !b.has_grouping() {
+        return false;
+    }
+    match kind {
+        DominanceKind::CostOnly => a.cost <= b.cost,
+        DominanceKind::CostCard => a.cost <= b.cost && a.card <= b.card,
+        DominanceKind::Full => {
+            a.cost <= b.cost && a.card <= b.card && (a.duplicate_free() || !b.duplicate_free())
+        }
+    }
+}
+
+/// Dominance test over split arenas: hot fast path first, cold key
+/// implication only when everything else already holds (and only for
+/// [`DominanceKind::Full`]).
+#[inline]
+fn dominates_split(
+    a_hot: &PlanHot,
+    b_hot: &PlanHot,
+    cold: &[PlanCold],
+    a: PlanId,
+    b: PlanId,
+    kind: DominanceKind,
+    guard_groupjoin: bool,
+) -> bool {
+    if !dominates_hot(a_hot, b_hot, kind, guard_groupjoin) {
+        return false;
+    }
+    kind != DominanceKind::Full
+        || cold[a.index()]
+            .keyinfo
+            .keys
+            .implies(&cold[b.index()].keyinfo.keys)
+}
+
+/// Dominance (Def. 4): `a` dominates `b` when it is at most as expensive,
+/// at most as large, duplicate-free whenever `b` is, and its key set
+/// implies `b`'s (the practical weakening of `FD⁺(a) ⊇ FD⁺(b)` suggested
+/// in §4.6). In the presence of groupjoins a pre-aggregated plan must not
+/// shadow a raw plan (the groupjoin needs raw right inputs).
+pub fn dominates(
+    a: PlanRef<'_>,
+    b: PlanRef<'_>,
+    kind: DominanceKind,
+    guard_groupjoin: bool,
+) -> bool {
+    dominates_hot(a.hot, b.hot, kind, guard_groupjoin)
+        && (kind != DominanceKind::Full || a.cold.keyinfo.keys.implies(&b.cold.keyinfo.keys))
+}
+
 /// `PruneDominatedPlans` (Fig. 13) against a detached class vector:
 /// drop `id` if an incumbent dominates it, otherwise evict every
-/// incumbent it dominates and append it. Plan data is read from `arena`;
-/// counters go to `tally`. This is the one implementation of the pruning
-/// fold — [`Memo::class_prune_insert`] (streaming) and the per-class
-/// replay workers of the layered engine both call it.
+/// incumbent it dominates and append it. Plan data is read from the
+/// split `hot`/`cold` arenas; counters go to `tally`. This is the
+/// one-candidate form — [`Memo::class_prune_insert`] (streaming) calls
+/// it; the per-class replay folds use the batched
+/// [`prune_fold_slice`].
 pub fn prune_insert_ids(
-    arena: &[MemoPlan],
+    hot: &[PlanHot],
+    cold: &[PlanCold],
     class: &mut Vec<PlanId>,
     id: PlanId,
     kind: DominanceKind,
@@ -263,18 +462,88 @@ pub fn prune_insert_ids(
     tally: &mut ClassTally,
 ) {
     tally.prune_attempts += 1;
-    let new = &arena[id.index()];
+    let new = hot[id.index()];
     for &old in class.iter() {
-        if dominates(&arena[old.index()], new, kind, guard_groupjoin) {
+        if dominates_split(
+            &hot[old.index()],
+            &new,
+            cold,
+            old,
+            id,
+            kind,
+            guard_groupjoin,
+        ) {
             tally.prune_rejected += 1;
             return;
         }
     }
     let before = class.len();
-    class.retain(|&old| !dominates(new, &arena[old.index()], kind, guard_groupjoin));
+    class.retain(|&old| {
+        !dominates_split(
+            &new,
+            &hot[old.index()],
+            cold,
+            id,
+            old,
+            kind,
+            guard_groupjoin,
+        )
+    });
     tally.prune_evicted += (before - class.len()) as u64;
     class.push(id);
     tally.peak_class_width = tally.peak_class_width.max(class.len() as u64);
+}
+
+/// Fold a whole slice of unit-sorted candidates into one class — the
+/// batched form of [`prune_insert_ids`] the class-partitioned replay
+/// runs. Semantically identical to folding the candidates one by one
+/// (same retain order, same tally), but the resident plans' hot rows are
+/// mirrored into the caller-owned `rows` scratch so every dominance scan
+/// walks one contiguous 40-byte-stride array instead of chasing arena
+/// indices; evictions compact `class` and `rows` in lockstep.
+#[allow(clippy::too_many_arguments)]
+pub fn prune_fold_slice(
+    hot: &[PlanHot],
+    cold: &[PlanCold],
+    class: &mut Vec<PlanId>,
+    rows: &mut Vec<PlanHot>,
+    candidates: &[PlanId],
+    kind: DominanceKind,
+    guard_groupjoin: bool,
+    tally: &mut ClassTally,
+) {
+    rows.clear();
+    rows.extend(class.iter().map(|&id| hot[id.index()]));
+    'next: for &id in candidates {
+        tally.prune_attempts += 1;
+        let new = hot[id.index()];
+        for (old, &old_id) in rows.iter().zip(class.iter()) {
+            if dominates_split(old, &new, cold, old_id, id, kind, guard_groupjoin) {
+                tally.prune_rejected += 1;
+                continue 'next;
+            }
+        }
+        // Order-preserving lockstep compaction of (class, rows). Copies
+        // start only after the first eviction (like `Vec::retain`) — the
+        // common no-eviction pass writes nothing.
+        let before = class.len();
+        let mut w = 0;
+        for i in 0..before {
+            if !dominates_split(&new, &rows[i], cold, id, class[i], kind, guard_groupjoin) {
+                if w != i {
+                    class[w] = class[i];
+                    rows[w] = rows[i];
+                }
+                w += 1;
+            }
+        }
+        class.truncate(w);
+        rows.truncate(w);
+        tally.prune_evicted += (before - w) as u64;
+        class.push(id);
+        rows.push(new);
+        tally.peak_class_width = tally.peak_class_width.max(class.len() as u64);
+    }
 }
 
 /// Append-and-read access to a plan arena — the interface the plan
@@ -282,7 +551,11 @@ pub fn prune_insert_ids(
 /// build against. Implemented by the [`Memo`] itself (sequential engine)
 /// and by [`MemoShard`] (a worker's thread-local arena layered over the
 /// frozen shared memo).
-pub trait PlanStore: Index<PlanId, Output = MemoPlan> {
+///
+/// Indexing (`store[id]`) yields the [`PlanHot`] row — the fields the
+/// enumeration hot path reads; [`PlanStore::plan`] materializes the full
+/// [`PlanRef`] when the cold payload is needed.
+pub trait PlanStore: Index<PlanId, Output = PlanHot> {
     /// Store a plan, returning its id (does not touch any class).
     fn push_plan(&mut self, plan: MemoPlan) -> PlanId;
 
@@ -298,10 +571,13 @@ pub trait PlanStore: Index<PlanId, Output = MemoPlan> {
     /// of the [`Memo`], the frozen pre-stratum classes of a [`MemoShard`].
     fn plan_class(&self, s: NodeSet) -> &[PlanId];
 
+    /// Both rows of one plan (hot + cold payload).
+    fn plan(&self, id: PlanId) -> PlanRef<'_>;
+
     /// `Eagerness` of a plan (§4.5): the number of grouping operators that
     /// are a direct child of the topmost join operator.
     fn eagerness(&self, id: PlanId) -> u32 {
-        match &self[id].node {
+        match &self.plan(id).cold.node {
             PlanNode::Apply { left, right, .. } => {
                 let l = self[*left].is_group() as u32;
                 let r = self[*right].is_group() as u32;
@@ -312,20 +588,26 @@ pub trait PlanStore: Index<PlanId, Output = MemoPlan> {
     }
 }
 
-/// The arena plus the plan classes built over it.
+/// The split arena plus the plan classes built over it.
 #[derive(Debug, Default)]
 pub struct Memo {
-    arena: Vec<MemoPlan>,
+    hot: Vec<PlanHot>,
+    cold: Vec<PlanCold>,
     classes: FxHashMap<NodeSet, Vec<PlanId>>,
     stats: MemoStats,
+    /// Decaying high-water marks surviving [`Memo::reset`] — they bound
+    /// how much allocation a pooled memo is allowed to carry across runs
+    /// (not part of [`MemoStats`]: statistics reset per run).
+    arena_high_water: usize,
+    class_high_water: usize,
 }
 
 impl Index<PlanId> for Memo {
-    type Output = MemoPlan;
+    type Output = PlanHot;
 
     #[inline]
-    fn index(&self, id: PlanId) -> &MemoPlan {
-        &self.arena[id.index()]
+    fn index(&self, id: PlanId) -> &PlanHot {
+        &self.hot[id.index()]
     }
 }
 
@@ -337,7 +619,7 @@ impl PlanStore for Memo {
 
     #[inline]
     fn plan_count(&self) -> usize {
-        self.arena.len()
+        self.hot.len()
     }
 
     #[inline]
@@ -349,46 +631,80 @@ impl PlanStore for Memo {
     fn plan_class(&self, s: NodeSet) -> &[PlanId] {
         self.class(s)
     }
+
+    #[inline]
+    fn plan(&self, id: PlanId) -> PlanRef<'_> {
+        PlanRef {
+            hot: &self.hot[id.index()],
+            cold: &self.cold[id.index()],
+        }
+    }
 }
 
 impl Memo {
+    /// Arena/class capacity floor kept through [`Memo::reset`]: shrinking
+    /// below this saves nothing worth a re-malloc on the next run.
+    const MIN_RETAINED_CAPACITY: usize = 1024;
+
     /// An empty memo.
     pub fn new() -> Memo {
         Memo::default()
     }
 
-    /// Clear the memo for reuse, keeping the arena's allocation.
+    /// Clear the memo for reuse, keeping (bounded) allocations.
     ///
     /// Every piece of per-run state is wiped: plans, classes and the
     /// whole [`MemoStats`] block — including the rollback high-water
     /// mark `arena_peak` and the prune counters, which would otherwise
     /// leak into the next run's report. A run on a reset memo produces
     /// bit-identical results and statistics to a run on a fresh one;
-    /// only the arena's *capacity* carries over, which is the point:
-    /// pooled back-to-back optimizations skip the re-malloc.
+    /// only *capacity* carries over, which is the point: pooled
+    /// back-to-back optimizations skip the re-malloc.
+    ///
+    /// Capacity is not kept unconditionally: a single huge query would
+    /// otherwise pin worst-case arena and class-map footprint on the
+    /// pooled memo forever. A decaying high-water mark (`hw = peak.max(hw/2)`
+    /// per reset) tracks recent demand, and capacity above `2·hw` is
+    /// released — repeat-heavy steady state keeps its warm allocation,
+    /// while an outlier's footprint halves away within a few resets.
     pub fn reset(&mut self) {
-        self.arena.clear();
+        let arena_peak = (self.stats.arena_peak as usize).max(self.hot.len());
+        self.arena_high_water = arena_peak.max(self.arena_high_water / 2);
+        self.class_high_water = self.classes.len().max(self.class_high_water / 2);
+        self.hot.clear();
+        self.cold.clear();
         self.classes.clear();
         self.stats = MemoStats::default();
+        let arena_target = (self.arena_high_water * 2).max(Self::MIN_RETAINED_CAPACITY);
+        if self.hot.capacity() > arena_target {
+            self.hot.shrink_to(arena_target);
+            self.cold.shrink_to(arena_target);
+        }
+        let class_target = (self.class_high_water * 2).max(Self::MIN_RETAINED_CAPACITY);
+        if self.classes.capacity() > class_target {
+            self.classes.shrink_to(class_target);
+        }
     }
 
     /// Allocated arena capacity in plans (diagnostic for arena pooling:
     /// a warmed-up pool serves repeat queries without growing this).
     pub fn arena_capacity(&self) -> usize {
-        self.arena.capacity()
+        self.hot.capacity()
     }
 
     /// Store a plan in the arena (does not touch any class).
     #[inline]
     pub fn push(&mut self, plan: MemoPlan) -> PlanId {
-        let id = PlanId::from_index(self.arena.len());
-        self.arena.push(plan);
+        let id = PlanId::from_index(self.hot.len());
+        let (hot, cold) = plan.split();
+        self.hot.push(hot);
+        self.cold.push(cold);
         id
     }
 
     /// Number of plans in the arena.
     pub fn arena_len(&self) -> usize {
-        self.arena.len()
+        self.hot.len()
     }
 
     /// Roll the arena back to `len` entries, discarding plans pushed since.
@@ -399,9 +715,10 @@ impl Memo {
     /// never inserted into a class, and on EA-All they outnumber retained
     /// plans by an order of magnitude.
     pub fn truncate(&mut self, len: usize) {
-        debug_assert!(len <= self.arena.len());
-        self.stats.arena_peak = self.stats.arena_peak.max(self.arena.len() as u64);
-        self.arena.truncate(len);
+        debug_assert!(len <= self.hot.len());
+        self.stats.arena_peak = self.stats.arena_peak.max(self.hot.len() as u64);
+        self.hot.truncate(len);
+        self.cold.truncate(len);
     }
 
     /// Merge one worker's thread-local shard into the shared arena.
@@ -413,13 +730,21 @@ impl Memo {
     /// references `< base` address the frozen shared prefix and pass
     /// through untouched. Returns the translation to apply to the shard's
     /// provisional ids (the candidate lists recorded by the worker).
-    pub fn append_shard(&mut self, plans: Vec<MemoPlan>, base: usize) -> ShardRemap {
-        debug_assert!(base <= self.arena.len());
-        let delta = self.arena.len() - base;
+    pub fn append_shard(
+        &mut self,
+        hot: Vec<PlanHot>,
+        cold: Vec<PlanCold>,
+        base: usize,
+    ) -> ShardRemap {
+        debug_assert!(base <= self.hot.len());
+        debug_assert_eq!(hot.len(), cold.len());
+        let delta = self.hot.len() - base;
         let remap = ShardRemap { base, delta };
-        self.arena.reserve(plans.len());
-        for mut plan in plans {
-            match &mut plan.node {
+        self.hot.reserve(hot.len());
+        self.cold.reserve(cold.len());
+        self.hot.extend_from_slice(&hot);
+        for mut row in cold {
+            match &mut row.node {
                 PlanNode::Scan { .. } => {}
                 PlanNode::Apply { left, right, .. } => {
                     *left = remap.apply(*left);
@@ -429,7 +754,7 @@ impl Memo {
                     *input = remap.apply(*input);
                 }
             }
-            self.arena.push(plan);
+            self.cold.push(row);
         }
         remap
     }
@@ -440,16 +765,20 @@ impl Memo {
     /// `buckets`. Plan classes are independent per `NodeSet` (the Fig. 13
     /// dominance test only ever compares plans within one class), so the
     /// buckets can later fold concurrently — this grouping is what the
-    /// class-partitioned parallel replay fans out over.
+    /// class-partitioned parallel replay fans out over. On wide strata
+    /// the engine skips this serial form and fans the bucketing itself
+    /// over the workers (see `enumerate_layered`).
+    #[allow(clippy::too_many_arguments)]
     pub fn append_shard_bucketed(
         &mut self,
-        plans: Vec<MemoPlan>,
+        hot: Vec<PlanHot>,
+        cold: Vec<PlanCold>,
         base: usize,
         inserts: &[(u64, NodeSet, PlanId)],
         completes: &[(u64, PlanId)],
         buckets: &mut ClassBuckets,
     ) {
-        let remap = self.append_shard(plans, base);
+        let remap = self.append_shard(hot, cold, base);
         for &(unit, s, id) in inserts {
             buckets
                 .classes
@@ -484,6 +813,17 @@ impl Memo {
         self.stats.peak_replay_classes = peak_replay_classes;
     }
 
+    /// Fold one parallel replay's LPT assignment skew into the stats
+    /// (keeps the worst stratum; see [`MemoStats::lpt_imbalance_x100`]).
+    pub fn record_replay_imbalance(&mut self, imbalance_x100: u64) {
+        self.stats.lpt_imbalance_x100 = self.stats.lpt_imbalance_x100.max(imbalance_x100);
+    }
+
+    /// Count one stratum whose merge-candidate bucketing fanned out.
+    pub fn record_par_bucket_stratum(&mut self) {
+        self.stats.par_bucket_strata += 1;
+    }
+
     /// Record the outcome of a budgeted search: the effective budget, the
     /// exhaustion flag and the adaptive ladder rung that won.
     pub fn record_budget(&mut self, plan_budget: u64, exhausted: bool, mode: AdaptiveMode) {
@@ -496,7 +836,7 @@ impl Memo {
     /// the peak statistic: while a stratum runs, the shared prefix and
     /// every shard are alive at once.
     pub fn record_shard_peak(&mut self, shard_peak_sum: u64) {
-        let live = self.arena.len() as u64 + shard_peak_sum;
+        let live = self.hot.len() as u64 + shard_peak_sum;
         self.stats.arena_peak = self.stats.arena_peak.max(live);
     }
 
@@ -533,7 +873,15 @@ impl Memo {
     ) {
         let mut tally = ClassTally::default();
         let class = self.classes.entry(s).or_default();
-        prune_insert_ids(&self.arena, class, id, kind, guard_groupjoin, &mut tally);
+        prune_insert_ids(
+            &self.hot,
+            &self.cold,
+            class,
+            id,
+            kind,
+            guard_groupjoin,
+            &mut tally,
+        );
         self.stats.merge_tally(&tally);
     }
 
@@ -549,21 +897,21 @@ impl Memo {
             return;
         };
         let best = class.iter().copied().min_by(|&a, &b| {
-            self.arena[a.index()]
+            self.hot[a.index()]
                 .cost
-                .total_cmp(&self.arena[b.index()].cost)
+                .total_cmp(&self.hot[b.index()].cost)
         });
         let Some(best) = best else { return };
-        let raw = (keep_raw && self.arena[best.index()].has_grouping)
+        let raw = (keep_raw && self.hot[best.index()].has_grouping())
             .then(|| {
                 class
                     .iter()
                     .copied()
-                    .filter(|&id| !self.arena[id.index()].has_grouping)
+                    .filter(|&id| !self.hot[id.index()].has_grouping())
                     .min_by(|&a, &b| {
-                        self.arena[a.index()]
+                        self.hot[a.index()]
                             .cost
-                            .total_cmp(&self.arena[b.index()].cost)
+                            .total_cmp(&self.hot[b.index()].cost)
                     })
             })
             .flatten();
@@ -590,11 +938,18 @@ impl Memo {
         );
     }
 
-    /// Every plan in arena order — read access for the detached per-class
-    /// folds, which run against a frozen (fully merged) arena.
+    /// Every hot row in arena order — read access for the detached
+    /// per-class folds, which run against a frozen (fully merged) arena.
     #[inline]
-    pub fn plans(&self) -> &[MemoPlan] {
-        &self.arena
+    pub fn hot_plans(&self) -> &[PlanHot] {
+        &self.hot
+    }
+
+    /// Every cold row in arena order (index-aligned with
+    /// [`Memo::hot_plans`]).
+    #[inline]
+    pub fn cold_plans(&self) -> &[PlanCold] {
+        &self.cold
     }
 
     /// Snapshot of all plan classes sorted by node set — a deterministic
@@ -631,8 +986,8 @@ impl Memo {
     /// Snapshot of the memo statistics (arena sizes filled in).
     pub fn stats(&self) -> MemoStats {
         MemoStats {
-            arena_plans: self.arena.len() as u64,
-            arena_peak: self.stats.arena_peak.max(self.arena.len() as u64),
+            arena_plans: self.hot.len() as u64,
+            arena_peak: self.stats.arena_peak.max(self.hot.len() as u64),
             ..self.stats
         }
     }
@@ -687,15 +1042,17 @@ impl ShardRemap {
 ///
 /// During one stratum of the layered engine the shared memo is frozen:
 /// workers only read plans and classes below `base` (= the shared arena
-/// length at stratum start) and push new plans into their own `local`
-/// vector, with provisional ids `base + local index`. Because every shard
-/// uses the same `base` and workers never see each other's plans, a
-/// provisional id `>= base` always refers to the owning shard; the merge
-/// ([`Memo::append_shard`]) shifts those references to final positions.
+/// length at stratum start) and push new plans into their own local
+/// hot/cold vectors, with provisional ids `base + local index`. Because
+/// every shard uses the same `base` and workers never see each other's
+/// plans, a provisional id `>= base` always refers to the owning shard;
+/// the merge ([`Memo::append_shard`]) shifts those references to final
+/// positions.
 pub struct MemoShard<'a> {
     shared: &'a Memo,
     base: usize,
-    local: Vec<MemoPlan>,
+    local_hot: Vec<PlanHot>,
+    local_cold: Vec<PlanCold>,
     /// Largest local arena observed (before rollbacks), for peak stats.
     peak: usize,
 }
@@ -706,7 +1063,8 @@ impl<'a> MemoShard<'a> {
         MemoShard {
             shared,
             base: shared.arena_len(),
-            local: Vec::new(),
+            local_hot: Vec::new(),
+            local_cold: Vec::new(),
             peak: 0,
         }
     }
@@ -719,25 +1077,25 @@ impl<'a> MemoShard<'a> {
 
     /// Largest local plan count observed.
     pub fn peak(&self) -> usize {
-        self.peak.max(self.local.len())
+        self.peak.max(self.local_hot.len())
     }
 
-    /// Tear the shard apart into its locally built plans (rollbacks
-    /// already applied) for [`Memo::append_shard`].
-    pub fn into_local(self) -> Vec<MemoPlan> {
-        self.local
+    /// Tear the shard apart into its locally built hot/cold rows
+    /// (rollbacks already applied) for [`Memo::append_shard`].
+    pub fn into_local(self) -> (Vec<PlanHot>, Vec<PlanCold>) {
+        (self.local_hot, self.local_cold)
     }
 }
 
 impl Index<PlanId> for MemoShard<'_> {
-    type Output = MemoPlan;
+    type Output = PlanHot;
 
     #[inline]
-    fn index(&self, id: PlanId) -> &MemoPlan {
+    fn index(&self, id: PlanId) -> &PlanHot {
         if id.index() < self.base {
             &self.shared[id]
         } else {
-            &self.local[id.index() - self.base]
+            &self.local_hot[id.index() - self.base]
         }
     }
 }
@@ -745,46 +1103,40 @@ impl Index<PlanId> for MemoShard<'_> {
 impl PlanStore for MemoShard<'_> {
     #[inline]
     fn push_plan(&mut self, plan: MemoPlan) -> PlanId {
-        let id = PlanId::from_index(self.base + self.local.len());
-        self.local.push(plan);
+        let id = PlanId::from_index(self.base + self.local_hot.len());
+        let (hot, cold) = plan.split();
+        self.local_hot.push(hot);
+        self.local_cold.push(cold);
         id
     }
 
     #[inline]
     fn plan_count(&self) -> usize {
-        self.base + self.local.len()
+        self.base + self.local_hot.len()
     }
 
     #[inline]
     fn truncate_plans(&mut self, len: usize) {
         debug_assert!(len >= self.base);
-        self.peak = self.peak.max(self.local.len());
-        self.local.truncate(len - self.base);
+        self.peak = self.peak.max(self.local_hot.len());
+        self.local_hot.truncate(len - self.base);
+        self.local_cold.truncate(len - self.base);
     }
 
     #[inline]
     fn plan_class(&self, s: NodeSet) -> &[PlanId] {
         self.shared.class(s)
     }
-}
 
-/// Dominance (Def. 4): `a` dominates `b` when it is at most as expensive,
-/// at most as large, duplicate-free whenever `b` is, and its key set
-/// implies `b`'s (the practical weakening of `FD⁺(a) ⊇ FD⁺(b)` suggested
-/// in §4.6). In the presence of groupjoins a pre-aggregated plan must not
-/// shadow a raw plan (the groupjoin needs raw right inputs).
-pub fn dominates(a: &MemoPlan, b: &MemoPlan, kind: DominanceKind, guard_groupjoin: bool) -> bool {
-    if guard_groupjoin && a.has_grouping && !b.has_grouping {
-        return false;
-    }
-    match kind {
-        DominanceKind::CostOnly => a.cost <= b.cost,
-        DominanceKind::CostCard => a.cost <= b.cost && a.card <= b.card,
-        DominanceKind::Full => {
-            a.cost <= b.cost
-                && a.card <= b.card
-                && (a.keyinfo.duplicate_free || !b.keyinfo.duplicate_free)
-                && a.keyinfo.keys.implies(&b.keyinfo.keys)
+    #[inline]
+    fn plan(&self, id: PlanId) -> PlanRef<'_> {
+        if id.index() < self.base {
+            self.shared.plan(id)
+        } else {
+            PlanRef {
+                hot: &self.local_hot[id.index() - self.base],
+                cold: &self.local_cold[id.index() - self.base],
+            }
         }
     }
 }

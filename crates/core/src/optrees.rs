@@ -3,7 +3,7 @@
 
 use crate::context::{OptContext, Scratch};
 use crate::memo::{PlanId, PlanStore};
-use crate::plan::{make_apply, make_group};
+use crate::plan::{apply_staged, make_group, StagedApply};
 use dpnext_keys::needs_grouping;
 use dpnext_query::OpKind;
 
@@ -31,36 +31,34 @@ fn may_push(op: OpKind) -> (bool, bool) {
 ///   duplicate-free `t` (Fig. 6 lines 10/15: `NeedsGrouping(G⁺ᵢ, …)`),
 /// * no double grouping: `Γ(Γ(e))` never helps.
 fn pushable<S: PlanStore>(ctx: &OptContext, scratch: &mut Scratch, store: &S, t: PlanId) -> bool {
-    let plan = &store[t];
-    if !ctx.has_grouping() || plan.is_group() || !ctx.can_group(plan.set) {
+    let hot = &store[t];
+    if !ctx.has_grouping() || hot.is_group() || !ctx.can_group(hot.set) {
         return false;
     }
-    let set = plan.set;
-    let keyinfo = &plan.keyinfo;
+    let set = hot.set;
+    let keyinfo = &store.plan(t).cold.keyinfo;
     // Borrowed cache hit: no Arc clone on this per-candidate-pair path.
     let gplus = scratch.gplus(ctx, set);
     needs_grouping(gplus, keyinfo)
 }
 
-/// Build all operator trees for `t1 ◦ t2` (physical orientation) into
-/// `out`: plain, `Γ(t1) ◦ t2`, `t1 ◦ Γ(t2)`, `Γ(t1) ◦ Γ(t2)` —
-/// Fig. 8 (a)–(d). `out` is a caller-owned scratch buffer so the hot
-/// enumeration loop allocates nothing per pair.
-#[allow(clippy::too_many_arguments)]
+/// Build all operator trees for `t1 ◦ t2` (physical orientation, staged
+/// cut constants in `staged`) into `out`: plain, `Γ(t1) ◦ t2`,
+/// `t1 ◦ Γ(t2)`, `Γ(t1) ◦ Γ(t2)` — Fig. 8 (a)–(d). `out` is a
+/// caller-owned scratch buffer so the hot enumeration loop allocates
+/// nothing per pair.
 pub fn op_trees<S: PlanStore>(
     ctx: &OptContext,
     scratch: &mut Scratch,
     store: &mut S,
-    op_idx: usize,
-    extra: &[usize],
+    staged: &StagedApply,
     t1: PlanId,
     t2: PlanId,
     out: &mut Vec<PlanId>,
 ) {
-    let op = ctx.cq.ops[op_idx].op;
-    let (left_ok, right_ok) = may_push(op);
+    let (left_ok, right_ok) = may_push(staged.kind);
 
-    if let Some(p) = make_apply(ctx, scratch, store, op_idx, extra, t1, t2) {
+    if let Some(p) = apply_staged(ctx, scratch, store, staged, t1, t2) {
         out.push(p);
     }
     let g1 =
@@ -68,17 +66,17 @@ pub fn op_trees<S: PlanStore>(
     let g2 = (right_ok && pushable(ctx, scratch, store, t2))
         .then(|| make_group(ctx, scratch, store, t2));
     if let Some(g1) = g1 {
-        if let Some(p) = make_apply(ctx, scratch, store, op_idx, extra, g1, t2) {
+        if let Some(p) = apply_staged(ctx, scratch, store, staged, g1, t2) {
             out.push(p);
         }
     }
     if let Some(g2) = g2 {
-        if let Some(p) = make_apply(ctx, scratch, store, op_idx, extra, t1, g2) {
+        if let Some(p) = apply_staged(ctx, scratch, store, staged, t1, g2) {
             out.push(p);
         }
     }
     if let (Some(g1), Some(g2)) = (g1, g2) {
-        if let Some(p) = make_apply(ctx, scratch, store, op_idx, extra, g1, g2) {
+        if let Some(p) = apply_staged(ctx, scratch, store, staged, g1, g2) {
             out.push(p);
         }
     }

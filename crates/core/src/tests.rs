@@ -8,7 +8,7 @@ use crate::context::{OptContext, Scratch};
 use crate::finalize::finalize;
 use crate::memo::{Memo, PlanId, PlanStore};
 use crate::optrees::op_trees;
-use crate::plan::{make_apply, make_group, make_scan};
+use crate::plan::{make_apply, make_group, make_scan, stage_apply};
 use dpnext_algebra::{AggCall, AggKind, AttrGen, AttrId, Expr, JoinPred, Value};
 use dpnext_hypergraph::NodeSet;
 use dpnext_query::{GroupSpec, OpKind, OpTree, Query, QueryTable};
@@ -27,7 +27,8 @@ fn op_tree_ids(
     t2: PlanId,
 ) -> Vec<PlanId> {
     let mut out = Vec::new();
-    op_trees(ctx, sc, memo, op_idx, &[], t1, t2, &mut out);
+    let staged = stage_apply(ctx, sc, op_idx, &[], memo[t1].set);
+    op_trees(ctx, sc, memo, &staged, t1, t2, &mut out);
     out
 }
 
@@ -228,7 +229,7 @@ mod plans {
         let s = make_scan(&ctx, &mut memo, 0);
         assert_eq!(100.0, memo[s].card);
         assert_eq!(0.0, memo[s].cost); // scans free under C_out
-        assert!(memo[s].keyinfo.duplicate_free);
+        assert!(memo.plan(s).cold.keyinfo.duplicate_free);
         assert_eq!(0, memo[s].applied);
     }
 
@@ -273,8 +274,8 @@ mod plans {
         let l = make_scan(&ctx, &mut memo, 0);
         let r = make_scan(&ctx, &mut memo, 1);
         let j = make_apply(&ctx, &mut sc, &mut memo, 0, &[], l, r).unwrap();
-        assert!(memo[j].keyinfo.duplicate_free);
-        assert!(memo[j].keyinfo.keys.some_key_within(&[a(3)]));
+        assert!(memo.plan(j).cold.keyinfo.duplicate_free);
+        assert!(memo.plan(j).cold.keyinfo.keys.some_key_within(&[a(3)]));
         // Raw estimate 100 × 50 × 0.1 = 500; the key {a3} bounds it at
         // d(a3) = 50.
         assert_eq!(50.0, memo[j].card);
@@ -290,8 +291,8 @@ mod plans {
         let g = make_group(&ctx, &mut sc, &mut memo, l);
         // G⁺({0}) = {a1} with 10 distinct values.
         assert_eq!(10.0, memo[g].card);
-        assert!(memo[g].keyinfo.duplicate_free);
-        assert!(memo[g].has_grouping);
+        assert!(memo.plan(g).cold.keyinfo.duplicate_free);
+        assert!(memo[g].has_grouping());
         // Grouping the small side: G⁺({1}) = {a2} with 25 distinct values.
         let r = make_scan(&ctx, &mut memo, 1);
         let gr = make_group(&ctx, &mut sc, &mut memo, r);
@@ -307,9 +308,12 @@ mod plans {
         let r = make_scan(&ctx, &mut memo, 1);
         let g = make_group(&ctx, &mut sc, &mut memo, r);
         // sum(a3) is partialed; count(*) stays raw (derived from counts).
-        assert!(matches!(memo[g].agg.pos[1], AggPos::Partial { .. }));
-        assert_eq!(AggPos::Raw, memo[g].agg.pos[0]);
-        assert_eq!(1, memo[g].agg.counts.len());
+        assert!(matches!(
+            memo.plan(g).cold.agg.pos[1],
+            AggPos::Partial { .. }
+        ));
+        assert_eq!(AggPos::Raw, memo.plan(g).cold.agg.pos[0]);
+        assert_eq!(1, memo.plan(g).cold.agg.counts.len());
     }
 
     #[test]

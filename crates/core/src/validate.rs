@@ -36,25 +36,26 @@ pub fn validate_subplan<S: PlanStore + ?Sized>(
     store: &S,
     id: PlanId,
 ) -> Result<(), String> {
-    let plan = &store[id];
-    if !plan.cost.is_finite() || plan.cost < 0.0 {
-        return Err(format!("plan {id:?} has invalid cost {}", plan.cost));
+    let plan = store.plan(id);
+    let hot = plan.hot;
+    if !hot.cost.is_finite() || hot.cost < 0.0 {
+        return Err(format!("plan {id:?} has invalid cost {}", hot.cost));
     }
-    if !plan.card.is_finite() || plan.card < 0.0 {
-        return Err(format!("plan {id:?} has invalid cardinality {}", plan.card));
+    if !hot.card.is_finite() || hot.card < 0.0 {
+        return Err(format!("plan {id:?} has invalid cardinality {}", hot.card));
     }
-    match &plan.node {
+    match &plan.cold.node {
         PlanNode::Scan { table } => {
             if *table >= ctx.query.table_count() {
                 return Err(format!("scan of unknown table occurrence {table}"));
             }
-            if plan.set != NodeSet::single(*table) {
-                return Err(format!("scan of table {table} covers set {}", plan.set));
+            if hot.set != NodeSet::single(*table) {
+                return Err(format!("scan of table {table} covers set {}", hot.set));
             }
-            if plan.applied != 0 {
+            if hot.applied != 0 {
                 return Err(format!("scan of table {table} claims applied operators"));
             }
-            if plan.has_grouping {
+            if hot.has_grouping() {
                 return Err(format!("scan of table {table} flagged has_grouping"));
             }
             Ok(())
@@ -75,18 +76,18 @@ pub fn validate_subplan<S: PlanStore + ?Sized>(
                     l.set, r.set
                 ));
             }
-            if plan.set != l.set.union(r.set) {
+            if hot.set != l.set.union(r.set) {
                 return Err(format!(
                     "apply set {} is not the union of {} and {}",
-                    plan.set, l.set, r.set
+                    hot.set, l.set, r.set
                 ));
             }
             if l.applied & r.applied != 0 {
                 return Err("operator applied twice across join inputs".into());
             }
-            let here = plan.applied & !(l.applied | r.applied);
+            let here = hot.applied & !(l.applied | r.applied);
             if here == 0 {
-                return Err(format!("apply over {} applies no operator", plan.set));
+                return Err(format!("apply over {} applies no operator", hot.set));
             }
             let mut primaries = 0u32;
             for idx in 0..ctx.cq.ops.len() {
@@ -112,10 +113,10 @@ pub fn validate_subplan<S: PlanStore + ?Sized>(
                     ));
                 }
                 for rule in &info.rules {
-                    if rule.when.intersects(plan.set) && !rule.then.is_subset_of(plan.set) {
+                    if rule.when.intersects(hot.set) && !rule.then.is_subset_of(hot.set) {
                         return Err(format!(
                             "operator {idx} conflict rule {} → {} violated by {}",
-                            rule.when, rule.then, plan.set
+                            rule.when, rule.then, hot.set
                         ));
                     }
                 }
@@ -126,26 +127,26 @@ pub fn validate_subplan<S: PlanStore + ?Sized>(
             if *op != OpKind::Join && here.count_ones() > 1 {
                 return Err(format!("extra operators merged into a {op} application"));
             }
-            if *op == OpKind::GroupJoin && r.has_grouping {
+            if *op == OpKind::GroupJoin && r.has_grouping() {
                 return Err("groupjoin applied to a pre-aggregated right input".into());
             }
             for &a in &pred.left_attrs() {
-                if !l.visible.contains(&a) {
+                if !store.plan(*left).cold.visible.contains(&a) {
                     return Err(format!("predicate attribute {a} not visible on the left"));
                 }
             }
             for &a in &pred.right_attrs() {
-                if !r.visible.contains(&a) {
+                if !store.plan(*right).cold.visible.contains(&a) {
                     return Err(format!("predicate attribute {a} not visible on the right"));
                 }
             }
-            if plan.has_grouping != (l.has_grouping || r.has_grouping) {
+            if hot.has_grouping() != (l.has_grouping() || r.has_grouping()) {
                 return Err("has_grouping flag inconsistent with inputs".into());
             }
-            if plan.cost + 1e-6 < l.cost + r.cost {
+            if hot.cost + 1e-6 < l.cost + r.cost {
                 return Err(format!(
                     "apply cost {} below the cost of its inputs {} + {}",
-                    plan.cost, l.cost, r.cost
+                    hot.cost, l.cost, r.cost
                 ));
             }
             Ok(())
@@ -156,34 +157,34 @@ pub fn validate_subplan<S: PlanStore + ?Sized>(
             if inp.is_group() {
                 return Err("grouping stacked directly on a grouping".into());
             }
-            if plan.set != inp.set {
+            if hot.set != inp.set {
                 return Err(format!(
                     "grouping changes the relation set ({} vs {})",
-                    plan.set, inp.set
+                    hot.set, inp.set
                 ));
             }
-            if plan.applied != inp.applied {
+            if hot.applied != inp.applied {
                 return Err("grouping changes the applied-operator mask".into());
             }
-            if !ctx.can_group(plan.set) {
+            if !ctx.can_group(hot.set) {
                 return Err(format!(
                     "grouping over {} with non-decomposable or split aggregates",
-                    plan.set
+                    hot.set
                 ));
             }
-            if *attrs != ctx.compute_gplus(plan.set) {
+            if *attrs != ctx.compute_gplus(hot.set) {
                 return Err(format!(
                     "grouping attributes {attrs:?} differ from G⁺({})",
-                    plan.set
+                    hot.set
                 ));
             }
-            if !plan.has_grouping {
+            if !hot.has_grouping() {
                 return Err("grouping node not flagged has_grouping".into());
             }
-            if plan.cost + 1e-6 < inp.cost {
+            if hot.cost + 1e-6 < inp.cost {
                 return Err(format!(
                     "grouping cost {} below its input cost {}",
-                    plan.cost, inp.cost
+                    hot.cost, inp.cost
                 ));
             }
             Ok(())
@@ -268,7 +269,7 @@ mod tests {
         let r = make_scan(&ctx, &mut memo, 1);
         let j = make_apply(&ctx, &mut scratch, &mut memo, 0, &[], l, r).unwrap();
         // Corrupt the tree: the right child now covers relation 0 too.
-        let mut bogus = memo[j].clone();
+        let mut bogus = memo.plan(j).to_plan();
         if let PlanNode::Apply { right, .. } = &mut bogus.node {
             *right = l;
         }
@@ -285,7 +286,7 @@ mod tests {
         let l = make_scan(&ctx, &mut memo, 0);
         let r = make_scan(&ctx, &mut memo, 1);
         let j = make_apply(&ctx, &mut scratch, &mut memo, 0, &[], l, r).unwrap();
-        let mut bogus = memo[j].clone();
+        let mut bogus = memo.plan(j).to_plan();
         bogus.applied = 0;
         let id = memo.push(bogus);
         // The apply node no longer applies anything at its cut.
@@ -299,7 +300,7 @@ mod tests {
         let mut memo = Memo::new();
         let l = make_scan(&ctx, &mut memo, 0);
         // A hand-rolled grouping with the wrong grouping attributes.
-        let scan = memo[l].clone();
+        let scan = memo.plan(l).to_plan();
         let bogus = MemoPlan {
             node: PlanNode::Group {
                 attrs: vec![a(3)],
@@ -326,7 +327,7 @@ mod tests {
         // Swap the children: the inner join is commutative, so the TES
         // check passes both ways — but the predicate attribute visibility
         // flags the swap (left attrs now come from the right child).
-        let mut bogus = memo[j].clone();
+        let mut bogus = memo.plan(j).to_plan();
         if let PlanNode::Apply { left, right, .. } = &mut bogus.node {
             std::mem::swap(left, right);
         }

@@ -5,7 +5,7 @@
 //! no duplicates. Wrong key claims would make `NeedsGrouping` drop
 //! necessary groupings — this test pins the soundness boundary.
 
-use dpnext_core::{all_subplans, compile};
+use dpnext_core::{all_subplans, compile, PlanStore};
 use dpnext_workload::{generate_data, generate_query, GenConfig, OpWeights};
 
 #[test]
@@ -18,9 +18,9 @@ fn claimed_keys_hold_on_executed_results() {
             let db = generate_data(&query, 6, 0.1, seed);
             let (ctx, memo, plans) = all_subplans(&query);
             for &id in &plans {
-                let plan = &memo[id];
+                let plan = memo.plan(id);
                 let rel = compile(&ctx, &memo, id).eval(&db);
-                if plan.keyinfo.duplicate_free {
+                if plan.cold.keyinfo.duplicate_free {
                     assert!(
                         rel.is_duplicate_free(),
                         "plan claims duplicate-freeness but result has duplicates \
@@ -28,11 +28,11 @@ fn claimed_keys_hold_on_executed_results() {
                         compile(&ctx, &memo, id)
                     );
                 }
-                for key in plan.keyinfo.keys.keys() {
+                for key in plan.cold.keyinfo.keys.keys() {
                     // A key claim additionally requires duplicate-freeness
                     // to be meaningful for NeedsGrouping; check the
                     // combination the optimizer actually relies on.
-                    if !plan.keyinfo.duplicate_free {
+                    if !plan.cold.keyinfo.duplicate_free {
                         continue;
                     }
                     let proj = dpnext_algebra::ops::project(&rel, key, false);

@@ -7,7 +7,7 @@
 //! retention behavior changed.
 
 use dpnext_core::{
-    all_subplans_with, optimize, optimize_with, Algorithm as A, Memo, OptimizeOptions,
+    all_subplans_with, optimize, optimize_with, Algorithm as A, Memo, OptimizeOptions, PlanStore,
 };
 use dpnext_query::Query;
 use dpnext_workload::{generate_query, GenConfig};
@@ -344,6 +344,38 @@ fn wide_stratum_replays_many_classes_concurrently() {
     assert!(seq.memo.worker_nanos > 0 && seq.memo.replay_nanos == 0);
 }
 
+/// Golden for the fanned-out merge bucketing: a stratum wide enough that
+/// grouping the shards' candidate streams by target class itself runs on
+/// the worker pool (hash-partitioned by class). The engine must record
+/// that it did — and the result must still match streaming bit for bit,
+/// with the LPT imbalance counter showing a sane (>= fair-share) reading.
+#[test]
+fn wide_stratum_buckets_candidates_in_parallel() {
+    let query = generate_query(&GenConfig::paper(11), 1000);
+    let seq = optimize_with(&query, A::EaPrune, &with_threads(1));
+    let par = optimize_with(&query, A::EaPrune, &with_threads(8));
+    assert!(
+        par.memo.par_bucket_strata >= 1,
+        "expected at least one stratum to fan its bucketing out, got {}",
+        par.memo.par_bucket_strata
+    );
+    // The LPT skew statistic is recorded whenever a replay fanned out;
+    // the most loaded worker carries at least its fair share (100).
+    assert!(
+        par.memo.lpt_imbalance_x100 >= 100,
+        "LPT imbalance below fair share: {}",
+        par.memo.lpt_imbalance_x100
+    );
+    assert!(seq.memo.par_bucket_strata == 0 && seq.memo.lpt_imbalance_x100 == 0);
+    assert_eq!(seq.plan.cost.to_bits(), par.plan.cost.to_bits());
+    assert_eq!(seq.plans_built, par.plans_built);
+    assert_eq!(seq.retained_plans, par.retained_plans);
+    assert_eq!(seq.memo.prune_attempts, par.memo.prune_attempts);
+    assert_eq!(seq.memo.prune_rejected, par.memo.prune_rejected);
+    assert_eq!(seq.memo.prune_evicted, par.memo.prune_evicted);
+    assert_eq!(seq.memo.peak_class_width, par.memo.peak_class_width);
+}
+
 /// The collect-all policy is layered-capable too (workers record every
 /// complete plan): class contents and the complete stream — as content
 /// signatures, since arena positions legitimately differ — must match the
@@ -447,6 +479,28 @@ proptest! {
                 "collect-all diverges at threads={} (n={}, seed={})",
                 threads, n, seed
             );
+        }
+    }
+
+    /// Invariant of the split (hot/cold) arena layout: the flag bits the
+    /// dominance fast path reads from the 40-byte hot row must be a
+    /// faithful mirror of the cold payload they were derived from, for
+    /// every plan any driver builds — a stale or miscopied flag would
+    /// silently change pruning outcomes without failing any cost golden.
+    #[test]
+    fn hot_rows_mirror_cold_payload(n in 2usize..=6, seed in 0u64..1_000_000) {
+        let query = generate_query(&GenConfig::oracle(n), seed);
+        for threads in [1usize, 2, 8] {
+            let (_ctx, memo, plans) = all_subplans_with(&query, threads);
+            for &id in &plans {
+                let plan = memo.plan(id);
+                prop_assert_eq!(
+                    plan.hot.duplicate_free(), plan.cold.keyinfo.duplicate_free,
+                    "dup-free flag diverges from keyinfo (n={}, seed={}, threads={})",
+                    n, seed, threads
+                );
+                prop_assert_eq!(plan.hot.set, memo[id].set);
+            }
         }
     }
 }

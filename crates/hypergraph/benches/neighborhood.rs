@@ -1,0 +1,125 @@
+//! Micro-benchmark backing the word-batched neighborhood expansion: DPhyp
+//! calls `neighborhood(s, x)` once per emitted csg/cmp pair, so its cost
+//! multiplies directly into the enumeration hot path. The batched
+//! implementation unions per-node simple-adjacency words (`simple_adj`)
+//! in whole-`u64` steps and only walks the (usually short) complex-edge
+//! list; the per-pair reference below re-scans every hyperedge per call,
+//! which is what the pre-batching code did.
+//!
+//! Run with `cargo bench --bench neighborhood`; CI compiles it on every
+//! PR (`cargo bench --no-run`) and archives the binary so the perf
+//! surface cannot silently rot.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dpnext_hypergraph::{Hyperedge, Hypergraph, NodeSet};
+
+/// Per-edge-scan reference: the exact loop `Hypergraph::neighborhood` ran
+/// before simple edges were batched into adjacency words (mirrors the
+/// `naive_neighborhood` oracle in the crate's unit tests).
+fn edge_scan_neighborhood(g: &Hypergraph, s: NodeSet, x: NodeSet) -> NodeSet {
+    let forbidden = s.union(x);
+    let mut n = NodeSet::EMPTY;
+    for e in g.edges() {
+        if e.left.is_subset_of(s) && e.right.is_disjoint(forbidden) {
+            n = n.insert(e.right.min());
+        } else if e.right.is_subset_of(s) && e.left.is_disjoint(forbidden) {
+            n = n.insert(e.left.min());
+        }
+    }
+    n
+}
+
+/// Chain of `n` relations: the sparse extreme (every node sees ≤ 2
+/// neighbors, edge list length `n - 1`).
+fn chain(n: usize) -> Hypergraph {
+    let mut g = Hypergraph::new(n);
+    for i in 0..n - 1 {
+        g.add_simple(i, i + 1, i);
+    }
+    g
+}
+
+/// Clique over `n` relations: the dense extreme — the per-edge scan walks
+/// `n·(n-1)/2` edges per call while the batched version unions `|s|`
+/// words.
+fn clique(n: usize) -> Hypergraph {
+    let mut g = Hypergraph::new(n);
+    for i in 0..n {
+        for j in i + 1..n {
+            g.add_simple(i, j, i * n + j);
+        }
+    }
+    g
+}
+
+/// Cycle plus a sprinkling of complex hyperedges: exercises the mixed
+/// path where the batched version still has to walk `complex`.
+fn cycle_hyper(n: usize) -> Hypergraph {
+    let mut g = Hypergraph::new(n);
+    for i in 0..n {
+        g.add_simple(i, (i + 1) % n, i);
+    }
+    for (k, i) in (0..n.saturating_sub(4)).step_by(3).enumerate() {
+        let left = NodeSet::single(i).insert(i + 1);
+        let right = NodeSet::single(i + 3);
+        g.add_edge(Hyperedge::new(left, right, n + k));
+    }
+    g
+}
+
+/// Deterministic (s, x) probe set shaped like a real DPhyp expansion: all
+/// contiguous runs `s` with the exclusion prefix `x = {0..min(s)} \ s`
+/// DPhyp uses when enumerating csg-cmp pairs in min-node order.
+fn probes(n: usize) -> Vec<(NodeSet, NodeSet)> {
+    let mut out = Vec::new();
+    for len in 1..=n {
+        for start in 0..=(n - len) {
+            let s = NodeSet(((1u64 << len) - 1) << start);
+            let x = NodeSet(if start == 0 { 0 } else { (1u64 << start) - 1 });
+            out.push((s, x));
+        }
+    }
+    out
+}
+
+fn bench_neighborhood(c: &mut Criterion) {
+    let mut group = c.benchmark_group("neighborhood");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+
+    for (label, g) in [
+        ("chain16", chain(16)),
+        ("clique14", clique(14)),
+        ("cycle_hyper16", cycle_hyper(16)),
+    ] {
+        let ps = probes(g.node_count());
+        // Sanity: both implementations agree on every probe, so the
+        // comparison below is apples-to-apples.
+        for &(s, x) in &ps {
+            assert_eq!(g.neighborhood(s, x), edge_scan_neighborhood(&g, s, x));
+        }
+        group.bench_function(format!("word_batched_{label}"), |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for &(s, x) in &ps {
+                    acc ^= g.neighborhood(black_box(s), black_box(x)).0;
+                }
+                black_box(acc)
+            })
+        });
+        group.bench_function(format!("edge_scan_{label}"), |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for &(s, x) in &ps {
+                    acc ^= edge_scan_neighborhood(&g, black_box(s), black_box(x)).0;
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_neighborhood);
+criterion_main!(benches);

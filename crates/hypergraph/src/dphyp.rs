@@ -85,7 +85,7 @@ impl<F: FnMut(NodeSet, NodeSet) -> ControlFlow<()>> Enumerator<'_, F> {
             }
             // Forbid neighbors with index <= v so each complement is found
             // from its minimal representative only.
-            let bv: NodeSet = neigh.iter().filter(|&w| w <= v).collect();
+            let bv = neigh.intersect(NodeSet::upto(v));
             self.enumerate_cmp_rec(s1, s2, x.union(bv))?;
         }
         ControlFlow::Continue(())

@@ -35,10 +35,23 @@ impl Hyperedge {
 }
 
 /// A query hypergraph `H = (V, E)`.
+///
+/// Besides the edge list, the graph maintains a word-batched adjacency
+/// index: per-node `u64` neighbor masks for the simple edges (the common
+/// case) and the indices of the complex hyperedges (both-sides-singleton
+/// fails). The enumeration hot paths — [`Hypergraph::neighborhood`],
+/// [`Hypergraph::has_connecting_edge`], [`Hypergraph::component_of`] —
+/// then run word-at-a-time over the masks instead of scanning the whole
+/// edge list per query.
 #[derive(Debug, Clone, Default)]
 pub struct Hypergraph {
     n: usize,
     edges: Vec<Hyperedge>,
+    /// `simple_adj[v]` = bitmask of nodes connected to `v` by a *simple*
+    /// edge (both sides singletons). Symmetric by construction.
+    simple_adj: Vec<u64>,
+    /// Indices into `edges` of the non-simple (complex) hyperedges.
+    complex: Vec<usize>,
 }
 
 impl Hypergraph {
@@ -47,12 +60,32 @@ impl Hypergraph {
         Hypergraph {
             n,
             edges: Vec::new(),
+            simple_adj: vec![0; n],
+            complex: Vec::new(),
         }
     }
 
     pub fn add_edge(&mut self, e: Hyperedge) {
         debug_assert!(e.left.union(e.right).is_subset_of(NodeSet::full(self.n)));
+        if e.left.len() == 1 && e.right.len() == 1 {
+            self.simple_adj[e.left.min()] |= e.right.0;
+            self.simple_adj[e.right.min()] |= e.left.0;
+        } else {
+            self.complex.push(self.edges.len());
+        }
         self.edges.push(e);
+    }
+
+    /// Union of the simple-edge neighbor masks over all nodes of `s`.
+    #[inline]
+    fn simple_union(&self, s: NodeSet) -> u64 {
+        let mut mask = 0u64;
+        let mut bits = s.0;
+        while bits != 0 {
+            mask |= self.simple_adj[bits.trailing_zeros() as usize];
+            bits &= bits - 1;
+        }
+        mask
     }
 
     pub fn add_simple(&mut self, a: usize, b: usize, label: usize) {
@@ -81,16 +114,27 @@ impl Hypergraph {
 
     /// True when some edge connects `s1` and `s2` (condition 3 of Def. 3).
     pub fn has_connecting_edge(&self, s1: NodeSet, s2: NodeSet) -> bool {
-        self.connecting_edges(s1, s2).next().is_some()
+        // Simple edges word-at-a-time: any neighbor of an `s1` node inside
+        // `s2` is a connecting simple edge (adjacency is symmetric, so one
+        // direction covers both orientations).
+        if self.simple_union(s1) & s2.0 != 0 {
+            return true;
+        }
+        self.complex.iter().any(|&i| self.edges[i].connects(s1, s2))
     }
 
     /// Neighborhood `N(S, X)` for DPhyp: the set of *representative* nodes
     /// (minimum element of each reachable hypernode) adjacent to `S`,
     /// excluding anything in `S` or the forbidden set `X`.
+    ///
+    /// Simple edges are resolved as one OR over the per-node adjacency
+    /// masks followed by a single AND-NOT of the forbidden word; only the
+    /// complex hyperedges still walk the edge list.
     pub fn neighborhood(&self, s: NodeSet, x: NodeSet) -> NodeSet {
         let forbidden = s.union(x);
-        let mut n = NodeSet::EMPTY;
-        for e in &self.edges {
+        let mut n = NodeSet(self.simple_union(s) & !forbidden.0);
+        for &i in &self.complex {
+            let e = &self.edges[i];
             if e.left.is_subset_of(s) && e.right.is_disjoint(forbidden) {
                 n = n.insert(e.right.min());
             } else if e.right.is_subset_of(s) && e.left.is_disjoint(forbidden) {
@@ -108,22 +152,34 @@ impl Hypergraph {
         if s.is_empty() {
             return NodeSet::EMPTY;
         }
-        let mut comp = NodeSet::single(s.min());
+        let within = s.0;
+        let mut comp = NodeSet::single(s.min()).0;
         loop {
+            // Simple-edge closure: frontier BFS over the adjacency masks,
+            // restricted to `s`. (`comp ⊆ s` throughout, so a reached
+            // neighbor inside `s` always has its whole edge inside `s`.)
+            let mut frontier = comp;
+            while frontier != 0 {
+                let next = self.simple_union(NodeSet(frontier)) & within & !comp;
+                comp |= next;
+                frontier = next;
+            }
+            // One complex-edge pass; a growth re-enters the closure loop.
             let mut grown = comp;
-            for e in &self.edges {
-                if !e.left.union(e.right).is_subset_of(s) {
+            for &i in &self.complex {
+                let e = &self.edges[i];
+                if (e.left.0 | e.right.0) & !within != 0 {
                     continue;
                 }
-                if e.left.is_subset_of(grown) {
-                    grown = grown.union(e.right);
+                if e.left.0 & !grown == 0 {
+                    grown |= e.right.0;
                 }
-                if e.right.is_subset_of(grown) {
-                    grown = grown.union(e.left);
+                if e.right.0 & !grown == 0 {
+                    grown |= e.left.0;
                 }
             }
             if grown == comp {
-                return comp;
+                return NodeSet(comp);
             }
             comp = grown;
         }
@@ -223,6 +279,51 @@ mod tests {
         );
         assert_eq!(ns(&[0, 1, 2]), g.component_of(NodeSet::full(5)));
         assert!(g.components_within(NodeSet::EMPTY).is_empty());
+    }
+
+    /// Reference implementation of `neighborhood`: the pre-index per-edge
+    /// linear scan. The word-batched index must agree on every (s, x).
+    fn naive_neighborhood(g: &Hypergraph, s: NodeSet, x: NodeSet) -> NodeSet {
+        let forbidden = s.union(x);
+        let mut n = NodeSet::EMPTY;
+        for e in g.edges() {
+            if e.left.is_subset_of(s) && e.right.is_disjoint(forbidden) {
+                n = n.insert(e.right.min());
+            } else if e.right.is_subset_of(s) && e.left.is_disjoint(forbidden) {
+                n = n.insert(e.left.min());
+            }
+        }
+        n
+    }
+
+    #[test]
+    fn word_batched_neighborhood_matches_edge_scan() {
+        // A 6-node graph mixing simple edges with two complex hyperedges,
+        // exercised over every (s, x ⊆ complement) pair.
+        let mut g = Hypergraph::new(6);
+        g.add_simple(0, 1, 0);
+        g.add_simple(1, 2, 1);
+        g.add_simple(3, 4, 2);
+        g.add_edge(Hyperedge::new(ns(&[1, 2]), ns(&[3]), 3));
+        g.add_edge(Hyperedge::new(ns(&[0]), ns(&[4, 5]), 4));
+        for s_bits in 1u64..(1 << 6) {
+            let s = NodeSet(s_bits);
+            for x in NodeSet(!s_bits & ((1 << 6) - 1)).subsets() {
+                assert_eq!(
+                    naive_neighborhood(&g, s, x),
+                    g.neighborhood(s, x),
+                    "neighborhood diverges at s={s} x={x}"
+                );
+                for s2 in x.subsets() {
+                    let naive = g.edges().iter().any(|e| e.connects(s, s2));
+                    assert_eq!(
+                        naive,
+                        g.has_connecting_edge(s, s2),
+                        "connectivity diverges at s1={s} s2={s2}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

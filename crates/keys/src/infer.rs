@@ -30,12 +30,6 @@ impl KeyInfo {
     }
 }
 
-/// Does a side's join-attribute set contain one of its keys? (The `A_i is
-/// a key` precondition of the §2.3 case analysis.)
-fn join_attrs_cover_key(keys: &KeySet, join_attrs: &[AttrId]) -> bool {
-    keys.some_key_within(join_attrs)
-}
-
 /// `κ` propagation for a binary operator (§2.3.1–§2.3.4).
 ///
 /// `pred` must be canonicalized (left terms from the left input). Only
@@ -43,8 +37,33 @@ fn join_attrs_cover_key(keys: &KeySet, join_attrs: &[AttrId]) -> bool {
 /// always fall back to pairwise combination.
 pub fn infer_join_keys(op: OpKind, left: &KeyInfo, right: &KeyInfo, pred: &JoinPred) -> KeyInfo {
     let equi = pred.is_equi() && !pred.terms.is_empty();
-    let l_covers = equi && join_attrs_cover_key(&left.keys, &pred.left_attrs());
-    let r_covers = equi && join_attrs_cover_key(&right.keys, &pred.right_attrs());
+    let mut left_attrs = pred.left_attrs();
+    let mut right_attrs = pred.right_attrs();
+    left_attrs.sort_unstable();
+    left_attrs.dedup();
+    right_attrs.sort_unstable();
+    right_attrs.dedup();
+    infer_join_keys_presorted(op, left, right, equi, &left_attrs, &right_attrs)
+}
+
+/// [`infer_join_keys`] with the predicate pre-digested: `equi` says
+/// whether the predicate is a non-empty conjunction of equalities, and
+/// `left_attrs` / `right_attrs` are its per-side attribute sets, sorted
+/// and deduplicated. The enumeration stages these once per cut
+/// orientation ([`stage_apply`]'s contract) and calls this per plan pair,
+/// so the `A_i is a key` cover tests (§2.3) allocate nothing.
+///
+/// [`stage_apply`]: ../dpnext_core/plan/fn.stage_apply.html
+pub fn infer_join_keys_presorted(
+    op: OpKind,
+    left: &KeyInfo,
+    right: &KeyInfo,
+    equi: bool,
+    left_attrs: &[AttrId],
+    right_attrs: &[AttrId],
+) -> KeyInfo {
+    let l_covers = equi && left.keys.some_key_within_sorted(left_attrs);
+    let r_covers = equi && right.keys.some_key_within_sorted(right_attrs);
     let dup_free = left.duplicate_free && right.duplicate_free;
     match op {
         OpKind::Join => {

@@ -72,7 +72,19 @@ impl KeySet {
     /// the test of `NeedsGrouping`, Fig. 7.)
     pub fn some_key_within(&self, attrs: &[AttrId]) -> bool {
         let attrs = normalize(attrs.to_vec());
-        self.keys.iter().any(|k| is_subset(k, &attrs))
+        self.some_key_within_sorted(&attrs)
+    }
+
+    /// [`Self::some_key_within`] for callers that already hold `attrs`
+    /// sorted and deduplicated: no allocation, no re-sort. The enumeration
+    /// hot path normalizes a cut's join attributes once per staging and
+    /// runs this per plan pair.
+    pub fn some_key_within_sorted(&self, attrs: &[AttrId]) -> bool {
+        debug_assert!(
+            attrs.windows(2).all(|w| w[0] < w[1]),
+            "attrs not normalized"
+        );
+        self.keys.iter().any(|k| is_subset(k, attrs))
     }
 
     /// Key-set implication: every key of `other` is implied by (a subset

@@ -9,5 +9,7 @@ pub mod infer;
 pub mod keyset;
 
 pub use fd::{Fd, FdSet};
-pub use infer::{grouping_keys, infer_join_keys, needs_grouping, KeyInfo};
+pub use infer::{
+    grouping_keys, infer_join_keys, infer_join_keys_presorted, needs_grouping, KeyInfo,
+};
 pub use keyset::{Key, KeySet};

@@ -184,6 +184,56 @@ mod tests {
     }
 
     #[test]
+    fn reset_shrink_releases_outlier_arena_capacity() {
+        use dpnext::Optimizer;
+        use dpnext_core::Algorithm;
+        use dpnext_workload::{generate_query, GenConfig};
+
+        // One EA-All outlier pins a five-figure arena on the pooled memo;
+        // the decaying high-water shrink in `Memo::reset` must then release
+        // that footprint across a steady stream of small queries instead
+        // of carrying it forever. This pins the shrink behavior: if reset
+        // ever goes back to unconditional capacity retention, the final
+        // bound below fails.
+        let pool = MemoPool::new(1);
+        let opt = Optimizer::new(Algorithm::EaAll).threads(1).explain(false);
+        let big = generate_query(&GenConfig::paper(6), 42);
+        let small = generate_query(&GenConfig::paper(3), 42);
+
+        let outlier_cap = {
+            let mut memo = pool.checkout();
+            opt.optimize_pooled(&big, &mut memo);
+            memo.arena_capacity()
+        };
+        assert!(
+            outlier_cap > 2048,
+            "outlier run too small to exercise the shrink (capacity {outlier_cap})"
+        );
+
+        for _ in 0..12 {
+            let mut memo = pool.checkout();
+            opt.optimize_pooled(&small, &mut memo);
+        }
+        let (settled_cap, stats) = {
+            let mut memo = pool.checkout();
+            opt.optimize_pooled(&small, &mut memo);
+            (memo.arena_capacity(), pool.stats())
+        };
+        assert!(
+            settled_cap <= 2048,
+            "arena capacity {settled_cap} still pinned after 12 small runs \
+             (outlier was {outlier_cap})"
+        );
+        // The pool served every post-warmup request from the single parked
+        // memo — the shrink happened in place, not by re-construction.
+        assert_eq!(1, stats.created);
+        assert_eq!(13, stats.reused);
+        // The peak counter deliberately keeps the outlier: it reports the
+        // worst footprint ever parked, not the current one.
+        assert!(stats.arena_peak_capacity >= outlier_cap as u64);
+    }
+
+    #[test]
     fn disabled_pool_never_parks() {
         let pool = MemoPool::new(0);
         drop(pool.checkout());
