@@ -29,8 +29,15 @@
 //! pruning, `C_out`), so aggregation placement stays explored at scale,
 //! and `plans_built <= plan_budget` holds no matter which rung wins —
 //! [`dpnext_core::MemoStats::plan_budget`],
-//! [`dpnext_core::MemoStats::budget_exhausted`] and
-//! [`dpnext_core::MemoStats::adaptive_mode`] report what happened.
+//! [`dpnext_core::MemoStats::degradation`] (gate vs mid-stream budget
+//! abort vs deadline abort) and [`dpnext_core::MemoStats::adaptive_mode`]
+//! report what happened.
+//!
+//! A wall-clock [`OptimizeOptions::deadline`] rides the same ladder: the
+//! exact and linearized rungs run under sub-deadlines checked once per
+//! enumeration work unit (overshoot bounded by one unit), and the greedy
+//! floor guarantees a valid plan exists before the clock is ever
+//! consulted — a deadlined run *degrades*, it never fails.
 //!
 //! This crate sits **above** `dpnext-core` (it drives the core's budgeted
 //! engine hook); the `dpnext::Optimizer` facade dispatches
@@ -43,8 +50,8 @@ pub use greedy::{greedy_join, traversal_order, GreedyOutcome};
 pub use linear::linearized_dp;
 
 use dpnext_core::{
-    explain, finalize, AdaptiveMode, BudgetedSearch, Memo, OptContext, OptimizeOptions, Optimized,
-    PlanId, UNIT_MAX_PLANS,
+    explain, finalize, AdaptiveMode, BudgetedSearch, Degradation, Memo, OptContext,
+    OptimizeOptions, Optimized, PlanId, UNIT_MAX_PLANS,
 };
 use dpnext_hypergraph::{count_ccps_capped, try_enumerate_ccps, NodeSet};
 use dpnext_query::Query;
@@ -53,6 +60,12 @@ use std::time::Instant;
 
 /// Default plan budget when [`OptimizeOptions::plan_budget`] is 0.
 pub const DEFAULT_PLAN_BUDGET: u64 = 100_000;
+
+/// Effective plan budget for deadline-only runs
+/// ([`OptimizeOptions::deadline`] set, [`OptimizeOptions::plan_budget`]
+/// left 0): practically unbounded, so wall-clock time — not the plan
+/// counter — is the binding resource the ladder degrades on.
+pub const DEADLINE_PLAN_BUDGET: u64 = 1 << 42;
 
 /// The smallest budget the ladder accepts for an `n`-relation query:
 /// enough for the greedy pass (and its canonical-tree fallback) to finish
@@ -94,88 +107,135 @@ pub fn optimize_adaptive(query: &Query, opts: &OptimizeOptions) -> Optimized {
 pub fn optimize_adaptive_run(query: &Query, opts: &OptimizeOptions) -> AdaptiveRun {
     let ctx = OptContext::new(query.clone());
     let n = ctx.query.table_count();
-    let requested = if opts.plan_budget == 0 {
-        DEFAULT_PLAN_BUDGET
-    } else {
+    // A deadline-only run (deadline set, budget left 0) gets a practically
+    // unbounded plan budget: the clock, not the counter, drives degradation.
+    let deadline_only = opts.deadline.is_some() && opts.plan_budget == 0;
+    let requested = if opts.plan_budget != 0 {
         opts.plan_budget
+    } else if deadline_only {
+        DEADLINE_PLAN_BUDGET
+    } else {
+        DEFAULT_PLAN_BUDGET
     };
     let budget = requested.max(budget_floor(n));
     let start = Instant::now();
+    let deadline = opts.deadline.map(|d| start + d);
     let mut search = BudgetedSearch::new(&ctx, opts.dominance, budget);
+    search.set_unit_delay(opts.fault_unit_delay);
     let mut mode = AdaptiveMode::Greedy;
-    let mut degraded = false;
+    let mut degr = Degradation::default();
     if n == 1 {
         mode = AdaptiveMode::Exact; // the scan is the (optimal) plan
     } else {
+        // Rung 1: greedy, always run to completion without consulting the
+        // clock — the budget floor guarantees it fits, and its plan is
+        // what makes every deadlined request *degrade* instead of fail.
         let greedy = greedy_join(&mut search, &ctx);
-        degraded |= search.exhausted();
+        if search.exhausted() {
+            degr.budget_aborted = true;
+        }
         search.reset_exhausted();
         let best_after_greedy = search.best_cost();
-        // Rung 2: the full exact stream, under HALF the remaining budget
-        // — an aborted exact run must not starve the linearized rung,
-        // which is the one strategy that reliably beats greedy when exact
-        // DP does not fit (class widths can blow the budget mid-stream on
-        // topologies the pair-count gate admits). The gate itself is
-        // capped so a dense graph costs at most ~allowance probe steps,
-        // never the full exponential walk; it stays optimistic (it cannot
-        // know class widths) — the per-pair budget enforcement is what
-        // actually bounds the work.
-        let full_budget = search.budget();
-        let reserve = search.remaining() / 2;
-        let cap = (search.remaining() - reserve) / UNIT_MAX_PLANS;
-        let mut done = false;
-        if count_ccps_capped(&ctx.cq.graph, cap).is_some() {
-            search.set_budget(full_budget - reserve);
-            let flow = try_enumerate_ccps(&ctx.cq.graph, |s1, s2| {
-                if search.process(s1, s2) {
-                    ControlFlow::Continue(())
-                } else {
-                    ControlFlow::Break(())
-                }
-            });
-            search.set_budget(full_budget);
-            if flow.is_continue() && !search.exhausted() {
-                mode = AdaptiveMode::Exact;
-                done = true;
-            } else {
-                degraded = true;
-                search.reset_exhausted();
-            }
+        if deadline.is_some_and(|dl| Instant::now() >= dl) {
+            // The clock ran out during the guaranteed rung: the greedy
+            // plan ships as-is.
+            degr.deadline_aborted = true;
         } else {
-            // The gate itself is a budget decision: the result will come
-            // from a shallower rung than exact DP, so report exhaustion.
-            degraded = true;
-        }
-        // Rung 3: interval DP over the greedy linear order. The reported
-        // mode is the rung that actually produced the winning plan —
-        // keep-best costs only ever improve, so stage snapshots identify
-        // the producer even when a rung was aborted partway.
-        if !done {
-            let best_after_exact = search.best_cost();
-            let lin_done = linearized_dp(&mut search, &ctx, &greedy.order);
-            if !lin_done {
-                degraded = true;
-                search.reset_exhausted();
-            }
-            let improved = |before: Option<f64>, after: Option<f64>| match (before, after) {
-                (Some(b), Some(a)) => a < b,
-                (None, Some(_)) => true,
-                _ => false,
-            };
-            mode = if improved(best_after_exact, search.best_cost()) {
-                AdaptiveMode::Linearized
-            } else if improved(best_after_greedy, best_after_exact) {
-                AdaptiveMode::PartialExact
-            } else if lin_done {
-                // Completed without improving: the greedy plan *is* the
-                // linearized optimum (every greedy merge is a split).
-                AdaptiveMode::Linearized
+            // Rung 2: the full exact stream, under HALF the remaining
+            // budget — an aborted exact run must not starve the
+            // linearized rung, which is the one strategy that reliably
+            // beats greedy when exact DP does not fit (class widths can
+            // blow the budget mid-stream on topologies the pair-count
+            // gate admits). The gate itself is capped so a dense graph
+            // costs at most ~allowance probe steps, never the full
+            // exponential walk; it stays optimistic (it cannot know class
+            // widths) — the per-pair budget enforcement is what actually
+            // bounds the work. Deadline-only runs skip the gate entirely:
+            // their huge budget would make the capped pre-count itself
+            // the blowup, and the mid-stream deadline abort subsumes it.
+            let full_budget = search.budget();
+            let reserve = search.remaining() / 2;
+            let cap = (search.remaining() - reserve) / UNIT_MAX_PLANS;
+            let mut done = false;
+            let gate_open = deadline_only || count_ccps_capped(&ctx.cq.graph, cap).is_some();
+            if gate_open {
+                search.set_budget(full_budget - reserve);
+                if let Some(dl) = deadline {
+                    // Sub-deadline at the midpoint of the remaining time:
+                    // mirrors the 50/50 budget split, so an endless exact
+                    // stream cannot starve the linearized rung of clock.
+                    let now = Instant::now();
+                    search.set_deadline(Some(now + dl.saturating_duration_since(now) / 2));
+                }
+                let flow = try_enumerate_ccps(&ctx.cq.graph, |s1, s2| {
+                    if search.process(s1, s2) {
+                        ControlFlow::Continue(())
+                    } else {
+                        ControlFlow::Break(())
+                    }
+                });
+                search.set_budget(full_budget);
+                if flow.is_continue() && !search.exhausted() {
+                    mode = AdaptiveMode::Exact;
+                    done = true;
+                } else {
+                    if search.deadline_hit() {
+                        degr.deadline_aborted = true;
+                    } else {
+                        degr.budget_aborted = true;
+                    }
+                    search.reset_exhausted();
+                }
             } else {
-                AdaptiveMode::Greedy
-            };
+                // The gate itself is a budget decision: the result will
+                // come from a shallower rung than exact DP.
+                degr.budget_gated = true;
+            }
+            // Rung 3: interval DP over the greedy linear order, under the
+            // full remaining deadline. The reported mode is the rung that
+            // actually produced the winning plan — keep-best costs only
+            // ever improve, so stage snapshots identify the producer even
+            // when a rung was aborted partway.
+            if !done {
+                let best_after_exact = search.best_cost();
+                search.set_deadline(deadline);
+                let lin_done = linearized_dp(&mut search, &ctx, &greedy.order);
+                if !lin_done {
+                    if search.deadline_hit() {
+                        degr.deadline_aborted = true;
+                    } else {
+                        degr.budget_aborted = true;
+                    }
+                    search.reset_exhausted();
+                }
+                let improved = |before: Option<f64>, after: Option<f64>| match (before, after) {
+                    (Some(b), Some(a)) => a < b,
+                    (None, Some(_)) => true,
+                    _ => false,
+                };
+                mode = if improved(best_after_exact, search.best_cost()) {
+                    AdaptiveMode::Linearized
+                } else if improved(best_after_greedy, best_after_exact) {
+                    AdaptiveMode::PartialExact
+                } else if lin_done {
+                    // Completed without improving: the greedy plan *is*
+                    // the linearized optimum (every greedy merge is a
+                    // split).
+                    AdaptiveMode::Linearized
+                } else {
+                    AdaptiveMode::Greedy
+                };
+            }
         }
     }
-    let exhausted = degraded || search.exhausted();
+    if search.exhausted() {
+        // Belt-and-braces: an abort path that forgot to attribute itself.
+        if search.deadline_hit() {
+            degr.deadline_aborted = true;
+        } else {
+            degr.budget_aborted = true;
+        }
+    }
     let outcome = search.finish();
     let mut memo = outcome.memo;
     let (plan, winner) = if n == 1 {
@@ -186,7 +246,7 @@ pub fn optimize_adaptive_run(query: &Query, opts: &OptimizeOptions) -> AdaptiveR
             .best
             .expect("no plan found: query graph disconnected or over-constrained")
     };
-    memo.record_budget(budget, exhausted, mode);
+    memo.record_budget(budget, degr, mode);
     // Search time excludes EXPLAIN rendering, like the exact engine.
     let elapsed = start.elapsed();
     let explain = if opts.explain {

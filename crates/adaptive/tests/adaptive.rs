@@ -96,7 +96,11 @@ fn budget_is_a_hard_cap() {
     let run = optimize_adaptive_run(&q, &opts(floor));
     let stats = run.optimized.memo;
     assert_ne!(stats.adaptive_mode, AdaptiveMode::Exact);
-    assert!(stats.budget_exhausted);
+    assert!(stats.degradation.any());
+    assert!(
+        !stats.degradation.deadline_aborted,
+        "no deadline was set; the degradation must be budget-attributed"
+    );
 }
 
 /// The acceptance scenario: a 30-relation clique optimizes within a tight
@@ -152,7 +156,7 @@ fn thirty_relation_chain_stays_exact() {
     let q = generate_query(&cfg, 3);
     let run = optimize_adaptive_run(&q, &opts(10 * DEFAULT_PLAN_BUDGET));
     assert_eq!(AdaptiveMode::Exact, run.optimized.memo.adaptive_mode);
-    assert!(!run.optimized.memo.budget_exhausted);
+    assert!(!run.optimized.memo.degradation.any());
     let exact = optimize_with(&q, Algorithm::EaPrune, &opts(0));
     assert_eq!(
         exact.plan.cost.to_bits(),

@@ -1,0 +1,124 @@
+//! Deadline robustness for the degradation ladder: no matter how tight
+//! the clock (including already-expired deadlines and artificially slowed
+//! enumeration), every run must return a structurally valid plan that
+//! never beats the exact optimum, with the abort attributed to the
+//! deadline in [`dpnext_core::MemoStats::degradation`].
+
+use dpnext_adaptive::optimize_adaptive_run;
+use dpnext_core::{
+    optimize_with, validate_complete_plan, AdaptiveMode, Algorithm, OptimizeOptions,
+};
+use dpnext_workload::{generate_query, GenConfig, Topology};
+use proptest::prelude::*;
+use std::time::{Duration, Instant};
+
+fn base() -> OptimizeOptions {
+    OptimizeOptions {
+        explain: false,
+        threads: 1,
+        ..OptimizeOptions::default()
+    }
+}
+
+fn deadlined(deadline: Duration) -> OptimizeOptions {
+    OptimizeOptions {
+        deadline: Some(deadline),
+        ..base()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Deadline-aborted runs on chains, stars and cliques return
+    /// `validate_complete_plan`-clean plans that never beat the exact
+    /// EA-Prune optimum — for deadlines from "already expired" to
+    /// "ample", optionally with an injected per-work-unit delay forcing
+    /// mid-stream aborts.
+    #[test]
+    fn deadlined_plans_are_valid_and_never_beat_exact(
+        topo_ix in 0usize..3,
+        n in 4usize..=9,
+        seed in 0u64..1_000,
+        deadline_micros in 0u64..2_000,
+        unit_delay_micros in 0u64..50,
+    ) {
+        let topo = [Topology::Chain, Topology::Star, Topology::Clique][topo_ix];
+        let q = generate_query(&GenConfig::topology(n, topo), seed);
+        let mut o = deadlined(Duration::from_micros(deadline_micros));
+        if unit_delay_micros > 0 {
+            o.fault_unit_delay = Some(Duration::from_micros(unit_delay_micros));
+        }
+        let run = optimize_adaptive_run(&q, &o);
+        if let Err(e) = validate_complete_plan(&run.ctx, &run.memo, run.winner) {
+            prop_assert!(
+                false,
+                "invalid deadlined plan ({topo:?} n={n} seed={seed} dl={deadline_micros}us): {e}"
+            );
+        }
+        let exact = optimize_with(&q, Algorithm::EaPrune, &base());
+        let (a, e) = (run.optimized.plan.cost, exact.plan.cost);
+        prop_assert!(
+            a >= e * (1.0 - 1e-9),
+            "deadlined cost {a} beats the exact optimum {e} \
+             ({topo:?} n={n} seed={seed} dl={deadline_micros}us)"
+        );
+    }
+}
+
+/// An already-expired deadline ships the guaranteed greedy plan and says
+/// why: the ladder degrades, it never fails.
+#[test]
+fn expired_deadline_ships_the_greedy_plan() {
+    let q = generate_query(&GenConfig::topology(12, Topology::Star), 0);
+    let run = optimize_adaptive_run(&q, &deadlined(Duration::ZERO));
+    let stats = run.optimized.memo;
+    assert!(stats.degradation.deadline_aborted);
+    assert_eq!(AdaptiveMode::Greedy, stats.adaptive_mode);
+    validate_complete_plan(&run.ctx, &run.memo, run.winner).unwrap();
+}
+
+/// With ample time a deadline-only run completes the exact rung (the
+/// huge [`dpnext_adaptive::DEADLINE_PLAN_BUDGET`] makes the clock the
+/// only binding resource) and reproduces the EA-Prune optimum bit for
+/// bit, with no degradation recorded.
+#[test]
+fn ample_deadline_still_reaches_the_exact_optimum() {
+    let q = generate_query(&GenConfig::paper(6), 4);
+    let run = optimize_adaptive_run(&q, &deadlined(Duration::from_secs(60)));
+    let stats = run.optimized.memo;
+    assert_eq!(AdaptiveMode::Exact, stats.adaptive_mode);
+    assert!(!stats.degradation.any());
+    let exact = optimize_with(&q, Algorithm::EaPrune, &base());
+    assert_eq!(
+        exact.plan.cost.to_bits(),
+        run.optimized.plan.cost.to_bits(),
+        "completed exact rung under a deadline must reproduce the optimum"
+    );
+}
+
+/// The acceptance scenario: a 30-relation star (the expressible
+/// enumeration worst case, `#ccp = 29·2^28`) under a short deadline
+/// returns a valid plan close to the deadline — the exact rung is
+/// aborted mid-stream by the clock, not run to exhaustion.
+#[test]
+fn thirty_relation_star_respects_its_deadline() {
+    let q = generate_query(&GenConfig::topology(30, Topology::Star), 2);
+    let deadline = Duration::from_millis(20);
+    let start = Instant::now();
+    let run = optimize_adaptive_run(&q, &deadlined(deadline));
+    let elapsed = start.elapsed();
+    let stats = run.optimized.memo;
+    assert!(
+        stats.degradation.deadline_aborted,
+        "exact DP cannot finish 29·2^28 pairs in 20ms"
+    );
+    validate_complete_plan(&run.ctx, &run.memo, run.winner).unwrap();
+    // Overshoot is bounded by one enumeration work unit plus finalize;
+    // the budget here is deliberately loose for CI (robustness_smoke
+    // measures the tight bound).
+    assert!(
+        elapsed < deadline + Duration::from_millis(500),
+        "30-relation star blew far past its deadline: {elapsed:?}"
+    );
+}

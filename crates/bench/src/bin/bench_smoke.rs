@@ -12,11 +12,14 @@
 //! prints the deltas — **warn-only**: it never fails the run, it just
 //! makes perf regressions visible in the CI log.
 
+use dpnext::adaptive::optimize_adaptive_run;
 use dpnext::Optimizer;
 use dpnext_bench::{run_sweep, serial_fraction, AlgoSpec, SweepResult};
-use dpnext_core::Algorithm;
+use dpnext_core::{optimize_with, recost_plan, Algorithm, OptContext, OptimizeOptions};
 use dpnext_serve::{OptimizerService, ServiceConfig};
-use dpnext_workload::{generate_query, request_mix, GenConfig, MixConfig, Topology};
+use dpnext_workload::{
+    generate_query, perturbed_pair, request_mix, GenConfig, MixConfig, Topology,
+};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
@@ -48,6 +51,24 @@ const SERVE_N: usize = 6;
 const SERVE_SHAPES: usize = 8;
 const SERVE_REQUESTS_PER_CLIENT: usize = 64;
 
+/// Robustness cells: plan drift under statistics q-error. Each cell
+/// optimizes queries whose statistics were perturbed by a controlled
+/// q-error, re-costs the chosen plan under the *true* statistics
+/// ([`recost_plan`]) and reports the drift ratio chosen-cost /
+/// true-optimum — 1.0 means the misestimates did not change the plan's
+/// true cost at all.
+const ROBUST_N: usize = 10;
+const ROBUST_SEEDS: u64 = 3;
+const ROBUST_QS: [f64; 3] = [1.0, 2.0, 4.0];
+const ROBUST_TOPOLOGIES: [(Topology, &str); 2] =
+    [(Topology::Chain, "chain"), (Topology::Star, "star")];
+/// Optimization strategies compared under misestimation, as plan budgets
+/// for the adaptive ladder: practically unbounded (the exact optimum on
+/// the perturbed stats), the default large-query budget, and a
+/// floor-clamped budget that ships the greedy plan.
+const ROBUST_STRATEGIES: [(&str, u64); 3] =
+    [("exact", 1 << 40), ("adaptive", 50_000), ("greedy", 1)];
+
 /// One emitted `(algorithm, n, threads)` measurement.
 struct SmokeCell {
     algo: String,
@@ -70,6 +91,9 @@ struct SmokeCell {
     modes: String,
     /// Whole requests served per second (serving cells only, 0 elsewhere).
     queries_per_sec: f64,
+    /// Geometric-mean plan drift under q-error (robustness cells only,
+    /// 0 elsewhere).
+    drift_geomean: f64,
     /// Preformatted extra JSON fields (serving cells append cache/pool
     /// counters here; empty elsewhere).
     extra: String,
@@ -157,6 +181,7 @@ fn main() {
                     budget: 0,
                     modes: String::new(),
                     queries_per_sec: 0.0,
+                    drift_geomean: 0.0,
                     extra,
                 });
             }
@@ -172,6 +197,14 @@ fn main() {
     for client_threads in [1usize, t_max] {
         for mode in [ServeMode::Cold, ServeMode::Pooled, ServeMode::Cached] {
             cells.push(serve_cell(mode, client_threads));
+        }
+    }
+
+    for (strategy, budget) in ROBUST_STRATEGIES {
+        for (topo, tag) in ROBUST_TOPOLOGIES {
+            for q in ROBUST_QS {
+                cells.push(robust_cell(strategy, budget, topo, tag, q));
+            }
         }
     }
 
@@ -251,6 +284,7 @@ fn adaptive_cell(topo: Topology, tag: &str, n: usize) -> SmokeCell {
     let mut width = 0.0f64;
     let mut hits = 0.0f64;
     let mut modes = [0usize; 4]; // exact / partial-exact / linearized / greedy
+    let mut degr = [0usize; 3]; // gated / budget-aborted / deadline-aborted
     for q in 0..LARGE_QUERIES {
         let seed = SEED
             .wrapping_add(n as u64 * 1_000_003)
@@ -275,6 +309,9 @@ fn adaptive_cell(topo: Topology, tag: &str, n: usize) -> SmokeCell {
             dpnext::AdaptiveMode::Greedy => modes[3] += 1,
             dpnext::AdaptiveMode::None => unreachable!("adaptive run reported no mode"),
         }
+        degr[0] += r.memo.degradation.budget_gated as usize;
+        degr[1] += r.memo.degradation.budget_aborted as usize;
+        degr[2] += r.memo.degradation.deadline_aborted as usize;
     }
     let m = LARGE_QUERIES as f64;
     SmokeCell {
@@ -296,7 +333,87 @@ fn adaptive_cell(topo: Topology, tag: &str, n: usize) -> SmokeCell {
             modes[0], modes[1], modes[2], modes[3]
         ),
         queries_per_sec: 0.0,
-        extra: String::new(),
+        drift_geomean: 0.0,
+        // Why the ladder fell short of the exact rung, split by cause
+        // (counts over the cell's queries).
+        extra: format!(
+            ", \"degradation\": {{ \"budget_gated\": {}, \"budget_aborted\": {}, \
+             \"deadline_aborted\": {} }}",
+            degr[0], degr[1], degr[2]
+        ),
+    }
+}
+
+/// One robustness cell: optimize `ROBUST_SEEDS` queries whose statistics
+/// carry a log-uniform q-error (`dpnext_workload::perturbed_pair`), then
+/// re-cost each chosen plan under the true statistics and compare against
+/// the true EA-Prune optimum. `q = 1` is the control: the perturbation is
+/// the identity, so the exact strategy's drift is exactly 1.
+fn robust_cell(strategy: &str, budget: u64, topo: Topology, tag: &str, q: f64) -> SmokeCell {
+    let cfg = GenConfig::topology(ROBUST_N, topo);
+    let opts = OptimizeOptions {
+        explain: false,
+        threads: 1,
+        plan_budget: budget,
+        ..OptimizeOptions::default()
+    };
+    let mut runtime = 0.0f64;
+    let mut plans = 0.0f64;
+    let mut log_drift_sum = 0.0f64;
+    let mut drift_max = 1.0f64;
+    let exact_opts = OptimizeOptions {
+        plan_budget: 0,
+        ..opts
+    };
+    for s in 0..ROBUST_SEEDS {
+        let mut seed = SEED.wrapping_add(s * 104_729).wrapping_add(ROBUST_N as u64);
+        // Skip degenerate queries whose true optimum costs ~0 (a zero
+        // selectivity or empty table makes every plan free, so a drift
+        // ratio carries no signal); the walk is deterministic, so the
+        // cell stays comparable across runs.
+        let (truth, perturbed, true_opt) = loop {
+            let (t, p) = perturbed_pair(&cfg, seed, q);
+            let o = optimize_with(&t, Algorithm::EaPrune, &exact_opts);
+            if o.plan.cost > 1e-6 {
+                break (t, p, o);
+            }
+            seed = seed.wrapping_add(1);
+        };
+        // The strategy only ever sees the perturbed statistics.
+        let run = optimize_adaptive_run(&perturbed, &opts);
+        runtime += run.optimized.elapsed.as_secs_f64();
+        plans += run.optimized.plans_built as f64;
+        // What the chosen plan actually costs in the true world.
+        let true_ctx = OptContext::new(truth);
+        let recosted = recost_plan(&true_ctx, &run.memo, run.winner)
+            .unwrap_or_else(|e| panic!("recost failed ({strategy} {tag} q={q} seed {s}): {e}"));
+        let drift = (recosted.cost / true_opt.plan.cost.max(1e-300)).max(1.0);
+        log_drift_sum += drift.ln();
+        drift_max = drift_max.max(drift);
+    }
+    let m = ROBUST_SEEDS as f64;
+    let drift_geomean = (log_drift_sum / m).exp();
+    SmokeCell {
+        algo: format!("Robust[{strategy}|{tag}|q{q:.0}]"),
+        n: ROBUST_N,
+        threads: 1,
+        queries: ROBUST_SEEDS as usize,
+        runtime_us: runtime / m * 1e6,
+        plans_built: plans / m,
+        plans_per_sec: plans / runtime.max(1e-12),
+        arena: 0.0,
+        width: 0.0,
+        hit_rate: 0.0,
+        worker_nanos: 0.0,
+        replay_nanos: 0.0,
+        budget,
+        modes: String::new(),
+        queries_per_sec: 0.0,
+        drift_geomean,
+        extra: format!(
+            ", \"qerror\": {q:.0}, \"drift_geomean\": {drift_geomean:.4}, \
+             \"drift_max\": {drift_max:.4}"
+        ),
     }
 }
 
@@ -335,10 +452,12 @@ fn serve_cell(mode: ServeMode, client_threads: usize) -> SmokeCell {
         ServeMode::Cold => ServiceConfig {
             cache_capacity: 0,
             pool_capacity: 0,
+            deadline: None,
         },
         ServeMode::Pooled => ServiceConfig {
             cache_capacity: 0,
             pool_capacity: client_threads,
+            deadline: None,
         },
         ServeMode::Cached => ServiceConfig::default(),
     };
@@ -356,7 +475,9 @@ fn serve_cell(mode: ServeMode, client_threads: usize) -> SmokeCell {
                 let chunk = &mix.schedule()
                     [t * SERVE_REQUESTS_PER_CLIENT..(t + 1) * SERVE_REQUESTS_PER_CLIENT];
                 for &shape in chunk {
-                    let served = service.optimize(&mix.shapes()[shape]);
+                    let served = service
+                        .optimize(&mix.shapes()[shape])
+                        .expect("no faults injected");
                     plans.fetch_add(served.result.plans_built, Ordering::Relaxed);
                 }
             });
@@ -381,6 +502,7 @@ fn serve_cell(mode: ServeMode, client_threads: usize) -> SmokeCell {
         budget: 0,
         modes: String::new(),
         queries_per_sec: total as f64 / runtime.max(1e-12),
+        drift_geomean: 0.0,
         extra: format!(
             ", \"cache_hits\": {}, \"cache_misses\": {}, \"pool_created\": {}, \
              \"pool_reused\": {}",
@@ -397,6 +519,8 @@ struct PrevCell {
     plans_per_sec: f64,
     /// `None` for pre-phase-split archives (fields absent).
     replay_share: Option<f64>,
+    /// `None` for non-robustness cells and pre-robustness archives.
+    drift_geomean: Option<f64>,
 }
 
 /// Parse a previously archived `BENCH_smoke.json` (our own line-per-cell
@@ -433,6 +557,7 @@ fn diff_against(prev_path: &str, cells: &[SmokeCell]) {
             threads: threads as usize,
             plans_per_sec: pps,
             replay_share,
+            drift_geomean: field_num(line, "\"drift_geomean\": "),
         });
     }
     if old.is_empty() {
@@ -464,6 +589,21 @@ fn diff_against(prev_path: &str, cells: &[SmokeCell]) {
         // class-partitioned replay attacks. Only meaningful at
         // threads > 1 (streaming reports 0/0) and against archives that
         // already carry the phase fields.
+        // Robustness trajectory: plan drift under q-error is a quality
+        // property, so a growing geomean means the optimizer became more
+        // sensitive to misestimation — worth a look even when plans/sec
+        // moved the right way.
+        let drift = match prev.drift_geomean {
+            Some(old_drift) if c.drift_geomean > 0.0 => {
+                let warn = if c.drift_geomean > old_drift * 1.05 {
+                    "  ⚠ drift growing?"
+                } else {
+                    ""
+                };
+                format!(", drift {:.3} → {:.3}{warn}", old_drift, c.drift_geomean)
+            }
+            _ => String::new(),
+        };
         let share = match prev.replay_share {
             Some(old_share) if c.threads > 1 => {
                 let new_share = 100.0 * c.replay_share();
@@ -478,7 +618,8 @@ fn diff_against(prev_path: &str, cells: &[SmokeCell]) {
             _ => String::new(),
         };
         eprintln!(
-            "  {:<10} n={} threads={}: {:.0}k → {:.0}k plans/s ({delta:+.1}%){marker}{share}",
+            "  {:<10} n={} threads={}: {:.0}k → {:.0}k plans/s \
+             ({delta:+.1}%){marker}{drift}{share}",
             c.algo,
             c.n,
             c.threads,

@@ -67,12 +67,12 @@ fn main() {
             }
             let verdict = if errs.is_empty() { "ok" } else { "FAIL" };
             println!(
-                "{verdict}  {tag:<7} n={n} seed={seed}: mode={} plans={}/{} exhausted={} \
+                "{verdict}  {tag:<7} n={n} seed={seed}: mode={} plans={}/{} degraded={} \
                  cost={:.3e} {:.1}ms{}",
                 stats.adaptive_mode,
                 run.optimized.plans_built,
                 stats.plan_budget,
-                stats.budget_exhausted,
+                stats.degradation,
                 run.optimized.plan.cost,
                 elapsed * 1e3,
                 if errs.is_empty() {

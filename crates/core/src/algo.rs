@@ -115,6 +115,20 @@ pub struct OptimizeOptions {
     /// greedy floor are clamped up so a valid plan always fits. The exact
     /// algorithms ignore this knob.
     pub plan_budget: u64,
+    /// Wall-clock deadline for the whole optimization. Honored by the
+    /// budgeted/adaptive path ([`BudgetedSearch`] checks it once per
+    /// enumeration work unit, bounding overshoot to one unit); the exact
+    /// engines ignore it, so callers that want deadline semantics must
+    /// route deadline-bearing requests through the adaptive ladder — the
+    /// `Optimizer` facade does exactly that. `None` (the default) changes
+    /// nothing: unconstrained runs stay bit-identical.
+    pub deadline: Option<Duration>,
+    /// Fault-injection hook: an artificial busy-wait inserted before every
+    /// enumeration work unit of a budgeted search, simulating a
+    /// pathologically slow enumeration so deadline/degradation paths are
+    /// testable deterministically. `None` (the default) disables it; never
+    /// set outside tests and smoke binaries.
+    pub fault_unit_delay: Option<Duration>,
 }
 
 impl Default for OptimizeOptions {
@@ -124,6 +138,8 @@ impl Default for OptimizeOptions {
             explain: true,
             threads: 0,
             plan_budget: 0,
+            deadline: None,
+            fault_unit_delay: None,
         }
     }
 }
@@ -1318,6 +1334,9 @@ pub struct BudgetedSearch<'a> {
     policy: MultiBest,
     budget: u64,
     exhausted: bool,
+    deadline: Option<Instant>,
+    deadline_hit: bool,
+    unit_delay: Option<Duration>,
     full: NodeSet,
 }
 
@@ -1360,6 +1379,9 @@ impl<'a> BudgetedSearch<'a> {
             },
             budget,
             exhausted: false,
+            deadline: None,
+            deadline_hit: false,
+            unit_delay: None,
             full: NodeSet::full(n),
         }
     }
@@ -1391,6 +1413,28 @@ impl<'a> BudgetedSearch<'a> {
     /// Whether a pair has been skipped or truncated for lack of budget.
     pub fn exhausted(&self) -> bool {
         self.exhausted
+    }
+
+    /// Arm (or clear, with `None`) a wall-clock deadline. Checked once per
+    /// enumeration work unit inside [`BudgetedSearch::process`], so a pair
+    /// in flight overshoots by at most one unit (≤ [`UNIT_MAX_PLANS`]
+    /// plans). Also clears the deadline-hit marker, so ladder callers can
+    /// arm a fresh sub-deadline per rung.
+    pub fn set_deadline(&mut self, deadline: Option<Instant>) {
+        self.deadline = deadline;
+        self.deadline_hit = false;
+    }
+
+    /// Whether the most recent exhaustion was caused by the deadline (as
+    /// opposed to the plan budget). Cleared by [`BudgetedSearch::set_deadline`].
+    pub fn deadline_hit(&self) -> bool {
+        self.deadline_hit
+    }
+
+    /// Fault-injection hook: busy-wait `delay` before every enumeration
+    /// work unit (see [`OptimizeOptions::fault_unit_delay`]).
+    pub fn set_unit_delay(&mut self, delay: Option<Duration>) {
+        self.unit_delay = delay;
     }
 
     /// Clear the exhaustion marker. For ladder-style callers that abandon
@@ -1442,9 +1486,40 @@ impl<'a> BudgetedSearch<'a> {
         if self.exhausted {
             return false;
         }
+        // Per-pair deadline check: even a stream of pairs with no
+        // applicable operator (which never enters the per-unit closure
+        // below) stays deadline-bounded.
+        if let Some(dl) = self.deadline {
+            if Instant::now() >= dl {
+                self.deadline_hit = true;
+                self.exhausted = true;
+                return false;
+            }
+        }
         let allowed = self.remaining() / UNIT_MAX_PLANS;
         let mut unit = 0u64;
-        let mut take = |u: u64| u < allowed;
+        let deadline = self.deadline;
+        let unit_delay = self.unit_delay;
+        let mut hit = false;
+        let mut take = |u: u64| {
+            if u >= allowed {
+                return false;
+            }
+            if let Some(dl) = deadline {
+                if hit || Instant::now() >= dl {
+                    hit = true;
+                    return false;
+                }
+            }
+            if let Some(d) = unit_delay {
+                // Injected fault: a pathologically slow enumeration.
+                let t0 = Instant::now();
+                while t0.elapsed() < d {
+                    std::hint::spin_loop();
+                }
+            }
+            true
+        };
         let mut sink = PolicySink {
             policy: &mut self.policy,
         };
@@ -1462,7 +1537,11 @@ impl<'a> BudgetedSearch<'a> {
             &mut take,
         );
         debug_assert!(self.scratch.plans_built <= self.budget);
-        if unit > allowed {
+        if hit {
+            self.deadline_hit = true;
+            self.exhausted = true;
+            false
+        } else if unit > allowed {
             self.exhausted = true;
             false
         } else {

@@ -28,6 +28,7 @@ pub mod fxhash;
 pub mod memo;
 pub mod optrees;
 pub mod plan;
+pub mod recost;
 pub mod validate;
 
 #[cfg(test)]
@@ -44,8 +45,9 @@ pub use finalize::{compile, finalize, FinalPlan};
 pub use fusion::fuse_groupjoins;
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use memo::{
-    AdaptiveMode, ClassBuckets, ClassTally, DominanceKind, Memo, MemoPlan, MemoShard, MemoStats,
-    PlanCold, PlanHot, PlanId, PlanNode, PlanRef, PlanStore, ShardRemap,
+    AdaptiveMode, ClassBuckets, ClassTally, Degradation, DominanceKind, Memo, MemoPlan, MemoShard,
+    MemoStats, PlanCold, PlanHot, PlanId, PlanNode, PlanRef, PlanStore, ShardRemap,
 };
 pub use plan::{apply_staged, make_apply, make_group, make_scan, stage_apply, StagedApply};
+pub use recost::{recost_plan, Recosted};
 pub use validate::{validate_complete_plan, validate_subplan};

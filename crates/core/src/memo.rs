@@ -266,6 +266,58 @@ pub enum AdaptiveMode {
     Greedy,
 }
 
+/// Why (and how) a budgeted/deadlined run fell short of its deepest rung.
+///
+/// The former single `budget_exhausted` flag, split by *cause*: a rung can
+/// be gated off up front by the ccp count estimate, aborted mid-stream by
+/// the plan budget, or aborted mid-stream by a wall-clock deadline. All
+/// flags `false` means the run completed its deepest rung (or was never
+/// budgeted at all).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Degradation {
+    /// The exact rung was skipped up front: the capped ccp pre-count
+    /// (`count_ccps_capped`) showed the remaining budget could not cover
+    /// the full enumeration, so the ladder never started it.
+    pub budget_gated: bool,
+    /// A rung started and was aborted mid-stream because the plan budget
+    /// ran out before the enumeration finished.
+    pub budget_aborted: bool,
+    /// A rung was aborted mid-stream (or skipped) because the wall-clock
+    /// deadline passed; overshoot is bounded by one enumeration work unit.
+    pub deadline_aborted: bool,
+}
+
+impl Degradation {
+    /// True when any degradation occurred — the run's result comes from a
+    /// shallower rung than the budget-free optimum would have used.
+    pub fn any(&self) -> bool {
+        self.budget_gated || self.budget_aborted || self.deadline_aborted
+    }
+}
+
+impl std::fmt::Display for Degradation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if !self.any() {
+            return f.write_str("none");
+        }
+        let mut first = true;
+        for (set, name) in [
+            (self.budget_gated, "budget-gated"),
+            (self.budget_aborted, "budget-aborted"),
+            (self.deadline_aborted, "deadline-aborted"),
+        ] {
+            if set {
+                if !first {
+                    f.write_str("+")?;
+                }
+                f.write_str(name)?;
+                first = false;
+            }
+        }
+        Ok(())
+    }
+}
+
 impl std::fmt::Display for AdaptiveMode {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let s = match self {
@@ -334,9 +386,10 @@ pub struct MemoStats {
     /// budget clamped up to the greedy floor); 0 when the run was not
     /// budgeted. When non-zero, `plans_built <= plan_budget` holds.
     pub plan_budget: u64,
-    /// Whether the budgeted search ran out of plans before finishing its
-    /// deepest rung (the result then comes from a shallower rung).
-    pub budget_exhausted: bool,
+    /// Why the budgeted search fell short of its deepest rung, split by
+    /// cause (gate, mid-stream budget abort, deadline abort); all-false
+    /// when the deepest rung completed or the run was not budgeted.
+    pub degradation: Degradation,
     /// Which adaptive ladder rung produced the plan (`None` for
     /// non-adaptive runs).
     pub adaptive_mode: AdaptiveMode,
@@ -825,11 +878,52 @@ impl Memo {
     }
 
     /// Record the outcome of a budgeted search: the effective budget, the
-    /// exhaustion flag and the adaptive ladder rung that won.
-    pub fn record_budget(&mut self, plan_budget: u64, exhausted: bool, mode: AdaptiveMode) {
+    /// per-cause degradation flags and the adaptive ladder rung that won.
+    pub fn record_budget(
+        &mut self,
+        plan_budget: u64,
+        degradation: Degradation,
+        mode: AdaptiveMode,
+    ) {
         self.stats.plan_budget = plan_budget;
-        self.stats.budget_exhausted = exhausted;
+        self.stats.degradation = degradation;
         self.stats.adaptive_mode = mode;
+    }
+
+    /// Check the structural invariants a healthy memo upholds: the hot and
+    /// cold arenas are index-aligned, and every class entry points at an
+    /// arena row whose `NodeSet` matches the class key. A memo that fails
+    /// this was corrupted mid-run (e.g. truncated while classes still
+    /// referenced the tail) and must not be reused — [`Memo::reset`] does
+    /// not repair dangling *capacity* state reads would trip over first.
+    /// Returns a description of the first violation found.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.hot.len() != self.cold.len() {
+            return Err(format!(
+                "hot/cold arenas misaligned: {} hot rows vs {} cold rows",
+                self.hot.len(),
+                self.cold.len()
+            ));
+        }
+        for (set, ids) in &self.classes {
+            for &id in ids {
+                let Some(hot) = self.hot.get(id.index()) else {
+                    return Err(format!(
+                        "class {set:?} references plan {} past arena end {}",
+                        id.index(),
+                        self.hot.len()
+                    ));
+                };
+                if hot.set != *set {
+                    return Err(format!(
+                        "class {set:?} holds plan {} whose set is {:?}",
+                        id.index(),
+                        hot.set
+                    ));
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Fold the peak arena size of concurrently live worker shards into

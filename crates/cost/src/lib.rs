@@ -5,5 +5,7 @@
 //! (scans and final projections are free).
 
 pub mod card;
+pub mod perturb;
 
 pub use card::{cout_contribution, distinct_in, grouping_card, join_card, match_probability};
+pub use perturb::StatsPerturbation;

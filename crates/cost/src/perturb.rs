@@ -1,0 +1,172 @@
+//! Controlled q-error injection into a query's statistics.
+//!
+//! The robustness question "how far does misestimation push the chosen
+//! plan from the true-cost optimum?" needs misestimation as a *dial*, not
+//! an accident. [`StatsPerturbation`] multiplies every statistic of a
+//! query — table cardinalities, per-attribute distinct counts, operator
+//! selectivities — by an independent factor drawn log-uniformly from
+//! `[1/q, q]`, the standard q-error model: `q = 1` is the identity
+//! (bit-exact clone), `q = 2` means every estimate may be off by up to 2×
+//! in either direction, and the expected multiplicative error grows with
+//! `q`. The perturbation is **stats-only**: tables, attributes, operators
+//! and predicates keep their identity and order, so a plan chosen under
+//! the perturbed query can be re-costed under the true one
+//! (`dpnext_core::recost_plan`) node by node.
+//!
+//! Draws come from a seeded SplitMix64 stream walked in a fixed order
+//! (tables first, then a pre-order walk of the operator tree), so the same
+//! `(seed, q)` on the same query always yields the same perturbed query.
+
+use dpnext_query::{OpTree, Query};
+
+/// Multiply one statistic by a log-uniform factor in `[1/q, q]`.
+///
+/// See the module docs; construct with [`StatsPerturbation::new`] and
+/// apply with [`StatsPerturbation::perturb`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StatsPerturbation {
+    /// Maximum multiplicative error per statistic (`>= 1`; `1` = identity).
+    pub q: f64,
+    /// Seed of the deterministic draw stream.
+    pub seed: u64,
+}
+
+/// One SplitMix64 step: advance the state, return the output word.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl StatsPerturbation {
+    /// A perturbation of strength `q` (clamped up to 1) drawing from
+    /// `seed`.
+    pub fn new(q: f64, seed: u64) -> StatsPerturbation {
+        StatsPerturbation {
+            q: q.max(1.0),
+            seed,
+        }
+    }
+
+    /// The next factor of the draw stream: `q^(2u-1)` for uniform `u`,
+    /// i.e. log-uniform in `[1/q, q]`. `q <= 1` always yields exactly 1.
+    fn factor(&self, state: &mut u64) -> f64 {
+        let word = splitmix64(state);
+        if self.q <= 1.0 {
+            return 1.0;
+        }
+        // 53 mantissa bits -> uniform in [0, 1).
+        let u = (word >> 11) as f64 / (1u64 << 53) as f64;
+        self.q.powf(2.0 * u - 1.0)
+    }
+
+    /// A stats-only perturbed clone of `query`: every table cardinality,
+    /// distinct count and operator selectivity is multiplied by its own
+    /// factor. Cardinalities stay `>= 1`, distinct counts stay in
+    /// `[1, card]`, selectivities stay in `(0, 1]`; structure (tables,
+    /// attributes, operators, predicates, grouping) is untouched.
+    pub fn perturb(&self, query: &Query) -> Query {
+        let mut out = query.clone();
+        let mut state = self.seed;
+        for t in &mut out.tables {
+            t.card = (t.card * self.factor(&mut state)).max(1.0);
+            for d in &mut t.distinct {
+                *d = (*d * self.factor(&mut state)).clamp(1.0, t.card);
+            }
+        }
+        perturb_tree(self, &mut out.tree, &mut state);
+        out
+    }
+}
+
+/// Pre-order walk perturbing every binary operator's selectivity.
+fn perturb_tree(p: &StatsPerturbation, tree: &mut OpTree, state: &mut u64) {
+    if let OpTree::Binary {
+        sel, left, right, ..
+    } = tree
+    {
+        *sel = (*sel * p.factor(state)).clamp(f64::MIN_POSITIVE, 1.0);
+        perturb_tree(p, left, state);
+        perturb_tree(p, right, state);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpnext_algebra::{AttrId, JoinPred};
+    use dpnext_query::{OpKind, QueryTable};
+
+    fn a(i: u32) -> AttrId {
+        AttrId(i)
+    }
+
+    fn query() -> Query {
+        let t0 = QueryTable::new("r", vec![a(0), a(1)], 1000.0).with_distinct(vec![1000.0, 50.0]);
+        let t1 = QueryTable::new("s", vec![a(2)], 200.0);
+        let tree = OpTree::binary(
+            OpKind::Join,
+            JoinPred::eq(a(1), a(2)),
+            OpTree::rel(0),
+            OpTree::rel(1),
+        );
+        Query::new(vec![t0, t1], tree, None)
+    }
+
+    fn sel_of(q: &Query) -> f64 {
+        match &q.tree {
+            OpTree::Binary { sel, .. } => *sel,
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn q1_is_the_identity() {
+        let q = query();
+        let p = StatsPerturbation::new(1.0, 7).perturb(&q);
+        assert_eq!(q.tables[0].card.to_bits(), p.tables[0].card.to_bits());
+        assert_eq!(
+            q.tables[0].distinct[1].to_bits(),
+            p.tables[0].distinct[1].to_bits()
+        );
+        assert_eq!(sel_of(&q).to_bits(), sel_of(&p).to_bits());
+    }
+
+    #[test]
+    fn factors_stay_within_q_and_draws_are_deterministic() {
+        let q = query();
+        let pert = StatsPerturbation::new(4.0, 42);
+        let p1 = pert.perturb(&q);
+        let p2 = pert.perturb(&q);
+        assert_eq!(p1.tables[0].card.to_bits(), p2.tables[0].card.to_bits());
+        assert_eq!(sel_of(&p1).to_bits(), sel_of(&p2).to_bits());
+        for (t, tp) in q.tables.iter().zip(&p1.tables) {
+            let ratio = tp.card / t.card;
+            assert!((0.25..=4.0).contains(&ratio), "card ratio {ratio}");
+            for (d, dp) in t.distinct.iter().zip(&tp.distinct) {
+                assert!(*dp >= 1.0 && *dp <= tp.card, "distinct {dp} vs {d}");
+            }
+        }
+        let sratio = sel_of(&p1) / sel_of(&q);
+        assert!((0.25..=4.0).contains(&sratio), "sel ratio {sratio}");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let q = query();
+        let p1 = StatsPerturbation::new(2.0, 1).perturb(&q);
+        let p2 = StatsPerturbation::new(2.0, 2).perturb(&q);
+        assert_ne!(p1.tables[0].card.to_bits(), p2.tables[0].card.to_bits());
+    }
+
+    #[test]
+    fn structure_is_untouched() {
+        let q = query();
+        let p = StatsPerturbation::new(4.0, 3).perturb(&q);
+        assert_eq!(q.tables.len(), p.tables.len());
+        assert_eq!(q.tables[0].alias, p.tables[0].alias);
+        assert_eq!(q.tables[0].attrs, p.tables[0].attrs);
+    }
+}

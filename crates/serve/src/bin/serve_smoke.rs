@@ -35,13 +35,14 @@ fn throughput_check() {
         ServiceConfig {
             cache_capacity: 0,
             pool_capacity: 0,
+            deadline: None,
         },
     );
     let cold_pps = plans_per_sec(&cold, &query, THROUGHPUT_REQUESTS);
 
     let cached =
         OptimizerService::new(Optimizer::new(Algorithm::EaPrune).threads(1).explain(false));
-    cached.optimize(&query); // warm: the one and only miss
+    cached.optimize(&query).unwrap(); // warm: the one and only miss
     let cached_pps = plans_per_sec(&cached, &query, THROUGHPUT_REQUESTS);
 
     let stats = cached.stats();
@@ -65,7 +66,7 @@ fn plans_per_sec(service: &OptimizerService, query: &dpnext_query::Query, reques
     let start = Instant::now();
     let mut plans = 0u64;
     for _ in 0..requests {
-        plans += service.optimize(query).result.plans_built;
+        plans += service.optimize(query).unwrap().result.plans_built;
     }
     plans as f64 / start.elapsed().as_secs_f64().max(1e-12)
 }
@@ -79,16 +80,17 @@ fn pool_warmup_check() {
         ServiceConfig {
             cache_capacity: 0,
             pool_capacity: 4,
+            deadline: None,
         },
     );
     let mix = request_mix(&MixConfig::uniform(8, N), 8, SEED);
     for (_, query) in mix.iter() {
-        service.optimize(query);
+        service.optimize(query).unwrap();
     }
     let created_after_warmup = service.stats().pool.created;
     for _ in 0..3 {
         for (_, query) in mix.iter() {
-            service.optimize(query);
+            service.optimize(query).unwrap();
         }
     }
     let stats = service.stats();
@@ -123,7 +125,9 @@ fn hammer_check() {
             scope.spawn(move || {
                 let chunk = &mix.schedule()[t * HAMMER_PER_THREAD..(t + 1) * HAMMER_PER_THREAD];
                 for &shape in chunk {
-                    let served = service.optimize(&mix.shapes()[shape]);
+                    let served = service
+                        .optimize(&mix.shapes()[shape])
+                        .expect("no faults injected");
                     if served.result.plan.cost.to_bits() != refs[shape].plan.cost.to_bits()
                         || served.result.plans_built != refs[shape].plans_built
                     {

@@ -18,6 +18,15 @@
 //! created/reused/high-water counters on the pool, all surfaced by
 //! [`OptimizerService::stats`].
 //!
+//! On top sits a **robustness layer** (PR 8): every optimizer call runs
+//! inside `catch_unwind`, so a panic is contained to its request — the
+//! request's memo is **quarantined** (destroyed, never parked back into
+//! the pool) and only that caller sees [`ServeError::Panicked`]; an
+//! optional per-request **deadline** ([`ServiceConfig::deadline`]) rides
+//! the adaptive degradation ladder, so a pressured request returns a
+//! valid-but-degraded plan instead of timing out; and a seeded
+//! [`FaultInjector`] makes both paths deterministically testable in CI.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -57,11 +66,13 @@
 #![warn(missing_docs)]
 
 mod cache;
+mod fault;
 mod fingerprint;
 mod pool;
 mod service;
 
 pub use cache::{CacheKey, CacheStats, PlanCache};
+pub use fault::{Fault, FaultInjector};
 pub use fingerprint::{fingerprint_query, QueryShape};
 pub use pool::{MemoPool, PoolStats, PooledMemo};
-pub use service::{OptimizerService, ServeResult, ServiceConfig, ServiceStats};
+pub use service::{OptimizerService, ServeError, ServeResult, ServiceConfig, ServiceStats};

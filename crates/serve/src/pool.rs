@@ -22,6 +22,15 @@ pub struct PoolStats {
     /// Largest arena capacity (in plans) ever returned to the pool —
     /// the steady-state per-memo allocation footprint.
     pub arena_peak_capacity: u64,
+    /// Memos destroyed instead of parked because they were live during a
+    /// panic ([`PooledMemo::quarantine`], or a drop while the thread was
+    /// unwinding). A quarantined memo is never handed out again.
+    pub quarantined: u64,
+    /// Memos discarded at check-in because they failed the structural
+    /// validation ([`dpnext::Memo::check_invariants`]) — a half-reset or
+    /// corrupted memo must never be reused silently. Debug builds panic
+    /// instead of counting.
+    pub rejected_invalid: u64,
 }
 
 /// A pool of reusable [`Memo`]s.
@@ -53,6 +62,8 @@ pub struct MemoPool {
     reused: AtomicU64,
     pooled_peak: AtomicU64,
     arena_peak_capacity: AtomicU64,
+    quarantined: AtomicU64,
+    rejected_invalid: AtomicU64,
 }
 
 impl MemoPool {
@@ -65,6 +76,8 @@ impl MemoPool {
             reused: AtomicU64::new(0),
             pooled_peak: AtomicU64::new(0),
             arena_peak_capacity: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            rejected_invalid: AtomicU64::new(0),
         }
     }
 
@@ -97,6 +110,15 @@ impl MemoPool {
     }
 
     fn park(&self, memo: Memo) {
+        // Check-in validation: a memo whose structural invariants broke
+        // mid-run (half reset, classes referencing truncated plans) must
+        // never be reused silently. Debug builds fail loudly; release
+        // builds discard the memo and count the rejection.
+        if let Err(violation) = memo.check_invariants() {
+            debug_assert!(false, "memo failed check-in validation: {violation}");
+            self.rejected_invalid.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
         self.arena_peak_capacity
             .fetch_max(memo.arena_capacity() as u64, Ordering::Relaxed);
         if !self.enabled() {
@@ -119,6 +141,8 @@ impl MemoPool {
             pooled: self.free.lock().unwrap().len() as u64,
             pooled_peak: self.pooled_peak.load(Ordering::Relaxed),
             arena_peak_capacity: self.arena_peak_capacity.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            rejected_invalid: self.rejected_invalid.load(Ordering::Relaxed),
         }
     }
 }
@@ -144,9 +168,30 @@ impl DerefMut for PooledMemo<'_> {
     }
 }
 
+impl PooledMemo<'_> {
+    /// Destroy this memo instead of parking it: the poison path for a
+    /// memo that was live while the optimizer panicked. Its DP state may
+    /// be arbitrarily torn (a panic can interrupt any arena/class
+    /// mutation), so it never re-enters the free list — the next checkout
+    /// constructs fresh. Counted in [`PoolStats::quarantined`].
+    pub fn quarantine(mut self) {
+        if self.memo.take().is_some() {
+            self.pool.quarantined.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
 impl Drop for PooledMemo<'_> {
     fn drop(&mut self) {
         if let Some(memo) = self.memo.take() {
+            // Defense in depth: a memo dropped while its thread unwinds
+            // was live during the panic — quarantine it even if the owner
+            // forgot to. (The service's catch_unwind path calls
+            // `quarantine` explicitly; this catches everyone else.)
+            if std::thread::panicking() {
+                self.pool.quarantined.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
             self.pool.park(memo);
         }
     }
@@ -231,6 +276,59 @@ mod tests {
         // The peak counter deliberately keeps the outlier: it reports the
         // worst footprint ever parked, not the current one.
         assert!(stats.arena_peak_capacity >= outlier_cap as u64);
+    }
+
+    #[test]
+    fn quarantined_memo_is_never_handed_out_again() {
+        let pool = MemoPool::new(4);
+        pool.checkout().quarantine();
+        let stats = pool.stats();
+        assert_eq!(1, stats.quarantined);
+        assert_eq!(0, stats.pooled, "quarantined memo must not be parked");
+        drop(pool.checkout());
+        let stats = pool.stats();
+        assert_eq!(
+            2, stats.created,
+            "post-quarantine checkout must construct fresh"
+        );
+        assert_eq!(0, stats.reused);
+    }
+
+    #[test]
+    fn drop_during_panic_quarantines() {
+        let pool = MemoPool::new(4);
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _memo = pool.checkout();
+            panic!("injected: drop during unwind");
+        }));
+        assert!(unwound.is_err());
+        let stats = pool.stats();
+        assert_eq!(1, stats.quarantined);
+        assert_eq!(0, stats.pooled);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "check-in validation"))]
+    fn invalid_memo_is_rejected_at_check_in() {
+        use dpnext::Optimizer;
+        use dpnext_core::Algorithm;
+        use dpnext_workload::{generate_query, GenConfig};
+
+        let pool = MemoPool::new(2);
+        let q = generate_query(&GenConfig::paper(3), 1);
+        let opt = Optimizer::new(Algorithm::EaPrune).threads(1).explain(false);
+        {
+            let mut memo = pool.checkout();
+            opt.optimize_pooled(&q, &mut memo);
+            // Corrupt the memo: the classes now reference plans past the
+            // arena end, exactly the half-reset shape check-in must catch.
+            memo.truncate(0);
+        } // drop -> park -> validation (panics in debug builds)
+        let stats = pool.stats();
+        assert_eq!(1, stats.rejected_invalid);
+        assert_eq!(0, stats.pooled, "invalid memo must not be parked");
+        drop(pool.checkout());
+        assert_eq!(2, pool.stats().created);
     }
 
     #[test]

@@ -1,13 +1,16 @@
 //! The optimizer service: cache + pool wired around a shared [`Optimizer`].
 
 use crate::cache::{CacheKey, CacheStats, PlanCache};
+use crate::fault::{Fault, FaultInjector};
 use crate::fingerprint::fingerprint_query;
 use crate::pool::{MemoPool, PoolStats};
 use dpnext::{Optimized, Optimizer};
 use dpnext_query::Query;
 use dpnext_sql::{plan as bind_sql, BoundQuery, SqlError};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Capacity knobs of an [`OptimizerService`].
 #[derive(Debug, Clone, Copy)]
@@ -18,6 +21,17 @@ pub struct ServiceConfig {
     /// at the worker-thread count keeps steady-state serving free of
     /// arena allocation.
     pub pool_capacity: usize,
+    /// Per-request wall-clock deadline. When set, every optimization runs
+    /// through the adaptive degradation ladder (see
+    /// [`Optimizer::deadline`]): a request that would blow the deadline
+    /// *degrades* — exact → partial-exact → linearized → greedy — and
+    /// still returns a structurally valid plan, with the degradation
+    /// recorded in the result's `memo.degradation` and counted in
+    /// [`ServiceStats::deadline_degraded`]. Deadline-degraded plans are
+    /// not cached (a later uncontended request should get the full-quality
+    /// plan). `None` (the default) leaves requests unconstrained and
+    /// bit-identical to a service without the knob.
+    pub deadline: Option<Duration>,
 }
 
 impl Default for ServiceConfig {
@@ -25,7 +39,37 @@ impl Default for ServiceConfig {
         ServiceConfig {
             cache_capacity: 1024,
             pool_capacity: 32,
+            deadline: None,
         }
+    }
+}
+
+/// Why a service request failed. Structurally valid degraded plans are
+/// *not* errors — the service's whole job is returning them instead.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The optimizer panicked. The panic was contained to this request:
+    /// its memo was quarantined (never returned to the pool) and the
+    /// service keeps serving. Carries the panic payload's message.
+    Panicked(String),
+    /// SQL parsing or binding failed.
+    Sql(SqlError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Panicked(msg) => write!(f, "optimizer panicked: {msg}"),
+            ServeError::Sql(e) => write!(f, "sql error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<SqlError> for ServeError {
+    fn from(e: SqlError) -> ServeError {
+        ServeError::Sql(e)
     }
 }
 
@@ -53,6 +97,13 @@ pub struct ServiceStats {
     pub cache: CacheStats,
     /// Arena-pool counters.
     pub pool: PoolStats,
+    /// Requests whose optimizer call panicked (isolated by
+    /// `catch_unwind`, memo quarantined, error returned to that caller
+    /// only — the service kept serving).
+    pub panics: u64,
+    /// Requests that hit their deadline and shipped a degraded (but
+    /// valid) plan; such plans bypass the cache.
+    pub deadline_degraded: u64,
 }
 
 /// A concurrent optimizer frontend: share one instance (behind an
@@ -70,6 +121,9 @@ pub struct OptimizerService {
     pool: MemoPool,
     epoch: AtomicU64,
     requests: AtomicU64,
+    panics: AtomicU64,
+    deadline_degraded: AtomicU64,
+    faults: Option<FaultInjector>,
 }
 
 impl OptimizerService {
@@ -79,15 +133,32 @@ impl OptimizerService {
         OptimizerService::with_config(optimizer, ServiceConfig::default())
     }
 
-    /// A service with explicit cache/pool capacities.
+    /// A service with explicit cache/pool capacities and an optional
+    /// per-request deadline.
     pub fn with_config(optimizer: Optimizer, config: ServiceConfig) -> OptimizerService {
+        let optimizer = match config.deadline {
+            Some(d) => optimizer.deadline(Some(d)),
+            None => optimizer,
+        };
         OptimizerService {
             optimizer,
             cache: PlanCache::new(config.cache_capacity),
             pool: MemoPool::new(config.pool_capacity),
             epoch: AtomicU64::new(0),
             requests: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+            deadline_degraded: AtomicU64::new(0),
+            faults: None,
         }
+    }
+
+    /// Arm deterministic fault injection (see [`FaultInjector`]): each
+    /// request consults the schedule by its request index and may run with
+    /// an injected panic or an injected slow enumeration. For tests and
+    /// the `robustness_smoke` CI binary; never arm this in production.
+    pub fn with_fault_injection(mut self, faults: FaultInjector) -> OptimizerService {
+        self.faults = Some(faults);
+        self
     }
 
     /// The wrapped facade (e.g. to reach its catalog for binding).
@@ -111,29 +182,77 @@ impl OptimizerService {
 
     /// Optimize an already-bound [`Query`], serving from the cache when
     /// the shape was optimized before under the current epoch.
-    pub fn optimize(&self, query: &Query) -> ServeResult {
-        self.requests.fetch_add(1, Ordering::Relaxed);
+    ///
+    /// The optimizer call runs inside `catch_unwind`: a panic anywhere in
+    /// enumeration is contained to this request — its memo is quarantined
+    /// (never returned to the pool), the panic is counted, and only this
+    /// caller sees [`ServeError::Panicked`]; concurrent and subsequent
+    /// requests are unaffected. With a configured deadline, a pressured
+    /// request degrades down the adaptive ladder instead of timing out
+    /// (the result's `memo.degradation` says why, and degraded plans skip
+    /// the cache).
+    pub fn optimize(&self, query: &Query) -> Result<ServeResult, ServeError> {
+        let request = self.requests.fetch_add(1, Ordering::Relaxed);
         let epoch = self.epoch();
         let key = CacheKey {
             epoch,
             shape: fingerprint_query(query),
         };
         if let Some(result) = self.cache.lookup(&key) {
-            return ServeResult {
+            return Ok(ServeResult {
                 result,
                 cache_hit: true,
                 epoch,
-            };
+            });
         }
+        let fault = match &self.faults {
+            Some(inj) => inj.fault_for(request),
+            None => Fault::None,
+        };
         let mut memo = self.pool.checkout();
-        let optimized = self.optimizer.optimize_pooled(query, &mut memo);
-        drop(memo); // park the arena before publishing
-        let result = Arc::new(optimized);
-        self.cache.insert(key, result.clone());
-        ServeResult {
-            result,
-            cache_hit: false,
-            epoch,
+        // The closure borrows the memo mutably; `AssertUnwindSafe` is
+        // sound *because* of the quarantine below — on a panic the memo's
+        // (possibly torn) state is destroyed, never observed again.
+        let outcome = catch_unwind(AssertUnwindSafe(|| match fault {
+            Fault::Panic => panic!("injected fault: optimizer panic (request {request})"),
+            Fault::Slow => {
+                let delay = self.faults.as_ref().expect("slow fault implies injector");
+                self.optimizer
+                    .clone()
+                    .fault_unit_delay(Some(delay.slow_unit_delay()))
+                    .optimize_pooled(query, &mut memo)
+            }
+            Fault::None => self.optimizer.optimize_pooled(query, &mut memo),
+        }));
+        match outcome {
+            Ok(optimized) => {
+                let degraded = optimized.memo.degradation.deadline_aborted;
+                drop(memo); // park the arena before publishing
+                let result = Arc::new(optimized);
+                if degraded {
+                    // A deadline-degraded plan is valid but below full
+                    // quality: keep it out of the cache so a later,
+                    // uncontended arrival re-optimizes.
+                    self.deadline_degraded.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.cache.insert(key, result.clone());
+                }
+                Ok(ServeResult {
+                    result,
+                    cache_hit: false,
+                    epoch,
+                })
+            }
+            Err(payload) => {
+                memo.quarantine();
+                self.panics.fetch_add(1, Ordering::Relaxed);
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                Err(ServeError::Panicked(msg))
+            }
         }
     }
 
@@ -141,15 +260,15 @@ impl OptimizerService {
     /// catalog, then [`OptimizerService::optimize`]. Caching operates on
     /// the *bound* query, so differently spelled but identically bound
     /// texts share one entry.
-    pub fn optimize_sql(&self, sql: &str) -> Result<ServeResult, SqlError> {
+    pub fn optimize_sql(&self, sql: &str) -> Result<ServeResult, ServeError> {
         self.optimize_sql_bound(sql).map(|(_, r)| r)
     }
 
     /// Like [`OptimizerService::optimize_sql`], additionally returning
     /// the bound query for callers that execute the plan.
-    pub fn optimize_sql_bound(&self, sql: &str) -> Result<(BoundQuery, ServeResult), SqlError> {
+    pub fn optimize_sql_bound(&self, sql: &str) -> Result<(BoundQuery, ServeResult), ServeError> {
         let bound = bind_sql(sql, self.optimizer.catalog())?;
-        let result = self.optimize(&bound.query);
+        let result = self.optimize(&bound.query)?;
         Ok((bound, result))
     }
 
@@ -160,6 +279,8 @@ impl OptimizerService {
             epoch: self.epoch(),
             cache: self.cache.stats(),
             pool: self.pool.stats(),
+            panics: self.panics.load(Ordering::Relaxed),
+            deadline_degraded: self.deadline_degraded.load(Ordering::Relaxed),
         }
     }
 }

@@ -3,7 +3,7 @@
 //! invalidate, counters must stay consistent under concurrent load, and
 //! pooled memo reuse must not leak state between runs.
 
-use dpnext::{Algorithm as A, MemoStats, Optimized, Optimizer};
+use dpnext::{Algorithm as A, Degradation, MemoStats, Optimized, Optimizer};
 use dpnext_serve::{OptimizerService, ServiceConfig};
 use dpnext_workload::{generate_query, request_mix, GenConfig, MixConfig};
 use std::sync::Arc;
@@ -11,7 +11,7 @@ use std::sync::Arc;
 /// The run-deterministic subset of [`MemoStats`] (drops the wall-clock
 /// `worker_nanos` / `replay_nanos` instrumentation).
 #[allow(clippy::type_complexity)]
-fn det_stats(s: &MemoStats) -> (u64, u64, u64, u64, u64, u64, u64, u64, u64, bool) {
+fn det_stats(s: &MemoStats) -> (u64, u64, u64, u64, u64, u64, u64, u64, u64, Degradation) {
     (
         s.arena_plans,
         s.arena_peak,
@@ -22,7 +22,7 @@ fn det_stats(s: &MemoStats) -> (u64, u64, u64, u64, u64, u64, u64, u64, u64, boo
         s.layers,
         s.peak_layer_pairs,
         s.plan_budget,
-        s.budget_exhausted,
+        s.degradation,
     )
 }
 
@@ -76,9 +76,9 @@ fn golden_grid_cached_equals_cold() {
             let what = format!("{} n={} seed={seed}", algo.name(), cfg.n_relations);
             let query = generate_query(&cfg, seed);
             let cold = service.optimizer().optimize(&query);
-            let first = service.optimize(&query);
+            let first = service.optimize(&query).expect("no faults injected");
             assert!(!first.cache_hit, "{what}: first request must miss");
-            let second = service.optimize(&query);
+            let second = service.optimize(&query).expect("no faults injected");
             assert!(second.cache_hit, "{what}: repeat request must hit");
             assert!(
                 Arc::ptr_eq(&first.result, &second.result),
@@ -94,8 +94,8 @@ fn epoch_bump_forces_reoptimization() {
     let service = OptimizerService::new(Optimizer::new(A::EaPrune));
     let query = generate_query(&GenConfig::paper(4), 7);
 
-    let r1 = service.optimize(&query);
-    let r2 = service.optimize(&query);
+    let r1 = service.optimize(&query).expect("no faults injected");
+    let r2 = service.optimize(&query).expect("no faults injected");
     assert!(!r1.cache_hit);
     assert!(r2.cache_hit);
     assert_eq!(0, r1.epoch);
@@ -103,10 +103,10 @@ fn epoch_bump_forces_reoptimization() {
     let new_epoch = service.bump_stats_epoch();
     assert_eq!(1, new_epoch);
 
-    let r3 = service.optimize(&query);
+    let r3 = service.optimize(&query).expect("no faults injected");
     assert!(!r3.cache_hit, "epoch bump must force a miss");
     assert_eq!(1, r3.epoch);
-    let r4 = service.optimize(&query);
+    let r4 = service.optimize(&query).expect("no faults injected");
     assert!(r4.cache_hit, "the new epoch re-populates the cache");
     assert_bit_identical(&r1.result, &r3.result, "across epochs");
 
@@ -139,7 +139,9 @@ fn concurrent_hammer_consistent_counters() {
             scope.spawn(move || {
                 let chunk = &mix.schedule()[t * per_thread..(t + 1) * per_thread];
                 for &shape in chunk {
-                    let served = service.optimize(&mix.shapes()[shape]);
+                    let served = service
+                        .optimize(&mix.shapes()[shape])
+                        .expect("no faults injected");
                     assert_eq!(
                         refs[shape].plan.cost.to_bits(),
                         served.result.plan.cost.to_bits(),
@@ -182,6 +184,7 @@ fn pooled_reoptimize_reports_fresh_stats() {
         ServiceConfig {
             cache_capacity: 0,
             pool_capacity: 4,
+            deadline: None,
         },
     );
     let queries: Vec<_> = (0..8)
@@ -196,7 +199,7 @@ fn pooled_reoptimize_reports_fresh_stats() {
     // used by a *different* query.
     for round in 0..2 {
         for (i, q) in queries.iter().enumerate() {
-            let served = service.optimize(q);
+            let served = service.optimize(q).expect("no faults injected");
             assert!(!served.cache_hit);
             assert_bit_identical(
                 &fresh[i],

@@ -16,5 +16,7 @@ pub use dpnext_workload as workload;
 
 mod optimizer;
 
-pub use dpnext_core::{AdaptiveMode, Algorithm, DominanceKind, Memo, MemoStats, Optimized};
+pub use dpnext_core::{
+    AdaptiveMode, Algorithm, Degradation, DominanceKind, Memo, MemoStats, Optimized,
+};
 pub use optimizer::Optimizer;

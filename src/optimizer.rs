@@ -21,6 +21,7 @@ use dpnext_core::{
 use dpnext_query::Query;
 use dpnext_sql::{plan as bind_sql, BoundQuery, SqlError};
 use std::sync::{Arc, OnceLock};
+use std::time::Duration;
 
 /// Builder-style facade over the whole workspace: pick an algorithm, tune
 /// the dominance criterion and stats rendering, then optimize [`Query`]
@@ -42,6 +43,8 @@ pub struct Optimizer {
     explain: bool,
     threads: usize,
     plan_budget: u64,
+    deadline: Option<Duration>,
+    fault_unit_delay: Option<Duration>,
     catalog: OnceLock<Arc<Catalog>>,
 }
 
@@ -57,6 +60,8 @@ impl Optimizer {
             explain: true,
             threads: 0,
             plan_budget: 0,
+            deadline: None,
+            fault_unit_delay: None,
             catalog: OnceLock::new(),
         }
     }
@@ -88,6 +93,30 @@ impl Optimizer {
     /// algorithms.
     pub fn plan_budget(mut self, budget: u64) -> Optimizer {
         self.plan_budget = budget;
+        self
+    }
+
+    /// Wall-clock deadline per optimization. A deadline turns *any*
+    /// algorithm choice into the adaptive degradation ladder
+    /// (`dpnext_adaptive::optimize_adaptive`): the exact engines have no
+    /// abort points, so honoring a deadline means riding the abortable
+    /// budgeted enumeration — the run degrades exact → partial-exact →
+    /// linearized → greedy as the clock runs out and always returns a
+    /// structurally valid plan, with `memo.degradation` recording why.
+    /// Overshoot past the deadline is bounded by one enumeration work
+    /// unit. `None` (the default) changes nothing: unconstrained runs are
+    /// bit-identical to an optimizer without the knob.
+    pub fn deadline(mut self, deadline: Option<Duration>) -> Optimizer {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Fault-injection hook: busy-wait this long before every enumeration
+    /// work unit of a budgeted/adaptive run, simulating a pathologically
+    /// slow enumeration. Exists so deadline/degradation paths are testable
+    /// deterministically (see `robustness_smoke`); never set in production.
+    pub fn fault_unit_delay(mut self, delay: Option<Duration>) -> Optimizer {
+        self.fault_unit_delay = delay;
         self
     }
 
@@ -123,8 +152,10 @@ impl Optimizer {
         match self.algorithm {
             // The budgeted ladder lives above dpnext-core (see the crate
             // layering note on `Algorithm::Adaptive`), so the facade is
-            // the dispatch point.
+            // the dispatch point. Deadline-bearing requests also route
+            // here: only the ladder can abort mid-enumeration.
             Algorithm::Adaptive => dpnext_adaptive::optimize_adaptive(query, &opts),
+            _ if self.deadline.is_some() => dpnext_adaptive::optimize_adaptive(query, &opts),
             algo => optimize_with(query, algo, &opts),
         }
     }
@@ -157,6 +188,10 @@ impl Optimizer {
                 memo.reset();
                 dpnext_adaptive::optimize_adaptive(query, &opts)
             }
+            _ if self.deadline.is_some() => {
+                memo.reset();
+                dpnext_adaptive::optimize_adaptive(query, &opts)
+            }
             algo => optimize_into(query, algo, &opts, memo),
         }
     }
@@ -167,6 +202,8 @@ impl Optimizer {
             explain: self.explain,
             threads: self.threads,
             plan_budget: self.plan_budget,
+            deadline: self.deadline,
+            fault_unit_delay: self.fault_unit_delay,
         }
     }
 }
