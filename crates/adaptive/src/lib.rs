@@ -39,6 +39,14 @@
 //! floor guarantees a valid plan exists before the clock is ever
 //! consulted — a deadlined run *degrades*, it never fails.
 //!
+//! A per-request [`OptimizeOptions::memory_budget`] (bytes of live memo
+//! state, [`dpnext_core::Memo::live_bytes`]) rides it the same way: the
+//! exact rung runs under half the remaining byte headroom (mirroring the
+//! 50/50 plan-budget split), the linearized rung under the full budget,
+//! both checked once per work unit; the greedy rung runs unchecked, like
+//! it ignores the clock, so a valid plan always exists. The abort is
+//! recorded as [`Degradation::memory_aborted`].
+//!
 //! This crate sits **above** `dpnext-core` (it drives the core's budgeted
 //! engine hook); the `dpnext::Optimizer` facade dispatches
 //! `Algorithm::Adaptive` here.
@@ -107,12 +115,15 @@ pub fn optimize_adaptive(query: &Query, opts: &OptimizeOptions) -> Optimized {
 pub fn optimize_adaptive_run(query: &Query, opts: &OptimizeOptions) -> AdaptiveRun {
     let ctx = OptContext::new(query.clone());
     let n = ctx.query.table_count();
-    // A deadline-only run (deadline set, budget left 0) gets a practically
-    // unbounded plan budget: the clock, not the counter, drives degradation.
-    let deadline_only = opts.deadline.is_some() && opts.plan_budget == 0;
+    let memory_budget = (opts.memory_budget != 0).then_some(opts.memory_budget);
+    // A resource-only run (deadline and/or memory budget set, plan budget
+    // left 0) gets a practically unbounded plan budget: the clock or the
+    // byte meter, not the counter, drives degradation.
+    let resource_only =
+        (opts.deadline.is_some() || memory_budget.is_some()) && opts.plan_budget == 0;
     let requested = if opts.plan_budget != 0 {
         opts.plan_budget
-    } else if deadline_only {
+    } else if resource_only {
         DEADLINE_PLAN_BUDGET
     } else {
         DEFAULT_PLAN_BUDGET
@@ -140,6 +151,10 @@ pub fn optimize_adaptive_run(query: &Query, opts: &OptimizeOptions) -> AdaptiveR
             // The clock ran out during the guaranteed rung: the greedy
             // plan ships as-is.
             degr.deadline_aborted = true;
+        } else if memory_budget.is_some_and(|mb| search.live_bytes() >= mb) {
+            // The guaranteed rung alone filled the byte budget: its plan
+            // ships as-is — deeper rungs could only grow the memo.
+            degr.memory_aborted = true;
         } else {
             // Rung 2: the full exact stream, under HALF the remaining
             // budget — an aborted exact run must not starve the
@@ -157,7 +172,7 @@ pub fn optimize_adaptive_run(query: &Query, opts: &OptimizeOptions) -> AdaptiveR
             let reserve = search.remaining() / 2;
             let cap = (search.remaining() - reserve) / UNIT_MAX_PLANS;
             let mut done = false;
-            let gate_open = deadline_only || count_ccps_capped(&ctx.cq.graph, cap).is_some();
+            let gate_open = resource_only || count_ccps_capped(&ctx.cq.graph, cap).is_some();
             if gate_open {
                 search.set_budget(full_budget - reserve);
                 if let Some(dl) = deadline {
@@ -166,6 +181,14 @@ pub fn optimize_adaptive_run(query: &Query, opts: &OptimizeOptions) -> AdaptiveR
                     // stream cannot starve the linearized rung of clock.
                     let now = Instant::now();
                     search.set_deadline(Some(now + dl.saturating_duration_since(now) / 2));
+                }
+                if let Some(mb) = memory_budget {
+                    // Sub-budget at the midpoint of the remaining byte
+                    // headroom — the same 50/50 reservation, so an exact
+                    // stream aborted for memory leaves the linearized
+                    // rung room to improve on greedy.
+                    let live = search.live_bytes();
+                    search.set_memory_budget(Some(live + (mb - live) / 2));
                 }
                 let flow = try_enumerate_ccps(&ctx.cq.graph, |s1, s2| {
                     if search.process(s1, s2) {
@@ -181,6 +204,8 @@ pub fn optimize_adaptive_run(query: &Query, opts: &OptimizeOptions) -> AdaptiveR
                 } else {
                     if search.deadline_hit() {
                         degr.deadline_aborted = true;
+                    } else if search.memory_hit() {
+                        degr.memory_aborted = true;
                     } else {
                         degr.budget_aborted = true;
                     }
@@ -199,10 +224,13 @@ pub fn optimize_adaptive_run(query: &Query, opts: &OptimizeOptions) -> AdaptiveR
             if !done {
                 let best_after_exact = search.best_cost();
                 search.set_deadline(deadline);
+                search.set_memory_budget(memory_budget);
                 let lin_done = linearized_dp(&mut search, &ctx, &greedy.order);
                 if !lin_done {
                     if search.deadline_hit() {
                         degr.deadline_aborted = true;
+                    } else if search.memory_hit() {
+                        degr.memory_aborted = true;
                     } else {
                         degr.budget_aborted = true;
                     }
@@ -232,6 +260,8 @@ pub fn optimize_adaptive_run(query: &Query, opts: &OptimizeOptions) -> AdaptiveR
         // Belt-and-braces: an abort path that forgot to attribute itself.
         if search.deadline_hit() {
             degr.deadline_aborted = true;
+        } else if search.memory_hit() {
+            degr.memory_aborted = true;
         } else {
             degr.budget_aborted = true;
         }
@@ -246,7 +276,7 @@ pub fn optimize_adaptive_run(query: &Query, opts: &OptimizeOptions) -> AdaptiveR
             .best
             .expect("no plan found: query graph disconnected or over-constrained")
     };
-    memo.record_budget(budget, degr, mode);
+    memo.record_budget(budget, opts.memory_budget, degr, mode);
     // Search time excludes EXPLAIN rendering, like the exact engine.
     let elapsed = start.elapsed();
     let explain = if opts.explain {

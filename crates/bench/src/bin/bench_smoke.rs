@@ -16,7 +16,7 @@ use dpnext::adaptive::optimize_adaptive_run;
 use dpnext::Optimizer;
 use dpnext_bench::{run_sweep, serial_fraction, AlgoSpec, SweepResult};
 use dpnext_core::{optimize_with, recost_plan, Algorithm, OptContext, OptimizeOptions};
-use dpnext_serve::{OptimizerService, ServiceConfig};
+use dpnext_serve::{FaultInjector, OptimizerService, ServeError, ServiceConfig};
 use dpnext_workload::{
     generate_query, perturbed_pair, request_mix, GenConfig, MixConfig, Topology,
 };
@@ -69,6 +69,18 @@ const ROBUST_TOPOLOGIES: [(Topology, &str); 2] =
 const ROBUST_STRATEGIES: [(&str, u64); 3] =
     [("exact", 1 << 40), ("adaptive", 50_000), ("greedy", 1)];
 
+/// Overload cells: the governed request path under pressure — a bounded
+/// admission gate (2 concurrent + 2 queued), a per-request memory budget
+/// and seeded memory-pressure faults. Reports serving throughput of the
+/// *admitted* requests plus the governance counters and the
+/// degradation-cause mix (which `--diff` compares across PRs).
+const OVERLOAD_REQUESTS_PER_CLIENT: usize = 64;
+const OVERLOAD_CONCURRENT: usize = 2;
+const OVERLOAD_QUEUED: usize = 2;
+const OVERLOAD_MEMORY_BUDGET: u64 = 192 << 10;
+const OVERLOAD_PRESSURE_PER_MILLION: u32 = 250_000;
+const OVERLOAD_PRESSURE_BUDGET: u64 = 48 << 10;
+
 /// One emitted `(algorithm, n, threads)` measurement.
 struct SmokeCell {
     algo: String,
@@ -97,6 +109,10 @@ struct SmokeCell {
     /// Preformatted extra JSON fields (serving cells append cache/pool
     /// counters here; empty elsewhere).
     extra: String,
+    /// Degradation-cause counts as `[budget_gated, budget_aborted,
+    /// deadline_aborted, memory_aborted]` (adaptive and overload cells
+    /// only; `None` elsewhere). `--diff` compares the mix across PRs.
+    degradation: Option<[u64; 4]>,
 }
 
 impl SmokeCell {
@@ -183,6 +199,7 @@ fn main() {
                     queries_per_sec: 0.0,
                     drift_geomean: 0.0,
                     extra,
+                    degradation: None,
                 });
             }
         }
@@ -206,6 +223,10 @@ fn main() {
                 cells.push(robust_cell(strategy, budget, topo, tag, q));
             }
         }
+    }
+
+    for client_threads in [1usize, t_max] {
+        cells.push(overload_cell(client_threads));
     }
 
     let mut json = String::from("{\n  \"workload\": \"fig15-smoke\",\n");
@@ -284,7 +305,7 @@ fn adaptive_cell(topo: Topology, tag: &str, n: usize) -> SmokeCell {
     let mut width = 0.0f64;
     let mut hits = 0.0f64;
     let mut modes = [0usize; 4]; // exact / partial-exact / linearized / greedy
-    let mut degr = [0usize; 3]; // gated / budget-aborted / deadline-aborted
+    let mut degr = [0u64; 4]; // gated / budget-aborted / deadline-aborted / memory-aborted
     for q in 0..LARGE_QUERIES {
         let seed = SEED
             .wrapping_add(n as u64 * 1_000_003)
@@ -309,9 +330,10 @@ fn adaptive_cell(topo: Topology, tag: &str, n: usize) -> SmokeCell {
             dpnext::AdaptiveMode::Greedy => modes[3] += 1,
             dpnext::AdaptiveMode::None => unreachable!("adaptive run reported no mode"),
         }
-        degr[0] += r.memo.degradation.budget_gated as usize;
-        degr[1] += r.memo.degradation.budget_aborted as usize;
-        degr[2] += r.memo.degradation.deadline_aborted as usize;
+        degr[0] += r.memo.degradation.budget_gated as u64;
+        degr[1] += r.memo.degradation.budget_aborted as u64;
+        degr[2] += r.memo.degradation.deadline_aborted as u64;
+        degr[3] += r.memo.degradation.memory_aborted as u64;
     }
     let m = LARGE_QUERIES as f64;
     SmokeCell {
@@ -336,12 +358,18 @@ fn adaptive_cell(topo: Topology, tag: &str, n: usize) -> SmokeCell {
         drift_geomean: 0.0,
         // Why the ladder fell short of the exact rung, split by cause
         // (counts over the cell's queries).
-        extra: format!(
-            ", \"degradation\": {{ \"budget_gated\": {}, \"budget_aborted\": {}, \
-             \"deadline_aborted\": {} }}",
-            degr[0], degr[1], degr[2]
-        ),
+        extra: degradation_json(degr),
+        degradation: Some(degr),
     }
+}
+
+/// The degradation-cause mix of a cell as a JSON object fragment.
+fn degradation_json(degr: [u64; 4]) -> String {
+    format!(
+        ", \"degradation\": {{ \"budget_gated\": {}, \"budget_aborted\": {}, \
+         \"deadline_aborted\": {}, \"memory_aborted\": {} }}",
+        degr[0], degr[1], degr[2], degr[3]
+    )
 }
 
 /// One robustness cell: optimize `ROBUST_SEEDS` queries whose statistics
@@ -414,6 +442,7 @@ fn robust_cell(strategy: &str, budget: u64, topo: Topology, tag: &str, q: f64) -
             ", \"qerror\": {q:.0}, \"drift_geomean\": {drift_geomean:.4}, \
              \"drift_max\": {drift_max:.4}"
         ),
+        degradation: None,
     }
 }
 
@@ -453,11 +482,13 @@ fn serve_cell(mode: ServeMode, client_threads: usize) -> SmokeCell {
             cache_capacity: 0,
             pool_capacity: 0,
             deadline: None,
+            ..ServiceConfig::default()
         },
         ServeMode::Pooled => ServiceConfig {
             cache_capacity: 0,
             pool_capacity: client_threads,
             deadline: None,
+            ..ServiceConfig::default()
         },
         ServeMode::Cached => ServiceConfig::default(),
     };
@@ -508,6 +539,110 @@ fn serve_cell(mode: ServeMode, client_threads: usize) -> SmokeCell {
              \"pool_reused\": {}",
             stats.cache.hits, stats.cache.misses, stats.pool.created, stats.pool.reused
         ),
+        degradation: None,
+    }
+}
+
+/// One overload cell: `client_threads` workers hammering a governed
+/// service — bounded admission, a per-request memory budget and seeded
+/// memory-pressure faults. Rejected requests are part of the measurement
+/// (they are the governance working), so the cell reports both the
+/// admitted throughput and the full counter set.
+fn overload_cell(client_threads: usize) -> SmokeCell {
+    let total = OVERLOAD_REQUESTS_PER_CLIENT * client_threads;
+    let mix = request_mix(&MixConfig::uniform(SERVE_SHAPES, SERVE_N), total, SEED);
+    let service = OptimizerService::with_config(
+        Optimizer::new(Algorithm::EaPrune).threads(1).explain(false),
+        ServiceConfig {
+            cache_capacity: 0, // every request must reach the gate
+            pool_capacity: client_threads,
+            memory_budget: OVERLOAD_MEMORY_BUDGET,
+            max_concurrent: OVERLOAD_CONCURRENT,
+            max_queued: OVERLOAD_QUEUED,
+            ..ServiceConfig::default()
+        },
+    )
+    .with_fault_injection(
+        FaultInjector::new(SEED, 0, 0, std::time::Duration::ZERO)
+            .with_memory_pressure(OVERLOAD_PRESSURE_PER_MILLION, OVERLOAD_PRESSURE_BUDGET),
+    );
+
+    let plans = AtomicU64::new(0);
+    let ok = AtomicU64::new(0);
+    let rejected = AtomicU64::new(0);
+    let degr = [(); 4].map(|_| AtomicU64::new(0));
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..client_threads {
+            let (service, mix, plans, ok, rejected, degr) =
+                (&service, &mix, &plans, &ok, &rejected, &degr);
+            scope.spawn(move || {
+                let chunk = &mix.schedule()
+                    [t * OVERLOAD_REQUESTS_PER_CLIENT..(t + 1) * OVERLOAD_REQUESTS_PER_CLIENT];
+                for &shape in chunk {
+                    match service.optimize(&mix.shapes()[shape]) {
+                        Ok(served) => {
+                            ok.fetch_add(1, Ordering::Relaxed);
+                            plans.fetch_add(served.result.plans_built, Ordering::Relaxed);
+                            let d = served.result.memo.degradation;
+                            for (slot, hit) in degr.iter().zip([
+                                d.budget_gated,
+                                d.budget_aborted,
+                                d.deadline_aborted,
+                                d.memory_aborted,
+                            ]) {
+                                slot.fetch_add(hit as u64, Ordering::Relaxed);
+                            }
+                        }
+                        Err(ServeError::Overloaded { .. }) => {
+                            rejected.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => panic!("overload cell: unexpected error kind: {e}"),
+                    }
+                }
+            });
+        }
+    });
+    let runtime = start.elapsed().as_secs_f64();
+    let (ok, rejected) = (ok.load(Ordering::Relaxed), rejected.load(Ordering::Relaxed));
+    assert_eq!(
+        total as u64,
+        ok + rejected,
+        "every overload request must resolve as a success or a rejection"
+    );
+    let degr = [0, 1, 2, 3].map(|i| degr[i].load(Ordering::Relaxed));
+
+    let stats = service.stats();
+    let mut extra = format!(
+        ", \"served\": {ok}, \"rejected\": {rejected}, \"queued_peak\": {}, \
+         \"shed\": {}, \"memory_degraded\": {}, \"ledger_peak_bytes\": {}, \
+         \"quarantined_bytes\": {}",
+        stats.gate.queued_peak,
+        stats.shed,
+        stats.memory_degraded,
+        stats.ledger.peak,
+        stats.ledger.quarantined_bytes,
+    );
+    extra.push_str(&degradation_json(degr));
+    SmokeCell {
+        algo: "Overload[burst]".to_string(),
+        n: SERVE_N,
+        threads: client_threads,
+        queries: total,
+        runtime_us: runtime / total as f64 * 1e6,
+        plans_built: plans.load(Ordering::Relaxed) as f64 / ok.max(1) as f64,
+        plans_per_sec: plans.load(Ordering::Relaxed) as f64 / runtime.max(1e-12),
+        arena: 0.0,
+        width: 0.0,
+        hit_rate: 0.0,
+        worker_nanos: 0.0,
+        replay_nanos: 0.0,
+        budget: 0,
+        modes: String::new(),
+        queries_per_sec: ok as f64 / runtime.max(1e-12),
+        drift_geomean: 0.0,
+        extra,
+        degradation: Some(degr),
     }
 }
 
@@ -521,6 +656,64 @@ struct PrevCell {
     replay_share: Option<f64>,
     /// `None` for non-robustness cells and pre-robustness archives.
     drift_geomean: Option<f64>,
+    /// Degradation-cause counts in [`SmokeCell::degradation`] order;
+    /// `None` for cells and archives without the mix.
+    degradation: Option<[f64; 4]>,
+}
+
+/// The four degradation-cause JSON keys, in [`SmokeCell::degradation`]
+/// order.
+const DEGRADATION_KEYS: [&str; 4] = [
+    "\"budget_gated\": ",
+    "\"budget_aborted\": ",
+    "\"deadline_aborted\": ",
+    "\"memory_aborted\": ",
+];
+
+fn parse_degradation(line: &str) -> Option<[f64; 4]> {
+    let mut out = [0.0f64; 4];
+    for (slot, key) in out.iter_mut().zip(DEGRADATION_KEYS) {
+        *slot = field_num(line, key)?;
+    }
+    Some(out)
+}
+
+/// Compare two degradation-cause mixes as shares of their own totals and
+/// describe any cause whose share moved by more than 25 points — a shift
+/// in *why* the ladder degrades (e.g. deadline aborts turning into memory
+/// aborts) that raw throughput numbers hide. Warn-only, like every other
+/// diff signal.
+fn degradation_shift(old: [f64; 4], new: [u64; 4]) -> String {
+    let old_total: f64 = old.iter().sum();
+    let new_total: f64 = new.iter().map(|&v| v as f64).sum();
+    if old_total <= 0.0 || new_total <= 0.0 {
+        // One side never degraded; shares are undefined. Flag only the
+        // appearance of degradation where there was none.
+        return if old_total <= 0.0 && new_total > 0.0 {
+            format!("  ⚠ cell started degrading ({new_total:.0} causes, had none)")
+        } else {
+            String::new()
+        };
+    }
+    let names = [
+        "budget_gated",
+        "budget_aborted",
+        "deadline_aborted",
+        "memory_aborted",
+    ];
+    let mut out = String::new();
+    for i in 0..4 {
+        let old_share = 100.0 * old[i] / old_total;
+        let new_share = 100.0 * new[i] as f64 / new_total;
+        if (new_share - old_share).abs() > 25.0 {
+            let _ = write!(
+                out,
+                ", {} share {old_share:.0}% → {new_share:.0}%  ⚠ degradation mix shifted",
+                names[i]
+            );
+        }
+    }
+    out
 }
 
 /// Parse a previously archived `BENCH_smoke.json` (our own line-per-cell
@@ -558,6 +751,7 @@ fn diff_against(prev_path: &str, cells: &[SmokeCell]) {
             plans_per_sec: pps,
             replay_share,
             drift_geomean: field_num(line, "\"drift_geomean\": "),
+            degradation: parse_degradation(line),
         });
     }
     if old.is_empty() {
@@ -604,6 +798,13 @@ fn diff_against(prev_path: &str, cells: &[SmokeCell]) {
             }
             _ => String::new(),
         };
+        // Degradation-cause mix: same-throughput cells can still have
+        // swapped *why* they degrade (satellite of the governance work) —
+        // compare cause shares when both sides carry the mix.
+        let mix = match (prev.degradation, c.degradation) {
+            (Some(old_mix), Some(new_mix)) => degradation_shift(old_mix, new_mix),
+            _ => String::new(),
+        };
         let share = match prev.replay_share {
             Some(old_share) if c.threads > 1 => {
                 let new_share = 100.0 * c.replay_share();
@@ -619,7 +820,7 @@ fn diff_against(prev_path: &str, cells: &[SmokeCell]) {
         };
         eprintln!(
             "  {:<10} n={} threads={}: {:.0}k → {:.0}k plans/s \
-             ({delta:+.1}%){marker}{drift}{share}",
+             ({delta:+.1}%){marker}{drift}{share}{mix}",
             c.algo,
             c.n,
             c.threads,

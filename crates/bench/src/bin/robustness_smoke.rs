@@ -129,6 +129,7 @@ fn hammer_part() {
             cache_capacity: 0, // every request must actually run (and may fault)
             pool_capacity: 4,
             deadline: Some(HAMMER_DEADLINE),
+            ..ServiceConfig::default()
         },
     )
     .with_fault_injection(inj);

@@ -123,6 +123,15 @@ pub struct OptimizeOptions {
     /// `Optimizer` facade does exactly that. `None` (the default) changes
     /// nothing: unconstrained runs stay bit-identical.
     pub deadline: Option<Duration>,
+    /// Memory budget (bytes of live memo state, see
+    /// [`crate::Memo::live_bytes`]) for the whole optimization. Honored by
+    /// the budgeted/adaptive path exactly like [`OptimizeOptions::deadline`]:
+    /// checked once per enumeration work unit, overshoot bounded by one
+    /// unit's plans, degradation recorded as
+    /// [`crate::Degradation::memory_aborted`]. The exact engines ignore
+    /// it, so the `Optimizer` facade routes memory-budgeted requests
+    /// through the adaptive ladder. `0` (the default) disables the budget.
+    pub memory_budget: u64,
     /// Fault-injection hook: an artificial busy-wait inserted before every
     /// enumeration work unit of a budgeted search, simulating a
     /// pathologically slow enumeration so deadline/degradation paths are
@@ -139,6 +148,7 @@ impl Default for OptimizeOptions {
             threads: 0,
             plan_budget: 0,
             deadline: None,
+            memory_budget: 0,
             fault_unit_delay: None,
         }
     }
@@ -407,8 +417,10 @@ trait PairSink<S: PlanStore> {
 ///
 /// Every `(orientation, t1, t2)` combination is one **work unit**,
 /// numbered by `unit` across the whole stratum. `take` decides whether
-/// this caller builds the unit — the streaming driver takes everything,
-/// layered workers take their `unit ≡ worker (mod threads)` share. Unit
+/// this caller builds the unit (it also sees the store, so budgeted
+/// callers can read live resource state like [`Memo::live_bytes`]) — the
+/// streaming driver takes everything, layered workers take their
+/// `unit ≡ worker (mod threads)` share. Unit
 /// numbering depends only on frozen class snapshots and the (pure)
 /// orientation computation, so every worker counts identically; combos
 /// are the grain of the fan-out because the heavy strata of the EA
@@ -425,7 +437,7 @@ fn process_pair<S: PlanStore, K: PairSink<S>>(
     s2: NodeSet,
     full: NodeSet,
     unit: &mut u64,
-    take: &mut impl FnMut(u64) -> bool,
+    take: &mut impl FnMut(u64, &S) -> bool,
 ) {
     orientations_into(ctx, s1, s2, bufs);
     let PairBufs {
@@ -454,7 +466,7 @@ fn process_pair<S: PlanStore, K: PairSink<S>>(
             for &t2 in rights.iter() {
                 let u = *unit;
                 *unit += 1;
-                if !take(u) {
+                if !take(u, store) {
                     continue;
                 }
                 sink.begin_unit(u);
@@ -592,7 +604,7 @@ fn run_worker(
     let mut unit = 0u64;
     let w = worker as u64;
     let t = threads as u64;
-    let mut take = move |u: u64| u % t == w;
+    let mut take = move |u: u64, _: &MemoShard<'_>| u % t == w;
     for &(s1, s2) in pairs {
         process_pair(
             ctx,
@@ -694,7 +706,7 @@ fn enumerate_layered<P: ClassPolicy>(
                 policy: &mut *policy,
             };
             let mut unit = 0u64;
-            let mut take = |_: u64| true;
+            let mut take = |_: u64, _: &Memo| true;
             for &(s1, s2) in pairs {
                 process_pair(
                     ctx, scratch, &mut bufs, memo, &mut sink, eager, s1, s2, full, &mut unit,
@@ -979,7 +991,7 @@ fn enumerate_streaming<P: ClassPolicy>(
     let mut bufs = PairBufs::new();
     let mut sink = PolicySink { policy };
     let mut unit = 0u64;
-    let mut take = |_: u64| true;
+    let mut take = |_: u64, _: &Memo| true;
     enumerate_ccps(&ctx.cq.graph, |s1, s2| {
         process_pair(
             ctx, scratch, &mut bufs, memo, &mut sink, eager, s1, s2, full, &mut unit, &mut take,
@@ -1336,6 +1348,8 @@ pub struct BudgetedSearch<'a> {
     exhausted: bool,
     deadline: Option<Instant>,
     deadline_hit: bool,
+    memory_budget: Option<u64>,
+    memory_hit: bool,
     unit_delay: Option<Duration>,
     full: NodeSet,
 }
@@ -1381,6 +1395,8 @@ impl<'a> BudgetedSearch<'a> {
             exhausted: false,
             deadline: None,
             deadline_hit: false,
+            memory_budget: None,
+            memory_hit: false,
             unit_delay: None,
             full: NodeSet::full(n),
         }
@@ -1429,6 +1445,30 @@ impl<'a> BudgetedSearch<'a> {
     /// opposed to the plan budget). Cleared by [`BudgetedSearch::set_deadline`].
     pub fn deadline_hit(&self) -> bool {
         self.deadline_hit
+    }
+
+    /// Arm (or clear, with `None`) a memory budget in bytes of live memo
+    /// state ([`Memo::live_bytes`]). Checked once per enumeration work
+    /// unit and once per pair inside [`BudgetedSearch::process`], exactly
+    /// like the deadline, so overshoot is bounded by one unit's plans
+    /// (≤ [`UNIT_MAX_PLANS`], each with a bounded payload). Also clears
+    /// the memory-hit marker, so ladder callers can arm a fresh headroom
+    /// split per rung.
+    pub fn set_memory_budget(&mut self, budget: Option<u64>) {
+        self.memory_budget = budget;
+        self.memory_hit = false;
+    }
+
+    /// Whether the most recent exhaustion was caused by the memory budget
+    /// (as opposed to the plan budget or deadline). Cleared by
+    /// [`BudgetedSearch::set_memory_budget`].
+    pub fn memory_hit(&self) -> bool {
+        self.memory_hit
+    }
+
+    /// Current live bytes of the search's memo (see [`Memo::live_bytes`]).
+    pub fn live_bytes(&self) -> u64 {
+        self.memo.live_bytes()
     }
 
     /// Fault-injection hook: busy-wait `delay` before every enumeration
@@ -1486,9 +1526,9 @@ impl<'a> BudgetedSearch<'a> {
         if self.exhausted {
             return false;
         }
-        // Per-pair deadline check: even a stream of pairs with no
+        // Per-pair deadline/memory checks: even a stream of pairs with no
         // applicable operator (which never enters the per-unit closure
-        // below) stays deadline-bounded.
+        // below) stays resource-bounded.
         if let Some(dl) = self.deadline {
             if Instant::now() >= dl {
                 self.deadline_hit = true;
@@ -1496,18 +1536,35 @@ impl<'a> BudgetedSearch<'a> {
                 return false;
             }
         }
+        if let Some(mb) = self.memory_budget {
+            if self.memo.live_bytes() >= mb {
+                self.memory_hit = true;
+                self.exhausted = true;
+                return false;
+            }
+        }
         let allowed = self.remaining() / UNIT_MAX_PLANS;
         let mut unit = 0u64;
         let deadline = self.deadline;
+        let memory_budget = self.memory_budget;
         let unit_delay = self.unit_delay;
         let mut hit = false;
-        let mut take = |u: u64| {
+        let mut mem_hit = false;
+        let mut take = |u: u64, memo: &Memo| {
             if u >= allowed {
                 return false;
             }
             if let Some(dl) = deadline {
                 if hit || Instant::now() >= dl {
                     hit = true;
+                    return false;
+                }
+            }
+            if let Some(mb) = memory_budget {
+                // Live bytes only grow between rollbacks, so once hit the
+                // pair stays aborted (the flag mirrors the deadline latch).
+                if mem_hit || memo.live_bytes() >= mb {
+                    mem_hit = true;
                     return false;
                 }
             }
@@ -1539,6 +1596,10 @@ impl<'a> BudgetedSearch<'a> {
         debug_assert!(self.scratch.plans_built <= self.budget);
         if hit {
             self.deadline_hit = true;
+            self.exhausted = true;
+            false
+        } else if mem_hit {
+            self.memory_hit = true;
             self.exhausted = true;
             false
         } else if unit > allowed {

@@ -199,6 +199,39 @@ pub struct PlanCold {
     pub visible: Vec<AttrId>,
 }
 
+impl PlanCold {
+    /// Estimated heap bytes owned by this row's payload vectors, counted
+    /// by *length* (not capacity) so the estimate is identical wherever
+    /// the row was built (streaming memo, worker shard). Nested heap of
+    /// aggregate expressions is not chased — the estimate feeds the
+    /// memory-budget abort, which needs a cheap, monotone, deterministic
+    /// proxy for arena footprint, not an allocator-exact census.
+    #[inline]
+    pub fn heap_bytes(&self) -> usize {
+        let node = match &self.node {
+            PlanNode::Scan { .. } => 0,
+            PlanNode::Apply { gj_aggs, .. } => gj_aggs.len() * size_of::<AggCall>(),
+            PlanNode::Group { attrs, aggs, .. } => {
+                attrs.len() * size_of::<AttrId>() + aggs.len() * size_of::<AggCall>()
+            }
+        };
+        let keys: usize = self
+            .keyinfo
+            .keys
+            .keys()
+            .iter()
+            .map(|k| size_of::<Vec<AttrId>>() + k.len() * size_of::<AttrId>())
+            .sum();
+        let agg = self.agg.pos.len() * size_of::<crate::aggstate::AggPos>()
+            + self.agg.counts.len() * size_of::<(NodeSet, AttrId)>();
+        node + keys + agg + self.visible.len() * size_of::<AttrId>()
+    }
+}
+
+/// Bytes one arena slot occupies in the SoA lanes themselves (hot row +
+/// cold row struct, excluding the cold row's heap payload).
+pub const ARENA_ROW_BYTES: usize = size_of::<PlanHot>() + size_of::<PlanCold>();
+
 /// A borrowed view of one plan's hot and cold rows.
 #[derive(Clone, Copy)]
 pub struct PlanRef<'a> {
@@ -285,13 +318,24 @@ pub struct Degradation {
     /// A rung was aborted mid-stream (or skipped) because the wall-clock
     /// deadline passed; overshoot is bounded by one enumeration work unit.
     pub deadline_aborted: bool,
+    /// A rung was aborted mid-stream (or skipped) because the memo's live
+    /// bytes ([`Memo::live_bytes`]) reached the per-request memory budget;
+    /// overshoot is bounded by one enumeration work unit's plans.
+    pub memory_aborted: bool,
 }
 
 impl Degradation {
     /// True when any degradation occurred — the run's result comes from a
     /// shallower rung than the budget-free optimum would have used.
     pub fn any(&self) -> bool {
-        self.budget_gated || self.budget_aborted || self.deadline_aborted
+        self.budget_gated || self.budget_aborted || self.deadline_aborted || self.memory_aborted
+    }
+
+    /// True when a *resource* (wall clock or memory), as opposed to the
+    /// plan budget, cut the run short — the causes a serving layer treats
+    /// as pressure signals rather than configured depth limits.
+    pub fn resource_aborted(&self) -> bool {
+        self.deadline_aborted || self.memory_aborted
     }
 }
 
@@ -305,6 +349,7 @@ impl std::fmt::Display for Degradation {
             (self.budget_gated, "budget-gated"),
             (self.budget_aborted, "budget-aborted"),
             (self.deadline_aborted, "deadline-aborted"),
+            (self.memory_aborted, "memory-aborted"),
         ] {
             if set {
                 if !first {
@@ -386,6 +431,15 @@ pub struct MemoStats {
     /// budget clamped up to the greedy floor); 0 when the run was not
     /// budgeted. When non-zero, `plans_built <= plan_budget` holds.
     pub plan_budget: u64,
+    /// Memory budget (bytes) enforced by a budgeted search; 0 when the
+    /// run was not memory-budgeted. When non-zero, the checked rungs stop
+    /// within one work unit of `live_bytes` reaching it (the guaranteed
+    /// greedy rung runs unchecked, like it ignores the clock).
+    pub memory_budget: u64,
+    /// Largest [`Memo::live_bytes`] observed during the run — arena rows
+    /// plus cold-side heap estimates, before rollbacks reclaimed losing
+    /// complete plans.
+    pub live_bytes_peak: u64,
     /// Why the budgeted search fell short of its deepest rung, split by
     /// cause (gate, mid-stream budget abort, deadline abort); all-false
     /// when the deepest rung completed or the run was not budgeted.
@@ -653,6 +707,10 @@ pub struct Memo {
     /// (not part of [`MemoStats`]: statistics reset per run).
     arena_high_water: usize,
     class_high_water: usize,
+    /// Running sum of [`PlanCold::heap_bytes`] over the cold lane —
+    /// maintained incrementally on push/truncate so [`Memo::live_bytes`]
+    /// is O(1) and can be checked once per enumeration work unit.
+    cold_heap_bytes: usize,
 }
 
 impl Index<PlanId> for Memo {
@@ -728,6 +786,7 @@ impl Memo {
         self.cold.clear();
         self.classes.clear();
         self.stats = MemoStats::default();
+        self.cold_heap_bytes = 0;
         let arena_target = (self.arena_high_water * 2).max(Self::MIN_RETAINED_CAPACITY);
         if self.hot.capacity() > arena_target {
             self.hot.shrink_to(arena_target);
@@ -750,9 +809,37 @@ impl Memo {
     pub fn push(&mut self, plan: MemoPlan) -> PlanId {
         let id = PlanId::from_index(self.hot.len());
         let (hot, cold) = plan.split();
+        self.cold_heap_bytes += cold.heap_bytes();
         self.hot.push(hot);
         self.cold.push(cold);
+        self.stats.live_bytes_peak = self.stats.live_bytes_peak.max(self.live_bytes());
         id
+    }
+
+    /// Estimated bytes of *live* plan state: both SoA lanes at their
+    /// current length plus the cold rows' heap payloads
+    /// ([`PlanCold::heap_bytes`]). O(1) — the heap term is a running
+    /// counter — so the budgeted search can check it once per work unit.
+    /// Class id lists and lane over-capacity are not counted; see
+    /// [`Memo::footprint_bytes`] for the allocation-side view.
+    #[inline]
+    pub fn live_bytes(&self) -> u64 {
+        (self.hot.len() * ARENA_ROW_BYTES + self.cold_heap_bytes) as u64
+    }
+
+    /// Estimated bytes this memo *holds allocated*: lane capacities (not
+    /// lengths) plus the live cold heap and the class map's table. This is
+    /// what a parked memo pins between runs — the quantity the serving
+    /// layer's global ledger accounts.
+    pub fn footprint_bytes(&self) -> u64 {
+        let lanes = self.hot.capacity() * ARENA_ROW_BYTES;
+        let classes = self.classes.capacity() * (size_of::<NodeSet>() + size_of::<Vec<PlanId>>())
+            + self
+                .classes
+                .values()
+                .map(|v| v.capacity() * size_of::<PlanId>())
+                .sum::<usize>();
+        (lanes + self.cold_heap_bytes + classes) as u64
     }
 
     /// Number of plans in the arena.
@@ -770,6 +857,12 @@ impl Memo {
     pub fn truncate(&mut self, len: usize) {
         debug_assert!(len <= self.hot.len());
         self.stats.arena_peak = self.stats.arena_peak.max(self.hot.len() as u64);
+        // Reclaim the truncated rows' heap estimate: O(rows dropped),
+        // proportional to the plans that were built — never a full-arena
+        // walk.
+        for row in &self.cold[len..] {
+            self.cold_heap_bytes -= row.heap_bytes();
+        }
         self.hot.truncate(len);
         self.cold.truncate(len);
     }
@@ -807,8 +900,10 @@ impl Memo {
                     *input = remap.apply(*input);
                 }
             }
+            self.cold_heap_bytes += row.heap_bytes();
             self.cold.push(row);
         }
+        self.stats.live_bytes_peak = self.stats.live_bytes_peak.max(self.live_bytes());
         remap
     }
 
@@ -877,15 +972,18 @@ impl Memo {
         self.stats.par_bucket_strata += 1;
     }
 
-    /// Record the outcome of a budgeted search: the effective budget, the
-    /// per-cause degradation flags and the adaptive ladder rung that won.
+    /// Record the outcome of a budgeted search: the effective plan and
+    /// memory budgets, the per-cause degradation flags and the adaptive
+    /// ladder rung that won.
     pub fn record_budget(
         &mut self,
         plan_budget: u64,
+        memory_budget: u64,
         degradation: Degradation,
         mode: AdaptiveMode,
     ) {
         self.stats.plan_budget = plan_budget;
+        self.stats.memory_budget = memory_budget;
         self.stats.degradation = degradation;
         self.stats.adaptive_mode = mode;
     }
@@ -1082,6 +1180,7 @@ impl Memo {
         MemoStats {
             arena_plans: self.hot.len() as u64,
             arena_peak: self.stats.arena_peak.max(self.hot.len() as u64),
+            live_bytes_peak: self.stats.live_bytes_peak.max(self.live_bytes()),
             ..self.stats
         }
     }

@@ -36,6 +36,7 @@ fn throughput_check() {
             cache_capacity: 0,
             pool_capacity: 0,
             deadline: None,
+            ..ServiceConfig::default()
         },
     );
     let cold_pps = plans_per_sec(&cold, &query, THROUGHPUT_REQUESTS);
@@ -81,6 +82,7 @@ fn pool_warmup_check() {
             cache_capacity: 0,
             pool_capacity: 4,
             deadline: None,
+            ..ServiceConfig::default()
         },
     );
     let mix = request_mix(&MixConfig::uniform(8, N), 8, SEED);

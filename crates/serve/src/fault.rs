@@ -25,6 +25,12 @@ pub enum Fault {
     /// a pathologically slow enumeration. Combined with a service
     /// deadline this forces the request down the degradation ladder.
     Slow,
+    /// Run the optimizer under an artificially tiny memory budget
+    /// ([`FaultInjector::pressure_budget_bytes`]), simulating a request
+    /// arriving while the process is out of memory headroom. Forces the
+    /// request down the degradation ladder via `memory_aborted` and — on
+    /// repeat for one shape — trips its circuit breaker.
+    MemoryPressure,
 }
 
 /// Seeded per-request fault schedule; see the module docs.
@@ -33,7 +39,13 @@ pub struct FaultInjector {
     seed: u64,
     panic_per_million: u32,
     slow_per_million: u32,
+    pressure_per_million: u32,
     slow_unit_delay: Duration,
+    pressure_budget_bytes: u64,
+    /// Faults fire only for request indices in `[start, end)`; `None` =
+    /// always armed. Lets a test inject a burst of faults and then assert
+    /// the system *recovers* (breakers close) once the window passes.
+    window: Option<(u64, u64)>,
 }
 
 /// SplitMix64 finalizer: one well-mixed word per input.
@@ -64,18 +76,61 @@ impl FaultInjector {
             seed,
             panic_per_million,
             slow_per_million,
+            pressure_per_million: 0,
             slow_unit_delay,
+            pressure_budget_bytes: 0,
+            window: None,
         }
+    }
+
+    /// Additionally inject [`Fault::MemoryPressure`] with probability
+    /// `pressure_per_million / 1e6`: the faulted request runs under a
+    /// memory budget of `budget_bytes` live memo bytes. All three rates
+    /// together must still sum to at most 1 000 000.
+    pub fn with_memory_pressure(
+        mut self,
+        pressure_per_million: u32,
+        budget_bytes: u64,
+    ) -> FaultInjector {
+        assert!(
+            self.panic_per_million as u64
+                + self.slow_per_million as u64
+                + pressure_per_million as u64
+                <= 1_000_000,
+            "fault rates exceed 100%"
+        );
+        assert!(budget_bytes > 0, "pressure budget must be non-zero");
+        self.pressure_per_million = pressure_per_million;
+        self.pressure_budget_bytes = budget_bytes;
+        self
+    }
+
+    /// Restrict the schedule to request indices in `[start, end)`;
+    /// requests outside the window always run clean. The recovery half of
+    /// the overload smoke lives on this: inject faults for the first K
+    /// requests, then assert breakers close once the window passes.
+    pub fn with_window(mut self, start: u64, end: u64) -> FaultInjector {
+        assert!(start < end, "empty fault window");
+        self.window = Some((start, end));
+        self
     }
 
     /// The fault injected into request number `request` (the service's
     /// zero-based request counter). Pure: tests precompute the schedule.
     pub fn fault_for(&self, request: u64) -> Fault {
+        if let Some((start, end)) = self.window {
+            if request < start || request >= end {
+                return Fault::None;
+            }
+        }
         let draw = (mix(self.seed ^ mix(request)) % 1_000_000) as u32;
         if draw < self.panic_per_million {
             Fault::Panic
         } else if draw < self.panic_per_million + self.slow_per_million {
             Fault::Slow
+        } else if draw < self.panic_per_million + self.slow_per_million + self.pressure_per_million
+        {
+            Fault::MemoryPressure
         } else {
             Fault::None
         }
@@ -84,6 +139,41 @@ impl FaultInjector {
     /// The per-work-unit delay a [`Fault::Slow`] request runs under.
     pub fn slow_unit_delay(&self) -> Duration {
         self.slow_unit_delay
+    }
+
+    /// The live-byte budget a [`Fault::MemoryPressure`] request runs under.
+    pub fn pressure_budget_bytes(&self) -> u64 {
+        self.pressure_budget_bytes
+    }
+}
+
+/// A deterministic burst arrival schedule: requests arrive in bursts of
+/// `burst_size` separated by `gap`. Pure arithmetic — the overload smoke
+/// and tests derive each request's arrival offset from its index instead
+/// of sleeping on a wall clock they cannot control.
+#[derive(Debug, Clone, Copy)]
+pub struct BurstSchedule {
+    burst_size: u64,
+    gap: Duration,
+}
+
+impl BurstSchedule {
+    /// Bursts of `burst_size` requests (≥ 1), `gap` apart.
+    pub fn new(burst_size: u64, gap: Duration) -> BurstSchedule {
+        assert!(burst_size > 0, "empty burst");
+        BurstSchedule { burst_size, gap }
+    }
+
+    /// When request number `request` arrives, as an offset from the start
+    /// of the run: every request of burst `k = request / burst_size`
+    /// arrives together at `k * gap`.
+    pub fn arrival_offset(&self, request: u64) -> Duration {
+        self.gap * (request / self.burst_size) as u32
+    }
+
+    /// The burst index request number `request` belongs to.
+    pub fn burst_of(&self, request: u64) -> u64 {
+        request / self.burst_size
     }
 }
 
@@ -114,5 +204,45 @@ mod tests {
     #[should_panic(expected = "exceed 100%")]
     fn overfull_rates_are_rejected() {
         FaultInjector::new(0, 600_000, 600_000, Duration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed 100%")]
+    fn overfull_pressure_rate_is_rejected() {
+        FaultInjector::new(0, 500_000, 400_000, Duration::ZERO)
+            .with_memory_pressure(200_000, 1 << 16);
+    }
+
+    #[test]
+    fn memory_pressure_draws_and_window_gating() {
+        let inj = FaultInjector::new(11, 0, 0, Duration::ZERO)
+            .with_memory_pressure(500_000, 64 * 1024)
+            .with_window(100, 200);
+        assert_eq!(64 * 1024, inj.pressure_budget_bytes());
+        assert!(
+            (0..100).all(|i| inj.fault_for(i) == Fault::None),
+            "faults before the window"
+        );
+        assert!(
+            (200..400).all(|i| inj.fault_for(i) == Fault::None),
+            "faults after the window"
+        );
+        let pressured = (100..200)
+            .filter(|i| inj.fault_for(*i) == Fault::MemoryPressure)
+            .count();
+        // 50% over 100 in-window draws: well within [20%, 80%].
+        assert!((20..=80).contains(&pressured), "pressure count {pressured}");
+    }
+
+    #[test]
+    fn burst_schedule_is_pure_arithmetic() {
+        let sched = BurstSchedule::new(4, Duration::from_millis(10));
+        assert_eq!(Duration::ZERO, sched.arrival_offset(3));
+        assert_eq!(Duration::from_millis(10), sched.arrival_offset(4));
+        assert_eq!(Duration::from_millis(20), sched.arrival_offset(11));
+        assert_eq!(
+            (0, 1, 2),
+            (sched.burst_of(3), sched.burst_of(4), sched.burst_of(11))
+        );
     }
 }

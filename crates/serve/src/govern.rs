@@ -1,0 +1,492 @@
+//! Resource governance for the serving layer: a process-wide byte
+//! ledger, a bounded admission gate, and a per-shape circuit breaker.
+//!
+//! The three pieces bound the three ways heavy traffic kills an
+//! optimizer service:
+//!
+//! * **[`ResourceLedger`]** — global memory accounting. Every memo the
+//!   pool knows about (parked *or* checked out) is registered by its
+//!   [`dpnext::Memo::footprint_bytes`]; the service's load-shed policy
+//!   tightens effective deadlines and memory budgets as the ledger
+//!   approaches its cap, so pressure degrades plan quality before it
+//!   degrades availability. Quarantined memos are released from the
+//!   ledger the moment they are destroyed and tallied in
+//!   [`LedgerStats::quarantined_bytes`] — they no longer silently
+//!   vanish from the accounting.
+//! * **[`AdmissionGate`]** — bounded concurrency. At most
+//!   `max_concurrent` requests optimize at once and at most `max_queued`
+//!   wait for a slot; everyone else is rejected *fast* with
+//!   [`crate::ServeError::Overloaded`] and a retry hint, instead of
+//!   piling onto an unbounded queue until every caller times out.
+//! * **[`ShapeBreaker`]** — per-shape circuit breaking. A query shape
+//!   (the exact [`crate::QueryShape`] fingerprint) that repeatedly
+//!   panics or aborts on deadline/memory trips its breaker **open**:
+//!   subsequent arrivals of that shape are served straight from the
+//!   greedy rung (cheap, never consults the clock) so one pathological
+//!   shape cannot poison throughput for everyone. After a cooldown one
+//!   arrival runs as a **half-open probe** at full quality; success
+//!   closes the breaker, failure re-opens it.
+
+use crate::fingerprint::QueryShape;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Point-in-time counters of a [`ResourceLedger`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LedgerStats {
+    /// Bytes currently registered (parked + checked-out memo footprints).
+    pub bytes: u64,
+    /// High-water mark of registered bytes.
+    pub peak: u64,
+    /// The configured cap (0 = uncapped; the shed policy never engages).
+    pub cap: u64,
+    /// Cumulative footprint bytes destroyed via memo quarantine. A
+    /// quarantined memo is subtracted from `bytes` exactly when it is
+    /// dropped, and its footprint lands here — the regression guard for
+    /// quarantines silently vanishing from pool accounting.
+    pub quarantined_bytes: u64,
+}
+
+/// Process-wide byte accounting across pooled and live memos.
+///
+/// Registration happens at pool boundaries (checkout registers a fresh
+/// memo, check-in re-measures a parked one), so the ledger learns about
+/// arena growth at request granularity; per-request memory budgets bound
+/// the in-flight growth between those points.
+#[derive(Debug, Default)]
+pub struct ResourceLedger {
+    bytes: AtomicU64,
+    peak: AtomicU64,
+    cap: u64,
+    quarantined_bytes: AtomicU64,
+}
+
+impl ResourceLedger {
+    /// A ledger with a soft cap of `cap` bytes (0 = uncapped). The cap is
+    /// the shed policy's reference point, not a hard allocation limit —
+    /// enforcement is the per-request memory budget.
+    pub fn new(cap: u64) -> ResourceLedger {
+        ResourceLedger {
+            cap,
+            ..ResourceLedger::default()
+        }
+    }
+
+    /// The configured cap (0 = uncapped).
+    pub fn cap(&self) -> u64 {
+        self.cap
+    }
+
+    /// Register `bytes` more.
+    pub fn add(&self, bytes: u64) {
+        let now = self.bytes.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Release `bytes` (saturating — a release can never drive the
+    /// ledger negative even if an estimate drifted).
+    pub fn sub(&self, bytes: u64) {
+        let mut cur = self.bytes.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(bytes);
+            match self
+                .bytes
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Tally a quarantined memo's destroyed footprint.
+    pub fn record_quarantined(&self, bytes: u64) {
+        self.quarantined_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Bytes currently registered.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Registered bytes as a fraction of the cap; 0.0 when uncapped.
+    pub fn utilization(&self) -> f64 {
+        if self.cap == 0 {
+            return 0.0;
+        }
+        self.bytes() as f64 / self.cap as f64
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> LedgerStats {
+        LedgerStats {
+            bytes: self.bytes(),
+            peak: self.peak.load(Ordering::Relaxed),
+            cap: self.cap,
+            quarantined_bytes: self.quarantined_bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time counters of an [`AdmissionGate`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GateStats {
+    /// Requests that received a permit (immediately or after queueing).
+    pub admitted: u64,
+    /// Requests rejected fast because both the concurrency slots and the
+    /// queue were full.
+    pub rejected: u64,
+    /// High-water mark of concurrently queued requests — bounded by
+    /// `max_queued` by construction; the overload smoke asserts it.
+    pub queued_peak: u64,
+}
+
+#[derive(Debug, Default)]
+struct GateState {
+    active: usize,
+    queued: usize,
+}
+
+/// A bounded admission gate: at most `max_concurrent` permits out at
+/// once, at most `max_queued` waiters; everyone else is turned away
+/// immediately with a retry hint.
+#[derive(Debug)]
+pub struct AdmissionGate {
+    max_concurrent: usize,
+    max_queued: usize,
+    state: Mutex<GateState>,
+    slot_freed: Condvar,
+    admitted: AtomicU64,
+    rejected: AtomicU64,
+    queued_peak: AtomicU64,
+}
+
+/// An admission permit; releasing it (drop) frees the slot and wakes one
+/// queued waiter.
+#[derive(Debug)]
+pub struct GatePermit<'g> {
+    gate: &'g AdmissionGate,
+}
+
+impl AdmissionGate {
+    /// A gate admitting `max_concurrent` requests at once (0 = unlimited,
+    /// the gate never blocks or rejects) with a wait queue of `max_queued`.
+    pub fn new(max_concurrent: usize, max_queued: usize) -> AdmissionGate {
+        AdmissionGate {
+            max_concurrent,
+            max_queued,
+            state: Mutex::new(GateState::default()),
+            slot_freed: Condvar::new(),
+            admitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            queued_peak: AtomicU64::new(0),
+        }
+    }
+
+    /// Try to enter: a permit when a slot is free (or frees up while we
+    /// are one of the `max_queued` waiters), or `Err(retry_after_hint)`
+    /// when the gate is saturated. The hint scales with the line length —
+    /// callers that honor it spread their retries instead of stampeding.
+    pub fn admit(&self) -> Result<GatePermit<'_>, Duration> {
+        let mut state = self.state.lock().unwrap();
+        if self.max_concurrent == 0 || state.active < self.max_concurrent {
+            state.active += 1;
+            self.admitted.fetch_add(1, Ordering::Relaxed);
+            return Ok(GatePermit { gate: self });
+        }
+        if state.queued >= self.max_queued {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            let line = (state.active + state.queued) as u32;
+            return Err(Duration::from_millis(10) * line.max(1));
+        }
+        state.queued += 1;
+        self.queued_peak
+            .fetch_max(state.queued as u64, Ordering::Relaxed);
+        while state.active >= self.max_concurrent {
+            state = self.slot_freed.wait(state).unwrap();
+        }
+        state.queued -= 1;
+        state.active += 1;
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+        Ok(GatePermit { gate: self })
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> GateStats {
+        GateStats {
+            admitted: self.admitted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            queued_peak: self.queued_peak.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for GatePermit<'_> {
+    fn drop(&mut self) {
+        let mut state = self.gate.state.lock().unwrap();
+        state.active -= 1;
+        drop(state);
+        self.gate.slot_freed.notify_one();
+    }
+}
+
+/// Point-in-time counters of a [`ShapeBreaker`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BreakerStats {
+    /// Closed → open transitions (the failure threshold was reached).
+    pub trips: u64,
+    /// Half-open probes that failed and re-opened the breaker.
+    pub reopens: u64,
+    /// Requests served from the greedy rung because their shape's breaker
+    /// was open.
+    pub open_served: u64,
+    /// Arrivals promoted to half-open probes (full-quality attempts after
+    /// the cooldown).
+    pub probes: u64,
+    /// Breakers closed by a successful probe.
+    pub closes: u64,
+    /// Shapes currently open or half-open.
+    pub open_shapes: u64,
+}
+
+/// What the breaker tells the service to do with one arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerDecision {
+    /// Run at full quality and report the outcome.
+    Closed,
+    /// Serve from the greedy rung; do not report (degraded runs say
+    /// nothing about whether the shape still fails at full quality).
+    Open,
+    /// Run at full quality as the half-open probe and report with
+    /// `probe = true` — success closes the breaker, failure re-opens it.
+    Probe,
+}
+
+#[derive(Debug)]
+enum EntryState {
+    Closed { fails: u32 },
+    Open { until: Instant },
+    HalfOpen,
+}
+
+/// A per-shape circuit breaker keyed by the exact [`QueryShape`]
+/// fingerprint. `threshold` consecutive failures (panics or
+/// deadline/memory aborts) trip a shape open for `cooldown`; open shapes
+/// are served from the greedy rung until a half-open probe succeeds.
+#[derive(Debug)]
+pub struct ShapeBreaker {
+    threshold: u32,
+    cooldown: Duration,
+    states: Mutex<HashMap<QueryShape, EntryState>>,
+    trips: AtomicU64,
+    reopens: AtomicU64,
+    open_served: AtomicU64,
+    probes: AtomicU64,
+    closes: AtomicU64,
+}
+
+impl ShapeBreaker {
+    /// A breaker tripping after `threshold` consecutive failures of one
+    /// shape (0 disables the breaker entirely), staying open for
+    /// `cooldown` before allowing a half-open probe.
+    pub fn new(threshold: u32, cooldown: Duration) -> ShapeBreaker {
+        ShapeBreaker {
+            threshold,
+            cooldown,
+            states: Mutex::new(HashMap::new()),
+            trips: AtomicU64::new(0),
+            reopens: AtomicU64::new(0),
+            open_served: AtomicU64::new(0),
+            probes: AtomicU64::new(0),
+            closes: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether the breaker is armed.
+    pub fn enabled(&self) -> bool {
+        self.threshold > 0
+    }
+
+    /// Route one arrival of `shape`. Only failing shapes occupy map
+    /// entries (successes remove theirs), so the map stays proportional
+    /// to the set of currently misbehaving shapes, not the whole
+    /// workload.
+    pub fn decide(&self, shape: &QueryShape) -> BreakerDecision {
+        if !self.enabled() {
+            return BreakerDecision::Closed;
+        }
+        let mut states = self.states.lock().unwrap();
+        match states.get_mut(shape) {
+            None | Some(EntryState::Closed { .. }) => BreakerDecision::Closed,
+            Some(entry @ EntryState::Open { .. }) => {
+                let EntryState::Open { until } = *entry else {
+                    unreachable!()
+                };
+                if Instant::now() < until {
+                    self.open_served.fetch_add(1, Ordering::Relaxed);
+                    BreakerDecision::Open
+                } else {
+                    *entry = EntryState::HalfOpen;
+                    self.probes.fetch_add(1, Ordering::Relaxed);
+                    BreakerDecision::Probe
+                }
+            }
+            Some(EntryState::HalfOpen) => {
+                // A probe is already in flight; stay on the cheap rung.
+                self.open_served.fetch_add(1, Ordering::Relaxed);
+                BreakerDecision::Open
+            }
+        }
+    }
+
+    /// Report the outcome of a full-quality run of `shape` (never called
+    /// for [`BreakerDecision::Open`] servings). A success clears the
+    /// shape; a failure counts toward the trip threshold, or — for a
+    /// probe — re-opens immediately.
+    pub fn report(&self, shape: &QueryShape, probe: bool, success: bool) {
+        if !self.enabled() {
+            return;
+        }
+        let mut states = self.states.lock().unwrap();
+        if success {
+            if states.remove(shape).is_some() && probe {
+                self.closes.fetch_add(1, Ordering::Relaxed);
+            }
+            return;
+        }
+        let until = Instant::now() + self.cooldown;
+        if probe {
+            states.insert(shape.clone(), EntryState::Open { until });
+            self.reopens.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let entry = states
+            .entry(shape.clone())
+            .or_insert(EntryState::Closed { fails: 0 });
+        match entry {
+            EntryState::Closed { fails } => {
+                *fails += 1;
+                if *fails >= self.threshold {
+                    *entry = EntryState::Open { until };
+                    self.trips.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            // A non-probe failure while open/half-open (e.g. a racing
+            // full-quality run that started before the trip): keep the
+            // breaker open, restart the cooldown.
+            EntryState::Open { .. } | EntryState::HalfOpen => {
+                *entry = EntryState::Open { until };
+            }
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> BreakerStats {
+        let open_shapes = self
+            .states
+            .lock()
+            .unwrap()
+            .values()
+            .filter(|s| !matches!(s, EntryState::Closed { .. }))
+            .count() as u64;
+        BreakerStats {
+            trips: self.trips.load(Ordering::Relaxed),
+            reopens: self.reopens.load(Ordering::Relaxed),
+            open_served: self.open_served.load(Ordering::Relaxed),
+            probes: self.probes.load(Ordering::Relaxed),
+            closes: self.closes.load(Ordering::Relaxed),
+            open_shapes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpnext_workload::{generate_query, GenConfig};
+
+    #[test]
+    fn ledger_add_sub_peak() {
+        let ledger = ResourceLedger::new(1000);
+        ledger.add(600);
+        ledger.add(300);
+        ledger.sub(400);
+        let s = ledger.stats();
+        assert_eq!(500, s.bytes);
+        assert_eq!(900, s.peak);
+        assert!((ledger.utilization() - 0.5).abs() < 1e-12);
+        ledger.sub(10_000); // saturates, never wraps
+        assert_eq!(0, ledger.bytes());
+    }
+
+    #[test]
+    fn gate_unlimited_never_rejects() {
+        let gate = AdmissionGate::new(0, 0);
+        let a = gate.admit().unwrap();
+        let b = gate.admit().unwrap();
+        drop((a, b));
+        let s = gate.stats();
+        assert_eq!((2, 0), (s.admitted, s.rejected));
+    }
+
+    #[test]
+    fn gate_rejects_over_cap_and_queue() {
+        let gate = AdmissionGate::new(1, 0);
+        let held = gate.admit().unwrap();
+        let err = gate.admit();
+        assert!(err.is_err(), "second admit must be rejected fast");
+        drop(held);
+        assert!(gate.admit().is_ok(), "slot freed on permit drop");
+        let s = gate.stats();
+        assert_eq!((2, 1), (s.admitted, s.rejected));
+    }
+
+    #[test]
+    fn breaker_trips_probes_and_closes() {
+        let shape = crate::fingerprint_query(&generate_query(&GenConfig::paper(3), 1));
+        let breaker = ShapeBreaker::new(2, Duration::from_millis(20));
+        assert_eq!(BreakerDecision::Closed, breaker.decide(&shape));
+        breaker.report(&shape, false, false);
+        assert_eq!(BreakerDecision::Closed, breaker.decide(&shape));
+        breaker.report(&shape, false, false); // second consecutive failure: trip
+        assert_eq!(BreakerDecision::Open, breaker.decide(&shape));
+        assert_eq!(1, breaker.stats().trips);
+        std::thread::sleep(Duration::from_millis(25));
+        assert_eq!(BreakerDecision::Probe, breaker.decide(&shape));
+        // While the probe is in flight, other arrivals stay degraded.
+        assert_eq!(BreakerDecision::Open, breaker.decide(&shape));
+        breaker.report(&shape, true, true);
+        assert_eq!(BreakerDecision::Closed, breaker.decide(&shape));
+        let s = breaker.stats();
+        assert_eq!((1, 1, 0), (s.probes, s.closes, s.open_shapes));
+    }
+
+    #[test]
+    fn breaker_failed_probe_reopens() {
+        let shape = crate::fingerprint_query(&generate_query(&GenConfig::paper(3), 2));
+        let breaker = ShapeBreaker::new(1, Duration::from_millis(10));
+        breaker.report(&shape, false, false);
+        assert_eq!(BreakerDecision::Open, breaker.decide(&shape));
+        std::thread::sleep(Duration::from_millis(15));
+        assert_eq!(BreakerDecision::Probe, breaker.decide(&shape));
+        breaker.report(&shape, true, false);
+        assert_eq!(BreakerDecision::Open, breaker.decide(&shape));
+        assert_eq!(1, breaker.stats().reopens);
+    }
+
+    #[test]
+    fn success_resets_consecutive_failures() {
+        let shape = crate::fingerprint_query(&generate_query(&GenConfig::paper(3), 3));
+        let breaker = ShapeBreaker::new(2, Duration::from_millis(10));
+        breaker.report(&shape, false, false);
+        breaker.report(&shape, false, true); // success clears the streak
+        breaker.report(&shape, false, false);
+        assert_eq!(
+            BreakerDecision::Closed,
+            breaker.decide(&shape),
+            "non-consecutive failures must not trip"
+        );
+    }
+}

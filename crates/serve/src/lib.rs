@@ -27,6 +27,19 @@
 //! valid-but-degraded plan instead of timing out; and a seeded
 //! [`FaultInjector`] makes both paths deterministically testable in CI.
 //!
+//! PR 9 adds **resource governance** (the `govern` types): a per-request
+//! **memory budget** ([`ServiceConfig::memory_budget`]) that aborts
+//! enumeration when live memo bytes cross it (same ladder, new
+//! `memory_aborted` cause); a process-wide **byte ledger**
+//! ([`ResourceLedger`]) across pooled *and* checked-out memos —
+//! quarantined footprints are released and tallied, never lost — with a
+//! load-shed policy that tightens effective deadlines/budgets as the
+//! ledger approaches [`ServiceConfig::memory_cap_bytes`]; a bounded
+//! **admission gate** ([`AdmissionGate`]) rejecting excess arrivals fast
+//! with [`ServeError::Overloaded`] and a retry hint; and a per-shape
+//! **circuit breaker** ([`ShapeBreaker`]) that serves repeatedly failing
+//! shapes from the greedy rung until a half-open probe succeeds.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -68,11 +81,18 @@
 mod cache;
 mod fault;
 mod fingerprint;
+mod govern;
 mod pool;
 mod service;
 
 pub use cache::{CacheKey, CacheStats, PlanCache};
-pub use fault::{Fault, FaultInjector};
+pub use fault::{BurstSchedule, Fault, FaultInjector};
 pub use fingerprint::{fingerprint_query, QueryShape};
+pub use govern::{
+    AdmissionGate, BreakerDecision, BreakerStats, GatePermit, GateStats, LedgerStats,
+    ResourceLedger, ShapeBreaker,
+};
 pub use pool::{MemoPool, PoolStats, PooledMemo};
-pub use service::{OptimizerService, ServeError, ServeResult, ServiceConfig, ServiceStats};
+pub use service::{
+    OptimizerService, ServeError, ServeResult, ServiceConfig, ServiceStats, SHED_UTILIZATION,
+};

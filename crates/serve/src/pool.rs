@@ -1,9 +1,10 @@
 //! The memo arena pool: recycle plan-arena allocations across runs.
 
+use crate::govern::ResourceLedger;
 use dpnext::Memo;
 use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Point-in-time pool counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -58,6 +59,7 @@ pub struct PoolStats {
 pub struct MemoPool {
     free: Mutex<Vec<Memo>>,
     capacity: usize,
+    ledger: Option<Arc<ResourceLedger>>,
     created: AtomicU64,
     reused: AtomicU64,
     pooled_peak: AtomicU64,
@@ -72,6 +74,7 @@ impl MemoPool {
         MemoPool {
             free: Mutex::new(Vec::new()),
             capacity,
+            ledger: None,
             created: AtomicU64::new(0),
             reused: AtomicU64::new(0),
             pooled_peak: AtomicU64::new(0),
@@ -79,6 +82,22 @@ impl MemoPool {
             quarantined: AtomicU64::new(0),
             rejected_invalid: AtomicU64::new(0),
         }
+    }
+
+    /// Like [`MemoPool::new`], registering every memo footprint —
+    /// parked *and* checked out — with a shared [`ResourceLedger`].
+    ///
+    /// Accounting happens at pool boundaries: checkout registers a fresh
+    /// memo's footprint (a parked memo is already registered), check-in
+    /// re-measures the memo after its run, and every exit path —
+    /// over-capacity discard, check-in rejection, **quarantine** — releases
+    /// the registered bytes. Quarantined footprints are additionally
+    /// tallied in [`crate::LedgerStats::quarantined_bytes`], so a panic
+    /// never makes bytes silently vanish from the global accounting.
+    pub fn with_ledger(capacity: usize, ledger: Arc<ResourceLedger>) -> MemoPool {
+        let mut pool = MemoPool::new(capacity);
+        pool.ledger = Some(ledger);
+        pool
     }
 
     /// Whether pooling is enabled (a non-zero capacity was configured).
@@ -93,23 +112,32 @@ impl MemoPool {
         } else {
             None
         };
-        let memo = match parked {
+        let (memo, fresh) = match parked {
             Some(m) => {
                 self.reused.fetch_add(1, Ordering::Relaxed);
-                m
+                (m, false)
             }
             None => {
                 self.created.fetch_add(1, Ordering::Relaxed);
-                Memo::new()
+                (Memo::new(), true)
             }
         };
+        // A parked memo is already registered with the ledger (at its
+        // check-in footprint); only a fresh construction adds bytes.
+        let accounted = memo.footprint_bytes();
+        if fresh {
+            if let Some(ledger) = &self.ledger {
+                ledger.add(accounted);
+            }
+        }
         PooledMemo {
             memo: Some(memo),
+            accounted,
             pool: self,
         }
     }
 
-    fn park(&self, memo: Memo) {
+    fn park(&self, memo: Memo, accounted: u64) {
         // Check-in validation: a memo whose structural invariants broke
         // mid-run (half reset, classes referencing truncated plans) must
         // never be reused silently. Debug builds fail loudly; release
@@ -117,19 +145,49 @@ impl MemoPool {
         if let Err(violation) = memo.check_invariants() {
             debug_assert!(false, "memo failed check-in validation: {violation}");
             self.rejected_invalid.fetch_add(1, Ordering::Relaxed);
+            self.release(accounted);
             return;
         }
         self.arena_peak_capacity
             .fetch_max(memo.arena_capacity() as u64, Ordering::Relaxed);
         if !self.enabled() {
+            self.release(accounted);
             return;
         }
         let mut free = self.free.lock().unwrap();
         if free.len() < self.capacity {
+            // Re-measure: the run may have grown (or reset-shrunk) the
+            // arena since checkout. The parked memo stays registered at
+            // its new footprint until the next checkout re-adopts it.
+            let parked_footprint = memo.footprint_bytes();
             free.push(memo);
             let len = free.len() as u64;
             drop(free);
             self.pooled_peak.fetch_max(len, Ordering::Relaxed);
+            if let Some(ledger) = &self.ledger {
+                ledger.add(parked_footprint);
+                ledger.sub(accounted);
+            }
+        } else {
+            drop(free);
+            self.release(accounted);
+        }
+    }
+
+    fn release(&self, accounted: u64) {
+        if let Some(ledger) = &self.ledger {
+            ledger.sub(accounted);
+        }
+    }
+
+    fn quarantine_memo(&self, memo: &Memo, accounted: u64) {
+        self.quarantined.fetch_add(1, Ordering::Relaxed);
+        if let Some(ledger) = &self.ledger {
+            // The footprint being destroyed right now (the run may have
+            // grown it past the checked-out estimate) goes on the
+            // quarantine tally; the ledger releases what was registered.
+            ledger.record_quarantined(memo.footprint_bytes());
+            ledger.sub(accounted);
         }
     }
 
@@ -151,6 +209,10 @@ impl MemoPool {
 /// the pool on drop.
 pub struct PooledMemo<'p> {
     memo: Option<Memo>,
+    /// Footprint bytes this checkout holds registered in the pool's
+    /// ledger (the memo's footprint as of checkout; growth during the
+    /// run is settled at check-in).
+    accounted: u64,
     pool: &'p MemoPool,
 }
 
@@ -175,8 +237,8 @@ impl PooledMemo<'_> {
     /// mutation), so it never re-enters the free list — the next checkout
     /// constructs fresh. Counted in [`PoolStats::quarantined`].
     pub fn quarantine(mut self) {
-        if self.memo.take().is_some() {
-            self.pool.quarantined.fetch_add(1, Ordering::Relaxed);
+        if let Some(memo) = self.memo.take() {
+            self.pool.quarantine_memo(&memo, self.accounted);
         }
     }
 }
@@ -189,10 +251,10 @@ impl Drop for PooledMemo<'_> {
             // forgot to. (The service's catch_unwind path calls
             // `quarantine` explicitly; this catches everyone else.)
             if std::thread::panicking() {
-                self.pool.quarantined.fetch_add(1, Ordering::Relaxed);
+                self.pool.quarantine_memo(&memo, self.accounted);
                 return;
             }
-            self.pool.park(memo);
+            self.pool.park(memo, self.accounted);
         }
     }
 }
@@ -329,6 +391,65 @@ mod tests {
         assert_eq!(0, stats.pooled, "invalid memo must not be parked");
         drop(pool.checkout());
         assert_eq!(2, pool.stats().created);
+    }
+
+    #[test]
+    fn ledger_tracks_parked_and_live_footprints() {
+        use dpnext::Optimizer;
+        use dpnext_core::Algorithm;
+        use dpnext_workload::{generate_query, GenConfig};
+
+        let ledger = Arc::new(ResourceLedger::new(0));
+        let pool = MemoPool::with_ledger(2, ledger.clone());
+        let q = generate_query(&GenConfig::paper(4), 7);
+        let opt = Optimizer::new(Algorithm::EaPrune).threads(1).explain(false);
+        let parked_footprint = {
+            let mut memo = pool.checkout();
+            opt.optimize_pooled(&q, &mut memo);
+            memo.footprint_bytes()
+        }; // parked: stays registered at its post-run footprint
+        assert!(parked_footprint > 0);
+        assert_eq!(
+            parked_footprint,
+            ledger.bytes(),
+            "a parked memo must stay registered at its check-in footprint"
+        );
+        {
+            let _live = pool.checkout(); // re-adopts the parked bytes
+            assert_eq!(parked_footprint, ledger.bytes());
+        }
+        assert_eq!(parked_footprint, ledger.bytes());
+    }
+
+    #[test]
+    fn quarantine_releases_ledger_bytes_and_tallies_them() {
+        // The regression this pins: a quarantined memo's footprint used to
+        // vanish from the accounting entirely — destroyed without a trace.
+        // Now the ledger releases the registered bytes *and* records them
+        // in `quarantined_bytes`.
+        use dpnext::Optimizer;
+        use dpnext_core::Algorithm;
+        use dpnext_workload::{generate_query, GenConfig};
+
+        let ledger = Arc::new(ResourceLedger::new(0));
+        let pool = MemoPool::with_ledger(4, ledger.clone());
+        let q = generate_query(&GenConfig::paper(4), 7);
+        let opt = Optimizer::new(Algorithm::EaPrune).threads(1).explain(false);
+        let destroyed = {
+            let mut memo = pool.checkout();
+            opt.optimize_pooled(&q, &mut memo);
+            let fp = memo.footprint_bytes();
+            memo.quarantine();
+            fp
+        };
+        assert!(destroyed > 0);
+        let stats = ledger.stats();
+        assert_eq!(0, stats.bytes, "quarantine must release registered bytes");
+        assert_eq!(
+            destroyed, stats.quarantined_bytes,
+            "the destroyed footprint must be tallied, not vanish"
+        );
+        assert_eq!(1, pool.stats().quarantined);
     }
 
     #[test]

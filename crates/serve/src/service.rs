@@ -1,16 +1,27 @@
-//! The optimizer service: cache + pool wired around a shared [`Optimizer`].
+//! The optimizer service: cache, pool and resource governance wired
+//! around a shared [`Optimizer`].
 
 use crate::cache::{CacheKey, CacheStats, PlanCache};
 use crate::fault::{Fault, FaultInjector};
 use crate::fingerprint::fingerprint_query;
+use crate::govern::{
+    AdmissionGate, BreakerDecision, BreakerStats, GateStats, LedgerStats, ResourceLedger,
+    ShapeBreaker,
+};
 use crate::pool::{MemoPool, PoolStats};
-use dpnext::{Optimized, Optimizer};
+use dpnext::{Algorithm, Optimized, Optimizer};
 use dpnext_query::Query;
 use dpnext_sql::{plan as bind_sql, BoundQuery, SqlError};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Ledger utilization at which the load-shed policy engages: above this
+/// fraction of [`ServiceConfig::memory_cap_bytes`], admitted requests run
+/// under tightened deadlines and memory budgets so memory pressure
+/// degrades plan quality before it degrades availability.
+pub const SHED_UTILIZATION: f64 = 0.75;
 
 /// Capacity knobs of an [`OptimizerService`].
 #[derive(Debug, Clone, Copy)]
@@ -32,6 +43,37 @@ pub struct ServiceConfig {
     /// plan). `None` (the default) leaves requests unconstrained and
     /// bit-identical to a service without the knob.
     pub deadline: Option<Duration>,
+    /// Per-request memory budget in live memo bytes (see
+    /// [`Optimizer::memory_budget`]). Like the deadline, a non-zero budget
+    /// rides the degradation ladder: the request aborts enumeration the
+    /// moment live bytes reach the budget and ships the best valid plan so
+    /// far, counted in [`ServiceStats::memory_degraded`] and kept out of
+    /// the cache. 0 (the default) leaves requests unconstrained.
+    pub memory_budget: u64,
+    /// Admission control: at most this many requests optimize at once
+    /// (0 = unlimited, the gate is transparent). Cache hits bypass the
+    /// gate — they consume no optimizer resources.
+    pub max_concurrent: usize,
+    /// Requests allowed to wait for an admission slot before the service
+    /// rejects further arrivals fast with [`ServeError::Overloaded`].
+    /// Only meaningful with a non-zero `max_concurrent`.
+    pub max_queued: usize,
+    /// Soft cap on process-wide memo bytes (parked + checked out),
+    /// tracked by the service's [`ResourceLedger`]. When utilization
+    /// crosses [`SHED_UTILIZATION`], the load-shed policy tightens the
+    /// effective deadline (halved) and memory budget (halved, floored at
+    /// the remaining headroom) of every admitted request. 0 (the default)
+    /// disables shedding; the ledger still counts.
+    pub memory_cap_bytes: u64,
+    /// Consecutive failures (panic, deadline abort or memory abort) after
+    /// which one query shape's circuit breaker trips open and arrivals of
+    /// that shape are served straight from the greedy rung. 0 (the
+    /// default) disables the breaker.
+    pub breaker_threshold: u32,
+    /// How long a tripped breaker stays open before one arrival is
+    /// promoted to a full-quality half-open probe (success closes the
+    /// breaker, failure re-opens it).
+    pub breaker_cooldown: Duration,
 }
 
 impl Default for ServiceConfig {
@@ -40,6 +82,12 @@ impl Default for ServiceConfig {
             cache_capacity: 1024,
             pool_capacity: 32,
             deadline: None,
+            memory_budget: 0,
+            max_concurrent: 0,
+            max_queued: 0,
+            memory_cap_bytes: 0,
+            breaker_threshold: 0,
+            breaker_cooldown: Duration::from_millis(250),
         }
     }
 }
@@ -54,6 +102,15 @@ pub enum ServeError {
     Panicked(String),
     /// SQL parsing or binding failed.
     Sql(SqlError),
+    /// The admission gate was saturated: `max_concurrent` requests were
+    /// already optimizing and `max_queued` more were waiting. The request
+    /// was rejected *fast* — no memo, no optimizer work — with a hint
+    /// scaled to the current line length. Retrying after the hint (with
+    /// jitter) spreads the load instead of stampeding the gate.
+    Overloaded {
+        /// Suggested client back-off before retrying.
+        retry_after_hint: Duration,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -61,6 +118,9 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::Panicked(msg) => write!(f, "optimizer panicked: {msg}"),
             ServeError::Sql(e) => write!(f, "sql error: {e}"),
+            ServeError::Overloaded { retry_after_hint } => {
+                write!(f, "service overloaded: retry after {retry_after_hint:?}")
+            }
         }
     }
 }
@@ -104,6 +164,20 @@ pub struct ServiceStats {
     /// Requests that hit their deadline and shipped a degraded (but
     /// valid) plan; such plans bypass the cache.
     pub deadline_degraded: u64,
+    /// Requests that hit their memory budget and shipped a degraded (but
+    /// valid) plan; such plans bypass the cache.
+    pub memory_degraded: u64,
+    /// Admitted requests that ran under load-shed-tightened deadlines /
+    /// memory budgets because ledger utilization crossed
+    /// [`SHED_UTILIZATION`].
+    pub shed: u64,
+    /// Admission-gate counters (admitted / fast-rejected / queue peak).
+    pub gate: GateStats,
+    /// Process-wide memo byte accounting, including the footprints of
+    /// quarantined memos (they are released *and tallied*, never lost).
+    pub ledger: LedgerStats,
+    /// Per-shape circuit-breaker counters.
+    pub breaker: BreakerStats,
 }
 
 /// A concurrent optimizer frontend: share one instance (behind an
@@ -111,18 +185,24 @@ pub struct ServiceStats {
 ///
 /// Each request is keyed by the canonical shape of its (bound) query
 /// plus the current statistics epoch. Hits return the previously
-/// optimized result; misses run the wrapped [`Optimizer`] inside a
-/// pooled memo and publish the result for later arrivals of the same
-/// shape. See the crate docs for the cache-key semantics and the epoch
-/// invalidation caveat.
+/// optimized result; misses pass the admission gate, consult the shape's
+/// circuit breaker, then run the wrapped [`Optimizer`] inside a pooled
+/// memo and publish the result for later arrivals of the same shape. See
+/// the crate docs for the cache-key semantics and the governance layer.
 pub struct OptimizerService {
     optimizer: Optimizer,
+    config: ServiceConfig,
     cache: PlanCache,
     pool: MemoPool,
+    ledger: Arc<ResourceLedger>,
+    gate: AdmissionGate,
+    breaker: ShapeBreaker,
     epoch: AtomicU64,
     requests: AtomicU64,
     panics: AtomicU64,
     deadline_degraded: AtomicU64,
+    memory_degraded: AtomicU64,
+    shed: AtomicU64,
     faults: Option<FaultInjector>,
 }
 
@@ -133,29 +213,40 @@ impl OptimizerService {
         OptimizerService::with_config(optimizer, ServiceConfig::default())
     }
 
-    /// A service with explicit cache/pool capacities and an optional
-    /// per-request deadline.
+    /// A service with explicit capacities, per-request resource limits
+    /// and governance knobs.
     pub fn with_config(optimizer: Optimizer, config: ServiceConfig) -> OptimizerService {
-        let optimizer = match config.deadline {
+        let mut optimizer = match config.deadline {
             Some(d) => optimizer.deadline(Some(d)),
             None => optimizer,
         };
+        if config.memory_budget != 0 {
+            optimizer = optimizer.memory_budget(config.memory_budget);
+        }
+        let ledger = Arc::new(ResourceLedger::new(config.memory_cap_bytes));
         OptimizerService {
             optimizer,
             cache: PlanCache::new(config.cache_capacity),
-            pool: MemoPool::new(config.pool_capacity),
+            pool: MemoPool::with_ledger(config.pool_capacity, ledger.clone()),
+            ledger,
+            gate: AdmissionGate::new(config.max_concurrent, config.max_queued),
+            breaker: ShapeBreaker::new(config.breaker_threshold, config.breaker_cooldown),
+            config,
             epoch: AtomicU64::new(0),
             requests: AtomicU64::new(0),
             panics: AtomicU64::new(0),
             deadline_degraded: AtomicU64::new(0),
+            memory_degraded: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
             faults: None,
         }
     }
 
     /// Arm deterministic fault injection (see [`FaultInjector`]): each
     /// request consults the schedule by its request index and may run with
-    /// an injected panic or an injected slow enumeration. For tests and
-    /// the `robustness_smoke` CI binary; never arm this in production.
+    /// an injected panic, an injected slow enumeration, or an injected
+    /// memory-pressure budget. For tests and the `robustness_smoke` /
+    /// `overload_smoke` CI binaries; never arm this in production.
     pub fn with_fault_injection(mut self, faults: FaultInjector) -> OptimizerService {
         self.faults = Some(faults);
         self
@@ -180,24 +271,55 @@ impl OptimizerService {
         self.epoch.fetch_add(1, Ordering::Relaxed) + 1
     }
 
+    /// Tighten an admitted request's resource knobs under memory
+    /// pressure: the effective deadline halves, and the effective memory
+    /// budget becomes the smaller of half the configured budget and the
+    /// remaining headroom under the cap (floored at 1/16 of the cap so a
+    /// fully saturated ledger still leaves room for the greedy rung).
+    fn shed_tighten(&self, mut opt: Optimizer) -> Optimizer {
+        if let Some(d) = self.config.deadline {
+            opt = opt.deadline(Some(d / 2));
+        }
+        let cap = self.ledger.cap();
+        let headroom = cap.saturating_sub(self.ledger.bytes()).max(cap / 16);
+        let budget = match self.config.memory_budget {
+            0 => headroom,
+            b => (b / 2).min(headroom),
+        };
+        opt.memory_budget(budget.max(1))
+    }
+
     /// Optimize an already-bound [`Query`], serving from the cache when
     /// the shape was optimized before under the current epoch.
     ///
-    /// The optimizer call runs inside `catch_unwind`: a panic anywhere in
-    /// enumeration is contained to this request — its memo is quarantined
-    /// (never returned to the pool), the panic is counted, and only this
-    /// caller sees [`ServeError::Panicked`]; concurrent and subsequent
-    /// requests are unaffected. With a configured deadline, a pressured
-    /// request degrades down the adaptive ladder instead of timing out
-    /// (the result's `memo.degradation` says why, and degraded plans skip
-    /// the cache).
+    /// A cache miss walks the governance pipeline in order:
+    ///
+    /// 1. **Admission** — with `max_concurrent` configured, the request
+    ///    takes a gate slot (or waits as one of `max_queued`); a
+    ///    saturated gate rejects fast with [`ServeError::Overloaded`].
+    /// 2. **Circuit breaker** — a shape with a tripped breaker is served
+    ///    straight from the adaptive greedy rung (cheap, valid, skips the
+    ///    cache) instead of failing the same way again.
+    /// 3. **Load shed** — above [`SHED_UTILIZATION`] of the memory cap,
+    ///    effective deadlines and memory budgets tighten.
+    /// 4. **Isolation** — the optimizer call runs inside `catch_unwind`:
+    ///    a panic anywhere in enumeration is contained to this request —
+    ///    its memo is quarantined (footprint released from the ledger and
+    ///    tallied), the panic is counted, and only this caller sees
+    ///    [`ServeError::Panicked`]. Deadline- or memory-pressured
+    ///    requests degrade down the adaptive ladder instead of timing out
+    ///    (the result's `memo.degradation` says why; degraded plans skip
+    ///    the cache).
     pub fn optimize(&self, query: &Query) -> Result<ServeResult, ServeError> {
         let request = self.requests.fetch_add(1, Ordering::Relaxed);
         let epoch = self.epoch();
+        let shape = fingerprint_query(query);
         let key = CacheKey {
             epoch,
-            shape: fingerprint_query(query),
+            shape: shape.clone(),
         };
+        // Cache first: hits consume no optimizer resources, so a burst of
+        // hits must never be turned away by the gate.
         if let Some(result) = self.cache.lookup(&key) {
             return Ok(ServeResult {
                 result,
@@ -205,35 +327,88 @@ impl OptimizerService {
                 epoch,
             });
         }
+        let _permit = match self.gate.admit() {
+            Ok(permit) => permit,
+            Err(retry_after_hint) => return Err(ServeError::Overloaded { retry_after_hint }),
+        };
+        let decision = self.breaker.decide(&shape);
+        let open_served = decision == BreakerDecision::Open;
         let fault = match &self.faults {
             Some(inj) => inj.fault_for(request),
             None => Fault::None,
         };
+        let shed =
+            !open_served && self.ledger.cap() != 0 && self.ledger.utilization() >= SHED_UTILIZATION;
+        if shed {
+            self.shed.fetch_add(1, Ordering::Relaxed);
+        }
         let mut memo = self.pool.checkout();
         // The closure borrows the memo mutably; `AssertUnwindSafe` is
         // sound *because* of the quarantine below — on a panic the memo's
         // (possibly torn) state is destroyed, never observed again.
-        let outcome = catch_unwind(AssertUnwindSafe(|| match fault {
-            Fault::Panic => panic!("injected fault: optimizer panic (request {request})"),
-            Fault::Slow => {
-                let delay = self.faults.as_ref().expect("slow fault implies injector");
-                self.optimizer
-                    .clone()
-                    .fault_unit_delay(Some(delay.slow_unit_delay()))
-                    .optimize_pooled(query, &mut memo)
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if fault == Fault::Panic {
+                panic!("injected fault: optimizer panic (request {request})");
             }
-            Fault::None => self.optimizer.optimize_pooled(query, &mut memo),
+            if open_served {
+                // Breaker open: serve the greedy rung — the adaptive
+                // ladder with a plan budget of 1 clamps to the greedy
+                // floor, needs no clock or byte meter, and cannot fail
+                // the way the shape has been failing.
+                return self
+                    .optimizer
+                    .clone()
+                    .algorithm(Algorithm::Adaptive)
+                    .plan_budget(1)
+                    .deadline(None)
+                    .memory_budget(0)
+                    .optimize_pooled(query, &mut memo);
+            }
+            if !shed && fault == Fault::None {
+                return self.optimizer.optimize_pooled(query, &mut memo);
+            }
+            let mut opt = self.optimizer.clone();
+            if shed {
+                opt = self.shed_tighten(opt);
+            }
+            let inj = self.faults.as_ref();
+            match fault {
+                Fault::Slow => {
+                    let delay = inj.expect("slow fault implies injector").slow_unit_delay();
+                    opt = opt.fault_unit_delay(Some(delay));
+                }
+                Fault::MemoryPressure => {
+                    let budget = inj
+                        .expect("pressure fault implies injector")
+                        .pressure_budget_bytes();
+                    opt = opt.memory_budget(budget);
+                }
+                Fault::None | Fault::Panic => {}
+            }
+            opt.optimize_pooled(query, &mut memo)
         }));
         match outcome {
             Ok(optimized) => {
-                let degraded = optimized.memo.degradation.deadline_aborted;
+                let degradation = optimized.memo.degradation;
                 drop(memo); // park the arena before publishing
+                if !open_served {
+                    self.breaker.report(
+                        &shape,
+                        decision == BreakerDecision::Probe,
+                        !degradation.resource_aborted(),
+                    );
+                }
                 let result = Arc::new(optimized);
-                if degraded {
-                    // A deadline-degraded plan is valid but below full
-                    // quality: keep it out of the cache so a later,
-                    // uncontended arrival re-optimizes.
+                if degradation.deadline_aborted {
                     self.deadline_degraded.fetch_add(1, Ordering::Relaxed);
+                }
+                if degradation.memory_aborted {
+                    self.memory_degraded.fetch_add(1, Ordering::Relaxed);
+                }
+                if open_served || degradation.resource_aborted() {
+                    // A degraded plan is valid but below full quality:
+                    // keep it out of the cache so a later, uncontended
+                    // arrival re-optimizes.
                 } else {
                     self.cache.insert(key, result.clone());
                 }
@@ -246,6 +421,10 @@ impl OptimizerService {
             Err(payload) => {
                 memo.quarantine();
                 self.panics.fetch_add(1, Ordering::Relaxed);
+                if !open_served {
+                    self.breaker
+                        .report(&shape, decision == BreakerDecision::Probe, false);
+                }
                 let msg = payload
                     .downcast_ref::<&str>()
                     .map(|s| s.to_string())
@@ -272,7 +451,8 @@ impl OptimizerService {
         Ok((bound, result))
     }
 
-    /// Current counters across the request path, cache and pool.
+    /// Current counters across the request path, cache, pool and the
+    /// governance layer (gate, ledger, breaker).
     pub fn stats(&self) -> ServiceStats {
         ServiceStats {
             requests: self.requests.load(Ordering::Relaxed),
@@ -281,6 +461,11 @@ impl OptimizerService {
             pool: self.pool.stats(),
             panics: self.panics.load(Ordering::Relaxed),
             deadline_degraded: self.deadline_degraded.load(Ordering::Relaxed),
+            memory_degraded: self.memory_degraded.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            gate: self.gate.stats(),
+            ledger: self.ledger.stats(),
+            breaker: self.breaker.stats(),
         }
     }
 }

@@ -1,0 +1,209 @@
+//! The resource-governance layer end to end: bounded admission under a
+//! synchronized burst, the per-shape circuit breaker tripping and
+//! recovering under windowed memory-pressure faults, load shedding as
+//! the byte ledger approaches its cap, and quarantined footprints
+//! staying accounted at the service level.
+
+use dpnext::{Algorithm as A, Optimizer};
+use dpnext_serve::{FaultInjector, OptimizerService, ServeError, ServiceConfig};
+use dpnext_workload::{generate_query, GenConfig, Topology};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+fn quiet_optimizer(algo: A) -> Optimizer {
+    Optimizer::new(algo).threads(1).explain(false)
+}
+
+/// The acceptance identity: a synchronized burst of N requests over an
+/// admission cap of 4 (2 concurrent + 2 queued) splits exactly into
+/// admitted successes and fast `Overloaded` rejections — no request is
+/// lost, none panics, and the wait queue never grows past its bound.
+#[test]
+fn burst_over_admission_cap_rejects_fast_and_serves_the_rest() {
+    const N: usize = 16;
+    let service = Arc::new(OptimizerService::with_config(
+        quiet_optimizer(A::EaPrune),
+        ServiceConfig {
+            cache_capacity: 0, // every request must reach the gate
+            pool_capacity: 4,
+            max_concurrent: 2,
+            max_queued: 2,
+            ..ServiceConfig::default()
+        },
+    ));
+    let barrier = Arc::new(Barrier::new(N));
+    let handles: Vec<_> = (0..N)
+        .map(|i| {
+            let service = service.clone();
+            let barrier = barrier.clone();
+            std::thread::spawn(move || {
+                // Distinct shapes (cache off anyway) big enough that the
+                // admitted runs overlap the rejected arrivals.
+                let q = generate_query(&GenConfig::topology(9, Topology::Clique), i as u64);
+                barrier.wait();
+                match service.optimize(&q) {
+                    Ok(r) => {
+                        assert!(r.result.plan.cost.is_finite());
+                        (1u64, 0u64)
+                    }
+                    Err(ServeError::Overloaded { retry_after_hint }) => {
+                        assert!(retry_after_hint > Duration::ZERO);
+                        (0, 1)
+                    }
+                    Err(e) => panic!("unexpected error kind: {e}"),
+                }
+            })
+        })
+        .collect();
+    let (mut ok, mut rejected) = (0u64, 0u64);
+    for h in handles {
+        let (o, r) = h.join().expect("no escaping panics");
+        ok += o;
+        rejected += r;
+    }
+    assert_eq!(N as u64, ok + rejected, "every request must be accounted");
+    assert!(
+        rejected >= 1,
+        "16 simultaneous arrivals over a 2+2 gate must reject someone"
+    );
+    let stats = service.stats();
+    assert_eq!(0, stats.panics);
+    assert_eq!(rejected, stats.gate.rejected);
+    assert_eq!(ok, stats.gate.admitted);
+    assert!(
+        stats.gate.queued_peak <= 2,
+        "wait queue grew past its bound: {}",
+        stats.gate.queued_peak
+    );
+}
+
+/// Breaker lifecycle under windowed memory-pressure faults: two
+/// consecutive memory aborts of one shape trip its breaker, the next
+/// arrival is served from the greedy rung, and once the fault window
+/// passes a half-open probe closes the breaker again.
+#[test]
+fn breaker_trips_open_serves_and_recovers() {
+    // Requests 0 and 1 run under a 1-byte injected budget (guaranteed
+    // memory abort); everything after runs clean.
+    let inj = FaultInjector::new(0, 0, 0, Duration::ZERO)
+        .with_memory_pressure(1_000_000, 1)
+        .with_window(0, 2);
+    let service = OptimizerService::with_config(
+        quiet_optimizer(A::EaPrune),
+        ServiceConfig {
+            cache_capacity: 0, // every arrival must consult the breaker
+            pool_capacity: 4,
+            breaker_threshold: 2,
+            breaker_cooldown: Duration::from_millis(10),
+            ..ServiceConfig::default()
+        },
+    )
+    .with_fault_injection(inj);
+    let q = generate_query(&GenConfig::paper(6), 7);
+
+    // Two pressured failures: the second trips the breaker.
+    for _ in 0..2 {
+        let r = service.optimize(&q).expect("degradation is not an error");
+        assert!(r.result.plan.cost.is_finite());
+    }
+    let stats = service.stats();
+    assert_eq!(2, stats.memory_degraded);
+    assert_eq!(1, stats.breaker.trips);
+
+    // Open: served from the greedy rung, still a valid plan.
+    let r = service.optimize(&q).expect("open serving is not an error");
+    assert!(r.result.plan.cost.is_finite());
+    assert!(!r.cache_hit);
+    assert_eq!(1, service.stats().breaker.open_served);
+
+    // Cooldown passes, the fault window is over: the next arrival runs
+    // as the half-open probe at full quality, succeeds, and closes the
+    // breaker.
+    std::thread::sleep(Duration::from_millis(15));
+    let probe = service.optimize(&q).expect("probe runs clean");
+    assert!(probe.result.plan.cost.is_finite());
+    let stats = service.stats();
+    assert_eq!(1, stats.breaker.probes);
+    assert_eq!(1, stats.breaker.closes);
+    assert_eq!(0, stats.breaker.reopens);
+    assert_eq!(0, stats.breaker.open_shapes, "breaker must be closed again");
+    assert_eq!(2, stats.memory_degraded, "clean runs add no degradations");
+    assert_eq!(0, stats.panics);
+}
+
+/// Above [`dpnext_serve::SHED_UTILIZATION`] of the memory cap, admitted
+/// requests run under tightened budgets: they degrade (valid plans,
+/// counted as shed + memory-degraded) instead of growing the ledger
+/// further.
+#[test]
+fn shed_policy_tightens_budgets_near_the_cap() {
+    let service = OptimizerService::with_config(
+        quiet_optimizer(A::EaPrune),
+        ServiceConfig {
+            cache_capacity: 0,
+            pool_capacity: 4,
+            memory_cap_bytes: 1, // any parked footprint saturates the cap
+            ..ServiceConfig::default()
+        },
+    );
+    // First request: empty ledger, no shedding, parks its memo.
+    let q0 = generate_query(&GenConfig::paper(5), 0);
+    service.optimize(&q0).expect("unconstrained run");
+    let stats = service.stats();
+    assert_eq!(0, stats.shed);
+    assert!(stats.ledger.bytes > 0, "parked memo must stay registered");
+
+    // Second request: utilization is far past the threshold — the shed
+    // policy imposes a (tiny) effective memory budget and the request
+    // degrades down the ladder instead of failing.
+    let q1 = generate_query(&GenConfig::paper(5), 1);
+    let r = service
+        .optimize(&q1)
+        .expect("shedding degrades, never fails");
+    assert!(r.result.plan.cost.is_finite());
+    let stats = service.stats();
+    assert_eq!(1, stats.shed);
+    assert_eq!(1, stats.memory_degraded);
+    assert_eq!(0, stats.panics);
+}
+
+/// Service-level regression for the quarantine accounting fix: a panic
+/// destroys the request's memo, and its footprint is *released and
+/// tallied* by the ledger — it no longer vanishes from the books.
+#[test]
+fn quarantined_footprints_stay_on_the_ledger_books() {
+    let inj = FaultInjector::new(0, 1_000_000, 0, Duration::ZERO).with_window(1, 2);
+    let service = OptimizerService::with_config(
+        quiet_optimizer(A::EaPrune),
+        ServiceConfig {
+            cache_capacity: 0,
+            pool_capacity: 4,
+            ..ServiceConfig::default()
+        },
+    )
+    .with_fault_injection(inj);
+    let q = generate_query(&GenConfig::paper(5), 3);
+    service.optimize(&q).expect("request 0 runs clean");
+    let parked = service.stats().ledger.bytes;
+    assert!(parked > 0);
+
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let err = service.optimize(&q);
+    std::panic::set_hook(prev);
+    assert!(matches!(err, Err(ServeError::Panicked(_))));
+
+    let stats = service.stats();
+    assert_eq!(1, stats.pool.quarantined);
+    // The panicked request had checked out the parked memo, so the
+    // quarantine destroyed exactly that footprint: the ledger releases
+    // it in full and tallies it — nothing vanishes, nothing lingers.
+    assert_eq!(
+        parked, stats.ledger.quarantined_bytes,
+        "the destroyed footprint must be tallied"
+    );
+    assert_eq!(
+        0, stats.ledger.bytes,
+        "quarantine must release the destroyed memo's registered bytes"
+    );
+}

@@ -34,6 +34,7 @@ fn fault_hammer_survives_and_quarantines() {
             cache_capacity: 0,
             pool_capacity: 4,
             deadline: None,
+            ..ServiceConfig::default()
         },
     )
     .with_fault_injection(inj);
@@ -90,6 +91,7 @@ fn deadline_pressured_requests_degrade_and_skip_the_cache() {
             cache_capacity: 1024,
             pool_capacity: 4,
             deadline: Some(Duration::from_millis(10)),
+            ..ServiceConfig::default()
         },
     );
     let r = service.optimize(&q).expect("degradation is not an error");
@@ -120,6 +122,7 @@ fn slow_fault_rides_the_degradation_ladder() {
             cache_capacity: 0,
             pool_capacity: 2,
             deadline: Some(Duration::from_millis(5)),
+            ..ServiceConfig::default()
         },
     )
     .with_fault_injection(inj);
@@ -147,6 +150,7 @@ fn unconstrained_requests_stay_bit_identical() {
             cache_capacity: 16,
             pool_capacity: 2,
             deadline: None,
+            ..ServiceConfig::default()
         },
     );
     let served = service.optimize(&q).expect("no faults injected");

@@ -185,6 +185,7 @@ fn pooled_reoptimize_reports_fresh_stats() {
             cache_capacity: 0,
             pool_capacity: 4,
             deadline: None,
+            ..ServiceConfig::default()
         },
     );
     let queries: Vec<_> = (0..8)

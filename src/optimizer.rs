@@ -44,6 +44,7 @@ pub struct Optimizer {
     threads: usize,
     plan_budget: u64,
     deadline: Option<Duration>,
+    memory_budget: u64,
     fault_unit_delay: Option<Duration>,
     catalog: OnceLock<Arc<Catalog>>,
 }
@@ -61,6 +62,7 @@ impl Optimizer {
             threads: 0,
             plan_budget: 0,
             deadline: None,
+            memory_budget: 0,
             fault_unit_delay: None,
             catalog: OnceLock::new(),
         }
@@ -70,6 +72,15 @@ impl Optimizer {
     /// (the weaker kinds prune harder but can lose the optimal plan).
     pub fn dominance(mut self, kind: DominanceKind) -> Optimizer {
         self.dominance = kind;
+        self
+    }
+
+    /// Switch the algorithm while keeping every other knob (catalog,
+    /// dominance, threads, budgets). The serving layer uses this to
+    /// re-route a circuit-broken shape onto the adaptive greedy rung
+    /// without rebuilding its configuration.
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Optimizer {
+        self.algorithm = algorithm;
         self
     }
 
@@ -108,6 +119,21 @@ impl Optimizer {
     /// bit-identical to an optimizer without the knob.
     pub fn deadline(mut self, deadline: Option<Duration>) -> Optimizer {
         self.deadline = deadline;
+        self
+    }
+
+    /// Per-request memory budget in bytes of live memo state
+    /// ([`dpnext_core::Memo::live_bytes`]). Like a deadline, a non-zero
+    /// budget turns *any* algorithm choice into the adaptive degradation
+    /// ladder: the exact engines have no abort points, so honoring the
+    /// budget means riding the abortable budgeted enumeration — the run
+    /// degrades the moment live bytes reach the budget (overshoot bounded
+    /// by one work unit's plans) and always returns a structurally valid
+    /// plan, with `memo.degradation.memory_aborted` recording why. `0`
+    /// (the default) changes nothing: unconstrained runs stay
+    /// bit-identical.
+    pub fn memory_budget(mut self, bytes: u64) -> Optimizer {
+        self.memory_budget = bytes;
         self
     }
 
@@ -152,10 +178,13 @@ impl Optimizer {
         match self.algorithm {
             // The budgeted ladder lives above dpnext-core (see the crate
             // layering note on `Algorithm::Adaptive`), so the facade is
-            // the dispatch point. Deadline-bearing requests also route
-            // here: only the ladder can abort mid-enumeration.
+            // the dispatch point. Deadline- and memory-budget-bearing
+            // requests also route here: only the ladder can abort
+            // mid-enumeration.
             Algorithm::Adaptive => dpnext_adaptive::optimize_adaptive(query, &opts),
-            _ if self.deadline.is_some() => dpnext_adaptive::optimize_adaptive(query, &opts),
+            _ if self.deadline.is_some() || self.memory_budget != 0 => {
+                dpnext_adaptive::optimize_adaptive(query, &opts)
+            }
             algo => optimize_with(query, algo, &opts),
         }
     }
@@ -188,7 +217,7 @@ impl Optimizer {
                 memo.reset();
                 dpnext_adaptive::optimize_adaptive(query, &opts)
             }
-            _ if self.deadline.is_some() => {
+            _ if self.deadline.is_some() || self.memory_budget != 0 => {
                 memo.reset();
                 dpnext_adaptive::optimize_adaptive(query, &opts)
             }
@@ -203,6 +232,7 @@ impl Optimizer {
             threads: self.threads,
             plan_budget: self.plan_budget,
             deadline: self.deadline,
+            memory_budget: self.memory_budget,
             fault_unit_delay: self.fault_unit_delay,
         }
     }
