@@ -131,6 +131,9 @@ pub fn optimize_adaptive_run(query: &Query, opts: &OptimizeOptions) -> AdaptiveR
     let budget = requested.max(budget_floor(n));
     let start = Instant::now();
     let deadline = opts.deadline.map(|d| start + d);
+    let mut ladder_span = dpnext_obs::span("adaptive.optimize");
+    ladder_span.tag_u64("n", n as u64);
+    ladder_span.tag_u64("plan_budget", budget);
     let mut search = BudgetedSearch::new(&ctx, opts.dominance, budget);
     search.set_unit_delay(opts.fault_unit_delay);
     let mut mode = AdaptiveMode::Greedy;
@@ -141,7 +144,10 @@ pub fn optimize_adaptive_run(query: &Query, opts: &OptimizeOptions) -> AdaptiveR
         // Rung 1: greedy, always run to completion without consulting the
         // clock — the budget floor guarantees it fits, and its plan is
         // what makes every deadlined request *degrade* instead of fail.
+        let mut rung_span = dpnext_obs::span("adaptive.rung.greedy");
         let greedy = greedy_join(&mut search, &ctx);
+        rung_span.tag_u64("plans_built", search.plans_built());
+        drop(rung_span);
         if search.exhausted() {
             degr.budget_aborted = true;
         }
@@ -172,6 +178,7 @@ pub fn optimize_adaptive_run(query: &Query, opts: &OptimizeOptions) -> AdaptiveR
             let reserve = search.remaining() / 2;
             let cap = (search.remaining() - reserve) / UNIT_MAX_PLANS;
             let mut done = false;
+            let mut rung_span = dpnext_obs::span("adaptive.rung.exact");
             let gate_open = resource_only || count_ccps_capped(&ctx.cq.graph, cap).is_some();
             if gate_open {
                 search.set_budget(full_budget - reserve);
@@ -201,13 +208,17 @@ pub fn optimize_adaptive_run(query: &Query, opts: &OptimizeOptions) -> AdaptiveR
                 if flow.is_continue() && !search.exhausted() {
                     mode = AdaptiveMode::Exact;
                     done = true;
+                    rung_span.tag_str("outcome", "completed");
                 } else {
                     if search.deadline_hit() {
                         degr.deadline_aborted = true;
+                        rung_span.tag_str("outcome", "deadline-aborted");
                     } else if search.memory_hit() {
                         degr.memory_aborted = true;
+                        rung_span.tag_str("outcome", "memory-aborted");
                     } else {
                         degr.budget_aborted = true;
+                        rung_span.tag_str("outcome", "budget-aborted");
                     }
                     search.reset_exhausted();
                 }
@@ -215,7 +226,10 @@ pub fn optimize_adaptive_run(query: &Query, opts: &OptimizeOptions) -> AdaptiveR
                 // The gate itself is a budget decision: the result will
                 // come from a shallower rung than exact DP.
                 degr.budget_gated = true;
+                rung_span.tag_str("outcome", "budget-gated");
             }
+            rung_span.tag_u64("plans_built", search.plans_built());
+            drop(rung_span);
             // Rung 3: interval DP over the greedy linear order, under the
             // full remaining deadline. The reported mode is the rung that
             // actually produced the winning plan — keep-best costs only
@@ -225,17 +239,25 @@ pub fn optimize_adaptive_run(query: &Query, opts: &OptimizeOptions) -> AdaptiveR
                 let best_after_exact = search.best_cost();
                 search.set_deadline(deadline);
                 search.set_memory_budget(memory_budget);
+                let mut rung_span = dpnext_obs::span("adaptive.rung.linearized");
                 let lin_done = linearized_dp(&mut search, &ctx, &greedy.order);
                 if !lin_done {
                     if search.deadline_hit() {
                         degr.deadline_aborted = true;
+                        rung_span.tag_str("outcome", "deadline-aborted");
                     } else if search.memory_hit() {
                         degr.memory_aborted = true;
+                        rung_span.tag_str("outcome", "memory-aborted");
                     } else {
                         degr.budget_aborted = true;
+                        rung_span.tag_str("outcome", "budget-aborted");
                     }
                     search.reset_exhausted();
+                } else {
+                    rung_span.tag_str("outcome", "completed");
                 }
+                rung_span.tag_u64("plans_built", search.plans_built());
+                drop(rung_span);
                 let improved = |before: Option<f64>, after: Option<f64>| match (before, after) {
                     (Some(b), Some(a)) => a < b,
                     (None, Some(_)) => true,
@@ -277,6 +299,13 @@ pub fn optimize_adaptive_run(query: &Query, opts: &OptimizeOptions) -> AdaptiveR
             .expect("no plan found: query graph disconnected or over-constrained")
     };
     memo.record_budget(budget, opts.memory_budget, degr, mode);
+    if ladder_span.is_recording() {
+        ladder_span.tag_text("mode", mode.to_string());
+        ladder_span.tag_text("degradation", degr.to_string());
+        ladder_span.tag_u64("plans_built", outcome.plans_built);
+        ladder_span.tag_u64("live_bytes_peak", memo.stats().live_bytes_peak);
+    }
+    drop(ladder_span);
     // Search time excludes EXPLAIN rendering, like the exact engine.
     let elapsed = start.elapsed();
     let explain = if opts.explain {

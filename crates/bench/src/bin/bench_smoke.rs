@@ -113,6 +113,20 @@ struct SmokeCell {
     /// deadline_aborted, memory_aborted]` (adaptive and overload cells
     /// only; `None` elsewhere). `--diff` compares the mix across PRs.
     degradation: Option<[u64; 4]>,
+    /// p99 per-request latency in µs (serving and overload cells only,
+    /// 0 elsewhere). `--diff` compares it warn-only — mean throughput
+    /// can hold steady while the tail quietly grows.
+    latency_p99_us: f64,
+}
+
+/// The `q`-th percentile of per-request latencies (nanoseconds in,
+/// microseconds out), by rank on the sorted samples.
+fn latency_percentile_us(sorted_nanos: &[u64], q: f64) -> f64 {
+    if sorted_nanos.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted_nanos.len() as f64).ceil() as usize).clamp(1, sorted_nanos.len()) - 1;
+    sorted_nanos[rank] as f64 / 1e3
 }
 
 impl SmokeCell {
@@ -200,6 +214,7 @@ fn main() {
                     drift_geomean: 0.0,
                     extra,
                     degradation: None,
+                    latency_p99_us: 0.0,
                 });
             }
         }
@@ -360,6 +375,7 @@ fn adaptive_cell(topo: Topology, tag: &str, n: usize) -> SmokeCell {
         // (counts over the cell's queries).
         extra: degradation_json(degr),
         degradation: Some(degr),
+        latency_p99_us: 0.0,
     }
 }
 
@@ -443,6 +459,7 @@ fn robust_cell(strategy: &str, budget: u64, topo: Topology, tag: &str, q: f64) -
              \"drift_max\": {drift_max:.4}"
         ),
         degradation: None,
+        latency_p99_us: 0.0,
     }
 }
 
@@ -498,23 +515,32 @@ fn serve_cell(mode: ServeMode, client_threads: usize) -> SmokeCell {
     );
 
     let plans = AtomicU64::new(0);
+    let latencies = std::sync::Mutex::new(Vec::with_capacity(total));
     let start = Instant::now();
     std::thread::scope(|scope| {
         for t in 0..client_threads {
-            let (service, mix, plans) = (&service, &mix, &plans);
+            let (service, mix, plans, latencies) = (&service, &mix, &plans, &latencies);
             scope.spawn(move || {
                 let chunk = &mix.schedule()
                     [t * SERVE_REQUESTS_PER_CLIENT..(t + 1) * SERVE_REQUESTS_PER_CLIENT];
+                let mut local = Vec::with_capacity(chunk.len());
                 for &shape in chunk {
+                    let t0 = Instant::now();
                     let served = service
                         .optimize(&mix.shapes()[shape])
                         .expect("no faults injected");
+                    local.push(t0.elapsed().as_nanos() as u64);
                     plans.fetch_add(served.result.plans_built, Ordering::Relaxed);
                 }
+                latencies.lock().unwrap().extend(local);
             });
         }
     });
     let runtime = start.elapsed().as_secs_f64();
+    let mut latencies = latencies.into_inner().unwrap();
+    latencies.sort_unstable();
+    let p50 = latency_percentile_us(&latencies, 0.50);
+    let p99 = latency_percentile_us(&latencies, 0.99);
 
     let stats = service.stats();
     SmokeCell {
@@ -536,10 +562,11 @@ fn serve_cell(mode: ServeMode, client_threads: usize) -> SmokeCell {
         drift_geomean: 0.0,
         extra: format!(
             ", \"cache_hits\": {}, \"cache_misses\": {}, \"pool_created\": {}, \
-             \"pool_reused\": {}",
+             \"pool_reused\": {}, \"latency_p50_us\": {p50:.1}, \"latency_p99_us\": {p99:.1}",
             stats.cache.hits, stats.cache.misses, stats.pool.created, stats.pool.reused
         ),
         degradation: None,
+        latency_p99_us: p99,
     }
 }
 
@@ -571,17 +598,23 @@ fn overload_cell(client_threads: usize) -> SmokeCell {
     let ok = AtomicU64::new(0);
     let rejected = AtomicU64::new(0);
     let degr = [(); 4].map(|_| AtomicU64::new(0));
+    // Admitted-request latencies only: a fast rejection is governance
+    // working, not tail latency of the serving path.
+    let latencies = std::sync::Mutex::new(Vec::with_capacity(total));
     let start = Instant::now();
     std::thread::scope(|scope| {
         for t in 0..client_threads {
-            let (service, mix, plans, ok, rejected, degr) =
-                (&service, &mix, &plans, &ok, &rejected, &degr);
+            let (service, mix, plans, ok, rejected, degr, latencies) =
+                (&service, &mix, &plans, &ok, &rejected, &degr, &latencies);
             scope.spawn(move || {
                 let chunk = &mix.schedule()
                     [t * OVERLOAD_REQUESTS_PER_CLIENT..(t + 1) * OVERLOAD_REQUESTS_PER_CLIENT];
+                let mut local = Vec::with_capacity(chunk.len());
                 for &shape in chunk {
+                    let t0 = Instant::now();
                     match service.optimize(&mix.shapes()[shape]) {
                         Ok(served) => {
+                            local.push(t0.elapsed().as_nanos() as u64);
                             ok.fetch_add(1, Ordering::Relaxed);
                             plans.fetch_add(served.result.plans_built, Ordering::Relaxed);
                             let d = served.result.memo.degradation;
@@ -600,10 +633,15 @@ fn overload_cell(client_threads: usize) -> SmokeCell {
                         Err(e) => panic!("overload cell: unexpected error kind: {e}"),
                     }
                 }
+                latencies.lock().unwrap().extend(local);
             });
         }
     });
     let runtime = start.elapsed().as_secs_f64();
+    let mut latencies = latencies.into_inner().unwrap();
+    latencies.sort_unstable();
+    let p50 = latency_percentile_us(&latencies, 0.50);
+    let p99 = latency_percentile_us(&latencies, 0.99);
     let (ok, rejected) = (ok.load(Ordering::Relaxed), rejected.load(Ordering::Relaxed));
     assert_eq!(
         total as u64,
@@ -622,6 +660,10 @@ fn overload_cell(client_threads: usize) -> SmokeCell {
         stats.memory_degraded,
         stats.ledger.peak,
         stats.ledger.quarantined_bytes,
+    );
+    let _ = write!(
+        extra,
+        ", \"latency_p50_us\": {p50:.1}, \"latency_p99_us\": {p99:.1}"
     );
     extra.push_str(&degradation_json(degr));
     SmokeCell {
@@ -643,6 +685,7 @@ fn overload_cell(client_threads: usize) -> SmokeCell {
         drift_geomean: 0.0,
         extra,
         degradation: Some(degr),
+        latency_p99_us: p99,
     }
 }
 
@@ -659,6 +702,9 @@ struct PrevCell {
     /// Degradation-cause counts in [`SmokeCell::degradation`] order;
     /// `None` for cells and archives without the mix.
     degradation: Option<[f64; 4]>,
+    /// p99 request latency in µs; `None` for non-serving cells and
+    /// pre-latency archives.
+    latency_p99_us: Option<f64>,
 }
 
 /// The four degradation-cause JSON keys, in [`SmokeCell::degradation`]
@@ -752,6 +798,7 @@ fn diff_against(prev_path: &str, cells: &[SmokeCell]) {
             replay_share,
             drift_geomean: field_num(line, "\"drift_geomean\": "),
             degradation: parse_degradation(line),
+            latency_p99_us: field_num(line, "\"latency_p99_us\": "),
         });
     }
     if old.is_empty() {
@@ -805,6 +852,20 @@ fn diff_against(prev_path: &str, cells: &[SmokeCell]) {
             (Some(old_mix), Some(new_mix)) => degradation_shift(old_mix, new_mix),
             _ => String::new(),
         };
+        // Tail-latency trajectory (serving and overload cells): p99 can
+        // regress while mean throughput holds, so compare it on its own.
+        // Warn-only like everything else here.
+        let tail = match prev.latency_p99_us {
+            Some(old_p99) if c.latency_p99_us > 0.0 && old_p99 > 0.0 => {
+                let warn = if c.latency_p99_us > old_p99 * 1.25 {
+                    "  ⚠ p99 latency regression?"
+                } else {
+                    ""
+                };
+                format!(", p99 {old_p99:.0}µs → {:.0}µs{warn}", c.latency_p99_us)
+            }
+            _ => String::new(),
+        };
         let share = match prev.replay_share {
             Some(old_share) if c.threads > 1 => {
                 let new_share = 100.0 * c.replay_share();
@@ -820,7 +881,7 @@ fn diff_against(prev_path: &str, cells: &[SmokeCell]) {
         };
         eprintln!(
             "  {:<10} n={} threads={}: {:.0}k → {:.0}k plans/s \
-             ({delta:+.1}%){marker}{drift}{share}{mix}",
+             ({delta:+.1}%){marker}{drift}{tail}{share}{mix}",
             c.algo,
             c.n,
             c.threads,

@@ -688,7 +688,7 @@ fn enumerate_layered<P: ClassPolicy>(
     // Per-worker scratches persist across strata so the warm G⁺ caches
     // (pure functions of the query) are not recomputed every layer.
     let mut pool: Vec<Option<Scratch>> = (0..threads).map(|_| None).collect();
-    for pairs in strata.strata.iter().filter(|p| !p.is_empty()) {
+    for (stratum_idx, pairs) in strata.strata.iter().filter(|p| !p.is_empty()).enumerate() {
         // Work-unit estimate for the stratum: subplan combinations over
         // the frozen classes. Orientations can double it (commutative
         // operators emit both directions), so this is a ×2-accurate
@@ -714,7 +714,18 @@ fn enumerate_layered<P: ClassPolicy>(
                 );
             }
             next_attr += scratch.attrs_used();
-            worker_nanos += t0.elapsed().as_nanos() as u64;
+            let dt = t0.elapsed().as_nanos() as u64;
+            worker_nanos += dt;
+            dpnext_obs::emit_span(
+                "engine.stratum.worker",
+                dt,
+                &[
+                    ("stratum", stratum_idx as u64),
+                    ("pairs", pairs.len() as u64),
+                    ("combos", combos as u64),
+                    ("fanout", 1),
+                ],
+            );
             continue;
         }
         fanout_used = fanout_used.max(t as u64);
@@ -749,7 +760,18 @@ fn enumerate_layered<P: ClassPolicy>(
                 .map(|h| h.join().expect("enumeration worker panicked"))
                 .collect()
         });
-        worker_nanos += t0.elapsed().as_nanos() as u64;
+        let dt = t0.elapsed().as_nanos() as u64;
+        worker_nanos += dt;
+        dpnext_obs::emit_span(
+            "engine.stratum.worker",
+            dt,
+            &[
+                ("stratum", stratum_idx as u64),
+                ("pairs", pairs.len() as u64),
+                ("combos", combos as u64),
+                ("fanout", t as u64),
+            ],
+        );
         let t1 = Instant::now();
         // Advance the cursor past the interleaved block actually used:
         // worker w's largest id is < next_attr + w + t·used_w, so
@@ -806,7 +828,17 @@ fn enumerate_layered<P: ClassPolicy>(
         // order *within* each class), reproducing the streaming outcome.
         let par_classes = replay_buckets(ctx, memo, policy, buckets, t);
         peak_replay_classes = peak_replay_classes.max(par_classes);
-        replay_nanos += t1.elapsed().as_nanos() as u64;
+        let dt = t1.elapsed().as_nanos() as u64;
+        replay_nanos += dt;
+        dpnext_obs::emit_span(
+            "engine.stratum.replay",
+            dt,
+            &[
+                ("stratum", stratum_idx as u64),
+                ("candidates", candidates as u64),
+                ("par_classes", par_classes),
+            ],
+        );
     }
     memo.record_layering(strata.layer_count(), strata.peak_layer_pairs(), fanout_used);
     memo.record_phases(worker_nanos, replay_nanos, peak_replay_classes);
@@ -1352,6 +1384,46 @@ pub struct BudgetedSearch<'a> {
     memory_hit: bool,
     unit_delay: Option<Duration>,
     full: NodeSet,
+    live_probe: LiveBytesProbe,
+}
+
+/// This search's RAII contribution to the process-wide live-bytes gauge
+/// ([`dpnext_obs::global_live_bytes`]): remembers the bytes last
+/// published and withdraws them on drop. Delta-based publishing makes
+/// concurrent searches sum correctly, and the drop reconciliation means
+/// a search abandoned mid-run (panic unwind, quarantine) cannot leak its
+/// contribution into the gauge forever. Observation only — enforcement
+/// stays with the per-search memory budget and the serving ledger.
+struct LiveBytesProbe {
+    gauge: std::sync::Arc<dpnext_obs::Gauge>,
+    reported: u64,
+}
+
+impl LiveBytesProbe {
+    fn new() -> LiveBytesProbe {
+        LiveBytesProbe {
+            gauge: dpnext_obs::global_live_bytes(),
+            reported: 0,
+        }
+    }
+
+    /// Publish the current live-byte count (one O(1) read and one relaxed
+    /// atomic op — cheap enough for work-unit granularity).
+    #[inline]
+    fn record(&mut self, live: u64) {
+        if live >= self.reported {
+            self.gauge.add(live - self.reported);
+        } else {
+            self.gauge.sub(self.reported - live);
+        }
+        self.reported = live;
+    }
+}
+
+impl Drop for LiveBytesProbe {
+    fn drop(&mut self) {
+        self.gauge.sub(self.reported);
+    }
 }
 
 /// What a finished [`BudgetedSearch`] hands back.
@@ -1399,6 +1471,7 @@ impl<'a> BudgetedSearch<'a> {
             memory_hit: false,
             unit_delay: None,
             full: NodeSet::full(n),
+            live_probe: LiveBytesProbe::new(),
         }
     }
 
@@ -1550,7 +1623,12 @@ impl<'a> BudgetedSearch<'a> {
         let unit_delay = self.unit_delay;
         let mut hit = false;
         let mut mem_hit = false;
+        let live_probe = &mut self.live_probe;
         let mut take = |u: u64, memo: &Memo| {
+            // Mid-run memory visibility (ROADMAP PR 9 residual): publish
+            // live bytes into the process gauge once per work unit, so
+            // global pressure is observable between pool check-ins.
+            live_probe.record(memo.live_bytes());
             if u >= allowed {
                 return false;
             }

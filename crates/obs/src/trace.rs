@@ -1,0 +1,518 @@
+//! The span/event tracing core: monotonic timestamps, a pluggable sink,
+//! and a disabled path that costs one atomic load.
+
+use std::collections::VecDeque;
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::time::Instant;
+
+/// How much the tracer records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceLevel {
+    /// Record nothing. [`span`] returns an inert guard without reading
+    /// the clock or allocating — the production default.
+    Off,
+    /// Record spans and deliver them to the installed sink on close.
+    Spans,
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(0);
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static SPANS_OPENED: AtomicU64 = AtomicU64::new(0);
+static SPANS_CLOSED: AtomicU64 = AtomicU64::new(0);
+static SINK: RwLock<Option<Arc<dyn TraceSink>>> = RwLock::new(None);
+
+/// The process-wide monotonic epoch every span timestamp is relative to
+/// (pinned on first use, so timestamps across threads are comparable).
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds since the process trace epoch (monotonic).
+pub fn now_nanos() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+/// Set the global trace level. Spans already in flight close normally
+/// (their open is always balanced by a close); spans created while `Off`
+/// stay inert even if the level rises before they drop.
+pub fn set_trace_level(level: TraceLevel) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current global trace level.
+pub fn trace_level() -> TraceLevel {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => TraceLevel::Off,
+        _ => TraceLevel::Spans,
+    }
+}
+
+/// Whether spans are currently recorded — one relaxed atomic load, the
+/// whole cost of instrumented code when tracing is off.
+#[inline]
+pub fn tracing_enabled() -> bool {
+    LEVEL.load(Ordering::Relaxed) != 0
+}
+
+/// Install the global sink closed spans are delivered to (replacing any
+/// previous one). The sink alone records nothing — raise the level with
+/// [`set_trace_level`] too.
+pub fn install_sink(sink: Arc<dyn TraceSink>) {
+    *SINK.write().unwrap() = Some(sink);
+}
+
+/// Remove and return the installed sink, if any.
+pub fn clear_sink() -> Option<Arc<dyn TraceSink>> {
+    SINK.write().unwrap().take()
+}
+
+/// Spans opened since process start (only counted while tracing is on).
+pub fn spans_opened() -> u64 {
+    SPANS_OPENED.load(Ordering::Relaxed)
+}
+
+/// Spans closed since process start. Every opened span closes when its
+/// guard drops — even on a panic unwinding through it — so after
+/// quiescence `spans_opened() == spans_closed()`; the `obs_smoke` CI
+/// binary fails hard when they disagree (a leaked guard or a span held
+/// across a request boundary).
+pub fn spans_closed() -> u64 {
+    SPANS_CLOSED.load(Ordering::Relaxed)
+}
+
+/// One tag value on a span.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TagValue {
+    /// An unsigned integer (ids, byte counts, hashes).
+    U64(u64),
+    /// A static string (enum-like outcomes: rung names, abort causes).
+    Str(&'static str),
+    /// An owned string, for values only known at runtime (e.g. a
+    /// degradation cause list). Allocates — only attach while recording.
+    Text(String),
+}
+
+impl std::fmt::Display for TagValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TagValue::U64(v) => write!(f, "{v}"),
+            TagValue::Str(s) => f.write_str(s),
+            TagValue::Text(s) => f.write_str(s),
+        }
+    }
+}
+
+/// A closed span, as delivered to a [`TraceSink`].
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Process-unique span id (never 0).
+    pub id: u64,
+    /// Id of the enclosing span on the same thread (0 = a root span).
+    pub parent: u64,
+    /// Static span name (see the taxonomy in `docs/OBSERVABILITY.md`).
+    pub name: &'static str,
+    /// Start, in nanoseconds since the process trace epoch (monotonic).
+    pub start_nanos: u64,
+    /// End, same clock. `end_nanos - start_nanos` is the duration.
+    pub end_nanos: u64,
+    /// Tags attached while the span was open, in attachment order.
+    pub tags: Vec<(&'static str, TagValue)>,
+}
+
+impl SpanRecord {
+    /// The span duration in nanoseconds.
+    pub fn dur_nanos(&self) -> u64 {
+        self.end_nanos.saturating_sub(self.start_nanos)
+    }
+
+    /// The first tag named `key`, if any.
+    pub fn tag(&self, key: &str) -> Option<&TagValue> {
+        self.tags.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+
+    /// Render as one line-protocol JSON object (the `JsonLinesSink`
+    /// format): `{"id":..,"parent":..,"name":"..","start_ns":..,
+    /// "dur_ns":..,"tags":{..}}`.
+    pub fn render_json_line(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(96);
+        let _ = write!(
+            out,
+            "{{\"id\":{},\"parent\":{},\"name\":\"{}\",\"start_ns\":{},\"dur_ns\":{},\"tags\":{{",
+            self.id,
+            self.parent,
+            self.name,
+            self.start_nanos,
+            self.dur_nanos()
+        );
+        for (i, (k, v)) in self.tags.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            match v {
+                TagValue::U64(n) => {
+                    let _ = write!(out, "\"{k}\":{n}");
+                }
+                TagValue::Str(s) => {
+                    let _ = write!(out, "\"{k}\":\"{}\"", escape_json(s));
+                }
+                TagValue::Text(s) => {
+                    let _ = write!(out, "\"{k}\":\"{}\"", escape_json(s));
+                }
+            }
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Where closed spans go. Implementations must be cheap and must never
+/// panic — a sink runs inside guard drops on every instrumented path.
+pub trait TraceSink: Send + Sync {
+    /// Deliver one closed span.
+    fn record(&self, span: &SpanRecord);
+}
+
+thread_local! {
+    /// Innermost open span on this thread (0 = none) — how child spans
+    /// find their parent without any cross-thread coordination.
+    static CURRENT: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+struct SpanData {
+    id: u64,
+    parent: u64,
+    name: &'static str,
+    start_nanos: u64,
+    tags: Vec<(&'static str, TagValue)>,
+}
+
+/// An open span guard: closes (and delivers to the sink) on drop, even
+/// while a panic unwinds through it. Inert — zero-allocation, no clock —
+/// when created with tracing off.
+pub struct Span {
+    data: Option<Box<SpanData>>,
+}
+
+/// Open a span. With tracing off this is one relaxed atomic load and an
+/// inert guard; with tracing on it reads the monotonic clock, allocates
+/// the record and links into the thread's span stack.
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    if !tracing_enabled() {
+        return Span { data: None };
+    }
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    SPANS_OPENED.fetch_add(1, Ordering::Relaxed);
+    let parent = CURRENT.with(|c| c.replace(id));
+    Span {
+        data: Some(Box::new(SpanData {
+            id,
+            parent,
+            name,
+            start_nanos: now_nanos(),
+            tags: Vec::new(),
+        })),
+    }
+}
+
+/// Record an already-measured interval as a closed span (start back-dated
+/// by `dur_nanos` from now), parented under the calling thread's current
+/// span. This is how the layered engine turns its existing
+/// `worker_nanos`/`replay_nanos` phase timers into per-stratum spans
+/// without double-instrumenting the hot loop. No-op when tracing is off.
+pub fn emit_span(name: &'static str, dur_nanos: u64, tags: &[(&'static str, u64)]) {
+    if !tracing_enabled() {
+        return;
+    }
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    SPANS_OPENED.fetch_add(1, Ordering::Relaxed);
+    let end = now_nanos();
+    let record = SpanRecord {
+        id,
+        parent: CURRENT.with(|c| c.get()),
+        name,
+        start_nanos: end.saturating_sub(dur_nanos),
+        end_nanos: end,
+        tags: tags.iter().map(|&(k, v)| (k, TagValue::U64(v))).collect(),
+    };
+    SPANS_CLOSED.fetch_add(1, Ordering::Relaxed);
+    if let Some(sink) = SINK.read().unwrap().as_ref() {
+        sink.record(&record);
+    }
+}
+
+impl Span {
+    /// Whether this span actually records (tracing was on at creation).
+    /// Gate any tag computation that would itself allocate on this.
+    #[inline]
+    pub fn is_recording(&self) -> bool {
+        self.data.is_some()
+    }
+
+    /// Attach an integer tag (no-op on an inert span).
+    #[inline]
+    pub fn tag_u64(&mut self, key: &'static str, value: u64) {
+        if let Some(d) = self.data.as_mut() {
+            d.tags.push((key, TagValue::U64(value)));
+        }
+    }
+
+    /// Attach a static-string tag (no-op on an inert span).
+    #[inline]
+    pub fn tag_str(&mut self, key: &'static str, value: &'static str) {
+        if let Some(d) = self.data.as_mut() {
+            d.tags.push((key, TagValue::Str(value)));
+        }
+    }
+
+    /// Attach an owned-string tag (no-op on an inert span; the string is
+    /// only worth building after [`Span::is_recording`]).
+    pub fn tag_text(&mut self, key: &'static str, value: String) {
+        if let Some(d) = self.data.as_mut() {
+            d.tags.push((key, TagValue::Text(value)));
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(data) = self.data.take() else {
+            return;
+        };
+        CURRENT.with(|c| c.set(data.parent));
+        let record = SpanRecord {
+            id: data.id,
+            parent: data.parent,
+            name: data.name,
+            start_nanos: data.start_nanos,
+            end_nanos: now_nanos(),
+            tags: data.tags,
+        };
+        SPANS_CLOSED.fetch_add(1, Ordering::Relaxed);
+        if let Some(sink) = SINK.read().unwrap().as_ref() {
+            sink.record(&record);
+        }
+    }
+}
+
+/// A bounded in-memory sink: keeps the most recent `capacity` spans.
+/// The test sink — cheap, inspectable, never grows without bound.
+pub struct RingSink {
+    capacity: usize,
+    buf: Mutex<VecDeque<SpanRecord>>,
+}
+
+impl RingSink {
+    /// A ring keeping at most `capacity` spans (oldest evicted first).
+    pub fn new(capacity: usize) -> RingSink {
+        RingSink {
+            capacity: capacity.max(1),
+            buf: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Copy of the current contents, oldest first.
+    pub fn snapshot(&self) -> Vec<SpanRecord> {
+        self.buf.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// Drain and return the current contents, oldest first.
+    pub fn take(&self) -> Vec<SpanRecord> {
+        self.buf.lock().unwrap().drain(..).collect()
+    }
+
+    /// Spans currently buffered.
+    pub fn len(&self) -> usize {
+        self.buf.lock().unwrap().len()
+    }
+
+    /// Whether the ring holds no spans.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&self, span: &SpanRecord) {
+        let mut buf = self.buf.lock().unwrap();
+        if buf.len() == self.capacity {
+            buf.pop_front();
+        }
+        buf.push_back(span.clone());
+    }
+}
+
+/// A line-protocol JSON sink: one [`SpanRecord::render_json_line`] object
+/// per line, for CI trace artifacts (`OBS_trace.jsonl`). Write errors
+/// are swallowed (a sink must never panic mid-drop); call
+/// [`JsonLinesSink::flush`] and check the result at shutdown.
+pub struct JsonLinesSink<W: Write + Send> {
+    out: Mutex<W>,
+}
+
+impl JsonLinesSink<io::BufWriter<std::fs::File>> {
+    /// A sink writing to a freshly created (truncated) file.
+    pub fn create(path: &str) -> io::Result<Self> {
+        Ok(JsonLinesSink::new(io::BufWriter::new(
+            std::fs::File::create(path)?,
+        )))
+    }
+}
+
+impl<W: Write + Send> JsonLinesSink<W> {
+    /// A sink writing to `out`.
+    pub fn new(out: W) -> JsonLinesSink<W> {
+        JsonLinesSink {
+            out: Mutex::new(out),
+        }
+    }
+
+    /// Flush the underlying writer.
+    pub fn flush(&self) -> io::Result<()> {
+        self.out.lock().unwrap().flush()
+    }
+}
+
+impl<W: Write + Send> TraceSink for JsonLinesSink<W> {
+    fn record(&self, span: &SpanRecord) {
+        let line = span.render_json_line();
+        let mut out = self.out.lock().unwrap();
+        let _ = writeln!(out, "{line}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The trace tests mutate process-global state (level + sink), so
+    /// they serialize on one mutex instead of racing each other.
+    fn trace_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        match LOCK.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    #[test]
+    fn disabled_span_is_inert() {
+        let _guard = trace_lock();
+        set_trace_level(TraceLevel::Off);
+        let opened = spans_opened();
+        let mut s = span("test.inert");
+        assert!(!s.is_recording());
+        s.tag_u64("k", 1);
+        drop(s);
+        emit_span("test.inert.emit", 123, &[("k", 1)]);
+        assert_eq!(opened, spans_opened(), "inert spans must not be counted");
+    }
+
+    #[test]
+    fn spans_nest_and_record() {
+        let _guard = trace_lock();
+        let ring = Arc::new(RingSink::new(16));
+        install_sink(ring.clone());
+        set_trace_level(TraceLevel::Spans);
+        {
+            let mut root = span("test.root");
+            root.tag_u64("n", 6);
+            {
+                let mut child = span("test.child");
+                child.tag_str("outcome", "completed");
+            }
+            emit_span("test.synthetic", 1_000, &[("pairs", 3)]);
+        }
+        set_trace_level(TraceLevel::Off);
+        clear_sink();
+        let spans = ring.take();
+        assert_eq!(3, spans.len());
+        // Children close before their parent: child, synthetic, root.
+        assert_eq!("test.child", spans[0].name);
+        assert_eq!("test.synthetic", spans[1].name);
+        assert_eq!("test.root", spans[2].name);
+        let root_id = spans[2].id;
+        assert_eq!(root_id, spans[0].parent, "child must parent to root");
+        assert_eq!(root_id, spans[1].parent, "emit must parent to root");
+        assert_eq!(Some(&TagValue::U64(6)), spans[2].tag("n"));
+        assert_eq!(Some(&TagValue::Str("completed")), spans[0].tag("outcome"));
+        assert!(spans[1].dur_nanos() >= 1_000);
+        assert_eq!(spans_opened(), spans_closed());
+    }
+
+    #[test]
+    fn span_closes_during_unwind() {
+        let _guard = trace_lock();
+        let ring = Arc::new(RingSink::new(16));
+        install_sink(ring.clone());
+        set_trace_level(TraceLevel::Spans);
+        let unwound = std::panic::catch_unwind(|| {
+            let _s = span("test.unwound");
+            panic!("injected");
+        });
+        set_trace_level(TraceLevel::Off);
+        clear_sink();
+        assert!(unwound.is_err());
+        assert!(
+            ring.take().iter().any(|s| s.name == "test.unwound"),
+            "a span guard must close on unwind"
+        );
+        assert_eq!(spans_opened(), spans_closed());
+    }
+
+    #[test]
+    fn json_line_escapes_and_shapes() {
+        let rec = SpanRecord {
+            id: 7,
+            parent: 0,
+            name: "x",
+            start_nanos: 10,
+            end_nanos: 25,
+            tags: vec![
+                ("n", TagValue::U64(3)),
+                ("cause", TagValue::Text("a\"b".to_string())),
+            ],
+        };
+        assert_eq!(
+            "{\"id\":7,\"parent\":0,\"name\":\"x\",\"start_ns\":10,\"dur_ns\":15,\
+             \"tags\":{\"n\":3,\"cause\":\"a\\\"b\"}}",
+            rec.render_json_line()
+        );
+    }
+
+    #[test]
+    fn ring_sink_bounds_capacity() {
+        let ring = RingSink::new(2);
+        for i in 0..5u64 {
+            ring.record(&SpanRecord {
+                id: i + 1,
+                parent: 0,
+                name: "r",
+                start_nanos: i,
+                end_nanos: i,
+                tags: Vec::new(),
+            });
+        }
+        let spans = ring.snapshot();
+        assert_eq!(2, spans.len());
+        assert_eq!(3, spans[0].start_nanos, "oldest spans evicted first");
+    }
+}

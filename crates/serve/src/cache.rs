@@ -3,9 +3,9 @@
 use crate::fingerprint::QueryShape;
 use dpnext::Optimized;
 use dpnext_core::{FxBuildHasher, FxHashMap};
+use dpnext_obs::{Counter, Registry};
 use std::collections::VecDeque;
 use std::hash::{BuildHasher, Hash};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Number of independently locked shards (power of two). Lookups on
@@ -60,9 +60,12 @@ pub struct PlanCache {
     shards: Vec<Mutex<Shard>>,
     per_shard_cap: usize,
     hasher: FxBuildHasher,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
+    // Registry-backed counter cells (PR 10): the same cells back
+    // `CacheStats` and — once `register_metrics` has run — the service's
+    // metrics registry, so the two can never disagree.
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    evictions: Arc<Counter>,
 }
 
 impl PlanCache {
@@ -84,10 +87,34 @@ impl PlanCache {
             shards,
             per_shard_cap: capacity.div_ceil(SHARDS).max(1),
             hasher: FxBuildHasher::default(),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
+            hits: Arc::new(Counter::new()),
+            misses: Arc::new(Counter::new()),
+            evictions: Arc::new(Counter::new()),
         }
+    }
+
+    /// Expose this cache's counter cells in `registry` (under
+    /// `dpnext_cache_*`). The registry snapshot and [`CacheStats`] read
+    /// the same cells afterwards.
+    pub fn register_metrics(&self, registry: &Registry) {
+        registry.register_counter(
+            "dpnext_cache_hits_total",
+            "Plan-cache lookups served from the cache.",
+            &[],
+            self.hits.clone(),
+        );
+        registry.register_counter(
+            "dpnext_cache_misses_total",
+            "Plan-cache lookups that found nothing.",
+            &[],
+            self.misses.clone(),
+        );
+        registry.register_counter(
+            "dpnext_cache_evictions_total",
+            "Plan-cache entries dropped to stay within capacity.",
+            &[],
+            self.evictions.clone(),
+        );
     }
 
     /// Whether caching is enabled (a non-zero capacity was configured).
@@ -111,12 +138,12 @@ impl PlanCache {
             Some(v) => {
                 let v = v.clone();
                 drop(shard);
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.inc();
                 Some(v)
             }
             None => {
                 drop(shard);
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.misses.inc();
                 None
             }
         }
@@ -141,7 +168,7 @@ impl PlanCache {
         }
         drop(shard);
         if evicted > 0 {
-            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+            self.evictions.add(evicted);
         }
     }
 
@@ -153,9 +180,9 @@ impl PlanCache {
             .map(|s| s.lock().unwrap().map.len() as u64)
             .sum();
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            evictions: self.evictions.get(),
             entries,
         }
     }

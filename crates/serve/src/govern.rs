@@ -28,9 +28,9 @@
 //!   closes the breaker, failure re-opens it.
 
 use crate::fingerprint::QueryShape;
+use dpnext_obs::{Counter, Gauge, Registry};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Point-in-time counters of a [`ResourceLedger`].
@@ -57,10 +57,11 @@ pub struct LedgerStats {
 /// the in-flight growth between those points.
 #[derive(Debug, Default)]
 pub struct ResourceLedger {
-    bytes: AtomicU64,
-    peak: AtomicU64,
+    // Registry-backed cells (PR 10): the gauge's built-in high-water mark
+    // replaces the old separate `peak` atomic.
+    bytes: Arc<Gauge>,
     cap: u64,
-    quarantined_bytes: AtomicU64,
+    quarantined_bytes: Arc<Counter>,
 }
 
 impl ResourceLedger {
@@ -79,36 +80,42 @@ impl ResourceLedger {
         self.cap
     }
 
+    /// Expose this ledger's cells in `registry` (under `dpnext_ledger_*`;
+    /// the byte gauge's `_peak` companion carries the high-water mark).
+    pub fn register_metrics(&self, registry: &Registry) {
+        registry.register_gauge(
+            "dpnext_ledger_bytes",
+            "Memo bytes registered process-wide (parked + checked out).",
+            &[],
+            self.bytes.clone(),
+        );
+        registry.register_counter(
+            "dpnext_ledger_quarantined_bytes_total",
+            "Footprint bytes destroyed via memo quarantine.",
+            &[],
+            self.quarantined_bytes.clone(),
+        );
+    }
+
     /// Register `bytes` more.
     pub fn add(&self, bytes: u64) {
-        let now = self.bytes.fetch_add(bytes, Ordering::Relaxed) + bytes;
-        self.peak.fetch_max(now, Ordering::Relaxed);
+        self.bytes.add(bytes);
     }
 
     /// Release `bytes` (saturating — a release can never drive the
     /// ledger negative even if an estimate drifted).
     pub fn sub(&self, bytes: u64) {
-        let mut cur = self.bytes.load(Ordering::Relaxed);
-        loop {
-            let next = cur.saturating_sub(bytes);
-            match self
-                .bytes
-                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
-            {
-                Ok(_) => return,
-                Err(seen) => cur = seen,
-            }
-        }
+        self.bytes.sub(bytes);
     }
 
     /// Tally a quarantined memo's destroyed footprint.
     pub fn record_quarantined(&self, bytes: u64) {
-        self.quarantined_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.quarantined_bytes.add(bytes);
     }
 
     /// Bytes currently registered.
     pub fn bytes(&self) -> u64 {
-        self.bytes.load(Ordering::Relaxed)
+        self.bytes.get()
     }
 
     /// Registered bytes as a fraction of the cap; 0.0 when uncapped.
@@ -123,9 +130,9 @@ impl ResourceLedger {
     pub fn stats(&self) -> LedgerStats {
         LedgerStats {
             bytes: self.bytes(),
-            peak: self.peak.load(Ordering::Relaxed),
+            peak: self.bytes.peak(),
             cap: self.cap,
-            quarantined_bytes: self.quarantined_bytes.load(Ordering::Relaxed),
+            quarantined_bytes: self.quarantined_bytes.get(),
         }
     }
 }
@@ -158,9 +165,11 @@ pub struct AdmissionGate {
     max_queued: usize,
     state: Mutex<GateState>,
     slot_freed: Condvar,
-    admitted: AtomicU64,
-    rejected: AtomicU64,
-    queued_peak: AtomicU64,
+    admitted: Arc<Counter>,
+    rejected: Arc<Counter>,
+    /// Mirrors `GateState::queued` (updated under the same lock); its
+    /// peak is the reported `queued_peak`.
+    queued: Arc<Gauge>,
 }
 
 /// An admission permit; releasing it (drop) frees the slot and wakes one
@@ -179,46 +188,72 @@ impl AdmissionGate {
             max_queued,
             state: Mutex::new(GateState::default()),
             slot_freed: Condvar::new(),
-            admitted: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
-            queued_peak: AtomicU64::new(0),
+            admitted: Arc::new(Counter::new()),
+            rejected: Arc::new(Counter::new()),
+            queued: Arc::new(Gauge::new()),
         }
     }
 
+    /// Expose this gate's cells in `registry` (under `dpnext_gate_*`).
+    pub fn register_metrics(&self, registry: &Registry) {
+        registry.register_counter(
+            "dpnext_gate_admitted_total",
+            "Requests that received an admission permit.",
+            &[],
+            self.admitted.clone(),
+        );
+        registry.register_counter(
+            "dpnext_gate_rejected_total",
+            "Requests rejected fast at a saturated gate.",
+            &[],
+            self.rejected.clone(),
+        );
+        registry.register_gauge(
+            "dpnext_gate_queued",
+            "Requests currently waiting for an admission slot.",
+            &[],
+            self.queued.clone(),
+        );
+    }
+
     /// Try to enter: a permit when a slot is free (or frees up while we
-    /// are one of the `max_queued` waiters), or `Err(retry_after_hint)`
-    /// when the gate is saturated. The hint scales with the line length —
-    /// callers that honor it spread their retries instead of stampeding.
-    pub fn admit(&self) -> Result<GatePermit<'_>, Duration> {
+    /// are one of the `max_queued` waiters), or `Err(line_length)` when
+    /// the gate is saturated — the number of requests currently active
+    /// plus queued (at least 1). The *service* turns the line length into
+    /// a retry hint from its measured service-time histogram (p50 × line),
+    /// so the hint tracks how fast the line actually drains; standalone
+    /// gate users can apply any back-off policy they like to the raw
+    /// length.
+    pub fn admit(&self) -> Result<GatePermit<'_>, u32> {
         let mut state = self.state.lock().unwrap();
         if self.max_concurrent == 0 || state.active < self.max_concurrent {
             state.active += 1;
-            self.admitted.fetch_add(1, Ordering::Relaxed);
+            self.admitted.inc();
             return Ok(GatePermit { gate: self });
         }
         if state.queued >= self.max_queued {
-            self.rejected.fetch_add(1, Ordering::Relaxed);
+            self.rejected.inc();
             let line = (state.active + state.queued) as u32;
-            return Err(Duration::from_millis(10) * line.max(1));
+            return Err(line.max(1));
         }
         state.queued += 1;
-        self.queued_peak
-            .fetch_max(state.queued as u64, Ordering::Relaxed);
+        self.queued.add(1);
         while state.active >= self.max_concurrent {
             state = self.slot_freed.wait(state).unwrap();
         }
         state.queued -= 1;
+        self.queued.sub(1);
         state.active += 1;
-        self.admitted.fetch_add(1, Ordering::Relaxed);
+        self.admitted.inc();
         Ok(GatePermit { gate: self })
     }
 
     /// Current counters.
     pub fn stats(&self) -> GateStats {
         GateStats {
-            admitted: self.admitted.load(Ordering::Relaxed),
-            rejected: self.rejected.load(Ordering::Relaxed),
-            queued_peak: self.queued_peak.load(Ordering::Relaxed),
+            admitted: self.admitted.get(),
+            rejected: self.rejected.get(),
+            queued_peak: self.queued.peak(),
         }
     }
 }
@@ -280,11 +315,11 @@ pub struct ShapeBreaker {
     threshold: u32,
     cooldown: Duration,
     states: Mutex<HashMap<QueryShape, EntryState>>,
-    trips: AtomicU64,
-    reopens: AtomicU64,
-    open_served: AtomicU64,
-    probes: AtomicU64,
-    closes: AtomicU64,
+    trips: Arc<Counter>,
+    reopens: Arc<Counter>,
+    open_served: Arc<Counter>,
+    probes: Arc<Counter>,
+    closes: Arc<Counter>,
 }
 
 impl ShapeBreaker {
@@ -296,11 +331,30 @@ impl ShapeBreaker {
             threshold,
             cooldown,
             states: Mutex::new(HashMap::new()),
-            trips: AtomicU64::new(0),
-            reopens: AtomicU64::new(0),
-            open_served: AtomicU64::new(0),
-            probes: AtomicU64::new(0),
-            closes: AtomicU64::new(0),
+            trips: Arc::new(Counter::new()),
+            reopens: Arc::new(Counter::new()),
+            open_served: Arc::new(Counter::new()),
+            probes: Arc::new(Counter::new()),
+            closes: Arc::new(Counter::new()),
+        }
+    }
+
+    /// Expose this breaker's cells in `registry` (under
+    /// `dpnext_breaker_*`, one `event` label per transition kind).
+    pub fn register_metrics(&self, registry: &Registry) {
+        for (event, cell) in [
+            ("trip", &self.trips),
+            ("reopen", &self.reopens),
+            ("open_served", &self.open_served),
+            ("probe", &self.probes),
+            ("close", &self.closes),
+        ] {
+            registry.register_counter(
+                "dpnext_breaker_events_total",
+                "Circuit-breaker transitions and degraded servings by kind.",
+                &[("event", event)],
+                cell.clone(),
+            );
         }
     }
 
@@ -325,17 +379,17 @@ impl ShapeBreaker {
                     unreachable!()
                 };
                 if Instant::now() < until {
-                    self.open_served.fetch_add(1, Ordering::Relaxed);
+                    self.open_served.inc();
                     BreakerDecision::Open
                 } else {
                     *entry = EntryState::HalfOpen;
-                    self.probes.fetch_add(1, Ordering::Relaxed);
+                    self.probes.inc();
                     BreakerDecision::Probe
                 }
             }
             Some(EntryState::HalfOpen) => {
                 // A probe is already in flight; stay on the cheap rung.
-                self.open_served.fetch_add(1, Ordering::Relaxed);
+                self.open_served.inc();
                 BreakerDecision::Open
             }
         }
@@ -352,14 +406,14 @@ impl ShapeBreaker {
         let mut states = self.states.lock().unwrap();
         if success {
             if states.remove(shape).is_some() && probe {
-                self.closes.fetch_add(1, Ordering::Relaxed);
+                self.closes.inc();
             }
             return;
         }
         let until = Instant::now() + self.cooldown;
         if probe {
             states.insert(shape.clone(), EntryState::Open { until });
-            self.reopens.fetch_add(1, Ordering::Relaxed);
+            self.reopens.inc();
             return;
         }
         let entry = states
@@ -370,7 +424,7 @@ impl ShapeBreaker {
                 *fails += 1;
                 if *fails >= self.threshold {
                     *entry = EntryState::Open { until };
-                    self.trips.fetch_add(1, Ordering::Relaxed);
+                    self.trips.inc();
                 }
             }
             // A non-probe failure while open/half-open (e.g. a racing
@@ -392,11 +446,11 @@ impl ShapeBreaker {
             .filter(|s| !matches!(s, EntryState::Closed { .. }))
             .count() as u64;
         BreakerStats {
-            trips: self.trips.load(Ordering::Relaxed),
-            reopens: self.reopens.load(Ordering::Relaxed),
-            open_served: self.open_served.load(Ordering::Relaxed),
-            probes: self.probes.load(Ordering::Relaxed),
-            closes: self.closes.load(Ordering::Relaxed),
+            trips: self.trips.get(),
+            reopens: self.reopens.get(),
+            open_served: self.open_served.get(),
+            probes: self.probes.get(),
+            closes: self.closes.get(),
             open_shapes,
         }
     }

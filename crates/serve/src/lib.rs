@@ -40,6 +40,19 @@
 //! **circuit breaker** ([`ShapeBreaker`]) that serves repeatedly failing
 //! shapes from the greedy rung until a half-open probe succeeds.
 //!
+//! PR 10 makes all of it **observable** (see `docs/OBSERVABILITY.md`):
+//! every counter above lives in a [`dpnext_obs::Registry`] cell shared
+//! with [`ServiceStats`] — the two can never disagree — alongside
+//! latency / queue-wait / byte **histograms**; the request path emits
+//! **trace spans** (`serve.request` down to `engine.stratum.*`) when a
+//! [`dpnext_obs::TraceSink`] is installed, and is span-free and
+//! allocation-free when not; an opt-in **scrape endpoint**
+//! ([`MetricsServer`], [`ServiceConfig::metrics_addr`]) serves
+//! `/metrics` (Prometheus text) and `/stats.json` from one blocking
+//! thread; and the overload retry hint is now *measured* — p50 of the
+//! service-time histogram times the gate's line length — instead of a
+//! fixed per-request guess.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -83,6 +96,7 @@ mod fault;
 mod fingerprint;
 mod govern;
 mod pool;
+mod scrape;
 mod service;
 
 pub use cache::{CacheKey, CacheStats, PlanCache};
@@ -93,6 +107,7 @@ pub use govern::{
     ResourceLedger, ShapeBreaker,
 };
 pub use pool::{MemoPool, PoolStats, PooledMemo};
+pub use scrape::MetricsServer;
 pub use service::{
     OptimizerService, ServeError, ServeResult, ServiceConfig, ServiceStats, SHED_UTILIZATION,
 };

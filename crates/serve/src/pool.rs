@@ -2,8 +2,8 @@
 
 use crate::govern::ResourceLedger;
 use dpnext::Memo;
+use dpnext_obs::{Counter, Gauge, Registry};
 use std::ops::{Deref, DerefMut};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Point-in-time pool counters.
@@ -60,12 +60,16 @@ pub struct MemoPool {
     free: Mutex<Vec<Memo>>,
     capacity: usize,
     ledger: Option<Arc<ResourceLedger>>,
-    created: AtomicU64,
-    reused: AtomicU64,
-    pooled_peak: AtomicU64,
-    arena_peak_capacity: AtomicU64,
-    quarantined: AtomicU64,
-    rejected_invalid: AtomicU64,
+    // Registry-backed cells (PR 10): `PoolStats` and the metrics registry
+    // read the same cells. `pooled` mirrors the free-list length (its
+    // peak is the old `pooled_peak`); `arena_capacity` holds the last
+    // parked arena capacity (its peak is `arena_peak_capacity`).
+    created: Arc<Counter>,
+    reused: Arc<Counter>,
+    pooled: Arc<Gauge>,
+    arena_capacity: Arc<Gauge>,
+    quarantined: Arc<Counter>,
+    rejected_invalid: Arc<Counter>,
 }
 
 impl MemoPool {
@@ -75,13 +79,53 @@ impl MemoPool {
             free: Mutex::new(Vec::new()),
             capacity,
             ledger: None,
-            created: AtomicU64::new(0),
-            reused: AtomicU64::new(0),
-            pooled_peak: AtomicU64::new(0),
-            arena_peak_capacity: AtomicU64::new(0),
-            quarantined: AtomicU64::new(0),
-            rejected_invalid: AtomicU64::new(0),
+            created: Arc::new(Counter::new()),
+            reused: Arc::new(Counter::new()),
+            pooled: Arc::new(Gauge::new()),
+            arena_capacity: Arc::new(Gauge::new()),
+            quarantined: Arc::new(Counter::new()),
+            rejected_invalid: Arc::new(Counter::new()),
         }
+    }
+
+    /// Expose this pool's cells in `registry` (under `dpnext_pool_*`).
+    pub fn register_metrics(&self, registry: &Registry) {
+        registry.register_counter(
+            "dpnext_pool_created_total",
+            "Memos constructed from scratch.",
+            &[],
+            self.created.clone(),
+        );
+        registry.register_counter(
+            "dpnext_pool_reused_total",
+            "Checkouts served from a parked memo.",
+            &[],
+            self.reused.clone(),
+        );
+        registry.register_gauge(
+            "dpnext_pool_parked",
+            "Memos currently parked in the pool.",
+            &[],
+            self.pooled.clone(),
+        );
+        registry.register_gauge(
+            "dpnext_pool_arena_capacity_plans",
+            "Arena capacity (plans) of the most recently parked memo.",
+            &[],
+            self.arena_capacity.clone(),
+        );
+        registry.register_counter(
+            "dpnext_pool_quarantined_total",
+            "Memos destroyed instead of parked after a panic.",
+            &[],
+            self.quarantined.clone(),
+        );
+        registry.register_counter(
+            "dpnext_pool_rejected_invalid_total",
+            "Memos discarded at check-in for failing structural validation.",
+            &[],
+            self.rejected_invalid.clone(),
+        );
     }
 
     /// Like [`MemoPool::new`], registering every memo footprint —
@@ -114,11 +158,12 @@ impl MemoPool {
         };
         let (memo, fresh) = match parked {
             Some(m) => {
-                self.reused.fetch_add(1, Ordering::Relaxed);
+                self.reused.inc();
+                self.pooled.sub(1);
                 (m, false)
             }
             None => {
-                self.created.fetch_add(1, Ordering::Relaxed);
+                self.created.inc();
                 (Memo::new(), true)
             }
         };
@@ -144,12 +189,13 @@ impl MemoPool {
         // builds discard the memo and count the rejection.
         if let Err(violation) = memo.check_invariants() {
             debug_assert!(false, "memo failed check-in validation: {violation}");
-            self.rejected_invalid.fetch_add(1, Ordering::Relaxed);
+            self.rejected_invalid.inc();
             self.release(accounted);
             return;
         }
-        self.arena_peak_capacity
-            .fetch_max(memo.arena_capacity() as u64, Ordering::Relaxed);
+        // `set` raises the gauge's peak, which is the stat reported as
+        // `arena_peak_capacity`.
+        self.arena_capacity.set(memo.arena_capacity() as u64);
         if !self.enabled() {
             self.release(accounted);
             return;
@@ -161,9 +207,8 @@ impl MemoPool {
             // its new footprint until the next checkout re-adopts it.
             let parked_footprint = memo.footprint_bytes();
             free.push(memo);
-            let len = free.len() as u64;
             drop(free);
-            self.pooled_peak.fetch_max(len, Ordering::Relaxed);
+            self.pooled.add(1);
             if let Some(ledger) = &self.ledger {
                 ledger.add(parked_footprint);
                 ledger.sub(accounted);
@@ -181,7 +226,7 @@ impl MemoPool {
     }
 
     fn quarantine_memo(&self, memo: &Memo, accounted: u64) {
-        self.quarantined.fetch_add(1, Ordering::Relaxed);
+        self.quarantined.inc();
         if let Some(ledger) = &self.ledger {
             // The footprint being destroyed right now (the run may have
             // grown it past the checked-out estimate) goes on the
@@ -194,13 +239,13 @@ impl MemoPool {
     /// Current counters.
     pub fn stats(&self) -> PoolStats {
         PoolStats {
-            created: self.created.load(Ordering::Relaxed),
-            reused: self.reused.load(Ordering::Relaxed),
+            created: self.created.get(),
+            reused: self.reused.get(),
             pooled: self.free.lock().unwrap().len() as u64,
-            pooled_peak: self.pooled_peak.load(Ordering::Relaxed),
-            arena_peak_capacity: self.arena_peak_capacity.load(Ordering::Relaxed),
-            quarantined: self.quarantined.load(Ordering::Relaxed),
-            rejected_invalid: self.rejected_invalid.load(Ordering::Relaxed),
+            pooled_peak: self.pooled.peak(),
+            arena_peak_capacity: self.arena_capacity.peak(),
+            quarantined: self.quarantined.get(),
+            rejected_invalid: self.rejected_invalid.get(),
         }
     }
 }

@@ -9,13 +9,18 @@ use crate::govern::{
     ShapeBreaker,
 };
 use crate::pool::{MemoPool, PoolStats};
+use crate::scrape::MetricsServer;
 use dpnext::{Algorithm, Optimized, Optimizer};
+use dpnext_core::{AdaptiveMode, FxBuildHasher};
+use dpnext_obs::{Counter, Histogram, Registry};
 use dpnext_query::Query;
 use dpnext_sql::{plan as bind_sql, BoundQuery, SqlError};
+use std::hash::BuildHasher;
+use std::net::SocketAddr;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Ledger utilization at which the load-shed policy engages: above this
 /// fraction of [`ServiceConfig::memory_cap_bytes`], admitted requests run
@@ -74,6 +79,14 @@ pub struct ServiceConfig {
     /// promoted to a full-quality half-open probe (success closes the
     /// breaker, failure re-opens it).
     pub breaker_cooldown: Duration,
+    /// Address for the scrape endpoint ([`MetricsServer`]): `GET
+    /// /metrics` serves the registry in Prometheus text format, `GET
+    /// /stats.json` the [`ServiceStats`] as JSON. Opt-in and out of band:
+    /// the endpoint only exists after the owner calls
+    /// [`OptimizerService::serve_metrics`] on the `Arc`'d service (one
+    /// blocking thread; the request path never touches it). `None` (the
+    /// default) disables it. Use port 0 to bind an ephemeral port.
+    pub metrics_addr: Option<SocketAddr>,
 }
 
 impl Default for ServiceConfig {
@@ -88,6 +101,7 @@ impl Default for ServiceConfig {
             memory_cap_bytes: 0,
             breaker_threshold: 0,
             breaker_cooldown: Duration::from_millis(250),
+            metrics_addr: None,
         }
     }
 }
@@ -105,8 +119,12 @@ pub enum ServeError {
     /// The admission gate was saturated: `max_concurrent` requests were
     /// already optimizing and `max_queued` more were waiting. The request
     /// was rejected *fast* — no memo, no optimizer work — with a hint
-    /// scaled to the current line length. Retrying after the hint (with
-    /// jitter) spreads the load instead of stampeding the gate.
+    /// derived from *measured* service times: the p50 of recent
+    /// completions (the service-time histogram) times the current line
+    /// length, clamped to [1 ms, 5 s]. Before any completion has been
+    /// measured the service falls back to a fixed 10 ms-per-request
+    /// estimate. Retrying after the hint (with jitter) spreads the load
+    /// instead of stampeding the gate.
     Overloaded {
         /// Suggested client back-off before retrying.
         retry_after_hint: Duration,
@@ -198,13 +216,48 @@ pub struct OptimizerService {
     gate: AdmissionGate,
     breaker: ShapeBreaker,
     epoch: AtomicU64,
-    requests: AtomicU64,
-    panics: AtomicU64,
-    deadline_degraded: AtomicU64,
-    memory_degraded: AtomicU64,
-    shed: AtomicU64,
+    registry: Arc<Registry>,
+    requests: Arc<Counter>,
+    panics: Arc<Counter>,
+    deadline_degraded: Arc<Counter>,
+    memory_degraded: Arc<Counter>,
+    shed: Arc<Counter>,
+    /// Completed optimizer runs by final adaptive mode, indexed by
+    /// [`rung_index`]. `dpnext_rung_total{mode=...}` in the registry.
+    rungs: [Arc<Counter>; 5],
+    /// End-to-end `optimize()` latency, every return path (hit, miss,
+    /// overload-reject, panic).
+    request_latency: Arc<Histogram>,
+    /// Optimizer-call wall time of completed (non-cached, non-panicked)
+    /// runs. Its p50 feeds the overload retry hint.
+    service_time: Arc<Histogram>,
+    /// Time admitted requests spent waiting at the gate.
+    queue_wait: Arc<Histogram>,
+    /// Plans built per completed optimizer run.
+    plans_built: Arc<Histogram>,
+    /// Peak live memo bytes per completed optimizer run.
+    live_bytes_peak: Arc<Histogram>,
     faults: Option<FaultInjector>,
 }
+
+/// Index of an [`AdaptiveMode`] into [`OptimizerService::rungs`] (and
+/// the label order used when registering `dpnext_rung_total`).
+fn rung_index(mode: AdaptiveMode) -> usize {
+    match mode {
+        AdaptiveMode::None => 0,
+        AdaptiveMode::Exact => 1,
+        AdaptiveMode::PartialExact => 2,
+        AdaptiveMode::Linearized => 3,
+        AdaptiveMode::Greedy => 4,
+    }
+}
+
+/// Bounds on the measured overload retry hint.
+const RETRY_HINT_MIN: Duration = Duration::from_millis(1);
+const RETRY_HINT_MAX: Duration = Duration::from_secs(5);
+/// Per-request fallback estimate while the service-time histogram is
+/// still empty (the pre-measurement heuristic).
+const RETRY_HINT_FALLBACK_PER_REQUEST: Duration = Duration::from_millis(10);
 
 impl OptimizerService {
     /// A service over `optimizer` with default capacities
@@ -224,20 +277,100 @@ impl OptimizerService {
             optimizer = optimizer.memory_budget(config.memory_budget);
         }
         let ledger = Arc::new(ResourceLedger::new(config.memory_cap_bytes));
+        let cache = PlanCache::new(config.cache_capacity);
+        let pool = MemoPool::with_ledger(config.pool_capacity, ledger.clone());
+        let gate = AdmissionGate::new(config.max_concurrent, config.max_queued);
+        let breaker = ShapeBreaker::new(config.breaker_threshold, config.breaker_cooldown);
+
+        // One registry per service: component cells (cache, pool, ledger,
+        // gate, breaker) are *adopted* so `ServiceStats` and the scrape
+        // endpoint read the same memory and can never disagree.
+        let registry = Arc::new(Registry::new());
+        cache.register_metrics(&registry);
+        pool.register_metrics(&registry);
+        ledger.register_metrics(&registry);
+        gate.register_metrics(&registry);
+        breaker.register_metrics(&registry);
+        registry.register_gauge(
+            "dpnext_live_bytes_midrun",
+            "Live memo bytes of in-flight optimizer runs, sampled at work-unit granularity.",
+            &[],
+            dpnext_obs::global_live_bytes(),
+        );
+        let requests = registry.counter(
+            "dpnext_requests_total",
+            "Requests accepted (optimize + optimize_sql calls).",
+        );
+        let panics = registry.counter(
+            "dpnext_panics_total",
+            "Requests whose optimizer call panicked (contained and quarantined).",
+        );
+        let shed = registry.counter(
+            "dpnext_shed_total",
+            "Admitted requests run under load-shed-tightened resource knobs.",
+        );
+        const DEGRADED_HELP: &str =
+            "Completed requests that shipped a degraded plan, by abort cause.";
+        let deadline_degraded = registry.counter_with(
+            "dpnext_degraded_total",
+            DEGRADED_HELP,
+            &[("cause", "deadline")],
+        );
+        let memory_degraded = registry.counter_with(
+            "dpnext_degraded_total",
+            DEGRADED_HELP,
+            &[("cause", "memory")],
+        );
+        const RUNG_HELP: &str = "Completed optimizer runs by final adaptive-ladder mode.";
+        let rungs = [
+            registry.counter_with("dpnext_rung_total", RUNG_HELP, &[("mode", "none")]),
+            registry.counter_with("dpnext_rung_total", RUNG_HELP, &[("mode", "exact")]),
+            registry.counter_with("dpnext_rung_total", RUNG_HELP, &[("mode", "partial-exact")]),
+            registry.counter_with("dpnext_rung_total", RUNG_HELP, &[("mode", "linearized")]),
+            registry.counter_with("dpnext_rung_total", RUNG_HELP, &[("mode", "greedy")]),
+        ];
+        let request_latency = registry.histogram(
+            "dpnext_request_latency_nanos",
+            "End-to-end optimize() latency in nanoseconds, every return path.",
+        );
+        let service_time = registry.histogram(
+            "dpnext_service_time_nanos",
+            "Optimizer-call wall time in nanoseconds of completed runs.",
+        );
+        let queue_wait = registry.histogram(
+            "dpnext_queue_wait_nanos",
+            "Nanoseconds admitted requests spent waiting at the admission gate.",
+        );
+        let plans_built = registry.histogram(
+            "dpnext_plans_built",
+            "Arena plans held at the end of each completed optimizer run.",
+        );
+        let live_bytes_peak = registry.histogram(
+            "dpnext_live_bytes_peak",
+            "Peak live memo bytes per completed optimizer run.",
+        );
+
         OptimizerService {
             optimizer,
-            cache: PlanCache::new(config.cache_capacity),
-            pool: MemoPool::with_ledger(config.pool_capacity, ledger.clone()),
+            cache,
+            pool,
             ledger,
-            gate: AdmissionGate::new(config.max_concurrent, config.max_queued),
-            breaker: ShapeBreaker::new(config.breaker_threshold, config.breaker_cooldown),
+            gate,
+            breaker,
             config,
             epoch: AtomicU64::new(0),
-            requests: AtomicU64::new(0),
-            panics: AtomicU64::new(0),
-            deadline_degraded: AtomicU64::new(0),
-            memory_degraded: AtomicU64::new(0),
-            shed: AtomicU64::new(0),
+            registry,
+            requests,
+            panics,
+            deadline_degraded,
+            memory_degraded,
+            shed,
+            rungs,
+            request_latency,
+            service_time,
+            queue_wait,
+            plans_built,
+            live_bytes_peak,
             faults: None,
         }
     }
@@ -311,25 +444,53 @@ impl OptimizerService {
     ///    (the result's `memo.degradation` says why; degraded plans skip
     ///    the cache).
     pub fn optimize(&self, query: &Query) -> Result<ServeResult, ServeError> {
-        let request = self.requests.fetch_add(1, Ordering::Relaxed);
+        let started = Instant::now();
+        let request = self.requests.fetch_inc();
+        let mut req_span = dpnext_obs::span("serve.request");
         let epoch = self.epoch();
         let shape = fingerprint_query(query);
+        if req_span.is_recording() {
+            req_span.tag_u64("request", request);
+            req_span.tag_u64("shape_hash", FxBuildHasher::default().hash_one(&shape));
+        }
         let key = CacheKey {
             epoch,
             shape: shape.clone(),
         };
         // Cache first: hits consume no optimizer resources, so a burst of
         // hits must never be turned away by the gate.
-        if let Some(result) = self.cache.lookup(&key) {
+        let probe = {
+            let _probe_span = dpnext_obs::span("serve.cache_probe");
+            self.cache.lookup(&key)
+        };
+        if let Some(result) = probe {
+            req_span.tag_str("outcome", "cache_hit");
+            self.request_latency
+                .observe(started.elapsed().as_nanos() as u64);
             return Ok(ServeResult {
                 result,
                 cache_hit: true,
                 epoch,
             });
         }
-        let _permit = match self.gate.admit() {
-            Ok(permit) => permit,
-            Err(retry_after_hint) => return Err(ServeError::Overloaded { retry_after_hint }),
+        let waited = Instant::now();
+        let admitted = {
+            let _wait_span = dpnext_obs::span("serve.admission");
+            self.gate.admit()
+        };
+        let _permit = match admitted {
+            Ok(permit) => {
+                self.queue_wait.observe(waited.elapsed().as_nanos() as u64);
+                permit
+            }
+            Err(line) => {
+                let retry_after_hint = self.retry_hint(line);
+                req_span.tag_str("outcome", "overloaded");
+                req_span.tag_u64("line", u64::from(line));
+                self.request_latency
+                    .observe(started.elapsed().as_nanos() as u64);
+                return Err(ServeError::Overloaded { retry_after_hint });
+            }
         };
         let decision = self.breaker.decide(&shape);
         let open_served = decision == BreakerDecision::Open;
@@ -340,9 +501,22 @@ impl OptimizerService {
         let shed =
             !open_served && self.ledger.cap() != 0 && self.ledger.utilization() >= SHED_UTILIZATION;
         if shed {
-            self.shed.fetch_add(1, Ordering::Relaxed);
+            self.shed.inc();
         }
         let mut memo = self.pool.checkout();
+        let svc_started = Instant::now();
+        let mut opt_span = dpnext_obs::span("serve.optimize");
+        if opt_span.is_recording() {
+            opt_span.tag_str(
+                "breaker",
+                match decision {
+                    BreakerDecision::Closed => "closed",
+                    BreakerDecision::Open => "open",
+                    BreakerDecision::Probe => "probe",
+                },
+            );
+            opt_span.tag_u64("shed", u64::from(shed));
+        }
         // The closure borrows the memo mutably; `AssertUnwindSafe` is
         // sound *because* of the quarantine below — on a panic the memo's
         // (possibly torn) state is destroyed, never observed again.
@@ -389,7 +563,19 @@ impl OptimizerService {
         }));
         match outcome {
             Ok(optimized) => {
+                let svc_nanos = svc_started.elapsed().as_nanos() as u64;
                 let degradation = optimized.memo.degradation;
+                let stats = &optimized.memo;
+                self.service_time.observe(svc_nanos);
+                self.plans_built.observe(stats.arena_plans);
+                self.live_bytes_peak.observe(stats.live_bytes_peak);
+                self.rungs[rung_index(stats.adaptive_mode)].inc();
+                if opt_span.is_recording() {
+                    opt_span.tag_str("outcome", "completed");
+                    opt_span.tag_text("mode", stats.adaptive_mode.to_string());
+                    opt_span.tag_text("degradation", degradation.to_string());
+                }
+                drop(opt_span);
                 drop(memo); // park the arena before publishing
                 if !open_served {
                     self.breaker.report(
@@ -398,12 +584,18 @@ impl OptimizerService {
                         !degradation.resource_aborted(),
                     );
                 }
+                if req_span.is_recording() {
+                    req_span.tag_str("outcome", "optimized");
+                    req_span.tag_text("degradation", degradation.to_string());
+                    req_span.tag_u64("plans_built", optimized.memo.arena_plans);
+                    req_span.tag_u64("live_bytes_peak", optimized.memo.live_bytes_peak);
+                }
                 let result = Arc::new(optimized);
                 if degradation.deadline_aborted {
-                    self.deadline_degraded.fetch_add(1, Ordering::Relaxed);
+                    self.deadline_degraded.inc();
                 }
                 if degradation.memory_aborted {
-                    self.memory_degraded.fetch_add(1, Ordering::Relaxed);
+                    self.memory_degraded.inc();
                 }
                 if open_served || degradation.resource_aborted() {
                     // A degraded plan is valid but below full quality:
@@ -412,6 +604,8 @@ impl OptimizerService {
                 } else {
                     self.cache.insert(key, result.clone());
                 }
+                self.request_latency
+                    .observe(started.elapsed().as_nanos() as u64);
                 Ok(ServeResult {
                     result,
                     cache_hit: false,
@@ -419,8 +613,10 @@ impl OptimizerService {
                 })
             }
             Err(payload) => {
+                opt_span.tag_str("outcome", "panicked");
+                drop(opt_span);
                 memo.quarantine();
-                self.panics.fetch_add(1, Ordering::Relaxed);
+                self.panics.inc();
                 if !open_served {
                     self.breaker
                         .report(&shape, decision == BreakerDecision::Probe, false);
@@ -430,8 +626,30 @@ impl OptimizerService {
                     .map(|s| s.to_string())
                     .or_else(|| payload.downcast_ref::<String>().cloned())
                     .unwrap_or_else(|| "non-string panic payload".to_string());
+                req_span.tag_str("outcome", "panicked");
+                self.request_latency
+                    .observe(started.elapsed().as_nanos() as u64);
                 Err(ServeError::Panicked(msg))
             }
+        }
+    }
+
+    /// Back-off suggestion for a rejected arrival: the p50 of measured
+    /// service times multiplied by the gate's current line length (the
+    /// expected drain time of everything ahead of a retry), clamped to
+    /// [`RETRY_HINT_MIN`, `RETRY_HINT_MAX`]. Falls back to a fixed
+    /// per-request estimate until the first completion is measured.
+    fn retry_hint(&self, line: u32) -> Duration {
+        let line = line.max(1);
+        let snap = self.service_time.snapshot();
+        if snap.count == 0 {
+            return RETRY_HINT_FALLBACK_PER_REQUEST * line;
+        }
+        let nanos = u128::from(snap.quantile(0.5)) * u128::from(line);
+        if nanos >= RETRY_HINT_MAX.as_nanos() {
+            RETRY_HINT_MAX
+        } else {
+            Duration::from_nanos(nanos as u64).max(RETRY_HINT_MIN)
         }
     }
 
@@ -455,17 +673,90 @@ impl OptimizerService {
     /// governance layer (gate, ledger, breaker).
     pub fn stats(&self) -> ServiceStats {
         ServiceStats {
-            requests: self.requests.load(Ordering::Relaxed),
+            requests: self.requests.get(),
             epoch: self.epoch(),
             cache: self.cache.stats(),
             pool: self.pool.stats(),
-            panics: self.panics.load(Ordering::Relaxed),
-            deadline_degraded: self.deadline_degraded.load(Ordering::Relaxed),
-            memory_degraded: self.memory_degraded.load(Ordering::Relaxed),
-            shed: self.shed.load(Ordering::Relaxed),
+            panics: self.panics.get(),
+            deadline_degraded: self.deadline_degraded.get(),
+            memory_degraded: self.memory_degraded.get(),
+            shed: self.shed.get(),
             gate: self.gate.stats(),
             ledger: self.ledger.stats(),
             breaker: self.breaker.stats(),
         }
+    }
+
+    /// The service's metrics registry. Every cell behind
+    /// [`OptimizerService::stats`] is registered here, plus the latency /
+    /// byte histograms that have no `ServiceStats` equivalent.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// The registry rendered in Prometheus text exposition format — what
+    /// `GET /metrics` on the scrape endpoint serves.
+    pub fn metrics_text(&self) -> String {
+        self.registry.snapshot().render_text()
+    }
+
+    /// Start the scrape endpoint on [`ServiceConfig::metrics_addr`].
+    /// Returns `None` when no address was configured. The server owns one
+    /// blocking thread and stops when the returned handle drops.
+    pub fn serve_metrics(self: &Arc<Self>) -> Option<std::io::Result<MetricsServer>> {
+        self.config
+            .metrics_addr
+            .map(|addr| MetricsServer::spawn(self.clone(), addr))
+    }
+}
+
+impl ServiceStats {
+    /// The stats as a flat JSON object — what `GET /stats.json` on the
+    /// scrape endpoint serves.
+    pub fn render_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"requests\":{},\"epoch\":{},\"panics\":{},",
+                "\"deadline_degraded\":{},\"memory_degraded\":{},\"shed\":{},",
+                "\"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"entries\":{}}},",
+                "\"pool\":{{\"created\":{},\"reused\":{},\"pooled\":{},\"pooled_peak\":{},",
+                "\"arena_peak_capacity\":{},\"quarantined\":{},\"rejected_invalid\":{}}},",
+                "\"gate\":{{\"admitted\":{},\"rejected\":{},\"queued_peak\":{}}},",
+                "\"ledger\":{{\"bytes\":{},\"peak\":{},\"cap\":{},",
+                "\"quarantined_bytes\":{}}},",
+                "\"breaker\":{{\"trips\":{},\"reopens\":{},\"open_served\":{},",
+                "\"probes\":{},\"closes\":{},\"open_shapes\":{}}}}}"
+            ),
+            self.requests,
+            self.epoch,
+            self.panics,
+            self.deadline_degraded,
+            self.memory_degraded,
+            self.shed,
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.evictions,
+            self.cache.entries,
+            self.pool.created,
+            self.pool.reused,
+            self.pool.pooled,
+            self.pool.pooled_peak,
+            self.pool.arena_peak_capacity,
+            self.pool.quarantined,
+            self.pool.rejected_invalid,
+            self.gate.admitted,
+            self.gate.rejected,
+            self.gate.queued_peak,
+            self.ledger.bytes,
+            self.ledger.peak,
+            self.ledger.cap,
+            self.ledger.quarantined_bytes,
+            self.breaker.trips,
+            self.breaker.reopens,
+            self.breaker.open_served,
+            self.breaker.probes,
+            self.breaker.closes,
+            self.breaker.open_shapes,
+        )
     }
 }

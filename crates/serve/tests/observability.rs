@@ -1,0 +1,339 @@
+//! PR 10 observability acceptance at the service level: tracing must be
+//! a pure observer (traced runs bit-identical to untraced, every span
+//! closed), the registry must reconcile exactly with [`ServiceStats`]
+//! under concurrent load, the scrape endpoint must serve lint-clean
+//! Prometheus text, and the overload retry hint must come from measured
+//! service times within its documented bounds.
+
+use dpnext::{Algorithm as A, Degradation, MemoStats, Optimized, Optimizer};
+use dpnext_obs::{lint_prometheus_text, MetricValue, RingSink, TraceLevel};
+use dpnext_serve::{OptimizerService, ServeError, ServiceConfig};
+use dpnext_workload::{generate_query, request_mix, GenConfig, MixConfig, Topology};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Barrier, Mutex, OnceLock};
+use std::time::Duration;
+
+/// Tracing level, sink and the span-open/close counters are process
+/// globals: every test in this binary serializes on this lock so one
+/// test's open spans never leak into another's bookkeeping.
+fn trace_lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+fn locked() -> std::sync::MutexGuard<'static, ()> {
+    trace_lock().lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The run-deterministic subset of [`MemoStats`] (drops the wall-clock
+/// `worker_nanos` / `replay_nanos` instrumentation).
+#[allow(clippy::type_complexity)]
+fn det_stats(s: &MemoStats) -> (u64, u64, u64, u64, u64, u64, u64, u64, u64, Degradation) {
+    (
+        s.arena_plans,
+        s.arena_peak,
+        s.peak_class_width,
+        s.prune_attempts,
+        s.prune_rejected,
+        s.prune_evicted,
+        s.layers,
+        s.peak_layer_pairs,
+        s.plan_budget,
+        s.degradation,
+    )
+}
+
+fn assert_bit_identical(cold: &Optimized, traced: &Optimized, what: &str) {
+    assert_eq!(
+        cold.plan.cost.to_bits(),
+        traced.plan.cost.to_bits(),
+        "{what}: cost"
+    );
+    assert_eq!(
+        cold.plan.card.to_bits(),
+        traced.plan.card.to_bits(),
+        "{what}: card"
+    );
+    assert_eq!(cold.plans_built, traced.plans_built, "{what}: plans_built");
+    assert_eq!(
+        det_stats(&cold.memo),
+        det_stats(&traced.memo),
+        "{what}: memo stats"
+    );
+    assert_eq!(cold.explain, traced.explain, "{what}: explain");
+}
+
+/// Tracing must observe, never steer: re-running the golden parity grid
+/// with a sink installed yields bit-identical plans and stats, every
+/// span opened during the run is closed by the end of it, and the
+/// expected span names appear with sane parentage.
+#[test]
+fn traced_golden_grid_is_bit_identical_and_every_span_closes() {
+    let _guard = locked();
+    let mut grid = Vec::new();
+    for n in 2..=5 {
+        for seed in 0..=4 {
+            grid.push((GenConfig::oracle(n), seed));
+        }
+    }
+    for n in 3..=6 {
+        for seed in 1000..=1002 {
+            grid.push((GenConfig::paper(n), seed));
+        }
+    }
+
+    // Untraced references from a plain facade.
+    let optimizer = Optimizer::new(A::EaPrune);
+    let cold: Vec<Optimized> = grid
+        .iter()
+        .map(|(cfg, seed)| optimizer.optimize(&generate_query(cfg, *seed)))
+        .collect();
+
+    let sink = Arc::new(RingSink::new(4096));
+    dpnext_obs::install_sink(sink.clone());
+    dpnext_obs::set_trace_level(TraceLevel::Spans);
+    let open_before = dpnext_obs::spans_opened() - dpnext_obs::spans_closed();
+
+    let service = OptimizerService::new(Optimizer::new(A::EaPrune));
+    for ((cfg, seed), cold) in grid.iter().zip(&cold) {
+        let what = format!("n={} seed={seed}", cfg.n_relations);
+        let query = generate_query(cfg, *seed);
+        let served = service.optimize(&query).expect("no faults injected");
+        assert_bit_identical(cold, &served.result, &what);
+    }
+
+    dpnext_obs::set_trace_level(TraceLevel::Off);
+    dpnext_obs::clear_sink();
+    let open_after = dpnext_obs::spans_opened() - dpnext_obs::spans_closed();
+    assert_eq!(
+        open_before, open_after,
+        "every span opened during the traced grid must be closed"
+    );
+
+    let spans = sink.take();
+    let roots: Vec<_> = spans.iter().filter(|s| s.name == "serve.request").collect();
+    assert_eq!(grid.len(), roots.len(), "one serve.request root per call");
+    for name in ["serve.cache_probe", "serve.admission", "serve.optimize"] {
+        let children: Vec<_> = spans.iter().filter(|s| s.name == name).collect();
+        assert_eq!(grid.len(), children.len(), "one {name} per cache miss");
+        for child in children {
+            assert!(
+                roots.iter().any(|r| r.id == child.parent),
+                "{name} span must be parented to a serve.request"
+            );
+        }
+    }
+    assert!(
+        spans.iter().all(|s| s.end_nanos >= s.start_nanos),
+        "span clocks must be monotone"
+    );
+}
+
+/// The acceptance identity of the tentpole: after a 4-thread hammer,
+/// the registry's histograms and counters agree *exactly* with
+/// [`ServiceStats`] — same cells, no sampling, no drift — and the
+/// rendered text passes the Prometheus format lint.
+#[test]
+fn hammer_histograms_reconcile_exactly_with_stats() {
+    let _guard = locked();
+    let threads = 4;
+    let per_thread = 32;
+    let mix = request_mix(&MixConfig::hot(6, 4), threads * per_thread, 99);
+    let service = Arc::new(OptimizerService::new(Optimizer::new(A::EaPrune)));
+
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let service = &service;
+            let mix = &mix;
+            scope.spawn(move || {
+                let chunk = &mix.schedule()[t * per_thread..(t + 1) * per_thread];
+                for &shape in chunk {
+                    service
+                        .optimize(&mix.shapes()[shape])
+                        .expect("no faults injected");
+                }
+            });
+        }
+    });
+
+    let stats = service.stats();
+    let snapshot = service.registry().snapshot();
+    let total = (threads * per_thread) as u64;
+    assert_eq!(total, stats.requests);
+    assert_eq!(
+        total,
+        snapshot.counter_total("dpnext_requests_total"),
+        "registry and stats must share the request cell"
+    );
+    assert_eq!(
+        stats.cache.hits,
+        snapshot.counter_total("dpnext_cache_hits_total")
+    );
+    assert_eq!(
+        stats.cache.misses,
+        snapshot.counter_total("dpnext_cache_misses_total")
+    );
+    assert_eq!(
+        stats.gate.admitted,
+        snapshot.counter_total("dpnext_gate_admitted_total")
+    );
+
+    let hist = |name: &str| match snapshot
+        .family(name)
+        .unwrap_or_else(|| panic!("{name} missing"))
+        .series[0]
+        .1
+    {
+        MetricValue::Histogram(ref h) => *h,
+        ref other => panic!("{name}: expected a histogram, got {other:?}"),
+    };
+    let latency = hist("dpnext_request_latency_nanos");
+    assert_eq!(
+        total, latency.count,
+        "every optimize() return observes request latency exactly once"
+    );
+    let queue_wait = hist("dpnext_queue_wait_nanos");
+    assert_eq!(
+        stats.gate.admitted, queue_wait.count,
+        "every admitted request observes queue wait exactly once"
+    );
+    let service_time = hist("dpnext_service_time_nanos");
+    let completed = stats.gate.admitted - stats.panics;
+    assert_eq!(
+        completed, service_time.count,
+        "every completed optimizer run observes service time exactly once"
+    );
+    assert_eq!(completed, hist("dpnext_plans_built").count);
+    assert_eq!(completed, hist("dpnext_live_bytes_peak").count);
+    let rung_total = snapshot.counter_total("dpnext_rung_total");
+    assert_eq!(
+        completed, rung_total,
+        "every completed run lands on exactly one ladder rung"
+    );
+    assert!(
+        latency.quantile(0.99) >= latency.quantile(0.5),
+        "quantiles must be monotone"
+    );
+
+    let text = service.metrics_text();
+    lint_prometheus_text(&text).expect("rendered exposition must lint clean");
+}
+
+/// The scrape endpoint end to end: bind an ephemeral port, scrape
+/// `/metrics` and `/stats.json` over real TCP, and check both the
+/// format lint and that the numbers match the service.
+#[test]
+fn scrape_endpoint_serves_lint_clean_text_and_stats_json() {
+    let _guard = locked();
+    let service = Arc::new(OptimizerService::with_config(
+        Optimizer::new(A::EaPrune),
+        ServiceConfig {
+            metrics_addr: Some("127.0.0.1:0".parse().unwrap()),
+            ..ServiceConfig::default()
+        },
+    ));
+    for seed in 0..3 {
+        let q = generate_query(&GenConfig::paper(4), seed);
+        service.optimize(&q).expect("no faults injected");
+    }
+    let server = service
+        .serve_metrics()
+        .expect("metrics_addr is configured")
+        .expect("bind 127.0.0.1:0");
+    let addr = server.local_addr();
+
+    let get = |path: &str| {
+        let mut conn = TcpStream::connect(addr).expect("connect scrape endpoint");
+        conn.write_all(format!("GET {path} HTTP/1.0\r\nHost: test\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut response = String::new();
+        conn.read_to_string(&mut response).expect("read response");
+        let (head, body) = response
+            .split_once("\r\n\r\n")
+            .expect("response has a header/body split");
+        (head.to_string(), body.to_string())
+    };
+
+    let (head, body) = get("/metrics");
+    assert!(head.starts_with("HTTP/1.0 200"), "bad status: {head}");
+    lint_prometheus_text(&body).expect("scraped exposition must lint clean");
+    assert!(
+        body.contains("dpnext_requests_total 3"),
+        "scrape must reflect the served requests"
+    );
+
+    let (head, body) = get("/stats.json");
+    assert!(head.starts_with("HTTP/1.0 200"), "bad status: {head}");
+    assert_eq!(service.stats().render_json(), body.trim_end());
+    assert!(body.contains("\"requests\":3"));
+
+    let (head, _) = get("/nope");
+    assert!(head.starts_with("HTTP/1.0 404"), "bad status: {head}");
+    server.stop();
+}
+
+/// The overload retry hint rides measured service times: once
+/// completions exist, a rejected arrival's hint is p50 × line within
+/// [1 ms, 5 s]; before any completion it falls back to 10 ms per
+/// queued request.
+#[test]
+fn retry_hint_is_measured_and_bounded() {
+    let _guard = locked();
+    let service = Arc::new(OptimizerService::with_config(
+        Optimizer::new(A::EaPrune).threads(1).explain(false),
+        ServiceConfig {
+            cache_capacity: 0, // every request must reach the gate
+            max_concurrent: 1,
+            max_queued: 0,
+            ..ServiceConfig::default()
+        },
+    ));
+
+    // Phase 1: sequential completions populate the service-time
+    // histogram.
+    for seed in 0..3 {
+        let q = generate_query(&GenConfig::paper(5), seed);
+        service.optimize(&q).expect("uncontended requests admit");
+    }
+
+    // Phase 2: a synchronized burst over the 1-slot gate must reject
+    // someone, and every hint must come from the measured-p50 path.
+    const N: usize = 8;
+    let barrier = Arc::new(Barrier::new(N));
+    let hints: Vec<Duration> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..N)
+            .map(|i| {
+                let service = service.clone();
+                let barrier = barrier.clone();
+                scope.spawn(move || {
+                    let q = generate_query(&GenConfig::topology(9, Topology::Clique), i as u64);
+                    barrier.wait();
+                    match service.optimize(&q) {
+                        Ok(_) => None,
+                        Err(ServeError::Overloaded { retry_after_hint }) => Some(retry_after_hint),
+                        Err(e) => panic!("unexpected error kind: {e}"),
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .filter_map(|h| h.join().expect("no escaping panics"))
+            .collect()
+    });
+    assert!(
+        !hints.is_empty(),
+        "8 simultaneous arrivals over a 1+0 gate must reject someone"
+    );
+    for hint in hints {
+        assert!(
+            hint >= Duration::from_millis(1),
+            "hint below the floor: {hint:?}"
+        );
+        assert!(
+            hint <= Duration::from_secs(5),
+            "hint above the ceiling: {hint:?}"
+        );
+    }
+}
